@@ -1,0 +1,45 @@
+//! Criterion bench for the affine-gap extension tiers: full-matrix
+//! Gotoh vs linear-space Myers–Miller vs affine FastLSA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastlsa_core::FastLsaConfig;
+use flsa_dp::Metrics;
+use flsa_fullmatrix::gotoh;
+use flsa_hirschberg::myers_miller_affine;
+use flsa_scoring::{tables, GapModel, ScoringScheme};
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+use std::hint::black_box;
+
+fn bench_affine(c: &mut Criterion) {
+    let scheme = ScoringScheme::new(tables::dna_default(), GapModel::affine(-12, -2));
+    let mut group = c.benchmark_group("affine");
+    group.sample_size(10);
+    for &n in &[512usize, 1024] {
+        let (a, b) = homologous_pair("bench", &Alphabet::dna(), n, 0.8, 13).unwrap();
+        group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+        group.bench_with_input(BenchmarkId::new("gotoh", n), &n, |bch, _| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                black_box(gotoh(&a, &b, &scheme, &m).score)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("myers-miller", n), &n, |bch, _| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                black_box(myers_miller_affine(&a, &b, &scheme, &m).score)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fastlsa-affine-k8", n), &n, |bch, _| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                let cfg = FastLsaConfig::new(8, 1 << 14);
+                black_box(fastlsa_core::align_affine(&a, &b, &scheme, cfg, &m).score)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_affine);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for experiment E5: FastLSA runtime vs the grid
+//! division factor `k` at a fixed problem size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastlsa_core::FastLsaConfig;
+use flsa_dp::Metrics;
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+use std::hint::black_box;
+
+fn bench_ksweep(c: &mut Criterion) {
+    let scheme = ScoringScheme::dna_default();
+    let n = 2048;
+    let (a, b) = homologous_pair("bench", &Alphabet::dna(), n, 0.8, 7).unwrap();
+    let mut group = c.benchmark_group("ksweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    for &k in &[2usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, &k| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                let cfg = FastLsaConfig::new(k, 1 << 14);
+                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksweep);
+criterion_main!(benches);

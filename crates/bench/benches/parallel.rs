@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E7: parallel FastLSA wall time vs
+//! thread count.
+//!
+//! On a single-core container the wall-time curve is flat (the schedule
+//! replay in `paper speedup` reproduces the paper's speedup figure
+//! instead); this bench still exercises the real multithreaded path and
+//! measures its overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastlsa_core::FastLsaConfig;
+use flsa_dp::Metrics;
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+use std::hint::black_box;
+
+fn bench_parallel(c: &mut Criterion) {
+    let scheme = ScoringScheme::dna_default();
+    let n = 2048;
+    let (a, b) = homologous_pair("bench", &Alphabet::dna(), n, 0.8, 7).unwrap();
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &p| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                let cfg = FastLsaConfig::new(8, 1 << 16).with_threads(p);
+                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for experiment E4: sequential FM vs Hirschberg vs
+//! FastLSA across problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastlsa_core::FastLsaConfig;
+use flsa_dp::Metrics;
+use flsa_fullmatrix::needleman_wunsch;
+use flsa_hirschberg::{hirschberg_with, HirschbergConfig};
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+use std::hint::black_box;
+
+fn bench_sequential(c: &mut Criterion) {
+    let scheme = ScoringScheme::dna_default();
+    let mut group = c.benchmark_group("sequential");
+    group.sample_size(10);
+    for &n in &[512usize, 1024, 2048] {
+        let (a, b) = homologous_pair("bench", &Alphabet::dna(), n, 0.8, 7).unwrap();
+        group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+
+        group.bench_with_input(BenchmarkId::new("full-matrix", n), &n, |bch, _| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                black_box(needleman_wunsch(&a, &b, &scheme, &m).score)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hirschberg", n), &n, |bch, _| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                let cfg = HirschbergConfig { base_cells: 1 << 12 };
+                black_box(hirschberg_with(&a, &b, &scheme, cfg, &m).score)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fastlsa-k8", n), &n, |bch, _| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                let cfg = FastLsaConfig::new(8, 1 << 16);
+                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

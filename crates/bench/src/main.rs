@@ -1,0 +1,118 @@
+//! `paper` — regenerates every table and figure of the FastLSA paper's
+//! evaluation (experiment index in DESIGN.md §4, results in
+//! EXPERIMENTS.md).
+//!
+//! ```text
+//! paper <experiment> [--max-len N] [--full]
+//! paper all
+//! ```
+
+use flsa_bench::experiments::{self, ExpOptions};
+
+const HELP: &str = "\
+paper - regenerate the FastLSA paper's tables and figures
+
+USAGE:
+    paper <experiment> [--max-len N] [--full]
+
+EXPERIMENTS:
+    example      E1  worked example (Table 1 / Figure 1, score 82)
+    table2       E2  analytical space/ops comparison, formulas vs measured
+    table3       E3  workload suite (Table 3 stand-in)
+    seqtime      E4  sequential timing across the suite
+    ksweep       E5  FastLSA time/recomputation vs k
+    memory       E6  peak memory vs problem size
+    speedup      E7  parallel speedup vs P (schedule replay)
+    efficiency   E8  parallel efficiency vs problem size
+    phases       E9  three-phase wavefront census + Theorem 4 alpha
+    cache        E10 simulated cache hierarchy comparison
+    theorems     E11 executable Theorem 1-4 bound checks
+    basesweep    E12 ablation: runtime vs base-case buffer size
+    tilesweep    E13 ablation: speedup vs tile subdivision factor
+    commsweep    E14 ablation: speedup vs communication cost
+    all              everything above
+
+OPTIONS:
+    --max-len N   cap workload ancestor length (default 16000)
+    --full        include the slow, large configurations
+    --out DIR     also write each report to DIR/<experiment>.txt
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExpOptions::default();
+    let mut command = String::new();
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--max-len" => {
+                let v = it.next().expect("--max-len requires a value");
+                opts.max_len = v.parse().expect("--max-len must be an integer");
+            }
+            "--full" => opts.full = true,
+            "--out" => {
+                out_dir = Some(it.next().expect("--out requires a directory").clone());
+            }
+            other if command.is_empty() => command = other.to_string(),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+    let save = |name: &str, report: &str| {
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{name}.txt");
+            std::fs::write(&path, report).expect("write report file");
+        }
+    };
+
+    let run = |name: &str| -> Option<String> {
+        match name {
+            "example" => Some(experiments::example()),
+            "table2" => Some(experiments::table2(opts)),
+            "table3" => Some(experiments::table3()),
+            "seqtime" => Some(experiments::seqtime(opts)),
+            "ksweep" => Some(experiments::ksweep(opts)),
+            "memory" => Some(experiments::memory(opts)),
+            "speedup" => Some(experiments::speedup(opts)),
+            "efficiency" => Some(experiments::efficiency(opts)),
+            "phases" => Some(experiments::phases()),
+            "cache" => Some(experiments::cache(opts)),
+            "theorems" => Some(experiments::theorems(opts)),
+            "basesweep" => Some(experiments::basesweep(opts)),
+            "tilesweep" => Some(experiments::tilesweep(opts)),
+            "commsweep" => Some(experiments::commsweep(opts)),
+            _ => None,
+        }
+    };
+
+    match command.as_str() {
+        "" | "help" => print!("{HELP}"),
+        "all" => {
+            for name in [
+                "example", "table2", "table3", "seqtime", "ksweep", "memory", "speedup",
+                "efficiency", "phases", "cache", "theorems", "basesweep", "tilesweep", "commsweep",
+            ] {
+                println!("================================================================");
+                let report = run(name).unwrap();
+                save(name, &report);
+                println!("{report}");
+            }
+        }
+        other => match run(other) {
+            Some(report) => {
+                save(other, &report);
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment {other:?}; try `paper help`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,277 @@
+//! Set-associative LRU caches and a two-level hierarchy.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Ways per set.
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// A typical 32 KiB, 64 B-line, 8-way L1 data cache.
+    pub const L1: CacheConfig = CacheConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8 };
+    /// A typical 1 MiB, 64 B-line, 16-way L2 cache.
+    pub const L2: CacheConfig = CacheConfig { size_bytes: 1 << 20, line_bytes: 64, assoc: 16 };
+
+    fn sets(&self) -> usize {
+        self.size_bytes / self.line_bytes / self.assoc
+    }
+}
+
+/// Hit/miss counters of one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses reaching this level.
+    pub accesses: u64,
+    /// Misses at this level.
+    pub misses: u64,
+    /// Dirty lines evicted (write-back traffic toward the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss fraction (0 when never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative LRU cache level.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    line_shift: u32,
+    set_mask: u64,
+    /// `tags[set * assoc + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    /// Dirty bits parallel to `tags` (write-back policy).
+    dirty: Vec<bool>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when sizes are not powers of two or the geometry is
+    /// inconsistent.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.size_bytes.is_power_of_two(), "cache size must be a power of two");
+        let sets = config.sets();
+        assert!(sets >= 1 && sets.is_power_of_two(), "sets must be a power of two");
+        Cache {
+            config,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            tags: vec![u64::MAX; sets * config.assoc],
+            stamps: vec![0; sets * config.assoc],
+            dirty: vec![false; sets * config.assoc],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Read access to one byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.access_rw(addr, false)
+    }
+
+    /// Read (`write = false`) or write (`write = true`) access.
+    /// Write-allocate + write-back: writes mark the line dirty; evicting
+    /// a dirty line counts one write-back toward the next level.
+    pub fn access_rw(&mut self, addr: u64, write: bool) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.config.assoc;
+        let ways = &self.tags[base..base + self.config.assoc];
+        if let Some(way) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + way] = self.clock;
+            self.dirty[base + way] |= write;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Evict the LRU way, writing it back if dirty.
+        let victim = (0..self.config.assoc)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("assoc >= 1");
+        if self.dirty[base + victim] && self.tags[base + victim] != u64::MAX {
+            self.stats.writebacks += 1;
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        self.dirty[base + victim] = write;
+        false
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+}
+
+/// Per-level counters of a hierarchy access run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelStats {
+    /// L1 counters.
+    pub l1: CacheStats,
+    /// L2 counters (accesses = L1 misses).
+    pub l2: CacheStats,
+}
+
+/// A two-level cache hierarchy with an AMAT cycle model.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    /// Cycles for an L1 hit / L2 hit / memory access.
+    pub latencies: (u64, u64, u64),
+}
+
+impl Hierarchy {
+    /// L1 + L2 with conventional latencies (4 / 14 / 120 cycles).
+    pub fn typical() -> Self {
+        Hierarchy::new(CacheConfig::L1, CacheConfig::L2, (4, 14, 120))
+    }
+
+    /// Builds a hierarchy with explicit geometry and latencies.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, latencies: (u64, u64, u64)) -> Self {
+        Hierarchy { l1: Cache::new(l1), l2: Cache::new(l2), latencies }
+    }
+
+    /// Read access through the hierarchy.
+    #[inline]
+    pub fn access(&mut self, addr: u64) {
+        self.access_rw(addr, false)
+    }
+
+    /// Read or write access through the hierarchy. Writes dirty the L1
+    /// line; L1 write-backs dirty L2 (modelled as a write access there).
+    #[inline]
+    pub fn access_rw(&mut self, addr: u64, write: bool) {
+        let l1_wb_before = self.l1.stats().writebacks;
+        if !self.l1.access_rw(addr, write) {
+            // The L1 miss fetches from L2. Mark the L2 line dirty when
+            // the miss also evicted a dirty L1 line (its contents land in
+            // L2 — a simplification that keeps one L2 access per miss).
+            let l1_evicted_dirty = self.l1.stats().writebacks > l1_wb_before;
+            self.l2.access_rw(addr, l1_evicted_dirty);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LevelStats {
+        LevelStats { l1: self.l1.stats(), l2: self.l2.stats() }
+    }
+
+    /// Estimated cycles under the AMAT model: every access pays the L1
+    /// latency, L1 misses add the L2 latency, L2 misses add memory, and
+    /// dirty L2 evictions add memory write traffic (half-latency: writes
+    /// are buffered but still consume bandwidth).
+    pub fn estimated_cycles(&self) -> u64 {
+        let s = self.stats();
+        let (t1, t2, tm) = self.latencies;
+        s.l1.accesses * t1 + s.l2.accesses * t2 + s.l2.misses * tm + s.l2.writebacks * tm / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16-byte lines = 128 bytes.
+        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2 })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(15)); // same line
+        assert!(!c.access(16)); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (stride = sets * line = 64).
+        c.access(0);
+        c.access(64);
+        c.access(0); // refresh line 0
+        c.access(128); // evicts line 64 (LRU)
+        assert!(c.access(0), "line 0 must survive");
+        assert!(!c.access(64), "line 64 was evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_stays_resident() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, assoc: 4 });
+        // Touch 1024 bytes twice: second pass must be all hits.
+        for addr in (0..1024).step_by(4) {
+            c.access(addr);
+        }
+        let misses_after_first = c.stats().misses;
+        assert_eq!(misses_after_first, 16); // one per line
+        for addr in (0..1024).step_by(4) {
+            assert!(c.access(addr), "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, assoc: 4 });
+        // Stream 64 KiB repeatedly: every line access misses on each pass.
+        for _ in 0..2 {
+            for addr in (0..65536).step_by(64) {
+                c.access(addr);
+            }
+        }
+        assert_eq!(c.stats().misses, 2048, "LRU streaming working set > capacity");
+    }
+
+    #[test]
+    fn hierarchy_counts_and_cycles() {
+        let mut h = Hierarchy::new(
+            CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2 },
+            CacheConfig { size_bytes: 1024, line_bytes: 16, assoc: 4 },
+            (1, 10, 100),
+        );
+        h.access(0); // L1 miss, L2 miss, mem
+        h.access(0); // L1 hit
+        let s = h.stats();
+        assert_eq!(s.l1.accesses, 2);
+        assert_eq!(s.l1.misses, 1);
+        assert_eq!(s.l2.accesses, 1);
+        assert_eq!(s.l2.misses, 1);
+        assert_eq!(h.estimated_cycles(), 2 + 10 + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Cache::new(CacheConfig { size_bytes: 100, line_bytes: 64, assoc: 2 });
+    }
+}

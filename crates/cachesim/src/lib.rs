@@ -1,0 +1,21 @@
+//! Cache simulation substrate (experiment E10).
+//!
+//! The paper's §4 claim — "in practice, due to memory caching effects,
+//! FastLSA is always as fast or faster than Hirschberg and the FM
+//! algorithms" — depends on the memory hierarchy of the testbed. This
+//! crate reproduces that argument quantitatively on any machine: a
+//! set-associative LRU [`cache::Cache`] hierarchy is driven by the memory
+//! *access traces* of each algorithm's FindScore/FindPath phases, and an
+//! average-memory-access-time model converts hit/miss counts into
+//! estimated cycles.
+//!
+//! The traces model exactly the DPM-entry traffic (reads of the three
+//! predecessor entries, the write of the computed entry, buffer reuse
+//! across recursion) and ignore sequence-residue reads, which are O(m+n)
+//! streaming and identical across algorithms.
+
+pub mod cache;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Hierarchy, LevelStats};
+pub use trace::{trace_fastlsa, trace_fm, trace_hirschberg, TraceReport};

@@ -1,0 +1,312 @@
+//! Memory-access traces of the three algorithm families.
+//!
+//! Each tracer replays the DPM-entry traffic of one algorithm through a
+//! [`Hierarchy`]. The per-cell access pattern is the one the real kernels
+//! have: the diagonal and left inputs live in registers, so a fill touches
+//! memory twice per cell (read the up-neighbour, write the result); a
+//! traceback touches four entries per step.
+//!
+//! Two simplifications, both documented here and in DESIGN.md:
+//!
+//! * the optimal path is approximated by the main diagonal (for the
+//!   homologous pairs of the workload suite the true path hugs the
+//!   diagonal), so FastLSA recurses on the `k` diagonal blocks rather
+//!   than a data-dependent `≤ 2k−1` of them, and Hirschberg splits at
+//!   `n/2`;
+//! * sequence-residue reads are omitted (O(m+n) streaming, identical
+//!   across algorithms).
+//!
+//! Address layout mirrors the real allocators: Hirschberg and the
+//! FastLSA fill share *reused* rolling-row scratch, FastLSA's base-case
+//! buffer is one fixed region (the paper's point: size `BM` to fit the
+//! cache), grid lines are stacked per recursion level.
+
+use crate::cache::{Hierarchy, LevelStats};
+
+/// Entry size in bytes (the paper assumes 4-byte DPM entries).
+const E: u64 = 4;
+
+/// Outcome of one traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Problem size.
+    pub m: usize,
+    /// Problem size.
+    pub n: usize,
+    /// DPM cells the algorithm computed.
+    pub cells: u64,
+    /// Cache counters.
+    pub stats: LevelStats,
+    /// AMAT-model cycle estimate.
+    pub cycles: u64,
+}
+
+impl TraceReport {
+    /// Estimated cycles per *input* cell (`m·n`), the paper-style
+    /// normalized runtime.
+    pub fn cycles_per_input_cell(&self) -> f64 {
+        self.cycles as f64 / (self.m as f64 * self.n as f64)
+    }
+}
+
+fn report(
+    algorithm: &'static str,
+    m: usize,
+    n: usize,
+    cells: u64,
+    h: &Hierarchy,
+) -> TraceReport {
+    TraceReport { algorithm, m, n, cells, stats: h.stats(), cycles: h.estimated_cycles() }
+}
+
+/// Fills a rectangle whose rows live at `row_addr(i)`: two accesses per
+/// cell (read up-neighbour, write result).
+fn fill_rect(h: &mut Hierarchy, rows: usize, cols: usize, row_addr: impl Fn(usize) -> u64) -> u64 {
+    for i in 1..=rows {
+        let up_row = row_addr(i - 1);
+        let cur_row = row_addr(i);
+        for j in 1..=cols {
+            h.access(up_row + j as u64 * E);
+            h.access_rw(cur_row + j as u64 * E, true);
+        }
+    }
+    rows as u64 * cols as u64
+}
+
+/// Diagonal-walk traceback over a matrix whose rows live at `row_addr(i)`:
+/// four reads per step.
+fn trace_diag(h: &mut Hierarchy, rows: usize, cols: usize, row_addr: impl Fn(usize) -> u64) {
+    let (mut i, mut j) = (rows, cols);
+    while i > 0 && j > 0 {
+        h.access(row_addr(i) + j as u64 * E);
+        h.access(row_addr(i - 1) + (j - 1) as u64 * E);
+        h.access(row_addr(i - 1) + j as u64 * E);
+        h.access(row_addr(i) + (j - 1) as u64 * E);
+        i -= 1;
+        j -= 1;
+    }
+}
+
+/// Full-matrix algorithm: fill the whole `(m+1)×(n+1)` matrix in place,
+/// then trace back through it.
+pub fn trace_fm(m: usize, n: usize, mut h: Hierarchy) -> TraceReport {
+    let w = (n + 1) as u64 * E;
+    let cells = fill_rect(&mut h, m, n, |i| i as u64 * w);
+    trace_diag(&mut h, m, n, |i| i as u64 * w);
+    report("full-matrix", m, n, cells, &h)
+}
+
+/// Hirschberg: rolling-row fills over the recursion (diagonal split
+/// assumption), with tiny FM base cases in a reused buffer.
+pub fn trace_hirschberg(m: usize, n: usize, base_cells: usize, mut h: Hierarchy) -> TraceReport {
+    // Region 0: the two rolling rows (reused). Region 1: base-case buffer.
+    let roll = 0u64;
+    let base = 16 << 20; // far from the rolling rows
+    let mut cells = 0u64;
+
+    fn rec(
+        m: usize,
+        n: usize,
+        base_cells: usize,
+        h: &mut Hierarchy,
+        roll: u64,
+        base: u64,
+        cells: &mut u64,
+    ) {
+        if m == 0 || n == 0 {
+            return;
+        }
+        if m == 1 || (m + 1) * (n + 1) <= base_cells {
+            let w = (n + 1) as u64 * E;
+            *cells += fill_rect(h, m, n, |i| base + i as u64 * w);
+            trace_diag(h, m, n, |i| base + i as u64 * w);
+            return;
+        }
+        let mid = m / 2;
+        // Forward + backward last-row scans over the whole width, both in
+        // the same rolling buffer (two rows).
+        *cells += fill_rect(h, mid, n, |i| roll + (i % 2) as u64 * ((n + 1) as u64 * E));
+        *cells += fill_rect(h, m - mid, n, |i| roll + (i % 2) as u64 * ((n + 1) as u64 * E));
+        let split = n / 2; // diagonal assumption
+        rec(mid, split, base_cells, h, roll, base, cells);
+        rec(m - mid, n - split, base_cells, h, roll, base, cells);
+    }
+    rec(m, n, base_cells, &mut h, roll, base, &mut cells);
+    report("hirschberg", m, n, cells, &h)
+}
+
+/// FastLSA: grid fills with a rolling row (reused scratch), grid-line
+/// writes (stacked per level), FM base cases in the one reserved buffer.
+pub fn trace_fastlsa(m: usize, n: usize, k: usize, base_cells: usize, mut h: Hierarchy) -> TraceReport {
+    assert!(k >= 2);
+    let roll = 0u64;
+    let base = 16 << 20;
+    let mut grid_top = 32u64 << 20; // bump allocator for grid lines
+    let mut cells = 0u64;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        m: usize,
+        n: usize,
+        k: usize,
+        base_cells: usize,
+        h: &mut Hierarchy,
+        roll: u64,
+        base: u64,
+        grid_top: &mut u64,
+        cells: &mut u64,
+    ) {
+        if m == 0 || n == 0 {
+            return;
+        }
+        if (m + 1) * (n + 1) <= base_cells || m < 2 || n < 2 {
+            let w = (n + 1) as u64 * E;
+            *cells += fill_rect(h, m, n, |i| base + i as u64 * w);
+            trace_diag(h, m, n, |i| base + i as u64 * w);
+            return;
+        }
+        let k_r = k.min(m);
+        let k_c = k.min(n);
+        // Allocate this level's grid lines.
+        let rows_region = *grid_top;
+        let row_bytes = (n + 1) as u64 * E;
+        let cols_region = rows_region + (k_r as u64 - 1) * row_bytes;
+        let col_bytes = (m + 1) as u64 * E;
+        let saved_top = *grid_top;
+        *grid_top = cols_region + (k_c as u64 - 1) * col_bytes;
+
+        // Fill every block except the bottom-right one: rolling row in the
+        // shared scratch, plus grid-line writes on block edges.
+        let rb: Vec<usize> = (0..=k_r).map(|i| m * i / k_r).collect();
+        let cb: Vec<usize> = (0..=k_c).map(|i| n * i / k_c).collect();
+        for s in 0..k_r {
+            for t in 0..k_c {
+                if s == k_r - 1 && t == k_c - 1 {
+                    continue;
+                }
+                let bm = rb[s + 1] - rb[s];
+                let bn = cb[t + 1] - cb[t];
+                *cells += fill_rect(h, bm, bn, |i| {
+                    roll + (i % 2) as u64 * ((n + 1) as u64 * E)
+                });
+                // Bottom-row write-out to the grid row region.
+                if s + 1 < k_r {
+                    let row_addr = rows_region + s as u64 * row_bytes;
+                    for j in cb[t]..=cb[t + 1] {
+                        h.access_rw(row_addr + j as u64 * E, true);
+                    }
+                }
+                // Right-column write-out to the grid column region.
+                if t + 1 < k_c {
+                    let col_addr = cols_region + t as u64 * col_bytes;
+                    for i in rb[s]..=rb[s + 1] {
+                        h.access_rw(col_addr + i as u64 * E, true);
+                    }
+                }
+            }
+        }
+        // Diagonal-path assumption: recurse on the k diagonal blocks,
+        // bottom-right first.
+        for d in (0..k_r.min(k_c)).rev() {
+            let s = k_r - 1 - (k_r.min(k_c) - 1 - d);
+            let t = k_c - 1 - (k_c.min(k_r) - 1 - d);
+            rec(rb[s + 1] - rb[s], cb[t + 1] - cb[t], k, base_cells, h, roll, base, grid_top, cells);
+        }
+        *grid_top = saved_top;
+    }
+    rec(m, n, k, base_cells, &mut h, roll, base, &mut grid_top, &mut cells);
+    report("fastlsa", m, n, cells, &h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Hierarchy;
+
+    #[test]
+    fn fm_computes_exactly_mn_cells() {
+        let r = trace_fm(200, 300, Hierarchy::typical());
+        assert_eq!(r.cells, 200 * 300);
+        assert_eq!(r.stats.l1.accesses, 2 * 200 * 300 + 4 * 200);
+    }
+
+    #[test]
+    fn hirschberg_computes_about_2mn_cells() {
+        let r = trace_hirschberg(512, 512, 256, Hierarchy::typical());
+        let factor = r.cells as f64 / (512.0 * 512.0);
+        assert!((1.6..=2.05).contains(&factor), "factor {factor}");
+    }
+
+    #[test]
+    fn fastlsa_cells_between_fm_and_hirschberg() {
+        let fm = trace_fm(512, 512, Hierarchy::typical());
+        let fl = trace_fastlsa(512, 512, 8, 64 * 64, Hierarchy::typical());
+        let hb = trace_hirschberg(512, 512, 64 * 64, Hierarchy::typical());
+        assert!(fl.cells >= fm.cells);
+        assert!(fl.cells <= hb.cells, "fastlsa {} vs hirschberg {}", fl.cells, hb.cells);
+    }
+
+    #[test]
+    fn rolling_buffers_hit_cache_where_fm_thrashes() {
+        // At a size whose matrix far exceeds L2 (1 MiB), the FM fill
+        // misses on every matrix line while Hirschberg's rolling rows and
+        // FastLSA's cache-sized base cases mostly hit.
+        let n = 1500; // matrix ~9 MB; rolling rows ~6 KB
+        let fm = trace_fm(n, n, Hierarchy::typical());
+        let hb = trace_hirschberg(n, n, 1 << 10, Hierarchy::typical());
+        let fl = trace_fastlsa(n, n, 8, 1 << 14, Hierarchy::typical());
+        assert!(
+            fm.stats.l2.miss_rate() > 0.5,
+            "FM should thrash L2: {}",
+            fm.stats.l2.miss_rate()
+        );
+        assert!(hb.stats.l1.miss_rate() < 0.10, "hirschberg L1 {}", hb.stats.l1.miss_rate());
+        assert!(fl.stats.l1.miss_rate() < 0.15, "fastlsa L1 {}", fl.stats.l1.miss_rate());
+    }
+
+    #[test]
+    fn fastlsa_cycles_at_most_both_baselines_at_scale() {
+        // The paper's §4 headline, reproduced in cycle estimates.
+        let n = 1500;
+        let fm = trace_fm(n, n, Hierarchy::typical());
+        let hb = trace_hirschberg(n, n, 1 << 12, Hierarchy::typical());
+        let fl = trace_fastlsa(n, n, 8, 1 << 16, Hierarchy::typical());
+        assert!(
+            fl.cycles <= fm.cycles,
+            "fastlsa {} cycles vs fm {}",
+            fl.cycles,
+            fm.cycles
+        );
+        assert!(
+            fl.cycles <= hb.cycles,
+            "fastlsa {} cycles vs hirschberg {}",
+            fl.cycles,
+            hb.cycles
+        );
+    }
+
+    #[test]
+    fn fm_generates_far_more_writeback_traffic() {
+        // FM dirties its whole O(m*n) matrix; the rolling-row algorithms
+        // dirty a few KiB repeatedly. Write-back counts make the memory-
+        // traffic asymmetry visible even when miss *rates* look similar.
+        let n = 1200;
+        let fm = trace_fm(n, n, Hierarchy::typical());
+        let hb = trace_hirschberg(n, n, 1 << 10, Hierarchy::typical());
+        assert!(
+            fm.stats.l2.writebacks > 10 * hb.stats.l2.writebacks.max(1),
+            "fm {} vs hirschberg {}",
+            fm.stats.l2.writebacks,
+            hb.stats.l2.writebacks
+        );
+    }
+
+    #[test]
+    fn small_problems_fit_cache_for_everyone() {
+        let r = trace_fm(50, 50, Hierarchy::typical());
+        // 10 KB matrix: almost everything hits L1 after the first touch.
+        assert!(r.stats.l1.miss_rate() < 0.15, "{}", r.stats.l1.miss_rate());
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal dependency-free argument parsing for the `flsa` binary.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, `--key value` options, `--flag`
+/// switches, and positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// First non-option token.
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+}
+
+/// Option keys that take a value (everything else starting with `--` is a
+/// switch).
+const VALUED: &[&str] = &[
+    "algo", "matrix", "matrix-file", "gap", "gap-open", "gap-extend", "k", "base-cells",
+    "threads", "tiles", "kind", "len", "identity", "seed", "out", "memory", "width", "band",
+];
+
+/// Parses `argv[1..]`.
+pub fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter().peekable();
+    while let Some(tok) = it.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            if VALUED.contains(&name) {
+                let val = it
+                    .next()
+                    .ok_or_else(|| format!("option --{name} requires a value"))?;
+                args.options.insert(name.to_string(), val.clone());
+            } else {
+                args.flags.push(name.to_string());
+            }
+        } else if let Some(name) = tok.strip_prefix('-') {
+            // Short forms: -k N, -o FILE.
+            match name {
+                "k" => {
+                    let val = it.next().ok_or("option -k requires a value")?;
+                    args.options.insert("k".to_string(), val.clone());
+                }
+                "o" => {
+                    let val = it.next().ok_or("option -o requires a value")?;
+                    args.options.insert("out".to_string(), val.clone());
+                }
+                _ => return Err(format!("unknown option -{name}")),
+            }
+        } else if args.command.is_empty() {
+            args.command = tok.clone();
+        } else {
+            args.positional.push(tok.clone());
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// A `--key` value parsed as `T`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for --{key}")),
+        }
+    }
+
+    /// A `--key` string value, or `default`.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// True when `--flag` was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_positionals() {
+        let a = parse(&argv("align --algo fastlsa -k 8 --stats a.fa b.fa")).unwrap();
+        assert_eq!(a.command, "align");
+        assert_eq!(a.str_or("algo", "x"), "fastlsa");
+        assert_eq!(a.get_or("k", 2usize).unwrap(), 8);
+        assert!(a.has_flag("stats"));
+        assert_eq!(a.positional, vec!["a.fa", "b.fa"]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv("align --algo")).is_err());
+    }
+
+    #[test]
+    fn invalid_numeric_value_is_an_error() {
+        let a = parse(&argv("align -k banana")).unwrap();
+        assert!(a.get_or("k", 2usize).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&argv("align")).unwrap();
+        assert_eq!(a.get_or("threads", 1usize).unwrap(), 1);
+        assert_eq!(a.str_or("matrix", "dna"), "dna");
+        assert!(!a.has_flag("stats"));
+    }
+
+    #[test]
+    fn unknown_short_option_rejected() {
+        assert!(parse(&argv("align -z 3")).is_err());
+    }
+}

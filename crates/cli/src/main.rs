@@ -1,0 +1,314 @@
+//! `flsa` — command-line front end for the FastLSA alignment library.
+//!
+//! ```text
+//! flsa align [options] A.fasta B.fasta     align two sequences
+//! flsa gen   [options]                     generate a synthetic homologous pair
+//! flsa info                                list matrices and the workload suite
+//! ```
+//!
+//! Run `flsa help` for the full option list.
+
+mod args;
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fastlsa_core::{FastLsaConfig, ParallelConfig};
+use flsa_dp::{Alignment, Metrics};
+use flsa_scoring::{tables, GapModel, ScoringScheme};
+use flsa_seq::{fasta, generate, Alphabet, Sequence};
+
+const HELP: &str = "\
+flsa - FastLSA sequence alignment (Driga et al., ICPP 2003)
+
+USAGE:
+    flsa align [options] A.fasta [B.fasta]
+    flsa msa   [options] FAMILY.fasta       center-star multiple alignment
+    flsa gen   [options]
+    flsa info
+    flsa help
+
+ALIGN OPTIONS:
+    --algo ALGO        fastlsa (default) | nw | nw-packed | hirschberg | sw
+                       | banded | gotoh | mm-affine | fastlsa-affine | fit | overlap
+    --matrix NAME      dna (default) | blosum62 | pam250 | identity | paper
+    --matrix-file F    load an NCBI-format matrix file instead
+    --gap N            linear gap penalty (default -10)
+    --gap-open N       affine gap open (gotoh/mm-affine; default -10)
+    --gap-extend N     affine gap extend (gotoh/mm-affine; default -2)
+    --band W           band half-width for --algo banded (default 32)
+    -k, --k N          FastLSA grid division factor (default 8)
+    --base-cells N     FastLSA base-case buffer, DPM entries (default 1Mi)
+    --memory BYTES     derive k/base-cells from a memory budget instead
+    --threads P        parallel FastLSA with P threads (default 1)
+    --tiles F          tiles per grid block per dimension (default auto)
+    --stats            print cells/memory/time metrics
+    --quiet            suppress the alignment rendering
+    --width N          alignment rendering width (default 60)
+
+GEN OPTIONS:
+    --kind dna|protein (default dna)
+    --len N            ancestor length (default 1000)
+    --identity F       target identity 0..1 (default 0.85)
+    --seed N           RNG seed (default 42)
+    -o, --out FILE     output FASTA (default stdout)
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("flsa: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let parsed = args::parse(argv)?;
+    match parsed.command.as_str() {
+        "align" => cmd_align(&parsed),
+        "msa" => cmd_msa(&parsed),
+        "gen" => cmd_gen(&parsed),
+        "info" => cmd_info(),
+        "" | "help" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `flsa help`")),
+    }
+}
+
+fn scheme_for(name: &str, gap: i32) -> Result<ScoringScheme, String> {
+    let matrix = match name {
+        "dna" => tables::dna_default(),
+        "blosum62" => tables::blosum62(),
+        "pam250" => tables::pam250(),
+        "identity" => tables::identity(Alphabet::dna()),
+        "paper" => tables::mdm_fragment(),
+        other => return Err(format!("unknown matrix {other:?}")),
+    };
+    Ok(ScoringScheme::new(matrix, GapModel::linear(gap)))
+}
+
+fn load_pair(paths: &[String], alphabet: &Alphabet) -> Result<(Sequence, Sequence), String> {
+    match paths {
+        [one] => {
+            let recs = fasta::read_file(one, alphabet).map_err(|e| e.to_string())?;
+            if recs.len() < 2 {
+                return Err(format!("{one} holds {} record(s); need two", recs.len()));
+            }
+            let mut it = recs.into_iter();
+            Ok((it.next().unwrap(), it.next().unwrap()))
+        }
+        [a, b] => {
+            let ra = fasta::read_file(a, alphabet).map_err(|e| e.to_string())?;
+            let rb = fasta::read_file(b, alphabet).map_err(|e| e.to_string())?;
+            let sa = ra.into_iter().next().ok_or_else(|| format!("{a} is empty"))?;
+            let sb = rb.into_iter().next().ok_or_else(|| format!("{b} is empty"))?;
+            Ok((sa, sb))
+        }
+        _ => Err("align needs one FASTA with two records, or two FASTA files".to_string()),
+    }
+}
+
+fn cmd_align(a: &args::Args) -> Result<(), String> {
+    let gap: i32 = a.get_or("gap", -10)?;
+    let scheme = if let Some(path) = a.options.get("matrix-file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let matrix = flsa_scoring::parse_ncbi(path, &text).map_err(|e| format!("{path}: {e}"))?;
+        ScoringScheme::new(matrix, GapModel::linear(gap))
+    } else {
+        scheme_for(a.str_or("matrix", "dna"), gap)?
+    };
+    let (sa, sb) = load_pair(&a.positional, scheme.alphabet())?;
+
+    let algo = a.str_or("algo", "fastlsa");
+    let metrics = Metrics::new();
+    let start = Instant::now();
+
+    let (score, path) = match algo {
+        "fastlsa" => {
+            let mut cfg = if let Some(mem) = a.options.get("memory") {
+                let bytes: usize = mem
+                    .parse()
+                    .map_err(|_| format!("invalid --memory value {mem:?}"))?;
+                FastLsaConfig::for_memory(bytes, sa.len(), sb.len())
+            } else {
+                FastLsaConfig::new(a.get_or("k", 8)?, a.get_or("base-cells", 1usize << 20)?)
+            };
+            let threads: usize = a.get_or("threads", 1)?;
+            if threads > 1 {
+                let tiles = a.get_or("tiles", 0usize)?;
+                cfg = if tiles > 0 {
+                    cfg.with_parallel(ParallelConfig { threads, tiles_per_block: tiles })
+                } else {
+                    cfg.with_threads(threads)
+                };
+            }
+            let r = fastlsa_core::align_with(&sa, &sb, &scheme, cfg, &metrics);
+            (r.score, Some(r.path))
+        }
+        "nw" => {
+            let r = flsa_fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics);
+            (r.score, Some(r.path))
+        }
+        "nw-packed" => {
+            let r = flsa_fullmatrix::needleman_wunsch_packed(&sa, &sb, &scheme, &metrics);
+            (r.score, Some(r.path))
+        }
+        "hirschberg" => {
+            let r = flsa_hirschberg::hirschberg(&sa, &sb, &scheme, &metrics);
+            (r.score, Some(r.path))
+        }
+        "banded" => {
+            let w: usize = a.get_or("band", 32)?;
+            let r = flsa_fullmatrix::banded_needleman_wunsch(&sa, &sb, &scheme, w, &metrics);
+            (r.score, Some(r.path))
+        }
+        "gotoh" | "mm-affine" | "fastlsa-affine" => {
+            let open: i32 = a.get_or("gap-open", -10)?;
+            let extend: i32 = a.get_or("gap-extend", -2)?;
+            let affine = ScoringScheme::new(
+                scheme.matrix().clone(),
+                GapModel::affine(open, extend),
+            );
+            let r = match algo {
+                "gotoh" => flsa_fullmatrix::gotoh(&sa, &sb, &affine, &metrics),
+                "mm-affine" => flsa_hirschberg::myers_miller_affine(&sa, &sb, &affine, &metrics),
+                _ => {
+                    let cfg = FastLsaConfig::new(
+                        a.get_or("k", 8)?,
+                        a.get_or("base-cells", 1usize << 20)?,
+                    );
+                    fastlsa_core::align_affine(&sa, &sb, &affine, cfg, &metrics)
+                }
+            };
+            (r.score, Some(r.path))
+        }
+        "fit" => {
+            let r = flsa_fullmatrix::semiglobal(
+                &sa, &sb, &scheme, flsa_fullmatrix::EndsFree::FIT_A_IN_B, &metrics,
+            );
+            (r.score, Some(r.path))
+        }
+        "overlap" => {
+            let r = flsa_fullmatrix::semiglobal(
+                &sa, &sb, &scheme, flsa_fullmatrix::EndsFree::OVERLAP_A_THEN_B, &metrics,
+            );
+            (r.score, Some(r.path))
+        }
+        "sw" => {
+            let r = flsa_fullmatrix::smith_waterman(&sa, &sb, &scheme, &metrics);
+            println!(
+                "local score {} over {}[{:?}] x {}[{:?}]",
+                r.score,
+                sa.id(),
+                r.a_range(),
+                sb.id(),
+                r.b_range()
+            );
+            (r.score, None)
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    let elapsed = start.elapsed();
+
+    println!("score {score}   ({} x {} residues, {algo})", sa.len(), sb.len());
+    if let Some(path) = &path {
+        if !a.has_flag("quiet") {
+            let al = Alignment::from_path(&sa, &sb, path, &scheme);
+            println!("identity {:.1}%", al.identity() * 100.0);
+            print!("{al}");
+        }
+    }
+    if a.has_flag("stats") {
+        let s = metrics.snapshot();
+        println!("time            {:?}", elapsed);
+        println!("cells computed  {}", s.cells_computed);
+        println!("cell factor     {:.3}", s.cell_factor(sa.len(), sb.len()));
+        println!("traceback steps {}", s.traceback_steps);
+        println!("peak aux memory {} bytes", s.peak_bytes);
+    }
+    Ok(())
+}
+
+fn cmd_msa(a: &args::Args) -> Result<(), String> {
+    let gap: i32 = a.get_or("gap", -10)?;
+    let scheme = scheme_for(a.str_or("matrix", "dna"), gap)?;
+    let [path] = &a.positional[..] else {
+        return Err("msa needs exactly one FASTA file with the family".to_string());
+    };
+    let seqs = fasta::read_file(path, scheme.alphabet()).map_err(|e| e.to_string())?;
+    let cfg = FastLsaConfig::new(a.get_or("k", 8)?, a.get_or("base-cells", 1usize << 20)?);
+    let metrics = Metrics::new();
+    let start = Instant::now();
+    let result =
+        flsa_msa::center_star(&seqs, &scheme, cfg, &metrics).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    println!(
+        "{} sequences, {} columns, center {}, conservation {:.1}%, sum-of-pairs {}",
+        result.msa.num_rows(),
+        result.msa.num_cols(),
+        seqs[result.center].id(),
+        result.msa.conservation() * 100.0,
+        result.msa.sum_of_pairs(&scheme)
+    );
+    if !a.has_flag("quiet") {
+        print!("{}", result.msa);
+    }
+    if a.has_flag("stats") {
+        let s = metrics.snapshot();
+        println!("time            {elapsed:?}");
+        println!("cells computed  {}", s.cells_computed);
+        println!("peak aux memory {} bytes", s.peak_bytes);
+    }
+    Ok(())
+}
+
+fn cmd_gen(a: &args::Args) -> Result<(), String> {
+    let kind = a.str_or("kind", "dna");
+    let alphabet = match kind {
+        "dna" => Alphabet::dna(),
+        "protein" => Alphabet::protein(),
+        other => return Err(format!("unknown kind {other:?}")),
+    };
+    let len: usize = a.get_or("len", 1000)?;
+    let identity: f64 = a.get_or("identity", 0.85)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let (sa, sb) = generate::homologous_pair("pair", &alphabet, len, identity, seed)
+        .map_err(|e| e.to_string())?;
+    let text = fasta::to_string(&[sa, sb]);
+    match a.options.get("out") {
+        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    println!("substitution matrices:");
+    for m in [
+        tables::dna_default(),
+        tables::blosum62(),
+        tables::pam250(),
+        tables::mdm_fragment(),
+    ] {
+        println!(
+            "  {:16} alphabet={} scores {}..{}",
+            m.name(),
+            m.alphabet().name(),
+            m.min_score(),
+            m.max_score()
+        );
+    }
+    println!("\nworkload suite (synthetic Table 3 stand-in):");
+    for w in flsa_seq::workload::SUITE {
+        println!(
+            "  {:12} {:?} len={} identity={:.2} seed={}",
+            w.name, w.kind, w.len, w.identity, w.seed
+        );
+    }
+    Ok(())
+}

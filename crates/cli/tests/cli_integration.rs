@@ -1,0 +1,157 @@
+//! End-to-end tests of the `flsa` binary: generate data, align it with
+//! every algorithm, and check the reports agree.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn flsa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flsa"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("flsa-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn score_line(text: &str) -> i64 {
+    text.lines()
+        .find(|l| l.starts_with("score "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no score line in:\n{text}"))
+}
+
+#[test]
+fn gen_then_align_all_global_algorithms_agree() {
+    let fa = tmp("pair.fa");
+    let out = flsa(&["gen", "--len", "300", "--seed", "5", "-o", fa.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+
+    let mut scores = Vec::new();
+    for algo in ["fastlsa", "nw", "nw-packed", "hirschberg"] {
+        let out = flsa(&["align", "--algo", algo, "--quiet", fa.to_str().unwrap()]);
+        assert!(out.status.success(), "{algo}: {out:?}");
+        scores.push(score_line(&stdout(&out)));
+    }
+    assert!(scores.windows(2).all(|w| w[0] == w[1]), "{scores:?}");
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn paper_example_via_matrix_flag() {
+    let fa = tmp("paper.fa");
+    std::fs::write(&fa, ">a\nTLDKLLKD\n>b\nTDVLKAD\n").unwrap();
+    let out = flsa(&["align", "--matrix", "paper", "--quiet", fa.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(score_line(&stdout(&out)), 82);
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn stats_flag_reports_metrics() {
+    let fa = tmp("stats.fa");
+    std::fs::write(&fa, ">a\nACGTACGT\n>b\nACGTTCGT\n").unwrap();
+    let out = flsa(&["align", "--stats", "--quiet", fa.to_str().unwrap()]);
+    let text = stdout(&out);
+    assert!(text.contains("cells computed"), "{text}");
+    assert!(text.contains("peak aux memory"), "{text}");
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn parallel_threads_give_same_score() {
+    let fa = tmp("par.fa");
+    let out = flsa(&["gen", "--len", "500", "--seed", "9", "-o", fa.to_str().unwrap()]);
+    assert!(out.status.success());
+    let s1 = score_line(&stdout(&flsa(&[
+        "align", "--quiet", "-k", "4", "--base-cells", "1024", fa.to_str().unwrap(),
+    ])));
+    let s4 = score_line(&stdout(&flsa(&[
+        "align", "--quiet", "-k", "4", "--base-cells", "1024", "--threads", "4",
+        fa.to_str().unwrap(),
+    ])));
+    assert_eq!(s1, s4);
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn custom_matrix_file_is_honoured() {
+    let fa = tmp("mat.fa");
+    std::fs::write(&fa, ">a\nAC\n>b\nAC\n").unwrap();
+    let mat = tmp("matrix.txt");
+    std::fs::write(&mat, "  A C G T\nA 9 0 0 0\nC 0 9 0 0\nG 0 0 9 0\nT 0 0 0 9\n").unwrap();
+    let out = flsa(&[
+        "align", "--matrix-file", mat.to_str().unwrap(), "--quiet", fa.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(score_line(&stdout(&out)), 18);
+    std::fs::remove_file(fa).ok();
+    std::fs::remove_file(mat).ok();
+}
+
+#[test]
+fn affine_algorithms_agree_with_each_other() {
+    let fa = tmp("affine.fa");
+    let out = flsa(&["gen", "--len", "200", "--seed", "3", "-o", fa.to_str().unwrap()]);
+    assert!(out.status.success());
+    let g = score_line(&stdout(&flsa(&[
+        "align", "--algo", "gotoh", "--gap-open", "-12", "--gap-extend", "-2", "--quiet",
+        fa.to_str().unwrap(),
+    ])));
+    let m = score_line(&stdout(&flsa(&[
+        "align", "--algo", "mm-affine", "--gap-open", "-12", "--gap-extend", "-2", "--quiet",
+        fa.to_str().unwrap(),
+    ])));
+    assert_eq!(g, m);
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn local_and_semiglobal_modes_run() {
+    let fa = tmp("modes.fa");
+    std::fs::write(&fa, ">a\nGATTACA\n>b\nCCCCGATTACACCCC\n").unwrap();
+    for algo in ["sw", "fit", "overlap", "banded"] {
+        let out = flsa(&["align", "--algo", algo, "--quiet", fa.to_str().unwrap()]);
+        assert!(out.status.success(), "{algo}: {out:?}");
+    }
+    // fit: the query embeds perfectly, 7 matches at +5.
+    let out = flsa(&["align", "--algo", "fit", "--quiet", fa.to_str().unwrap()]);
+    assert_eq!(score_line(&stdout(&out)), 35);
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn unknown_algorithm_fails_cleanly() {
+    let fa = tmp("bad.fa");
+    std::fs::write(&fa, ">a\nAC\n>b\nAC\n").unwrap();
+    let out = flsa(&["align", "--algo", "nope", fa.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn msa_subcommand_aligns_a_family() {
+    let fa = tmp("family.fa");
+    std::fs::write(&fa, ">s1\nACGTACGT\n>s2\nACGTCGT\n>s3\nACGGACGT\n>s4\nACGTACGT\n").unwrap();
+    let out = flsa(&["msa", fa.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("4 sequences"), "{text}");
+    assert!(text.contains("sum-of-pairs"), "{text}");
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn help_and_info_print() {
+    assert!(stdout(&flsa(&["help"])).contains("USAGE"));
+    assert!(stdout(&flsa(&["info"])).contains("blosum62"));
+}

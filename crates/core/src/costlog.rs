@@ -1,0 +1,96 @@
+//! Execution trace of one FastLSA run, for schedule replay.
+//!
+//! The parallel experiments (E7/E8) need the *structure* of a run — which
+//! fills happened at which sizes, how long the tracebacks were — so the
+//! virtual-processor simulator can replay it under any `P` (DESIGN.md §2:
+//! this machine has fewer cores than the paper's testbed). The sequential
+//! solver records one [`CostEvent`] per fill/traceback; replay lives in
+//! [`crate::model`].
+
+/// One recorded step of a FastLSA run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostEvent {
+    /// A Fill Cache step over an `rows × cols` rectangle split into
+    /// `k_r × k_c` blocks (bottom-right block skipped).
+    GridFill {
+        /// Rectangle rows.
+        rows: usize,
+        /// Rectangle columns.
+        cols: usize,
+        /// Block rows.
+        k_r: usize,
+        /// Block columns.
+        k_c: usize,
+    },
+    /// A Base Case full-matrix fill over an `rows × cols` rectangle.
+    BaseFill {
+        /// Rectangle rows.
+        rows: usize,
+        /// Rectangle columns.
+        cols: usize,
+    },
+    /// A traceback of `steps` moves (always sequential, as in the paper).
+    Trace {
+        /// Path moves recovered.
+        steps: u64,
+    },
+}
+
+/// The ordered event trace of one run.
+#[derive(Debug, Clone, Default)]
+pub struct CostLog {
+    /// Events in execution order.
+    pub events: Vec<CostEvent>,
+}
+
+impl CostLog {
+    /// Total DP cells filled according to the log (cross-check against
+    /// [`flsa_dp::MetricsSnapshot::cells_computed`]).
+    pub fn total_fill_cells(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match *e {
+                CostEvent::GridFill { rows, cols, k_r, k_c } => {
+                    let area = rows as u64 * cols as u64;
+                    // Bottom-right block is skipped; subtract its area.
+                    let br_rows = (rows - rows * (k_r - 1) / k_r) as u64;
+                    let br_cols = (cols - cols * (k_c - 1) / k_c) as u64;
+                    area - br_rows * br_cols
+                }
+                CostEvent::BaseFill { rows, cols } => rows as u64 * cols as u64,
+                CostEvent::Trace { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Total traceback steps.
+    pub fn total_trace_steps(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match *e {
+                CostEvent::Trace { steps } => steps,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let log = CostLog {
+            events: vec![
+                CostEvent::GridFill { rows: 10, cols: 10, k_r: 2, k_c: 2 },
+                CostEvent::BaseFill { rows: 5, cols: 5 },
+                CostEvent::Trace { steps: 7 },
+                CostEvent::Trace { steps: 3 },
+            ],
+        };
+        // GridFill: 100 - 5*5 = 75; BaseFill: 25.
+        assert_eq!(log.total_fill_cells(), 100);
+        assert_eq!(log.total_trace_steps(), 10);
+    }
+}

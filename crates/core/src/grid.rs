@@ -1,0 +1,140 @@
+//! The Grid Cache (paper §3, Figure 3c–f).
+//!
+//! In the general case FastLSA divides a rectangle into `k × k` blocks
+//! and stores the DP values along the internal grid lines: `k−1` full
+//! rows and `k−1` full columns. Together with the rectangle's input
+//! boundary these give every block its `cacheRow`/`cacheColumn`.
+
+/// Near-equal partition of `len` residues into `k` segments:
+/// `bounds[i] = ⌊len·i/k⌋`, guaranteeing each segment is non-empty when
+/// `len ≥ k`.
+pub fn partition(len: usize, k: usize) -> Vec<usize> {
+    (0..=k).map(|i| len * i / k).collect()
+}
+
+/// Locates the partition segment containing coordinate `i` (`1 ≤ i ≤ len`):
+/// returns `s` with `bounds[s] < i ≤ bounds[s+1]`.
+pub fn segment_of(bounds: &[usize], i: usize) -> usize {
+    debug_assert!(i >= 1 && i <= *bounds.last().unwrap());
+    bounds.partition_point(|&x| x < i) - 1
+}
+
+/// One recursion level's grid cache.
+#[derive(Debug)]
+pub struct Grid {
+    /// Row cut points, length `k_r + 1` (`[0, …, rows]`).
+    pub row_bounds: Vec<usize>,
+    /// Column cut points, length `k_c + 1`.
+    pub col_bounds: Vec<usize>,
+    /// `rows_cache[s]` holds the DP values along grid row
+    /// `row_bounds[s+1]`, full width (`cols + 1`); `s < k_r − 1`.
+    pub rows_cache: Vec<Vec<i32>>,
+    /// `cols_cache[t]` holds the DP values along grid column
+    /// `col_bounds[t+1]`, full height (`rows + 1`); `t < k_c − 1`.
+    pub cols_cache: Vec<Vec<i32>>,
+}
+
+impl Grid {
+    /// Allocates the grid for an `rows × cols` rectangle split into
+    /// `k_r × k_c` blocks.
+    pub fn new(rows: usize, cols: usize, k_r: usize, k_c: usize) -> Self {
+        debug_assert!(k_r >= 2 && k_c >= 2);
+        debug_assert!(rows >= k_r && cols >= k_c, "every block must be non-empty");
+        Grid {
+            row_bounds: partition(rows, k_r),
+            col_bounds: partition(cols, k_c),
+            rows_cache: vec![vec![0; cols + 1]; k_r - 1],
+            cols_cache: vec![vec![0; rows + 1]; k_c - 1],
+        }
+    }
+
+    /// Number of block rows.
+    pub fn k_r(&self) -> usize {
+        self.row_bounds.len() - 1
+    }
+
+    /// Number of block columns.
+    pub fn k_c(&self) -> usize {
+        self.col_bounds.len() - 1
+    }
+
+    /// DPM entries of cache storage (for the Theorem 3 space accounting).
+    pub fn cache_entries(&self) -> usize {
+        self.rows_cache.iter().map(Vec::len).sum::<usize>()
+            + self.cols_cache.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The `cacheRow` of block `(s, t)`: DP values along the block's top
+    /// edge. For `s == 0` the caller must use the rectangle's input top
+    /// boundary instead (the grid does not store it), hence the `Option`.
+    pub fn cached_row(&self, s: usize, t: usize) -> Option<&[i32]> {
+        if s == 0 {
+            return None;
+        }
+        let c0 = self.col_bounds[t];
+        let c1 = self.col_bounds[t + 1];
+        Some(&self.rows_cache[s - 1][c0..=c1])
+    }
+
+    /// The `cacheColumn` of block `(s, t)`; `None` for `t == 0` (use the
+    /// input left boundary).
+    pub fn cached_col(&self, s: usize, t: usize) -> Option<&[i32]> {
+        if t == 0 {
+            return None;
+        }
+        let r0 = self.row_bounds[s];
+        let r1 = self.row_bounds[s + 1];
+        Some(&self.cols_cache[t - 1][r0..=r1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_near_equal_and_complete() {
+        let b = partition(10, 3);
+        assert_eq!(b, vec![0, 3, 6, 10]);
+        let b = partition(9, 3);
+        assert_eq!(b, vec![0, 3, 6, 9]);
+        // Every segment non-empty when len >= k.
+        for len in 2..50 {
+            for k in 2..=len {
+                let b = partition(len, k);
+                assert!(b.windows(2).all(|w| w[1] > w[0]), "len={len} k={k}");
+                assert_eq!(*b.last().unwrap(), len);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_of_locates_blocks() {
+        let b = partition(12, 4); // [0, 3, 6, 9, 12]
+        assert_eq!(segment_of(&b, 1), 0);
+        assert_eq!(segment_of(&b, 3), 0);
+        assert_eq!(segment_of(&b, 4), 1);
+        assert_eq!(segment_of(&b, 12), 3);
+    }
+
+    #[test]
+    fn grid_storage_shape_matches_theorem_3() {
+        // (k-1) rows of (cols+1) plus (k-1) cols of (rows+1).
+        let g = Grid::new(100, 80, 4, 4);
+        assert_eq!(g.cache_entries(), 3 * 81 + 3 * 101);
+        assert_eq!(g.k_r(), 4);
+        assert_eq!(g.k_c(), 4);
+    }
+
+    #[test]
+    fn cached_row_col_slices_cover_block_edges() {
+        let g = Grid::new(12, 8, 3, 2);
+        // Block (1, 1): rows 4..8, cols 4..8.
+        let r = g.cached_row(1, 1).unwrap();
+        assert_eq!(r.len(), 8 - 4 + 1);
+        let c = g.cached_col(1, 1).unwrap();
+        assert_eq!(c.len(), 8 - 4 + 1);
+        assert!(g.cached_row(0, 1).is_none());
+        assert!(g.cached_col(1, 0).is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! **FastLSA** — the paper's primary contribution: a fast, linear-space,
+//! parallel and sequential algorithm for pairwise sequence alignment
+//! (Driga, Lu, Schaeffer, Szafron, Charter, Parsons; ICPP 2003).
+//!
+//! FastLSA produces exactly the same optimal alignment as the
+//! full-matrix (Needleman–Wunsch) and Hirschberg algorithms for a given
+//! scoring function; it differs in the space/computation trade-off:
+//!
+//! | algorithm | space | cells computed |
+//! |---|---|---|
+//! | full matrix | `O(m·n)` | `m·n` |
+//! | Hirschberg | `O(min(m,n))` | ≈ `2·m·n` |
+//! | FastLSA(`k`, `BM`) | `O(k·(m+n)) + BM` | ≤ `m·n·(k/(k−1))²`, →`m·n` as `BM` grows |
+//!
+//! # Quick start
+//!
+//! ```
+//! use fastlsa_core::{align, FastLsaConfig};
+//! use flsa_dp::Metrics;
+//! use flsa_scoring::ScoringScheme;
+//! use flsa_seq::Sequence;
+//!
+//! // The paper's worked example (Table 1 scoring, gap -10).
+//! let scheme = ScoringScheme::paper_example();
+//! let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+//! let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+//! let metrics = Metrics::new();
+//! let result = align(&a, &b, &scheme, &metrics);
+//! assert_eq!(result.score, 82);
+//!
+//! // Tune for a memory budget, or run the parallel version:
+//! let cfg = FastLsaConfig::for_memory(8 << 20, a.len(), b.len()).with_threads(4);
+//! let result2 = fastlsa_core::align_with(&a, &b, &scheme, cfg, &Metrics::new());
+//! assert_eq!(result2.score, 82);
+//! ```
+
+pub mod affine;
+pub mod config;
+pub mod costlog;
+pub mod grid;
+pub mod model;
+mod parallel;
+mod solver;
+
+pub use affine::align_affine;
+pub use config::{FastLsaConfig, ParallelConfig};
+pub use costlog::{CostEvent, CostLog};
+pub use model::{replay, replay_with_comm, ReplayReport};
+
+use flsa_dp::{AlignResult, Metrics};
+use flsa_scoring::ScoringScheme;
+use flsa_seq::Sequence;
+
+/// Aligns two sequences with the default configuration
+/// ([`FastLsaConfig::default`]: sequential, `k = 8`, 4 MiB base buffer).
+pub fn align(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metrics) -> AlignResult {
+    align_with(a, b, scheme, FastLsaConfig::default(), metrics)
+}
+
+/// Aligns two sequences with an explicit configuration (sequential or
+/// parallel).
+pub fn align_with(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    config: FastLsaConfig,
+    metrics: &Metrics,
+) -> AlignResult {
+    let mut solver = solver::Solver::new(scheme, config, metrics);
+    solver.run(a, b)
+}
+
+/// Like [`align_with`], additionally returning the execution trace for
+/// schedule replay (experiments E7/E8; see [`model::replay`]).
+pub fn align_traced(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    config: FastLsaConfig,
+    metrics: &Metrics,
+) -> (AlignResult, CostLog) {
+    let mut solver = solver::Solver::new(scheme, config, metrics);
+    let result = solver.run(a, b);
+    (result, solver.log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsa_fullmatrix::needleman_wunsch;
+    use flsa_hirschberg::hirschberg;
+    use flsa_seq::generate::homologous_pair;
+    use flsa_seq::Alphabet;
+
+    fn paper_pair() -> (Sequence, Sequence, ScoringScheme) {
+        let scheme = ScoringScheme::paper_example();
+        let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+        (a, b, scheme)
+    }
+
+    #[test]
+    fn paper_example_scores_82() {
+        let (a, b, scheme) = paper_pair();
+        let metrics = Metrics::new();
+        let r = align(&a, &b, &scheme, &metrics);
+        assert_eq!(r.score, 82);
+        assert_eq!(r.path.score(&a, &b, &scheme), 82);
+    }
+
+    #[test]
+    fn paper_example_with_tiny_base_case_recurses_and_still_scores_82() {
+        let (a, b, scheme) = paper_pair();
+        for k in 2..=6 {
+            let metrics = Metrics::new();
+            let cfg = FastLsaConfig::new(k, 16);
+            let r = align_with(&a, &b, &scheme, cfg, &metrics);
+            assert_eq!(r.score, 82, "k={k}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_nw_and_hirschberg_across_k_and_base() {
+        let scheme = ScoringScheme::dna_default();
+        for seed in 0..6 {
+            let (a, b) = homologous_pair("t", &Alphabet::dna(), 300, 0.8, seed).unwrap();
+            let metrics = Metrics::new();
+            let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
+            let hb = hirschberg(&a, &b, &scheme, &metrics);
+            assert_eq!(nw.score, hb.score);
+            for k in [2usize, 3, 5, 8] {
+                for base in [32usize, 1024, 1 << 20] {
+                    let m = Metrics::new();
+                    let r = align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &m);
+                    assert_eq!(r.score, nw.score, "seed={seed} k={k} base={base}");
+                    assert_eq!(r.path.score(&a, &b, &scheme), r.score);
+                    assert!(r.path.is_global(a.len(), b.len()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_identical_to_full_matrix_path() {
+        // Shared Diag > Up > Left tie-break: FastLSA recovers the same
+        // canonical optimal path as the FM traceback, not just the score.
+        let scheme = ScoringScheme::dna_default();
+        for seed in 0..4 {
+            let (a, b) = homologous_pair("t", &Alphabet::dna(), 257, 0.75, seed + 50).unwrap();
+            let metrics = Metrics::new();
+            let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
+            let r = align_with(&a, &b, &scheme, FastLsaConfig::new(4, 256), &metrics);
+            assert_eq!(nw.path, r.path, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 600, 0.8, 99).unwrap();
+        let metrics = Metrics::new();
+        let seq = align_with(&a, &b, &scheme, FastLsaConfig::new(4, 2048), &metrics);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let m = Metrics::new();
+            let cfg = FastLsaConfig::new(4, 2048).with_threads(threads);
+            let par = align_with(&a, &b, &scheme, cfg, &m);
+            assert_eq!(par.score, seq.score, "threads={threads}");
+            assert_eq!(par.path, seq.path, "threads={threads}");
+            // Same work regardless of thread count.
+            assert_eq!(
+                m.snapshot().cells_computed,
+                metrics.snapshot().cells_computed,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_base_case_degenerates_to_full_matrix() {
+        // Paper: if RM > m×n a full-matrix algorithm is used; FastLSA with
+        // base_cells covering the whole DPM must compute exactly m·n cells.
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 400, 0.8, 5).unwrap();
+        let metrics = Metrics::new();
+        let cfg = FastLsaConfig { k: 8, base_cells: (a.len() + 1) * (b.len() + 1), parallel: None };
+        align_with(&a, &b, &scheme, cfg, &metrics);
+        assert_eq!(metrics.snapshot().cells_computed, (a.len() * b.len()) as u64);
+    }
+
+    #[test]
+    fn measured_cells_obey_theorem_bound() {
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 1500, 0.8, 11).unwrap();
+        for k in [2usize, 4, 8] {
+            let base = 4096;
+            let metrics = Metrics::new();
+            align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics);
+            let measured = metrics.snapshot().cells_computed as f64;
+            let bound = model::fastlsa_cells_bound(a.len(), b.len(), k, base);
+            // Allow the non-divisible-length rounding slack (DESIGN.md §6).
+            assert!(
+                measured <= bound * 1.05,
+                "k={k}: measured {measured} > bound {bound}"
+            );
+            // And FastLSA must beat Hirschberg's 2·m·n for k > 2.
+            if k > 2 {
+                assert!(measured < model::hirschberg_cells(a.len(), b.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_k_but_stays_linear() {
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 3000, 0.85, 21).unwrap();
+        let base = 1 << 12;
+        let mut prev_peak = 0u64;
+        for k in [2usize, 4, 8, 16] {
+            let metrics = Metrics::new();
+            align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics);
+            let peak = metrics.snapshot().peak_bytes;
+            let bound = model::fastlsa_space_entries(a.len(), b.len(), k, base) * 4.0;
+            assert!(peak as f64 <= bound * 1.10, "k={k}: peak {peak} > bound {bound}");
+            assert!(peak >= prev_peak, "peak should grow with k");
+            prev_peak = peak;
+            // Far below the quadratic FM footprint.
+            let fm = ((a.len() + 1) * (b.len() + 1) * 4) as u64;
+            assert!(peak * 10 < fm, "k={k}");
+        }
+    }
+
+    #[test]
+    fn traced_log_accounts_for_all_fill_cells() {
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 800, 0.8, 31).unwrap();
+        let metrics = Metrics::new();
+        let (_, log) = align_traced(&a, &b, &scheme, FastLsaConfig::new(4, 1024), &metrics);
+        assert_eq!(log.total_fill_cells(), metrics.snapshot().cells_computed);
+        assert_eq!(log.total_trace_steps(), metrics.snapshot().traceback_steps);
+    }
+
+    #[test]
+    fn asymmetric_and_tiny_inputs() {
+        let scheme = ScoringScheme::dna_default();
+        let cases = [
+            ("", "ACGT"),
+            ("ACGT", ""),
+            ("A", "A"),
+            ("A", "ACGTACGTACGT"),
+            ("ACGTACGTACGTACGTACGT", "AC"),
+        ];
+        for (sa, sb) in cases {
+            let a = Sequence::from_str("a", scheme.alphabet(), sa).unwrap();
+            let b = Sequence::from_str("b", scheme.alphabet(), sb).unwrap();
+            let metrics = Metrics::new();
+            let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
+            let r = align_with(&a, &b, &scheme, FastLsaConfig::new(2, 8), &metrics);
+            assert_eq!(r.score, nw.score, "case {sa:?} vs {sb:?}");
+        }
+    }
+
+    #[test]
+    fn protein_scoring_matches_baselines() {
+        let scheme = ScoringScheme::protein_default();
+        let (a, b) = homologous_pair("t", &Alphabet::protein(), 350, 0.7, 77).unwrap();
+        let metrics = Metrics::new();
+        let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
+        let r = align_with(&a, &b, &scheme, FastLsaConfig::new(6, 512), &metrics);
+        assert_eq!(r.score, nw.score);
+    }
+}

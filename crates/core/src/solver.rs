@@ -1,0 +1,254 @@
+//! The FastLSA recursion (paper Figure 2).
+//!
+//! Invariant maintained by [`Solver::solve`]: the path head enters a
+//! sub-problem on its **bottom row or right column** and leaves on its
+//! **top row or left column**. The paper's prose puts the initial head at
+//! the bottom-right corner; after the first sub-recursion the head sits
+//! anywhere on the next block's bottom/right edge, so the implementation
+//! uses the general invariant throughout (DESIGN.md §6).
+
+use flsa_dp::kernel::{fill_full_reusing, fill_last_row_col};
+use flsa_dp::traceback::trace_from;
+use flsa_dp::{AlignResult, Metrics, PathBuilder};
+use flsa_scoring::ScoringScheme;
+use flsa_seq::Sequence;
+
+use crate::config::FastLsaConfig;
+use crate::costlog::{CostEvent, CostLog};
+use crate::grid::{segment_of, Grid};
+use crate::parallel;
+
+/// One FastLSA run's mutable state: configuration, reusable buffers, and
+/// the execution trace.
+pub(crate) struct Solver<'s> {
+    pub scheme: &'s ScoringScheme,
+    pub config: FastLsaConfig,
+    pub metrics: &'s Metrics,
+    /// The pre-allocated Base Case buffer (paper: "BM units of memory are
+    /// reserved"), recycled across base-case solves.
+    base_storage: Vec<i32>,
+    /// Scratch for discarded block outputs during sequential grid fills.
+    scratch_row: Vec<i32>,
+    scratch_col: Vec<i32>,
+    /// Persistent worker pool for parallel fills (spawned once per run,
+    /// as in the paper's implementation).
+    pub(crate) pool: Option<flsa_wavefront::WorkerPool>,
+    /// Execution trace for schedule replay.
+    pub log: CostLog,
+}
+
+impl<'s> Solver<'s> {
+    pub fn new(scheme: &'s ScoringScheme, config: FastLsaConfig, metrics: &'s Metrics) -> Self {
+        config.validate();
+        let pool = (config.threads() > 1).then(|| flsa_wavefront::WorkerPool::new(config.threads()));
+        Solver {
+            scheme,
+            config,
+            metrics,
+            base_storage: Vec::new(),
+            scratch_row: Vec::new(),
+            scratch_col: Vec::new(),
+            pool,
+            log: CostLog::default(),
+        }
+    }
+
+    /// Aligns two sequences, returning the optimal score and path.
+    pub fn run(&mut self, a: &Sequence, b: &Sequence) -> AlignResult {
+        self.scheme.check_sequences(a, b);
+        let (m, n) = (a.len(), b.len());
+        let gap = self.scheme.gap().linear_penalty();
+
+        // Reserve the Base Case buffer up front, as the paper does.
+        let base_guard = self
+            .metrics
+            .track_alloc(self.config.base_cells * std::mem::size_of::<i32>());
+
+        let top: Vec<i32> = (0..=n as i64).map(|j| (j * gap as i64) as i32).collect();
+        let left: Vec<i32> = (0..=m as i64).map(|i| (i * gap as i64) as i32).collect();
+
+        let mut builder = PathBuilder::new();
+        let (ei, ej) = self.solve(a.codes(), b.codes(), &top, &left, (m, n), &mut builder);
+        // Extend along the gap-ramp boundary to the top-left corner
+        // (paper: "this partial optimal path can then be extended to the
+        // top-left entry").
+        for _ in 0..ei {
+            builder.push_back(flsa_dp::Move::Up);
+        }
+        for _ in 0..ej {
+            builder.push_back(flsa_dp::Move::Left);
+        }
+        drop(base_guard);
+
+        let path = builder.finish((0, 0));
+        debug_assert!(path.is_global(m, n));
+        let score = path.score(a, b, self.scheme);
+        AlignResult { score, path }
+    }
+
+    /// Extends the path through one rectangle: `head` (local coordinates)
+    /// lies on the bottom row or right column; returns the exit point on
+    /// the top row or left column, with the connecting moves prepended to
+    /// `out` (backwards).
+    fn solve(
+        &mut self,
+        a: &[u8],
+        b: &[u8],
+        top: &[i32],
+        left: &[i32],
+        head: (usize, usize),
+        out: &mut PathBuilder,
+    ) -> (usize, usize) {
+        let (rows, cols) = (a.len(), b.len());
+        debug_assert!(
+            head.0 == rows || head.1 == cols,
+            "path head must enter on the bottom row or right column"
+        );
+        if head.0 == 0 || head.1 == 0 {
+            // Degenerate rectangle (or head already on the exit boundary).
+            return head;
+        }
+
+        // BASE CASE (Figure 2 lines 1-2): the rectangle fits the buffer.
+        // Rectangles thinner than 2 residues are also solved directly —
+        // their full matrix is at most 2 rows/columns, i.e. linear size.
+        let cells = (rows + 1).saturating_mul(cols + 1);
+        if cells <= self.config.base_cells || rows < 2 || cols < 2 {
+            return self.base_case(a, b, top, left, head, out);
+        }
+
+        // GENERAL CASE (Figure 2 lines 3-15).
+        let k_r = self.config.k.min(rows);
+        let k_c = self.config.k.min(cols);
+        let mut grid = Grid::new(rows, cols, k_r, k_c);
+        let grid_guard = self
+            .metrics
+            .track_alloc(grid.cache_entries() * std::mem::size_of::<i32>());
+        self.log.events.push(CostEvent::GridFill { rows, cols, k_r, k_c });
+
+        // fillGridCache (Figure 2 line 5 / Figure 3d).
+        if self.config.threads() > 1 {
+            parallel::fill_grid_parallel(self, a, b, top, left, &mut grid);
+        } else {
+            self.fill_grid_sequential(a, b, top, left, &mut grid);
+        }
+
+        // Walk sub-problems from the head toward the top/left boundary
+        // (Figure 2 lines 8-13). The first iteration handles the
+        // bottom-right sub-problem; subsequent ones follow `UpLeft`.
+        let (mut i, mut j) = head;
+        while i > 0 && j > 0 {
+            let s = segment_of(&grid.row_bounds, i);
+            let t = segment_of(&grid.col_bounds, j);
+            let r0 = grid.row_bounds[s];
+            let r1 = grid.row_bounds[s + 1];
+            let c0 = grid.col_bounds[t];
+            let c1 = grid.col_bounds[t + 1];
+            let sub_top = grid.cached_row(s, t).unwrap_or(&top[c0..=c1]);
+            let sub_left = grid.cached_col(s, t).unwrap_or(&left[r0..=r1]);
+            let (ei, ej) =
+                self.solve(&a[r0..r1], &b[c0..c1], sub_top, sub_left, (i - r0, j - c0), out);
+            i = r0 + ei;
+            j = c0 + ej;
+        }
+
+        drop(grid_guard);
+        (i, j)
+    }
+
+    /// Figure 2's BASE CASE: full-matrix solve in the reserved buffer.
+    fn base_case(
+        &mut self,
+        a: &[u8],
+        b: &[u8],
+        top: &[i32],
+        left: &[i32],
+        head: (usize, usize),
+        out: &mut PathBuilder,
+    ) -> (usize, usize) {
+        let (rows, cols) = (a.len(), b.len());
+        self.log.events.push(CostEvent::BaseFill { rows, cols });
+
+        // Parallel fill pays off only when the matrix is large enough to
+        // amortize tile scheduling; small base cases stay sequential.
+        let use_parallel = self.config.threads() > 1 && rows * cols >= 16_384;
+        // The parallel fill allocates a fresh shared buffer instead of the
+        // reserved base storage; account for it explicitly.
+        let _par_mem = use_parallel.then(|| {
+            self.metrics
+                .track_alloc((rows + 1) * (cols + 1) * std::mem::size_of::<i32>())
+        });
+        let dpm = if use_parallel {
+            parallel::fill_base_parallel(self, a, b, top, left)
+        } else {
+            let storage = std::mem::take(&mut self.base_storage);
+            fill_full_reusing(a, b, top, left, self.scheme, storage, self.metrics)
+        };
+        self.metrics.add_base_case_cells(rows as u64 * cols as u64);
+
+        let before = out.len();
+        let exit = trace_from(&dpm, a, b, self.scheme, head, out, self.metrics);
+        self.log.events.push(CostEvent::Trace { steps: (out.len() - before) as u64 });
+
+        // Return the buffer for the next base case (keep the larger one).
+        let storage = dpm.into_vec();
+        if storage.capacity() > self.base_storage.capacity() {
+            self.base_storage = storage;
+        }
+        exit
+    }
+
+    /// Sequential fillGridCache: every block except the bottom-right one,
+    /// in row-major order (a valid topological order of the block DAG).
+    fn fill_grid_sequential(
+        &mut self,
+        a: &[u8],
+        b: &[u8],
+        top: &[i32],
+        left: &[i32],
+        grid: &mut Grid,
+    ) {
+        let k_r = grid.k_r();
+        let k_c = grid.k_c();
+        let mut top_buf: Vec<i32> = Vec::new();
+        let mut left_buf: Vec<i32> = Vec::new();
+        for s in 0..k_r {
+            for t in 0..k_c {
+                if s == k_r - 1 && t == k_c - 1 {
+                    continue; // bottom-right block: solved by recursion instead
+                }
+                let r0 = grid.row_bounds[s];
+                let r1 = grid.row_bounds[s + 1];
+                let c0 = grid.col_bounds[t];
+                let c1 = grid.col_bounds[t + 1];
+
+                // Copy the input boundary out of the grid first so the
+                // output borrows below don't conflict.
+                top_buf.clear();
+                top_buf.extend_from_slice(grid.cached_row(s, t).unwrap_or(&top[c0..=c1]));
+                left_buf.clear();
+                left_buf.extend_from_slice(grid.cached_col(s, t).unwrap_or(&left[r0..=r1]));
+
+                self.scratch_row.resize(c1 - c0 + 1, 0);
+                self.scratch_col.resize(r1 - r0 + 1, 0);
+                flsa_dp::boundary::check_boundary(&top_buf, &left_buf, r1 - r0, c1 - c0);
+                fill_last_row_col(
+                    &a[r0..r1],
+                    &b[c0..c1],
+                    &top_buf,
+                    &left_buf,
+                    self.scheme,
+                    &mut self.scratch_row,
+                    Some(&mut self.scratch_col),
+                    self.metrics,
+                );
+                if s + 1 < k_r {
+                    grid.rows_cache[s][c0..=c1].copy_from_slice(&self.scratch_row);
+                }
+                if t + 1 < k_c {
+                    grid.cols_cache[t][r0..=r1].copy_from_slice(&self.scratch_col);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Input boundaries for DPM sub-rectangles.
+//!
+//! Every fill kernel computes a rectangle of the logical DPM given the DP
+//! values along the rectangle's *top row* and *left column* (the paper's
+//! `cacheRow`/`cacheColumn`). For the whole problem these are the gap ramp
+//! `0, g, 2g, …`; inside FastLSA they are slices of the grid cache.
+
+/// An owned input boundary: the DP values along a rectangle's top row and
+/// left column. `top[0] == left[0]` is the shared corner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Boundary {
+    /// Values along the top row, length `cols + 1`.
+    pub top: Vec<i32>,
+    /// Values along the left column, length `rows + 1`.
+    pub left: Vec<i32>,
+}
+
+impl Boundary {
+    /// Boundary of the *global* alignment problem over an `rows × cols`
+    /// rectangle with linear gap penalty `gap`: `top[j] = j·gap`,
+    /// `left[i] = i·gap`.
+    pub fn global(rows: usize, cols: usize, gap: i32) -> Self {
+        Boundary {
+            top: (0..=cols as i64).map(|j| (j * gap as i64) as i32).collect(),
+            left: (0..=rows as i64).map(|i| (i * gap as i64) as i32).collect(),
+        }
+    }
+
+    /// Builds a boundary from explicit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either vector is empty or the corners disagree — a
+    /// corner mismatch means the caller sliced its caches inconsistently,
+    /// which would corrupt every downstream score.
+    pub fn new(top: Vec<i32>, left: Vec<i32>) -> Self {
+        assert!(!top.is_empty() && !left.is_empty(), "boundary vectors must be non-empty");
+        assert_eq!(top[0], left[0], "boundary corner mismatch");
+        Boundary { top, left }
+    }
+
+    /// Rows of the rectangle this boundary describes.
+    pub fn rows(&self) -> usize {
+        self.left.len() - 1
+    }
+
+    /// Columns of the rectangle this boundary describes.
+    pub fn cols(&self) -> usize {
+        self.top.len() - 1
+    }
+}
+
+/// Validates a `(top, left)` slice pair for a `rows × cols` rectangle.
+/// Kernels call this once per invocation (debug-style sanity that is cheap
+/// relative to any fill).
+#[inline]
+pub fn check_boundary(top: &[i32], left: &[i32], rows: usize, cols: usize) {
+    assert_eq!(top.len(), cols + 1, "top boundary length");
+    assert_eq!(left.len(), rows + 1, "left boundary length");
+    assert_eq!(top[0], left[0], "boundary corner mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_boundary_is_gap_ramp() {
+        let b = Boundary::global(3, 4, -10);
+        assert_eq!(b.top, vec![0, -10, -20, -30, -40]);
+        assert_eq!(b.left, vec![0, -10, -20, -30]);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.cols(), 4);
+    }
+
+    #[test]
+    fn global_boundary_matches_figure_1_margins() {
+        // Figure 1: the first row runs 0, -10, …, -80 over 8 columns and
+        // the first column 0, -10, …, -70 over 7 rows.
+        let b = Boundary::global(7, 8, -10);
+        assert_eq!(*b.top.last().unwrap(), -80);
+        assert_eq!(*b.left.last().unwrap(), -70);
+    }
+
+    #[test]
+    #[should_panic(expected = "corner mismatch")]
+    fn corner_mismatch_panics() {
+        Boundary::new(vec![0, -10], vec![5, -10]);
+    }
+
+    #[test]
+    fn zero_sized_rectangle_is_legal() {
+        let b = Boundary::global(0, 0, -10);
+        assert_eq!(b.rows(), 0);
+        assert_eq!(b.cols(), 0);
+        check_boundary(&b.top, &b.left, 0, 0);
+    }
+}

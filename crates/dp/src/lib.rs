@@ -1,0 +1,37 @@
+//! Dynamic-programming substrate shared by every aligner in the FastLSA
+//! reproduction.
+//!
+//! The paper's algorithms (full-matrix, Hirschberg, FastLSA) all compute
+//! the same dynamic-program matrix (DPM) recurrence and differ only in how
+//! much of it they *store*. This crate factors the common machinery out:
+//!
+//! * [`kernel`] — the FindScore recurrences: full-rectangle fill and the
+//!   linear-space "last row/column" scan (the paper's `LastRow` routine),
+//!   both taking an arbitrary input boundary so they work on any
+//!   sub-rectangle of the logical DPM;
+//! * [`matrix`] — dense score matrices and the packed 2-bit direction
+//!   matrix the paper describes as an FM traceback alternative;
+//! * [`boundary`] — input boundaries (cached row + column) for
+//!   sub-rectangles;
+//! * [`path`] — alignment paths (the FindPath product), validation,
+//!   re-scoring, and rendering;
+//! * [`traceback`] — the shared backward path-recovery routine with the
+//!   deterministic Diag ≻ Up ≻ Left tie-break;
+//! * [`metrics`] — operation and memory accounting used to verify the
+//!   paper's analytical bounds (Theorems 1–4).
+
+pub mod affine;
+pub mod antidiagonal;
+pub mod boundary;
+pub mod kernel;
+pub mod matrix;
+pub mod metrics;
+pub mod path;
+pub mod result;
+pub mod traceback;
+
+pub use boundary::Boundary;
+pub use matrix::{DirMatrix, ScoreMatrix};
+pub use metrics::{MemGuard, Metrics, MetricsSnapshot};
+pub use path::{Alignment, Move, Path, PathBuilder};
+pub use result::AlignResult;

@@ -1,0 +1,167 @@
+//! Operation and memory accounting.
+//!
+//! The paper's analytical results (Theorems 1–4) bound the number of DPM
+//! entries each algorithm computes and the auxiliary space it uses. Every
+//! aligner in this workspace threads a [`Metrics`] through its kernels so
+//! those bounds become executable assertions (experiment E11) and so the
+//! experiment harness can report cells/bytes next to wall times.
+//!
+//! Counters are relaxed atomics: they are bumped once per *kernel call*
+//! (with the whole rectangle's cell count), not per cell, so the overhead
+//! is unmeasurable and the type stays `Sync` for the parallel fills.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Shared accounting for one alignment run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// DPM entries computed by FindScore-phase kernels (fills of any kind).
+    cells_computed: AtomicU64,
+    /// Subset of `cells_computed` spent inside base-case (full-matrix)
+    /// solves — FastLSA's "useful" work; the rest is grid-cache fill.
+    cells_base_case: AtomicU64,
+    /// FindPath traceback steps (one per path move).
+    traceback_steps: AtomicU64,
+    /// Kernel invocations (fills), a proxy for recursion overhead.
+    kernel_calls: AtomicU64,
+    /// Currently tracked auxiliary bytes.
+    cur_bytes: AtomicI64,
+    /// High-water mark of `cur_bytes`.
+    peak_bytes: AtomicI64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// DPM entries computed by FindScore-phase kernels.
+    pub cells_computed: u64,
+    /// Cells computed inside base-case full-matrix solves.
+    pub cells_base_case: u64,
+    /// FindPath traceback steps.
+    pub traceback_steps: u64,
+    /// Fill-kernel invocations.
+    pub kernel_calls: u64,
+    /// Peak tracked auxiliary memory in bytes.
+    pub peak_bytes: u64,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records `n` DPM entries computed by a fill kernel.
+    #[inline]
+    pub fn add_cells(&self, n: u64) {
+        self.cells_computed.fetch_add(n, Ordering::Relaxed);
+        self.kernel_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` DPM entries computed inside a base-case solve (these are
+    /// *also* reported through [`Metrics::add_cells`] by the kernel; this
+    /// counter just classifies them).
+    #[inline]
+    pub fn add_base_case_cells(&self, n: u64) {
+        self.cells_base_case.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` traceback steps.
+    #[inline]
+    pub fn add_traceback_steps(&self, n: u64) {
+        self.traceback_steps.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Tracks an auxiliary allocation of `bytes`, returning a guard that
+    /// un-tracks it on drop. Algorithms wrap their large buffers (score
+    /// matrices, grid caches, tile buffers) in these guards; tiny
+    /// allocations (recursion frames, path vectors) are deliberately not
+    /// tracked, matching how the paper counts "space".
+    pub fn track_alloc(&self, bytes: usize) -> MemGuard<'_> {
+        let b = bytes as i64;
+        let cur = self.cur_bytes.fetch_add(b, Ordering::Relaxed) + b;
+        self.peak_bytes.fetch_max(cur, Ordering::Relaxed);
+        MemGuard { metrics: self, bytes: b }
+    }
+
+    /// Copies the counters out.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cells_computed: self.cells_computed.load(Ordering::Relaxed),
+            cells_base_case: self.cells_base_case.load(Ordering::Relaxed),
+            traceback_steps: self.traceback_steps.load(Ordering::Relaxed),
+            kernel_calls: self.kernel_calls.load(Ordering::Relaxed),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed).max(0) as u64,
+        }
+    }
+}
+
+/// RAII guard for one tracked allocation (see [`Metrics::track_alloc`]).
+#[derive(Debug)]
+pub struct MemGuard<'m> {
+    metrics: &'m Metrics,
+    bytes: i64,
+}
+
+impl Drop for MemGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.cur_bytes.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Cells computed per input cell: the paper's "re-computation factor"
+    /// (1.0 for FM, ~2.0 for Hirschberg, between 1 and 2 for FastLSA).
+    pub fn cell_factor(&self, m: usize, n: usize) -> f64 {
+        self.cells_computed as f64 / (m as f64 * n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add_cells(100);
+        m.add_cells(50);
+        m.add_base_case_cells(50);
+        m.add_traceback_steps(7);
+        let s = m.snapshot();
+        assert_eq!(s.cells_computed, 150);
+        assert_eq!(s.cells_base_case, 50);
+        assert_eq!(s.traceback_steps, 7);
+        assert_eq!(s.kernel_calls, 2);
+    }
+
+    #[test]
+    fn peak_memory_tracks_high_water_mark() {
+        let m = Metrics::new();
+        {
+            let _a = m.track_alloc(1000);
+            {
+                let _b = m.track_alloc(500);
+                assert_eq!(m.snapshot().peak_bytes, 1500);
+            }
+            let _c = m.track_alloc(100);
+            // Peak stays at the high-water mark even after frees.
+            assert_eq!(m.snapshot().peak_bytes, 1500);
+        }
+        let _d = m.track_alloc(200);
+        assert_eq!(m.snapshot().peak_bytes, 1500);
+    }
+
+    #[test]
+    fn cell_factor_normalizes_by_problem_area() {
+        let m = Metrics::new();
+        m.add_cells(200);
+        assert!((m.snapshot().cell_factor(10, 10) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Metrics>();
+    }
+}

@@ -1,0 +1,27 @@
+//! Result type shared by all global aligners.
+
+use crate::path::Path;
+
+/// The outcome of a global alignment: the optimal score and one optimal
+/// path achieving it (the Diag ≻ Up ≻ Left canonical path for every
+/// traceback-based aligner in this workspace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignResult {
+    /// Optimal global alignment score.
+    pub score: i64,
+    /// An optimal path from `(0, 0)` to `(m, n)`.
+    pub path: Path,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Move;
+
+    #[test]
+    fn result_carries_score_and_path() {
+        let r = AlignResult { score: 5, path: Path::new((0, 0), vec![Move::Diag]) };
+        assert_eq!(r.score, 5);
+        assert_eq!(r.path.end(), (1, 1));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests over the DP kernels: the invariants every aligner
+//! in the workspace relies on.
+
+use flsa_dp::kernel::{fill_dir, fill_full, fill_last_row_col};
+use flsa_dp::traceback::{trace_dirs, trace_from};
+use flsa_dp::{Boundary, Metrics, PathBuilder};
+use flsa_scoring::{GapModel, ScoringScheme};
+use flsa_seq::{Alphabet, Sequence};
+use proptest::prelude::*;
+
+fn dna_codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..4, 0..max_len)
+}
+
+fn scheme() -> ScoringScheme {
+    ScoringScheme::dna_default()
+}
+
+proptest! {
+    /// The linear-space scan must produce exactly the full fill's edges.
+    #[test]
+    fn last_row_col_agrees_with_full_fill(a in dna_codes(40), b in dna_codes(40)) {
+        let scheme = scheme();
+        let bound = Boundary::global(a.len(), b.len(), -10);
+        let metrics = Metrics::new();
+        let full = fill_full(&a, &b, &bound.top, &bound.left, &scheme, &metrics);
+        let mut bottom = vec![0; b.len() + 1];
+        let mut right = vec![0; a.len() + 1];
+        fill_last_row_col(&a, &b, &bound.top, &bound.left, &scheme,
+                          &mut bottom, Some(&mut right), &metrics);
+        prop_assert_eq!(&bottom[..], full.row(a.len()));
+        prop_assert_eq!(right, full.col(b.len()));
+    }
+
+    /// Score-based and direction-based tracebacks recover the same path,
+    /// and that path re-scores to the DP optimum.
+    #[test]
+    fn tracebacks_agree_and_rescore(a in dna_codes(30), b in dna_codes(30)) {
+        let scheme = scheme();
+        let bound = Boundary::global(a.len(), b.len(), -10);
+        let metrics = Metrics::new();
+
+        let dpm = fill_full(&a, &b, &bound.top, &bound.left, &scheme, &metrics);
+        let optimal = dpm.get(a.len(), b.len()) as i64;
+
+        let mut sb = PathBuilder::new();
+        let (ei, ej) = trace_from(&dpm, &a, &b, &scheme, (a.len(), b.len()), &mut sb, &metrics);
+        // Close the path along the boundary (gap ramp ⇒ optimal).
+        for _ in 0..ei { sb.push_back(flsa_dp::Move::Up); }
+        for _ in 0..ej { sb.push_back(flsa_dp::Move::Left); }
+        let score_path = sb.finish((0, 0));
+
+        let (dirs, last) = fill_dir(&a, &b, &bound.top, &bound.left, &scheme, &metrics);
+        prop_assert_eq!(last[b.len()] as i64, optimal);
+        let mut db = PathBuilder::new();
+        let stop = trace_dirs(&dirs, (a.len(), b.len()), &mut db, &metrics);
+        prop_assert_eq!(stop, (0, 0));
+        let dir_path = db.finish((0, 0));
+
+        prop_assert_eq!(&score_path, &dir_path);
+        prop_assert!(score_path.is_global(a.len(), b.len()));
+
+        let alpha = Alphabet::dna();
+        let sa = Sequence::from_codes("a", &alpha, a.clone());
+        let sbq = Sequence::from_codes("b", &alpha, b.clone());
+        prop_assert_eq!(score_path.score(&sa, &sbq, &scheme), optimal);
+    }
+
+    /// Vertical composition: filling the top half then feeding its bottom
+    /// row into the bottom half equals filling the whole rectangle
+    /// (the grid-cache correctness property, row direction).
+    #[test]
+    fn fills_compose_vertically(a in dna_codes(40), b in dna_codes(40), frac in 0.0f64..1.0) {
+        let scheme = scheme();
+        let split = ((a.len() as f64) * frac) as usize;
+        let bound = Boundary::global(a.len(), b.len(), -10);
+        let metrics = Metrics::new();
+        let whole = fill_full(&a, &b, &bound.top, &bound.left, &scheme, &metrics);
+
+        let top_half = fill_full(&a[..split], &b, &bound.top, &bound.left[..=split], &scheme, &metrics);
+        let mid = top_half.row(split).to_vec();
+        let bottom_half = fill_full(&a[split..], &b, &mid, &bound.left[split..], &scheme, &metrics);
+        for i in 0..=(a.len() - split) {
+            prop_assert_eq!(bottom_half.row(i), whole.row(i + split));
+        }
+    }
+
+    /// DP value monotonicity under the triangle-ish property: the optimal
+    /// score never exceeds min(m,n) * max_sub and never falls below the
+    /// all-gaps score.
+    #[test]
+    fn optimal_score_bounds(a in dna_codes(30), b in dna_codes(30)) {
+        let scheme = scheme();
+        let gap = scheme.gap().linear_penalty() as i64;
+        let bound = Boundary::global(a.len(), b.len(), -10);
+        let metrics = Metrics::new();
+        let dpm = fill_full(&a, &b, &bound.top, &bound.left, &scheme, &metrics);
+        let opt = dpm.get(a.len(), b.len()) as i64;
+        let min_len = a.len().min(b.len()) as i64;
+        let max_len_diff = (a.len() as i64 - b.len() as i64).abs();
+        let upper = min_len * scheme.matrix().max_score() as i64 + max_len_diff * gap;
+        let lower = (a.len() as i64 + b.len() as i64) * gap;
+        prop_assert!(opt <= upper, "opt {opt} > upper {upper}");
+        prop_assert!(opt >= lower, "opt {opt} < lower {lower}");
+    }
+
+    /// With LCS scoring (match 1, mismatch 0, gap 0) the optimum equals
+    /// the LCS length computed by an independent textbook recurrence.
+    #[test]
+    fn lcs_scheme_computes_lcs(a in dna_codes(25), b in dna_codes(25)) {
+        let scheme = ScoringScheme::new(
+            flsa_scoring::tables::identity(Alphabet::dna()),
+            GapModel::linear(0),
+        );
+        let bound = Boundary::global(a.len(), b.len(), 0);
+        let metrics = Metrics::new();
+        let dpm = fill_full(&a, &b, &bound.top, &bound.left, &scheme, &metrics);
+
+        // Independent LCS implementation.
+        let mut lcs = vec![vec![0i32; b.len() + 1]; a.len() + 1];
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                lcs[i][j] = if a[i - 1] == b[j - 1] {
+                    lcs[i - 1][j - 1] + 1
+                } else {
+                    lcs[i - 1][j].max(lcs[i][j - 1])
+                };
+            }
+        }
+        prop_assert_eq!(dpm.get(a.len(), b.len()), lcs[a.len()][b.len()]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Needleman–Wunsch global alignment (the paper's FM reference).
+
+use flsa_dp::kernel::{fill_dir, fill_full, fill_last_row};
+use flsa_dp::traceback::{trace_dirs, trace_from};
+use flsa_dp::{AlignResult, Boundary, Metrics, Move, PathBuilder};
+use flsa_scoring::ScoringScheme;
+use flsa_seq::Sequence;
+
+/// Global alignment storing the full score matrix
+/// (`(m+1)·(n+1)` × 4 bytes), traceback by score comparison.
+///
+/// This is the paper's canonical FM algorithm: `m·n` cell computations and
+/// quadratic space.
+///
+/// # Examples
+///
+/// ```
+/// use flsa_fullmatrix::needleman_wunsch;
+/// use flsa_dp::Metrics;
+/// use flsa_scoring::ScoringScheme;
+/// use flsa_seq::Sequence;
+///
+/// let scheme = ScoringScheme::paper_example();
+/// let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+/// let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+/// let metrics = Metrics::new();
+/// let r = needleman_wunsch(&a, &b, &scheme, &metrics);
+/// assert_eq!(r.score, 82); // the paper's worked example
+/// assert_eq!(r.path.score(&a, &b, &scheme), 82);
+/// ```
+pub fn needleman_wunsch(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    metrics: &Metrics,
+) -> AlignResult {
+    scheme.check_sequences(a, b);
+    let (m, n) = (a.len(), b.len());
+    let gap = scheme.gap().linear_penalty();
+    let bound = Boundary::global(m, n, gap);
+
+    let dpm = fill_full(a.codes(), b.codes(), &bound.top, &bound.left, scheme, metrics);
+    let _mem = metrics.track_alloc(dpm.bytes());
+    metrics.add_base_case_cells(m as u64 * n as u64);
+
+    let mut builder = PathBuilder::new();
+    let (ei, ej) = trace_from(&dpm, a.codes(), b.codes(), scheme, (m, n), &mut builder, metrics);
+    // The exit is on the gap-ramp boundary; the optimal continuation to the
+    // origin runs straight along it.
+    for _ in 0..ei {
+        builder.push_back(Move::Up);
+    }
+    for _ in 0..ej {
+        builder.push_back(Move::Left);
+    }
+    AlignResult { score: dpm.get(m, n) as i64, path: builder.finish((0, 0)) }
+}
+
+/// Global alignment storing packed 2-bit directions instead of scores
+/// (¼ byte per entry — the paper's §2.1 "two bits … encode the three path
+/// choices" variant), plus one rolling score row.
+///
+/// Returns the identical path to [`needleman_wunsch`] (shared tie-break).
+pub fn needleman_wunsch_packed(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    metrics: &Metrics,
+) -> AlignResult {
+    scheme.check_sequences(a, b);
+    let (m, n) = (a.len(), b.len());
+    let gap = scheme.gap().linear_penalty();
+    let bound = Boundary::global(m, n, gap);
+
+    let (dirs, last_row) =
+        fill_dir(a.codes(), b.codes(), &bound.top, &bound.left, scheme, metrics);
+    let _mem = metrics.track_alloc(dirs.bytes() + (n + 1) * std::mem::size_of::<i32>());
+    metrics.add_base_case_cells(m as u64 * n as u64);
+
+    let mut builder = PathBuilder::new();
+    let stop = trace_dirs(&dirs, (m, n), &mut builder, metrics);
+    debug_assert_eq!(stop, (0, 0));
+    AlignResult { score: last_row[n] as i64, path: builder.finish((0, 0)) }
+}
+
+/// FindScore only: the optimal global score in `O(min(m,n))` space and no
+/// path (used by experiments that don't need FindPath, and as a
+/// cross-check oracle).
+pub fn nw_score_only(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    metrics: &Metrics,
+) -> i64 {
+    scheme.check_sequences(a, b);
+    // Roll along the shorter dimension.
+    let (v, h) = if a.len() <= b.len() { (b, a) } else { (a, b) };
+    let gap = scheme.gap().linear_penalty();
+    let bound = Boundary::global(v.len(), h.len(), gap);
+    let mut bottom = vec![0i32; h.len() + 1];
+    let _mem = metrics.track_alloc(bottom.len() * std::mem::size_of::<i32>());
+    fill_last_row(v.codes(), h.codes(), &bound.top, &bound.left, scheme, &mut bottom, metrics);
+    bottom[h.len()] as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsa_seq::Alphabet;
+
+    fn paper_pair() -> (Sequence, Sequence, ScoringScheme) {
+        let scheme = ScoringScheme::paper_example();
+        let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+        (a, b, scheme)
+    }
+
+    #[test]
+    fn paper_example_scores_82_both_orientations() {
+        let (a, b, scheme) = paper_pair();
+        let metrics = Metrics::new();
+        assert_eq!(needleman_wunsch(&a, &b, &scheme, &metrics).score, 82);
+        assert_eq!(needleman_wunsch(&b, &a, &scheme, &metrics).score, 82);
+    }
+
+    #[test]
+    fn paper_example_path_is_the_papers_optimal_alignment() {
+        // Figure 1's subscripts trace a unique optimal path; rendered it is
+        // TLDKLLK-D over T-D-VLKAD (the paper's second alignment).
+        let (a, b, scheme) = paper_pair();
+        let metrics = Metrics::new();
+        let r = needleman_wunsch(&a, &b, &scheme, &metrics);
+        let al = flsa_dp::Alignment::from_path(&a, &b, &r.path, &scheme);
+        assert_eq!(al.aligned_a, "TLDKLLK-D");
+        assert_eq!(al.aligned_b, "T-D-VLKAD");
+    }
+
+    #[test]
+    fn packed_variant_matches_full_variant() {
+        let (a, b, scheme) = paper_pair();
+        let metrics = Metrics::new();
+        let full = needleman_wunsch(&a, &b, &scheme, &metrics);
+        let packed = needleman_wunsch_packed(&a, &b, &scheme, &metrics);
+        assert_eq!(full.score, packed.score);
+        assert_eq!(full.path, packed.path);
+    }
+
+    #[test]
+    fn score_only_matches_full() {
+        let (a, b, scheme) = paper_pair();
+        let metrics = Metrics::new();
+        assert_eq!(nw_score_only(&a, &b, &scheme, &metrics), 82);
+        assert_eq!(nw_score_only(&b, &a, &scheme, &metrics), 82);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_all_gaps() {
+        let scheme = ScoringScheme::dna_default();
+        let a = Sequence::from_str("a", scheme.alphabet(), "").unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), "ACGT").unwrap();
+        let metrics = Metrics::new();
+        let r = needleman_wunsch(&a, &b, &scheme, &metrics);
+        assert_eq!(r.score, -40);
+        assert_eq!(r.path.moves(), &[Move::Left; 4]);
+    }
+
+    #[test]
+    fn both_empty_scores_zero() {
+        let scheme = ScoringScheme::dna_default();
+        let a = Sequence::from_str("a", scheme.alphabet(), "").unwrap();
+        let metrics = Metrics::new();
+        let r = needleman_wunsch(&a, &a, &scheme, &metrics);
+        assert_eq!(r.score, 0);
+        assert!(r.path.is_empty());
+    }
+
+    #[test]
+    fn identical_sequences_align_diagonally() {
+        let scheme = ScoringScheme::dna_default();
+        let a = Sequence::from_str("a", scheme.alphabet(), "ACGTACGT").unwrap();
+        let metrics = Metrics::new();
+        let r = needleman_wunsch(&a, &a, &scheme, &metrics);
+        assert_eq!(r.score, 8 * 5);
+        assert!(r.path.moves().iter().all(|&m| m == Move::Diag));
+    }
+
+    #[test]
+    fn fm_computes_exactly_mn_cells() {
+        let (a, b, scheme) = paper_pair();
+        let metrics = Metrics::new();
+        needleman_wunsch(&a, &b, &scheme, &metrics);
+        let s = metrics.snapshot();
+        assert_eq!(s.cells_computed, (a.len() * b.len()) as u64);
+        // FM stores the whole matrix: peak memory is (m+1)(n+1) i32s.
+        assert_eq!(s.peak_bytes, ((a.len() + 1) * (b.len() + 1) * 4) as u64);
+    }
+
+    #[test]
+    fn packed_variant_uses_quarter_byte_per_entry() {
+        let scheme = ScoringScheme::dna_default();
+        let alpha = Alphabet::dna();
+        let a = Sequence::from_str("a", &alpha, &"ACGT".repeat(64)).unwrap();
+        let metrics_full = Metrics::new();
+        needleman_wunsch(&a, &a, &scheme, &metrics_full);
+        let metrics_packed = Metrics::new();
+        needleman_wunsch_packed(&a, &a, &scheme, &metrics_packed);
+        let full_bytes = metrics_full.snapshot().peak_bytes as f64;
+        let packed_bytes = metrics_packed.snapshot().peak_bytes as f64;
+        assert!(
+            packed_bytes < full_bytes / 10.0,
+            "packed {packed_bytes} vs full {full_bytes}"
+        );
+    }
+}

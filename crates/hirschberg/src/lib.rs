@@ -1,0 +1,279 @@
+//! Hirschberg / Myers–Miller linear-space global alignment.
+//!
+//! The paper's linear-space baseline (§2.2): divide-and-conquer over the
+//! *vertical* sequence. Each level computes the forward last row of the top
+//! half and the backward last row of the bottom half, picks the split
+//! column maximizing their sum, and recurses on the two sub-rectangles.
+//! Space is `O(min(m, n))`; computation is ≈ `2·m·n` DPM entries (every
+//! level re-fills the whole remaining area once, and the areas of the
+//! sub-problems sum to at most half the parent's).
+//!
+//! Hirschberg's original algorithm computed longest common subsequences;
+//! Myers & Miller adapted it to sequence alignment — this implementation
+//! follows their formulation, restricted (like the paper) to linear gap
+//! penalties.
+//!
+//! Like the paper's implementation, the recursion can stop early and
+//! solve sub-problems that fit a small buffer with the FM algorithm
+//! ([`HirschbergConfig::base_cells`]).
+
+pub mod affine;
+
+pub use affine::myers_miller_affine;
+
+use flsa_dp::kernel::{fill_full, fill_last_row};
+use flsa_dp::traceback::trace_from;
+use flsa_dp::{AlignResult, Boundary, Metrics, Move, Path, PathBuilder};
+use flsa_scoring::ScoringScheme;
+use flsa_seq::Sequence;
+
+/// Tuning for the Hirschberg recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HirschbergConfig {
+    /// Sub-problems with at most this many DPM entries (including the
+    /// boundary row/column) are solved by the FM algorithm instead of
+    /// recursing further. The classical algorithm corresponds to a very
+    /// small value; the paper notes termination "could be sooner by using
+    /// a FM algorithm when the problem size is small enough".
+    pub base_cells: usize,
+}
+
+impl Default for HirschbergConfig {
+    fn default() -> Self {
+        // Small enough to keep the ~2·m·n operation profile observable,
+        // large enough to avoid deep recursion constants.
+        HirschbergConfig { base_cells: 4096 }
+    }
+}
+
+/// Global alignment in linear space with the default configuration.
+///
+/// # Examples
+///
+/// ```
+/// use flsa_hirschberg::hirschberg;
+/// use flsa_dp::Metrics;
+/// use flsa_scoring::ScoringScheme;
+/// use flsa_seq::Sequence;
+///
+/// let scheme = ScoringScheme::paper_example();
+/// let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+/// let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+/// let metrics = Metrics::new();
+/// let r = hirschberg(&a, &b, &scheme, &metrics);
+/// assert_eq!(r.score, 82); // the paper's worked example
+/// ```
+pub fn hirschberg(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    metrics: &Metrics,
+) -> AlignResult {
+    hirschberg_with(a, b, scheme, HirschbergConfig::default(), metrics)
+}
+
+/// Global alignment in linear space with explicit tuning.
+pub fn hirschberg_with(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    config: HirschbergConfig,
+    metrics: &Metrics,
+) -> AlignResult {
+    scheme.check_sequences(a, b);
+    // Working storage: two rows of length n+1 reused across all levels
+    // (the linear-space claim), plus O(log m) recursion frames.
+    let row_bytes = 2 * (b.len() + 1) * std::mem::size_of::<i32>();
+    let _mem = metrics.track_alloc(row_bytes);
+
+    let mut moves = Vec::with_capacity(a.len() + b.len());
+    let mut ctx = Ctx { scheme, config, metrics };
+    ctx.solve(a.codes(), b.codes(), &mut moves);
+    let path = Path::new((0, 0), moves);
+    debug_assert!(path.is_global(a.len(), b.len()));
+    let score = path.score(a, b, scheme);
+    AlignResult { score, path }
+}
+
+struct Ctx<'s> {
+    scheme: &'s ScoringScheme,
+    config: HirschbergConfig,
+    metrics: &'s Metrics,
+}
+
+impl Ctx<'_> {
+    /// Appends the optimal path for the `a × b` rectangle to `out`
+    /// (forward order). The rectangle is always a *standalone* global
+    /// problem: once a split point is fixed, the halves are independent.
+    fn solve(&mut self, a: &[u8], b: &[u8], out: &mut Vec<Move>) {
+        let (m, n) = (a.len(), b.len());
+        if m == 0 {
+            out.extend(std::iter::repeat_n(Move::Left, n));
+            return;
+        }
+        if n == 0 {
+            out.extend(std::iter::repeat_n(Move::Up, m));
+            return;
+        }
+        // FM base case: tiny area, or a single row (where the FM matrix is
+        // itself linear-size).
+        if m == 1 || (m + 1).saturating_mul(n + 1) <= self.config.base_cells {
+            self.solve_fm(a, b, out);
+            return;
+        }
+
+        let gap = self.scheme.gap().linear_penalty();
+        let mid = m / 2;
+
+        // Forward pass: last row of the top half.
+        let mut fwd = vec![0i32; n + 1];
+        let top_bound = Boundary::global(mid, n, gap);
+        fill_last_row(&a[..mid], b, &top_bound.top, &top_bound.left, self.scheme, &mut fwd, self.metrics);
+
+        // Backward pass: last row of the reversed bottom half.
+        let ra: Vec<u8> = a[mid..].iter().rev().copied().collect();
+        let rb: Vec<u8> = b.iter().rev().copied().collect();
+        let mut rev = vec![0i32; n + 1];
+        let bot_bound = Boundary::global(ra.len(), n, gap);
+        fill_last_row(&ra, &rb, &bot_bound.top, &bot_bound.left, self.scheme, &mut rev, self.metrics);
+
+        // Split column: maximize fwd[j] + rev[n - j]. Ties broken toward
+        // the smallest j (deterministic).
+        let mut best_j = 0usize;
+        let mut best = i64::MIN;
+        for j in 0..=n {
+            let s = fwd[j] as i64 + rev[n - j] as i64;
+            if s > best {
+                best = s;
+                best_j = j;
+            }
+        }
+
+        self.solve(&a[..mid], &b[..best_j], out);
+        self.solve(&a[mid..], &b[best_j..], out);
+    }
+
+    /// Full-matrix solve of a standalone sub-rectangle, appending forward
+    /// moves.
+    fn solve_fm(&mut self, a: &[u8], b: &[u8], out: &mut Vec<Move>) {
+        let (m, n) = (a.len(), b.len());
+        let gap = self.scheme.gap().linear_penalty();
+        let bound = Boundary::global(m, n, gap);
+        let dpm = fill_full(a, b, &bound.top, &bound.left, self.scheme, self.metrics);
+        let _mem = self.metrics.track_alloc(dpm.bytes());
+        self.metrics.add_base_case_cells(m as u64 * n as u64);
+        let mut builder = PathBuilder::new();
+        let (ei, ej) = trace_from(&dpm, a, b, self.scheme, (m, n), &mut builder, self.metrics);
+        for _ in 0..ei {
+            builder.push_back(Move::Up);
+        }
+        for _ in 0..ej {
+            builder.push_back(Move::Left);
+        }
+        out.extend(builder.finish((0, 0)).moves());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsa_fullmatrix::needleman_wunsch;
+    use flsa_seq::generate::homologous_pair;
+    use flsa_seq::Alphabet;
+
+    fn paper_pair() -> (Sequence, Sequence, ScoringScheme) {
+        let scheme = ScoringScheme::paper_example();
+        let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+        (a, b, scheme)
+    }
+
+    #[test]
+    fn paper_example_scores_82() {
+        let (a, b, scheme) = paper_pair();
+        let metrics = Metrics::new();
+        let r = hirschberg(&a, &b, &scheme, &metrics);
+        assert_eq!(r.score, 82);
+        assert!(r.path.is_global(a.len(), b.len()));
+    }
+
+    #[test]
+    fn matches_needleman_wunsch_on_random_pairs() {
+        let scheme = ScoringScheme::dna_default();
+        for seed in 0..10 {
+            let (a, b) = homologous_pair("t", &Alphabet::dna(), 200, 0.8, seed).unwrap();
+            let metrics = Metrics::new();
+            let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
+            // Force real recursion with a tiny base case.
+            let h = hirschberg_with(
+                &a, &b, &scheme, HirschbergConfig { base_cells: 16 }, &metrics,
+            );
+            assert_eq!(nw.score, h.score, "seed {seed}");
+            assert_eq!(h.path.score(&a, &b, &scheme), h.score);
+        }
+    }
+
+    #[test]
+    fn op_count_is_about_twice_mn() {
+        // The paper: "Approximately m × n re-computations need to be done
+        // using Hirschberg's algorithm", i.e. ≈ 2·m·n total cells.
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 1200, 0.8, 7).unwrap();
+        let metrics = Metrics::new();
+        hirschberg_with(&a, &b, &scheme, HirschbergConfig { base_cells: 64 }, &metrics);
+        let factor = metrics.snapshot().cell_factor(a.len(), b.len());
+        assert!(factor <= 2.05, "factor {factor} should be <= ~2");
+        assert!(factor >= 1.5, "factor {factor} should be near 2");
+    }
+
+    #[test]
+    fn memory_is_linear_not_quadratic() {
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 2000, 0.8, 3).unwrap();
+
+        let m_h = Metrics::new();
+        hirschberg(&a, &b, &scheme, &m_h);
+        let m_fm = Metrics::new();
+        needleman_wunsch(&a, &b, &scheme, &m_fm);
+
+        let h_bytes = m_h.snapshot().peak_bytes;
+        let fm_bytes = m_fm.snapshot().peak_bytes;
+        assert!(
+            h_bytes * 20 < fm_bytes,
+            "hirschberg {h_bytes} B should be far under FM {fm_bytes} B"
+        );
+    }
+
+    #[test]
+    fn asymmetric_lengths_work() {
+        let scheme = ScoringScheme::dna_default();
+        let a = Sequence::from_str("a", scheme.alphabet(), &"ACGT".repeat(100)).unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), "ACGTACGT").unwrap();
+        let metrics = Metrics::new();
+        let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
+        let h = hirschberg_with(&a, &b, &scheme, HirschbergConfig { base_cells: 16 }, &metrics);
+        assert_eq!(nw.score, h.score);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let scheme = ScoringScheme::dna_default();
+        let e = Sequence::from_str("e", scheme.alphabet(), "").unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), "ACGT").unwrap();
+        let metrics = Metrics::new();
+        assert_eq!(hirschberg(&e, &b, &scheme, &metrics).score, -40);
+        assert_eq!(hirschberg(&b, &e, &scheme, &metrics).score, -40);
+        assert_eq!(hirschberg(&e, &e, &scheme, &metrics).score, 0);
+    }
+
+    #[test]
+    fn single_residue_vertical_sequence() {
+        let scheme = ScoringScheme::dna_default();
+        let a = Sequence::from_str("a", scheme.alphabet(), "G").unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), &"ACG".repeat(50)).unwrap();
+        let metrics = Metrics::new();
+        let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
+        let h = hirschberg(&a, &b, &scheme, &metrics);
+        assert_eq!(nw.score, h.score);
+    }
+}

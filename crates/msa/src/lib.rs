@@ -1,0 +1,24 @@
+//! Center-star multiple sequence alignment (MSA) on top of FastLSA.
+//!
+//! The paper's introduction motivates pairwise alignment as the
+//! fundamental operation of homology search; the classic *downstream*
+//! consumer is multiple alignment. This crate implements the center-star
+//! method (Gusfield's 2-approximation for sum-of-pairs):
+//!
+//! 1. align every pair with FastLSA and pick the **center** sequence
+//!    maximizing total similarity to the others;
+//! 2. align every other sequence to the center (optimal pairwise paths);
+//! 3. merge the pairwise alignments with the *"once a gap, always a
+//!    gap"* rule: the master column layout inserts, between consecutive
+//!    center residues, the maximum number of insertion columns any
+//!    pairwise alignment needs there.
+//!
+//! All pairwise work runs through [`fastlsa_core::align_with`], so large
+//! families of long sequences stay within FastLSA's linear-space
+//! footprint.
+
+pub mod msa;
+pub mod star;
+
+pub use msa::Msa;
+pub use star::{center_star, CenterStarResult};

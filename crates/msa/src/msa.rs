@@ -1,0 +1,214 @@
+//! The multiple-alignment result type.
+
+use flsa_scoring::ScoringScheme;
+use flsa_seq::Sequence;
+
+/// A multiple sequence alignment: `n` rows of equal length over the
+/// alphabet plus `-`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msa {
+    /// Sequence identifiers, row order.
+    pub ids: Vec<String>,
+    /// Aligned rows (equal lengths, `-` for gaps).
+    pub rows: Vec<String>,
+}
+
+impl Msa {
+    /// Builds an MSA, validating shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows have unequal lengths or counts mismatch.
+    pub fn new(ids: Vec<String>, rows: Vec<String>) -> Self {
+        assert_eq!(ids.len(), rows.len(), "one id per row");
+        if let Some(first) = rows.first() {
+            assert!(
+                rows.iter().all(|r| r.len() == first.len()),
+                "all MSA rows must have equal length"
+            );
+        }
+        Msa { ids, rows }
+    }
+
+    /// Number of sequences.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of alignment columns.
+    pub fn num_cols(&self) -> usize {
+        self.rows.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Row `i` with gaps removed (the original sequence text).
+    pub fn ungapped(&self, i: usize) -> String {
+        self.rows[i].chars().filter(|&c| c != '-').collect()
+    }
+
+    /// Sum-of-pairs score under `scheme` (linear gaps; gap–gap columns
+    /// score 0, residue–gap pairs score the gap penalty).
+    pub fn sum_of_pairs(&self, scheme: &ScoringScheme) -> i64 {
+        let gap = scheme.gap().linear_penalty() as i64;
+        let alpha = scheme.alphabet();
+        let bytes: Vec<&[u8]> = self.rows.iter().map(|r| r.as_bytes()).collect();
+        let mut total = 0i64;
+        for col in 0..self.num_cols() {
+            for i in 0..bytes.len() {
+                for j in i + 1..bytes.len() {
+                    let (ci, cj) = (bytes[i][col] as char, bytes[j][col] as char);
+                    total += match (ci == '-', cj == '-') {
+                        (true, true) => 0,
+                        (true, false) | (false, true) => gap,
+                        (false, false) => {
+                            let a = alpha.encode_symbol(ci).expect("row symbol in alphabet");
+                            let b = alpha.encode_symbol(cj).expect("row symbol in alphabet");
+                            scheme.sub(a, b) as i64
+                        }
+                    };
+                }
+            }
+        }
+        total
+    }
+
+    /// Fraction of columns where every row carries the identical residue
+    /// (no gaps).
+    pub fn conservation(&self) -> f64 {
+        let cols = self.num_cols();
+        if cols == 0 || self.rows.is_empty() {
+            return 0.0;
+        }
+        let bytes: Vec<&[u8]> = self.rows.iter().map(|r| r.as_bytes()).collect();
+        let conserved = (0..cols)
+            .filter(|&c| {
+                let first = bytes[0][c];
+                first != b'-' && bytes.iter().all(|r| r[c] == first)
+            })
+            .count();
+        conserved as f64 / cols as f64
+    }
+
+    /// Checks the MSA is a faithful alignment of `originals` (same ids,
+    /// same residues after removing gaps). Test/validation helper.
+    pub fn is_alignment_of(&self, originals: &[Sequence]) -> bool {
+        self.num_rows() == originals.len()
+            && originals.iter().enumerate().all(|(i, s)| {
+                self.ids[i] == s.id() && self.ungapped(i) == s.to_string()
+            })
+    }
+}
+
+impl std::fmt::Display for Msa {
+    /// Clustal-like block rendering, 60 columns per block.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const W: usize = 60;
+        let name_w = self.ids.iter().map(String::len).max().unwrap_or(0).min(20);
+        let cols = self.num_cols();
+        let mut pos = 0;
+        while pos < cols {
+            let end = (pos + W).min(cols);
+            for (id, row) in self.ids.iter().zip(&self.rows) {
+                writeln!(f, "{:<name_w$}  {}", truncate(id, 20), &row[pos..end])?;
+            }
+            if end < cols {
+                writeln!(f)?;
+            }
+            pos = end;
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsa_seq::Alphabet;
+
+    fn msa() -> Msa {
+        Msa::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["AC-GT".into(), "ACCGT".into(), "AC-G-".into()],
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let m = msa();
+        assert_eq!(m.num_rows(), 3);
+        assert_eq!(m.num_cols(), 5);
+        assert_eq!(m.ungapped(0), "ACGT");
+        assert_eq!(m.ungapped(2), "ACG");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_rejected() {
+        Msa::new(vec!["a".into(), "b".into()], vec!["AC".into(), "ACG".into()]);
+    }
+
+    #[test]
+    fn sum_of_pairs_hand_computed() {
+        let scheme = ScoringScheme::dna_default();
+        let m = Msa::new(
+            vec!["a".into(), "b".into()],
+            vec!["AC-T".into(), "ACGT".into()],
+        );
+        // Columns: A/A (+5), C/C (+5), -/G (-10), T/T (+5) = 5.
+        assert_eq!(m.sum_of_pairs(&scheme), 5);
+    }
+
+    #[test]
+    fn gap_gap_columns_score_zero() {
+        let scheme = ScoringScheme::dna_default();
+        let m = Msa::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["A-T".into(), "A-T".into(), "AGT".into()],
+        );
+        // col0: 3 pairs of A/A = 15; col1: -/- 0, -/G -10, -/G -10;
+        // col2: 15. Total 10.
+        assert_eq!(m.sum_of_pairs(&scheme), 10);
+    }
+
+    #[test]
+    fn conservation_counts_all_identical_columns() {
+        let m = msa();
+        // Conserved columns: A, C, G (col 3). Col 2 has a gap, col 4 mixed.
+        assert!((m.conservation() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_alignment_of_checks_residues() {
+        let m = msa();
+        let alpha = Alphabet::dna();
+        let originals = vec![
+            Sequence::from_str("a", &alpha, "ACGT").unwrap(),
+            Sequence::from_str("b", &alpha, "ACCGT").unwrap(),
+            Sequence::from_str("c", &alpha, "ACG").unwrap(),
+        ];
+        assert!(m.is_alignment_of(&originals));
+        let wrong = vec![
+            Sequence::from_str("a", &alpha, "ACGA").unwrap(),
+            Sequence::from_str("b", &alpha, "ACCGT").unwrap(),
+            Sequence::from_str("c", &alpha, "ACG").unwrap(),
+        ];
+        assert!(!m.is_alignment_of(&wrong));
+    }
+
+    #[test]
+    fn display_blocks() {
+        let m = Msa::new(
+            vec!["s1".into(), "s2".into()],
+            vec!["A".repeat(70), "A".repeat(70)],
+        );
+        let text = format!("{m}");
+        assert_eq!(text.lines().filter(|l| !l.is_empty()).count(), 4);
+    }
+}

@@ -1,0 +1,386 @@
+//! The center-star construction.
+
+use fastlsa_core::FastLsaConfig;
+use flsa_dp::kernel::fill_last_row;
+use flsa_dp::{Boundary, Metrics, Move, Path};
+use flsa_scoring::ScoringScheme;
+use flsa_seq::Sequence;
+
+use crate::Msa;
+
+/// Errors from MSA construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsaError {
+    /// No sequences supplied.
+    Empty,
+}
+
+impl std::fmt::Display for MsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsaError::Empty => write!(f, "center-star MSA needs at least one sequence"),
+        }
+    }
+}
+
+impl std::error::Error for MsaError {}
+
+/// Outcome of [`center_star`].
+#[derive(Debug, Clone)]
+pub struct CenterStarResult {
+    /// The multiple alignment.
+    pub msa: Msa,
+    /// Index of the chosen center sequence (into the input slice).
+    pub center: usize,
+    /// Optimal pairwise score of every sequence against the center
+    /// (`pairwise[center] = 0` by convention).
+    pub pairwise: Vec<i64>,
+}
+
+/// Optimal pairwise score only (one rolling-row pass; no path).
+fn pair_score(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metrics) -> i64 {
+    let gap = scheme.gap().linear_penalty();
+    let bound = Boundary::global(a.len(), b.len(), gap);
+    let mut bottom = vec![0i32; b.len() + 1];
+    fill_last_row(a.codes(), b.codes(), &bound.top, &bound.left, scheme, &mut bottom, metrics);
+    bottom[b.len()] as i64
+}
+
+/// Number of Left moves (insertions in the center) before each center
+/// residue; slot `m` collects trailing insertions.
+fn insertion_profile(path: &Path, center_len: usize) -> Vec<usize> {
+    let mut ins = vec![0usize; center_len + 1];
+    let mut p = 0usize;
+    for m in path.moves() {
+        match m {
+            Move::Left => ins[p] += 1,
+            Move::Diag | Move::Up => p += 1,
+        }
+    }
+    debug_assert_eq!(p, center_len);
+    ins
+}
+
+/// Renders a non-center row into the master column layout.
+fn render_other(path: &Path, other: &Sequence, master: &[usize]) -> String {
+    let alpha = other.alphabet();
+    let mut out = String::new();
+    let mut p = 0usize; // center position
+    let mut q = 0usize; // other position
+    let mut slot_used = 0usize;
+    for m in path.moves() {
+        match m {
+            Move::Left => {
+                out.push(alpha.decode(other.codes()[q]));
+                q += 1;
+                slot_used += 1;
+            }
+            Move::Diag | Move::Up => {
+                // Close slot p: pad to the master insertion count.
+                out.extend(std::iter::repeat_n('-', master[p] - slot_used));
+                slot_used = 0;
+                if matches!(m, Move::Diag) {
+                    out.push(alpha.decode(other.codes()[q]));
+                    q += 1;
+                } else {
+                    out.push('-');
+                }
+                p += 1;
+            }
+        }
+    }
+    out.extend(std::iter::repeat_n('-', master[p] - slot_used));
+    out
+}
+
+/// Renders the center row into the master layout.
+fn render_center(center: &Sequence, master: &[usize]) -> String {
+    let alpha = center.alphabet();
+    let mut out = String::new();
+    for (p, &ins) in master.iter().enumerate() {
+        out.extend(std::iter::repeat_n('-', ins));
+        if p < center.len() {
+            out.push(alpha.decode(center.codes()[p]));
+        }
+    }
+    out
+}
+
+/// Center-star multiple alignment of `seqs` under `scheme`, with every
+/// pairwise alignment computed by FastLSA (`config`).
+///
+/// # Examples
+///
+/// ```
+/// use flsa_msa::center_star;
+/// use fastlsa_core::FastLsaConfig;
+/// use flsa_dp::Metrics;
+/// use flsa_scoring::ScoringScheme;
+/// use flsa_seq::Sequence;
+///
+/// let scheme = ScoringScheme::dna_default();
+/// let seqs: Vec<Sequence> = ["ACGTACGT", "ACGTCGT", "ACGGACGT"]
+///     .iter()
+///     .enumerate()
+///     .map(|(i, s)| Sequence::from_str(&format!("s{i}"), scheme.alphabet(), s).unwrap())
+///     .collect();
+/// let metrics = Metrics::new();
+/// let result = center_star(&seqs, &scheme, FastLsaConfig::default(), &metrics).unwrap();
+/// assert!(result.msa.is_alignment_of(&seqs));
+/// assert_eq!(result.msa.num_rows(), 3);
+/// ```
+pub fn center_star(
+    seqs: &[Sequence],
+    scheme: &ScoringScheme,
+    config: FastLsaConfig,
+    metrics: &Metrics,
+) -> Result<CenterStarResult, MsaError> {
+    if seqs.is_empty() {
+        return Err(MsaError::Empty);
+    }
+    for s in seqs {
+        assert!(
+            s.alphabet() == scheme.alphabet(),
+            "sequence {} is not encoded in the scheme's alphabet",
+            s.id()
+        );
+    }
+    if seqs.len() == 1 {
+        return Ok(CenterStarResult {
+            msa: Msa::new(vec![seqs[0].id().to_string()], vec![seqs[0].to_string()]),
+            center: 0,
+            pairwise: vec![0],
+        });
+    }
+
+    // 1. Pick the center: maximize the total pairwise score to the rest.
+    let n = seqs.len();
+    let mut totals = vec![0i64; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let s = pair_score(&seqs[i], &seqs[j], scheme, metrics);
+            totals[i] += s;
+            totals[j] += s;
+        }
+    }
+    let center = (0..n).max_by_key(|&i| totals[i]).expect("non-empty");
+    let center_seq = &seqs[center];
+
+    // 2. Optimal FastLSA path of every other sequence against the center.
+    let mut paths: Vec<Option<Path>> = vec![None; n];
+    let mut pairwise = vec![0i64; n];
+    for (i, seq) in seqs.iter().enumerate() {
+        if i == center {
+            continue;
+        }
+        let r = fastlsa_core::align_with(center_seq, seq, scheme, config, metrics);
+        pairwise[i] = r.score;
+        paths[i] = Some(r.path);
+    }
+
+    // 3. Master layout: the per-slot maximum insertion counts.
+    let mut master = vec![0usize; center_seq.len() + 1];
+    for path in paths.iter().flatten() {
+        for (p, ins) in insertion_profile(path, center_seq.len()).into_iter().enumerate() {
+            master[p] = master[p].max(ins);
+        }
+    }
+
+    // 4. Render all rows in input order.
+    let mut ids = Vec::with_capacity(n);
+    let mut rows = Vec::with_capacity(n);
+    for (i, seq) in seqs.iter().enumerate() {
+        ids.push(seq.id().to_string());
+        rows.push(match &paths[i] {
+            None => render_center(center_seq, &master),
+            Some(path) => render_other(path, seq, &master),
+        });
+    }
+    Ok(CenterStarResult { msa: Msa::new(ids, rows), center, pairwise })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsa_seq::generate::{mutate, random_sequence, MutationModel};
+    use flsa_seq::Alphabet;
+
+    fn dna_seqs(texts: &[&str]) -> (Vec<Sequence>, ScoringScheme) {
+        let scheme = ScoringScheme::dna_default();
+        let seqs = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Sequence::from_str(&format!("s{i}"), scheme.alphabet(), t).unwrap())
+            .collect();
+        (seqs, scheme)
+    }
+
+    fn build(texts: &[&str]) -> (CenterStarResult, Vec<Sequence>, ScoringScheme) {
+        let (seqs, scheme) = dna_seqs(texts);
+        let metrics = Metrics::new();
+        let r = center_star(&seqs, &scheme, FastLsaConfig::new(2, 64), &metrics).unwrap();
+        (r, seqs, scheme)
+    }
+
+    #[test]
+    fn identical_sequences_align_without_gaps() {
+        let (r, seqs, _) = build(&["ACGTACGT", "ACGTACGT", "ACGTACGT"]);
+        assert!(r.msa.is_alignment_of(&seqs));
+        assert_eq!(r.msa.num_cols(), 8);
+        assert!((r.msa.conservation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deletion_in_one_sequence_becomes_a_gap_column() {
+        let (r, seqs, _) = build(&["ACGTACGT", "ACGTCGT", "ACGTACGT"]);
+        assert!(r.msa.is_alignment_of(&seqs));
+        assert_eq!(r.msa.num_cols(), 8);
+        assert_eq!(r.msa.rows[1].matches('-').count(), 1);
+    }
+
+    #[test]
+    fn insertion_against_center_expands_all_rows() {
+        let (r, seqs, _) = build(&["ACGTACGT", "ACGTXACGT".replace('X', "T").as_str(), "ACGTACGT"]);
+        assert!(r.msa.is_alignment_of(&seqs));
+        // One sequence has 9 residues: the MSA needs >= 9 columns.
+        assert!(r.msa.num_cols() >= 9);
+    }
+
+    #[test]
+    fn center_is_the_most_similar_sequence() {
+        // s1 is similar to both others; s0 and s2 differ from each other.
+        let (r, _, _) = build(&["AAAAAAAA", "AAAACCCC", "CCCCCCCC"]);
+        assert_eq!(r.center, 1);
+    }
+
+    #[test]
+    fn single_sequence_is_trivial() {
+        let (r, seqs, _) = build(&["ACGT"]);
+        assert!(r.msa.is_alignment_of(&seqs));
+        assert_eq!(r.msa.num_cols(), 4);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let scheme = ScoringScheme::dna_default();
+        let metrics = Metrics::new();
+        assert_eq!(
+            center_star(&[], &scheme, FastLsaConfig::default(), &metrics).unwrap_err(),
+            MsaError::Empty
+        );
+    }
+
+    #[test]
+    fn mutated_family_round_trips() {
+        let scheme = ScoringScheme::dna_default();
+        let alpha = Alphabet::dna();
+        let ancestor = random_sequence("anc", &alpha, 300, 7);
+        let model = MutationModel::with_identity(0.85);
+        let mut family = vec![ancestor.clone()];
+        for seed in 1..=4 {
+            family.push(mutate(&ancestor, &model, seed).unwrap());
+        }
+        let metrics = Metrics::new();
+        let r = center_star(&family, &scheme, FastLsaConfig::new(4, 1024), &metrics).unwrap();
+        assert!(r.msa.is_alignment_of(&family));
+        assert!(r.msa.conservation() > 0.4, "conservation {}", r.msa.conservation());
+        // Sum-of-pairs should beat the trivial no-alignment baseline of
+        // stacking unaligned sequences... compare against an MSA that
+        // left-justifies rows and pads with gaps.
+        let max_len = family.iter().map(Sequence::len).max().unwrap();
+        let naive = Msa::new(
+            family.iter().map(|s| s.id().to_string()).collect(),
+            family
+                .iter()
+                .map(|s| format!("{}{}", s, "-".repeat(max_len - s.len())))
+                .collect(),
+        );
+        assert!(
+            r.msa.sum_of_pairs(&scheme) > naive.sum_of_pairs(&scheme),
+            "center-star {} vs naive {}",
+            r.msa.sum_of_pairs(&scheme),
+            naive.sum_of_pairs(&scheme)
+        );
+    }
+
+    #[test]
+    fn sum_of_pairs_never_exceeds_exact_three_way_optimum() {
+        // Exhaustive 3D DP oracle for three tiny sequences: center-star
+        // is an approximation, so SP(center-star) <= SP(optimal).
+        let cases = [
+            ["ACGT", "AGT", "ACT"],
+            ["AAAA", "AACA", "CAAA"],
+            ["ACAC", "CACA", "ACCA"],
+            ["GGG", "G", "GGGGG"],
+        ];
+        for texts in cases {
+            let (r, seqs, scheme) = {
+                let (seqs, scheme) = dna_seqs(&texts);
+                let metrics = Metrics::new();
+                let r = center_star(&seqs, &scheme, FastLsaConfig::new(2, 16), &metrics).unwrap();
+                (r, seqs, scheme)
+            };
+            let opt = optimal_sp_3d(&seqs[0], &seqs[1], &seqs[2], &scheme);
+            let cs = r.msa.sum_of_pairs(&scheme);
+            assert!(cs <= opt, "{texts:?}: center-star {cs} > optimal {opt}");
+            // And it should not be catastrophically below the optimum on
+            // these near-identical cases.
+            assert!(cs >= opt - 40, "{texts:?}: center-star {cs} vs optimal {opt}");
+        }
+    }
+
+    /// Exact 3-sequence sum-of-pairs optimum by 3-dimensional DP.
+    fn optimal_sp_3d(a: &Sequence, b: &Sequence, c: &Sequence, scheme: &ScoringScheme) -> i64 {
+        let gap = scheme.gap().linear_penalty() as i64;
+        let (la, lb, lc) = (a.len(), b.len(), c.len());
+        let idx = |i: usize, j: usize, k: usize| (i * (lb + 1) + j) * (lc + 1) + k;
+        let mut dp = vec![i64::MIN / 2; (la + 1) * (lb + 1) * (lc + 1)];
+        dp[0] = 0;
+        let col = |x: Option<u8>, y: Option<u8>, z: Option<u8>| -> i64 {
+            let pair = |p: Option<u8>, q: Option<u8>| -> i64 {
+                match (p, q) {
+                    (Some(r), Some(s)) => scheme.sub(r, s) as i64,
+                    (None, None) => 0,
+                    _ => gap,
+                }
+            };
+            pair(x, y) + pair(x, z) + pair(y, z)
+        };
+        for i in 0..=la {
+            for j in 0..=lb {
+                for k in 0..=lc {
+                    let cur = dp[idx(i, j, k)];
+                    if cur <= i64::MIN / 4 {
+                        continue;
+                    }
+                    let ra = (i < la).then(|| a.codes()[i]);
+                    let rb = (j < lb).then(|| b.codes()[j]);
+                    let rc = (k < lc).then(|| c.codes()[k]);
+                    for da in 0..=1usize {
+                        for db in 0..=1usize {
+                            for dc in 0..=1usize {
+                                if da + db + dc == 0 {
+                                    continue;
+                                }
+                                if (da == 1 && ra.is_none())
+                                    || (db == 1 && rb.is_none())
+                                    || (dc == 1 && rc.is_none())
+                                {
+                                    continue;
+                                }
+                                let gain = col(
+                                    if da == 1 { ra } else { None },
+                                    if db == 1 { rb } else { None },
+                                    if dc == 1 { rc } else { None },
+                                );
+                                let t = idx(i + da, j + db, k + dc);
+                                dp[t] = dp[t].max(cur + gain);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dp[idx(la, lb, lc)]
+    }
+}

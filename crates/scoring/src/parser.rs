@@ -1,0 +1,238 @@
+//! Parser for NCBI-format substitution matrix files.
+//!
+//! The format used by BLAST/EMBOSS matrix distributions: `#` comment
+//! lines, then a header row of column symbols, then one row per symbol
+//! with integer scores. Symmetric by convention but not required.
+//!
+//! ```text
+//! # Example
+//!    A  C  G  T
+//! A  5 -4 -4 -4
+//! C -4  5 -4 -4
+//! G -4 -4  5 -4
+//! T -4 -4 -4  5
+//! ```
+
+use flsa_seq::Alphabet;
+
+use crate::SubstitutionMatrix;
+
+/// Errors from matrix-file parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixParseError {
+    /// No header row of symbols found.
+    MissingHeader,
+    /// A data row's leading symbol is not in the header.
+    UnknownRowSymbol(char),
+    /// A row has the wrong number of scores.
+    WrongRowWidth {
+        /// Row symbol.
+        symbol: char,
+        /// Scores found.
+        found: usize,
+        /// Scores expected (header width).
+        expected: usize,
+    },
+    /// A score failed to parse as an integer.
+    BadScore(String),
+    /// Header symbols are duplicated or non-ASCII.
+    BadHeader(String),
+    /// Rows were missing for some header symbols.
+    MissingRows(usize),
+}
+
+impl std::fmt::Display for MatrixParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixParseError::MissingHeader => write!(f, "no header row of symbols"),
+            MatrixParseError::UnknownRowSymbol(c) => {
+                write!(f, "row symbol {c:?} not present in header")
+            }
+            MatrixParseError::WrongRowWidth { symbol, found, expected } => {
+                write!(f, "row {symbol:?} has {found} scores, expected {expected}")
+            }
+            MatrixParseError::BadScore(s) => write!(f, "invalid score {s:?}"),
+            MatrixParseError::BadHeader(s) => write!(f, "invalid header: {s}"),
+            MatrixParseError::MissingRows(n) => write!(f, "{n} header symbol(s) have no row"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixParseError {}
+
+/// Parses an NCBI-format matrix from text. The alphabet is built from the
+/// header symbols in header order; the matrix `name` is caller-supplied
+/// (files carry it only in comments).
+pub fn parse_ncbi(name: &str, text: &str) -> Result<SubstitutionMatrix, MatrixParseError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+
+    let header_line = lines.next().ok_or(MatrixParseError::MissingHeader)?;
+    let symbols: Vec<char> = header_line.split_whitespace().map(|tok| {
+        let mut chars = tok.chars();
+        (chars.next(), chars.next())
+    })
+    .map(|(first, rest)| match (first, rest) {
+        (Some(c), None) => Ok(c),
+        _ => Err(MatrixParseError::BadHeader(format!("multi-character symbol in {header_line:?}"))),
+    })
+    .collect::<Result<_, _>>()?;
+    if symbols.is_empty() {
+        return Err(MatrixParseError::MissingHeader);
+    }
+    let sym_string: String = symbols.iter().collect();
+    if !sym_string.is_ascii() {
+        return Err(MatrixParseError::BadHeader("non-ASCII symbol".to_string()));
+    }
+    {
+        let mut seen = [false; 256];
+        for &c in &symbols {
+            let u = c.to_ascii_uppercase() as usize;
+            if seen[u] {
+                return Err(MatrixParseError::BadHeader(format!("duplicate symbol {c:?}")));
+            }
+            seen[u] = true;
+        }
+    }
+
+    let n = symbols.len();
+    let mut table = vec![i32::MIN; n * n];
+    let mut rows_seen = vec![false; n];
+    for line in lines {
+        let mut toks = line.split_whitespace();
+        let row_sym = toks
+            .next()
+            .and_then(|t| t.chars().next())
+            .ok_or(MatrixParseError::MissingHeader)?;
+        let row_idx = symbols
+            .iter()
+            .position(|&c| c.eq_ignore_ascii_case(&row_sym))
+            .ok_or(MatrixParseError::UnknownRowSymbol(row_sym))?;
+        let scores: Vec<&str> = toks.collect();
+        if scores.len() != n {
+            return Err(MatrixParseError::WrongRowWidth {
+                symbol: row_sym,
+                found: scores.len(),
+                expected: n,
+            });
+        }
+        for (col, tok) in scores.iter().enumerate() {
+            let v: i32 = tok
+                .parse()
+                .map_err(|_| MatrixParseError::BadScore(tok.to_string()))?;
+            table[row_idx * n + col] = v;
+        }
+        rows_seen[row_idx] = true;
+    }
+    let missing = rows_seen.iter().filter(|&&s| !s).count();
+    if missing > 0 {
+        return Err(MatrixParseError::MissingRows(missing));
+    }
+
+    // Leak-free static name trick is unnecessary: Alphabet wants &'static
+    // str only for its diagnostic name; use a leaked copy for custom
+    // alphabets (one per parsed file, negligible).
+    let alpha_name: &'static str = Box::leak(format!("custom:{name}").into_boxed_str());
+    let alphabet = Alphabet::new(alpha_name, &sym_string);
+    Ok(SubstitutionMatrix::from_table(name, alphabet, table))
+}
+
+/// Renders a matrix back to NCBI format (round-trip support, and handy
+/// for exporting the built-ins).
+pub fn to_ncbi(matrix: &SubstitutionMatrix) -> String {
+    let alpha = matrix.alphabet();
+    let n = alpha.len();
+    let mut out = String::new();
+    out.push_str("# emitted by flsa-scoring\n  ");
+    for c in 0..n {
+        out.push_str(&format!(" {:>3}", alpha.decode(c as u8)));
+    }
+    out.push('\n');
+    for r in 0..n {
+        out.push_str(&format!("{:<2}", alpha.decode(r as u8)));
+        for c in 0..n {
+            out.push_str(&format!(" {:>3}", matrix.score(r as u8, c as u8)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DNA_TEXT: &str = "\
+# test matrix
+   A  C  G  T
+A  5 -4 -4 -4
+C -4  5 -4 -4
+G -4 -4  5 -4
+T -4 -4 -4  5
+";
+
+    #[test]
+    fn parses_simple_dna_matrix() {
+        let m = parse_ncbi("dna-test", DNA_TEXT).unwrap();
+        assert_eq!(m.alphabet().len(), 4);
+        assert_eq!(m.score_chars('A', 'A'), Some(5));
+        assert_eq!(m.score_chars('G', 'T'), Some(-4));
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn round_trips_blosum62() {
+        let original = crate::tables::blosum62();
+        let text = to_ncbi(&original);
+        let parsed = parse_ncbi("blosum62", &text).unwrap();
+        for a in "ARNDCQEGHILKMFPSTWYVBZX*".chars() {
+            for b in "ARNDCQEGHILKMFPSTWYVBZX*".chars() {
+                assert_eq!(
+                    parsed.score_chars(a, b),
+                    original.score_chars(a, b),
+                    "{a}/{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reports_wrong_row_width() {
+        let text = "  A C\nA 1\nC 0 1\n";
+        assert_eq!(
+            parse_ncbi("x", text).unwrap_err(),
+            MatrixParseError::WrongRowWidth { symbol: 'A', found: 1, expected: 2 }
+        );
+    }
+
+    #[test]
+    fn reports_unknown_row_symbol() {
+        let text = "  A C\nA 1 0\nZ 0 1\n";
+        assert_eq!(parse_ncbi("x", text).unwrap_err(), MatrixParseError::UnknownRowSymbol('Z'));
+    }
+
+    #[test]
+    fn reports_bad_score() {
+        let text = "  A C\nA 1 x\nC 0 1\n";
+        assert!(matches!(parse_ncbi("x", text).unwrap_err(), MatrixParseError::BadScore(_)));
+    }
+
+    #[test]
+    fn reports_missing_rows() {
+        let text = "  A C\nA 1 0\n";
+        assert_eq!(parse_ncbi("x", text).unwrap_err(), MatrixParseError::MissingRows(1));
+    }
+
+    #[test]
+    fn reports_duplicate_header() {
+        let text = "  A A\nA 1 0\n";
+        assert!(matches!(parse_ncbi("x", text).unwrap_err(), MatrixParseError::BadHeader(_)));
+    }
+
+    #[test]
+    fn empty_input_is_missing_header() {
+        assert_eq!(parse_ncbi("x", "# only comments\n").unwrap_err(), MatrixParseError::MissingHeader);
+    }
+}

@@ -1,0 +1,115 @@
+//! The scoring bundle consumed by every aligner.
+
+use flsa_seq::{Alphabet, Sequence};
+
+use crate::{GapModel, SubstitutionMatrix};
+
+/// A complete scoring scheme: substitution matrix + gap model.
+///
+/// # Examples
+///
+/// ```
+/// use flsa_scoring::ScoringScheme;
+/// let scheme = ScoringScheme::paper_example();
+/// assert_eq!(scheme.gap().linear_penalty(), -10);
+/// assert_eq!(scheme.matrix().score_chars('L', 'V'), Some(12));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScoringScheme {
+    matrix: SubstitutionMatrix,
+    gap: GapModel,
+}
+
+impl ScoringScheme {
+    /// Bundles a matrix and a gap model.
+    pub fn new(matrix: SubstitutionMatrix, gap: GapModel) -> Self {
+        ScoringScheme { matrix, gap }
+    }
+
+    /// The paper's worked-example scheme: Table 1 fragment + gap −10.
+    pub fn paper_example() -> Self {
+        ScoringScheme::new(crate::tables::mdm_fragment(), GapModel::PAPER_DEFAULT)
+    }
+
+    /// BLOSUM62 + gap −10 (a reasonable protein default).
+    pub fn protein_default() -> Self {
+        ScoringScheme::new(crate::tables::blosum62(), GapModel::linear(-10))
+    }
+
+    /// +5/−4 DNA matrix + gap −10.
+    pub fn dna_default() -> Self {
+        ScoringScheme::new(crate::tables::dna_default(), GapModel::linear(-10))
+    }
+
+    /// Identity matrix + zero gap over `alphabet` (the LCS cross-check
+    /// scheme).
+    pub fn lcs(alphabet: Alphabet) -> Self {
+        ScoringScheme::new(crate::tables::identity(alphabet), GapModel::linear(0))
+    }
+
+    /// The substitution matrix.
+    pub fn matrix(&self) -> &SubstitutionMatrix {
+        &self.matrix
+    }
+
+    /// The gap model.
+    pub fn gap(&self) -> &GapModel {
+        &self.gap
+    }
+
+    /// The alphabet the scheme scores over.
+    pub fn alphabet(&self) -> &Alphabet {
+        self.matrix.alphabet()
+    }
+
+    /// Substitution score of two residue codes (hot-path shorthand).
+    #[inline(always)]
+    pub fn sub(&self, a: u8, b: u8) -> i32 {
+        self.matrix.score(a, b)
+    }
+
+    /// Checks that both sequences are encoded in this scheme's alphabet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatch: aligning sequences against the wrong matrix is
+    /// never recoverable and would silently produce garbage scores.
+    pub fn check_sequences(&self, a: &Sequence, b: &Sequence) {
+        assert!(
+            a.alphabet() == self.alphabet() && b.alphabet() == self.alphabet(),
+            "sequences must be encoded in the scoring scheme's alphabet ({})",
+            self.alphabet().name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flsa_seq::Sequence;
+
+    #[test]
+    fn check_sequences_accepts_matching_alphabet() {
+        let scheme = ScoringScheme::dna_default();
+        let a = Sequence::from_str("a", scheme.alphabet(), "ACGT").unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), "ACGA").unwrap();
+        scheme.check_sequences(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoring scheme's alphabet")]
+    fn check_sequences_rejects_mismatch() {
+        let scheme = ScoringScheme::dna_default();
+        let a = Sequence::from_str("a", &Alphabet::protein(), "ACGT").unwrap();
+        let b = Sequence::from_str("b", scheme.alphabet(), "ACGT").unwrap();
+        scheme.check_sequences(&a, &b);
+    }
+
+    #[test]
+    fn lcs_scheme_has_zero_gap() {
+        let scheme = ScoringScheme::lcs(Alphabet::dna());
+        assert_eq!(scheme.gap().linear_penalty(), 0);
+        assert_eq!(scheme.sub(0, 0), 1);
+        assert_eq!(scheme.sub(0, 1), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Residue alphabets.
+//!
+//! An [`Alphabet`] maps between ASCII residue characters and compact `u8`
+//! codes `0..len()`. The scoring crate builds substitution tables indexed by
+//! these codes, so the encoding must be stable: code order is the order of
+//! the `symbols` string.
+
+use crate::SeqError;
+
+/// The 20 standard amino acids in the conventional alphabetical
+/// one-letter order used by PAM/BLOSUM tables, plus the ambiguity/extra
+/// codes `B`, `Z`, `X` and the stop `*`.
+pub const PROTEIN_SYMBOLS: &str = "ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// DNA nucleotides plus the ambiguity code `N`.
+pub const DNA_SYMBOLS: &str = "ACGTN";
+
+/// A residue alphabet: an ordered set of ASCII symbols with a dense code
+/// space `0..len()`.
+///
+/// Encoding is case-insensitive (lower-case input maps to the upper-case
+/// symbol). Two alphabets are equal when their symbol strings are equal.
+///
+/// # Examples
+///
+/// ```
+/// use flsa_seq::Alphabet;
+/// let dna = Alphabet::dna();
+/// assert_eq!(dna.len(), 5);
+/// assert_eq!(dna.encode_symbol('a').unwrap(), dna.encode_symbol('A').unwrap());
+/// assert_eq!(dna.decode(0), 'A');
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    name: &'static str,
+    symbols: Vec<u8>,
+    /// ASCII byte -> code + 1 (0 means invalid), case-folded at build time.
+    lut: [u8; 256],
+}
+
+impl std::fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Alphabet")
+            .field("name", &self.name)
+            .field("symbols", &std::str::from_utf8(&self.symbols).unwrap_or("?"))
+            .finish()
+    }
+}
+
+impl Alphabet {
+    /// Builds an alphabet from a symbol string. Symbols must be distinct
+    /// ASCII; at most 250 symbols are supported (codes must fit the LUT
+    /// sentinel scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate or non-ASCII symbols — alphabets are static
+    /// configuration, so this is a programming error, not a runtime error.
+    pub fn new(name: &'static str, symbols: &str) -> Self {
+        assert!(symbols.is_ascii(), "alphabet symbols must be ASCII");
+        assert!(symbols.len() <= 250, "alphabet too large");
+        let symbols: Vec<u8> = symbols.bytes().collect();
+        let mut lut = [0u8; 256];
+        for (code, &b) in symbols.iter().enumerate() {
+            let up = b.to_ascii_uppercase();
+            let lo = b.to_ascii_lowercase();
+            assert!(lut[up as usize] == 0, "duplicate alphabet symbol {:?}", b as char);
+            lut[up as usize] = code as u8 + 1;
+            lut[lo as usize] = code as u8 + 1;
+        }
+        Alphabet { name, symbols, lut }
+    }
+
+    /// The standard protein alphabet (24 codes: 20 amino acids, `B`, `Z`,
+    /// `X`, `*`), matching PAM/BLOSUM table order.
+    pub fn protein() -> Self {
+        Alphabet::new("protein", PROTEIN_SYMBOLS)
+    }
+
+    /// The DNA alphabet `ACGTN`.
+    pub fn dna() -> Self {
+        Alphabet::new("dna", DNA_SYMBOLS)
+    }
+
+    /// Alphabet name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of distinct codes.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True when the alphabet has no symbols (never true for the built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Encodes one character, case-insensitively.
+    pub fn encode_symbol(&self, c: char) -> Option<u8> {
+        if !c.is_ascii() {
+            return None;
+        }
+        match self.lut[c as usize] {
+            0 => None,
+            v => Some(v - 1),
+        }
+    }
+
+    /// Decodes a code back to its (upper-case form of the) symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `code >= self.len()`.
+    pub fn decode(&self, code: u8) -> char {
+        self.symbols[code as usize] as char
+    }
+
+    /// Encodes a string, reporting the first invalid symbol.
+    pub fn encode_str(&self, s: &str) -> Result<Vec<u8>, SeqError> {
+        let mut out = Vec::with_capacity(s.len());
+        for (i, c) in s.char_indices() {
+            match self.encode_symbol(c) {
+                Some(code) => out.push(code),
+                None => return Err(SeqError::InvalidSymbol { symbol: c, position: i }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a code slice to a `String`.
+    pub fn decode_all(&self, codes: &[u8]) -> String {
+        codes.iter().map(|&c| self.decode(c)).collect()
+    }
+
+    /// True when `c` is encodable.
+    pub fn contains(&self, c: char) -> bool {
+        self.encode_symbol(c).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_alphabet_has_24_codes_in_blosum_order() {
+        let p = Alphabet::protein();
+        assert_eq!(p.len(), 24);
+        assert_eq!(p.encode_symbol('A'), Some(0));
+        assert_eq!(p.encode_symbol('R'), Some(1));
+        assert_eq!(p.encode_symbol('V'), Some(19));
+        assert_eq!(p.encode_symbol('*'), Some(23));
+    }
+
+    #[test]
+    fn dna_round_trips() {
+        let d = Alphabet::dna();
+        for (i, c) in "ACGTN".chars().enumerate() {
+            assert_eq!(d.encode_symbol(c), Some(i as u8));
+            assert_eq!(d.decode(i as u8), c);
+        }
+    }
+
+    #[test]
+    fn encoding_is_case_insensitive() {
+        let d = Alphabet::dna();
+        assert_eq!(d.encode_str("acgt").unwrap(), d.encode_str("ACGT").unwrap());
+    }
+
+    #[test]
+    fn invalid_symbol_is_reported_with_position() {
+        let d = Alphabet::dna();
+        let err = d.encode_str("ACGU").unwrap_err();
+        assert_eq!(err, SeqError::InvalidSymbol { symbol: 'U', position: 3 });
+    }
+
+    #[test]
+    fn non_ascii_rejected() {
+        let d = Alphabet::dna();
+        assert_eq!(d.encode_symbol('é'), None);
+    }
+
+    #[test]
+    fn decode_all_round_trips() {
+        let p = Alphabet::protein();
+        let s = "TLDKLLKD";
+        assert_eq!(p.decode_all(&p.encode_str(s).unwrap()), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_symbols_panic() {
+        Alphabet::new("bad", "AA");
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type shared by the sequence substrate.
+
+use std::fmt;
+
+/// Errors produced while encoding, parsing or generating sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A character that the target [`crate::Alphabet`] cannot encode.
+    InvalidSymbol {
+        /// The offending character.
+        symbol: char,
+        /// Byte offset in the input where it occurred.
+        position: usize,
+    },
+    /// FASTA input was structurally malformed.
+    MalformedFasta {
+        /// Human-readable description of the problem.
+        reason: String,
+        /// Line number (1-based) where the problem was detected.
+        line: usize,
+    },
+    /// An I/O error while reading or writing sequence files.
+    Io(String),
+    /// A generator was asked for an impossible configuration
+    /// (e.g. a mutation rate outside `[0, 1]`).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidSymbol { symbol, position } => {
+                write!(f, "invalid symbol {symbol:?} at byte {position}")
+            }
+            SeqError::MalformedFasta { reason, line } => {
+                write!(f, "malformed FASTA at line {line}: {reason}")
+            }
+            SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SeqError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+impl From<std::io::Error> for SeqError {
+    fn from(e: std::io::Error) -> Self {
+        SeqError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal FASTA reading and writing.
+//!
+//! Supports multi-record files, line-wrapped bodies, `;` comment lines, and
+//! CRLF line endings. Records are encoded eagerly with the caller-supplied
+//! alphabet so downstream code never sees raw ASCII.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Alphabet, SeqError, Sequence};
+
+/// Parses every record from a FASTA string.
+///
+/// # Examples
+///
+/// ```
+/// use flsa_seq::{Alphabet, fasta};
+/// let recs = fasta::parse_str(">a desc\nACGT\nACGT\n>b\nTTTT\n", &Alphabet::dna()).unwrap();
+/// assert_eq!(recs.len(), 2);
+/// assert_eq!(recs[0].id(), "a");
+/// assert_eq!(recs[0].len(), 8);
+/// ```
+pub fn parse_str(input: &str, alphabet: &Alphabet) -> Result<Vec<Sequence>, SeqError> {
+    parse_reader(input.as_bytes(), alphabet)
+}
+
+/// Parses every record from any reader.
+pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<Sequence>, SeqError> {
+    let mut records = Vec::new();
+    let mut current: Option<(String, Vec<u8>)> = None;
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some((id, codes)) = current.take() {
+                records.push(Sequence::from_codes(&id, alphabet, codes));
+            }
+            let id = header.split_whitespace().next().unwrap_or("").to_string();
+            if id.is_empty() {
+                return Err(SeqError::MalformedFasta {
+                    reason: "empty record header".to_string(),
+                    line: lineno,
+                });
+            }
+            current = Some((id, Vec::new()));
+        } else {
+            let (_, codes) = current.as_mut().ok_or_else(|| SeqError::MalformedFasta {
+                reason: "sequence data before first '>' header".to_string(),
+                line: lineno,
+            })?;
+            for (i, c) in trimmed.char_indices() {
+                match alphabet.encode_symbol(c) {
+                    Some(code) => codes.push(code),
+                    None => {
+                        return Err(SeqError::MalformedFasta {
+                            reason: format!("invalid residue {c:?} at column {}", i + 1),
+                            line: lineno,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if let Some((id, codes)) = current.take() {
+        records.push(Sequence::from_codes(&id, alphabet, codes));
+    }
+    Ok(records)
+}
+
+/// Reads every record from a FASTA file.
+pub fn read_file<P: AsRef<Path>>(path: P, alphabet: &Alphabet) -> Result<Vec<Sequence>, SeqError> {
+    let file = std::fs::File::open(path)?;
+    parse_reader(file, alphabet)
+}
+
+/// Writes records in FASTA format, wrapping bodies at `width` characters.
+pub fn write_to<W: Write>(mut w: W, records: &[Sequence], width: usize) -> Result<(), SeqError> {
+    let width = width.max(1);
+    for rec in records {
+        writeln!(w, ">{}", rec.id())?;
+        let text = rec.alphabet().decode_all(rec.codes());
+        for chunk in text.as_bytes().chunks(width) {
+            w.write_all(chunk)?;
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders records to a FASTA string (60-column bodies).
+pub fn to_string(records: &[Sequence]) -> String {
+    let mut buf = Vec::new();
+    write_to(&mut buf, records, 60).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+/// Writes records to a file (60-column bodies).
+pub fn write_file<P: AsRef<Path>>(path: P, records: &[Sequence]) -> Result<(), SeqError> {
+    let file = std::fs::File::create(path)?;
+    write_to(std::io::BufWriter::new(file), records, 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_record_wrapped_fasta() {
+        let recs =
+            parse_str(">s1 first\nACGT\nACG\n\n>s2\nTT\nTT\n", &Alphabet::dna()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].to_string(), "ACGTACG");
+        assert_eq!(recs[1].to_string(), "TTTT");
+    }
+
+    #[test]
+    fn header_takes_first_word_as_id() {
+        let recs = parse_str(">seq/1 some description here\nAC\n", &Alphabet::dna()).unwrap();
+        assert_eq!(recs[0].id(), "seq/1");
+    }
+
+    #[test]
+    fn crlf_and_comments_are_tolerated() {
+        let recs = parse_str("; comment\r\n>a\r\nACGT\r\n", &Alphabet::dna()).unwrap();
+        assert_eq!(recs[0].to_string(), "ACGT");
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        let err = parse_str("ACGT\n>a\nAC\n", &Alphabet::dna()).unwrap_err();
+        assert!(matches!(err, SeqError::MalformedFasta { line: 1, .. }));
+    }
+
+    #[test]
+    fn invalid_residue_reports_line() {
+        let err = parse_str(">a\nACGT\nACXT\n", &Alphabet::dna()).unwrap_err();
+        assert!(matches!(err, SeqError::MalformedFasta { line: 3, .. }));
+    }
+
+    #[test]
+    fn empty_header_is_an_error() {
+        let err = parse_str(">\nAC\n", &Alphabet::dna()).unwrap_err();
+        assert!(matches!(err, SeqError::MalformedFasta { line: 1, .. }));
+    }
+
+    #[test]
+    fn round_trip_through_string() {
+        let alpha = Alphabet::protein();
+        let recs = vec![
+            Sequence::from_str("a", &alpha, "TLDKLLKD").unwrap(),
+            Sequence::from_str("b", &alpha, "TDVLKAD").unwrap(),
+        ];
+        let text = to_string(&recs);
+        let back = parse_str(&text, &alpha).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn bodies_wrap_at_requested_width() {
+        let alpha = Alphabet::dna();
+        let rec = Sequence::from_str("a", &alpha, &"ACGT".repeat(10)).unwrap();
+        let mut buf = Vec::new();
+        write_to(&mut buf, std::slice::from_ref(&rec), 8).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let body_lines: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(body_lines.len(), 5);
+        assert!(body_lines.iter().take(4).all(|l| l.len() == 8));
+    }
+}

@@ -1,0 +1,195 @@
+//! Minimal FASTQ reading.
+//!
+//! Sequencing pipelines hand reads around as FASTQ; the aligners ignore
+//! base qualities, but a production library must at least ingest the
+//! format. Each record is four lines: `@id`, bases, `+`(optional id), qualities
+//! (Phred+33). Qualities are validated for length and character range
+//! and returned alongside the sequence.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use crate::{Alphabet, SeqError, Sequence};
+
+/// One FASTQ record: the encoded sequence plus its Phred quality scores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// The encoded sequence.
+    pub seq: Sequence,
+    /// Phred quality per residue (already offset-corrected, i.e. 0–93).
+    pub quals: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Mean Phred quality (0 for an empty read).
+    pub fn mean_quality(&self) -> f64 {
+        if self.quals.is_empty() {
+            return 0.0;
+        }
+        self.quals.iter().map(|&q| q as f64).sum::<f64>() / self.quals.len() as f64
+    }
+}
+
+/// Parses every record from a FASTQ string.
+///
+/// # Examples
+///
+/// ```
+/// use flsa_seq::{fastq, Alphabet};
+/// let recs = fastq::parse_str("@r1\nACGT\n+\nIIII\n", &Alphabet::dna()).unwrap();
+/// assert_eq!(recs[0].seq.to_string(), "ACGT");
+/// assert_eq!(recs[0].quals, vec![40; 4]);
+/// ```
+pub fn parse_str(input: &str, alphabet: &Alphabet) -> Result<Vec<FastqRecord>, SeqError> {
+    parse_reader(input.as_bytes(), alphabet)
+}
+
+/// Parses every record from a reader.
+pub fn parse_reader<R: Read>(
+    reader: R,
+    alphabet: &Alphabet,
+) -> Result<Vec<FastqRecord>, SeqError> {
+    let mut out = Vec::new();
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+    while let Some(header) = next_line(&mut lines, &mut lineno)? {
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| SeqError::MalformedFasta {
+                reason: format!("expected '@' header, got {header:?}"),
+                line: lineno,
+            })?
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
+        if id.is_empty() {
+            return Err(SeqError::MalformedFasta {
+                reason: "empty FASTQ record id".into(),
+                line: lineno,
+            });
+        }
+        let bases = next_line(&mut lines, &mut lineno)?.ok_or_else(|| truncated(lineno))?;
+        let plus = next_line(&mut lines, &mut lineno)?.ok_or_else(|| truncated(lineno))?;
+        if !plus.starts_with('+') {
+            return Err(SeqError::MalformedFasta {
+                reason: format!("expected '+' separator, got {plus:?}"),
+                line: lineno,
+            });
+        }
+        let quals_line = next_line(&mut lines, &mut lineno)?.ok_or_else(|| truncated(lineno))?;
+        if quals_line.len() != bases.len() {
+            return Err(SeqError::MalformedFasta {
+                reason: format!(
+                    "quality length {} != sequence length {}",
+                    quals_line.len(),
+                    bases.len()
+                ),
+                line: lineno,
+            });
+        }
+        let mut quals = Vec::with_capacity(quals_line.len());
+        for ch in quals_line.bytes() {
+            if !(b'!'..=b'~').contains(&ch) {
+                return Err(SeqError::MalformedFasta {
+                    reason: format!("quality character {:?} outside Phred+33 range", ch as char),
+                    line: lineno,
+                });
+            }
+            quals.push(ch - b'!');
+        }
+        let codes = alphabet.encode_str(&bases).map_err(|e| SeqError::MalformedFasta {
+            reason: e.to_string(),
+            line: lineno - 2,
+        })?;
+        out.push(FastqRecord { seq: Sequence::from_codes(&id, alphabet, codes), quals });
+    }
+    Ok(out)
+}
+
+/// Reads every record from a FASTQ file.
+pub fn read_file<P: AsRef<Path>>(
+    path: P,
+    alphabet: &Alphabet,
+) -> Result<Vec<FastqRecord>, SeqError> {
+    parse_reader(std::fs::File::open(path)?, alphabet)
+}
+
+fn next_line(
+    lines: &mut std::io::Lines<impl BufRead>,
+    lineno: &mut usize,
+) -> Result<Option<String>, SeqError> {
+    for line in lines.by_ref() {
+        let line = line?;
+        *lineno += 1;
+        let trimmed = line.trim_end_matches('\r');
+        if !trimmed.is_empty() {
+            return Ok(Some(trimmed.to_string()));
+        }
+    }
+    Ok(None)
+}
+
+fn truncated(line: usize) -> SeqError {
+    SeqError::MalformedFasta { reason: "truncated FASTQ record".into(), line }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_records() {
+        let recs = parse_str(
+            "@r1 desc\nACGT\n+\nII5I\n@r2\nGG\n+r2\n!~\n",
+            &Alphabet::dna(),
+        )
+        .unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq.id(), "r1");
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+        assert_eq!(recs[0].quals, vec![40, 40, 20, 40]);
+        assert_eq!(recs[1].quals, vec![0, 93]);
+    }
+
+    #[test]
+    fn mean_quality() {
+        let recs = parse_str("@r\nAC\n+\n!I\n", &Alphabet::dna()).unwrap();
+        assert!((recs[0].mean_quality() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_length_mismatch_rejected() {
+        let err = parse_str("@r\nACGT\n+\nII\n", &Alphabet::dna()).unwrap_err();
+        assert!(matches!(err, SeqError::MalformedFasta { .. }));
+    }
+
+    #[test]
+    fn missing_plus_rejected() {
+        let err = parse_str("@r\nACGT\nIIII\n@x\n", &Alphabet::dna()).unwrap_err();
+        assert!(err.to_string().contains("separator"));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let err = parse_str("@r\nACGT\n+\n", &Alphabet::dna()).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn invalid_base_rejected() {
+        let err = parse_str("@r\nACXT\n+\nIIII\n", &Alphabet::dna()).unwrap_err();
+        assert!(matches!(err, SeqError::MalformedFasta { .. }));
+    }
+
+    #[test]
+    fn out_of_range_quality_rejected() {
+        let err = parse_str("@r\nAC\n+\nI \n", &Alphabet::dna()).unwrap_err();
+        assert!(err.to_string().contains("Phred"));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_str("", &Alphabet::dna()).unwrap().is_empty());
+    }
+}

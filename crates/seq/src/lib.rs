@@ -1,0 +1,30 @@
+//! Sequence substrate for the FastLSA reproduction.
+//!
+//! This crate provides everything the alignment algorithms consume that is
+//! *about the data* rather than about dynamic programming:
+//!
+//! * [`Alphabet`] — residue alphabets (DNA, protein, or custom) with a
+//!   compact `u8` code space,
+//! * [`Sequence`] — an encoded biological sequence with an identifier,
+//! * [`fasta`] — FASTA parsing and serialization,
+//! * [`generate`] — seeded random sequence and homologous-pair generators
+//!   (the stand-in for the paper's Table 3 workloads; see DESIGN.md §2),
+//! * [`workload`] — the named workload suite used by the experiment
+//!   harness.
+//!
+//! Sequences are stored *encoded*: each residue is a small integer code in
+//! `0..alphabet.len()`. The scoring crate indexes substitution matrices
+//! directly by these codes, so the DP inner loops never touch ASCII.
+
+pub mod alphabet;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod generate;
+pub mod sequence;
+pub mod stats;
+pub mod workload;
+
+pub use alphabet::Alphabet;
+pub use error::SeqError;
+pub use sequence::Sequence;

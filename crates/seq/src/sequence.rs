@@ -1,0 +1,145 @@
+//! Encoded sequences.
+
+use crate::{Alphabet, SeqError};
+
+/// An encoded biological sequence.
+///
+/// Residues are stored as alphabet codes (see [`Alphabet`]); the DP kernels
+/// operate on `&[u8]` code slices obtained from [`Sequence::codes`].
+///
+/// # Examples
+///
+/// ```
+/// use flsa_seq::{Alphabet, Sequence};
+/// let s = Sequence::from_str("query", &Alphabet::protein(), "TLDKLLKD").unwrap();
+/// assert_eq!(s.len(), 8);
+/// assert_eq!(s.to_string(), "TLDKLLKD");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Sequence {
+    id: String,
+    alphabet: Alphabet,
+    codes: Vec<u8>,
+}
+
+impl std::fmt::Debug for Sequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let preview: String = self.codes.iter().take(24).map(|&c| self.alphabet.decode(c)).collect();
+        let ellipsis = if self.codes.len() > 24 { "…" } else { "" };
+        write!(f, "Sequence({:?}, len={}, {}{})", self.id, self.codes.len(), preview, ellipsis)
+    }
+}
+
+impl std::fmt::Display for Sequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.alphabet.decode_all(&self.codes))
+    }
+}
+
+impl Sequence {
+    /// Builds a sequence by encoding `text` with `alphabet`.
+    pub fn from_str(id: &str, alphabet: &Alphabet, text: &str) -> Result<Self, SeqError> {
+        Ok(Sequence {
+            id: id.to_string(),
+            alphabet: alphabet.clone(),
+            codes: alphabet.encode_str(text)?,
+        })
+    }
+
+    /// Builds a sequence from pre-encoded codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any code is out of range for `alphabet` — codes are an
+    /// internal representation, so an out-of-range code is a logic error.
+    pub fn from_codes(id: &str, alphabet: &Alphabet, codes: Vec<u8>) -> Self {
+        let n = alphabet.len() as u8;
+        assert!(codes.iter().all(|&c| c < n), "sequence code out of alphabet range");
+        Sequence { id: id.to_string(), alphabet: alphabet.clone(), codes }
+    }
+
+    /// Sequence identifier (FASTA header word).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The alphabet the sequence is encoded in.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Encoded residues.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Residue count.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the sequence has no residues.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// A new sequence holding the reverse of this one (used by
+    /// Hirschberg's backward pass).
+    pub fn reversed(&self) -> Sequence {
+        let mut codes = self.codes.clone();
+        codes.reverse();
+        Sequence { id: format!("{}|rev", self.id), alphabet: self.alphabet.clone(), codes }
+    }
+
+    /// A sub-sequence covering `range` (by residue index).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Sequence {
+        Sequence {
+            id: format!("{}[{}..{}]", self.id, range.start, range.end),
+            alphabet: self.alphabet.clone(),
+            codes: self.codes[range].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_str_round_trips() {
+        let s = Sequence::from_str("x", &Alphabet::dna(), "ACGTACGT").unwrap();
+        assert_eq!(s.to_string(), "ACGTACGT");
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.id(), "x");
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let s = Sequence::from_str("x", &Alphabet::dna(), "ACGT").unwrap();
+        assert_eq!(s.reversed().to_string(), "TGCA");
+        assert_eq!(s.reversed().reversed().codes(), s.codes());
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let s = Sequence::from_str("x", &Alphabet::dna(), "ACGTACGT").unwrap();
+        assert_eq!(s.slice(2..6).to_string(), "GTAC");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of alphabet range")]
+    fn from_codes_rejects_out_of_range() {
+        Sequence::from_codes("x", &Alphabet::dna(), vec![0, 1, 200]);
+    }
+
+    #[test]
+    fn empty_sequence_is_legal() {
+        let s = Sequence::from_str("e", &Alphabet::dna(), "").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.reversed().len(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Sequence composition statistics.
+//!
+//! Used by the CLI's `info`/reporting paths and by the workload suite's
+//! validation tests: synthetic sequences must look statistically like
+//! the real data they stand in for (uniform-ish composition, no
+//! low-complexity artifacts), otherwise the alignment path shapes — the
+//! one data property the algorithms are sensitive to — would be off.
+
+use crate::Sequence;
+
+/// Residue composition and complexity summary of one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqStats {
+    /// Count per alphabet code.
+    pub counts: Vec<u64>,
+    /// Sequence length.
+    pub len: usize,
+    /// Shannon entropy of the residue distribution, in bits.
+    pub entropy_bits: f64,
+}
+
+impl SeqStats {
+    /// Computes the summary.
+    pub fn of(seq: &Sequence) -> SeqStats {
+        let mut counts = vec![0u64; seq.alphabet().len()];
+        for &c in seq.codes() {
+            counts[c as usize] += 1;
+        }
+        let len = seq.len();
+        let entropy_bits = if len == 0 {
+            0.0
+        } else {
+            counts
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| {
+                    let p = c as f64 / len as f64;
+                    -p * p.log2()
+                })
+                .sum()
+        };
+        SeqStats { counts, len, entropy_bits }
+    }
+
+    /// Frequency of one residue (by character), 0 when absent or unknown.
+    pub fn frequency(&self, seq: &Sequence, symbol: char) -> f64 {
+        match seq.alphabet().encode_symbol(symbol) {
+            Some(code) if self.len > 0 => self.counts[code as usize] as f64 / self.len as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// GC fraction of a DNA sequence (G + C over non-N residues); `None` for
+/// empty or all-ambiguous input.
+pub fn gc_content(seq: &Sequence) -> Option<f64> {
+    let alpha = seq.alphabet();
+    let g = alpha.encode_symbol('G')?;
+    let c = alpha.encode_symbol('C')?;
+    let n = alpha.encode_symbol('N');
+    let mut gc = 0u64;
+    let mut total = 0u64;
+    for &code in seq.codes() {
+        if Some(code) == n {
+            continue;
+        }
+        total += 1;
+        if code == g || code == c {
+            gc += 1;
+        }
+    }
+    (total > 0).then(|| gc as f64 / total as f64)
+}
+
+/// Counts of all overlapping k-mers (as code tuples), returned as a map
+/// from the packed k-mer id to its count. Packing: base-`alphabet.len()`
+/// little-endian. `k` up to 12 for DNA fits comfortably in `u64`.
+///
+/// # Panics
+///
+/// Panics when `alphabet.len().pow(k)` overflows `u64`.
+pub fn kmer_counts(seq: &Sequence, k: usize) -> std::collections::HashMap<u64, u64> {
+    assert!(k >= 1, "k must be positive");
+    let radix = seq.alphabet().len() as u64;
+    let _capacity_check = radix
+        .checked_pow(k as u32)
+        .expect("k-mer space must fit in u64");
+    let mut map = std::collections::HashMap::new();
+    if seq.len() < k {
+        return map;
+    }
+    for win in seq.codes().windows(k) {
+        let mut id = 0u64;
+        for &c in win.iter().rev() {
+            id = id * radix + c as u64;
+        }
+        *map.entry(id).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Fraction of distinct k-mers observed out of the maximum possible for
+/// the sequence length — a cheap low-complexity detector (repetitive
+/// sequences score low).
+pub fn kmer_diversity(seq: &Sequence, k: usize) -> f64 {
+    if seq.len() < k {
+        return 0.0;
+    }
+    let windows = (seq.len() - k + 1) as f64;
+    let distinct = kmer_counts(seq, k).len() as f64;
+    distinct / windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_sequence;
+    use crate::Alphabet;
+
+    fn dna(s: &str) -> Sequence {
+        Sequence::from_str("s", &Alphabet::dna(), s).unwrap()
+    }
+
+    #[test]
+    fn counts_and_entropy() {
+        let s = dna("AACCGGTT");
+        let st = SeqStats::of(&s);
+        assert_eq!(st.counts[..4], [2, 2, 2, 2]);
+        assert!((st.entropy_bits - 2.0).abs() < 1e-12, "uniform 4-letter = 2 bits");
+        assert!((st.frequency(&s, 'A') - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_homopolymer_is_zero() {
+        let st = SeqStats::of(&dna("AAAAAAA"));
+        assert_eq!(st.entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn empty_sequence_stats() {
+        let st = SeqStats::of(&dna(""));
+        assert_eq!(st.len, 0);
+        assert_eq!(st.entropy_bits, 0.0);
+        assert_eq!(gc_content(&dna("")), None);
+    }
+
+    #[test]
+    fn gc_content_ignores_n() {
+        assert_eq!(gc_content(&dna("GGCC")), Some(1.0));
+        assert_eq!(gc_content(&dna("AATT")), Some(0.0));
+        assert_eq!(gc_content(&dna("GCATNN")), Some(0.5));
+        assert_eq!(gc_content(&dna("NNNN")), None);
+    }
+
+    #[test]
+    fn kmer_counts_hand_example() {
+        let counts = kmer_counts(&dna("ACGAC"), 2);
+        // 2-mers: AC, CG, GA, AC.
+        assert_eq!(counts.len(), 3);
+        let ac = 5u64; // A=0 + C=1 * radix 5, little-endian packing
+        assert_eq!(counts[&ac], 2);
+    }
+
+    #[test]
+    fn kmer_diversity_detects_repeats() {
+        let repetitive = dna(&"AC".repeat(50));
+        let random = random_sequence("r", &Alphabet::dna(), 100, 3);
+        assert!(kmer_diversity(&repetitive, 4) < 0.06);
+        assert!(kmer_diversity(&random, 4) > 0.5);
+    }
+
+    #[test]
+    fn generated_workloads_look_random() {
+        // The Table 3 stand-in argument (DESIGN.md §2) relies on this.
+        let s = random_sequence("w", &Alphabet::dna(), 10_000, 42);
+        let st = SeqStats::of(&s);
+        assert!(st.entropy_bits > 1.99, "entropy {}", st.entropy_bits);
+        let gc = gc_content(&s).unwrap();
+        assert!((0.47..0.53).contains(&gc), "gc {gc}");
+        assert!(kmer_diversity(&s, 8) > 0.9);
+    }
+
+    #[test]
+    fn short_sequences_have_no_kmers() {
+        assert!(kmer_counts(&dna("AC"), 3).is_empty());
+        assert_eq!(kmer_diversity(&dna("AC"), 3), 0.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Real-thread wavefront execution.
+//!
+//! A [`WavefrontSpec`] describes an `R × C` tile grid with the standard
+//! wavefront dependencies (`(r,c)` after `(r−1,c)` and `(r,c−1)`) and an
+//! optional skip mask (Parallel FastLSA skips the tiles of the
+//! bottom-right FastLSA sub-problem during Fill Cache — paper Fig. 13).
+//!
+//! [`run_wavefront`] executes the DAG on `threads` OS threads using scoped
+//! threads, per-tile atomic in-degree counters, and a mutex/condvar ready
+//! queue. Happens-before: a finished tile's writes are published by the
+//! ready-queue mutex (push after completion, pop before start), with the
+//! in-degree decrement additionally `AcqRel` for clarity. This is the
+//! DAG-ordered-disjoint-writes pattern from *Rust Atomics and Locks*.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Description of one wavefront job.
+pub struct WavefrontSpec<'a> {
+    /// Tile rows (`R`).
+    pub rows: usize,
+    /// Tile columns (`C`).
+    pub cols: usize,
+    /// Tiles to skip entirely (treated as completed from the start).
+    /// `None` means run every tile.
+    pub skip: Option<&'a (dyn Fn(usize, usize) -> bool + Sync)>,
+}
+
+impl WavefrontSpec<'_> {
+    fn skipped(&self, r: usize, c: usize) -> bool {
+        self.skip.map(|f| f(r, c)).unwrap_or(false)
+    }
+
+    /// Number of tiles that will actually run.
+    pub fn live_tiles(&self) -> usize {
+        (0..self.rows)
+            .map(|r| (0..self.cols).filter(|&c| !self.skipped(r, c)).count())
+            .sum()
+    }
+}
+
+struct Queue {
+    ready: Mutex<VecDeque<(usize, usize)>>,
+    cv: Condvar,
+    /// Live tiles not yet completed; when it hits 0 everyone wakes and exits.
+    remaining: AtomicUsize,
+}
+
+/// Dropped only during unwinding: zeroes `remaining` and wakes every
+/// worker so the panic can propagate through the thread scope.
+struct AbortOnUnwind<'q> {
+    queue: &'q Queue,
+}
+
+impl Drop for AbortOnUnwind<'_> {
+    fn drop(&mut self) {
+        self.queue.remaining.store(0, Ordering::Release);
+        let _guard = self.queue.ready.lock();
+        self.queue.cv.notify_all();
+    }
+}
+
+/// Runs the wavefront on `threads` OS threads (1 ⇒ a fully sequential,
+/// synchronization-free fast path in anti-diagonal order).
+///
+/// `work(r, c)` is invoked exactly once per non-skipped tile, never before
+/// both of the tile's parents have finished.
+///
+/// # Panics
+///
+/// Panics when `threads == 0`. A panic inside `work` propagates.
+pub fn run_wavefront(spec: &WavefrontSpec<'_>, threads: usize, work: &(dyn Fn(usize, usize) + Sync)) {
+    assert!(threads > 0, "at least one thread required");
+    let (rows, cols) = (spec.rows, spec.cols);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+
+    if threads == 1 {
+        // Anti-diagonal order is a valid topological order; no sync needed.
+        for d in 0..rows + cols - 1 {
+            let r_lo = d.saturating_sub(cols - 1);
+            let r_hi = d.min(rows - 1);
+            for r in r_lo..=r_hi {
+                let c = d - r;
+                if !spec.skipped(r, c) {
+                    work(r, c);
+                }
+            }
+        }
+        return;
+    }
+
+    // In-degree of each live tile, counting only live parents (skipped
+    // parents are "already done"; in FastLSA's skip shape no live tile
+    // ever depends on a skipped one, but the executor stays general).
+    let mut indeg = Vec::with_capacity(rows * cols);
+    let mut initially_ready = VecDeque::new();
+    let mut live = 0usize;
+    for r in 0..rows {
+        for c in 0..cols {
+            if spec.skipped(r, c) {
+                indeg.push(AtomicU32::new(u32::MAX));
+                continue;
+            }
+            live += 1;
+            let mut d = 0;
+            if r > 0 && !spec.skipped(r - 1, c) {
+                d += 1;
+            }
+            if c > 0 && !spec.skipped(r, c - 1) {
+                d += 1;
+            }
+            if d == 0 {
+                initially_ready.push_back((r, c));
+            }
+            indeg.push(AtomicU32::new(d));
+        }
+    }
+    if live == 0 {
+        return;
+    }
+
+    let queue = Queue {
+        ready: Mutex::new(initially_ready),
+        cv: Condvar::new(),
+        remaining: AtomicUsize::new(live),
+    };
+
+    let worker = || {
+        loop {
+            let tile = {
+                let mut ready = queue.ready.lock();
+                loop {
+                    if queue.remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    if let Some(t) = ready.pop_front() {
+                        break t;
+                    }
+                    queue.cv.wait(&mut ready);
+                }
+            };
+            let (r, c) = tile;
+            // Panic safety: if `work` unwinds, release every waiter so the
+            // scope can join and propagate the panic instead of hanging.
+            {
+                let abort = AbortOnUnwind { queue: &queue };
+                work(r, c);
+                std::mem::forget(abort);
+            }
+
+            // Publish completion, then release successors.
+            let mut newly_ready: [(usize, usize); 2] = [(usize::MAX, 0); 2];
+            let mut n_new = 0;
+            if r + 1 < rows
+                && !spec.skipped(r + 1, c)
+                && indeg[(r + 1) * cols + c].fetch_sub(1, Ordering::AcqRel) == 1
+            {
+                newly_ready[n_new] = (r + 1, c);
+                n_new += 1;
+            }
+            if c + 1 < cols
+                && !spec.skipped(r, c + 1)
+                && indeg[r * cols + c + 1].fetch_sub(1, Ordering::AcqRel) == 1
+            {
+                newly_ready[n_new] = (r, c + 1);
+                n_new += 1;
+            }
+            let prev_remaining = queue.remaining.fetch_sub(1, Ordering::AcqRel);
+            if prev_remaining == 1 {
+                // Last tile: wake everyone so they observe remaining == 0.
+                let _guard = queue.ready.lock();
+                queue.cv.notify_all();
+            } else if n_new > 0 {
+                let mut ready = queue.ready.lock();
+                for &t in &newly_ready[..n_new] {
+                    ready.push_back(t);
+                }
+                drop(ready);
+                if n_new > 1 {
+                    queue.cv.notify_all();
+                } else {
+                    queue.cv.notify_one();
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        for _ in 1..threads {
+            s.spawn(worker);
+        }
+        worker();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex as StdMutex;
+
+    fn spec(rows: usize, cols: usize) -> WavefrontSpec<'static> {
+        WavefrontSpec { rows, cols, skip: None }
+    }
+
+    #[test]
+    fn sequential_path_visits_all_tiles_in_topological_order() {
+        let order = StdMutex::new(Vec::new());
+        run_wavefront(&spec(4, 5), 1, &|r, c| order.lock().unwrap().push((r, c)));
+        let order = order.into_inner().unwrap();
+        assert_eq!(order.len(), 20);
+        for (idx, &(r, c)) in order.iter().enumerate() {
+            if r > 0 {
+                assert!(order[..idx].contains(&(r - 1, c)), "dep ({},{c}) of ({r},{c})", r - 1);
+            }
+            if c > 0 {
+                assert!(order[..idx].contains(&(r, c - 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_execution_respects_dependencies() {
+        // Record a completion stamp per tile; every tile's stamp must be
+        // greater than its parents' (stamps taken *inside* work, so
+        // ordering is guaranteed by the scheduler, not by luck).
+        let stamp = AtomicU64::new(1);
+        let rows = 8;
+        let cols = 8;
+        let cells: Vec<AtomicU64> = (0..rows * cols).map(|_| AtomicU64::new(0)).collect();
+        run_wavefront(&spec(rows, cols), 4, &|r, c| {
+            // Parents must already carry a stamp.
+            if r > 0 {
+                assert_ne!(cells[(r - 1) * cols + c].load(Ordering::Acquire), 0);
+            }
+            if c > 0 {
+                assert_ne!(cells[r * cols + c - 1].load(Ordering::Acquire), 0);
+            }
+            let s = stamp.fetch_add(1, Ordering::Relaxed);
+            cells[r * cols + c].store(s, Ordering::Release);
+        });
+        assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) != 0));
+    }
+
+    #[test]
+    fn parallel_result_equals_sequential_result() {
+        // Compute a data-dependent value per tile (a mini DP) and compare
+        // thread counts. Values flow through a shared table, exercising
+        // the happens-before edges.
+        let rows = 12;
+        let cols = 9;
+        let compute = |threads: usize| -> Vec<u64> {
+            let table: Vec<AtomicU64> = (0..rows * cols).map(|_| AtomicU64::new(0)).collect();
+            run_wavefront(&spec(rows, cols), threads, &|r, c| {
+                let up = if r > 0 { table[(r - 1) * cols + c].load(Ordering::Acquire) } else { 1 };
+                let left = if c > 0 { table[r * cols + c - 1].load(Ordering::Acquire) } else { 1 };
+                table[r * cols + c].store(up + left + (r * cols + c) as u64, Ordering::Release);
+            });
+            table.into_iter().map(|a| a.into_inner()).collect()
+        };
+        let seq = compute(1);
+        for threads in [2, 3, 4, 7] {
+            assert_eq!(compute(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn skip_mask_skips_exactly_those_tiles() {
+        // Skip the bottom-right 2x3 corner (FastLSA's Fill Cache shape).
+        let rows = 6;
+        let cols = 6;
+        let skip = |r: usize, c: usize| r >= 4 && c >= 3;
+        let visited = StdMutex::new(Vec::new());
+        let spec = WavefrontSpec { rows, cols, skip: Some(&skip) };
+        assert_eq!(spec.live_tiles(), 36 - 6);
+        for threads in [1, 4] {
+            visited.lock().unwrap().clear();
+            run_wavefront(&spec, threads, &|r, c| visited.lock().unwrap().push((r, c)));
+            let v = visited.lock().unwrap();
+            assert_eq!(v.len(), 30, "threads={threads}");
+            assert!(v.iter().all(|&(r, c)| !skip(r, c)));
+        }
+    }
+
+    #[test]
+    fn single_row_and_single_column_grids() {
+        for (rows, cols) in [(1, 10), (10, 1), (1, 1)] {
+            let count = AtomicU64::new(0);
+            run_wavefront(&spec(rows, cols), 3, &|_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.into_inner() as usize, rows * cols);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_a_noop() {
+        run_wavefront(&spec(0, 5), 2, &|_, _| panic!("no tiles expected"));
+        run_wavefront(&spec(5, 0), 2, &|_, _| panic!("no tiles expected"));
+    }
+
+    #[test]
+    fn more_threads_than_tiles_terminates() {
+        let count = AtomicU64::new(0);
+        run_wavefront(&spec(2, 2), 16, &|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        run_wavefront(&spec(1, 1), 0, &|_, _| {});
+    }
+
+    #[test]
+    fn panicking_tile_propagates_instead_of_hanging() {
+        let result = std::panic::catch_unwind(|| {
+            run_wavefront(&spec(4, 4), 3, &|r, c| {
+                if (r, c) == (2, 2) {
+                    panic!("tile failure");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn fully_skipped_grid_terminates() {
+        let skip = |_r: usize, _c: usize| true;
+        let spec = WavefrontSpec { rows: 3, cols: 3, skip: Some(&skip) };
+        run_wavefront(&spec, 4, &|_, _| panic!("everything is skipped"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's three-phase pipeline analysis (§5.2, Figure 13).
+//!
+//! A wavefront computation over an `R × C` tile grid with `P` processors
+//! passes through three phases:
+//!
+//! 1. **ramp-up** — leading wavefront lines with fewer than `P` tiles
+//!    (some processors idle);
+//! 2. **saturated** — lines with at least `P` tiles (all processors busy);
+//! 3. **drain** — trailing sub-`P` lines.
+//!
+//! From this census the paper derives Theorem 4's per-fill cost factor
+//! `α = (1 + (P²−P)/(R·C)) / P` (Equation 32). This module computes the
+//! census for arbitrary grids/skip masks and exposes the analytic factor;
+//! experiment E9 compares the census against the formula's assumptions.
+
+/// Census of a wavefront grid's three phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    /// Leading wavefront lines narrower than `P`.
+    pub ramp_lines: usize,
+    /// Tiles in those lines (paper: at most `P(P−1)/2`).
+    pub ramp_tiles: usize,
+    /// Wavefront lines with ≥ `P` tiles.
+    pub saturated_lines: usize,
+    /// Tiles in saturated lines.
+    pub saturated_tiles: usize,
+    /// Non-leading lines narrower than `P`.
+    pub drain_lines: usize,
+    /// Tiles in those lines.
+    pub drain_tiles: usize,
+}
+
+impl PhaseBreakdown {
+    /// All live tiles.
+    pub fn total_tiles(&self) -> usize {
+        self.ramp_tiles + self.saturated_tiles + self.drain_tiles
+    }
+
+    /// Upper bound on the schedule length in units of one tile time,
+    /// following the paper's accounting: one parallel stage per
+    /// ramp/drain line, perfect parallelism in the saturated phase.
+    pub fn time_bound_tiles(&self, threads: usize) -> f64 {
+        self.ramp_lines as f64
+            + self.drain_lines as f64
+            + (self.saturated_tiles as f64 / threads as f64)
+    }
+}
+
+/// Computes the census of an `rows × cols` grid under `threads`
+/// processors, with an optional skip mask (live = not skipped).
+pub fn phase_breakdown(
+    rows: usize,
+    cols: usize,
+    threads: usize,
+    skip: Option<&dyn Fn(usize, usize) -> bool>,
+) -> PhaseBreakdown {
+    assert!(threads > 0, "at least one processor");
+    let mut out = PhaseBreakdown::default();
+    if rows == 0 || cols == 0 {
+        return out;
+    }
+    let mut seen_saturated = false;
+    for d in 0..rows + cols - 1 {
+        let r_lo = d.saturating_sub(cols - 1);
+        let r_hi = d.min(rows - 1);
+        let width = (r_lo..=r_hi)
+            .filter(|&r| skip.map(|f| !f(r, d - r)).unwrap_or(true))
+            .count();
+        if width == 0 {
+            continue;
+        }
+        if width >= threads {
+            seen_saturated = true;
+            out.saturated_lines += 1;
+            out.saturated_tiles += width;
+        } else if !seen_saturated {
+            out.ramp_lines += 1;
+            out.ramp_tiles += width;
+        } else {
+            out.drain_lines += 1;
+            out.drain_tiles += width;
+        }
+    }
+    out
+}
+
+/// Theorem 4's per-fill cost factor `α = (1 + (P²−P)/(R·C)) / P`
+/// (Equation 32): parallel fill time ≈ `M·N·α` for an `M × N` rectangle
+/// tiled `R × C`.
+pub fn alpha_factor(tile_rows: usize, tile_cols: usize, threads: usize) -> f64 {
+    let rc = (tile_rows * tile_cols) as f64;
+    let p = threads as f64;
+    (1.0 + (p * p - p) / rc) / p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_census_matches_paper_counts() {
+        // 12x12 grid, P = 8: ramp lines have widths 1..7 (paper: the first
+        // phase has wavefronts of 1..P-1 tiles, P(P-1)/2 total).
+        let pb = phase_breakdown(12, 12, 8, None);
+        assert_eq!(pb.ramp_lines, 7);
+        assert_eq!(pb.ramp_tiles, 7 * 8 / 2);
+        assert_eq!(pb.total_tiles(), 144);
+        // Symmetric drain.
+        assert_eq!(pb.drain_lines, 7);
+        assert_eq!(pb.drain_tiles, 7 * 8 / 2);
+        assert_eq!(pb.saturated_tiles, 144 - 56);
+    }
+
+    #[test]
+    fn single_processor_has_no_subsaturated_lines() {
+        let pb = phase_breakdown(5, 7, 1, None);
+        assert_eq!(pb.ramp_lines, 0);
+        assert_eq!(pb.drain_lines, 0);
+        assert_eq!(pb.saturated_tiles, 35);
+    }
+
+    #[test]
+    fn skip_mask_reduces_tile_count() {
+        // FastLSA Fill Cache shape: skip the bottom-right u x v corner.
+        let (u, v) = (2, 3);
+        let skip = move |r: usize, c: usize| r >= 6 - u && c >= 6 - v;
+        let pb = phase_breakdown(6, 6, 4, Some(&skip));
+        assert_eq!(pb.total_tiles(), 36 - u * v);
+    }
+
+    #[test]
+    fn alpha_approaches_one_over_p_for_many_tiles() {
+        let a = alpha_factor(100, 100, 8);
+        assert!((a - 1.0 / 8.0).abs() < 0.001, "alpha {a}");
+        // Few tiles: serialization pushes alpha up.
+        let a_small = alpha_factor(4, 4, 8);
+        assert!(a_small > 0.4, "alpha {a_small}");
+    }
+
+    #[test]
+    fn time_bound_matches_equation_31_for_full_grids() {
+        // Equation 31: PFillCacheT = (R·C + P² − P)/P in tile units; the
+        // census-based bound must not exceed it on a full grid (the
+        // equation's ramp/drain terms are worst-case P−1 each).
+        for &(r, c, p) in &[(12usize, 12usize, 4usize), (16, 8, 8), (20, 20, 6)] {
+            let pb = phase_breakdown(r, c, p, None);
+            let census = pb.time_bound_tiles(p);
+            let eq31 = ((r * c) as f64 + (p * p - p) as f64) / p as f64;
+            assert!(census <= eq31 + 1e-9, "census {census} > eq31 {eq31} for ({r},{c},{p})");
+        }
+    }
+
+    #[test]
+    fn empty_grid_has_empty_census() {
+        let pb = phase_breakdown(0, 9, 4, None);
+        assert_eq!(pb.total_tiles(), 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! A persistent worker pool for repeated wavefront jobs.
+//!
+//! FastLSA executes one wavefront fill per recursion node — hundreds per
+//! alignment. [`executor::run_wavefront`](crate::executor::run_wavefront)
+//! spawns scoped threads per call; [`WorkerPool`] instead keeps `P − 1`
+//! workers alive across jobs (the paper's implementation likewise reuses
+//! its processes), eliminating per-fill spawn latency.
+//!
+//! ## Safety architecture
+//!
+//! Jobs borrow non-`'static` state (the tile closure captures the DP
+//! buffers of the current fill), but pool threads are `'static`. The
+//! lifetime is erased behind a raw pointer inside the internal `JobState` with this
+//! protocol:
+//!
+//! * a worker may dereference the work pointer **only after** popping a
+//!   tile, and tiles can only be popped while `remaining > 0`;
+//! * [`WorkerPool::run`] returns only after its own participation loop
+//!   observed `remaining == 0`, which (because `remaining` is decremented
+//!   *after* a tile's work call returns) implies every work call has
+//!   finished and none can start;
+//! * workers that receive the job message late observe `remaining == 0`
+//!   (Acquire) and return without ever touching the pointer. The
+//!   `JobState` itself is reference-counted, so late observers only touch
+//!   owned memory.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// Type-erased wavefront job shared between the submitting thread and the
+/// pool workers.
+struct JobState {
+    rows: usize,
+    cols: usize,
+    /// `skip[r * cols + c]`: tile does not exist.
+    skip: Vec<bool>,
+    /// Borrowed tile closure; see the module-level safety protocol.
+    work: *const (dyn Fn(usize, usize) + Sync),
+    indeg: Vec<AtomicU32>,
+    ready: Mutex<VecDeque<(usize, usize)>>,
+    cv: Condvar,
+    remaining: AtomicUsize,
+}
+
+// SAFETY: the raw `work` pointer is only dereferenced under the protocol
+// documented at module level, which guarantees the referent outlives
+// every dereference; all other fields are owned and Sync.
+unsafe impl Send for JobState {}
+unsafe impl Sync for JobState {}
+
+impl JobState {
+    fn participate(&self) {
+        loop {
+            let tile = {
+                let mut ready = self.ready.lock();
+                loop {
+                    if self.remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    if let Some(t) = ready.pop_front() {
+                        break t;
+                    }
+                    self.cv.wait(&mut ready);
+                }
+            };
+            let (r, c) = tile;
+            // SAFETY: we hold a popped tile, so `remaining > 0` at pop
+            // time; per the module protocol the submitting thread is
+            // still blocked inside `run`, keeping the closure alive.
+            let work = unsafe { &*self.work };
+            work(r, c);
+
+            let cols = self.cols;
+            let mut newly_ready: [(usize, usize); 2] = [(usize::MAX, 0); 2];
+            let mut n_new = 0;
+            if r + 1 < self.rows
+                && !self.skip[(r + 1) * cols + c]
+                && self.indeg[(r + 1) * cols + c].fetch_sub(1, Ordering::AcqRel) == 1
+            {
+                newly_ready[n_new] = (r + 1, c);
+                n_new += 1;
+            }
+            if c + 1 < cols
+                && !self.skip[r * cols + c + 1]
+                && self.indeg[r * cols + c + 1].fetch_sub(1, Ordering::AcqRel) == 1
+            {
+                newly_ready[n_new] = (r, c + 1);
+                n_new += 1;
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = self.ready.lock();
+                self.cv.notify_all();
+            } else if n_new > 0 {
+                let mut ready = self.ready.lock();
+                for &t in &newly_ready[..n_new] {
+                    ready.push_back(t);
+                }
+                drop(ready);
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// A pool of `threads − 1` persistent workers plus the submitting thread.
+///
+/// # Examples
+///
+/// ```
+/// use flsa_wavefront::pool::WorkerPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let mut pool = WorkerPool::new(4);
+/// let count = AtomicU64::new(0);
+/// pool.run(8, 8, |_, _| false, &|_r, _c| {
+///     count.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(count.into_inner(), 64);
+/// ```
+pub struct WorkerPool {
+    threads: usize,
+    sender: Option<Sender<Arc<JobState>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool that executes jobs on `threads` threads total (the
+    /// caller's thread participates, so `threads - 1` are spawned).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread required");
+        let (sender, receiver) = unbounded::<Arc<JobState>>();
+        let mut handles = Vec::with_capacity(threads - 1);
+        for _ in 1..threads {
+            let rx = receiver.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job.participate();
+                }
+            }));
+        }
+        WorkerPool { threads, sender: Some(sender), handles }
+    }
+
+    /// Total threads (including the submitting one).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one wavefront job, blocking until every live tile finished.
+    /// Semantics match [`crate::run_wavefront`]: `work(r, c)` runs once
+    /// per non-skipped tile, after its up/left neighbours.
+    pub fn run(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        skip: impl Fn(usize, usize) -> bool,
+        work: &(dyn Fn(usize, usize) + Sync),
+    ) {
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        let skip_mask: Vec<bool> =
+            (0..rows * cols).map(|i| skip(i / cols, i % cols)).collect();
+
+        if self.threads == 1 {
+            for d in 0..rows + cols - 1 {
+                let r_lo = d.saturating_sub(cols - 1);
+                let r_hi = d.min(rows - 1);
+                for r in r_lo..=r_hi {
+                    let c = d - r;
+                    if !skip_mask[r * cols + c] {
+                        work(r, c);
+                    }
+                }
+            }
+            return;
+        }
+
+        let mut indeg = Vec::with_capacity(rows * cols);
+        let mut initially_ready = VecDeque::new();
+        let mut live = 0usize;
+        for r in 0..rows {
+            for c in 0..cols {
+                if skip_mask[r * cols + c] {
+                    indeg.push(AtomicU32::new(u32::MAX));
+                    continue;
+                }
+                live += 1;
+                let mut d = 0;
+                if r > 0 && !skip_mask[(r - 1) * cols + c] {
+                    d += 1;
+                }
+                if c > 0 && !skip_mask[r * cols + c - 1] {
+                    d += 1;
+                }
+                if d == 0 {
+                    initially_ready.push_back((r, c));
+                }
+                indeg.push(AtomicU32::new(d));
+            }
+        }
+        if live == 0 {
+            return;
+        }
+
+        // Lifetime erasure; sound per the module-level protocol because
+        // this function blocks in `participate` until remaining == 0.
+        let work_erased: *const (dyn Fn(usize, usize) + Sync) =
+            unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize, usize) + Sync)>(work) };
+        let job = Arc::new(JobState {
+            rows,
+            cols,
+            skip: skip_mask,
+            work: work_erased,
+            indeg,
+            ready: Mutex::new(initially_ready),
+            cv: Condvar::new(),
+            remaining: AtomicUsize::new(live),
+        });
+        let sender = self.sender.as_ref().expect("pool is alive");
+        for _ in 1..self.threads {
+            sender.send(Arc::clone(&job)).expect("workers outlive the pool");
+        }
+        job.participate();
+        debug_assert_eq!(job.remaining.load(Ordering::Acquire), 0);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers; join to surface panics.
+        self.sender.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn pool_runs_every_tile_once() {
+        let mut pool = WorkerPool::new(4);
+        let visited = StdMutex::new(Vec::new());
+        pool.run(5, 7, |_, _| false, &|r, c| visited.lock().unwrap().push((r, c)));
+        let mut v = visited.into_inner().unwrap();
+        v.sort_unstable();
+        let mut expect: Vec<(usize, usize)> =
+            (0..5).flat_map(|r| (0..7).map(move |c| (r, c))).collect();
+        expect.sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn pool_respects_dependencies_across_repeated_jobs() {
+        // Many consecutive jobs through the same pool — the FastLSA usage
+        // pattern — each checked for dependency order via stamps.
+        let mut pool = WorkerPool::new(3);
+        for round in 0..50 {
+            let rows = 1 + round % 5;
+            let cols = 1 + (round * 3) % 6;
+            let cells: Vec<AtomicU64> = (0..rows * cols).map(|_| AtomicU64::new(0)).collect();
+            pool.run(rows, cols, |_, _| false, &|r, c| {
+                if r > 0 {
+                    assert_ne!(cells[(r - 1) * cols + c].load(Ordering::Acquire), 0);
+                }
+                if c > 0 {
+                    assert_ne!(cells[r * cols + c - 1].load(Ordering::Acquire), 0);
+                }
+                cells[r * cols + c].store(1 + (r * cols + c) as u64, Ordering::Release);
+            });
+            assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) != 0), "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_matches_scoped_executor_results() {
+        let rows = 9;
+        let cols = 11;
+        let compute_pool = |threads: usize| -> Vec<u64> {
+            let mut pool = WorkerPool::new(threads);
+            let table: Vec<AtomicU64> = (0..rows * cols).map(|_| AtomicU64::new(0)).collect();
+            pool.run(rows, cols, |_, _| false, &|r, c| {
+                let up = if r > 0 { table[(r - 1) * cols + c].load(Ordering::Acquire) } else { 1 };
+                let left = if c > 0 { table[r * cols + c - 1].load(Ordering::Acquire) } else { 1 };
+                table[r * cols + c].store(up + left + (r * cols + c) as u64, Ordering::Release);
+            });
+            table.into_iter().map(|a| a.into_inner()).collect()
+        };
+        let seq = compute_pool(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(compute_pool(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_honours_skip_mask() {
+        let mut pool = WorkerPool::new(4);
+        let count = AtomicU64::new(0);
+        pool.run(6, 6, |r, c| r >= 4 && c >= 3, &|_r, _c| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 36 - 6);
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential() {
+        let mut pool = WorkerPool::new(1);
+        let order = StdMutex::new(Vec::new());
+        pool.run(3, 3, |_, _| false, &|r, c| order.lock().unwrap().push((r, c)));
+        let order = order.into_inner().unwrap();
+        assert_eq!(order.len(), 9);
+        assert_eq!(order[0], (0, 0));
+        assert_eq!(*order.last().unwrap(), (2, 2));
+    }
+
+    #[test]
+    fn empty_and_fully_skipped_jobs_return_immediately() {
+        let mut pool = WorkerPool::new(3);
+        pool.run(0, 4, |_, _| false, &|_, _| panic!("no tiles"));
+        pool.run(3, 3, |_, _| true, &|_, _| panic!("all skipped"));
+    }
+
+    #[test]
+    fn pool_survives_many_tiny_jobs() {
+        let mut pool = WorkerPool::new(4);
+        let total = AtomicU64::new(0);
+        for _ in 0..500 {
+            pool.run(1, 1, |_, _| false, &|_, _| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.into_inner(), 500);
+    }
+}

@@ -1,0 +1,306 @@
+//! Deterministic virtual-processor schedule simulation.
+//!
+//! The paper's parallel experiments ran on a multiprocessor with up to
+//! dozens of CPUs. To reproduce the *shape* of its speedup and efficiency
+//! figures on a machine with fewer cores, this module replays a wavefront
+//! tile DAG under list scheduling on `P` virtual processors and reports
+//! the makespan. Tile costs are supplied by the caller (cell counts, or
+//! measured per-tile nanoseconds), so the simulation captures exactly the
+//! dependency structure and load balance the paper analyses in §5 — the
+//! only effects it abstracts away are memory-system interference between
+//! processors.
+//!
+//! Scheduling policy: FIFO list scheduling — among ready tiles, the one
+//! with the earliest ready time runs next (ties: lower anti-diagonal,
+//! then lower row), on the processor that frees earliest. Deterministic
+//! by construction.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of one simulated schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleResult {
+    /// Virtual processors used.
+    pub threads: usize,
+    /// Schedule length (same unit as the tile costs).
+    pub makespan: u64,
+    /// Sum of all tile costs (the 1-processor makespan).
+    pub total_cost: u64,
+    /// Longest dependency chain (the ∞-processor makespan).
+    pub critical_path: u64,
+    /// Busy time per processor (sums to `total_cost`).
+    pub busy: Vec<u64>,
+    /// Number of live tiles scheduled.
+    pub tiles: usize,
+}
+
+impl ScheduleResult {
+    /// Speedup over the 1-processor schedule.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        self.total_cost as f64 / self.makespan as f64
+    }
+
+    /// Efficiency = speedup / P.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.threads as f64
+    }
+}
+
+/// Simulates list scheduling of an `rows × cols` wavefront grid on
+/// `threads` virtual processors.
+///
+/// `cost(r, c)` is each tile's execution time; `skip` marks tiles that do
+/// not exist (FastLSA's bottom-right block during Fill Cache).
+///
+/// # Panics
+///
+/// Panics when `threads == 0`.
+pub fn simulate_schedule(
+    rows: usize,
+    cols: usize,
+    threads: usize,
+    skip: Option<&dyn Fn(usize, usize) -> bool>,
+    cost: &dyn Fn(usize, usize) -> u64,
+) -> ScheduleResult {
+    simulate_schedule_comm(rows, cols, threads, skip, cost, 0)
+}
+
+/// [`simulate_schedule`] with a **communication cost**: when a tile's
+/// dependency was computed on a *different* processor, the consumer must
+/// wait an extra `comm` time units for the boundary data to arrive
+/// (modelling the remote-cache/interconnect transfers of the paper's
+/// multiprocessor testbed). `comm = 0` reproduces [`simulate_schedule`]
+/// exactly; a single processor never pays communication.
+pub fn simulate_schedule_comm(
+    rows: usize,
+    cols: usize,
+    threads: usize,
+    skip: Option<&dyn Fn(usize, usize) -> bool>,
+    cost: &dyn Fn(usize, usize) -> u64,
+    comm: u64,
+) -> ScheduleResult {
+    assert!(threads > 0, "at least one processor");
+    let live = |r: usize, c: usize| skip.map(|f| !f(r, c)).unwrap_or(true);
+
+    let mut result = ScheduleResult {
+        threads,
+        makespan: 0,
+        total_cost: 0,
+        critical_path: 0,
+        busy: vec![0; threads],
+        tiles: 0,
+    };
+    if rows == 0 || cols == 0 {
+        return result;
+    }
+
+    // In-degree and critical path per tile.
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut indeg = vec![0u8; rows * cols];
+    let mut finish = vec![0u64; rows * cols];
+    let mut cp = vec![0u64; rows * cols];
+    let mut proc_of = vec![usize::MAX; rows * cols];
+
+    // Ready heap: (ready_time, diag, r) — min-first via Reverse.
+    let mut ready: BinaryHeap<Reverse<(u64, usize, usize, usize)>> = BinaryHeap::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if !live(r, c) {
+                continue;
+            }
+            result.tiles += 1;
+            let mut d = 0;
+            if r > 0 && live(r - 1, c) {
+                d += 1;
+            }
+            if c > 0 && live(r, c - 1) {
+                d += 1;
+            }
+            indeg[idx(r, c)] = d;
+            if d == 0 {
+                ready.push(Reverse((0, r + c, r, c)));
+            }
+        }
+    }
+
+    // Processor pool: free times, min-first.
+    let mut procs: BinaryHeap<Reverse<(u64, usize)>> = (0..threads).map(|p| Reverse((0u64, p))).collect();
+
+    let mut scheduled = 0usize;
+    while let Some(Reverse((ready_time, _diag, r, c))) = ready.pop() {
+        let Reverse((free_at, p)) = procs.pop().expect("processor pool is never empty");
+        let t_cost = cost(r, c);
+        // Cross-processor dependencies delay the start by `comm`.
+        let eff_ready = if comm == 0 {
+            ready_time
+        } else {
+            let mut t = 0u64;
+            for (pr, pc) in [(r.wrapping_sub(1), c), (r, c.wrapping_sub(1))] {
+                if pr < rows && pc < cols && live(pr, pc) {
+                    let extra = if proc_of[idx(pr, pc)] != p { comm } else { 0 };
+                    t = t.max(finish[idx(pr, pc)] + extra);
+                }
+            }
+            t
+        };
+        let start = eff_ready.max(free_at);
+        let end = start + t_cost;
+        proc_of[idx(r, c)] = p;
+        procs.push(Reverse((end, p)));
+        result.busy[p] += t_cost;
+        result.total_cost += t_cost;
+        result.makespan = result.makespan.max(end);
+        finish[idx(r, c)] = end;
+        cp[idx(r, c)] = t_cost
+            + {
+                let up = if r > 0 && live(r - 1, c) { cp[idx(r - 1, c)] } else { 0 };
+                let left = if c > 0 && live(r, c - 1) { cp[idx(r, c - 1)] } else { 0 };
+                up.max(left)
+            };
+        result.critical_path = result.critical_path.max(cp[idx(r, c)]);
+        scheduled += 1;
+
+        for (nr, nc) in [(r + 1, c), (r, c + 1)] {
+            if nr < rows && nc < cols && live(nr, nc) && indeg[idx(nr, nc)] > 0 {
+                indeg[idx(nr, nc)] -= 1;
+                if indeg[idx(nr, nc)] == 0 {
+                    let up = if nr > 0 && live(nr - 1, nc) { finish[idx(nr - 1, nc)] } else { 0 };
+                    let left = if nc > 0 && live(nr, nc - 1) { finish[idx(nr, nc - 1)] } else { 0 };
+                    ready.push(Reverse((up.max(left), nr + nc, nr, nc)));
+                }
+            }
+        }
+    }
+    assert_eq!(scheduled, result.tiles, "schedule must cover every live tile");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(_r: usize, _c: usize) -> u64 {
+        1
+    }
+
+    #[test]
+    fn one_processor_makespan_is_total_cost() {
+        let r = simulate_schedule(6, 7, 1, None, &unit);
+        assert_eq!(r.makespan, 42);
+        assert_eq!(r.total_cost, 42);
+        assert!((r.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlimited_processors_reach_critical_path() {
+        // Critical path of an R x C unit grid is R + C - 1.
+        let r = simulate_schedule(6, 7, 64, None, &unit);
+        assert_eq!(r.critical_path, 12);
+        assert_eq!(r.makespan, 12);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_processor_count() {
+        let cost = |r: usize, c: usize| 1 + ((r * 31 + c * 17) % 7) as u64;
+        let mut prev = u64::MAX;
+        for p in 1..=12 {
+            let res = simulate_schedule(10, 10, p, None, &cost);
+            assert!(res.makespan <= prev, "P={p}");
+            assert!(res.makespan >= res.critical_path);
+            assert!(res.makespan >= res.total_cost.div_ceil(p as u64));
+            prev = res.makespan;
+        }
+    }
+
+    #[test]
+    fn busy_time_sums_to_total_cost() {
+        let r = simulate_schedule(9, 9, 4, None, &unit);
+        assert_eq!(r.busy.iter().sum::<u64>(), r.total_cost);
+        assert_eq!(r.busy.len(), 4);
+    }
+
+    #[test]
+    fn speedup_close_to_p_for_large_grids() {
+        // The paper's observation: efficiency rises with problem size.
+        let small = simulate_schedule(8, 8, 8, None, &unit);
+        let large = simulate_schedule(64, 64, 8, None, &unit);
+        assert!(large.efficiency() > small.efficiency());
+        assert!(large.efficiency() > 0.85, "eff {}", large.efficiency());
+    }
+
+    #[test]
+    fn makespan_respects_theorem_4_style_bound() {
+        // Paper Eq. 31: fill time ≤ (R·C + P² − P)/P tile units for unit
+        // tiles. The simulated (better-informed) schedule must not exceed
+        // the analytical worst case.
+        for &(rows, cols, p) in &[(12usize, 12usize, 8usize), (16, 16, 4), (24, 8, 6)] {
+            let res = simulate_schedule(rows, cols, p, None, &unit);
+            let bound = ((rows * cols + p * p - p) as f64) / p as f64;
+            assert!(
+                (res.makespan as f64) <= bound.ceil(),
+                "makespan {} > bound {bound} for ({rows},{cols},{p})",
+                res.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn skip_mask_removes_cost() {
+        let skip = |r: usize, c: usize| r >= 4 && c >= 4;
+        let res = simulate_schedule(6, 6, 2, Some(&skip), &unit);
+        assert_eq!(res.tiles, 32);
+        assert_eq!(res.total_cost, 32);
+    }
+
+    #[test]
+    fn zero_comm_matches_plain_simulation() {
+        let cost = |r: usize, c: usize| 1 + ((r * 7 + c * 3) % 5) as u64;
+        let plain = simulate_schedule(10, 10, 4, None, &cost);
+        let comm0 = simulate_schedule_comm(10, 10, 4, None, &cost, 0);
+        assert_eq!(plain, comm0);
+    }
+
+    #[test]
+    fn communication_cost_slows_parallel_but_not_sequential() {
+        let seq = simulate_schedule_comm(12, 12, 1, None, &unit, 10);
+        assert_eq!(seq.makespan, 144, "one processor never communicates");
+        let p0 = simulate_schedule_comm(12, 12, 8, None, &unit, 0);
+        let p5 = simulate_schedule_comm(12, 12, 8, None, &unit, 5);
+        let p50 = simulate_schedule_comm(12, 12, 8, None, &unit, 50);
+        assert!(p5.makespan > p0.makespan);
+        assert!(p50.makespan > p5.makespan);
+        // With huge communication costs, parallelism should not beat the
+        // sequential schedule by much (may even lose).
+        assert!(p50.makespan as f64 > seq.makespan as f64 * 0.5);
+    }
+
+    #[test]
+    fn comm_makespan_is_monotone_in_comm() {
+        let cost = |r: usize, c: usize| 2 + ((r + c) % 3) as u64;
+        let mut prev = 0;
+        for comm in [0u64, 1, 2, 4, 8, 16] {
+            let res = simulate_schedule_comm(16, 16, 6, None, &cost, comm);
+            assert!(res.makespan >= prev, "comm={comm}");
+            prev = res.makespan;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cost = |r: usize, c: usize| 1 + ((r * 13 + c * 29) % 11) as u64;
+        let a = simulate_schedule(15, 12, 5, None, &cost);
+        let b = simulate_schedule(15, 12, 5, None, &cost);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let r = simulate_schedule(0, 5, 3, None, &unit);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.tiles, 0);
+    }
+}

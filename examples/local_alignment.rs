@@ -1,0 +1,60 @@
+//! Local alignment (Smith–Waterman) and affine gaps (Gotoh): the two
+//! production extensions shipped beside the paper's global linear-gap
+//! algorithms.
+//!
+//! ```text
+//! cargo run --example local_alignment
+//! ```
+
+use fastlsa::fullmatrix::{gotoh, smith_waterman};
+use fastlsa::prelude::*;
+
+fn main() {
+    let scheme = ScoringScheme::dna_default();
+
+    // A conserved motif buried in unrelated flanks: global alignment pays
+    // for the flanks, local alignment finds the motif.
+    let a = Sequence::from_str(
+        "a",
+        scheme.alphabet(),
+        "TTTTTTTTTTTTGATTACAGATTACATTTTTTTTTTTT",
+    )
+    .unwrap();
+    let b = Sequence::from_str(
+        "b",
+        scheme.alphabet(),
+        "CCCCCCCGATTACAGATTACACCCCCCC",
+    )
+    .unwrap();
+
+    let metrics = Metrics::new();
+    let local = smith_waterman(&a, &b, &scheme, &metrics);
+    println!("local score {} ", local.score);
+    println!(
+        "  a[{:?}] = {}",
+        local.a_range(),
+        &a.to_string()[local.a_range()]
+    );
+    println!(
+        "  b[{:?}] = {}",
+        local.b_range(),
+        &b.to_string()[local.b_range()]
+    );
+
+    let global = fastlsa::align(&a, &b, &scheme, &metrics);
+    println!("global score {} (pays for the mismatched flanks)", global.score);
+    assert!(local.score > global.score);
+
+    // Affine gaps: one long gap is cheaper than many short ones.
+    let affine = ScoringScheme::new(
+        fastlsa::scoring::tables::dna_default(),
+        GapModel::affine(-10, -1),
+    );
+    let a = Sequence::from_str("a", affine.alphabet(), "ACGTACGTCCCCCCACGTACGT").unwrap();
+    let b = Sequence::from_str("b", affine.alphabet(), "ACGTACGTACGTACGT").unwrap();
+    let r = gotoh(&a, &b, &affine, &metrics);
+    println!("\naffine-gap global score {} (single 6-base gap)", r.score);
+    let linear = ScoringScheme::dna_default();
+    let rl = fastlsa::align(&a, &b, &linear, &metrics);
+    println!("linear-gap global score {} (same gap costs 6 x -10)", rl.score);
+}

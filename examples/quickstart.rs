@@ -1,0 +1,42 @@
+//! Quickstart: align the paper's worked example and a small DNA pair.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fastlsa::prelude::*;
+
+fn main() {
+    // --- The paper's worked example (Table 1 scoring, gap -10) ---------
+    let scheme = ScoringScheme::paper_example();
+    let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+    let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+
+    let metrics = Metrics::new();
+    let result = fastlsa::align(&a, &b, &scheme, &metrics);
+    println!("paper example: optimal score = {} (paper reports 82)", result.score);
+    let alignment = Alignment::from_path(&a, &b, &result.path, &scheme);
+    println!("{alignment}");
+
+    // --- A DNA pair with the default +5/-4 matrix ----------------------
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = generate::homologous_pair("demo", scheme.alphabet(), 600, 0.85, 7).unwrap();
+
+    let metrics = Metrics::new();
+    let result = fastlsa::align(&a, &b, &scheme, &metrics);
+    let alignment = Alignment::from_path(&a, &b, &result.path, &scheme);
+    println!(
+        "dna demo: {} x {} residues, score {}, identity {:.1}%",
+        a.len(),
+        b.len(),
+        result.score,
+        alignment.identity() * 100.0
+    );
+    let s = metrics.snapshot();
+    println!(
+        "work: {} DP cells ({:.2} x m*n), peak auxiliary memory {} KiB",
+        s.cells_computed,
+        s.cell_factor(a.len(), b.len()),
+        s.peak_bytes / 1024
+    );
+}

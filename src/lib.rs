@@ -1,0 +1,48 @@
+//! **fastlsa** — a reproduction of *"FastLSA: A Fast, Linear-Space,
+//! Parallel and Sequential Algorithm for Sequence Alignment"* (Driga, Lu,
+//! Schaeffer, Szafron, Charter, Parsons; ICPP 2003).
+//!
+//! This facade crate re-exports the whole workspace so downstream users
+//! depend on one crate:
+//!
+//! * [`core`] ([`fastlsa_core`]) — FastLSA itself, sequential and parallel;
+//! * [`fullmatrix`] — Needleman–Wunsch / Smith–Waterman / Gotoh baselines;
+//! * [`hirschberg`] — the linear-space baseline;
+//! * [`seq`] — alphabets, sequences, FASTA, synthetic workloads;
+//! * [`scoring`] — substitution matrices and gap models;
+//! * [`dp`] — the shared DP kernels, paths and metrics;
+//! * [`wavefront`] — the wavefront scheduling substrate;
+//! * [`cachesim`] — the cache-hierarchy simulator behind experiment E10.
+//!
+//! # Example
+//!
+//! ```
+//! use fastlsa::prelude::*;
+//!
+//! let scheme = ScoringScheme::dna_default();
+//! let a = Sequence::from_str("a", scheme.alphabet(), "ACGTACGTTACG").unwrap();
+//! let b = Sequence::from_str("b", scheme.alphabet(), "ACGTCGTTAACG").unwrap();
+//! let metrics = Metrics::new();
+//! let result = fastlsa::align(&a, &b, &scheme, &metrics);
+//! assert_eq!(result.path.score(&a, &b, &scheme), result.score);
+//! ```
+
+pub use fastlsa_core as core;
+pub use flsa_cachesim as cachesim;
+pub use flsa_dp as dp;
+pub use flsa_fullmatrix as fullmatrix;
+pub use flsa_hirschberg as hirschberg;
+pub use flsa_msa as msa;
+pub use flsa_scoring as scoring;
+pub use flsa_seq as seq;
+pub use flsa_wavefront as wavefront;
+
+pub use fastlsa_core::{align, align_traced, align_with, FastLsaConfig, ParallelConfig};
+
+/// The names most programs need.
+pub mod prelude {
+    pub use crate::core::{FastLsaConfig, ParallelConfig};
+    pub use crate::dp::{AlignResult, Alignment, Metrics, Move, Path};
+    pub use crate::scoring::{GapModel, ScoringScheme, SubstitutionMatrix};
+    pub use crate::seq::{fasta, generate, workload, Alphabet, Sequence};
+}

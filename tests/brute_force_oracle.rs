@@ -1,0 +1,83 @@
+//! Differential testing against an exhaustive oracle: for tiny inputs,
+//! enumerate *every* possible alignment recursively (no dynamic
+//! programming, no shared code with the implementations under test) and
+//! confirm that every aligner finds the true optimum.
+
+use fastlsa::prelude::*;
+use proptest::prelude::*;
+
+/// Exhaustive maximum alignment score of `a[i..]` vs `b[j..]`:
+/// a direct transcription of the alignment definition, exponential on
+/// purpose so it shares no structure with the DP implementations.
+fn brute_force(a: &[u8], b: &[u8], scheme: &ScoringScheme) -> i64 {
+    fn rec(a: &[u8], b: &[u8], scheme: &ScoringScheme, gap: i64) -> i64 {
+        match (a, b) {
+            ([], rest) => gap * rest.len() as i64,
+            (rest, []) => gap * rest.len() as i64,
+            _ => {
+                let diag =
+                    scheme.sub(a[0], b[0]) as i64 + rec(&a[1..], &b[1..], scheme, gap);
+                let up = gap + rec(&a[1..], b, scheme, gap);
+                let left = gap + rec(a, &b[1..], scheme, gap);
+                diag.max(up).max(left)
+            }
+        }
+    }
+    rec(a, b, scheme, scheme.gap().linear_penalty() as i64)
+}
+
+fn to_seq(codes: &[u8]) -> Sequence {
+    Sequence::from_codes("s", &Alphabet::dna(), codes.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn all_aligners_match_the_exhaustive_optimum(
+        a in prop::collection::vec(0u8..4, 0..8),
+        b in prop::collection::vec(0u8..4, 0..8),
+        k in 2usize..5,
+    ) {
+        let scheme = ScoringScheme::dna_default();
+        let oracle = brute_force(&a, &b, &scheme);
+        let sa = to_seq(&a);
+        let sb = to_seq(&b);
+        let metrics = Metrics::new();
+
+        prop_assert_eq!(
+            fastlsa::fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics).score,
+            oracle
+        );
+        prop_assert_eq!(
+            fastlsa::hirschberg::hirschberg(&sa, &sb, &scheme, &metrics).score,
+            oracle
+        );
+        prop_assert_eq!(
+            fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, 9), &metrics).score,
+            oracle
+        );
+    }
+
+    #[test]
+    fn oracle_agrees_under_the_paper_scheme(
+        a in prop::collection::vec(0u8..6, 0..7),
+        b in prop::collection::vec(0u8..6, 0..7),
+    ) {
+        // Table 1 fragment scoring (6-letter alphabet) and gap -10.
+        let scheme = ScoringScheme::paper_example();
+        let sa = Sequence::from_codes("a", scheme.alphabet(), a.clone());
+        let sb = Sequence::from_codes("b", scheme.alphabet(), b.clone());
+        let oracle = brute_force(&a, &b, &scheme);
+        let metrics = Metrics::new();
+        prop_assert_eq!(fastlsa::align(&sa, &sb, &scheme, &metrics).score, oracle);
+    }
+}
+
+#[test]
+fn oracle_reproduces_the_paper_example() {
+    let scheme = ScoringScheme::paper_example();
+    let a: Vec<u8> = scheme.alphabet().encode_str("TLDKLLKD").unwrap();
+    let b: Vec<u8> = scheme.alphabet().encode_str("TDVLKAD").unwrap();
+    assert_eq!(brute_force(&a, &b, &scheme), 82);
+}

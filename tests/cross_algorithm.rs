@@ -1,0 +1,129 @@
+//! Property-based cross-algorithm agreement: the paper's algorithms
+//! "produce exactly the same optimal alignment for a given scoring
+//! function … differing only in the space and time required" (§2.1).
+
+use fastlsa::prelude::*;
+use proptest::prelude::*;
+
+fn dna_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..4, 0..max_len)
+}
+
+fn to_seq(codes: &[u8]) -> Sequence {
+    Sequence::from_codes("s", &Alphabet::dna(), codes.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All four global aligners report one optimal score, and every
+    /// reported path re-scores to it.
+    #[test]
+    fn scores_agree_across_algorithms(
+        a in dna_seq(120),
+        b in dna_seq(120),
+        k in 2usize..9,
+        base in 16usize..4000,
+    ) {
+        let scheme = ScoringScheme::dna_default();
+        let sa = to_seq(&a);
+        let sb = to_seq(&b);
+        let metrics = Metrics::new();
+
+        let nw = fastlsa::fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics);
+        let packed = fastlsa::fullmatrix::needleman_wunsch_packed(&sa, &sb, &scheme, &metrics);
+        let hb = fastlsa::hirschberg::hirschberg(&sa, &sb, &scheme, &metrics);
+        let fl = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, base), &metrics);
+
+        prop_assert_eq!(nw.score, packed.score);
+        prop_assert_eq!(nw.score, hb.score);
+        prop_assert_eq!(nw.score, fl.score);
+
+        for r in [&nw, &packed, &hb, &fl] {
+            prop_assert!(r.path.is_global(sa.len(), sb.len()));
+            prop_assert_eq!(r.path.score(&sa, &sb, &scheme), nw.score);
+        }
+        // Traceback-based aligners share the canonical tie-break.
+        prop_assert_eq!(&nw.path, &packed.path);
+        prop_assert_eq!(&nw.path, &fl.path);
+    }
+
+    /// Parallel FastLSA is bit-identical to sequential FastLSA.
+    #[test]
+    fn parallel_equals_sequential(
+        a in dna_seq(150),
+        b in dna_seq(150),
+        k in 2usize..7,
+        threads in 2usize..5,
+    ) {
+        let scheme = ScoringScheme::dna_default();
+        let sa = to_seq(&a);
+        let sb = to_seq(&b);
+        let metrics = Metrics::new();
+        let seq = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, 64), &metrics);
+        let par = fastlsa::align_with(
+            &sa, &sb, &scheme,
+            FastLsaConfig::new(k, 64).with_threads(threads),
+            &metrics,
+        );
+        prop_assert_eq!(seq.score, par.score);
+        prop_assert_eq!(seq.path, par.path);
+    }
+
+    /// Alignment score is symmetric for symmetric matrices.
+    #[test]
+    fn score_is_symmetric(a in dna_seq(80), b in dna_seq(80)) {
+        let scheme = ScoringScheme::dna_default();
+        let sa = to_seq(&a);
+        let sb = to_seq(&b);
+        let metrics = Metrics::new();
+        let ab = fastlsa::align(&sa, &sb, &scheme, &metrics).score;
+        let ba = fastlsa::align(&sb, &sa, &scheme, &metrics).score;
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Aligning a sequence against itself scores the diagonal sum and
+    /// yields the all-diagonal path.
+    #[test]
+    fn self_alignment_is_identity(a in dna_seq(100)) {
+        let scheme = ScoringScheme::dna_default();
+        let sa = to_seq(&a);
+        let metrics = Metrics::new();
+        let r = fastlsa::align_with(&sa, &sa, &scheme, FastLsaConfig::new(3, 32), &metrics);
+        let expect: i64 = a.iter().map(|&c| scheme.sub(c, c) as i64).sum();
+        prop_assert_eq!(r.score, expect);
+        prop_assert!(r.path.moves().iter().all(|&m| m == Move::Diag));
+    }
+
+    /// Appending one residue changes the optimum by a bounded amount
+    /// (Lipschitz property of the DP).
+    #[test]
+    fn appending_residue_changes_score_boundedly(a in dna_seq(60), b in dna_seq(60), extra in 0u8..4) {
+        let scheme = ScoringScheme::dna_default();
+        let sa = to_seq(&a);
+        let sb = to_seq(&b);
+        let mut b2 = b.clone();
+        b2.push(extra);
+        let sb2 = to_seq(&b2);
+        let metrics = Metrics::new();
+        let before = fastlsa::align(&sa, &sb, &scheme, &metrics).score;
+        let after = fastlsa::align(&sa, &sb2, &scheme, &metrics).score;
+        let max_gain = scheme.matrix().max_score() as i64 - scheme.gap().linear_penalty() as i64;
+        prop_assert!(after >= before + scheme.gap().linear_penalty() as i64);
+        prop_assert!(after <= before + max_gain);
+    }
+
+    /// The LCS scheme reduces every aligner to longest-common-subsequence.
+    #[test]
+    fn lcs_reduction_consistent(a in dna_seq(60), b in dna_seq(60)) {
+        let scheme = ScoringScheme::lcs(Alphabet::dna());
+        let sa = to_seq(&a);
+        let sb = to_seq(&b);
+        let metrics = Metrics::new();
+        let fl = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(2, 32), &metrics);
+        let hb = fastlsa::hirschberg::hirschberg(&sa, &sb, &scheme, &metrics);
+        prop_assert_eq!(fl.score, hb.score);
+        // LCS length is at most min(m, n).
+        prop_assert!(fl.score <= a.len().min(b.len()) as i64);
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration test for the paper's worked example (Table 1, Figure 1):
+//! every algorithm in the workspace must reproduce it exactly.
+
+use fastlsa::prelude::*;
+
+fn paper_pair() -> (Sequence, Sequence, ScoringScheme) {
+    let scheme = ScoringScheme::paper_example();
+    let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+    let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+    (a, b, scheme)
+}
+
+#[test]
+fn every_algorithm_reports_82() {
+    let (a, b, scheme) = paper_pair();
+    let metrics = Metrics::new();
+    assert_eq!(fastlsa::fullmatrix::needleman_wunsch(&a, &b, &scheme, &metrics).score, 82);
+    assert_eq!(
+        fastlsa::fullmatrix::needleman_wunsch_packed(&a, &b, &scheme, &metrics).score,
+        82
+    );
+    assert_eq!(fastlsa::hirschberg::hirschberg(&a, &b, &scheme, &metrics).score, 82);
+    for k in 2..=5 {
+        for base in [16usize, 30, 1000] {
+            let cfg = FastLsaConfig::new(k, base);
+            assert_eq!(fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).score, 82);
+        }
+    }
+}
+
+#[test]
+fn figure_1_matrix_values() {
+    // Figure 1 orientation: TDVLKAD down the side, TLDKLLKD across the top.
+    let scheme = ScoringScheme::paper_example();
+    let rows = Sequence::from_str("r", scheme.alphabet(), "TDVLKAD").unwrap();
+    let cols = Sequence::from_str("c", scheme.alphabet(), "TLDKLLKD").unwrap();
+    let metrics = Metrics::new();
+    let bound = fastlsa::dp::Boundary::global(rows.len(), cols.len(), -10);
+    let m = fastlsa::dp::kernel::fill_full(
+        rows.codes(),
+        cols.codes(),
+        &bound.top,
+        &bound.left,
+        &scheme,
+        &metrics,
+    );
+    // Values quoted in the paper's prose walk-through of Figure 1.
+    assert_eq!(m.get(1, 1), 20, "[T,T]");
+    assert_eq!(m.get(1, 2), 10, "[T,L]");
+    assert_eq!(m.get(6, 7), 62, "[A,K]");
+    assert_eq!(m.get(6, 8), 72, "[A,D]");
+    assert_eq!(m.get(7, 7), 52, "[D,K]");
+    assert_eq!(m.get(7, 8), 82, "bottom-right optimal score");
+    // Margins: 0, -10, ..., -80 along the top; 0..-70 down the side.
+    assert_eq!(m.get(0, 8), -80);
+    assert_eq!(m.get(7, 0), -70);
+}
+
+#[test]
+fn both_paper_alignments_have_five_identities() {
+    // The intro: two ways of aligning with 5 identical letters; the
+    // second (with L/V) is the optimal one at score 82, the first scores 70.
+    let (a, b, scheme) = paper_pair();
+    use Move::*;
+    let first = Path::new((0, 0), vec![Diag, Up, Diag, Diag, Diag, Up, Diag, Left, Diag]);
+    let second = Path::new((0, 0), vec![Diag, Up, Diag, Up, Diag, Diag, Diag, Left, Diag]);
+    assert_eq!(first.score(&a, &b, &scheme), 70);
+    assert_eq!(second.score(&a, &b, &scheme), 82);
+    for p in [&first, &second] {
+        let al = Alignment::from_path(&a, &b, p, &scheme);
+        assert_eq!(al.markers.matches('*').count(), 5);
+    }
+}
+
+#[test]
+fn canonical_alignment_rendering_matches_paper() {
+    let (a, b, scheme) = paper_pair();
+    let metrics = Metrics::new();
+    let r = fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(2, 16), &metrics);
+    let al = Alignment::from_path(&a, &b, &r.path, &scheme);
+    assert_eq!(al.aligned_a, "TLDKLLK-D");
+    assert_eq!(al.aligned_b, "T-D-VLKAD");
+}
+
+#[test]
+fn mdm_fragment_scores_match_table_1() {
+    let scheme = ScoringScheme::paper_example();
+    let m = scheme.matrix();
+    assert_eq!(m.score_chars('A', 'A'), Some(16));
+    assert_eq!(m.score_chars('L', 'V'), Some(12));
+    assert_eq!(m.score_chars('K', 'L'), Some(0));
+    assert_eq!(scheme.gap().linear_penalty(), -10);
+}

@@ -1,0 +1,90 @@
+//! End-to-end runs over the workload suite (the Table 3 stand-in):
+//! FastLSA vs the baselines on realistic homologous pairs, plus FASTA
+//! round-trips of the generated data.
+
+use fastlsa::prelude::*;
+
+#[test]
+fn suite_mid_sizes_agree_with_hirschberg() {
+    for name in ["prot-0.3k", "prot-1k", "dna-1k", "dna-4k"] {
+        let spec = workload::by_name(name).unwrap();
+        let (a, b) = spec.generate();
+        let scheme = match spec.kind {
+            workload::WorkloadKind::Protein => ScoringScheme::protein_default(),
+            workload::WorkloadKind::Dna => ScoringScheme::dna_default(),
+        };
+        let metrics = Metrics::new();
+        let hb = fastlsa::hirschberg::hirschberg(&a, &b, &scheme, &metrics);
+        let fl = fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 14), &metrics);
+        assert_eq!(hb.score, fl.score, "{name}");
+        assert!(fl.path.is_global(a.len(), b.len()), "{name}");
+    }
+}
+
+#[test]
+fn aligned_identity_tracks_workload_target() {
+    // The mutation model should produce pairs whose *aligned* identity is
+    // near the requested identity (substitutions dominate, indels dilute).
+    let spec = workload::by_name("dna-4k").unwrap();
+    let (a, b) = spec.generate();
+    let scheme = ScoringScheme::dna_default();
+    let metrics = Metrics::new();
+    let r = fastlsa::align(&a, &b, &scheme, &metrics);
+    let al = Alignment::from_path(&a, &b, &r.path, &scheme);
+    let identity = al.identity();
+    assert!(
+        (spec.identity - 0.1..=spec.identity + 0.1).contains(&identity),
+        "target {} vs aligned {identity}",
+        spec.identity
+    );
+}
+
+#[test]
+fn generated_pairs_survive_fasta_round_trip() {
+    let spec = workload::by_name("dna-1k").unwrap();
+    let (a, b) = spec.generate();
+    let text = fasta::to_string(&[a.clone(), b.clone()]);
+    let back = fasta::parse_str(&text, a.alphabet()).unwrap();
+    assert_eq!(back.len(), 2);
+    assert_eq!(back[0].codes(), a.codes());
+    assert_eq!(back[1].codes(), b.codes());
+}
+
+#[test]
+fn path_move_counts_account_for_both_sequences() {
+    let spec = workload::by_name("dna-1k").unwrap();
+    let (a, b) = spec.generate();
+    let scheme = ScoringScheme::dna_default();
+    let metrics = Metrics::new();
+    let r = fastlsa::align(&a, &b, &scheme, &metrics);
+    let (d, u, l) = r.path.move_counts();
+    assert_eq!(d + u, a.len(), "vertical residues consumed");
+    assert_eq!(d + l, b.len(), "horizontal residues consumed");
+}
+
+#[test]
+fn local_alignment_of_homologs_is_most_of_the_sequence() {
+    let spec = workload::by_name("dna-1k").unwrap();
+    let (a, b) = spec.generate();
+    let scheme = ScoringScheme::dna_default();
+    let metrics = Metrics::new();
+    let local = fastlsa::fullmatrix::smith_waterman(&a, &b, &scheme, &metrics);
+    // 90%-identity homologs: the best local alignment spans nearly all of
+    // both sequences.
+    assert!(local.a_range().len() > a.len() * 8 / 10);
+    assert!(local.score > 0);
+}
+
+#[test]
+fn memory_adaptive_config_handles_the_suite() {
+    let spec = workload::by_name("dna-4k").unwrap();
+    let (a, b) = spec.generate();
+    let scheme = ScoringScheme::dna_default();
+    let mut scores = Vec::new();
+    for budget in [512usize << 10, 4 << 20, 128 << 20] {
+        let cfg = FastLsaConfig::for_memory(budget, a.len(), b.len());
+        let metrics = Metrics::new();
+        scores.push(fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).score);
+    }
+    assert!(scores.windows(2).all(|w| w[0] == w[1]), "{scores:?}");
+}
