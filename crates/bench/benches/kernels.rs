@@ -23,7 +23,14 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("fill_full", |bch| {
         bch.iter(|| {
             let m = Metrics::new();
-            black_box(fill_full(a.codes(), b.codes(), &bound.top, &bound.left, &scheme, &m))
+            black_box(fill_full(
+                a.codes(),
+                b.codes(),
+                &bound.top,
+                &bound.left,
+                &scheme,
+                &m,
+            ))
         })
     });
     group.bench_function("fill_last_row_col", |bch| {

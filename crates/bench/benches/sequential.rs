@@ -28,7 +28,9 @@ fn bench_sequential(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hirschberg", n), &n, |bch, _| {
             bch.iter(|| {
                 let m = Metrics::new();
-                let cfg = HirschbergConfig { base_cells: 1 << 12 };
+                let cfg = HirschbergConfig {
+                    base_cells: 1 << 12,
+                };
                 black_box(hirschberg_with(&a, &b, &scheme, cfg, &m).score)
             })
         });

@@ -1,0 +1,47 @@
+//! The zero-cost guard for tracing: sequential FastLSA with no recorder
+//! attached must run at the same speed as before the instrumentation
+//! existed (the disabled path is one `Option` check per kernel call), and
+//! the recorder-attached run shows what enabling tracing actually costs.
+//!
+//! Compare the `none` and `recorder` medians: `none` must stay within
+//! noise (±2%) of historical `sequential/fastlsa-k8` numbers, while
+//! `recorder` is allowed to pay for its event pushes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastlsa_core::FastLsaConfig;
+use flsa_dp::Metrics;
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+use flsa_trace::Recorder;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let scheme = ScoringScheme::dna_default();
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    for &n in &[1024usize, 2048] {
+        let (a, b) = homologous_pair("bench", &Alphabet::dna(), n, 0.8, 7).unwrap();
+        group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+
+        group.bench_with_input(BenchmarkId::new("none", n), &n, |bch, _| {
+            bch.iter(|| {
+                let m = Metrics::new();
+                let cfg = FastLsaConfig::new(8, 1 << 16);
+                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recorder", n), &n, |bch, _| {
+            bch.iter(|| {
+                let m = Metrics::with_recorder(Arc::new(Recorder::new()));
+                let cfg = FastLsaConfig::new(8, 1 << 16);
+                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -29,7 +29,10 @@ pub struct ExpOptions {
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { max_len: 16_000, full: false }
+        ExpOptions {
+            max_len: 16_000,
+            full: false,
+        }
     }
 }
 
@@ -55,15 +58,25 @@ pub fn example() -> String {
     let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
     let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
 
-    let mut out = String::from("E1: paper worked example (TLDKLLKD vs TDVLKAD, Table 1, gap -10)\n\n");
+    let mut out =
+        String::from("E1: paper worked example (TLDKLLKD vs TDVLKAD, Table 1, gap -10)\n\n");
     let mut t = Table::new(&["algorithm", "score", "path rescore", "ok"]);
     let metrics = Metrics::new();
     let runs: Vec<(&str, flsa_dp::AlignResult)> = vec![
         ("full-matrix", needleman_wunsch(&a, &b, &scheme, &metrics)),
-        ("fm-packed", needleman_wunsch_packed(&a, &b, &scheme, &metrics)),
+        (
+            "fm-packed",
+            needleman_wunsch_packed(&a, &b, &scheme, &metrics),
+        ),
         (
             "hirschberg",
-            hirschberg_with(&a, &b, &scheme, HirschbergConfig { base_cells: 16 }, &metrics),
+            hirschberg_with(
+                &a,
+                &b,
+                &scheme,
+                HirschbergConfig { base_cells: 16 },
+                &metrics,
+            ),
         ),
         (
             "fastlsa k=2",
@@ -97,7 +110,12 @@ pub fn table2(opts: ExpOptions) -> String {
         "E2: analytical space/operations vs measured (cells in units of m*n; space in DPM entries)\n\n",
     );
     let mut t = Table::new(&[
-        "workload", "algorithm", "cells/mn form", "cells/mn meas", "space form", "space meas",
+        "workload",
+        "algorithm",
+        "cells/mn form",
+        "cells/mn meas",
+        "space form",
+        "space meas",
     ]);
     let base = 1 << 12;
     for spec in workload::up_to(opts.max_len.min(4_000)) {
@@ -152,7 +170,8 @@ pub fn table2(opts: ExpOptions) -> String {
 /// E3 — the workload suite (the synthetic stand-in for the paper's
 /// Table 3 of real biological pairs).
 pub fn table3() -> String {
-    let mut out = String::from("E3: workload suite (synthetic homologous pairs; see DESIGN.md *2)\n\n");
+    let mut out =
+        String::from("E3: workload suite (synthetic homologous pairs; see DESIGN.md *2)\n\n");
     let mut t = Table::new(&["name", "kind", "len a", "len b", "target id", "seed"]);
     for spec in workload::SUITE {
         // Materialize only the small ones eagerly; report spec lengths for
@@ -204,7 +223,15 @@ pub fn seqtime(opts: ExpOptions) -> String {
         }
         let mm = Metrics::new();
         let (_, d) = time(|| {
-            hirschberg_with(&a, &b, &scheme, HirschbergConfig { base_cells: 1 << 12 }, &mm)
+            hirschberg_with(
+                &a,
+                &b,
+                &scheme,
+                HirschbergConfig {
+                    base_cells: 1 << 12,
+                },
+                &mm,
+            )
         });
         push("hirschberg".into(), mm.snapshot(), d);
         for k in [4usize, 8] {
@@ -253,7 +280,13 @@ pub fn ksweep(opts: ExpOptions) -> String {
 /// E6 — peak auxiliary memory vs problem size for each algorithm.
 pub fn memory(opts: ExpOptions) -> String {
     let mut out = String::from("E6: peak auxiliary memory (MiB)\n\n");
-    let mut t = Table::new(&["workload", "FM (analytic)", "hirschberg", "fastlsa k=4", "fastlsa k=16"]);
+    let mut t = Table::new(&[
+        "workload",
+        "FM (analytic)",
+        "hirschberg",
+        "fastlsa k=4",
+        "fastlsa k=16",
+    ]);
     for spec in workload::up_to(opts.max_len) {
         if spec.kind != WorkloadKind::Dna {
             continue;
@@ -272,13 +305,100 @@ pub fn memory(opts: ExpOptions) -> String {
         t.row(&[
             spec.name.to_string(),
             format!("{fm_bytes:.1}"),
-            format!("{:.3}", mm_h.snapshot().peak_bytes as f64 / (1 << 20) as f64),
+            format!(
+                "{:.3}",
+                mm_h.snapshot().peak_bytes as f64 / (1 << 20) as f64
+            ),
             format!("{:.3}", cells[0]),
             format!("{:.3}", cells[1]),
         ]);
     }
     out.push_str(&t.render());
     out.push_str("\nexpected shape: FM grows quadratically; Hirschberg and FastLSA grow linearly,\nwith FastLSA's slope proportional to k.\n");
+    out
+}
+
+/// Measured counterpart of the §5 pipeline model: runs one real threaded
+/// FastLSA with the trace recorder attached and puts each wavefront
+/// fill's *measured* ramp/saturated/drain census next to the analytical
+/// [`phase_breakdown`] of the same grid (and Theorem 4's α). GridFill
+/// grids carry the bottom-right skip hole, so their model column uses the
+/// measured tile total to flag the hole rather than a full-grid census.
+fn measured_phase_occupancy(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    threads: usize,
+) -> String {
+    let recorder = std::sync::Arc::new(flsa_trace::Recorder::new());
+    let metrics = Metrics::with_recorder(std::sync::Arc::clone(&recorder));
+    let cfg = FastLsaConfig::new(8, 1 << 16).with_threads(threads);
+    let _ = fastlsa_core::align_with(a, b, scheme, cfg, &metrics);
+    let analysis = flsa_trace::analyze(&recorder.snapshot());
+
+    let mut out = format!(
+        "\nmeasured with real threads (P = {threads}, {} x {}): phase census per wavefront fill\n",
+        a.len(),
+        b.len()
+    );
+    let mut t = Table::new(&[
+        "fill",
+        "kind",
+        "grid",
+        "measured r/s/d tiles",
+        "model r/s/d tiles",
+        "busy share",
+        "alpha",
+    ]);
+    for f in analysis.fills.iter().take(8) {
+        let (rows, cols) = (f.rows as usize, f.cols as usize);
+        let model = phase_breakdown(rows, cols, threads, None);
+        let model_col = if f.tiles == model.total_tiles() {
+            format!(
+                "{}/{}/{}",
+                model.ramp_tiles, model.saturated_tiles, model.drain_tiles
+            )
+        } else {
+            format!(
+                "(skip hole: {} of {} tiles live)",
+                f.tiles,
+                model.total_tiles()
+            )
+        };
+        let busy: u64 = f.phases.iter().map(|p| p.busy_ns).sum();
+        let busy_share = busy as f64 / (f.wall_ns.max(1) as f64 * threads as f64);
+        t.row(&[
+            f.fill.to_string(),
+            f.kind.name().to_string(),
+            format!("{rows}x{cols}"),
+            format!(
+                "{}/{}/{}",
+                f.phases[0].tiles, f.phases[1].tiles, f.phases[2].tiles
+            ),
+            model_col,
+            format!("{busy_share:.3}"),
+            format!("{:.3}", alpha_factor(rows, cols, threads)),
+        ]);
+    }
+    out.push_str(&t.render());
+    if analysis.fills.len() > 8 {
+        out.push_str(&format!(
+            "({} further fills omitted)\n",
+            analysis.fills.len() - 8
+        ));
+    }
+    let wall = analysis.wall_ns.max(1) as f64;
+    let mean_util = analysis
+        .threads
+        .iter()
+        .map(|t| t.busy_ns as f64 / wall)
+        .sum::<f64>()
+        / analysis.threads.len().max(1) as f64;
+    out.push_str(&format!(
+        "mean thread occupancy {:.1}% over {} worker timelines; full-grid fills must match\nthe model census exactly (asserted by tests/trace_integration.rs).\n",
+        mean_util * 100.0,
+        analysis.threads.len()
+    ));
     out
 }
 
@@ -319,6 +439,13 @@ pub fn speedup(opts: ExpOptions) -> String {
         t.row(&row);
     }
     out.push_str(&t.render());
+    if let Some(spec) = workload::up_to(opts.max_len)
+        .into_iter()
+        .find(|s| s.kind == WorkloadKind::Dna && s.len >= 4_000)
+    {
+        let (a, b) = spec.generate();
+        out.push_str(&measured_phase_occupancy(&a, &b, &scheme_for(spec), 4));
+    }
     out.push_str("\nexpected shape: near-linear speedup to P=8, flattening after (the paper's\nFig.-level observation); larger problems scale better.\n");
     out
 }
@@ -338,9 +465,21 @@ pub fn efficiency(opts: ExpOptions) -> String {
         let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics);
         let e8 = fastlsa_core::replay(&log, 8, 2).efficiency();
         let e4 = fastlsa_core::replay(&log, 4, 2).efficiency();
-        t.row(&[spec.name.to_string(), format!("{e8:.3}"), format!("{e4:.3}")]);
+        t.row(&[
+            spec.name.to_string(),
+            format!("{e8:.3}"),
+            format!("{e4:.3}"),
+        ]);
     }
     out.push_str(&t.render());
+    if let Some(spec) = workload::up_to(opts.max_len)
+        .into_iter()
+        .filter(|s| s.kind == WorkloadKind::Dna)
+        .max_by_key(|s| s.len)
+    {
+        let (a, b) = spec.generate();
+        out.push_str(&measured_phase_occupancy(&a, &b, &scheme_for(spec), 8));
+    }
     out.push_str("\nexpected shape: efficiency increases with sequence length (the paper's\nheadline parallel result).\n");
     out
 }
@@ -349,9 +488,22 @@ pub fn efficiency(opts: ExpOptions) -> String {
 pub fn phases() -> String {
     let mut out = String::from("E9: three-phase wavefront census for one Fill Cache step\n\n");
     let mut t = Table::new(&[
-        "R x C", "P", "ramp lines", "sat lines", "drain lines", "census bound", "eq31 bound", "sim makespan",
+        "R x C",
+        "P",
+        "ramp lines",
+        "sat lines",
+        "drain lines",
+        "census bound",
+        "eq31 bound",
+        "sim makespan",
     ]);
-    for &(k, f, p) in &[(6usize, 2usize, 8usize), (8, 2, 8), (8, 4, 8), (8, 2, 4), (16, 2, 16)] {
+    for &(k, f, p) in &[
+        (6usize, 2usize, 8usize),
+        (8, 2, 8),
+        (8, 4, 8),
+        (8, 2, 4),
+        (16, 2, 16),
+    ] {
         let r = k * f;
         let c = k * f;
         let skip_from = (k - 1) * f;
@@ -386,7 +538,13 @@ pub fn cache(opts: ExpOptions) -> String {
         "E10: simulated cache hierarchy (32 KiB L1 / 1 MiB L2, 4/14/120-cycle AMAT)\n\n",
     );
     let mut t = Table::new(&[
-        "n", "algorithm", "cells/mn", "L1 miss%", "L2 miss%", "L2 wb/mn", "cycles/cell",
+        "n",
+        "algorithm",
+        "cells/mn",
+        "L1 miss%",
+        "L2 miss%",
+        "L2 wb/mn",
+        "cycles/cell",
     ]);
     let mut sizes = vec![256usize, 512, 1024, 2048];
     if opts.full {
@@ -464,8 +622,16 @@ pub fn tilesweep(opts: ExpOptions) -> String {
     let cfg = FastLsaConfig::new(8, 1 << 16);
     let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics);
 
-    let mut out = format!("E13: tile-subdivision ablation on {} (k = 8, schedule replay)\n\n", spec.name);
-    let mut t = Table::new(&["tiles/block f", "speedup P=4", "speedup P=8", "speedup P=16"]);
+    let mut out = format!(
+        "E13: tile-subdivision ablation on {} (k = 8, schedule replay)\n\n",
+        spec.name
+    );
+    let mut t = Table::new(&[
+        "tiles/block f",
+        "speedup P=4",
+        "speedup P=8",
+        "speedup P=16",
+    ]);
     for f in [1usize, 2, 3, 4, 8] {
         t.row(&[
             f.to_string(),
@@ -539,7 +705,10 @@ pub fn theorems(opts: ExpOptions) -> String {
     let mm = Metrics::new();
     hirschberg_with(&a, &b, &scheme, HirschbergConfig { base_cells: 64 }, &mm);
     let factor = mm.snapshot().cell_factor(m, n);
-    checks.push((format!("Hirschberg cells/mn = {factor:.3} <= 2.05"), factor <= 2.05));
+    checks.push((
+        format!("Hirschberg cells/mn = {factor:.3} <= 2.05"),
+        factor <= 2.05,
+    ));
 
     // Theorem 2: FastLSA cells <= bound <= mn*(k/(k-1))^2 (with rounding slack).
     for k in [2usize, 4, 8, 16] {
@@ -550,25 +719,36 @@ pub fn theorems(opts: ExpOptions) -> String {
         let bound = model::fastlsa_cells_bound(m, n, k, base);
         let limit = (m * n) as f64 * model::theorem2_limit_factor(k) * 1.05;
         checks.push((
-            format!("T2 k={k}: measured {:.3}mn <= bound {:.3}mn <= limit", meas / (m * n) as f64, bound / (m * n) as f64),
+            format!(
+                "T2 k={k}: measured {:.3}mn <= bound {:.3}mn <= limit",
+                meas / (m * n) as f64,
+                bound / (m * n) as f64
+            ),
             meas <= bound * 1.05 && bound <= limit,
         ));
         // Theorem 3: peak memory within the space bound.
         let peak = mm.snapshot().peak_bytes as f64;
         let sbound = model::fastlsa_space_entries(m, n, k, base) * 4.0;
-        checks.push((format!("T3 k={k}: peak {peak:.0}B <= bound {sbound:.0}B * 1.1"), peak <= sbound * 1.1));
+        checks.push((
+            format!("T3 k={k}: peak {peak:.0}B <= bound {sbound:.0}B * 1.1"),
+            peak <= sbound * 1.1,
+        ));
     }
 
     // Theorem 4: replayed parallel wall cost <= bound.
     let k = 8;
     let f = 2;
     let metrics = Metrics::new();
-    let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 12), &metrics);
+    let (_, log) =
+        fastlsa_core::align_traced(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 12), &metrics);
     for p in [2usize, 4, 8] {
         let rep = fastlsa_core::replay(&log, p, f);
         let bound = model::theorem4_bound(m, n, k, p, f);
         checks.push((
-            format!("T4 P={p}: replay {:.0} <= bound {:.0} cell-units", rep.units, bound),
+            format!(
+                "T4 P={p}: replay {:.0} <= bound {:.0} cell-units",
+                rep.units, bound
+            ),
             rep.units <= bound,
         ));
     }
@@ -577,9 +757,15 @@ pub fn theorems(opts: ExpOptions) -> String {
     let mut all = true;
     for (name, ok) in &checks {
         all &= ok;
-        t.row(&[name.clone(), if *ok { "PASS".into() } else { "FAIL".into() }]);
+        t.row(&[
+            name.clone(),
+            if *ok { "PASS".into() } else { "FAIL".into() },
+        ]);
     }
     out.push_str(&t.render());
-    out.push_str(&format!("\noverall: {}\n", if all { "ALL PASS" } else { "FAILURES PRESENT" }));
+    out.push_str(&format!(
+        "\noverall: {}\n",
+        if all { "ALL PASS" } else { "FAILURES PRESENT" }
+    ));
     out
 }

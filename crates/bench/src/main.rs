@@ -47,12 +47,22 @@ fn main() {
     while let Some(tok) = it.next() {
         match tok.as_str() {
             "--max-len" => {
-                let v = it.next().expect("--max-len requires a value");
-                opts.max_len = v.parse().expect("--max-len must be an integer");
+                let Some(v) = it.next() else {
+                    eprintln!("--max-len requires a value");
+                    std::process::exit(2);
+                };
+                opts.max_len = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-len must be an integer, got {v:?}");
+                    std::process::exit(2);
+                });
             }
             "--full" => opts.full = true,
             "--out" => {
-                out_dir = Some(it.next().expect("--out requires a directory").clone());
+                let Some(dir) = it.next() else {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                };
+                out_dir = Some(dir.clone());
             }
             other if command.is_empty() => command = other.to_string(),
             other => {
@@ -95,8 +105,20 @@ fn main() {
         "" | "help" => print!("{HELP}"),
         "all" => {
             for name in [
-                "example", "table2", "table3", "seqtime", "ksweep", "memory", "speedup",
-                "efficiency", "phases", "cache", "theorems", "basesweep", "tilesweep", "commsweep",
+                "example",
+                "table2",
+                "table3",
+                "seqtime",
+                "ksweep",
+                "memory",
+                "speedup",
+                "efficiency",
+                "phases",
+                "cache",
+                "theorems",
+                "basesweep",
+                "tilesweep",
+                "commsweep",
             ] {
                 println!("================================================================");
                 let report = run(name).unwrap();

@@ -13,9 +13,17 @@ pub struct CacheConfig {
 
 impl CacheConfig {
     /// A typical 32 KiB, 64 B-line, 8-way L1 data cache.
-    pub const L1: CacheConfig = CacheConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8 };
+    pub const L1: CacheConfig = CacheConfig {
+        size_bytes: 32 << 10,
+        line_bytes: 64,
+        assoc: 8,
+    };
     /// A typical 1 MiB, 64 B-line, 16-way L2 cache.
-    pub const L2: CacheConfig = CacheConfig { size_bytes: 1 << 20, line_bytes: 64, assoc: 16 };
+    pub const L2: CacheConfig = CacheConfig {
+        size_bytes: 1 << 20,
+        line_bytes: 64,
+        assoc: 16,
+    };
 
     fn sets(&self) -> usize {
         self.size_bytes / self.line_bytes / self.assoc
@@ -68,10 +76,19 @@ impl Cache {
     /// Panics when sizes are not powers of two or the geometry is
     /// inconsistent.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(config.size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            config.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
         let sets = config.sets();
-        assert!(sets >= 1 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         Cache {
             config,
             line_shift: config.line_bytes.trailing_zeros(),
@@ -155,7 +172,11 @@ impl Hierarchy {
 
     /// Builds a hierarchy with explicit geometry and latencies.
     pub fn new(l1: CacheConfig, l2: CacheConfig, latencies: (u64, u64, u64)) -> Self {
-        Hierarchy { l1: Cache::new(l1), l2: Cache::new(l2), latencies }
+        Hierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            latencies,
+        }
     }
 
     /// Read access through the hierarchy.
@@ -180,7 +201,10 @@ impl Hierarchy {
 
     /// Counter snapshot.
     pub fn stats(&self) -> LevelStats {
-        LevelStats { l1: self.l1.stats(), l2: self.l2.stats() }
+        LevelStats {
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+        }
     }
 
     /// Estimated cycles under the AMAT model: every access pays the L1
@@ -200,7 +224,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 16-byte lines = 128 bytes.
-        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            assoc: 2,
+        })
     }
 
     #[test]
@@ -228,7 +256,11 @@ mod tests {
 
     #[test]
     fn working_set_within_capacity_stays_resident() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, assoc: 4 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            assoc: 4,
+        });
         // Touch 1024 bytes twice: second pass must be all hits.
         for addr in (0..1024).step_by(4) {
             c.access(addr);
@@ -242,21 +274,37 @@ mod tests {
 
     #[test]
     fn working_set_beyond_capacity_thrashes() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, assoc: 4 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            assoc: 4,
+        });
         // Stream 64 KiB repeatedly: every line access misses on each pass.
         for _ in 0..2 {
             for addr in (0..65536).step_by(64) {
                 c.access(addr);
             }
         }
-        assert_eq!(c.stats().misses, 2048, "LRU streaming working set > capacity");
+        assert_eq!(
+            c.stats().misses,
+            2048,
+            "LRU streaming working set > capacity"
+        );
     }
 
     #[test]
     fn hierarchy_counts_and_cycles() {
         let mut h = Hierarchy::new(
-            CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2 },
-            CacheConfig { size_bytes: 1024, line_bytes: 16, assoc: 4 },
+            CacheConfig {
+                size_bytes: 128,
+                line_bytes: 16,
+                assoc: 2,
+            },
+            CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 16,
+                assoc: 4,
+            },
             (1, 10, 100),
         );
         h.access(0); // L1 miss, L2 miss, mem
@@ -272,6 +320,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
-        Cache::new(CacheConfig { size_bytes: 100, line_bytes: 64, assoc: 2 });
+        Cache::new(CacheConfig {
+            size_bytes: 100,
+            line_bytes: 64,
+            assoc: 2,
+        });
     }
 }

@@ -51,14 +51,15 @@ impl TraceReport {
     }
 }
 
-fn report(
-    algorithm: &'static str,
-    m: usize,
-    n: usize,
-    cells: u64,
-    h: &Hierarchy,
-) -> TraceReport {
-    TraceReport { algorithm, m, n, cells, stats: h.stats(), cycles: h.estimated_cycles() }
+fn report(algorithm: &'static str, m: usize, n: usize, cells: u64, h: &Hierarchy) -> TraceReport {
+    TraceReport {
+        algorithm,
+        m,
+        n,
+        cells,
+        stats: h.stats(),
+        cycles: h.estimated_cycles(),
+    }
 }
 
 /// Fills a rectangle whose rows live at `row_addr(i)`: two accesses per
@@ -128,7 +129,9 @@ pub fn trace_hirschberg(m: usize, n: usize, base_cells: usize, mut h: Hierarchy)
         // Forward + backward last-row scans over the whole width, both in
         // the same rolling buffer (two rows).
         *cells += fill_rect(h, mid, n, |i| roll + (i % 2) as u64 * ((n + 1) as u64 * E));
-        *cells += fill_rect(h, m - mid, n, |i| roll + (i % 2) as u64 * ((n + 1) as u64 * E));
+        *cells += fill_rect(h, m - mid, n, |i| {
+            roll + (i % 2) as u64 * ((n + 1) as u64 * E)
+        });
         let split = n / 2; // diagonal assumption
         rec(mid, split, base_cells, h, roll, base, cells);
         rec(m - mid, n - split, base_cells, h, roll, base, cells);
@@ -139,7 +142,13 @@ pub fn trace_hirschberg(m: usize, n: usize, base_cells: usize, mut h: Hierarchy)
 
 /// FastLSA: grid fills with a rolling row (reused scratch), grid-line
 /// writes (stacked per level), FM base cases in the one reserved buffer.
-pub fn trace_fastlsa(m: usize, n: usize, k: usize, base_cells: usize, mut h: Hierarchy) -> TraceReport {
+pub fn trace_fastlsa(
+    m: usize,
+    n: usize,
+    k: usize,
+    base_cells: usize,
+    mut h: Hierarchy,
+) -> TraceReport {
     assert!(k >= 2);
     let roll = 0u64;
     let base = 16 << 20;
@@ -188,9 +197,7 @@ pub fn trace_fastlsa(m: usize, n: usize, k: usize, base_cells: usize, mut h: Hie
                 }
                 let bm = rb[s + 1] - rb[s];
                 let bn = cb[t + 1] - cb[t];
-                *cells += fill_rect(h, bm, bn, |i| {
-                    roll + (i % 2) as u64 * ((n + 1) as u64 * E)
-                });
+                *cells += fill_rect(h, bm, bn, |i| roll + (i % 2) as u64 * ((n + 1) as u64 * E));
                 // Bottom-row write-out to the grid row region.
                 if s + 1 < k_r {
                     let row_addr = rows_region + s as u64 * row_bytes;
@@ -212,11 +219,31 @@ pub fn trace_fastlsa(m: usize, n: usize, k: usize, base_cells: usize, mut h: Hie
         for d in (0..k_r.min(k_c)).rev() {
             let s = k_r - 1 - (k_r.min(k_c) - 1 - d);
             let t = k_c - 1 - (k_c.min(k_r) - 1 - d);
-            rec(rb[s + 1] - rb[s], cb[t + 1] - cb[t], k, base_cells, h, roll, base, grid_top, cells);
+            rec(
+                rb[s + 1] - rb[s],
+                cb[t + 1] - cb[t],
+                k,
+                base_cells,
+                h,
+                roll,
+                base,
+                grid_top,
+                cells,
+            );
         }
         *grid_top = saved_top;
     }
-    rec(m, n, k, base_cells, &mut h, roll, base, &mut grid_top, &mut cells);
+    rec(
+        m,
+        n,
+        k,
+        base_cells,
+        &mut h,
+        roll,
+        base,
+        &mut grid_top,
+        &mut cells,
+    );
     report("fastlsa", m, n, cells, &h)
 }
 
@@ -245,7 +272,12 @@ mod tests {
         let fl = trace_fastlsa(512, 512, 8, 64 * 64, Hierarchy::typical());
         let hb = trace_hirschberg(512, 512, 64 * 64, Hierarchy::typical());
         assert!(fl.cells >= fm.cells);
-        assert!(fl.cells <= hb.cells, "fastlsa {} vs hirschberg {}", fl.cells, hb.cells);
+        assert!(
+            fl.cells <= hb.cells,
+            "fastlsa {} vs hirschberg {}",
+            fl.cells,
+            hb.cells
+        );
     }
 
     #[test]
@@ -262,8 +294,16 @@ mod tests {
             "FM should thrash L2: {}",
             fm.stats.l2.miss_rate()
         );
-        assert!(hb.stats.l1.miss_rate() < 0.10, "hirschberg L1 {}", hb.stats.l1.miss_rate());
-        assert!(fl.stats.l1.miss_rate() < 0.15, "fastlsa L1 {}", fl.stats.l1.miss_rate());
+        assert!(
+            hb.stats.l1.miss_rate() < 0.10,
+            "hirschberg L1 {}",
+            hb.stats.l1.miss_rate()
+        );
+        assert!(
+            fl.stats.l1.miss_rate() < 0.15,
+            "fastlsa L1 {}",
+            fl.stats.l1.miss_rate()
+        );
     }
 
     #[test]

@@ -19,9 +19,31 @@ pub struct Args {
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
 const VALUED: &[&str] = &[
-    "algo", "matrix", "matrix-file", "gap", "gap-open", "gap-extend", "k", "base-cells",
-    "threads", "tiles", "kind", "len", "identity", "seed", "out", "memory", "width", "band",
+    "algo",
+    "matrix",
+    "matrix-file",
+    "gap",
+    "gap-open",
+    "gap-extend",
+    "k",
+    "base-cells",
+    "threads",
+    "tiles",
+    "kind",
+    "len",
+    "identity",
+    "seed",
+    "out",
+    "memory",
+    "width",
+    "band",
+    "trace",
+    "trace-format",
 ];
+
+/// The known bare switches; anything else starting with `--` is an error
+/// (a typo'd valued option would otherwise silently become a switch).
+const FLAGS: &[&str] = &["stats", "quiet", "json", "help"];
 
 /// Parses `argv[1..]`.
 pub fn parse(argv: &[String]) -> Result<Args, String> {
@@ -34,8 +56,10 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
                     .next()
                     .ok_or_else(|| format!("option --{name} requires a value"))?;
                 args.options.insert(name.to_string(), val.clone());
-            } else {
+            } else if FLAGS.contains(&name) {
                 args.flags.push(name.to_string());
+            } else {
+                return Err(format!("unknown option --{name}; try `flsa help`"));
             }
         } else if let Some(name) = tok.strip_prefix('-') {
             // Short forms: -k N, -o FILE.
@@ -121,5 +145,20 @@ mod tests {
     #[test]
     fn unknown_short_option_rejected() {
         assert!(parse(&argv("align -z 3")).is_err());
+    }
+
+    #[test]
+    fn unknown_long_option_rejected() {
+        let err = parse(&argv("align --threds 4 a.fa")).unwrap_err();
+        assert!(err.contains("--threds"), "{err}");
+        assert!(parse(&argv("align --no-such-flag a.fa")).is_err());
+    }
+
+    #[test]
+    fn trace_options_take_values() {
+        let a = parse(&argv("align --trace out.json --trace-format jsonl a.fa")).unwrap();
+        assert_eq!(a.options.get("trace").unwrap(), "out.json");
+        assert_eq!(a.str_or("trace-format", "chrome"), "jsonl");
+        assert!(parse(&argv("align --trace")).is_err());
     }
 }

@@ -11,12 +11,14 @@
 mod args;
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use fastlsa_core::{FastLsaConfig, ParallelConfig};
 use flsa_dp::{Alignment, Metrics};
 use flsa_scoring::{tables, GapModel, ScoringScheme};
 use flsa_seq::{fasta, generate, Alphabet, Sequence};
+use flsa_trace::Recorder;
 
 const HELP: &str = "\
 flsa - FastLSA sequence alignment (Driga et al., ICPP 2003)
@@ -24,6 +26,7 @@ flsa - FastLSA sequence alignment (Driga et al., ICPP 2003)
 USAGE:
     flsa align [options] A.fasta [B.fasta]
     flsa msa   [options] FAMILY.fasta       center-star multiple alignment
+    flsa report TRACE                       analyze a recorded execution trace
     flsa gen   [options]
     flsa info
     flsa help
@@ -43,6 +46,11 @@ ALIGN OPTIONS:
     --threads P        parallel FastLSA with P threads (default 1)
     --tiles F          tiles per grid block per dimension (default auto)
     --stats            print cells/memory/time metrics
+    --json             print score and metrics as one JSON object instead
+    --trace FILE       record an execution trace (spans, wavefront tiles,
+                       kernels) to FILE; analyze with `flsa report FILE`
+                       or load in Perfetto / chrome://tracing
+    --trace-format F   chrome (default) | jsonl
     --quiet            suppress the alignment rendering
     --width N          alignment rendering width (default 60)
 
@@ -67,9 +75,14 @@ fn main() -> ExitCode {
 
 fn run(argv: &[String]) -> Result<(), String> {
     let parsed = args::parse(argv)?;
+    if parsed.has_flag("help") {
+        print!("{HELP}");
+        return Ok(());
+    }
     match parsed.command.as_str() {
         "align" => cmd_align(&parsed),
         "msa" => cmd_msa(&parsed),
+        "report" => cmd_report(&parsed),
         "gen" => cmd_gen(&parsed),
         "info" => cmd_info(),
         "" | "help" => {
@@ -105,8 +118,14 @@ fn load_pair(paths: &[String], alphabet: &Alphabet) -> Result<(Sequence, Sequenc
         [a, b] => {
             let ra = fasta::read_file(a, alphabet).map_err(|e| e.to_string())?;
             let rb = fasta::read_file(b, alphabet).map_err(|e| e.to_string())?;
-            let sa = ra.into_iter().next().ok_or_else(|| format!("{a} is empty"))?;
-            let sb = rb.into_iter().next().ok_or_else(|| format!("{b} is empty"))?;
+            let sa = ra
+                .into_iter()
+                .next()
+                .ok_or_else(|| format!("{a} is empty"))?;
+            let sb = rb
+                .into_iter()
+                .next()
+                .ok_or_else(|| format!("{b} is empty"))?;
             Ok((sa, sb))
         }
         _ => Err("align needs one FASTA with two records, or two FASTA files".to_string()),
@@ -125,7 +144,18 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
     let (sa, sb) = load_pair(&a.positional, scheme.alphabet())?;
 
     let algo = a.str_or("algo", "fastlsa");
-    let metrics = Metrics::new();
+    let threads: usize = a.get_or("threads", 1)?;
+    let trace_format = a.str_or("trace-format", "chrome");
+    if !matches!(trace_format, "chrome" | "jsonl") {
+        return Err(format!(
+            "unknown trace format {trace_format:?} (expected chrome or jsonl)"
+        ));
+    }
+    let recorder = a.options.get("trace").map(|_| Arc::new(Recorder::new()));
+    let metrics = match &recorder {
+        Some(r) => Metrics::with_recorder(Arc::clone(r)),
+        None => Metrics::new(),
+    };
     let start = Instant::now();
 
     let (score, path) = match algo {
@@ -138,11 +168,13 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
             } else {
                 FastLsaConfig::new(a.get_or("k", 8)?, a.get_or("base-cells", 1usize << 20)?)
             };
-            let threads: usize = a.get_or("threads", 1)?;
             if threads > 1 {
                 let tiles = a.get_or("tiles", 0usize)?;
                 cfg = if tiles > 0 {
-                    cfg.with_parallel(ParallelConfig { threads, tiles_per_block: tiles })
+                    cfg.with_parallel(ParallelConfig {
+                        threads,
+                        tiles_per_block: tiles,
+                    })
                 } else {
                     cfg.with_threads(threads)
                 };
@@ -170,10 +202,8 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
         "gotoh" | "mm-affine" | "fastlsa-affine" => {
             let open: i32 = a.get_or("gap-open", -10)?;
             let extend: i32 = a.get_or("gap-extend", -2)?;
-            let affine = ScoringScheme::new(
-                scheme.matrix().clone(),
-                GapModel::affine(open, extend),
-            );
+            let affine =
+                ScoringScheme::new(scheme.matrix().clone(), GapModel::affine(open, extend));
             let r = match algo {
                 "gotoh" => flsa_fullmatrix::gotoh(&sa, &sb, &affine, &metrics),
                 "mm-affine" => flsa_hirschberg::myers_miller_affine(&sa, &sb, &affine, &metrics),
@@ -189,13 +219,21 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
         }
         "fit" => {
             let r = flsa_fullmatrix::semiglobal(
-                &sa, &sb, &scheme, flsa_fullmatrix::EndsFree::FIT_A_IN_B, &metrics,
+                &sa,
+                &sb,
+                &scheme,
+                flsa_fullmatrix::EndsFree::FIT_A_IN_B,
+                &metrics,
             );
             (r.score, Some(r.path))
         }
         "overlap" => {
             let r = flsa_fullmatrix::semiglobal(
-                &sa, &sb, &scheme, flsa_fullmatrix::EndsFree::OVERLAP_A_THEN_B, &metrics,
+                &sa,
+                &sb,
+                &scheme,
+                flsa_fullmatrix::EndsFree::OVERLAP_A_THEN_B,
+                &metrics,
             );
             (r.score, Some(r.path))
         }
@@ -215,7 +253,40 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
     };
     let elapsed = start.elapsed();
 
-    println!("score {score}   ({} x {} residues, {algo})", sa.len(), sb.len());
+    let trace_events = match (a.options.get("trace"), &recorder) {
+        (Some(out), Some(r)) => {
+            r.set_label(format!("{algo} {}x{}", sa.len(), sb.len()));
+            r.set_threads(threads as u32);
+            Some((out.as_str(), write_trace(out, trace_format, r)?))
+        }
+        _ => None,
+    };
+
+    if a.has_flag("json") {
+        let s = metrics.snapshot();
+        println!(
+            "{{\"algo\":\"{algo}\",\"score\":{score},\"len_a\":{},\"len_b\":{},\
+             \"threads\":{threads},\"time_ns\":{},\"cells_computed\":{},\
+             \"cells_base_case\":{},\"traceback_steps\":{},\"kernel_calls\":{},\
+             \"peak_bytes\":{},\"cell_factor\":{:.6}}}",
+            sa.len(),
+            sb.len(),
+            elapsed.as_nanos(),
+            s.cells_computed,
+            s.cells_base_case,
+            s.traceback_steps,
+            s.kernel_calls,
+            s.peak_bytes,
+            s.cell_factor(sa.len(), sb.len())
+        );
+        return Ok(());
+    }
+
+    println!(
+        "score {score}   ({} x {} residues, {algo})",
+        sa.len(),
+        sb.len()
+    );
     if let Some(path) = &path {
         if !a.has_flag("quiet") {
             let al = Alignment::from_path(&sa, &sb, path, &scheme);
@@ -231,6 +302,39 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
         println!("traceback steps {}", s.traceback_steps);
         println!("peak aux memory {} bytes", s.peak_bytes);
     }
+    if let Some((out, events)) = trace_events {
+        println!("trace           {events} events -> {out} ({trace_format})");
+    }
+    Ok(())
+}
+
+/// Snapshots `recorder` and writes it to `path` in `format`, returning the
+/// event count.
+fn write_trace(path: &str, format: &str, recorder: &Recorder) -> Result<usize, String> {
+    use std::io::Write as _;
+    let trace = recorder.snapshot();
+    let events = trace.events.len();
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    match format {
+        "jsonl" => flsa_trace::write_jsonl(&trace, &mut w),
+        _ => flsa_trace::write_chrome(&trace, &mut w),
+    }
+    .and_then(|()| w.flush())
+    .map_err(|e| format!("{path}: {e}"))?;
+    Ok(events)
+}
+
+/// `flsa report TRACE`: reads a trace (either export format) and prints
+/// the utilization / pipeline-phase / recursion analysis.
+fn cmd_report(a: &args::Args) -> Result<(), String> {
+    let [path] = &a.positional[..] else {
+        return Err("report needs exactly one trace file (from `flsa align --trace`)".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = flsa_trace::read_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    let analysis = flsa_trace::analyze(&trace);
+    print!("{}", flsa_trace::render_report(&analysis));
     Ok(())
 }
 
@@ -244,8 +348,7 @@ fn cmd_msa(a: &args::Args) -> Result<(), String> {
     let cfg = FastLsaConfig::new(a.get_or("k", 8)?, a.get_or("base-cells", 1usize << 20)?);
     let metrics = Metrics::new();
     let start = Instant::now();
-    let result =
-        flsa_msa::center_star(&seqs, &scheme, cfg, &metrics).map_err(|e| e.to_string())?;
+    let result = flsa_msa::center_star(&seqs, &scheme, cfg, &metrics).map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     println!(
         "{} sequences, {} columns, center {}, conservation {:.1}%, sum-of-pairs {}",

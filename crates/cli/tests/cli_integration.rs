@@ -32,7 +32,15 @@ fn score_line(text: &str) -> i64 {
 #[test]
 fn gen_then_align_all_global_algorithms_agree() {
     let fa = tmp("pair.fa");
-    let out = flsa(&["gen", "--len", "300", "--seed", "5", "-o", fa.to_str().unwrap()]);
+    let out = flsa(&[
+        "gen",
+        "--len",
+        "300",
+        "--seed",
+        "5",
+        "-o",
+        fa.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{out:?}");
 
     let mut scores = Vec::new();
@@ -49,7 +57,13 @@ fn gen_then_align_all_global_algorithms_agree() {
 fn paper_example_via_matrix_flag() {
     let fa = tmp("paper.fa");
     std::fs::write(&fa, ">a\nTLDKLLKD\n>b\nTDVLKAD\n").unwrap();
-    let out = flsa(&["align", "--matrix", "paper", "--quiet", fa.to_str().unwrap()]);
+    let out = flsa(&[
+        "align",
+        "--matrix",
+        "paper",
+        "--quiet",
+        fa.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{out:?}");
     assert_eq!(score_line(&stdout(&out)), 82);
     std::fs::remove_file(fa).ok();
@@ -69,13 +83,34 @@ fn stats_flag_reports_metrics() {
 #[test]
 fn parallel_threads_give_same_score() {
     let fa = tmp("par.fa");
-    let out = flsa(&["gen", "--len", "500", "--seed", "9", "-o", fa.to_str().unwrap()]);
+    let out = flsa(&[
+        "gen",
+        "--len",
+        "500",
+        "--seed",
+        "9",
+        "-o",
+        fa.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let s1 = score_line(&stdout(&flsa(&[
-        "align", "--quiet", "-k", "4", "--base-cells", "1024", fa.to_str().unwrap(),
+        "align",
+        "--quiet",
+        "-k",
+        "4",
+        "--base-cells",
+        "1024",
+        fa.to_str().unwrap(),
     ])));
     let s4 = score_line(&stdout(&flsa(&[
-        "align", "--quiet", "-k", "4", "--base-cells", "1024", "--threads", "4",
+        "align",
+        "--quiet",
+        "-k",
+        "4",
+        "--base-cells",
+        "1024",
+        "--threads",
+        "4",
         fa.to_str().unwrap(),
     ])));
     assert_eq!(s1, s4);
@@ -87,9 +122,17 @@ fn custom_matrix_file_is_honoured() {
     let fa = tmp("mat.fa");
     std::fs::write(&fa, ">a\nAC\n>b\nAC\n").unwrap();
     let mat = tmp("matrix.txt");
-    std::fs::write(&mat, "  A C G T\nA 9 0 0 0\nC 0 9 0 0\nG 0 0 9 0\nT 0 0 0 9\n").unwrap();
+    std::fs::write(
+        &mat,
+        "  A C G T\nA 9 0 0 0\nC 0 9 0 0\nG 0 0 9 0\nT 0 0 0 9\n",
+    )
+    .unwrap();
     let out = flsa(&[
-        "align", "--matrix-file", mat.to_str().unwrap(), "--quiet", fa.to_str().unwrap(),
+        "align",
+        "--matrix-file",
+        mat.to_str().unwrap(),
+        "--quiet",
+        fa.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{out:?}");
     assert_eq!(score_line(&stdout(&out)), 18);
@@ -100,14 +143,36 @@ fn custom_matrix_file_is_honoured() {
 #[test]
 fn affine_algorithms_agree_with_each_other() {
     let fa = tmp("affine.fa");
-    let out = flsa(&["gen", "--len", "200", "--seed", "3", "-o", fa.to_str().unwrap()]);
+    let out = flsa(&[
+        "gen",
+        "--len",
+        "200",
+        "--seed",
+        "3",
+        "-o",
+        fa.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let g = score_line(&stdout(&flsa(&[
-        "align", "--algo", "gotoh", "--gap-open", "-12", "--gap-extend", "-2", "--quiet",
+        "align",
+        "--algo",
+        "gotoh",
+        "--gap-open",
+        "-12",
+        "--gap-extend",
+        "-2",
+        "--quiet",
         fa.to_str().unwrap(),
     ])));
     let m = score_line(&stdout(&flsa(&[
-        "align", "--algo", "mm-affine", "--gap-open", "-12", "--gap-extend", "-2", "--quiet",
+        "align",
+        "--algo",
+        "mm-affine",
+        "--gap-open",
+        "-12",
+        "--gap-extend",
+        "-2",
+        "--quiet",
         fa.to_str().unwrap(),
     ])));
     assert_eq!(g, m);
@@ -141,7 +206,11 @@ fn unknown_algorithm_fails_cleanly() {
 #[test]
 fn msa_subcommand_aligns_a_family() {
     let fa = tmp("family.fa");
-    std::fs::write(&fa, ">s1\nACGTACGT\n>s2\nACGTCGT\n>s3\nACGGACGT\n>s4\nACGTACGT\n").unwrap();
+    std::fs::write(
+        &fa,
+        ">s1\nACGTACGT\n>s2\nACGTCGT\n>s3\nACGGACGT\n>s4\nACGTACGT\n",
+    )
+    .unwrap();
     let out = flsa(&["msa", fa.to_str().unwrap()]);
     assert!(out.status.success(), "{out:?}");
     let text = stdout(&out);
@@ -154,4 +223,108 @@ fn msa_subcommand_aligns_a_family() {
 fn help_and_info_print() {
     assert!(stdout(&flsa(&["help"])).contains("USAGE"));
     assert!(stdout(&flsa(&["info"])).contains("blosum62"));
+}
+
+#[test]
+fn json_flag_emits_machine_readable_stats() {
+    let fa = tmp("json.fa");
+    let out = flsa(&[
+        "gen",
+        "--len",
+        "400",
+        "--seed",
+        "13",
+        "-o",
+        fa.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = flsa(&["align", "--json", fa.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    // One line, one JSON object, all the MetricsSnapshot fields present.
+    assert_eq!(text.trim().lines().count(), 1, "{text}");
+    let doc = flsa_trace::json::parse(text.trim()).unwrap_or_else(|e| panic!("{e}:\n{text}"));
+    assert_eq!(doc.get("algo").and_then(|v| v.as_str()), Some("fastlsa"));
+    for key in [
+        "score",
+        "len_a",
+        "len_b",
+        "threads",
+        "time_ns",
+        "cells_computed",
+        "cells_base_case",
+        "traceback_steps",
+        "kernel_calls",
+        "peak_bytes",
+        "cell_factor",
+    ] {
+        assert!(doc.get(key).is_some(), "missing {key} in {text}");
+    }
+    assert!(doc.get("cells_computed").unwrap().as_u64().unwrap() > 0);
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn trace_then_report_round_trips_both_formats() {
+    let fa = tmp("trace.fa");
+    let out = flsa(&[
+        "gen",
+        "--len",
+        "600",
+        "--seed",
+        "21",
+        "-o",
+        fa.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    for format in ["chrome", "jsonl"] {
+        let tr = tmp(&format!("trace.{format}"));
+        let out = flsa(&[
+            "align",
+            "--threads",
+            "2",
+            "-k",
+            "4",
+            "--base-cells",
+            "4096",
+            "--quiet",
+            "--trace",
+            tr.to_str().unwrap(),
+            "--trace-format",
+            format,
+            fa.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{format}: {out:?}");
+        let trace = flsa_trace::read_trace(&std::fs::read_to_string(&tr).unwrap()).unwrap();
+        assert!(trace.kernel_cells() > 0, "{format}: no kernel events");
+        assert_eq!(trace.meta.threads, 2);
+
+        let out = flsa(&["report", tr.to_str().unwrap()]);
+        assert!(out.status.success(), "{format}: {out:?}");
+        let text = stdout(&out);
+        assert!(text.contains("per-thread utilization"), "{text}");
+        assert!(text.contains("ramp-up / saturated / drain"), "{text}");
+        std::fs::remove_file(tr).ok();
+    }
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn unknown_long_flag_fails_cleanly() {
+    let out = flsa(&["align", "--threds", "4", "x.fa"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threds"));
+    let out = flsa(&["align", "--notaflag", "x.fa"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn report_rejects_missing_and_invalid_files() {
+    let out = flsa(&["report", "/nonexistent/trace.json"]);
+    assert!(!out.status.success());
+    let bad = tmp("bad-trace.json");
+    std::fs::write(&bad, "not a trace").unwrap();
+    let out = flsa(&["report", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    std::fs::remove_file(bad).ok();
 }

@@ -94,7 +94,14 @@ impl AffineSolver<'_> {
             let _mem = self.metrics.track_alloc(3 * mats.h.bytes());
             self.metrics.add_base_case_cells(rows as u64 * cols as u64);
             return flsa_dp::affine::trace_affine(
-                &mats, a, b, self.scheme, head, state, out, self.metrics,
+                &mats,
+                a,
+                b,
+                self.scheme,
+                head,
+                state,
+                out,
+                self.metrics,
             );
         }
 
@@ -125,10 +132,26 @@ impl AffineSolver<'_> {
             let c0 = grid.col_bounds[t];
             let c1 = grid.col_bounds[t + 1];
             let sub_bnd = AffineBoundary {
-                top_h: if s == 0 { &bnd.top_h[c0..=c1] } else { &grid.rows_h[s - 1][c0..=c1] },
-                top_v: if s == 0 { &bnd.top_v[c0..=c1] } else { &grid.rows_v[s - 1][c0..=c1] },
-                left_h: if t == 0 { &bnd.left_h[r0..=r1] } else { &grid.cols_h[t - 1][r0..=r1] },
-                left_e: if t == 0 { &bnd.left_e[r0..=r1] } else { &grid.cols_e[t - 1][r0..=r1] },
+                top_h: if s == 0 {
+                    &bnd.top_h[c0..=c1]
+                } else {
+                    &grid.rows_h[s - 1][c0..=c1]
+                },
+                top_v: if s == 0 {
+                    &bnd.top_v[c0..=c1]
+                } else {
+                    &grid.rows_v[s - 1][c0..=c1]
+                },
+                left_h: if t == 0 {
+                    &bnd.left_h[r0..=r1]
+                } else {
+                    &grid.cols_h[t - 1][r0..=r1]
+                },
+                left_e: if t == 0 {
+                    &bnd.left_e[r0..=r1]
+                } else {
+                    &grid.cols_e[t - 1][r0..=r1]
+                },
             };
             let ((ei, ej), st) = self.solve(
                 &a[r0..r1],
@@ -161,18 +184,35 @@ impl AffineSolver<'_> {
                 let c1 = grid.col_bounds[t + 1];
                 // Copy inputs first (the outputs may alias other rows of
                 // the same cache vectors).
-                let top_h: Vec<i32> =
-                    if s == 0 { bnd.top_h[c0..=c1].to_vec() } else { grid.rows_h[s - 1][c0..=c1].to_vec() };
-                let top_v: Vec<i32> =
-                    if s == 0 { bnd.top_v[c0..=c1].to_vec() } else { grid.rows_v[s - 1][c0..=c1].to_vec() };
-                let left_h: Vec<i32> =
-                    if t == 0 { bnd.left_h[r0..=r1].to_vec() } else { grid.cols_h[t - 1][r0..=r1].to_vec() };
-                let left_e: Vec<i32> =
-                    if t == 0 { bnd.left_e[r0..=r1].to_vec() } else { grid.cols_e[t - 1][r0..=r1].to_vec() };
+                let top_h: Vec<i32> = if s == 0 {
+                    bnd.top_h[c0..=c1].to_vec()
+                } else {
+                    grid.rows_h[s - 1][c0..=c1].to_vec()
+                };
+                let top_v: Vec<i32> = if s == 0 {
+                    bnd.top_v[c0..=c1].to_vec()
+                } else {
+                    grid.rows_v[s - 1][c0..=c1].to_vec()
+                };
+                let left_h: Vec<i32> = if t == 0 {
+                    bnd.left_h[r0..=r1].to_vec()
+                } else {
+                    grid.cols_h[t - 1][r0..=r1].to_vec()
+                };
+                let left_e: Vec<i32> = if t == 0 {
+                    bnd.left_e[r0..=r1].to_vec()
+                } else {
+                    grid.cols_e[t - 1][r0..=r1].to_vec()
+                };
                 let edges = fill_affine_edges(
                     &a[r0..r1],
                     &b[c0..c1],
-                    AffineBoundary { top_h: &top_h, top_v: &top_v, left_h: &left_h, left_e: &left_e },
+                    AffineBoundary {
+                        top_h: &top_h,
+                        top_v: &top_v,
+                        left_h: &left_h,
+                        left_e: &left_e,
+                    },
                     self.scheme,
                     self.metrics,
                 );
@@ -237,10 +277,20 @@ pub fn align_affine(
     let bnd = AffineGlobalBoundary::new(m, n, open, extend);
     let base_guard = metrics.track_alloc(3 * config.base_cells * std::mem::size_of::<i32>());
 
-    let mut solver = AffineSolver { scheme, config, metrics };
+    let mut solver = AffineSolver {
+        scheme,
+        config,
+        metrics,
+    };
     let mut builder = PathBuilder::new();
-    let ((ei, ej), _state) =
-        solver.solve(a.codes(), b.codes(), bnd.view(), (m, n), GapState::H, &mut builder);
+    let ((ei, ej), _state) = solver.solve(
+        a.codes(),
+        b.codes(),
+        bnd.view(),
+        (m, n),
+        GapState::H,
+        &mut builder,
+    );
     for _ in 0..ei {
         builder.push_back(Move::Up);
     }

@@ -23,7 +23,10 @@ impl ParallelConfig {
     /// wavefront has roughly `2·P` tiles in the saturated phase.
     pub fn for_threads(threads: usize) -> Self {
         assert!(threads >= 1, "at least one thread");
-        ParallelConfig { threads, tiles_per_block: (2 * threads).div_ceil(8).max(1) }
+        ParallelConfig {
+            threads,
+            tiles_per_block: (2 * threads).div_ceil(8).max(1),
+        }
     }
 }
 
@@ -49,14 +52,22 @@ impl Default for FastLsaConfig {
     /// matching the paper's guidance to size `BM` for cache — and
     /// sequential execution.
     fn default() -> Self {
-        FastLsaConfig { k: 8, base_cells: 1 << 20, parallel: None }
+        FastLsaConfig {
+            k: 8,
+            base_cells: 1 << 20,
+            parallel: None,
+        }
     }
 }
 
 impl FastLsaConfig {
     /// Sequential configuration with explicit `k` and base buffer.
     pub fn new(k: usize, base_cells: usize) -> Self {
-        let cfg = FastLsaConfig { k, base_cells, parallel: None };
+        let cfg = FastLsaConfig {
+            k,
+            base_cells,
+            parallel: None,
+        };
         cfg.validate();
         cfg
     }
@@ -102,7 +113,11 @@ impl FastLsaConfig {
         let cell_budget = (bytes / std::mem::size_of::<i32>()).max(64);
         let whole = (m + 1).saturating_mul(n + 1);
         if whole <= cell_budget {
-            return FastLsaConfig { k: 2, base_cells: whole, parallel: None };
+            return FastLsaConfig {
+                k: 2,
+                base_cells: whole,
+                parallel: None,
+            };
         }
         let grid_budget = cell_budget / 2;
         let per_k_unit = 2 * (m + n + 2); // entries per unit of (k-1), all levels
@@ -119,7 +134,11 @@ impl FastLsaConfig {
         // and actual use is the k = 2 minimum footprint.
         let grid_cells = (k - 1) * per_k_unit;
         let base_cells = cell_budget.saturating_sub(grid_cells).max(64);
-        FastLsaConfig { k, base_cells, parallel: None }
+        FastLsaConfig {
+            k,
+            base_cells,
+            parallel: None,
+        }
     }
 
     /// Worker thread count (1 when sequential).
@@ -160,7 +179,12 @@ mod tests {
         let tight = FastLsaConfig::for_memory(4 << 20, m, n);
         let roomy = FastLsaConfig::for_memory(256 << 20, m, n);
         assert!(tight.k >= 2);
-        assert!(roomy.k > tight.k, "roomy k {} vs tight k {}", roomy.k, tight.k);
+        assert!(
+            roomy.k > tight.k,
+            "roomy k {} vs tight k {}",
+            roomy.k,
+            tight.k
+        );
         assert!(roomy.base_cells > tight.base_cells);
         // Neither fits the whole DPM.
         assert!(tight.base_cells < (m + 1) * (n + 1));

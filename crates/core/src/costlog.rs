@@ -50,7 +50,12 @@ impl CostLog {
         self.events
             .iter()
             .map(|e| match *e {
-                CostEvent::GridFill { rows, cols, k_r, k_c } => {
+                CostEvent::GridFill {
+                    rows,
+                    cols,
+                    k_r,
+                    k_c,
+                } => {
                     let area = rows as u64 * cols as u64;
                     // Bottom-right block is skipped; subtract its area.
                     let br_rows = (rows - rows * (k_r - 1) / k_r) as u64;
@@ -83,7 +88,12 @@ mod tests {
     fn totals_accumulate() {
         let log = CostLog {
             events: vec![
-                CostEvent::GridFill { rows: 10, cols: 10, k_r: 2, k_c: 2 },
+                CostEvent::GridFill {
+                    rows: 10,
+                    cols: 10,
+                    k_r: 2,
+                    k_c: 2,
+                },
                 CostEvent::BaseFill { rows: 5, cols: 5 },
                 CostEvent::Trace { steps: 7 },
                 CostEvent::Trace { steps: 3 },

@@ -182,9 +182,16 @@ mod tests {
         let scheme = ScoringScheme::dna_default();
         let (a, b) = homologous_pair("t", &Alphabet::dna(), 400, 0.8, 5).unwrap();
         let metrics = Metrics::new();
-        let cfg = FastLsaConfig { k: 8, base_cells: (a.len() + 1) * (b.len() + 1), parallel: None };
+        let cfg = FastLsaConfig {
+            k: 8,
+            base_cells: (a.len() + 1) * (b.len() + 1),
+            parallel: None,
+        };
         align_with(&a, &b, &scheme, cfg, &metrics);
-        assert_eq!(metrics.snapshot().cells_computed, (a.len() * b.len()) as u64);
+        assert_eq!(
+            metrics.snapshot().cells_computed,
+            (a.len() * b.len()) as u64
+        );
     }
 
     #[test]
@@ -220,7 +227,10 @@ mod tests {
             align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics);
             let peak = metrics.snapshot().peak_bytes;
             let bound = model::fastlsa_space_entries(a.len(), b.len(), k, base) * 4.0;
-            assert!(peak as f64 <= bound * 1.10, "k={k}: peak {peak} > bound {bound}");
+            assert!(
+                peak as f64 <= bound * 1.10,
+                "k={k}: peak {peak} > bound {bound}"
+            );
             assert!(peak >= prev_peak, "peak should grow with k");
             prev_peak = peak;
             // Far below the quadratic FM footprint.

@@ -129,7 +129,12 @@ pub fn replay_with_comm(
     let mut total = 0.0f64;
     for event in &log.events {
         match *event {
-            CostEvent::GridFill { rows, cols, k_r, k_c } => {
+            CostEvent::GridFill {
+                rows,
+                cols,
+                k_r,
+                k_c,
+            } => {
                 let f_r = tiles_per_block.min(rows / k_r).max(1);
                 let f_c = tiles_per_block.min(cols / k_c).max(1);
                 let trb = refine_bounds(&partition(rows, k_r), f_r);
@@ -140,8 +145,7 @@ pub fn replay_with_comm(
                 let cost = |tr: usize, tc: usize| {
                     ((trb[tr + 1] - trb[tr]) * (tcb[tc + 1] - tcb[tc])) as u64
                 };
-                let mean_tile = (rows * cols) as f64
-                    / ((trb.len() - 1) * (tcb.len() - 1)) as f64;
+                let mean_tile = (rows * cols) as f64 / ((trb.len() - 1) * (tcb.len() - 1)) as f64;
                 let res = simulate_schedule_comm(
                     trb.len() - 1,
                     tcb.len() - 1,
@@ -183,7 +187,11 @@ pub fn replay_with_comm(
             }
         }
     }
-    ReplayReport { threads, units, total_work: total }
+    ReplayReport {
+        threads,
+        units,
+        total_work: total,
+    }
 }
 
 #[cfg(test)]
@@ -231,14 +239,22 @@ mod tests {
         // Doubling the problem roughly doubles the grid term, far from 4x.
         let grid1 = s1 - (1 << 16) as f64;
         let grid2 = s2 - (1 << 16) as f64;
-        assert!(grid2 < grid1 * 2.3, "grid growth should be linear: {grid1} -> {grid2}");
+        assert!(
+            grid2 < grid1 * 2.3,
+            "grid growth should be linear: {grid1} -> {grid2}"
+        );
     }
 
     #[test]
     fn replay_single_thread_equals_total_work() {
         let log = CostLog {
             events: vec![
-                CostEvent::GridFill { rows: 64, cols: 64, k_r: 4, k_c: 4 },
+                CostEvent::GridFill {
+                    rows: 64,
+                    cols: 64,
+                    k_r: 4,
+                    k_c: 4,
+                },
                 CostEvent::BaseFill { rows: 16, cols: 16 },
                 CostEvent::Trace { steps: 32 },
             ],
@@ -251,7 +267,12 @@ mod tests {
     #[test]
     fn replay_speedup_grows_then_saturates() {
         let log = CostLog {
-            events: vec![CostEvent::GridFill { rows: 4096, cols: 4096, k_r: 8, k_c: 8 }],
+            events: vec![CostEvent::GridFill {
+                rows: 4096,
+                cols: 4096,
+                k_r: 8,
+                k_c: 8,
+            }],
         };
         let s2 = replay(&log, 2, 4).speedup();
         let s4 = replay(&log, 4, 4).speedup();
@@ -265,7 +286,12 @@ mod tests {
     #[test]
     fn communication_reduces_replayed_speedup() {
         let log = CostLog {
-            events: vec![CostEvent::GridFill { rows: 2048, cols: 2048, k_r: 8, k_c: 8 }],
+            events: vec![CostEvent::GridFill {
+                rows: 2048,
+                cols: 2048,
+                k_r: 8,
+                k_c: 8,
+            }],
         };
         let s0 = replay_with_comm(&log, 8, 2, 0.0).speedup();
         let s10 = replay_with_comm(&log, 8, 2, 0.1).speedup();

@@ -10,6 +10,7 @@
 
 use flsa_dp::kernel::fill_last_row_col;
 use flsa_dp::ScoreMatrix;
+use flsa_trace::{TileKind, TileTracer};
 use flsa_wavefront::DisjointBuf;
 
 use crate::grid::{partition, Grid};
@@ -43,7 +44,10 @@ pub(crate) fn fill_grid_parallel(
     left: &[i32],
     grid: &mut Grid,
 ) {
-    let par = solver.config.parallel.expect("parallel fill requires a parallel config");
+    let par = solver
+        .config
+        .parallel
+        .expect("parallel fill requires a parallel config");
     let (rows, cols) = (a.len(), b.len());
     let k_r = grid.k_r();
     let k_c = grid.k_c();
@@ -145,11 +149,14 @@ pub(crate) fn fill_grid_parallel(
         }
     };
 
+    let tracer = metrics
+        .recorder()
+        .map(|r| TileTracer::new(r, TileKind::GridFill));
     solver
         .pool
         .as_mut()
         .expect("parallel fill requires the worker pool")
-        .run(r_tiles, c_tiles, skip, &work);
+        .run_traced(r_tiles, c_tiles, skip, &work, tracer.as_ref());
 
     // Extract the grid rows/columns: block edge s+1 is tile edge
     // (s+1)·f − 1's bottom boundary.
@@ -175,7 +182,10 @@ pub(crate) fn fill_base_parallel(
     top: &[i32],
     left: &[i32],
 ) -> ScoreMatrix {
-    let par = solver.config.parallel.expect("parallel fill requires a parallel config");
+    let par = solver
+        .config
+        .parallel
+        .expect("parallel fill requires a parallel config");
     let (rows, cols) = (a.len(), b.len());
     let w = cols + 1;
 
@@ -230,11 +240,14 @@ pub(crate) fn fill_base_parallel(
         metrics.add_cells((r1 - r0) as u64 * (c1 - c0) as u64);
     };
 
+    let tracer = metrics
+        .recorder()
+        .map(|r| TileTracer::new(r, TileKind::BaseFill));
     solver
         .pool
         .as_mut()
         .expect("parallel fill requires the worker pool")
-        .run(tiles_r, tiles_c, |_, _| false, &work);
+        .run_traced(tiles_r, tiles_c, |_, _| false, &work, tracer.as_ref());
 
     ScoreMatrix::from_vec(rows, cols, buf.into_inner())
 }

@@ -12,6 +12,7 @@ use flsa_dp::traceback::trace_from;
 use flsa_dp::{AlignResult, Metrics, PathBuilder};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
+use flsa_trace::{EventKind, Recorder, SpanKind};
 
 use crate::config::FastLsaConfig;
 use crate::costlog::{CostEvent, CostLog};
@@ -35,12 +36,16 @@ pub(crate) struct Solver<'s> {
     pub(crate) pool: Option<flsa_wavefront::WorkerPool>,
     /// Execution trace for schedule replay.
     pub log: CostLog,
+    /// Current depth in the recursion tree (0 = whole problem), recorded
+    /// on trace spans.
+    depth: u32,
 }
 
 impl<'s> Solver<'s> {
     pub fn new(scheme: &'s ScoringScheme, config: FastLsaConfig, metrics: &'s Metrics) -> Self {
         config.validate();
-        let pool = (config.threads() > 1).then(|| flsa_wavefront::WorkerPool::new(config.threads()));
+        let pool =
+            (config.threads() > 1).then(|| flsa_wavefront::WorkerPool::new(config.threads()));
         Solver {
             scheme,
             config,
@@ -50,6 +55,43 @@ impl<'s> Solver<'s> {
             scratch_col: Vec::new(),
             pool,
             log: CostLog::default(),
+            depth: 0,
+        }
+    }
+
+    /// The attached trace recorder, if any. Detached from `&mut self`
+    /// borrows because `metrics` is itself a shared reference.
+    #[inline]
+    pub(crate) fn recorder(&self) -> Option<&'s Recorder> {
+        self.metrics.recorder()
+    }
+
+    /// Records one recursion span if tracing is on. `k_r`/`k_c` are 0 for
+    /// base cases and tracebacks.
+    #[inline]
+    fn record_span(
+        &self,
+        started_ns: Option<u64>,
+        kind: SpanKind,
+        rows: usize,
+        cols: usize,
+        k_r: usize,
+        k_c: usize,
+    ) {
+        if let (Some(r), Some(start)) = (self.recorder(), started_ns) {
+            r.record(
+                start,
+                r.now_ns(),
+                EventKind::Span {
+                    kind,
+                    depth: self.depth,
+                    rows: rows as u64,
+                    cols: cols as u64,
+                    k_r: k_r as u32,
+                    k_c: k_c as u32,
+                    cells: rows as u64 * cols as u64,
+                },
+            );
         }
     }
 
@@ -124,18 +166,26 @@ impl<'s> Solver<'s> {
         let grid_guard = self
             .metrics
             .track_alloc(grid.cache_entries() * std::mem::size_of::<i32>());
-        self.log.events.push(CostEvent::GridFill { rows, cols, k_r, k_c });
+        self.log.events.push(CostEvent::GridFill {
+            rows,
+            cols,
+            k_r,
+            k_c,
+        });
 
         // fillGridCache (Figure 2 line 5 / Figure 3d).
+        let fill_start = self.recorder().map(Recorder::now_ns);
         if self.config.threads() > 1 {
             parallel::fill_grid_parallel(self, a, b, top, left, &mut grid);
         } else {
             self.fill_grid_sequential(a, b, top, left, &mut grid);
         }
+        self.record_span(fill_start, SpanKind::FillCache, rows, cols, k_r, k_c);
 
         // Walk sub-problems from the head toward the top/left boundary
         // (Figure 2 lines 8-13). The first iteration handles the
         // bottom-right sub-problem; subsequent ones follow `UpLeft`.
+        self.depth += 1;
         let (mut i, mut j) = head;
         while i > 0 && j > 0 {
             let s = segment_of(&grid.row_bounds, i);
@@ -146,11 +196,18 @@ impl<'s> Solver<'s> {
             let c1 = grid.col_bounds[t + 1];
             let sub_top = grid.cached_row(s, t).unwrap_or(&top[c0..=c1]);
             let sub_left = grid.cached_col(s, t).unwrap_or(&left[r0..=r1]);
-            let (ei, ej) =
-                self.solve(&a[r0..r1], &b[c0..c1], sub_top, sub_left, (i - r0, j - c0), out);
+            let (ei, ej) = self.solve(
+                &a[r0..r1],
+                &b[c0..c1],
+                sub_top,
+                sub_left,
+                (i - r0, j - c0),
+                out,
+            );
             i = r0 + ei;
             j = c0 + ej;
         }
+        self.depth -= 1;
 
         drop(grid_guard);
         (i, j)
@@ -178,17 +235,23 @@ impl<'s> Solver<'s> {
             self.metrics
                 .track_alloc((rows + 1) * (cols + 1) * std::mem::size_of::<i32>())
         });
+        let fill_start = self.recorder().map(Recorder::now_ns);
         let dpm = if use_parallel {
             parallel::fill_base_parallel(self, a, b, top, left)
         } else {
             let storage = std::mem::take(&mut self.base_storage);
             fill_full_reusing(a, b, top, left, self.scheme, storage, self.metrics)
         };
+        self.record_span(fill_start, SpanKind::BaseCase, rows, cols, 0, 0);
         self.metrics.add_base_case_cells(rows as u64 * cols as u64);
 
         let before = out.len();
+        let trace_start = self.recorder().map(Recorder::now_ns);
         let exit = trace_from(&dpm, a, b, self.scheme, head, out, self.metrics);
-        self.log.events.push(CostEvent::Trace { steps: (out.len() - before) as u64 });
+        self.record_span(trace_start, SpanKind::Traceback, rows, cols, 0, 0);
+        self.log.events.push(CostEvent::Trace {
+            steps: (out.len() - before) as u64,
+        });
 
         // Return the buffer for the next base case (keep the larger one).
         let storage = dpm.into_vec();

@@ -155,7 +155,12 @@ pub fn fill_affine_edges(
         right_e[i] = if cols == 0 { bnd.left_e[i] } else { e_reg };
     }
     metrics.add_cells(rows as u64 * cols as u64);
-    AffineEdges { bottom_h: h_row, bottom_v: v_row, right_h, right_e }
+    AffineEdges {
+        bottom_h: h_row,
+        bottom_v: v_row,
+        right_h,
+        right_e,
+    }
 }
 
 /// The three filled layers of an affine rectangle.
@@ -200,7 +205,9 @@ pub fn fill_affine_full(
         for j in 1..=cols {
             let ev = (e.get(i, j - 1) + extend).max(h.get(i, j - 1) + open + extend);
             let fv = (f.get(i - 1, j) + extend).max(h.get(i - 1, j) + open + extend);
-            let hv = (h.get(i - 1, j - 1) + matrix.score(ai, b[j - 1])).max(ev).max(fv);
+            let hv = (h.get(i - 1, j - 1) + matrix.score(ai, b[j - 1]))
+                .max(ev)
+                .max(fv);
             e.set(i, j, ev);
             f.set(i, j, fv);
             h.set(i, j, hv);
@@ -316,7 +323,10 @@ mod tests {
     }
 
     fn dna(s: &str) -> Vec<u8> {
-        Sequence::from_str("s", scheme().alphabet(), s).unwrap().codes().to_vec()
+        Sequence::from_str("s", scheme().alphabet(), s)
+            .unwrap()
+            .codes()
+            .to_vec()
     }
 
     #[test]
@@ -354,8 +364,7 @@ mod tests {
             for j in 1..=n {
                 e[i][j] = (e[i][j - 1] + extend as i64).max(h[i][j - 1] + (open + extend) as i64);
                 f[i][j] = (f[i - 1][j] + extend as i64).max(h[i - 1][j] + (open + extend) as i64);
-                h[i][j] = (h[i - 1][j - 1]
-                    + scheme.sub(a.codes()[i - 1], b.codes()[j - 1]) as i64)
+                h[i][j] = (h[i - 1][j - 1] + scheme.sub(a.codes()[i - 1], b.codes()[j - 1]) as i64)
                     .max(e[i][j])
                     .max(f[i][j]);
             }
@@ -476,7 +485,14 @@ mod tests {
         let mats = fill_affine_full(&a, &b, bnd.view(), &scheme, &metrics);
         let mut builder = PathBuilder::new();
         let ((ei, ej), st) = trace_affine(
-            &mats, &a, &b, &scheme, (a.len(), b.len()), GapState::H, &mut builder, &metrics,
+            &mats,
+            &a,
+            &b,
+            &scheme,
+            (a.len(), b.len()),
+            GapState::H,
+            &mut builder,
+            &metrics,
         );
         assert_eq!((ei, ej), (0, 0));
         assert_eq!(st, GapState::H);

@@ -93,11 +93,27 @@ mod tests {
         let metrics = Metrics::new();
         let mut b1 = vec![0; b.len() + 1];
         let mut r1 = vec![0; a.len() + 1];
-        fill_last_row_col(a, b, &bound.top, &bound.left, &scheme, &mut b1, Some(&mut r1), &metrics);
+        fill_last_row_col(
+            a,
+            b,
+            &bound.top,
+            &bound.left,
+            &scheme,
+            &mut b1,
+            Some(&mut r1),
+            &metrics,
+        );
         let mut b2 = vec![0; b.len() + 1];
         let mut r2 = vec![0; a.len() + 1];
         fill_last_row_col_antidiagonal(
-            a, b, &bound.top, &bound.left, &scheme, &mut b2, Some(&mut r2), &metrics,
+            a,
+            b,
+            &bound.top,
+            &bound.left,
+            &scheme,
+            &mut b2,
+            Some(&mut r2),
+            &metrics,
         );
         (b1, r1, b2, r2)
     }
@@ -111,7 +127,14 @@ mod tests {
         let metrics = Metrics::new();
         let mut bottom = vec![0; b.len() + 1];
         fill_last_row_col_antidiagonal(
-            a.codes(), b.codes(), &bound.top, &bound.left, &scheme, &mut bottom, None, &metrics,
+            a.codes(),
+            b.codes(),
+            &bound.top,
+            &bound.left,
+            &scheme,
+            &mut bottom,
+            None,
+            &metrics,
         );
         assert_eq!(bottom[b.len()], 82, "paper example optimum");
     }

@@ -34,7 +34,10 @@ impl Boundary {
     /// corner mismatch means the caller sliced its caches inconsistently,
     /// which would corrupt every downstream score.
     pub fn new(top: Vec<i32>, left: Vec<i32>) -> Self {
-        assert!(!top.is_empty() && !left.is_empty(), "boundary vectors must be non-empty");
+        assert!(
+            !top.is_empty() && !left.is_empty(),
+            "boundary vectors must be non-empty"
+        );
         assert_eq!(top[0], left[0], "boundary corner mismatch");
         Boundary { top, left }
     }

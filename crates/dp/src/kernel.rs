@@ -268,7 +268,14 @@ mod tests {
         let mut bottom = vec![0; b.len() + 1];
         let mut right = vec![0; a.len() + 1];
         fill_last_row_col(
-            &a, &b, &bound.top, &bound.left, &scheme, &mut bottom, Some(&mut right), &metrics,
+            &a,
+            &b,
+            &bound.top,
+            &bound.left,
+            &scheme,
+            &mut bottom,
+            Some(&mut right),
+            &metrics,
         );
         assert_eq!(bottom, m.row(a.len()));
         assert_eq!(right, m.col(b.len()));
@@ -295,7 +302,16 @@ mod tests {
 
         let mut bottom = vec![0; b.len() + 1];
         let mut right = vec![0; 1];
-        fill_last_row_col(&[], &b, &bound.top, &bound.left, &scheme, &mut bottom, Some(&mut right), &metrics);
+        fill_last_row_col(
+            &[],
+            &b,
+            &bound.top,
+            &bound.left,
+            &scheme,
+            &mut bottom,
+            Some(&mut right),
+            &metrics,
+        );
         assert_eq!(bottom, bound.top);
         assert_eq!(right[0], *bound.top.last().unwrap());
 
@@ -303,7 +319,16 @@ mod tests {
         let a = [0u8, 1, 2];
         let mut bottom1 = vec![0; 1];
         let mut right1 = vec![0; 4];
-        fill_last_row_col(&a, &[], &bound.top, &bound.left, &scheme, &mut bottom1, Some(&mut right1), &metrics);
+        fill_last_row_col(
+            &a,
+            &[],
+            &bound.top,
+            &bound.left,
+            &scheme,
+            &mut bottom1,
+            Some(&mut right1),
+            &metrics,
+        );
         assert_eq!(right1, bound.left);
         assert_eq!(bottom1[0], -30);
     }
@@ -319,7 +344,14 @@ mod tests {
         let whole = fill_full(&a, &b, &bound.top, &bound.left, &scheme, &metrics);
 
         let split = 4;
-        let left_half = fill_full(&a, &b[..split], &bound.top[..=split], &bound.left, &scheme, &metrics);
+        let left_half = fill_full(
+            &a,
+            &b[..split],
+            &bound.top[..=split],
+            &bound.left,
+            &scheme,
+            &metrics,
+        );
         let mid_col = left_half.col(split);
         let right_half = fill_full(
             &a,

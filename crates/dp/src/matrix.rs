@@ -15,7 +15,11 @@ pub struct ScoreMatrix {
 impl ScoreMatrix {
     /// Allocates a zeroed matrix for an `rows × cols` residue rectangle.
     pub fn new(rows: usize, cols: usize) -> Self {
-        ScoreMatrix { rows, cols, data: vec![0; (rows + 1) * (cols + 1)] }
+        ScoreMatrix {
+            rows,
+            cols,
+            data: vec![0; (rows + 1) * (cols + 1)],
+        }
     }
 
     /// Builds a matrix reusing `storage` (resized as needed, contents
@@ -24,7 +28,11 @@ impl ScoreMatrix {
     /// base-case solve; see [`ScoreMatrix::into_vec`].
     pub fn from_storage(rows: usize, cols: usize, mut storage: Vec<i32>) -> Self {
         storage.resize((rows + 1) * (cols + 1), 0);
-        ScoreMatrix { rows, cols, data: storage }
+        ScoreMatrix {
+            rows,
+            cols,
+            data: storage,
+        }
     }
 
     /// Builds a matrix from a filled row-major vector of exactly
@@ -147,7 +155,11 @@ impl DirMatrix {
     /// Allocates a direction matrix initialized to [`Dir::Stop`].
     pub fn new(rows: usize, cols: usize) -> Self {
         let entries = (rows + 1) * (cols + 1);
-        DirMatrix { rows, cols, bits: vec![0xFF; entries.div_ceil(4)] }
+        DirMatrix {
+            rows,
+            cols,
+            bits: vec![0xFF; entries.div_ceil(4)],
+        }
     }
 
     /// Residue rows.

@@ -11,10 +11,17 @@
 //! is unmeasurable and the type stays `Sync` for the parallel fills.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flsa_trace::Recorder;
 
 /// Shared accounting for one alignment run.
 #[derive(Debug, Default)]
 pub struct Metrics {
+    /// Optional event recorder; when present, every kernel call is also
+    /// logged as a trace event (so traced cells always equal
+    /// `cells_computed` by construction).
+    recorder: Option<Arc<Recorder>>,
     /// DPM entries computed by FindScore-phase kernels (fills of any kind).
     cells_computed: AtomicU64,
     /// Subset of `cells_computed` spent inside base-case (full-matrix)
@@ -51,11 +58,29 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Fresh metrics that also log every kernel call to `recorder`.
+    pub fn with_recorder(recorder: Arc<Recorder>) -> Self {
+        Metrics {
+            recorder: Some(recorder),
+            ..Metrics::default()
+        }
+    }
+
+    /// The attached event recorder, if tracing is on. Layers above pass
+    /// this down so the disabled path stays a `None` check.
+    #[inline]
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
+    }
+
     /// Records `n` DPM entries computed by a fill kernel.
     #[inline]
     pub fn add_cells(&self, n: u64) {
         self.cells_computed.fetch_add(n, Ordering::Relaxed);
         self.kernel_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = &self.recorder {
+            r.record_kernel(n);
+        }
     }
 
     /// Records `n` DPM entries computed inside a base-case solve (these are
@@ -81,7 +106,10 @@ impl Metrics {
         let b = bytes as i64;
         let cur = self.cur_bytes.fetch_add(b, Ordering::Relaxed) + b;
         self.peak_bytes.fetch_max(cur, Ordering::Relaxed);
-        MemGuard { metrics: self, bytes: b }
+        MemGuard {
+            metrics: self,
+            bytes: b,
+        }
     }
 
     /// Copies the counters out.
@@ -105,7 +133,9 @@ pub struct MemGuard<'m> {
 
 impl Drop for MemGuard<'_> {
     fn drop(&mut self) {
-        self.metrics.cur_bytes.fetch_sub(self.bytes, Ordering::Relaxed);
+        self.metrics
+            .cur_bytes
+            .fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
@@ -163,5 +193,16 @@ mod tests {
     fn metrics_are_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<Metrics>();
+    }
+
+    #[test]
+    fn recorder_sees_every_kernel_call() {
+        let recorder = Arc::new(Recorder::new());
+        let m = Metrics::with_recorder(Arc::clone(&recorder));
+        m.add_cells(64);
+        m.add_cells(36);
+        let trace = recorder.snapshot();
+        assert_eq!(trace.kernel_cells(), m.snapshot().cells_computed);
+        assert_eq!(trace.events.len(), m.snapshot().kernel_calls as usize);
     }
 }

@@ -229,7 +229,11 @@ impl Alignment {
                 }
             }
         }
-        Alignment { aligned_a, aligned_b, markers }
+        Alignment {
+            aligned_a,
+            aligned_b,
+            markers,
+        }
     }
 
     /// Fraction of columns that are identical residues.

@@ -20,7 +20,10 @@ mod tests {
 
     #[test]
     fn result_carries_score_and_path() {
-        let r = AlignResult { score: 5, path: Path::new((0, 0), vec![Move::Diag]) };
+        let r = AlignResult {
+            score: 5,
+            path: Path::new((0, 0), vec![Move::Diag]),
+        };
         assert_eq!(r.score, 5);
         assert_eq!(r.path.end(), (1, 1));
     }

@@ -34,7 +34,10 @@ pub fn trace_from(
     let gap = scheme.gap().linear_penalty();
     let matrix = scheme.matrix();
     let (mut i, mut j) = start;
-    assert!(i <= dpm.rows() && j <= dpm.cols(), "traceback start out of range");
+    assert!(
+        i <= dpm.rows() && j <= dpm.cols(),
+        "traceback start out of range"
+    );
     let mut steps = 0u64;
     while i > 0 && j > 0 {
         let v = dpm.get(i, j);
@@ -72,7 +75,10 @@ pub fn trace_dirs(
     metrics: &Metrics,
 ) -> (usize, usize) {
     let (mut i, mut j) = start;
-    assert!(i <= dirs.rows() && j <= dirs.cols(), "traceback start out of range");
+    assert!(
+        i <= dirs.rows() && j <= dirs.cols(),
+        "traceback start out of range"
+    );
     let mut steps = 0u64;
     loop {
         match dirs.get(i, j) {
@@ -121,7 +127,15 @@ mod tests {
         let metrics = Metrics::new();
         let dpm = fill_full(&a, &b, &bound.top, &bound.left, &scheme, &metrics);
         let mut builder = PathBuilder::new();
-        let exit = trace_from(&dpm, &a, &b, &scheme, (a.len(), b.len()), &mut builder, &metrics);
+        let exit = trace_from(
+            &dpm,
+            &a,
+            &b,
+            &scheme,
+            (a.len(), b.len()),
+            &mut builder,
+            &metrics,
+        );
         // The paper's optimal path reaches the top-left region; with this
         // instance it exits exactly at the origin.
         assert_eq!(exit, (0, 0));

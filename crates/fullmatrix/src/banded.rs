@@ -81,8 +81,10 @@ pub fn banded_needleman_wunsch(
             } else {
                 let mut best = NEG;
                 if i > 0 && ju > 0 && in_band(i - 1, j - 1) {
-                    best = best
-                        .max(band[idx(i - 1, ju - 1)] + matrix.score(a.codes()[i - 1], b.codes()[ju - 1]));
+                    best = best.max(
+                        band[idx(i - 1, ju - 1)]
+                            + matrix.score(a.codes()[i - 1], b.codes()[ju - 1]),
+                    );
                 }
                 if i > 0 && in_band(i - 1, j) {
                     best = best.max(band[idx(i - 1, ju)] + gap);
@@ -125,7 +127,10 @@ pub fn banded_needleman_wunsch(
         steps += 1;
     }
     metrics.add_traceback_steps(steps);
-    AlignResult { score: band[idx(m, n)] as i64, path: builder.finish((0, 0)) }
+    AlignResult {
+        score: band[idx(m, n)] as i64,
+        path: builder.finish((0, 0)),
+    }
 }
 
 /// Widens the band geometrically until the score stabilizes across one

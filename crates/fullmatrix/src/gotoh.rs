@@ -21,12 +21,7 @@ const NEG: i32 = i32::MIN / 4;
 /// # Panics
 ///
 /// Panics when `scheme.gap()` is not [`GapModel::Affine`].
-pub fn gotoh(
-    a: &Sequence,
-    b: &Sequence,
-    scheme: &ScoringScheme,
-    metrics: &Metrics,
-) -> AlignResult {
+pub fn gotoh(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metrics) -> AlignResult {
     scheme.check_sequences(a, b);
     let (open, extend) = match *scheme.gap() {
         GapModel::Affine { open, extend } => (open, extend),
@@ -137,7 +132,10 @@ pub fn gotoh(
         }
     }
     metrics.add_traceback_steps(steps);
-    AlignResult { score: h.get(m, n) as i64, path: builder.finish((0, 0)) }
+    AlignResult {
+        score: h.get(m, n) as i64,
+        path: builder.finish((0, 0)),
+    }
 }
 
 /// Scores an alignment path under an affine gap model (test oracle: the

@@ -39,12 +39,27 @@ pub fn needleman_wunsch(
     let gap = scheme.gap().linear_penalty();
     let bound = Boundary::global(m, n, gap);
 
-    let dpm = fill_full(a.codes(), b.codes(), &bound.top, &bound.left, scheme, metrics);
+    let dpm = fill_full(
+        a.codes(),
+        b.codes(),
+        &bound.top,
+        &bound.left,
+        scheme,
+        metrics,
+    );
     let _mem = metrics.track_alloc(dpm.bytes());
     metrics.add_base_case_cells(m as u64 * n as u64);
 
     let mut builder = PathBuilder::new();
-    let (ei, ej) = trace_from(&dpm, a.codes(), b.codes(), scheme, (m, n), &mut builder, metrics);
+    let (ei, ej) = trace_from(
+        &dpm,
+        a.codes(),
+        b.codes(),
+        scheme,
+        (m, n),
+        &mut builder,
+        metrics,
+    );
     // The exit is on the gap-ramp boundary; the optimal continuation to the
     // origin runs straight along it.
     for _ in 0..ei {
@@ -53,7 +68,10 @@ pub fn needleman_wunsch(
     for _ in 0..ej {
         builder.push_back(Move::Left);
     }
-    AlignResult { score: dpm.get(m, n) as i64, path: builder.finish((0, 0)) }
+    AlignResult {
+        score: dpm.get(m, n) as i64,
+        path: builder.finish((0, 0)),
+    }
 }
 
 /// Global alignment storing packed 2-bit directions instead of scores
@@ -72,26 +90,30 @@ pub fn needleman_wunsch_packed(
     let gap = scheme.gap().linear_penalty();
     let bound = Boundary::global(m, n, gap);
 
-    let (dirs, last_row) =
-        fill_dir(a.codes(), b.codes(), &bound.top, &bound.left, scheme, metrics);
+    let (dirs, last_row) = fill_dir(
+        a.codes(),
+        b.codes(),
+        &bound.top,
+        &bound.left,
+        scheme,
+        metrics,
+    );
     let _mem = metrics.track_alloc(dirs.bytes() + (n + 1) * std::mem::size_of::<i32>());
     metrics.add_base_case_cells(m as u64 * n as u64);
 
     let mut builder = PathBuilder::new();
     let stop = trace_dirs(&dirs, (m, n), &mut builder, metrics);
     debug_assert_eq!(stop, (0, 0));
-    AlignResult { score: last_row[n] as i64, path: builder.finish((0, 0)) }
+    AlignResult {
+        score: last_row[n] as i64,
+        path: builder.finish((0, 0)),
+    }
 }
 
 /// FindScore only: the optimal global score in `O(min(m,n))` space and no
 /// path (used by experiments that don't need FindPath, and as a
 /// cross-check oracle).
-pub fn nw_score_only(
-    a: &Sequence,
-    b: &Sequence,
-    scheme: &ScoringScheme,
-    metrics: &Metrics,
-) -> i64 {
+pub fn nw_score_only(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metrics) -> i64 {
     scheme.check_sequences(a, b);
     // Roll along the shorter dimension.
     let (v, h) = if a.len() <= b.len() { (b, a) } else { (a, b) };
@@ -99,7 +121,15 @@ pub fn nw_score_only(
     let bound = Boundary::global(v.len(), h.len(), gap);
     let mut bottom = vec![0i32; h.len() + 1];
     let _mem = metrics.track_alloc(bottom.len() * std::mem::size_of::<i32>());
-    fill_last_row(v.codes(), h.codes(), &bound.top, &bound.left, scheme, &mut bottom, metrics);
+    fill_last_row(
+        v.codes(),
+        h.codes(),
+        &bound.top,
+        &bound.left,
+        scheme,
+        &mut bottom,
+        metrics,
+    );
     bottom[h.len()] as i64
 }
 

@@ -30,13 +30,21 @@ pub struct EndsFree {
 impl EndsFree {
     /// Fit the (short) vertical sequence `a` inside `b`: both a prefix
     /// and a suffix of `b` are free.
-    pub const FIT_A_IN_B: EndsFree =
-        EndsFree { b_prefix: true, a_prefix: false, b_suffix: true, a_suffix: false };
+    pub const FIT_A_IN_B: EndsFree = EndsFree {
+        b_prefix: true,
+        a_prefix: false,
+        b_suffix: true,
+        a_suffix: false,
+    };
 
     /// Dovetail overlap: a suffix of `a` aligns a prefix of `b` (free
     /// prefix of `a`, free suffix of `b`).
-    pub const OVERLAP_A_THEN_B: EndsFree =
-        EndsFree { b_prefix: false, a_prefix: true, b_suffix: true, a_suffix: false };
+    pub const OVERLAP_A_THEN_B: EndsFree = EndsFree {
+        b_prefix: false,
+        a_prefix: true,
+        b_suffix: true,
+        a_suffix: false,
+    };
 }
 
 /// Semi-global alignment with the given free ends. With all four flags
@@ -138,7 +146,10 @@ pub fn semiglobal(
     for _ in 0..j {
         builder.push_back(Move::Left);
     }
-    AlignResult { score: best as i64, path: builder.finish((0, 0)) }
+    AlignResult {
+        score: best as i64,
+        path: builder.finish((0, 0)),
+    }
 }
 
 #[cfg(test)]
@@ -200,11 +211,28 @@ mod tests {
         let metrics = Metrics::new();
         let global = needleman_wunsch(&a, &b, &scheme, &metrics).score;
         for ends in [
-            EndsFree { b_prefix: true, ..Default::default() },
-            EndsFree { a_prefix: true, ..Default::default() },
-            EndsFree { b_suffix: true, ..Default::default() },
-            EndsFree { a_suffix: true, ..Default::default() },
-            EndsFree { b_prefix: true, a_prefix: true, b_suffix: true, a_suffix: true },
+            EndsFree {
+                b_prefix: true,
+                ..Default::default()
+            },
+            EndsFree {
+                a_prefix: true,
+                ..Default::default()
+            },
+            EndsFree {
+                b_suffix: true,
+                ..Default::default()
+            },
+            EndsFree {
+                a_suffix: true,
+                ..Default::default()
+            },
+            EndsFree {
+                b_prefix: true,
+                a_prefix: true,
+                b_suffix: true,
+                a_suffix: true,
+            },
         ] {
             let r = semiglobal(&a, &b, &scheme, ends, &metrics);
             assert!(r.score >= global, "{ends:?}");

@@ -111,7 +111,10 @@ pub fn smith_waterman(
         steps += 1;
     }
     metrics.add_traceback_steps(steps);
-    LocalAlignResult { score: best as i64, path: builder.finish((i, j)) }
+    LocalAlignResult {
+        score: best as i64,
+        path: builder.finish((i, j)),
+    }
 }
 
 #[cfg(test)]

@@ -198,7 +198,12 @@ pub fn myers_miller_affine(
             panic!("myers_miller_affine requires an affine gap model; use hirschberg() for linear gaps")
         }
     };
-    let ctx = Ctx { scheme, open, extend, metrics };
+    let ctx = Ctx {
+        scheme,
+        open,
+        extend,
+        metrics,
+    };
     let _mem = metrics.track_alloc(4 * (b.len() + 1) * std::mem::size_of::<i64>());
     let mut moves = Vec::with_capacity(a.len() + b.len());
     ctx.solve(a.codes(), b.codes(), open, open, &mut moves);

@@ -87,7 +87,11 @@ pub fn hirschberg_with(
     let _mem = metrics.track_alloc(row_bytes);
 
     let mut moves = Vec::with_capacity(a.len() + b.len());
-    let mut ctx = Ctx { scheme, config, metrics };
+    let mut ctx = Ctx {
+        scheme,
+        config,
+        metrics,
+    };
     ctx.solve(a.codes(), b.codes(), &mut moves);
     let path = Path::new((0, 0), moves);
     debug_assert!(path.is_global(a.len(), b.len()));
@@ -128,14 +132,30 @@ impl Ctx<'_> {
         // Forward pass: last row of the top half.
         let mut fwd = vec![0i32; n + 1];
         let top_bound = Boundary::global(mid, n, gap);
-        fill_last_row(&a[..mid], b, &top_bound.top, &top_bound.left, self.scheme, &mut fwd, self.metrics);
+        fill_last_row(
+            &a[..mid],
+            b,
+            &top_bound.top,
+            &top_bound.left,
+            self.scheme,
+            &mut fwd,
+            self.metrics,
+        );
 
         // Backward pass: last row of the reversed bottom half.
         let ra: Vec<u8> = a[mid..].iter().rev().copied().collect();
         let rb: Vec<u8> = b.iter().rev().copied().collect();
         let mut rev = vec![0i32; n + 1];
         let bot_bound = Boundary::global(ra.len(), n, gap);
-        fill_last_row(&ra, &rb, &bot_bound.top, &bot_bound.left, self.scheme, &mut rev, self.metrics);
+        fill_last_row(
+            &ra,
+            &rb,
+            &bot_bound.top,
+            &bot_bound.left,
+            self.scheme,
+            &mut rev,
+            self.metrics,
+        );
 
         // Split column: maximize fwd[j] + rev[n - j]. Ties broken toward
         // the smallest j (deterministic).
@@ -206,7 +226,11 @@ mod tests {
             let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
             // Force real recursion with a tiny base case.
             let h = hirschberg_with(
-                &a, &b, &scheme, HirschbergConfig { base_cells: 16 }, &metrics,
+                &a,
+                &b,
+                &scheme,
+                HirschbergConfig { base_cells: 16 },
+                &metrics,
             );
             assert_eq!(nw.score, h.score, "seed {seed}");
             assert_eq!(h.path.score(&a, &b, &scheme), h.score);
@@ -220,7 +244,13 @@ mod tests {
         let scheme = ScoringScheme::dna_default();
         let (a, b) = homologous_pair("t", &Alphabet::dna(), 1200, 0.8, 7).unwrap();
         let metrics = Metrics::new();
-        hirschberg_with(&a, &b, &scheme, HirschbergConfig { base_cells: 64 }, &metrics);
+        hirschberg_with(
+            &a,
+            &b,
+            &scheme,
+            HirschbergConfig { base_cells: 64 },
+            &metrics,
+        );
         let factor = metrics.snapshot().cell_factor(a.len(), b.len());
         assert!(factor <= 2.05, "factor {factor} should be <= ~2");
         assert!(factor >= 1.5, "factor {factor} should be near 2");
@@ -251,7 +281,13 @@ mod tests {
         let b = Sequence::from_str("b", scheme.alphabet(), "ACGTACGT").unwrap();
         let metrics = Metrics::new();
         let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
-        let h = hirschberg_with(&a, &b, &scheme, HirschbergConfig { base_cells: 16 }, &metrics);
+        let h = hirschberg_with(
+            &a,
+            &b,
+            &scheme,
+            HirschbergConfig { base_cells: 16 },
+            &metrics,
+        );
         assert_eq!(nw.score, h.score);
     }
 

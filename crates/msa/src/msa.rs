@@ -92,9 +92,10 @@ impl Msa {
     /// same residues after removing gaps). Test/validation helper.
     pub fn is_alignment_of(&self, originals: &[Sequence]) -> bool {
         self.num_rows() == originals.len()
-            && originals.iter().enumerate().all(|(i, s)| {
-                self.ids[i] == s.id() && self.ungapped(i) == s.to_string()
-            })
+            && originals
+                .iter()
+                .enumerate()
+                .all(|(i, s)| self.ids[i] == s.id() && self.ungapped(i) == s.to_string())
     }
 }
 
@@ -151,7 +152,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "equal length")]
     fn ragged_rows_rejected() {
-        Msa::new(vec!["a".into(), "b".into()], vec!["AC".into(), "ACG".into()]);
+        Msa::new(
+            vec!["a".into(), "b".into()],
+            vec!["AC".into(), "ACG".into()],
+        );
     }
 
     #[test]

@@ -42,7 +42,15 @@ fn pair_score(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metr
     let gap = scheme.gap().linear_penalty();
     let bound = Boundary::global(a.len(), b.len(), gap);
     let mut bottom = vec![0i32; b.len() + 1];
-    fill_last_row(a.codes(), b.codes(), &bound.top, &bound.left, scheme, &mut bottom, metrics);
+    fill_last_row(
+        a.codes(),
+        b.codes(),
+        &bound.top,
+        &bound.left,
+        scheme,
+        &mut bottom,
+        metrics,
+    );
     bottom[b.len()] as i64
 }
 
@@ -181,7 +189,10 @@ pub fn center_star(
     // 3. Master layout: the per-slot maximum insertion counts.
     let mut master = vec![0usize; center_seq.len() + 1];
     for path in paths.iter().flatten() {
-        for (p, ins) in insertion_profile(path, center_seq.len()).into_iter().enumerate() {
+        for (p, ins) in insertion_profile(path, center_seq.len())
+            .into_iter()
+            .enumerate()
+        {
             master[p] = master[p].max(ins);
         }
     }
@@ -196,7 +207,11 @@ pub fn center_star(
             Some(path) => render_other(path, seq, &master),
         });
     }
-    Ok(CenterStarResult { msa: Msa::new(ids, rows), center, pairwise })
+    Ok(CenterStarResult {
+        msa: Msa::new(ids, rows),
+        center,
+        pairwise,
+    })
 }
 
 #[cfg(test)]
@@ -240,7 +255,11 @@ mod tests {
 
     #[test]
     fn insertion_against_center_expands_all_rows() {
-        let (r, seqs, _) = build(&["ACGTACGT", "ACGTXACGT".replace('X', "T").as_str(), "ACGTACGT"]);
+        let (r, seqs, _) = build(&[
+            "ACGTACGT",
+            "ACGTXACGT".replace('X', "T").as_str(),
+            "ACGTACGT",
+        ]);
         assert!(r.msa.is_alignment_of(&seqs));
         // One sequence has 9 residues: the MSA needs >= 9 columns.
         assert!(r.msa.num_cols() >= 9);
@@ -283,7 +302,11 @@ mod tests {
         let metrics = Metrics::new();
         let r = center_star(&family, &scheme, FastLsaConfig::new(4, 1024), &metrics).unwrap();
         assert!(r.msa.is_alignment_of(&family));
-        assert!(r.msa.conservation() > 0.4, "conservation {}", r.msa.conservation());
+        assert!(
+            r.msa.conservation() > 0.4,
+            "conservation {}",
+            r.msa.conservation()
+        );
         // Sum-of-pairs should beat the trivial no-alignment baseline of
         // stacking unaligned sequences... compare against an MSA that
         // left-justifies rows and pads with gaps.
@@ -325,7 +348,10 @@ mod tests {
             assert!(cs <= opt, "{texts:?}: center-star {cs} > optimal {opt}");
             // And it should not be catastrophically below the optimum on
             // these near-identical cases.
-            assert!(cs >= opt - 40, "{texts:?}: center-star {cs} vs optimal {opt}");
+            assert!(
+                cs >= opt - 40,
+                "{texts:?}: center-star {cs} vs optimal {opt}"
+            );
         }
     }
 

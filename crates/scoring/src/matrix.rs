@@ -28,7 +28,11 @@ pub struct SubstitutionMatrix {
 
 impl std::fmt::Debug for SubstitutionMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SubstitutionMatrix({}, {}x{})", self.name, self.n, self.n)
+        write!(
+            f,
+            "SubstitutionMatrix({}, {}x{})",
+            self.name, self.n, self.n
+        )
     }
 }
 
@@ -42,7 +46,12 @@ impl SubstitutionMatrix {
     pub fn from_table(name: &str, alphabet: Alphabet, table: Vec<i32>) -> Self {
         let n = alphabet.len();
         assert_eq!(table.len(), n * n, "substitution table must be {n}x{n}");
-        SubstitutionMatrix { name: name.to_string(), alphabet, n, table }
+        SubstitutionMatrix {
+            name: name.to_string(),
+            alphabet,
+            n,
+            table,
+        }
     }
 
     /// Builds a uniform match/mismatch matrix over `alphabet`.
@@ -52,7 +61,12 @@ impl SubstitutionMatrix {
         for i in 0..n {
             table[i * n + i] = mat;
         }
-        SubstitutionMatrix { name: name.to_string(), alphabet, n, table }
+        SubstitutionMatrix {
+            name: name.to_string(),
+            alphabet,
+            n,
+            table,
+        }
     }
 
     /// Matrix name (for diagnostics and experiment logs).
@@ -77,12 +91,16 @@ impl SubstitutionMatrix {
 
     /// Similarity score of two characters (test/diagnostic convenience).
     pub fn score_chars(&self, a: char, b: char) -> Option<i32> {
-        Some(self.score(self.alphabet.encode_symbol(a)?, self.alphabet.encode_symbol(b)?))
+        Some(self.score(
+            self.alphabet.encode_symbol(a)?,
+            self.alphabet.encode_symbol(b)?,
+        ))
     }
 
     /// True when the matrix is symmetric (all built-ins are).
     pub fn is_symmetric(&self) -> bool {
-        (0..self.n).all(|i| (0..i).all(|j| self.table[i * self.n + j] == self.table[j * self.n + i]))
+        (0..self.n)
+            .all(|i| (0..i).all(|j| self.table[i * self.n + j] == self.table[j * self.n + i]))
     }
 
     /// Largest score in the table (used for overflow reasoning and for the

@@ -48,7 +48,11 @@ impl std::fmt::Display for MatrixParseError {
             MatrixParseError::UnknownRowSymbol(c) => {
                 write!(f, "row symbol {c:?} not present in header")
             }
-            MatrixParseError::WrongRowWidth { symbol, found, expected } => {
+            MatrixParseError::WrongRowWidth {
+                symbol,
+                found,
+                expected,
+            } => {
                 write!(f, "row {symbol:?} has {found} scores, expected {expected}")
             }
             MatrixParseError::BadScore(s) => write!(f, "invalid score {s:?}"),
@@ -70,15 +74,19 @@ pub fn parse_ncbi(name: &str, text: &str) -> Result<SubstitutionMatrix, MatrixPa
         .filter(|l| !l.is_empty() && !l.starts_with('#'));
 
     let header_line = lines.next().ok_or(MatrixParseError::MissingHeader)?;
-    let symbols: Vec<char> = header_line.split_whitespace().map(|tok| {
-        let mut chars = tok.chars();
-        (chars.next(), chars.next())
-    })
-    .map(|(first, rest)| match (first, rest) {
-        (Some(c), None) => Ok(c),
-        _ => Err(MatrixParseError::BadHeader(format!("multi-character symbol in {header_line:?}"))),
-    })
-    .collect::<Result<_, _>>()?;
+    let symbols: Vec<char> = header_line
+        .split_whitespace()
+        .map(|tok| {
+            let mut chars = tok.chars();
+            (chars.next(), chars.next())
+        })
+        .map(|(first, rest)| match (first, rest) {
+            (Some(c), None) => Ok(c),
+            _ => Err(MatrixParseError::BadHeader(format!(
+                "multi-character symbol in {header_line:?}"
+            ))),
+        })
+        .collect::<Result<_, _>>()?;
     if symbols.is_empty() {
         return Err(MatrixParseError::MissingHeader);
     }
@@ -91,7 +99,9 @@ pub fn parse_ncbi(name: &str, text: &str) -> Result<SubstitutionMatrix, MatrixPa
         for &c in &symbols {
             let u = c.to_ascii_uppercase() as usize;
             if seen[u] {
-                return Err(MatrixParseError::BadHeader(format!("duplicate symbol {c:?}")));
+                return Err(MatrixParseError::BadHeader(format!(
+                    "duplicate symbol {c:?}"
+                )));
             }
             seen[u] = true;
         }
@@ -203,36 +213,55 @@ T -4 -4 -4  5
         let text = "  A C\nA 1\nC 0 1\n";
         assert_eq!(
             parse_ncbi("x", text).unwrap_err(),
-            MatrixParseError::WrongRowWidth { symbol: 'A', found: 1, expected: 2 }
+            MatrixParseError::WrongRowWidth {
+                symbol: 'A',
+                found: 1,
+                expected: 2
+            }
         );
     }
 
     #[test]
     fn reports_unknown_row_symbol() {
         let text = "  A C\nA 1 0\nZ 0 1\n";
-        assert_eq!(parse_ncbi("x", text).unwrap_err(), MatrixParseError::UnknownRowSymbol('Z'));
+        assert_eq!(
+            parse_ncbi("x", text).unwrap_err(),
+            MatrixParseError::UnknownRowSymbol('Z')
+        );
     }
 
     #[test]
     fn reports_bad_score() {
         let text = "  A C\nA 1 x\nC 0 1\n";
-        assert!(matches!(parse_ncbi("x", text).unwrap_err(), MatrixParseError::BadScore(_)));
+        assert!(matches!(
+            parse_ncbi("x", text).unwrap_err(),
+            MatrixParseError::BadScore(_)
+        ));
     }
 
     #[test]
     fn reports_missing_rows() {
         let text = "  A C\nA 1 0\n";
-        assert_eq!(parse_ncbi("x", text).unwrap_err(), MatrixParseError::MissingRows(1));
+        assert_eq!(
+            parse_ncbi("x", text).unwrap_err(),
+            MatrixParseError::MissingRows(1)
+        );
     }
 
     #[test]
     fn reports_duplicate_header() {
         let text = "  A A\nA 1 0\n";
-        assert!(matches!(parse_ncbi("x", text).unwrap_err(), MatrixParseError::BadHeader(_)));
+        assert!(matches!(
+            parse_ncbi("x", text).unwrap_err(),
+            MatrixParseError::BadHeader(_)
+        ));
     }
 
     #[test]
     fn empty_input_is_missing_header() {
-        assert_eq!(parse_ncbi("x", "# only comments\n").unwrap_err(), MatrixParseError::MissingHeader);
+        assert_eq!(
+            parse_ncbi("x", "# only comments\n").unwrap_err(),
+            MatrixParseError::MissingHeader
+        );
     }
 }

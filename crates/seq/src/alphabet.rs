@@ -42,7 +42,10 @@ impl std::fmt::Debug for Alphabet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Alphabet")
             .field("name", &self.name)
-            .field("symbols", &std::str::from_utf8(&self.symbols).unwrap_or("?"))
+            .field(
+                "symbols",
+                &std::str::from_utf8(&self.symbols).unwrap_or("?"),
+            )
             .finish()
     }
 }
@@ -64,7 +67,11 @@ impl Alphabet {
         for (code, &b) in symbols.iter().enumerate() {
             let up = b.to_ascii_uppercase();
             let lo = b.to_ascii_lowercase();
-            assert!(lut[up as usize] == 0, "duplicate alphabet symbol {:?}", b as char);
+            assert!(
+                lut[up as usize] == 0,
+                "duplicate alphabet symbol {:?}",
+                b as char
+            );
             lut[up as usize] = code as u8 + 1;
             lut[lo as usize] = code as u8 + 1;
         }
@@ -123,7 +130,12 @@ impl Alphabet {
         for (i, c) in s.char_indices() {
             match self.encode_symbol(c) {
                 Some(code) => out.push(code),
-                None => return Err(SeqError::InvalidSymbol { symbol: c, position: i }),
+                None => {
+                    return Err(SeqError::InvalidSymbol {
+                        symbol: c,
+                        position: i,
+                    })
+                }
             }
         }
         Ok(out)
@@ -173,7 +185,13 @@ mod tests {
     fn invalid_symbol_is_reported_with_position() {
         let d = Alphabet::dna();
         let err = d.encode_str("ACGU").unwrap_err();
-        assert_eq!(err, SeqError::InvalidSymbol { symbol: 'U', position: 3 });
+        assert_eq!(
+            err,
+            SeqError::InvalidSymbol {
+                symbol: 'U',
+                position: 3
+            }
+        );
     }
 
     #[test]

@@ -117,8 +117,7 @@ mod tests {
 
     #[test]
     fn parses_multi_record_wrapped_fasta() {
-        let recs =
-            parse_str(">s1 first\nACGT\nACG\n\n>s2\nTT\nTT\n", &Alphabet::dna()).unwrap();
+        let recs = parse_str(">s1 first\nACGT\nACG\n\n>s2\nTT\nTT\n", &Alphabet::dna()).unwrap();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].to_string(), "ACGTACG");
         assert_eq!(recs[1].to_string(), "TTTT");

@@ -45,10 +45,7 @@ pub fn parse_str(input: &str, alphabet: &Alphabet) -> Result<Vec<FastqRecord>, S
 }
 
 /// Parses every record from a reader.
-pub fn parse_reader<R: Read>(
-    reader: R,
-    alphabet: &Alphabet,
-) -> Result<Vec<FastqRecord>, SeqError> {
+pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<FastqRecord>, SeqError> {
     let mut out = Vec::new();
     let mut lines = BufReader::new(reader).lines();
     let mut lineno = 0usize;
@@ -98,11 +95,16 @@ pub fn parse_reader<R: Read>(
             }
             quals.push(ch - b'!');
         }
-        let codes = alphabet.encode_str(&bases).map_err(|e| SeqError::MalformedFasta {
-            reason: e.to_string(),
-            line: lineno - 2,
-        })?;
-        out.push(FastqRecord { seq: Sequence::from_codes(&id, alphabet, codes), quals });
+        let codes = alphabet
+            .encode_str(&bases)
+            .map_err(|e| SeqError::MalformedFasta {
+                reason: e.to_string(),
+                line: lineno - 2,
+            })?;
+        out.push(FastqRecord {
+            seq: Sequence::from_codes(&id, alphabet, codes),
+            quals,
+        });
     }
     Ok(out)
 }
@@ -131,7 +133,10 @@ fn next_line(
 }
 
 fn truncated(line: usize) -> SeqError {
-    SeqError::MalformedFasta { reason: "truncated FASTQ record".into(), line }
+    SeqError::MalformedFasta {
+        reason: "truncated FASTQ record".into(),
+        line,
+    }
 }
 
 #[cfg(test)]

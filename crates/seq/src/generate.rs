@@ -86,11 +86,7 @@ fn core_symbol_count(alphabet: &Alphabet) -> usize {
 }
 
 /// Applies `model` to `ancestor`, producing a mutated descendant.
-pub fn mutate(
-    ancestor: &Sequence,
-    model: &MutationModel,
-    seed: u64,
-) -> Result<Sequence, SeqError> {
+pub fn mutate(ancestor: &Sequence, model: &MutationModel, seed: u64) -> Result<Sequence, SeqError> {
     model.validate()?;
     let mut rng = StdRng::seed_from_u64(seed);
     let alphabet = ancestor.alphabet();
@@ -191,7 +187,12 @@ mod tests {
     fn identity_zero_divergence_copies_exactly() {
         let alpha = Alphabet::dna();
         let a = random_sequence("x", &alpha, 500, 3);
-        let model = MutationModel { sub_rate: 0.0, ins_rate: 0.0, del_rate: 0.0, mean_indel_len: 1.0 };
+        let model = MutationModel {
+            sub_rate: 0.0,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+            mean_indel_len: 1.0,
+        };
         let b = mutate(&a, &model, 4).unwrap();
         assert_eq!(a.codes(), b.codes());
     }
@@ -212,10 +213,20 @@ mod tests {
         // fraction directly estimates sub_rate.
         let alpha = Alphabet::protein();
         let a = random_sequence("x", &alpha, 20_000, 42);
-        let model = MutationModel { sub_rate: 0.1, ins_rate: 0.0, del_rate: 0.0, mean_indel_len: 1.0 };
+        let model = MutationModel {
+            sub_rate: 0.1,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+            mean_indel_len: 1.0,
+        };
         let b = mutate(&a, &model, 43).unwrap();
         assert_eq!(a.len(), b.len());
-        let diff = a.codes().iter().zip(b.codes()).filter(|(x, y)| x != y).count();
+        let diff = a
+            .codes()
+            .iter()
+            .zip(b.codes())
+            .filter(|(x, y)| x != y)
+            .count();
         let rate = diff as f64 / a.len() as f64;
         assert!((0.08..0.12).contains(&rate), "realized sub rate {rate}");
     }
@@ -224,9 +235,19 @@ mod tests {
     fn invalid_rates_rejected() {
         let alpha = Alphabet::dna();
         let a = random_sequence("x", &alpha, 10, 0);
-        let model = MutationModel { sub_rate: 0.9, ins_rate: 0.2, del_rate: 0.0, mean_indel_len: 1.0 };
+        let model = MutationModel {
+            sub_rate: 0.9,
+            ins_rate: 0.2,
+            del_rate: 0.0,
+            mean_indel_len: 1.0,
+        };
         assert!(mutate(&a, &model, 0).is_err());
-        let model = MutationModel { sub_rate: 0.1, ins_rate: 0.1, del_rate: 0.1, mean_indel_len: 0.5 };
+        let model = MutationModel {
+            sub_rate: 0.1,
+            ins_rate: 0.1,
+            del_rate: 0.1,
+            mean_indel_len: 0.5,
+        };
         assert!(mutate(&a, &model, 0).is_err());
     }
 }

@@ -24,9 +24,21 @@ pub struct Sequence {
 
 impl std::fmt::Debug for Sequence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let preview: String = self.codes.iter().take(24).map(|&c| self.alphabet.decode(c)).collect();
+        let preview: String = self
+            .codes
+            .iter()
+            .take(24)
+            .map(|&c| self.alphabet.decode(c))
+            .collect();
         let ellipsis = if self.codes.len() > 24 { "…" } else { "" };
-        write!(f, "Sequence({:?}, len={}, {}{})", self.id, self.codes.len(), preview, ellipsis)
+        write!(
+            f,
+            "Sequence({:?}, len={}, {}{})",
+            self.id,
+            self.codes.len(),
+            preview,
+            ellipsis
+        )
     }
 }
 
@@ -54,8 +66,15 @@ impl Sequence {
     /// internal representation, so an out-of-range code is a logic error.
     pub fn from_codes(id: &str, alphabet: &Alphabet, codes: Vec<u8>) -> Self {
         let n = alphabet.len() as u8;
-        assert!(codes.iter().all(|&c| c < n), "sequence code out of alphabet range");
-        Sequence { id: id.to_string(), alphabet: alphabet.clone(), codes }
+        assert!(
+            codes.iter().all(|&c| c < n),
+            "sequence code out of alphabet range"
+        );
+        Sequence {
+            id: id.to_string(),
+            alphabet: alphabet.clone(),
+            codes,
+        }
     }
 
     /// Sequence identifier (FASTA header word).
@@ -88,7 +107,11 @@ impl Sequence {
     pub fn reversed(&self) -> Sequence {
         let mut codes = self.codes.clone();
         codes.reverse();
-        Sequence { id: format!("{}|rev", self.id), alphabet: self.alphabet.clone(), codes }
+        Sequence {
+            id: format!("{}|rev", self.id),
+            alphabet: self.alphabet.clone(),
+            codes,
+        }
     }
 
     /// A sub-sequence covering `range` (by residue index).

@@ -39,7 +39,11 @@ impl SeqStats {
                 })
                 .sum()
         };
-        SeqStats { counts, len, entropy_bits }
+        SeqStats {
+            counts,
+            len,
+            entropy_bits,
+        }
     }
 
     /// Frequency of one residue (by character), 0 when absent or unknown.
@@ -126,7 +130,10 @@ mod tests {
         let s = dna("AACCGGTT");
         let st = SeqStats::of(&s);
         assert_eq!(st.counts[..4], [2, 2, 2, 2]);
-        assert!((st.entropy_bits - 2.0).abs() < 1e-12, "uniform 4-letter = 2 bits");
+        assert!(
+            (st.entropy_bits - 2.0).abs() < 1e-12,
+            "uniform 4-letter = 2 bits"
+        );
         assert!((st.frequency(&s, 'A') - 0.25).abs() < 1e-12);
     }
 

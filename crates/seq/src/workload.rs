@@ -51,15 +51,69 @@ impl WorkloadSpec {
 /// Table 3: small proteins, mid-size proteins, and DNA from 1 kb up to
 /// hundreds of kb.
 pub const SUITE: &[WorkloadSpec] = &[
-    WorkloadSpec { name: "prot-0.3k", kind: WorkloadKind::Protein, len: 300, identity: 0.85, seed: 101 },
-    WorkloadSpec { name: "prot-1k", kind: WorkloadKind::Protein, len: 1_000, identity: 0.80, seed: 102 },
-    WorkloadSpec { name: "prot-4k", kind: WorkloadKind::Protein, len: 4_000, identity: 0.75, seed: 103 },
-    WorkloadSpec { name: "dna-1k", kind: WorkloadKind::Dna, len: 1_000, identity: 0.90, seed: 201 },
-    WorkloadSpec { name: "dna-4k", kind: WorkloadKind::Dna, len: 4_000, identity: 0.85, seed: 202 },
-    WorkloadSpec { name: "dna-16k", kind: WorkloadKind::Dna, len: 16_000, identity: 0.80, seed: 203 },
-    WorkloadSpec { name: "dna-64k", kind: WorkloadKind::Dna, len: 64_000, identity: 0.75, seed: 204 },
-    WorkloadSpec { name: "dna-256k", kind: WorkloadKind::Dna, len: 256_000, identity: 0.70, seed: 205 },
-    WorkloadSpec { name: "dna-512k", kind: WorkloadKind::Dna, len: 512_000, identity: 0.70, seed: 206 },
+    WorkloadSpec {
+        name: "prot-0.3k",
+        kind: WorkloadKind::Protein,
+        len: 300,
+        identity: 0.85,
+        seed: 101,
+    },
+    WorkloadSpec {
+        name: "prot-1k",
+        kind: WorkloadKind::Protein,
+        len: 1_000,
+        identity: 0.80,
+        seed: 102,
+    },
+    WorkloadSpec {
+        name: "prot-4k",
+        kind: WorkloadKind::Protein,
+        len: 4_000,
+        identity: 0.75,
+        seed: 103,
+    },
+    WorkloadSpec {
+        name: "dna-1k",
+        kind: WorkloadKind::Dna,
+        len: 1_000,
+        identity: 0.90,
+        seed: 201,
+    },
+    WorkloadSpec {
+        name: "dna-4k",
+        kind: WorkloadKind::Dna,
+        len: 4_000,
+        identity: 0.85,
+        seed: 202,
+    },
+    WorkloadSpec {
+        name: "dna-16k",
+        kind: WorkloadKind::Dna,
+        len: 16_000,
+        identity: 0.80,
+        seed: 203,
+    },
+    WorkloadSpec {
+        name: "dna-64k",
+        kind: WorkloadKind::Dna,
+        len: 64_000,
+        identity: 0.75,
+        seed: 204,
+    },
+    WorkloadSpec {
+        name: "dna-256k",
+        kind: WorkloadKind::Dna,
+        len: 256_000,
+        identity: 0.70,
+        seed: 205,
+    },
+    WorkloadSpec {
+        name: "dna-512k",
+        kind: WorkloadKind::Dna,
+        len: 512_000,
+        identity: 0.70,
+        seed: 206,
+    },
 ];
 
 /// Looks a workload up by name.

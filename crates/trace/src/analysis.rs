@@ -1,0 +1,589 @@
+//! Post-run trace analysis: utilization, pipeline phases, recursion
+//! summaries, latency histograms, and the human-readable report.
+//!
+//! The phase decomposition mirrors `flsa_wavefront::phases` exactly: a
+//! wavefront line (anti-diagonal) with at least `P` live tiles is
+//! *saturated*; lines before the first saturated one are *ramp-up*; later
+//! narrow lines are *drain* (paper §5.2, Figure 13). Because it is
+//! computed from the recorded tile events, the census here is the
+//! *measured* counterpart of the analytical `phase_breakdown` — the two
+//! must agree tile-for-tile on the same grid, which the integration tests
+//! assert.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, SpanKind, TileKind, Trace};
+
+/// Busy time and event count for one recording thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadStats {
+    pub tid: u32,
+    /// Events attributed to this thread.
+    pub events: usize,
+    /// Union length of this thread's event intervals, ns (overlapping
+    /// spans — e.g. a recursion span over its tiles — count once).
+    pub busy_ns: u64,
+    /// `busy_ns` over the trace's wall time.
+    pub utilization: f64,
+}
+
+/// Measured census of one pipeline phase of one wavefront fill.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Wavefront lines (anti-diagonals) in this phase.
+    pub lines: usize,
+    /// Tiles in those lines.
+    pub tiles: usize,
+    /// Sum of tile durations, ns.
+    pub busy_ns: u64,
+    /// Extent from the phase's first tile start to its last tile end, ns.
+    pub wall_ns: u64,
+}
+
+/// One wavefront fill: identity, grid shape, and its three-phase census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FillStats {
+    pub fill: u32,
+    pub kind: TileKind,
+    /// Tile-grid dimensions (from the fill event; 0 if absent).
+    pub rows: u32,
+    pub cols: u32,
+    /// Threads the fill ran on (from the fill event; ≥1).
+    pub threads: u32,
+    /// Whole-fill wall time, ns.
+    pub wall_ns: u64,
+    pub tiles: usize,
+    /// Ramp-up, saturated, drain.
+    pub phases: [PhaseStats; 3],
+}
+
+/// Aggregate over all recursion spans of one kind at one depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanDepthStats {
+    pub kind: SpanKind,
+    pub depth: u32,
+    pub count: usize,
+    /// Summed rectangle areas.
+    pub cells: u64,
+    /// Summed span durations, ns.
+    pub total_ns: u64,
+}
+
+/// Power-of-two histogram of tile durations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `(upper_bound_ns, count)`; bounds double per bucket.
+    pub buckets: Vec<(u64, usize)>,
+}
+
+impl Histogram {
+    fn add(&mut self, value_ns: u64) {
+        let mut bound = 1_000u64; // first bucket: ≤ 1 µs
+        let mut idx = 0usize;
+        while value_ns > bound && idx < 30 {
+            bound *= 2;
+            idx += 1;
+        }
+        while self.buckets.len() <= idx {
+            let next = self.buckets.last().map_or(1_000, |&(b, _)| b * 2);
+            self.buckets.push((next, 0));
+        }
+        self.buckets[idx].1 += 1;
+    }
+
+    pub fn total(&self) -> usize {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// Everything [`analyze`] derives from a trace.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    pub label: String,
+    /// Wall time covered by the trace, ns.
+    pub wall_ns: u64,
+    pub total_events: usize,
+    /// Sum of kernel-event cells (equals `Metrics::cells_computed`).
+    pub kernel_cells: u64,
+    pub kernel_events: usize,
+    pub threads: Vec<ThreadStats>,
+    pub fills: Vec<FillStats>,
+    pub spans: Vec<SpanDepthStats>,
+    pub tile_hist: Histogram,
+}
+
+/// Union length of a set of half-open intervals, ns.
+fn merged_len(intervals: &mut [(u64, u64)]) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for &(s, e) in intervals.iter() {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Derives the full [`Analysis`] from a trace.
+pub fn analyze(trace: &Trace) -> Analysis {
+    let mut out = Analysis {
+        label: trace.meta.label.clone(),
+        wall_ns: trace.wall_ns(),
+        total_events: trace.events.len(),
+        ..Analysis::default()
+    };
+
+    // Per-thread busy intervals (instant events contribute no time).
+    let mut per_thread: BTreeMap<u32, (usize, Vec<(u64, u64)>)> = BTreeMap::new();
+    // Tiles grouped by fill id; fill events by id.
+    struct TileRec {
+        row: u32,
+        col: u32,
+        diag: u32,
+        start: u64,
+        end: u64,
+        kind: TileKind,
+    }
+    let mut tiles_by_fill: BTreeMap<u32, Vec<TileRec>> = BTreeMap::new();
+    let mut fill_meta: BTreeMap<u32, (TileKind, u32, u32, u32, u64)> = BTreeMap::new();
+    let mut spans: BTreeMap<(u8, u32), SpanDepthStats> = BTreeMap::new();
+
+    for e in &trace.events {
+        let entry = per_thread.entry(e.tid).or_default();
+        entry.0 += 1;
+        if e.end_ns > e.start_ns {
+            entry.1.push((e.start_ns, e.end_ns));
+        }
+        match e.kind {
+            EventKind::Kernel { cells } => {
+                out.kernel_cells += cells;
+                out.kernel_events += 1;
+            }
+            EventKind::Tile {
+                kind,
+                fill,
+                row,
+                col,
+                diag,
+            } => {
+                out.tile_hist.add(e.duration_ns());
+                tiles_by_fill.entry(fill).or_default().push(TileRec {
+                    row,
+                    col,
+                    diag,
+                    start: e.start_ns,
+                    end: e.end_ns,
+                    kind,
+                });
+            }
+            EventKind::Fill {
+                kind,
+                fill,
+                rows,
+                cols,
+                threads,
+            } => {
+                fill_meta.insert(fill, (kind, rows, cols, threads, e.duration_ns()));
+            }
+            EventKind::Span {
+                kind, depth, cells, ..
+            } => {
+                let key = (kind as u8, depth);
+                let s = spans.entry(key).or_insert(SpanDepthStats {
+                    kind,
+                    depth,
+                    count: 0,
+                    cells: 0,
+                    total_ns: 0,
+                });
+                s.count += 1;
+                s.cells += cells;
+                s.total_ns += e.duration_ns();
+            }
+        }
+    }
+
+    out.threads = per_thread
+        .into_iter()
+        .map(|(tid, (events, mut intervals))| {
+            let busy_ns = merged_len(&mut intervals);
+            ThreadStats {
+                tid,
+                events,
+                busy_ns,
+                utilization: if out.wall_ns > 0 {
+                    busy_ns as f64 / out.wall_ns as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    out.spans = spans.into_values().collect();
+
+    for (fill, tiles) in tiles_by_fill {
+        let (kind, rows, cols, threads, fill_wall) =
+            fill_meta.get(&fill).copied().unwrap_or_else(|| {
+                // No fill event (e.g. kernel-only tracing): infer the grid
+                // from the tiles themselves, assume one thread.
+                let rows = tiles.iter().map(|t| t.row).max().unwrap_or(0) + 1;
+                let cols = tiles.iter().map(|t| t.col).max().unwrap_or(0) + 1;
+                (tiles[0].kind, rows, cols, 1, 0)
+            });
+        let threads = threads.max(1);
+
+        // Measured census, same classification as wavefront::phases:
+        // walk anti-diagonals in order; width ≥ P ⇒ saturated, narrow
+        // lines before the first saturated one ⇒ ramp, after ⇒ drain.
+        let mut widths: BTreeMap<u32, Vec<&TileRec>> = BTreeMap::new();
+        for t in &tiles {
+            widths.entry(t.diag).or_default().push(t);
+        }
+        let mut phases = [PhaseStats::default(); 3];
+        let mut phase_bounds: [Option<(u64, u64)>; 3] = [None; 3];
+        let mut seen_saturated = false;
+        for (_, line) in widths {
+            let width = line.len();
+            let phase = if width >= threads as usize {
+                seen_saturated = true;
+                1
+            } else if !seen_saturated {
+                0
+            } else {
+                2
+            };
+            phases[phase].lines += 1;
+            phases[phase].tiles += width;
+            for t in &line {
+                phases[phase].busy_ns += t.end.saturating_sub(t.start);
+                let b = phase_bounds[phase].get_or_insert((t.start, t.end));
+                b.0 = b.0.min(t.start);
+                b.1 = b.1.max(t.end);
+            }
+        }
+        for (p, b) in phases.iter_mut().zip(phase_bounds) {
+            p.wall_ns = b.map_or(0, |(s, e)| e.saturating_sub(s));
+        }
+        let wall_ns = if fill_wall > 0 {
+            fill_wall
+        } else {
+            let lo = tiles.iter().map(|t| t.start).min().unwrap_or(0);
+            let hi = tiles.iter().map(|t| t.end).max().unwrap_or(0);
+            hi.saturating_sub(lo)
+        };
+        out.fills.push(FillStats {
+            fill,
+            kind,
+            rows,
+            cols,
+            threads,
+            wall_ns,
+            tiles: tiles.len(),
+            phases,
+        });
+    }
+
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Renders the analysis as the human-readable `flsa report` text.
+pub fn render_report(a: &Analysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace report{}{}",
+        if a.label.is_empty() { "" } else { ": " },
+        a.label
+    );
+    let _ = writeln!(
+        out,
+        "  wall {}   events {}   kernel calls {}   kernel cells {}",
+        fmt_ns(a.wall_ns),
+        a.total_events,
+        a.kernel_events,
+        a.kernel_cells
+    );
+
+    let _ = writeln!(out, "\nper-thread utilization:");
+    for t in &a.threads {
+        let bars = (t.utilization * 40.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "  t{:<3} busy {:>12}  {:>6.1}%  |{:<40}|  {} events",
+            t.tid,
+            fmt_ns(t.busy_ns),
+            t.utilization * 100.0,
+            "#".repeat(bars.min(40)),
+            t.events
+        );
+    }
+
+    if !a.spans.is_empty() {
+        let _ = writeln!(out, "\nrecursion tree (spans by kind and depth):");
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>5} {:>7} {:>16} {:>14}",
+            "kind", "depth", "count", "cells", "total"
+        );
+        let mut spans = a.spans.clone();
+        spans.sort_by_key(|s| (s.depth, s.kind as u8));
+        for s in &spans {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>5} {:>7} {:>16} {:>14}",
+                s.kind.name(),
+                s.depth,
+                s.count,
+                s.cells,
+                fmt_ns(s.total_ns)
+            );
+        }
+    }
+
+    if !a.fills.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nwavefront fills (measured ramp-up / saturated / drain):"
+        );
+        let _ = writeln!(
+            out,
+            "  {:<5} {:<9} {:>9} {:>3} {:>22} {:>22} {:>22} {:>12}",
+            "fill", "kind", "grid", "P", "ramp (lines/tiles)", "saturated", "drain", "wall"
+        );
+        for f in &a.fills {
+            let ph = |p: &PhaseStats| format!("{}/{} {}", p.lines, p.tiles, fmt_ns(p.wall_ns));
+            let _ = writeln!(
+                out,
+                "  {:<5} {:<9} {:>9} {:>3} {:>22} {:>22} {:>22} {:>12}",
+                f.fill,
+                f.kind.name(),
+                format!("{}x{}", f.rows, f.cols),
+                f.threads,
+                ph(&f.phases[0]),
+                ph(&f.phases[1]),
+                ph(&f.phases[2]),
+                fmt_ns(f.wall_ns)
+            );
+        }
+        let totals = |i: usize| a.fills.iter().map(|f| f.phases[i].tiles).sum::<usize>();
+        let _ = writeln!(
+            out,
+            "  totals: ramp {} tiles, saturated {} tiles, drain {} tiles over {} fills",
+            totals(0),
+            totals(1),
+            totals(2),
+            a.fills.len()
+        );
+    }
+
+    if a.tile_hist.total() > 0 {
+        let _ = writeln!(out, "\ntile latency histogram:");
+        let total = a.tile_hist.total();
+        for &(bound, count) in &a.tile_hist.buckets {
+            if count == 0 {
+                continue;
+            }
+            let bars = (count * 40).div_ceil(total);
+            let _ = writeln!(
+                out,
+                "  ≤{:>10}  {:>7}  |{:<40}|",
+                fmt_ns(bound),
+                count,
+                "#".repeat(bars.min(40))
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, TraceMeta};
+
+    fn tile(tid: u32, fill: u32, row: u32, col: u32, start: u64, end: u64) -> Event {
+        Event {
+            tid,
+            start_ns: start,
+            end_ns: end,
+            kind: EventKind::Tile {
+                kind: TileKind::GridFill,
+                fill,
+                row,
+                col,
+                diag: row + col,
+            },
+        }
+    }
+
+    /// 3×3 tile grid on 2 threads: diag widths 1,2,3,2,1 → ramp 1 line /
+    /// 1 tile, saturated 3 lines / 7 tiles, drain 1 line / 1 tile.
+    #[test]
+    fn census_matches_hand_computed_phases() {
+        let mut events = vec![Event {
+            tid: 0,
+            start_ns: 0,
+            end_ns: 1000,
+            kind: EventKind::Fill {
+                kind: TileKind::GridFill,
+                fill: 0,
+                rows: 3,
+                cols: 3,
+                threads: 2,
+            },
+        }];
+        let mut t = 0u64;
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                events.push(tile(0, 0, r, c, t, t + 50));
+                t += 60;
+            }
+        }
+        let trace = Trace {
+            meta: TraceMeta::default(),
+            events,
+        }
+        .sorted();
+        let a = analyze(&trace);
+        assert_eq!(a.fills.len(), 1);
+        let f = &a.fills[0];
+        assert_eq!(f.tiles, 9);
+        assert_eq!((f.phases[0].lines, f.phases[0].tiles), (1, 1));
+        assert_eq!((f.phases[1].lines, f.phases[1].tiles), (3, 7));
+        assert_eq!((f.phases[2].lines, f.phases[2].tiles), (1, 1));
+        assert_eq!(f.phases[0].busy_ns, 50);
+        assert_eq!(f.phases[1].busy_ns, 350);
+    }
+
+    #[test]
+    fn utilization_merges_overlapping_intervals() {
+        let events = vec![
+            Event {
+                tid: 0,
+                start_ns: 0,
+                end_ns: 100,
+                kind: EventKind::Span {
+                    kind: SpanKind::FillCache,
+                    depth: 0,
+                    rows: 10,
+                    cols: 10,
+                    k_r: 2,
+                    k_c: 2,
+                    cells: 100,
+                },
+            },
+            tile(0, 0, 0, 0, 10, 60), // nested inside the span
+            tile(1, 0, 0, 1, 40, 90),
+        ];
+        let trace = Trace {
+            meta: TraceMeta::default(),
+            events,
+        }
+        .sorted();
+        let a = analyze(&trace);
+        assert_eq!(a.wall_ns, 100);
+        let t0 = a.threads.iter().find(|t| t.tid == 0).unwrap();
+        assert_eq!(t0.busy_ns, 100, "span subsumes its nested tile");
+        let t1 = a.threads.iter().find(|t| t.tid == 1).unwrap();
+        assert_eq!(t1.busy_ns, 50);
+        assert!((t1.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_cells_and_span_groups_aggregate() {
+        let events = vec![
+            Event {
+                tid: 0,
+                start_ns: 5,
+                end_ns: 5,
+                kind: EventKind::Kernel { cells: 30 },
+            },
+            Event {
+                tid: 0,
+                start_ns: 9,
+                end_ns: 9,
+                kind: EventKind::Kernel { cells: 12 },
+            },
+            Event {
+                tid: 0,
+                start_ns: 0,
+                end_ns: 10,
+                kind: EventKind::Span {
+                    kind: SpanKind::BaseCase,
+                    depth: 2,
+                    rows: 6,
+                    cols: 7,
+                    k_r: 0,
+                    k_c: 0,
+                    cells: 42,
+                },
+            },
+            Event {
+                tid: 0,
+                start_ns: 12,
+                end_ns: 20,
+                kind: EventKind::Span {
+                    kind: SpanKind::BaseCase,
+                    depth: 2,
+                    rows: 6,
+                    cols: 7,
+                    k_r: 0,
+                    k_c: 0,
+                    cells: 42,
+                },
+            },
+        ];
+        let trace = Trace {
+            meta: TraceMeta::default(),
+            events,
+        }
+        .sorted();
+        let a = analyze(&trace);
+        assert_eq!(a.kernel_cells, 42);
+        assert_eq!(a.kernel_events, 2);
+        assert_eq!(a.spans.len(), 1);
+        assert_eq!(a.spans[0].count, 2);
+        assert_eq!(a.spans[0].cells, 84);
+        assert_eq!(a.spans[0].total_ns, 18);
+        let report = render_report(&a);
+        assert!(report.contains("BaseCase"));
+        assert!(report.contains("kernel cells 42"));
+    }
+
+    #[test]
+    fn histogram_buckets_double() {
+        let mut h = Histogram::default();
+        h.add(500); // ≤ 1 µs
+        h.add(1500); // ≤ 2 µs
+        h.add(1_000_000); // ≤ 1.024 ms-ish bucket
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.buckets[0], (1_000, 1));
+        assert_eq!(h.buckets[1], (2_000, 1));
+        for w in h.buckets.windows(2) {
+            assert_eq!(w[1].0, w[0].0 * 2);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Trace serialization: JSONL event dumps and Chrome `trace_event` JSON.
+//!
+//! Both formats embed every event field, so [`read_trace`] reconstructs
+//! the exact [`Trace`] from either one (`flsa report` accepts both). The
+//! Chrome format loads directly in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`: spans and tiles appear as duration slices per
+//! thread, kernels as instant markers.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::event::{Event, EventKind, SpanKind, TileKind, Trace, TraceMeta};
+use crate::json::{self, Value};
+
+fn span_kind_from(name: &str) -> Result<SpanKind, String> {
+    match name {
+        "FillCache" => Ok(SpanKind::FillCache),
+        "BaseCase" => Ok(SpanKind::BaseCase),
+        "Traceback" => Ok(SpanKind::Traceback),
+        other => Err(format!("unknown span kind {other:?}")),
+    }
+}
+
+fn tile_kind_from(name: &str) -> Result<TileKind, String> {
+    match name {
+        "GridFill" => Ok(TileKind::GridFill),
+        "BaseFill" => Ok(TileKind::BaseFill),
+        other => Err(format!("unknown tile kind {other:?}")),
+    }
+}
+
+/// One event as a flat JSON object (the JSONL line / Chrome `args` form).
+fn event_object(e: &Event) -> String {
+    let mut s = String::with_capacity(128);
+    match e.kind {
+        EventKind::Span {
+            kind,
+            depth,
+            rows,
+            cols,
+            k_r,
+            k_c,
+            cells,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"span\",\"kind\":\"{}\",\"depth\":{depth},\"rows\":{rows},\
+                 \"cols\":{cols},\"k_r\":{k_r},\"k_c\":{k_c},\"cells\":{cells}",
+                kind.name()
+            );
+        }
+        EventKind::Fill {
+            kind,
+            fill,
+            rows,
+            cols,
+            threads,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"fill\",\"kind\":\"{}\",\"fill\":{fill},\"rows\":{rows},\
+                 \"cols\":{cols},\"threads\":{threads}",
+                kind.name()
+            );
+        }
+        EventKind::Tile {
+            kind,
+            fill,
+            row,
+            col,
+            diag,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"tile\",\"kind\":\"{}\",\"fill\":{fill},\"row\":{row},\
+                 \"col\":{col},\"diag\":{diag}",
+                kind.name()
+            );
+        }
+        EventKind::Kernel { cells } => {
+            let _ = write!(s, "{{\"type\":\"kernel\",\"cells\":{cells}");
+        }
+    }
+    let _ = write!(
+        s,
+        ",\"tid\":{},\"start_ns\":{},\"end_ns\":{}}}",
+        e.tid, e.start_ns, e.end_ns
+    );
+    s
+}
+
+fn event_from_object(v: &Value) -> Result<Event, String> {
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing numeric field {key:?}"))
+    };
+    let kind_name = |v: &Value| {
+        v.get("kind")
+            .and_then(Value::as_str)
+            .ok_or("missing kind")
+            .map(str::to_string)
+    };
+    let kind = match v.get("type").and_then(Value::as_str) {
+        Some("span") => EventKind::Span {
+            kind: span_kind_from(&kind_name(v)?)?,
+            depth: field("depth")? as u32,
+            rows: field("rows")?,
+            cols: field("cols")?,
+            k_r: field("k_r")? as u32,
+            k_c: field("k_c")? as u32,
+            cells: field("cells")?,
+        },
+        Some("fill") => EventKind::Fill {
+            kind: tile_kind_from(&kind_name(v)?)?,
+            fill: field("fill")? as u32,
+            rows: field("rows")? as u32,
+            cols: field("cols")? as u32,
+            threads: field("threads")? as u32,
+        },
+        Some("tile") => EventKind::Tile {
+            kind: tile_kind_from(&kind_name(v)?)?,
+            fill: field("fill")? as u32,
+            row: field("row")? as u32,
+            col: field("col")? as u32,
+            diag: field("diag")? as u32,
+        },
+        Some("kernel") => EventKind::Kernel {
+            cells: field("cells")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(Event {
+        tid: field("tid")? as u32,
+        start_ns: field("start_ns")?,
+        end_ns: field("end_ns")?,
+        kind,
+    })
+}
+
+fn meta_object(meta: &TraceMeta) -> String {
+    format!(
+        "{{\"type\":\"meta\",\"label\":\"{}\",\"threads\":{}}}",
+        json::escape(&meta.label),
+        meta.threads
+    )
+}
+
+fn meta_from_object(v: &Value) -> TraceMeta {
+    TraceMeta {
+        label: v
+            .get("label")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        threads: v.get("threads").and_then(Value::as_u64).unwrap_or(0) as u32,
+    }
+}
+
+/// Writes the trace as JSONL: a meta line followed by one event per line.
+pub fn write_jsonl<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    writeln!(w, "{}", meta_object(&trace.meta))?;
+    for e in &trace.events {
+        writeln!(w, "{}", event_object(e))?;
+    }
+    Ok(())
+}
+
+fn chrome_event_name(e: &Event) -> String {
+    match e.kind {
+        EventKind::Span {
+            kind,
+            depth,
+            rows,
+            cols,
+            ..
+        } => {
+            format!("{} d{depth} {rows}x{cols}", kind.name())
+        }
+        EventKind::Fill {
+            kind,
+            fill,
+            rows,
+            cols,
+            ..
+        } => {
+            format!("{} #{fill} {rows}x{cols} tiles", kind.name())
+        }
+        EventKind::Tile { row, col, .. } => format!("tile ({row},{col})"),
+        EventKind::Kernel { cells } => format!("kernel {cells}"),
+    }
+}
+
+fn chrome_category(e: &Event) -> &'static str {
+    match e.kind {
+        EventKind::Span { .. } => "span",
+        EventKind::Fill { .. } => "fill",
+        EventKind::Tile { .. } => "tile",
+        EventKind::Kernel { .. } => "kernel",
+    }
+}
+
+/// Writes the trace in Chrome `trace_event` JSON (object form), loadable
+/// in Perfetto / `chrome://tracing`. Durations use complete (`"X"`)
+/// events; kernels use instant (`"i"`) events. Timestamps are in µs as
+/// the format requires; the exact nanosecond values ride along in `args`.
+pub fn write_chrome<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    writeln!(
+        w,
+        "{{\"otherData\":{{\"label\":\"{}\",\"threads\":{}}},\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+        json::escape(&trace.meta.label),
+        trace.meta.threads
+    )?;
+    for (i, e) in trace.events.iter().enumerate() {
+        let comma = if i + 1 == trace.events.len() { "" } else { "," };
+        let common = format!(
+            "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"args\":{}",
+            json::escape(&chrome_event_name(e)),
+            chrome_category(e),
+            e.tid,
+            e.start_ns as f64 / 1_000.0,
+            event_object(e)
+        );
+        if e.start_ns == e.end_ns {
+            writeln!(w, "{{\"ph\":\"i\",\"s\":\"t\",{common}}}{comma}")?;
+        } else {
+            writeln!(
+                w,
+                "{{\"ph\":\"X\",\"dur\":{:.3},{common}}}{comma}",
+                e.duration_ns() as f64 / 1_000.0
+            )?;
+        }
+    }
+    writeln!(w, "]}}")?;
+    Ok(())
+}
+
+/// Reads a trace back from either export format (auto-detected).
+pub fn read_trace(text: &str) -> Result<Trace, String> {
+    // Chrome form: one JSON object holding "traceEvents".
+    if let Ok(doc) = json::parse(text) {
+        if let Some(events) = doc.get("traceEvents").and_then(Value::as_arr) {
+            let meta = doc
+                .get("otherData")
+                .map(meta_from_object)
+                .unwrap_or_default();
+            let events = events
+                .iter()
+                .map(|e| {
+                    let args = e.get("args").ok_or("trace event without args")?;
+                    event_from_object(args)
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            return Ok(Trace { meta, events }.sorted());
+        }
+        // A single JSON object that is not a Chrome trace: fall through
+        // to the JSONL path (it may be a one-line dump).
+    }
+    let mut meta = TraceMeta::default();
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if v.get("type").and_then(Value::as_str) == Some("meta") {
+            meta = meta_from_object(&v);
+        } else {
+            events.push(event_from_object(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+    }
+    if events.is_empty() {
+        return Err("no trace events found (expected Chrome trace JSON or JSONL)".to_string());
+    }
+    Ok(Trace { meta, events }.sorted())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                label: "demo \"run\"".to_string(),
+                threads: 4,
+            },
+            events: vec![
+                Event {
+                    tid: 0,
+                    start_ns: 100,
+                    end_ns: 900,
+                    kind: EventKind::Span {
+                        kind: SpanKind::FillCache,
+                        depth: 0,
+                        rows: 1000,
+                        cols: 800,
+                        k_r: 8,
+                        k_c: 8,
+                        cells: 800_000,
+                    },
+                },
+                Event {
+                    tid: 0,
+                    start_ns: 110,
+                    end_ns: 860,
+                    kind: EventKind::Fill {
+                        kind: TileKind::GridFill,
+                        fill: 0,
+                        rows: 16,
+                        cols: 16,
+                        threads: 4,
+                    },
+                },
+                Event {
+                    tid: 2,
+                    start_ns: 120,
+                    end_ns: 180,
+                    kind: EventKind::Tile {
+                        kind: TileKind::GridFill,
+                        fill: 0,
+                        row: 0,
+                        col: 0,
+                        diag: 0,
+                    },
+                },
+                Event {
+                    tid: 2,
+                    start_ns: 180,
+                    end_ns: 180,
+                    kind: EventKind::Kernel { cells: 4096 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_everything() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&trace, &mut buf).unwrap();
+        let back = read_trace(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(back.meta, trace.meta);
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn chrome_round_trip_preserves_everything() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_chrome(&trace, &mut buf).unwrap();
+        let text = std::str::from_utf8(&buf).unwrap();
+        // Structure sanity: valid JSON with one traceEvent per event.
+        let doc = json::parse(text).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 4);
+        let back = read_trace(text).unwrap();
+        assert_eq!(back.meta, trace.meta);
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn instant_events_use_instant_phase() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_chrome(&trace, &mut buf).unwrap();
+        let text = std::str::from_utf8(&buf).unwrap();
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(read_trace("not json").is_err());
+        assert!(read_trace("{\"traceEvents\":[{\"no_args\":1}]}").is_err());
+        assert!(read_trace("").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Structured event tracing for FastLSA runs.
+//!
+//! The paper's contribution is analytical — the re-computation factor
+//! ≤ (k/(k−1))², the three-phase wavefront pipeline of §5, Theorem 4's
+//! wall-cost bound — and aggregate counters ([`flsa_dp::Metrics`]-style)
+//! cannot show *where time goes* inside one run. This crate records a
+//! timeline instead:
+//!
+//! * **recursion spans** — FillCache / BaseCase / Traceback phases of
+//!   every FastLSA recursion node, with depth, rectangle dimensions, the
+//!   division factors and cell counts;
+//! * **wavefront fills and tiles** — each parallel fill region and each
+//!   tile inside it (coordinates, anti-diagonal index, worker thread,
+//!   start/end timestamps);
+//! * **kernel events** — one instant event per fill-kernel invocation
+//!   with the cells it computed (summing them reproduces
+//!   `Metrics::cells_computed` exactly).
+//!
+//! ## Architecture
+//!
+//! [`Recorder`] is the sink: each recording thread gets a dense thread id
+//! on first contact and appends to its own shard (a `Mutex<Vec<Event>>`
+//! that is effectively uncontended because the shard index is derived
+//! from the thread id). Timestamps are nanoseconds since the recorder's
+//! `Instant` epoch. When no recorder is attached, the instrumented code
+//! paths reduce to a branch on an `Option` — zero-cost in the sense
+//! checked by the `trace_overhead` bench guard.
+//!
+//! [`Trace`] is the collected result. [`analysis::analyze`] derives
+//! per-thread utilization, a per-fill pipeline-phase decomposition
+//! (ramp-up / saturated / drain, directly comparable to §5's
+//! R+C−1 / (T−1)(R+C) / R+C−1 accounting), recursion-tree summaries and
+//! tile-latency histograms. [`export`] writes JSONL or Chrome
+//! `trace_event` JSON (loadable in Perfetto / `chrome://tracing`) and
+//! reads both back for `flsa report`.
+
+pub mod analysis;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod recorder;
+
+pub use analysis::{
+    analyze, render_report, Analysis, FillStats, Histogram, PhaseStats, SpanDepthStats, ThreadStats,
+};
+pub use event::{Event, EventKind, SpanKind, TileKind, Trace, TraceMeta};
+pub use export::{read_trace, write_chrome, write_jsonl};
+pub use recorder::{Recorder, TileTracer};

@@ -71,7 +71,11 @@ impl Drop for AbortOnUnwind<'_> {
 /// # Panics
 ///
 /// Panics when `threads == 0`. A panic inside `work` propagates.
-pub fn run_wavefront(spec: &WavefrontSpec<'_>, threads: usize, work: &(dyn Fn(usize, usize) + Sync)) {
+pub fn run_wavefront(
+    spec: &WavefrontSpec<'_>,
+    threads: usize,
+    work: &(dyn Fn(usize, usize) + Sync),
+) {
     assert!(threads > 0, "at least one thread required");
     let (rows, cols) = (spec.rows, spec.cols);
     if rows == 0 || cols == 0 {
@@ -197,6 +201,23 @@ pub fn run_wavefront(spec: &WavefrontSpec<'_>, threads: usize, work: &(dyn Fn(us
     });
 }
 
+/// [`run_wavefront`] with optional per-tile tracing. With `tracer == None`
+/// this is exactly `run_wavefront`; with a tracer, every tile's work is
+/// timed as a tile event and the whole job becomes one fill-region event.
+pub fn run_wavefront_traced(
+    spec: &WavefrontSpec<'_>,
+    threads: usize,
+    work: &(dyn Fn(usize, usize) + Sync),
+    tracer: Option<&flsa_trace::TileTracer<'_>>,
+) {
+    match tracer {
+        None => run_wavefront(spec, threads, work),
+        Some(t) => t.region(spec.rows, spec.cols, threads, || {
+            run_wavefront(spec, threads, &|r, c| t.tile(r, c, || work(r, c)));
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,7 +225,11 @@ mod tests {
     use std::sync::Mutex as StdMutex;
 
     fn spec(rows: usize, cols: usize) -> WavefrontSpec<'static> {
-        WavefrontSpec { rows, cols, skip: None }
+        WavefrontSpec {
+            rows,
+            cols,
+            skip: None,
+        }
     }
 
     #[test]
@@ -215,7 +240,11 @@ mod tests {
         assert_eq!(order.len(), 20);
         for (idx, &(r, c)) in order.iter().enumerate() {
             if r > 0 {
-                assert!(order[..idx].contains(&(r - 1, c)), "dep ({},{c}) of ({r},{c})", r - 1);
+                assert!(
+                    order[..idx].contains(&(r - 1, c)),
+                    "dep ({},{c}) of ({r},{c})",
+                    r - 1
+                );
             }
             if c > 0 {
                 assert!(order[..idx].contains(&(r, c - 1)));
@@ -256,8 +285,16 @@ mod tests {
         let compute = |threads: usize| -> Vec<u64> {
             let table: Vec<AtomicU64> = (0..rows * cols).map(|_| AtomicU64::new(0)).collect();
             run_wavefront(&spec(rows, cols), threads, &|r, c| {
-                let up = if r > 0 { table[(r - 1) * cols + c].load(Ordering::Acquire) } else { 1 };
-                let left = if c > 0 { table[r * cols + c - 1].load(Ordering::Acquire) } else { 1 };
+                let up = if r > 0 {
+                    table[(r - 1) * cols + c].load(Ordering::Acquire)
+                } else {
+                    1
+                };
+                let left = if c > 0 {
+                    table[r * cols + c - 1].load(Ordering::Acquire)
+                } else {
+                    1
+                };
                 table[r * cols + c].store(up + left + (r * cols + c) as u64, Ordering::Release);
             });
             table.into_iter().map(|a| a.into_inner()).collect()
@@ -275,7 +312,11 @@ mod tests {
         let cols = 6;
         let skip = |r: usize, c: usize| r >= 4 && c >= 3;
         let visited = StdMutex::new(Vec::new());
-        let spec = WavefrontSpec { rows, cols, skip: Some(&skip) };
+        let spec = WavefrontSpec {
+            rows,
+            cols,
+            skip: Some(&skip),
+        };
         assert_eq!(spec.live_tiles(), 36 - 6);
         for threads in [1, 4] {
             visited.lock().unwrap().clear();
@@ -331,9 +372,42 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_records_one_event_per_tile_plus_region() {
+        use flsa_trace::{EventKind, Recorder, TileKind, TileTracer};
+        let recorder = Recorder::new();
+        let tracer = TileTracer::new(&recorder, TileKind::GridFill);
+        let count = AtomicU64::new(0);
+        run_wavefront_traced(
+            &spec(5, 4),
+            3,
+            &|_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+            Some(&tracer),
+        );
+        assert_eq!(count.into_inner(), 20);
+        let trace = recorder.snapshot();
+        let tiles = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Tile { .. }))
+            .count();
+        let fills = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Fill { .. }))
+            .count();
+        assert_eq!((tiles, fills), (20, 1));
+    }
+
+    #[test]
     fn fully_skipped_grid_terminates() {
         let skip = |_r: usize, _c: usize| true;
-        let spec = WavefrontSpec { rows: 3, cols: 3, skip: Some(&skip) };
+        let spec = WavefrontSpec {
+            rows: 3,
+            cols: 3,
+            skip: Some(&skip),
+        };
         run_wavefront(&spec, 4, &|_, _| panic!("everything is skipped"));
     }
 }

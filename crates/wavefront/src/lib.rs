@@ -23,7 +23,7 @@ pub mod pool;
 pub mod shared;
 pub mod sim;
 
-pub use executor::{run_wavefront, WavefrontSpec};
+pub use executor::{run_wavefront, run_wavefront_traced, WavefrontSpec};
 pub use phases::{alpha_factor, PhaseBreakdown};
 pub use pool::WorkerPool;
 pub use shared::DisjointBuf;

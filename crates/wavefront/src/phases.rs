@@ -146,7 +146,10 @@ mod tests {
             let pb = phase_breakdown(r, c, p, None);
             let census = pb.time_bound_tiles(p);
             let eq31 = ((r * c) as f64 + (p * p - p) as f64) / p as f64;
-            assert!(census <= eq31 + 1e-9, "census {census} > eq31 {eq31} for ({r},{c},{p})");
+            assert!(
+                census <= eq31 + 1e-9,
+                "census {census} > eq31 {eq31} for ({r},{c},{p})"
+            );
         }
     }
 

@@ -146,7 +146,11 @@ impl WorkerPool {
                 }
             }));
         }
-        WorkerPool { threads, sender: Some(sender), handles }
+        WorkerPool {
+            threads,
+            sender: Some(sender),
+            handles,
+        }
     }
 
     /// Total threads (including the submitting one).
@@ -167,8 +171,7 @@ impl WorkerPool {
         if rows == 0 || cols == 0 {
             return;
         }
-        let skip_mask: Vec<bool> =
-            (0..rows * cols).map(|i| skip(i / cols, i % cols)).collect();
+        let skip_mask: Vec<bool> = (0..rows * cols).map(|i| skip(i / cols, i % cols)).collect();
 
         if self.threads == 1 {
             for d in 0..rows + cols - 1 {
@@ -227,10 +230,35 @@ impl WorkerPool {
         });
         let sender = self.sender.as_ref().expect("pool is alive");
         for _ in 1..self.threads {
-            sender.send(Arc::clone(&job)).expect("workers outlive the pool");
+            sender
+                .send(Arc::clone(&job))
+                .expect("workers outlive the pool");
         }
         job.participate();
         debug_assert_eq!(job.remaining.load(Ordering::Acquire), 0);
+    }
+
+    /// [`WorkerPool::run`] with optional per-tile tracing. With
+    /// `tracer == None` this is exactly `run` (the disabled path adds
+    /// nothing to the per-tile work); with a tracer, each tile's work is
+    /// timed and the whole job is wrapped in a fill-region event.
+    pub fn run_traced(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        skip: impl Fn(usize, usize) -> bool,
+        work: &(dyn Fn(usize, usize) + Sync),
+        tracer: Option<&flsa_trace::TileTracer<'_>>,
+    ) {
+        match tracer {
+            None => self.run(rows, cols, skip, work),
+            Some(t) => {
+                let threads = self.threads;
+                t.region(rows, cols, threads, || {
+                    self.run(rows, cols, skip, &|r, c| t.tile(r, c, || work(r, c)));
+                });
+            }
+        }
     }
 }
 
@@ -254,7 +282,9 @@ mod tests {
     fn pool_runs_every_tile_once() {
         let mut pool = WorkerPool::new(4);
         let visited = StdMutex::new(Vec::new());
-        pool.run(5, 7, |_, _| false, &|r, c| visited.lock().unwrap().push((r, c)));
+        pool.run(5, 7, |_, _| false, &|r, c| {
+            visited.lock().unwrap().push((r, c))
+        });
         let mut v = visited.into_inner().unwrap();
         v.sort_unstable();
         let mut expect: Vec<(usize, usize)> =
@@ -281,7 +311,10 @@ mod tests {
                 }
                 cells[r * cols + c].store(1 + (r * cols + c) as u64, Ordering::Release);
             });
-            assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) != 0), "round {round}");
+            assert!(
+                cells.iter().all(|c| c.load(Ordering::Relaxed) != 0),
+                "round {round}"
+            );
         }
     }
 
@@ -293,8 +326,16 @@ mod tests {
             let mut pool = WorkerPool::new(threads);
             let table: Vec<AtomicU64> = (0..rows * cols).map(|_| AtomicU64::new(0)).collect();
             pool.run(rows, cols, |_, _| false, &|r, c| {
-                let up = if r > 0 { table[(r - 1) * cols + c].load(Ordering::Acquire) } else { 1 };
-                let left = if c > 0 { table[r * cols + c - 1].load(Ordering::Acquire) } else { 1 };
+                let up = if r > 0 {
+                    table[(r - 1) * cols + c].load(Ordering::Acquire)
+                } else {
+                    1
+                };
+                let left = if c > 0 {
+                    table[r * cols + c - 1].load(Ordering::Acquire)
+                } else {
+                    1
+                };
                 table[r * cols + c].store(up + left + (r * cols + c) as u64, Ordering::Release);
             });
             table.into_iter().map(|a| a.into_inner()).collect()
@@ -319,7 +360,9 @@ mod tests {
     fn single_thread_pool_is_sequential() {
         let mut pool = WorkerPool::new(1);
         let order = StdMutex::new(Vec::new());
-        pool.run(3, 3, |_, _| false, &|r, c| order.lock().unwrap().push((r, c)));
+        pool.run(3, 3, |_, _| false, &|r, c| {
+            order.lock().unwrap().push((r, c))
+        });
         let order = order.into_inner().unwrap();
         assert_eq!(order.len(), 9);
         assert_eq!(order[0], (0, 0));
@@ -331,6 +374,30 @@ mod tests {
         let mut pool = WorkerPool::new(3);
         pool.run(0, 4, |_, _| false, &|_, _| panic!("no tiles"));
         pool.run(3, 3, |_, _| true, &|_, _| panic!("all skipped"));
+    }
+
+    #[test]
+    fn traced_pool_run_links_tiles_to_their_fill() {
+        use flsa_trace::{EventKind, Recorder, TileKind, TileTracer};
+        let recorder = Recorder::new();
+        let mut pool = WorkerPool::new(4);
+        for round in 0..3 {
+            let tracer = TileTracer::new(&recorder, TileKind::BaseFill);
+            pool.run_traced(3, 3, |_, _| false, &|_, _| {}, Some(&tracer));
+            let trace = recorder.snapshot();
+            let this_fill = trace
+                .events
+                .iter()
+                .filter(
+                    |e| matches!(e.kind, EventKind::Tile { fill, .. } if fill == tracer.fill_id()),
+                )
+                .count();
+            assert_eq!(this_fill, 9, "round {round}");
+        }
+        // Untraced path records nothing.
+        let before = recorder.snapshot().events.len();
+        pool.run_traced(2, 2, |_, _| false, &|_, _| {}, None);
+        assert_eq!(recorder.snapshot().events.len(), before);
     }
 
     #[test]

@@ -35,7 +35,10 @@ unsafe impl<T: Send> Sync for DisjointBuf<T> {}
 impl<T: Copy + Default> DisjointBuf<T> {
     /// Allocates a zero/default-initialized buffer of `len` elements.
     pub fn new(len: usize) -> Self {
-        DisjointBuf { data: UnsafeCell::new(vec![T::default(); len]), len }
+        DisjointBuf {
+            data: UnsafeCell::new(vec![T::default(); len]),
+            len,
+        }
     }
 }
 
@@ -142,7 +145,11 @@ mod tests {
         let seg = 4;
         let compute = |threads: usize| -> Vec<u64> {
             let buf = DisjointBuf::<u64>::new(rows * cols * seg);
-            let spec = WavefrontSpec { rows, cols, skip: None };
+            let spec = WavefrontSpec {
+                rows,
+                cols,
+                skip: None,
+            };
             run_wavefront(&spec, threads, &|r, c| {
                 let base = (r * cols + c) * seg;
                 // SAFETY: segment `base..base+seg` is written only by tile

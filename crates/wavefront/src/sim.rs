@@ -128,7 +128,8 @@ pub fn simulate_schedule_comm(
     }
 
     // Processor pool: free times, min-first.
-    let mut procs: BinaryHeap<Reverse<(u64, usize)>> = (0..threads).map(|p| Reverse((0u64, p))).collect();
+    let mut procs: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..threads).map(|p| Reverse((0u64, p))).collect();
 
     let mut scheduled = 0usize;
     while let Some(Reverse((ready_time, _diag, r, c))) = ready.pop() {
@@ -155,12 +156,19 @@ pub fn simulate_schedule_comm(
         result.total_cost += t_cost;
         result.makespan = result.makespan.max(end);
         finish[idx(r, c)] = end;
-        cp[idx(r, c)] = t_cost
-            + {
-                let up = if r > 0 && live(r - 1, c) { cp[idx(r - 1, c)] } else { 0 };
-                let left = if c > 0 && live(r, c - 1) { cp[idx(r, c - 1)] } else { 0 };
-                up.max(left)
+        cp[idx(r, c)] = t_cost + {
+            let up = if r > 0 && live(r - 1, c) {
+                cp[idx(r - 1, c)]
+            } else {
+                0
             };
+            let left = if c > 0 && live(r, c - 1) {
+                cp[idx(r, c - 1)]
+            } else {
+                0
+            };
+            up.max(left)
+        };
         result.critical_path = result.critical_path.max(cp[idx(r, c)]);
         scheduled += 1;
 
@@ -168,14 +176,25 @@ pub fn simulate_schedule_comm(
             if nr < rows && nc < cols && live(nr, nc) && indeg[idx(nr, nc)] > 0 {
                 indeg[idx(nr, nc)] -= 1;
                 if indeg[idx(nr, nc)] == 0 {
-                    let up = if nr > 0 && live(nr - 1, nc) { finish[idx(nr - 1, nc)] } else { 0 };
-                    let left = if nc > 0 && live(nr, nc - 1) { finish[idx(nr, nc - 1)] } else { 0 };
+                    let up = if nr > 0 && live(nr - 1, nc) {
+                        finish[idx(nr - 1, nc)]
+                    } else {
+                        0
+                    };
+                    let left = if nc > 0 && live(nr, nc - 1) {
+                        finish[idx(nr, nc - 1)]
+                    } else {
+                        0
+                    };
                     ready.push(Reverse((up.max(left), nr + nc, nr, nc)));
                 }
             }
         }
     }
-    assert_eq!(scheduled, result.tiles, "schedule must cover every live tile");
+    assert_eq!(
+        scheduled, result.tiles,
+        "schedule must cover every live tile"
+    );
     result
 }
 

@@ -36,8 +36,15 @@ fn main() {
     println!("score      {}", result.score);
     println!("identity   {:.1}%", alignment.identity() * 100.0);
     println!("time       {elapsed:?}");
-    println!("DP cells   {} ({:.3} x m*n)", s.cells_computed, s.cell_factor(a.len(), b.len()));
-    println!("peak aux   {:.1} MiB", s.peak_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "DP cells   {} ({:.3} x m*n)",
+        s.cells_computed,
+        s.cell_factor(a.len(), b.len())
+    );
+    println!(
+        "peak aux   {:.1} MiB",
+        s.peak_bytes as f64 / (1 << 20) as f64
+    );
     println!("\nfirst alignment block:");
     let text = alignment.to_string();
     for line in text.lines().take(3) {

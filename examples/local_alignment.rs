@@ -20,12 +20,7 @@ fn main() {
         "TTTTTTTTTTTTGATTACAGATTACATTTTTTTTTTTT",
     )
     .unwrap();
-    let b = Sequence::from_str(
-        "b",
-        scheme.alphabet(),
-        "CCCCCCCGATTACAGATTACACCCCCCC",
-    )
-    .unwrap();
+    let b = Sequence::from_str("b", scheme.alphabet(), "CCCCCCCGATTACAGATTACACCCCCCC").unwrap();
 
     let metrics = Metrics::new();
     let local = smith_waterman(&a, &b, &scheme, &metrics);
@@ -42,7 +37,10 @@ fn main() {
     );
 
     let global = fastlsa::align(&a, &b, &scheme, &metrics);
-    println!("global score {} (pays for the mismatched flanks)", global.score);
+    println!(
+        "global score {} (pays for the mismatched flanks)",
+        global.score
+    );
     assert!(local.score > global.score);
 
     // Affine gaps: one long gap is cheaper than many short ones.
@@ -56,5 +54,8 @@ fn main() {
     println!("\naffine-gap global score {} (single 6-base gap)", r.score);
     let linear = ScoringScheme::dna_default();
     let rl = fastlsa::align(&a, &b, &linear, &metrics);
-    println!("linear-gap global score {} (same gap costs 6 x -10)", rl.score);
+    println!(
+        "linear-gap global score {} (same gap costs 6 x -10)",
+        rl.score
+    );
 }

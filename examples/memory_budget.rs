@@ -16,7 +16,11 @@ fn main() {
     let (a, b) = generate::homologous_pair("demo", scheme.alphabet(), 20_000, 0.8, 11).unwrap();
     let mn = a.len() as f64 * b.len() as f64;
 
-    println!("aligning {} x {} residues under different memory budgets\n", a.len(), b.len());
+    println!(
+        "aligning {} x {} residues under different memory budgets\n",
+        a.len(),
+        b.len()
+    );
     println!(
         "{:>12}  {:>4}  {:>12}  {:>10}  {:>9}  {:>8}",
         "budget", "k", "base cells", "cells/mn", "peak MiB", "score"

@@ -19,7 +19,11 @@ fn main() {
     let base = FastLsaConfig::new(8, 1 << 16);
 
     // Real threads: verify identical results and measure wall time.
-    println!("real multithreaded runs ({} x {} residues):", a.len(), b.len());
+    println!(
+        "real multithreaded runs ({} x {} residues):",
+        a.len(),
+        b.len()
+    );
     let metrics = Metrics::new();
     let reference = fastlsa::align_with(&a, &b, &scheme, base, &metrics);
     for threads in [1usize, 2, 4] {
@@ -40,7 +44,12 @@ fn main() {
     println!("  {:>3}  {:>8}  {:>10}", "P", "speedup", "efficiency");
     for p in [1usize, 2, 4, 8, 16, 32] {
         let rep = fastlsa::core::replay(&log, p, 2);
-        println!("  {:>3}  {:>8.2}  {:>10.3}", p, rep.speedup(), rep.efficiency());
+        println!(
+            "  {:>3}  {:>8.2}  {:>10.3}",
+            p,
+            rep.speedup(),
+            rep.efficiency()
+        );
     }
     println!("\nexpected: near-linear to P=8, flattening beyond (paper Fig. 5-level shape).");
 }

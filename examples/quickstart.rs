@@ -14,7 +14,10 @@ fn main() {
 
     let metrics = Metrics::new();
     let result = fastlsa::align(&a, &b, &scheme, &metrics);
-    println!("paper example: optimal score = {} (paper reports 82)", result.score);
+    println!(
+        "paper example: optimal score = {} (paper reports 82)",
+        result.score
+    );
     let alignment = Alignment::from_path(&a, &b, &result.path, &scheme);
     println!("{alignment}");
 

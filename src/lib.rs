@@ -12,7 +12,9 @@
 //! * [`scoring`] — substitution matrices and gap models;
 //! * [`dp`] — the shared DP kernels, paths and metrics;
 //! * [`wavefront`] — the wavefront scheduling substrate;
-//! * [`cachesim`] — the cache-hierarchy simulator behind experiment E10.
+//! * [`cachesim`] — the cache-hierarchy simulator behind experiment E10;
+//! * [`trace`] — the execution-trace recorder, analysis and exporters
+//!   behind `flsa align --trace` / `flsa report`.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ pub use flsa_hirschberg as hirschberg;
 pub use flsa_msa as msa;
 pub use flsa_scoring as scoring;
 pub use flsa_seq as seq;
+pub use flsa_trace as trace;
 pub use flsa_wavefront as wavefront;
 
 pub use fastlsa_core::{align, align_traced, align_with, FastLsaConfig, ParallelConfig};

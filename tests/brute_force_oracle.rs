@@ -15,8 +15,7 @@ fn brute_force(a: &[u8], b: &[u8], scheme: &ScoringScheme) -> i64 {
             ([], rest) => gap * rest.len() as i64,
             (rest, []) => gap * rest.len() as i64,
             _ => {
-                let diag =
-                    scheme.sub(a[0], b[0]) as i64 + rec(&a[1..], &b[1..], scheme, gap);
+                let diag = scheme.sub(a[0], b[0]) as i64 + rec(&a[1..], &b[1..], scheme, gap);
                 let up = gap + rec(&a[1..], b, scheme, gap);
                 let left = gap + rec(a, &b[1..], scheme, gap);
                 diag.max(up).max(left)

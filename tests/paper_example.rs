@@ -14,16 +14,25 @@ fn paper_pair() -> (Sequence, Sequence, ScoringScheme) {
 fn every_algorithm_reports_82() {
     let (a, b, scheme) = paper_pair();
     let metrics = Metrics::new();
-    assert_eq!(fastlsa::fullmatrix::needleman_wunsch(&a, &b, &scheme, &metrics).score, 82);
+    assert_eq!(
+        fastlsa::fullmatrix::needleman_wunsch(&a, &b, &scheme, &metrics).score,
+        82
+    );
     assert_eq!(
         fastlsa::fullmatrix::needleman_wunsch_packed(&a, &b, &scheme, &metrics).score,
         82
     );
-    assert_eq!(fastlsa::hirschberg::hirschberg(&a, &b, &scheme, &metrics).score, 82);
+    assert_eq!(
+        fastlsa::hirschberg::hirschberg(&a, &b, &scheme, &metrics).score,
+        82
+    );
     for k in 2..=5 {
         for base in [16usize, 30, 1000] {
             let cfg = FastLsaConfig::new(k, base);
-            assert_eq!(fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).score, 82);
+            assert_eq!(
+                fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).score,
+                82
+            );
         }
     }
 }
@@ -62,8 +71,14 @@ fn both_paper_alignments_have_five_identities() {
     // second (with L/V) is the optimal one at score 82, the first scores 70.
     let (a, b, scheme) = paper_pair();
     use Move::*;
-    let first = Path::new((0, 0), vec![Diag, Up, Diag, Diag, Diag, Up, Diag, Left, Diag]);
-    let second = Path::new((0, 0), vec![Diag, Up, Diag, Up, Diag, Diag, Diag, Left, Diag]);
+    let first = Path::new(
+        (0, 0),
+        vec![Diag, Up, Diag, Diag, Diag, Up, Diag, Left, Diag],
+    );
+    let second = Path::new(
+        (0, 0),
+        vec![Diag, Up, Diag, Up, Diag, Diag, Diag, Left, Diag],
+    );
     assert_eq!(first.score(&a, &b, &scheme), 70);
     assert_eq!(second.score(&a, &b, &scheme), 82);
     for p in [&first, &second] {

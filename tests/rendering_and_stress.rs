@@ -47,8 +47,14 @@ fn metrics_are_consistent_under_parallel_fills() {
     fastlsa::align_with(&a, &b, &scheme, cfg, &m_seq);
     let m_par = Metrics::new();
     fastlsa::align_with(&a, &b, &scheme, cfg.with_threads(4), &m_par);
-    assert_eq!(m_seq.snapshot().cells_computed, m_par.snapshot().cells_computed);
-    assert_eq!(m_seq.snapshot().traceback_steps, m_par.snapshot().traceback_steps);
+    assert_eq!(
+        m_seq.snapshot().cells_computed,
+        m_par.snapshot().cells_computed
+    );
+    assert_eq!(
+        m_seq.snapshot().traceback_steps,
+        m_par.snapshot().traceback_steps
+    );
 }
 
 #[test]
@@ -108,8 +114,14 @@ fn very_skewed_aspect_ratios() {
     let expect = fastlsa::fullmatrix::nw_score_only(&long, &short, &scheme, &metrics);
     for (x, y) in [(&long, &short), (&short, &long)] {
         assert_eq!(fastlsa::align(x, y, &scheme, &metrics).score, expect);
-        assert_eq!(fastlsa::hirschberg::hirschberg(x, y, &scheme, &metrics).score, expect);
+        assert_eq!(
+            fastlsa::hirschberg::hirschberg(x, y, &scheme, &metrics).score,
+            expect
+        );
         let cfg = FastLsaConfig::new(4, 64).with_threads(3);
-        assert_eq!(fastlsa::align_with(x, y, &scheme, cfg, &metrics).score, expect);
+        assert_eq!(
+            fastlsa::align_with(x, y, &scheme, cfg, &metrics).score,
+            expect
+        );
     }
 }

@@ -16,7 +16,10 @@ fn fm_computes_exactly_mn_cells() {
     let (a, b, scheme) = pair(700, 1);
     let metrics = Metrics::new();
     fastlsa::fullmatrix::needleman_wunsch(&a, &b, &scheme, &metrics);
-    assert_eq!(metrics.snapshot().cells_computed, (a.len() * b.len()) as u64);
+    assert_eq!(
+        metrics.snapshot().cells_computed,
+        (a.len() * b.len()) as u64
+    );
 }
 
 #[test]
@@ -40,7 +43,10 @@ fn fastlsa_cells_obey_theorem_2_bound_across_k() {
         let bound = model::fastlsa_cells_bound(a.len(), b.len(), k, base);
         let limit = (a.len() * b.len()) as f64 * model::theorem2_limit_factor(k);
         assert!(measured <= bound * 1.05, "k={k}: {measured} > {bound}");
-        assert!(measured <= limit * 1.05, "k={k}: {measured} > limit {limit}");
+        assert!(
+            measured <= limit * 1.05,
+            "k={k}: {measured} > limit {limit}"
+        );
         // Recomputation falls monotonically with k on a fixed instance.
         assert!(measured <= prev * 1.01, "k={k}");
         prev = measured;
@@ -66,9 +72,16 @@ fn fastlsa_quadratic_space_mode_has_no_extra_operations() {
     // operations."
     let (a, b, scheme) = pair(500, 5);
     let metrics = Metrics::new();
-    let cfg = FastLsaConfig { k: 8, base_cells: (a.len() + 1) * (b.len() + 1), parallel: None };
+    let cfg = FastLsaConfig {
+        k: 8,
+        base_cells: (a.len() + 1) * (b.len() + 1),
+        parallel: None,
+    };
     fastlsa::align_with(&a, &b, &scheme, cfg, &metrics);
-    assert_eq!(metrics.snapshot().cells_computed, (a.len() * b.len()) as u64);
+    assert_eq!(
+        metrics.snapshot().cells_computed,
+        (a.len() * b.len()) as u64
+    );
 }
 
 #[test]
@@ -90,8 +103,7 @@ fn replayed_parallel_cost_obeys_theorem_4() {
     let k = 8;
     let f = 2;
     let metrics = Metrics::new();
-    let (_, log) =
-        fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 12), &metrics);
+    let (_, log) = fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 12), &metrics);
     for p in [1usize, 2, 4, 8, 16] {
         let rep = fastlsa::core::replay(&log, p, f);
         let bound = model::theorem4_bound(a.len(), b.len(), k, p, f);
@@ -107,8 +119,7 @@ fn replayed_parallel_cost_obeys_theorem_4() {
 fn speedup_is_monotone_and_bounded_by_p() {
     let (a, b, scheme) = pair(4000, 8);
     let metrics = Metrics::new();
-    let (_, log) =
-        fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 14), &metrics);
+    let (_, log) = fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 14), &metrics);
     let mut prev = 0.0;
     for p in [1usize, 2, 4, 8, 16] {
         let rep = fastlsa::core::replay(&log, p, 2);
@@ -132,6 +143,9 @@ fn efficiency_grows_with_problem_size() {
             fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 16), &metrics);
         effs.push(fastlsa::core::replay(&log, 8, 2).efficiency());
     }
-    assert!(effs[0] <= effs[1] + 0.02 && effs[1] <= effs[2] + 0.02, "{effs:?}");
+    assert!(
+        effs[0] <= effs[1] + 0.02 && effs[1] <= effs[2] + 0.02,
+        "{effs:?}"
+    );
     assert!(effs[2] > 0.8, "large-problem efficiency {}", effs[2]);
 }
