@@ -6,6 +6,7 @@
 //! paper <experiment> [--max-len N] [--full]
 //! paper all
 //! ```
+#![forbid(unsafe_code)]
 
 use flsa_bench::experiments::{self, ExpOptions};
 

@@ -13,6 +13,7 @@
 //! predecessor entries, the write of the computed entry, buffer reuse
 //! across recursion) and ignore sequence-residue reads, which are O(m+n)
 //! streaming and identical across algorithms.
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod trace;

@@ -1,0 +1,49 @@
+//! Workspace lint driver: `cargo run -p flsa-check --bin lint [ROOT]`.
+//!
+//! Scans the production sources under ROOT (default: this workspace)
+//! with the rules in [`flsa_check::lint`] and exits nonzero when any
+//! finding is reported, so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    if matches!(arg.as_deref(), Some("-h" | "--help")) {
+        eprintln!("usage: lint [WORKSPACE_ROOT]");
+        eprintln!("checks SAFETY comments, panic-free DP hot kernels,");
+        eprintln!("justified Ordering::Relaxed, and forbid(unsafe_code).");
+        return ExitCode::SUCCESS;
+    }
+    let root = arg
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let sources = match flsa_check::lint::collect_sources(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lint: cannot read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if sources.is_empty() {
+        eprintln!("lint: no sources found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let findings = flsa_check::lint::lint_sources(&sources);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lint: {} files clean", sources.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "lint: {} finding(s) in {} files scanned",
+            findings.len(),
+            sources.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,85 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every virtual thread carries a [`VClock`]; monitors and atomics carry
+//! "release clocks" that accumulate the clocks of releasing threads and
+//! flow into acquiring threads. A plain (non-atomic) access is data-race
+//! free iff the previous conflicting access happens-before it, i.e. the
+//! accessor's clock dominates the recorded access epoch — the classic
+//! vector-clock race-detection argument (FastTrack, simplified: the
+//! thread count here is tiny, so full clocks are cheap).
+
+/// A grow-on-demand vector clock indexed by virtual-thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// Component for thread `tid` (0 when never ticked).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.ticks.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances this thread's own component by one.
+    pub fn inc(&mut self, tid: usize) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+        self.ticks[tid] += 1;
+    }
+
+    /// Component-wise maximum: after `a.join(b)`, everything that
+    /// happened-before `b` also happens-before `a`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (s, &o) in self.ticks.iter_mut().zip(other.ticks.iter()) {
+            *s = (*s).max(o);
+        }
+    }
+
+    /// True when the event epoch `(tid, tick)` happens-before this clock.
+    pub fn dominates(&self, tid: usize, tick: u32) -> bool {
+        self.get(tid) >= tick
+    }
+
+    /// Raises component `tid` to at least `tick` (epoch recording).
+    pub fn record(&mut self, tid: usize, tick: u32) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+        self.ticks[tid] = self.ticks[tid].max(tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_takes_component_maximum() {
+        let mut a = VClock::new();
+        a.inc(0);
+        a.inc(0);
+        let mut b = VClock::new();
+        b.inc(1);
+        b.inc(2);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (2, 1, 1));
+    }
+
+    #[test]
+    fn dominates_tracks_epochs() {
+        let mut a = VClock::new();
+        a.inc(1);
+        assert!(a.dominates(1, 1));
+        assert!(!a.dominates(1, 2));
+        assert!(a.dominates(5, 0));
+    }
+}

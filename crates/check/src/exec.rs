@@ -1,0 +1,815 @@
+//! Deterministic virtual-thread runtime.
+//!
+//! Each *virtual thread* runs on a real OS thread, but a token-passing
+//! scheduler guarantees that **exactly one** virtual thread executes at
+//! any moment, and that every context switch happens at a *visible
+//! operation* (monitor lock/unlock/wait/notify, atomic access, spawn,
+//! exit). Between two decisions the schedule is fully determined by the
+//! [`SchedPolicy`], so a recorded choice sequence replays the identical
+//! interleaving — the property model checking needs.
+//!
+//! The runtime also maintains vector clocks ([`crate::clock::VClock`])
+//! per thread, monitor and atomic: monitor unlock→lock and
+//! `Release`→`Acquire` atomic pairs transfer clock state, `Relaxed`
+//! operations move values but *no* clock state. Plain accesses through
+//! [`crate::vsync::RaceCell`] are checked against those clocks, so a
+//! missing happens-before edge (e.g. an ordering weakened to `Relaxed`)
+//! is reported as a data race even though the serialized execution can
+//! never corrupt memory physically.
+//!
+//! Modeling notes (documented deviations from the raw primitives):
+//! * Mutexes hand off FIFO to the oldest waiter instead of letting
+//!   threads barge and retry — this keeps the schedule tree finite.
+//! * `notify_one` wakes the oldest waiter (deterministic); random-mode
+//!   schedules add *spurious* wakeups on top, so predicate re-check
+//!   loops are still exercised.
+//! * Condvar wakeups transfer no clock state — exactly like POSIX, where
+//!   only the associated mutex synchronizes.
+//!
+//! Deadlocks (every live thread blocked) abort the schedule: all parked
+//! threads unwind with the private [`SchedAbort`] marker and the outcome
+//! records the blocked state for the caller to assert on.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, Once};
+
+use crate::clock::VClock;
+use crate::explore::SchedPolicy;
+
+/// Virtual-thread id of the schedule's main thread (the one running the
+/// body passed to [`run_schedule`]).
+pub const MAIN_TID: usize = 0;
+
+/// Upper bound on visible operations per schedule — a livelock guard;
+/// the wavefront protocol on model-sized grids needs a few hundred.
+const MAX_STEPS: u64 = 1_000_000;
+
+/// Marker payload for scheduler-initiated unwinds (deadlock abort).
+pub struct SchedAbort;
+
+/// Marker payload for deliberately-injected tile panics in model
+/// scenarios, so the panic hook can keep test output quiet.
+pub struct TilePanic;
+
+/// Installs (once) a panic hook that silences the two marker payloads
+/// above; every other panic keeps the default behavior.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = info.payload().is::<SchedAbort>() || info.payload().is::<TilePanic>();
+            if !quiet {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Why a virtual thread cannot currently be scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VStatus {
+    Runnable,
+    /// Waiting to acquire monitor `mid`'s lock.
+    MutexWait(usize),
+    /// Waiting on monitor `mid`'s condition variable.
+    CondWait(usize),
+    Finished,
+}
+
+struct ThreadSlot {
+    status: VStatus,
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct MonitorSlot {
+    owner: Option<usize>,
+    /// FIFO of threads waiting for the lock.
+    lock_queue: Vec<usize>,
+    /// FIFO of threads waiting on the condvar.
+    cond_queue: Vec<usize>,
+    /// Release clock, joined by every unlocker.
+    clock: VClock,
+}
+
+struct AtomicSlot {
+    value: u64,
+    /// Release clock, joined by `Release`-ordered writers.
+    clock: VClock,
+}
+
+/// Last-access metadata of one race-checked plain cell.
+#[derive(Default)]
+struct CellSlot {
+    /// Epoch of the last write: `(tid, tick)`.
+    write: Option<(usize, u32)>,
+    /// Join of all read epochs since the last write.
+    reads: VClock,
+}
+
+/// How one virtual thread's body ended.
+#[derive(Debug)]
+pub enum VExit {
+    /// Ran to completion.
+    Ok,
+    /// Unwound with the scheduler-abort marker (deadlock teardown).
+    Aborted,
+    /// Unwound with an injected [`TilePanic`].
+    TilePanic,
+    /// Unwound with an ordinary panic (payload rendered to text).
+    Panic(String),
+}
+
+struct ExecState {
+    threads: Vec<ThreadSlot>,
+    monitors: Vec<MonitorSlot>,
+    atomics: Vec<AtomicSlot>,
+    cells: Vec<CellSlot>,
+    /// The one virtual thread allowed to run (`usize::MAX`: none).
+    active: usize,
+    policy: SchedPolicy,
+    /// Chosen tid at every scheduling step — the schedule's identity.
+    schedule: Vec<u32>,
+    steps: u64,
+    /// Deadlock description once detected.
+    deadlock: Option<String>,
+    exits: Vec<(usize, VExit)>,
+}
+
+/// The shared runtime for one schedule execution.
+pub struct Exec {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling OS thread's virtual-thread context.
+///
+/// # Panics
+///
+/// Panics when called outside a [`run_schedule`] body.
+pub fn ctx() -> (Arc<Exec>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("virtual sync primitive used outside run_schedule")
+    })
+}
+
+fn set_ctx(exec: &Arc<Exec>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+}
+
+fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+impl Exec {
+    fn new(policy: SchedPolicy) -> Arc<Exec> {
+        install_quiet_hook();
+        // Every thread's clock starts with its own component at 1
+        // (FastTrack convention): a tick-0 epoch would be vacuously
+        // dominated by everyone, hiding races on first accesses.
+        let mut main_clock = VClock::new();
+        main_clock.inc(MAIN_TID);
+        Arc::new(Exec {
+            state: Mutex::new(ExecState {
+                threads: vec![ThreadSlot {
+                    status: VStatus::Runnable,
+                    clock: main_clock,
+                }],
+                monitors: Vec::new(),
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                active: MAIN_TID,
+                policy,
+                schedule: Vec::new(),
+                steps: 0,
+                deadlock: None,
+                exits: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// One visible operation by thread `tid`: apply `mutate` to the state,
+    /// take a scheduling decision, park until re-activated. Returns the
+    /// value produced by `mutate`.
+    fn op<R>(&self, tid: usize, mutate: impl FnOnce(&mut ExecState) -> R) -> R {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // During teardown (deadlock abort) ops degrade to bare state
+        // mutations: no scheduling, no parking, and crucially no panics —
+        // this path runs from Drop impls while threads are unwinding.
+        if st.deadlock.is_some() {
+            return mutate(&mut st);
+        }
+        let r = mutate(&mut st);
+        self.schedule_next(&mut st, tid);
+        while st.active != tid {
+            if st.deadlock.is_some() {
+                drop(st);
+                std::panic::panic_any(SchedAbort);
+            }
+            if st.threads[tid].status == VStatus::Finished {
+                // Detached exit path: nothing left to run here.
+                break;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        r
+    }
+
+    /// Picks the next virtual thread to run. Called with the state lock
+    /// held, after `tid` performed its operation.
+    fn schedule_next(&self, st: &mut ExecState, tid: usize) {
+        st.steps += 1;
+        if st.steps > MAX_STEPS {
+            st.deadlock = Some("step budget exceeded (livelock?)".to_string());
+            self.cv.notify_all();
+            return;
+        }
+
+        // Random-mode spurious wakeups: pull one condvar waiter back to
+        // runnable; it will re-acquire the lock and re-check its
+        // predicate, exactly like a real spurious wakeup.
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.status, VStatus::CondWait(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(w) = st.policy.spurious(&waiters) {
+            if let VStatus::CondWait(mid) = st.threads[w].status {
+                st.monitors[mid].cond_queue.retain(|&q| q != w);
+                st.threads[w].status = VStatus::Runnable;
+            }
+        }
+
+        let current_runnable = st.threads[tid].status == VStatus::Runnable;
+        let mut alts: Vec<usize> = Vec::with_capacity(st.threads.len());
+        if current_runnable {
+            alts.push(tid);
+        }
+        for (i, t) in st.threads.iter().enumerate() {
+            if i != tid && t.status == VStatus::Runnable {
+                alts.push(i);
+            }
+        }
+
+        if alts.is_empty() {
+            if st.threads.iter().all(|t| t.status == VStatus::Finished) {
+                st.active = usize::MAX;
+                return;
+            }
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != VStatus::Finished)
+                .map(|(i, t)| format!("vthread {i}: {:?}", t.status))
+                .collect();
+            st.deadlock = Some(format!("deadlock: {}", stuck.join(", ")));
+            st.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+
+        let chosen = st.policy.pick(current_runnable, &alts);
+        debug_assert!(alts.contains(&chosen), "policy chose a non-runnable thread");
+        st.schedule.push(chosen as u32);
+        if chosen != st.active {
+            st.active = chosen;
+            self.cv.notify_all();
+        } else {
+            st.active = chosen;
+        }
+    }
+
+    /// Parks the calling OS thread until its virtual thread is activated
+    /// for the first time (spawn path).
+    fn wait_for_activation(&self, tid: usize) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while st.active != tid {
+            if st.deadlock.is_some() {
+                drop(st);
+                std::panic::panic_any(SchedAbort);
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Registers a new virtual thread (inheriting the spawner's clock —
+    /// spawn is a happens-before edge) and returns its tid.
+    fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.threads[parent].clock.inc(parent);
+        let mut clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        // Own component starts nonzero — see the note in `Exec::new`.
+        clock.inc(tid);
+        st.threads.push(ThreadSlot {
+            status: VStatus::Runnable,
+            clock,
+        });
+        tid
+    }
+
+    /// Marks `tid` finished and hands the token onward without parking.
+    fn finish_thread(&self, tid: usize, exit: VExit) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.threads[tid].status = VStatus::Finished;
+        st.exits.push((tid, exit));
+        if st.deadlock.is_none() {
+            self.schedule_next(&mut st, tid);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Monitor operations (called from `crate::vsync::VirtMonitor`).
+    // ---------------------------------------------------------------
+
+    pub(crate) fn register_monitor(&self) -> usize {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.monitors.push(MonitorSlot::default());
+        st.monitors.len() - 1
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, mid: usize) {
+        loop {
+            let acquired = self.op(tid, |st| {
+                let m = &mut st.monitors[mid];
+                if m.owner == Some(tid) {
+                    // Direct FIFO hand-off from the previous owner.
+                    true
+                } else if m.owner.is_none() && m.lock_queue.is_empty() {
+                    m.owner = Some(tid);
+                    true
+                } else {
+                    if !m.lock_queue.contains(&tid) {
+                        m.lock_queue.push(tid);
+                    }
+                    st.threads[tid].status = VStatus::MutexWait(mid);
+                    false
+                }
+            });
+            if acquired {
+                // Acquire edge: the release clock of every prior unlock.
+                let mut st = self
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let mclock = st.monitors[mid].clock.clone();
+                st.threads[tid].clock.join(&mclock);
+                st.threads[tid].clock.inc(tid);
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, tid: usize, mid: usize) {
+        self.op(tid, |st| {
+            Self::unlock_inner(st, tid, mid);
+        });
+    }
+
+    fn unlock_inner(st: &mut ExecState, tid: usize, mid: usize) {
+        if st.monitors[mid].owner != Some(tid) {
+            // Only reachable during teardown: a `SchedAbort` unwound out
+            // of `cond_wait` after the lock was already released, and the
+            // guard's Drop is re-running the unlock. Must not panic here —
+            // this is a destructor on an unwinding thread.
+            debug_assert!(st.deadlock.is_some(), "unlock by non-owner");
+            return;
+        }
+        st.threads[tid].clock.inc(tid);
+        let thread_clock = st.threads[tid].clock.clone();
+        let m = &mut st.monitors[mid];
+        m.clock.join(&thread_clock);
+        // FIFO hand-off: the oldest lock-waiter becomes the owner and is
+        // made runnable; it completes the acquire when scheduled.
+        if m.lock_queue.is_empty() {
+            m.owner = None;
+        } else {
+            let next = m.lock_queue.remove(0);
+            m.owner = Some(next);
+            st.threads[next].status = VStatus::Runnable;
+        }
+    }
+
+    pub(crate) fn cond_wait(&self, tid: usize, mid: usize) {
+        // Atomically: release the lock and join the condvar queue. The
+        // wakeup itself carries no clock state (POSIX semantics); the
+        // re-acquire below provides the synchronization.
+        self.op(tid, |st| {
+            Self::unlock_inner(st, tid, mid);
+            st.monitors[mid].cond_queue.push(tid);
+            st.threads[tid].status = VStatus::CondWait(mid);
+        });
+        // Back runnable (notified or spurious): re-acquire the lock.
+        self.mutex_lock(tid, mid);
+    }
+
+    pub(crate) fn notify_one(&self, tid: usize, mid: usize) {
+        self.op(tid, |st| {
+            let m = &mut st.monitors[mid];
+            if !m.cond_queue.is_empty() {
+                let w = m.cond_queue.remove(0);
+                st.threads[w].status = VStatus::Runnable;
+            }
+        });
+    }
+
+    pub(crate) fn notify_all(&self, tid: usize, mid: usize) {
+        self.op(tid, |st| {
+            let m = &mut st.monitors[mid];
+            let woken: Vec<usize> = m.cond_queue.drain(..).collect();
+            for w in woken {
+                st.threads[w].status = VStatus::Runnable;
+            }
+        });
+    }
+
+    // ---------------------------------------------------------------
+    // Atomic operations (called from `crate::vsync` atomics).
+    // ---------------------------------------------------------------
+
+    pub(crate) fn register_atomic(&self, value: u64) -> usize {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.atomics.push(AtomicSlot {
+            value,
+            clock: VClock::new(),
+        });
+        st.atomics.len() - 1
+    }
+
+    /// One atomic access: `f` maps the current value to `Some(new)` for
+    /// writes/RMWs or `None` for pure loads; returns the previous value.
+    /// Only `Acquire`-class orderings pull the atomic's release clock in,
+    /// only `Release`-class orderings push the thread's clock out —
+    /// `Relaxed` transfers the value alone.
+    pub(crate) fn atomic_access(
+        &self,
+        tid: usize,
+        aid: usize,
+        order: std::sync::atomic::Ordering,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        use std::sync::atomic::Ordering::*;
+        let is_acquire = matches!(order, Acquire | AcqRel | SeqCst);
+        let is_release = matches!(order, Release | AcqRel | SeqCst);
+        self.op(tid, |st| {
+            let old = st.atomics[aid].value;
+            let new = f(old);
+            if is_acquire {
+                let aclock = st.atomics[aid].clock.clone();
+                st.threads[tid].clock.join(&aclock);
+            }
+            if new.is_some() && is_release {
+                st.threads[tid].clock.inc(tid);
+                let tclock = st.threads[tid].clock.clone();
+                st.atomics[aid].clock.join(&tclock);
+            }
+            if let Some(v) = new {
+                st.atomics[aid].value = v;
+            }
+            st.threads[tid].clock.inc(tid);
+            old
+        })
+    }
+
+    /// One atomic compare-and-swap. On success the clock transfer follows
+    /// `success` (both acquire and release sides when `AcqRel`/`SeqCst`);
+    /// on mismatch only the acquire side of `failure` applies — exactly
+    /// the hardware contract `std` documents.
+    pub(crate) fn atomic_cas(
+        &self,
+        tid: usize,
+        aid: usize,
+        current: u64,
+        new: u64,
+        success: std::sync::atomic::Ordering,
+        failure: std::sync::atomic::Ordering,
+    ) -> Result<u64, u64> {
+        use std::sync::atomic::Ordering::*;
+        self.op(tid, |st| {
+            let old = st.atomics[aid].value;
+            let matched = old == current;
+            let order = if matched { success } else { failure };
+            if matches!(order, Acquire | AcqRel | SeqCst) {
+                let aclock = st.atomics[aid].clock.clone();
+                st.threads[tid].clock.join(&aclock);
+            }
+            if matched {
+                if matches!(success, Release | AcqRel | SeqCst) {
+                    st.threads[tid].clock.inc(tid);
+                    let tclock = st.threads[tid].clock.clone();
+                    st.atomics[aid].clock.join(&tclock);
+                }
+                st.atomics[aid].value = new;
+            }
+            st.threads[tid].clock.inc(tid);
+            if matched {
+                Ok(old)
+            } else {
+                Err(old)
+            }
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Race-checked plain cells (called from `crate::vsync::RaceCell`).
+    // ---------------------------------------------------------------
+
+    pub(crate) fn register_cell(&self) -> usize {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.cells.push(CellSlot::default());
+        st.cells.len() - 1
+    }
+
+    /// Records a plain read of cell `cid` and checks it is ordered after
+    /// the last write. Plain accesses are not scheduling points: their
+    /// placement between the surrounding sync operations cannot change
+    /// the schedule, only the clock bookkeeping matters.
+    pub(crate) fn cell_read(&self, tid: usize, cid: usize) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.deadlock.is_some() {
+            return;
+        }
+        let tclock = st.threads[tid].clock.clone();
+        let own_tick = tclock.get(tid);
+        let cell = &mut st.cells[cid];
+        if let Some((wtid, wtick)) = cell.write {
+            assert!(
+                tclock.dominates(wtid, wtick),
+                "data race: vthread {tid} read cell {cid} without ordering after \
+                 the write by vthread {wtid} (missing happens-before edge)"
+            );
+        }
+        // Record this read's epoch so a later unordered write trips.
+        cell.reads.record(tid, own_tick);
+    }
+
+    /// Records a plain write of cell `cid` and checks it is ordered after
+    /// every previous access.
+    pub(crate) fn cell_write(&self, tid: usize, cid: usize) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.deadlock.is_some() {
+            return;
+        }
+        let tclock = st.threads[tid].clock.clone();
+        let n = st.threads.len();
+        let cell = &mut st.cells[cid];
+        if let Some((wtid, wtick)) = cell.write {
+            assert!(
+                tclock.dominates(wtid, wtick),
+                "data race: vthread {tid} wrote cell {cid} without ordering after \
+                 the write by vthread {wtid} (missing happens-before edge)"
+            );
+        }
+        for t in 0..n {
+            assert!(
+                tclock.get(t) >= cell.reads.get(t),
+                "data race: vthread {tid} wrote cell {cid} without ordering after \
+                 a read by vthread {t} (missing happens-before edge)"
+            );
+        }
+        cell.write = Some((tid, tclock.get(tid)));
+        cell.reads = VClock::new();
+    }
+}
+
+/// Spawns additional virtual threads inside a [`run_schedule`] body.
+/// Lifetimes mirror [`std::thread::scope`]: `'env` is the environment the
+/// spawned bodies may borrow from (everything alive across the
+/// `run_schedule` call), `'scope` the scope itself.
+pub struct VScope<'scope, 'env: 'scope> {
+    exec: Arc<Exec>,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope> VScope<'scope, '_> {
+    /// Spawns a virtual thread running `f`. The spawn is a visible
+    /// operation and a happens-before edge from spawner to spawnee.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let (_, parent) = ctx();
+        let tid = self.exec.register_thread(parent);
+        let exec = Arc::clone(&self.exec);
+        self.scope.spawn(move || {
+            set_ctx(&exec, tid);
+            // The activation wait is inside the catch: a deadlock abort
+            // can unwind it with `SchedAbort` before `f` ever runs.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                exec.wait_for_activation(tid);
+                f();
+            }));
+            clear_ctx();
+            exec.finish_thread(tid, exit_of(outcome));
+        });
+        // Making the new thread runnable is itself a scheduling point.
+        self.exec.op(parent, |_| {});
+    }
+}
+
+fn exit_of(outcome: Result<(), Box<dyn std::any::Any + Send>>) -> VExit {
+    match outcome {
+        Ok(()) => VExit::Ok,
+        Err(payload) => {
+            if payload.is::<SchedAbort>() {
+                VExit::Aborted
+            } else if payload.is::<TilePanic>() {
+                VExit::TilePanic
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                VExit::Panic((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                VExit::Panic(s.clone())
+            } else {
+                VExit::Panic("<non-string panic payload>".to_string())
+            }
+        }
+    }
+}
+
+/// Outcome of one fully-executed schedule.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// FNV-1a hash of the decision sequence — the schedule's identity.
+    pub schedule_hash: u64,
+    /// Visible operations executed.
+    pub steps: u64,
+    /// Deadlock description, if the schedule deadlocked.
+    pub deadlock: Option<String>,
+    /// Exit status per virtual thread.
+    pub exits: Vec<(usize, VExit)>,
+    /// The policy, with its recorded trace (DFS backtracking input).
+    pub policy: SchedPolicy,
+}
+
+impl ScheduleOutcome {
+    /// Panic messages of threads that failed with a *real* panic (not a
+    /// scheduler abort, not an injected tile panic).
+    pub fn real_panics(&self) -> Vec<&str> {
+        self.exits
+            .iter()
+            .filter_map(|(_, e)| match e {
+                VExit::Panic(msg) => Some(msg.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when some thread unwound with the injected [`TilePanic`].
+    pub fn tile_panicked(&self) -> bool {
+        self.exits
+            .iter()
+            .any(|(_, e)| matches!(e, VExit::TilePanic))
+    }
+}
+
+/// Runs `body` as virtual thread 0 under `policy`, returning the
+/// schedule's outcome. `body` receives a [`VScope`] for spawning
+/// further virtual threads; all of them are joined before this returns.
+pub fn run_schedule<'env, F>(policy: SchedPolicy, body: F) -> ScheduleOutcome
+where
+    F: for<'scope> FnOnce(VScope<'scope, 'env>),
+{
+    let exec = Exec::new(policy);
+    std::thread::scope(|s| {
+        let vscope = VScope {
+            exec: Arc::clone(&exec),
+            scope: s,
+        };
+        set_ctx(&exec, MAIN_TID);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(vscope)));
+        clear_ctx();
+        exec.finish_thread(MAIN_TID, exit_of(outcome));
+    });
+    let st = Arc::into_inner(exec)
+        .expect("all schedule threads joined")
+        .state
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &tid in &st.schedule {
+        hash ^= tid as u64 + 1;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    ScheduleOutcome {
+        schedule_hash: hash,
+        steps: st.steps,
+        deadlock: st.deadlock,
+        exits: st.exits,
+        policy: st.policy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_schedule_runs_to_completion() {
+        let out = run_schedule(SchedPolicy::random(1, 30, 0), |_scope| {
+            // No sync ops at all — still a valid (empty) schedule.
+        });
+        assert!(out.deadlock.is_none());
+        assert!(out.real_panics().is_empty());
+    }
+
+    #[test]
+    fn spawned_threads_all_run() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let count = AtomicU32::new(0);
+        let out = run_schedule(SchedPolicy::random(7, 50, 0), |scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(out.deadlock.is_none());
+        assert_eq!(count.into_inner(), 3);
+        assert_eq!(out.exits.len(), 4);
+    }
+
+    #[test]
+    fn schedules_differ_across_seeds_but_replay_identically() {
+        use crate::vsync::VirtSync;
+        use flsa_wavefront::sync::{Monitor, SyncModel};
+        let run = |seed: u64| {
+            run_schedule(SchedPolicy::random(seed, 50, 0), |scope| {
+                let m = std::sync::Arc::new(<VirtSync as SyncModel>::Monitor::<u32>::new(0));
+                let m2 = std::sync::Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        *m2.lock() += 1;
+                    }
+                });
+                for _ in 0..4 {
+                    *m.lock() += 10;
+                }
+            })
+            .schedule_hash
+        };
+        assert_eq!(run(3), run(3), "same seed must replay identically");
+        let distinct: std::collections::HashSet<u64> = (0..16).map(run).collect();
+        assert!(distinct.len() > 4, "seeds should yield varied schedules");
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        use crate::vsync::VirtSync;
+        use flsa_wavefront::sync::{Monitor, SyncModel};
+        // One thread waits on a condvar nobody ever signals.
+        let out = run_schedule(SchedPolicy::random(5, 50, 0), |_scope| {
+            let m = <VirtSync as SyncModel>::Monitor::<bool>::new(false);
+            let mut g = m.lock();
+            while !*g {
+                m.wait(&mut g);
+            }
+        });
+        let dl = out.deadlock.expect("must report the deadlock");
+        assert!(dl.contains("deadlock"), "{dl}");
+    }
+}

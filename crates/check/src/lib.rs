@@ -1,0 +1,24 @@
+//! Static and dynamic analysis for the FastLSA workspace (DESIGN.md §8).
+//!
+//! Two subsystems share this crate:
+//!
+//! * **Concurrency model checker** — a loom-style deterministic scheduler
+//!   ([`exec`]) that replays the *actual* wavefront scheduling protocol
+//!   ([`flsa_wavefront::protocol::JobCore`], instantiated on the virtual
+//!   [`vsync::VirtSync`] primitives) under bounded-exhaustive
+//!   ([`explore::DfsExplorer`]) and seeded-random interleavings, checking
+//!   the protocol invariants on every schedule and detecting data races
+//!   with vector clocks ([`clock`]). The pool scenario and its invariant
+//!   assertions live in [`model`].
+//! * **Repo lint** — a dependency-free source scanner ([`lint`], exposed
+//!   as `cargo run -p flsa-check --bin lint`) enforcing the workspace's
+//!   unsafe-hygiene rules: `// SAFETY:` comments on `unsafe`, panic-free
+//!   DP hot kernels, justified `Ordering::Relaxed`, and
+//!   `#![forbid(unsafe_code)]` on crates with no unsafe code.
+
+pub mod clock;
+pub mod exec;
+pub mod explore;
+pub mod lint;
+pub mod model;
+pub mod vsync;

@@ -1,0 +1,616 @@
+//! Source-level lint rules for the workspace.
+//!
+//! A deliberately small, dependency-free scanner: a line-oriented lexer
+//! splits each source line into *code* and *comment* halves (string
+//! literals are blanked, block comments and raw strings tracked across
+//! lines), and four rules run over the result:
+//!
+//! * **R1-safety-comment** — every occurrence of the `unsafe` keyword
+//!   must be justified by a `// SAFETY:` comment on the same line or in
+//!   the comment/attribute block immediately above it (a doc block
+//!   containing a `# Safety` section also counts, for `unsafe fn`
+//!   declarations).
+//! * **R2-no-panic-hot-kernel** — the DP hot kernels
+//!   (`dp::kernel`, `dp::affine`, `dp::antidiagonal` and the
+//!   `fullmatrix` fill loops) must not contain `.unwrap()`, `.expect(`,
+//!   `panic!`, `unreachable!`, `todo!` or `unimplemented!` outside
+//!   `#[cfg(test)]` modules. Intentional invariant panics carry a
+//!   `// flsa-check: allow(panic)` marker on the same or previous line.
+//! * **R3-relaxed-justified** — every `Ordering::Relaxed` must carry a
+//!   comment (same line, or a comment line directly above the
+//!   contiguous block of `Relaxed` lines) saying why relaxed ordering
+//!   suffices; `// flsa-check: allow(relaxed)` also works.
+//! * **R4-forbid-unsafe** — a crate whose sources contain no `unsafe`
+//!   at all must declare `#![forbid(unsafe_code)]` in every crate root
+//!   (`src/lib.rs` / `src/main.rs`) so the property is load-bearing.
+//!
+//! Scope: production sources only — `src/` trees of the workspace root
+//! and every `crates/*` member. Integration tests, benches, fixtures,
+//! `target/` and `vendor/` are not scanned. `#[cfg(test)]` modules at
+//! the tail of a file are exempt from R2/R3 (but not R1: unsafe in
+//! tests still needs a SAFETY story).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path of the offending file, relative to the scanned root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier, e.g. `"R1-safety-comment"`.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Files whose inner loops are DP hot kernels (rule R2).
+const HOT_FILES: &[&str] = &[
+    "crates/dp/src/kernel.rs",
+    "crates/dp/src/affine.rs",
+    "crates/dp/src/antidiagonal.rs",
+];
+
+/// Directory prefixes that are hot wholesale (rule R2).
+const HOT_PREFIXES: &[&str] = &["crates/fullmatrix/src/"];
+
+/// Panic-family tokens banned in hot kernels.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+const ALLOW_PANIC: &str = "flsa-check: allow(panic)";
+const ALLOW_RELAXED: &str = "flsa-check: allow(relaxed)";
+
+fn is_hot(rel: &str) -> bool {
+    HOT_FILES.contains(&rel) || HOT_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+/// One source line after lexing: executable text with strings blanked,
+/// and the concatenated comment text.
+#[derive(Clone, Debug, Default)]
+struct Line {
+    code: String,
+    comment: String,
+}
+
+/// Lexer state carried across lines: block-comment depth, an open raw
+/// string (`Some(n)` = waiting for `"` followed by `n` hashes), and an
+/// open ordinary string.
+#[derive(Default)]
+struct Lexer {
+    block_depth: usize,
+    raw_hashes: Option<usize>,
+    in_string: bool,
+}
+
+impl Lexer {
+    /// Consumes one physical line and splits it into code and comment.
+    fn feed(&mut self, line: &str) -> Line {
+        let b: Vec<char> = line.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < b.len() {
+            if self.block_depth > 0 {
+                if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    self.block_depth -= 1;
+                    i += 2;
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    self.block_depth += 1;
+                    i += 2;
+                } else {
+                    comment.push(b[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(n) = self.raw_hashes {
+                if b[i] == '"'
+                    && b[i + 1..].len() >= n
+                    && b[i + 1..i + 1 + n].iter().all(|c| *c == '#')
+                {
+                    self.raw_hashes = None;
+                    code.push('"');
+                    i += 1 + n;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if self.in_string {
+                if b[i] == '\\' {
+                    i += 2;
+                } else if b[i] == '"' {
+                    self.in_string = false;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match b[i] {
+                '/' if b.get(i + 1) == Some(&'/') => {
+                    comment.push_str(&b[i + 2..].iter().collect::<String>());
+                    break;
+                }
+                '/' if b.get(i + 1) == Some(&'*') => {
+                    self.block_depth = 1;
+                    i += 2;
+                }
+                '"' => {
+                    self.in_string = true;
+                    code.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if !prev_is_ident(&code) => {
+                    if let Some(consumed) = raw_string_start(&b, i) {
+                        self.raw_hashes = Some(consumed.hashes);
+                        code.push('"');
+                        i += consumed.len;
+                    } else if b[i] == 'b' && b.get(i + 1) == Some(&'"') {
+                        // Byte string: same escape rules as an ordinary one.
+                        self.in_string = true;
+                        code.push('"');
+                        i += 2;
+                    } else {
+                        code.push(b[i]);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    if b.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else if b.get(i + 2) == Some(&'\'') {
+                        i += 3;
+                    } else {
+                        // Lifetime or label: plain code.
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        Line { code, comment }
+    }
+}
+
+struct RawStart {
+    hashes: usize,
+    len: usize,
+}
+
+/// Recognizes `r"`, `r#"`, `br"` … at position `i`.
+fn raw_string_start(b: &[char], i: usize) -> Option<RawStart> {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&'"') {
+        Some(RawStart {
+            hashes,
+            len: j + 1 - i,
+        })
+    } else {
+        None
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars().next_back().is_some_and(is_ident_char)
+}
+
+/// True when `code` contains `tok` as a standalone identifier (not as a
+/// substring of a longer identifier, e.g. `unsafe` inside `unsafe_code`).
+fn has_token(code: &str, tok: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(tok) {
+        let p = start + pos;
+        let e = p + tok.len();
+        let before_ok = p == 0 || !code[..p].chars().next_back().is_some_and(is_ident_char);
+        let after_ok = !code[e..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + 1;
+    }
+    false
+}
+
+fn lex(text: &str) -> Vec<Line> {
+    let mut lexer = Lexer::default();
+    text.lines().map(|l| lexer.feed(l)).collect()
+}
+
+/// Index of the first `#[cfg(test)]` line, i.e. where the trailing test
+/// module starts (the workspace convention); lines from there on are
+/// exempt from R2/R3.
+fn test_region_start(lines: &[Line]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len())
+}
+
+/// R1: the `unsafe` on line `idx` is justified by a SAFETY comment on
+/// the same line or in the comment/attribute block directly above (a
+/// `# Safety` doc section counts for declarations).
+fn r1_satisfied(lines: &[Line], idx: usize) -> bool {
+    let justifies = |c: &str| c.contains("SAFETY") || c.contains("# Safety");
+    if justifies(&lines[idx].comment) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        if justifies(&lines[j].comment) {
+            return true;
+        }
+        let code = lines[j].code.trim();
+        if code.is_empty() || code.starts_with("#[") || code.starts_with("#![") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// R2/R3 escape hatch: the marker on the same or the previous line.
+fn has_marker(lines: &[Line], idx: usize, marker: &str) -> bool {
+    lines[idx].comment.contains(marker) || (idx > 0 && lines[idx - 1].comment.contains(marker))
+}
+
+/// R3: the `Relaxed` on line `idx` carries a same-line comment, or a
+/// comment line sits directly above the contiguous run of `Relaxed`
+/// lines it belongs to.
+fn r3_satisfied(lines: &[Line], idx: usize) -> bool {
+    if !lines[idx].comment.trim().is_empty() {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        if l.code.trim().is_empty() && !l.comment.trim().is_empty() {
+            return true;
+        }
+        if has_token(&l.code, "Relaxed") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Lints one file's text; appends findings and reports whether the file
+/// contains any `unsafe` code (for R4 aggregation).
+fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) -> bool {
+    let lines = lex(text);
+    let test_start = test_region_start(&lines);
+    let hot = is_hot(rel);
+    let mut has_unsafe = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if has_token(&line.code, "unsafe") {
+            has_unsafe = true;
+            if !r1_satisfied(&lines, idx) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "R1-safety-comment",
+                    message:
+                        "`unsafe` without a `// SAFETY:` comment on this line or the block above"
+                            .to_string(),
+                });
+            }
+        }
+        if idx >= test_start {
+            continue;
+        }
+        if hot {
+            for tok in PANIC_TOKENS {
+                if line.code.contains(tok) && !has_marker(&lines, idx, ALLOW_PANIC) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: "R2-no-panic-hot-kernel",
+                        message: format!(
+                            "`{tok}` in a DP hot kernel (mark intentional invariant panics with `// {ALLOW_PANIC}`)"
+                        ),
+                    });
+                }
+            }
+        }
+        if has_token(&line.code, "Relaxed")
+            && !has_marker(&lines, idx, ALLOW_RELAXED)
+            && !r3_satisfied(&lines, idx)
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "R3-relaxed-justified",
+                message:
+                    "`Ordering::Relaxed` without a comment saying why relaxed ordering suffices"
+                        .to_string(),
+            });
+        }
+    }
+    has_unsafe
+}
+
+/// Lints a set of `(relative path, contents)` sources as one workspace:
+/// runs R1–R3 per file and R4 per crate. This is the pure core —
+/// [`lint_workspace`] feeds it from disk, tests feed it inline strings.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // crate key -> (has_unsafe, root files seen)
+    let mut crates: std::collections::BTreeMap<String, (bool, Vec<usize>)> =
+        std::collections::BTreeMap::new();
+
+    for (i, (rel, text)) in files.iter().enumerate() {
+        let has_unsafe = lint_file(rel, text, &mut findings);
+        let key = crate_key(rel);
+        let entry = crates.entry(key).or_default();
+        entry.0 |= has_unsafe;
+        if is_crate_root(rel) {
+            entry.1.push(i);
+        }
+    }
+
+    for (key, (has_unsafe, roots)) in &crates {
+        if *has_unsafe {
+            continue;
+        }
+        for &i in roots {
+            let (rel, text) = &files[i];
+            let declares = lex(text)
+                .iter()
+                .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+            if !declares {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: 1,
+                    rule: "R4-forbid-unsafe",
+                    message: format!(
+                        "crate `{key}` has no unsafe code but does not declare #![forbid(unsafe_code)]"
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Crate a source file belongs to: `crates/<name>/…` or the workspace
+/// root facade.
+fn crate_key(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "fastlsa (workspace root)".to_string()
+}
+
+/// `src/lib.rs` and `src/main.rs` are crate roots (each is a separate
+/// compilation target, so R4 requires the attribute on each).
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs")
+}
+
+/// Collects the production sources under `root`: `<root>/src/**/*.rs`
+/// and `<root>/crates/*/src/**/*.rs`, sorted for determinism.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, root, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<_> = fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk(&src, root, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "target" | "vendor" | "fixtures" | ".git") {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root` from disk.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(lint_sources(&collect_sources(root)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(rel: &str, text: &str) -> Vec<Finding> {
+        lint_sources(&[(rel.to_string(), text.to_string())])
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn lexer_strips_line_and_block_comments() {
+        let lines = lex("let x = 1; // unsafe panic!\n/* unsafe\nstill comment */ let y = 2;");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("unsafe"));
+        assert!(!has_token(&lines[1].code, "unsafe"));
+        assert_eq!(lines[2].code.trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn lexer_blanks_strings_and_handles_raw_strings_and_lifetimes() {
+        let lines = lex("let s = \"unsafe panic!()\"; let l: &'a str = r#\"Relaxed \" quote\"#;");
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(!has_token(&lines[0].code, "Relaxed"));
+        assert!(lines[0].code.contains("'a str"));
+        let lines = lex("let c = '\"'; let d = \"after the char literal\"; panic!();");
+        assert!(lines[0].code.contains("panic!"));
+        assert!(!lines[0].code.contains("after the char"));
+    }
+
+    #[test]
+    fn token_matching_respects_identifier_boundaries() {
+        assert!(has_token("unsafe { }", "unsafe"));
+        assert!(!has_token("#![forbid(unsafe_code)]", "unsafe"));
+        assert!(has_token("Ordering::Relaxed", "Relaxed"));
+        assert!(!has_token("RelaxedOrdering", "Relaxed"));
+    }
+
+    #[test]
+    fn r1_accepts_same_line_preceding_block_and_safety_doc_section() {
+        let ok = "\
+// SAFETY: fine
+unsafe { a() }
+let x = unsafe { b() }; // SAFETY: also fine
+/// # Safety
+/// Caller must hold the lock.
+pub unsafe fn c() {}
+";
+        assert_eq!(one("crates/x/src/lib.rs", ok), vec![]);
+        let bad = "fn f() {\n    unsafe { a() }\n}\n";
+        let f = one("crates/x/src/lib.rs", bad);
+        assert_eq!(rules(&f), vec!["R1-safety-comment"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn r2_flags_panics_only_in_hot_files_outside_tests() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n#[cfg(test)]\nmod t { fn g() { panic!(); } }\n";
+        assert_eq!(
+            rules(&one("crates/dp/src/kernel.rs", src)),
+            vec!["R2-no-panic-hot-kernel"]
+        );
+        assert_eq!(one("crates/dp/src/matrix.rs", src), vec![]);
+        let marked = "fn f() {\n    // flsa-check: allow(panic)\n    panic!(\"corrupt DPM\");\n}\n";
+        assert_eq!(one("crates/fullmatrix/src/nw.rs", marked), vec![]);
+    }
+
+    #[test]
+    fn r3_accepts_same_line_or_block_comment_above_a_relaxed_run() {
+        let ok = "\
+fn f(c: &C) {
+    c.a.load(Ordering::Relaxed); // Relaxed: monotonic counter
+    // Relaxed: snapshot needs no ordering between fields.
+    c.b.load(Ordering::Relaxed);
+    c.d.load(Ordering::Relaxed);
+}
+";
+        assert_eq!(one("crates/x/src/m.rs", ok), vec![]);
+        let bad = "fn f(c: &C) {\n    c.a.load(Ordering::Relaxed);\n}\n";
+        assert_eq!(
+            rules(&one("crates/x/src/m.rs", bad)),
+            vec!["R3-relaxed-justified"]
+        );
+    }
+
+    #[test]
+    fn r4_requires_forbid_only_on_zero_unsafe_crates() {
+        let clean = [(
+            "crates/clean/src/lib.rs".to_string(),
+            "pub fn f() {}\n".to_string(),
+        )];
+        assert_eq!(rules(&lint_sources(&clean)), vec!["R4-forbid-unsafe"]);
+        let declared = [(
+            "crates/clean/src/lib.rs".to_string(),
+            "#![forbid(unsafe_code)]\npub fn f() {}\n".to_string(),
+        )];
+        assert_eq!(lint_sources(&declared), vec![]);
+        let has_unsafe = [(
+            "crates/raw/src/lib.rs".to_string(),
+            "// SAFETY: test\npub fn f() { unsafe { g() } }\n".to_string(),
+        )];
+        assert_eq!(lint_sources(&has_unsafe), vec![]);
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_trip_r2() {
+        let src = "/// ```\n/// let x = v.unwrap();\n/// ```\npub fn f() {}\n";
+        assert_eq!(one("crates/dp/src/kernel.rs", src), vec![]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Instrumented implementations of the `flsa-wavefront` sync traits.
+//!
+//! [`VirtSync`] is the checked counterpart of
+//! [`flsa_wavefront::sync::StdSync`]: the same [`SyncModel`] surface, but
+//! every operation is a visible step of the deterministic scheduler in
+//! [`crate::exec`], and every ordering argument is *interpreted* — only
+//! `Acquire`/`Release`-class orderings move vector-clock state, so a
+//! too-weak ordering in the protocol shows up as a detected race instead
+//! of silently working on strongly-ordered hardware.
+//!
+//! Plus [`RaceCell`], a plain (non-atomic) cell with vector-clock race
+//! detection, used by model scenarios to stand in for the unsynchronized
+//! data the real protocol protects (DP buffers, the pool's borrowed work
+//! closure).
+//!
+//! Everything here must be used *inside* a [`crate::exec::run_schedule`]
+//! body — the primitives find their runtime through thread-local context
+//! and panic otherwise.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+
+use flsa_wavefront::sync::{AtomicInt, Monitor, SyncModel};
+
+use crate::exec::ctx;
+
+/// The model-checked [`SyncModel`]: virtual monitors and atomics driven
+/// by the deterministic scheduler.
+pub struct VirtSync;
+
+impl SyncModel for VirtSync {
+    type Monitor<T: Send + 'static> = VirtMonitor<T>;
+    type AtomicU32 = VirtAtomicU32;
+    type AtomicUsize = VirtAtomicUsize;
+}
+
+/// [`Monitor`] on a virtual mutex + condvar pair.
+///
+/// The value itself lives in a real `std::sync::Mutex` purely as storage
+/// with compiler-visible exclusivity; contention never happens on it
+/// because the virtual runtime admits one owner at a time (FIFO hand-off),
+/// so every inner `lock()` is uncontended by construction.
+pub struct VirtMonitor<T> {
+    mid: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`VirtMonitor`]; releasing it is a visible operation.
+pub struct VirtGuard<'a, T: Send + 'static> {
+    mon: &'a VirtMonitor<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: Send + 'static> VirtMonitor<T> {
+    fn storage(&self) -> std::sync::MutexGuard<'_, T> {
+        // A panicking virtual thread may poison the storage mutex while
+        // unwinding with the guard held; the poison itself is meaningless
+        // here (exclusivity comes from the virtual runtime).
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Send + 'static> Monitor<T> for VirtMonitor<T> {
+    type Guard<'a>
+        = VirtGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        let (exec, _) = ctx();
+        VirtMonitor {
+            mid: exec.register_monitor(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn lock(&self) -> Self::Guard<'_> {
+        let (exec, tid) = ctx();
+        exec.mutex_lock(tid, self.mid);
+        VirtGuard {
+            mon: self,
+            inner: Some(self.storage()),
+        }
+    }
+
+    fn wait<'a>(&'a self, guard: &mut Self::Guard<'a>) {
+        let (exec, tid) = ctx();
+        // Release the storage before the virtual unlock so the next
+        // virtual owner finds it free, then re-take it once the virtual
+        // lock is re-acquired.
+        guard.inner = None;
+        exec.cond_wait(tid, self.mid);
+        guard.inner = Some(self.storage());
+    }
+
+    fn notify_one(&self) {
+        let (exec, tid) = ctx();
+        exec.notify_one(tid, self.mid);
+    }
+
+    fn notify_all(&self) {
+        let (exec, tid) = ctx();
+        exec.notify_all(tid, self.mid);
+    }
+}
+
+impl<T: Send + 'static> Deref for VirtGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the storage lock")
+    }
+}
+
+impl<T: Send + 'static> DerefMut for VirtGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the storage lock")
+    }
+}
+
+impl<T: Send + 'static> Drop for VirtGuard<'_, T> {
+    fn drop(&mut self) {
+        let (exec, tid) = ctx();
+        self.inner = None;
+        exec.mutex_unlock(tid, self.mon.mid);
+    }
+}
+
+macro_rules! virt_atomic {
+    ($name:ident, $value:ty, $doc:literal) => {
+        #[doc = $doc]
+        pub struct $name {
+            aid: usize,
+        }
+
+        impl AtomicInt<$value> for $name {
+            fn new(v: $value) -> Self {
+                let (exec, _) = ctx();
+                $name {
+                    aid: exec.register_atomic(v as u64),
+                }
+            }
+
+            fn load(&self, order: Ordering) -> $value {
+                let (exec, tid) = ctx();
+                exec.atomic_access(tid, self.aid, order, |_| None) as $value
+            }
+
+            fn store(&self, v: $value, order: Ordering) {
+                let (exec, tid) = ctx();
+                exec.atomic_access(tid, self.aid, order, |_| Some(v as u64));
+            }
+
+            fn fetch_sub(&self, v: $value, order: Ordering) -> $value {
+                let (exec, tid) = ctx();
+                // Wrap in the value's own width, as the real atomic would.
+                exec.atomic_access(tid, self.aid, order, |old| {
+                    Some((old as $value).wrapping_sub(v) as u64)
+                }) as $value
+            }
+
+            fn compare_exchange(
+                &self,
+                current: $value,
+                new: $value,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$value, $value> {
+                let (exec, tid) = ctx();
+                exec.atomic_cas(tid, self.aid, current as u64, new as u64, success, failure)
+                    .map(|v| v as $value)
+                    .map_err(|v| v as $value)
+            }
+        }
+    };
+}
+
+virt_atomic!(
+    VirtAtomicU32,
+    u32,
+    "Virtual atomic `u32` under the deterministic scheduler."
+);
+virt_atomic!(
+    VirtAtomicUsize,
+    usize,
+    "Virtual atomic `usize` under the deterministic scheduler."
+);
+
+/// A plain, unsynchronized cell with vector-clock race detection.
+///
+/// Accesses are *not* scheduling points (their placement between the
+/// surrounding sync operations cannot influence the interleaving); they
+/// only check and update the happens-before bookkeeping. A read that is
+/// not ordered after the last write — or a write not ordered after every
+/// previous access — panics with a "data race" message, failing the
+/// schedule.
+pub struct RaceCell<T> {
+    cid: usize,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the deterministic runtime executes exactly one virtual thread
+// at any moment (token passing over parked OS threads), so two `value`
+// accesses can never overlap physically; *logical* races are what
+// `cell_read`/`cell_write` detect and report.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    /// A race-checked cell holding `v`. Must be created inside a
+    /// schedule (registers with the running scheduler).
+    pub fn new(v: T) -> Self {
+        let (exec, _) = ctx();
+        RaceCell {
+            cid: exec.register_cell(),
+            value: UnsafeCell::new(v),
+        }
+    }
+
+    /// Plain read; panics on a detected read-after-unordered-write race.
+    pub fn get(&self) -> T {
+        let (exec, tid) = ctx();
+        exec.cell_read(tid, self.cid);
+        // SAFETY: physical exclusivity per the `Sync` impl above; the
+        // race check just ran, so the read is also logically ordered.
+        unsafe { *self.value.get() }
+    }
+
+    /// Plain write; panics on a detected unordered-write race.
+    pub fn set(&self, v: T) {
+        let (exec, tid) = ctx();
+        exec.cell_write(tid, self.cid);
+        // SAFETY: physical exclusivity per the `Sync` impl above; the
+        // race check just ran, so the write is also logically ordered.
+        unsafe { *self.value.get() = v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_schedule;
+    use crate::explore::SchedPolicy;
+
+    #[test]
+    fn monitor_guards_a_counter_across_vthreads() {
+        let out = run_schedule(SchedPolicy::random(11, 60, 10), |scope| {
+            let m = std::sync::Arc::new(<VirtSync as SyncModel>::Monitor::<u64>::new(0));
+            for _ in 0..2 {
+                let m = std::sync::Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+            for _ in 0..5 {
+                *m.lock() += 1;
+            }
+        });
+        assert!(out.deadlock.is_none());
+        assert!(out.real_panics().is_empty(), "{:?}", out.real_panics());
+    }
+
+    #[test]
+    fn release_acquire_pair_publishes_racecell_writes() {
+        let out = run_schedule(SchedPolicy::random(13, 60, 0), |scope| {
+            let flag = std::sync::Arc::new(<VirtSync as SyncModel>::AtomicU32::new(0));
+            let data = std::sync::Arc::new(RaceCell::new(0u64));
+            {
+                let flag = std::sync::Arc::clone(&flag);
+                let data = std::sync::Arc::clone(&data);
+                scope.spawn(move || {
+                    data.set(42);
+                    flag.store(1, Ordering::Release);
+                });
+            }
+            // Bounded poll: each load is a scheduling point, so the
+            // writer gets scheduled; Acquire imports its clock.
+            for _ in 0..200 {
+                if flag.load(Ordering::Acquire) == 1 {
+                    assert_eq!(data.get(), 42);
+                    return;
+                }
+            }
+        });
+        assert!(out.deadlock.is_none());
+        assert!(out.real_panics().is_empty(), "{:?}", out.real_panics());
+    }
+
+    #[test]
+    fn relaxed_publication_is_reported_as_a_race() {
+        // Same shape, but the flag moves with Relaxed: the value arrives,
+        // the happens-before edge does not — some schedule must report a
+        // race on the plain cell.
+        let mut raced = false;
+        for seed in 0..50 {
+            let out = run_schedule(SchedPolicy::random(seed, 60, 0), |scope| {
+                let flag = std::sync::Arc::new(<VirtSync as SyncModel>::AtomicU32::new(0));
+                let data = std::sync::Arc::new(RaceCell::new(0u64));
+                {
+                    let flag = std::sync::Arc::clone(&flag);
+                    let data = std::sync::Arc::clone(&data);
+                    scope.spawn(move || {
+                        data.set(42);
+                        flag.store(1, Ordering::Relaxed);
+                    });
+                }
+                for _ in 0..200 {
+                    if flag.load(Ordering::Relaxed) == 1 {
+                        data.get();
+                        return;
+                    }
+                }
+            });
+            if out.real_panics().iter().any(|m| m.contains("data race")) {
+                raced = true;
+                break;
+            }
+        }
+        assert!(raced, "no schedule detected the Relaxed-publication race");
+    }
+}

@@ -1,0 +1,11 @@
+// Seeded violations: R1 (unsafe without a SAFETY comment) and, in
+// `load` below, R3 (an unjustified Ordering::Relaxed — note that no
+// comment may sit on or directly above that line).
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn load(a: &std::sync::atomic::AtomicU32) -> u32 {
+    let x = ();
+    a.load(std::sync::atomic::Ordering::Relaxed)
+}

@@ -1,0 +1,2 @@
+// Seeded R4 violation: no unsafe anywhere, but no forbid(unsafe_code).
+pub fn noop() {}

@@ -1,0 +1,4 @@
+// Seeded R2 violation: a panic-family call in a DP hot-kernel file.
+pub fn cell(v: Option<i32>) -> i32 {
+    v.unwrap()
+}

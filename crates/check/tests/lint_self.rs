@@ -1,0 +1,69 @@
+//! The lint must pass on this workspace and fail on the seeded fixture,
+//! through both the library API and the `lint` binary's exit code.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use flsa_check::lint::lint_workspace;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badrepo")
+}
+
+#[test]
+fn workspace_sources_are_lint_clean() {
+    let findings = lint_workspace(&repo_root()).expect("scan the workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule() {
+    let findings = lint_workspace(&fixture_root()).expect("scan the fixture");
+    for rule in [
+        "R1-safety-comment",
+        "R2-no-panic-hot-kernel",
+        "R3-relaxed-justified",
+        "R4-forbid-unsafe",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "fixture did not trip {rule}; findings: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn lint_binary_exit_codes_gate_on_findings() {
+    let clean = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .arg(repo_root())
+        .output()
+        .expect("run lint on the workspace");
+    assert!(
+        clean.status.success(),
+        "lint on the workspace failed:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    let dirty = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .arg(fixture_root())
+        .output()
+        .expect("run lint on the fixture");
+    assert_eq!(
+        dirty.status.code(),
+        Some(1),
+        "lint on the seeded fixture must exit 1:\n{}",
+        String::from_utf8_lossy(&dirty.stdout)
+    );
+}

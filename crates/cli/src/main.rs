@@ -7,6 +7,7 @@
 //! ```
 //!
 //! Run `flsa help` for the full option list.
+#![forbid(unsafe_code)]
 
 mod args;
 

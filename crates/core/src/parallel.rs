@@ -114,6 +114,8 @@ pub(crate) fn fill_grid_parallel(
             top_buf.copy_from_slice(&top[c0..=c1]);
         } else {
             let base = (tr - 1) * (cols + 1);
+            // SAFETY: reads the row segment written by tile (tr-1, tc),
+            // ordered before this tile (block comment above).
             top_buf.copy_from_slice(unsafe { tile_rows_ref.slice(base + c0..base + c1 + 1) });
         }
         let mut left_buf = vec![0i32; h + 1];
@@ -121,6 +123,8 @@ pub(crate) fn fill_grid_parallel(
             left_buf.copy_from_slice(&left[r0..=r1]);
         } else {
             let base = (tc - 1) * (rows + 1);
+            // SAFETY: reads the column segment written by tile (tr, tc-1),
+            // ordered before this tile (block comment above).
             left_buf.copy_from_slice(unsafe { tile_cols_ref.slice(base + r0..base + r1 + 1) });
         }
 
@@ -139,11 +143,15 @@ pub(crate) fn fill_grid_parallel(
 
         if tr + 1 < r_tiles && w > 0 {
             let base = tr * (cols + 1);
+            // SAFETY: writes the interior row segment owned by this tile
+            // alone (block comment above).
             let dst = unsafe { tile_rows_ref.slice_mut(base + c0 + 1..base + c1 + 1) };
             dst.copy_from_slice(&out_b[1..]);
         }
         if tc + 1 < c_tiles && h > 0 {
             let base = tc * (rows + 1);
+            // SAFETY: writes the interior column segment owned by this tile
+            // alone (block comment above).
             let dst = unsafe { tile_cols_ref.slice_mut(base + r0 + 1..base + r1 + 1) };
             dst.copy_from_slice(&out_r[1..]);
         }

@@ -33,6 +33,7 @@ pub const NEG: i32 = i32::MIN / 4;
 pub fn affine_params(scheme: &ScoringScheme) -> (i32, i32) {
     match *scheme.gap() {
         GapModel::Affine { open, extend } => (open, extend),
+        // flsa-check: allow(panic) — documented caller contract (see above).
         GapModel::Linear { .. } => panic!("affine kernel requires GapModel::Affine"),
     }
 }
@@ -267,6 +268,7 @@ pub fn trace_affine(
                 } else if mats.e.get(i, j) == v {
                     state = GapState::E;
                 } else {
+                    // flsa-check: allow(panic) — unreachable unless the DPM is corrupt.
                     panic!("affine traceback stuck in H at ({i},{j})");
                 }
             }
@@ -285,6 +287,7 @@ pub fn trace_affine(
                 } else if from_f {
                     GapState::F
                 } else {
+                    // flsa-check: allow(panic) — unreachable unless the DPM is corrupt.
                     panic!("affine traceback stuck in F at ({},{j})", i + 1);
                 };
             }
@@ -303,6 +306,7 @@ pub fn trace_affine(
                 } else if from_e {
                     GapState::E
                 } else {
+                    // flsa-check: allow(panic) — unreachable unless the DPM is corrupt.
                     panic!("affine traceback stuck in E at ({i},{})", j + 1);
                 };
             }

@@ -19,6 +19,7 @@
 //!   deterministic Diag ≻ Up ≻ Left tie-break;
 //! * [`metrics`] — operation and memory accounting used to verify the
 //!   paper's analytical bounds (Theorems 1–4).
+#![forbid(unsafe_code)]
 
 pub mod affine;
 pub mod antidiagonal;

@@ -76,6 +76,8 @@ impl Metrics {
     /// Records `n` DPM entries computed by a fill kernel.
     #[inline]
     pub fn add_cells(&self, n: u64) {
+        // Relaxed: independent monotonic counters, read only through
+        // `snapshot`, which tolerates any interleaving.
         self.cells_computed.fetch_add(n, Ordering::Relaxed);
         self.kernel_calls.fetch_add(1, Ordering::Relaxed);
         if let Some(r) = &self.recorder {
@@ -88,13 +90,13 @@ impl Metrics {
     /// counter just classifies them).
     #[inline]
     pub fn add_base_case_cells(&self, n: u64) {
-        self.cells_base_case.fetch_add(n, Ordering::Relaxed);
+        self.cells_base_case.fetch_add(n, Ordering::Relaxed); // Relaxed: monotonic counter
     }
 
     /// Records `n` traceback steps.
     #[inline]
     pub fn add_traceback_steps(&self, n: u64) {
-        self.traceback_steps.fetch_add(n, Ordering::Relaxed);
+        self.traceback_steps.fetch_add(n, Ordering::Relaxed); // Relaxed: monotonic counter
     }
 
     /// Tracks an auxiliary allocation of `bytes`, returning a guard that
@@ -104,6 +106,8 @@ impl Metrics {
     /// tracked, matching how the paper counts "space".
     pub fn track_alloc(&self, bytes: usize) -> MemGuard<'_> {
         let b = bytes as i64;
+        // Relaxed: the high-water mark is advisory bookkeeping; it orders
+        // nothing and tolerates races between concurrent allocators.
         let cur = self.cur_bytes.fetch_add(b, Ordering::Relaxed) + b;
         self.peak_bytes.fetch_max(cur, Ordering::Relaxed);
         MemGuard {
@@ -115,6 +119,8 @@ impl Metrics {
     /// Copies the counters out.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            // Relaxed: a snapshot is a best-effort cut — the counters are
+            // independent, no consistent cross-counter view is promised.
             cells_computed: self.cells_computed.load(Ordering::Relaxed),
             cells_base_case: self.cells_base_case.load(Ordering::Relaxed),
             traceback_steps: self.traceback_steps.load(Ordering::Relaxed),
@@ -135,6 +141,7 @@ impl Drop for MemGuard<'_> {
     fn drop(&mut self) {
         self.metrics
             .cur_bytes
+            // Relaxed: counter bookkeeping only, nothing is published.
             .fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }

@@ -121,6 +121,7 @@ pub fn banded_needleman_wunsch(
             j -= 1;
             Move::Left
         } else {
+            // flsa-check: allow(panic) — unreachable unless the band is corrupt.
             panic!("banded traceback found no predecessor at ({i},{j})");
         };
         builder.push_back(mv);

@@ -25,6 +25,7 @@ pub fn gotoh(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metri
     scheme.check_sequences(a, b);
     let (open, extend) = match *scheme.gap() {
         GapModel::Affine { open, extend } => (open, extend),
+        // flsa-check: allow(panic) — documented caller contract.
         GapModel::Linear { .. } => panic!("gotoh requires an affine gap model"),
     };
     let (m, n) = (a.len(), b.len());
@@ -95,6 +96,7 @@ pub fn gotoh(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metri
                 } else if j > 0 && e.get(i, j) == v {
                     state = State::E;
                 } else {
+                    // flsa-check: allow(panic) — unreachable unless the DPM is corrupt.
                     panic!("gotoh traceback stuck in H at ({i},{j})");
                 }
             }
@@ -111,6 +113,7 @@ pub fn gotoh(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metri
                 } else if from_e {
                     State::E
                 } else {
+                    // flsa-check: allow(panic) — unreachable unless the DPM is corrupt.
                     panic!("gotoh traceback stuck in E")
                 };
             }
@@ -126,6 +129,7 @@ pub fn gotoh(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metri
                 } else if from_f {
                     State::F
                 } else {
+                    // flsa-check: allow(panic) — unreachable unless the DPM is corrupt.
                     panic!("gotoh traceback stuck in F")
                 };
             }

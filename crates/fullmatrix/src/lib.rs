@@ -15,6 +15,7 @@
 //!   Smith–Waterman as the other canonical FM algorithm);
 //! * [`gotoh()`] — affine-gap global alignment (production extension; not
 //!   part of the paper's evaluation).
+#![forbid(unsafe_code)]
 
 pub mod banded;
 pub mod gotoh;

@@ -132,6 +132,7 @@ pub fn semiglobal(
             j -= 1;
             Move::Left
         } else {
+            // flsa-check: allow(panic) — unreachable unless the DPM is corrupt.
             panic!("semiglobal traceback found no predecessor at ({i},{j})");
         };
         builder.push_back(mv);

@@ -16,6 +16,7 @@
 //! Like the paper's implementation, the recursion can stop early and
 //! solve sub-problems that fit a small buffer with the FM algorithm
 //! ([`HirschbergConfig::base_cells`]).
+#![forbid(unsafe_code)]
 
 pub mod affine;
 

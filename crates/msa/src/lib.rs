@@ -16,6 +16,7 @@
 //! All pairwise work runs through [`fastlsa_core::align_with`], so large
 //! families of long sequences stay within FastLSA's linear-space
 //! footprint.
+#![forbid(unsafe_code)]
 
 pub mod msa;
 pub mod star;

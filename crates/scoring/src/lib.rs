@@ -10,6 +10,7 @@
 //! * [`GapModel`] — linear (the paper's model) and affine (Gotoh
 //!   extension) gap penalties,
 //! * [`ScoringScheme`] — the bundle every aligner consumes.
+#![forbid(unsafe_code)]
 
 pub mod gap;
 pub mod matrix;

@@ -19,6 +19,14 @@ pub enum SeqError {
         /// Line number (1-based) where the problem was detected.
         line: usize,
     },
+    /// FASTQ input was structurally malformed (bad header, missing `+`
+    /// separator, truncated record, or quality-line problems).
+    MalformedFastq {
+        /// Human-readable description of the problem.
+        reason: String,
+        /// Line number (1-based) where the problem was detected.
+        line: usize,
+    },
     /// An I/O error while reading or writing sequence files.
     Io(String),
     /// A generator was asked for an impossible configuration
@@ -34,6 +42,9 @@ impl fmt::Display for SeqError {
             }
             SeqError::MalformedFasta { reason, line } => {
                 write!(f, "malformed FASTA at line {line}: {reason}")
+            }
+            SeqError::MalformedFastq { reason, line } => {
+                write!(f, "malformed FASTQ at line {line}: {reason}")
             }
             SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
             SeqError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),

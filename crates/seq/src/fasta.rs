@@ -44,7 +44,7 @@ pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<Seque
         }
         if let Some(header) = trimmed.strip_prefix('>') {
             if let Some((id, codes)) = current.take() {
-                records.push(Sequence::from_codes(&id, alphabet, codes));
+                records.push(finish_record(id, codes, alphabet, lineno)?);
             }
             let id = header.split_whitespace().next().unwrap_or("").to_string();
             if id.is_empty() {
@@ -73,9 +73,26 @@ pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<Seque
         }
     }
     if let Some((id, codes)) = current.take() {
-        records.push(Sequence::from_codes(&id, alphabet, codes));
+        records.push(finish_record(id, codes, alphabet, lineno)?);
     }
     Ok(records)
+}
+
+/// A record is complete only once it has body lines: a bare `>id` header
+/// (mid-file or at EOF) is a truncated record, not an empty sequence.
+fn finish_record(
+    id: String,
+    codes: Vec<u8>,
+    alphabet: &Alphabet,
+    lineno: usize,
+) -> Result<Sequence, SeqError> {
+    if codes.is_empty() {
+        return Err(SeqError::MalformedFasta {
+            reason: format!("record {id:?} has no sequence data (truncated record?)"),
+            line: lineno,
+        });
+    }
+    Ok(Sequence::from_codes(&id, alphabet, codes))
 }
 
 /// Reads every record from a FASTA file.
@@ -145,6 +162,19 @@ mod tests {
     fn invalid_residue_reports_line() {
         let err = parse_str(">a\nACGT\nACXT\n", &Alphabet::dna()).unwrap_err();
         assert!(matches!(err, SeqError::MalformedFasta { line: 3, .. }));
+    }
+
+    #[test]
+    fn truncated_records_rejected() {
+        // A header with no body — at EOF or mid-file — is malformed.
+        for text in [">a\n", ">a\n>b\nAC\n"] {
+            let err = parse_str(text, &Alphabet::dna()).unwrap_err();
+            assert!(
+                matches!(err, SeqError::MalformedFasta { .. }),
+                "{text:?}: {err}"
+            );
+            assert!(err.to_string().contains("no sequence data"), "{err}");
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<Fastq
     while let Some(header) = next_line(&mut lines, &mut lineno)? {
         let id = header
             .strip_prefix('@')
-            .ok_or_else(|| SeqError::MalformedFasta {
+            .ok_or_else(|| SeqError::MalformedFastq {
                 reason: format!("expected '@' header, got {header:?}"),
                 line: lineno,
             })?
@@ -61,7 +61,7 @@ pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<Fastq
             .unwrap_or("")
             .to_string();
         if id.is_empty() {
-            return Err(SeqError::MalformedFasta {
+            return Err(SeqError::MalformedFastq {
                 reason: "empty FASTQ record id".into(),
                 line: lineno,
             });
@@ -69,14 +69,14 @@ pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<Fastq
         let bases = next_line(&mut lines, &mut lineno)?.ok_or_else(|| truncated(lineno))?;
         let plus = next_line(&mut lines, &mut lineno)?.ok_or_else(|| truncated(lineno))?;
         if !plus.starts_with('+') {
-            return Err(SeqError::MalformedFasta {
+            return Err(SeqError::MalformedFastq {
                 reason: format!("expected '+' separator, got {plus:?}"),
                 line: lineno,
             });
         }
         let quals_line = next_line(&mut lines, &mut lineno)?.ok_or_else(|| truncated(lineno))?;
         if quals_line.len() != bases.len() {
-            return Err(SeqError::MalformedFasta {
+            return Err(SeqError::MalformedFastq {
                 reason: format!(
                     "quality length {} != sequence length {}",
                     quals_line.len(),
@@ -88,7 +88,7 @@ pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<Fastq
         let mut quals = Vec::with_capacity(quals_line.len());
         for ch in quals_line.bytes() {
             if !(b'!'..=b'~').contains(&ch) {
-                return Err(SeqError::MalformedFasta {
+                return Err(SeqError::MalformedFastq {
                     reason: format!("quality character {:?} outside Phred+33 range", ch as char),
                     line: lineno,
                 });
@@ -97,7 +97,7 @@ pub fn parse_reader<R: Read>(reader: R, alphabet: &Alphabet) -> Result<Vec<Fastq
         }
         let codes = alphabet
             .encode_str(&bases)
-            .map_err(|e| SeqError::MalformedFasta {
+            .map_err(|e| SeqError::MalformedFastq {
                 reason: e.to_string(),
                 line: lineno - 2,
             })?;
@@ -133,7 +133,7 @@ fn next_line(
 }
 
 fn truncated(line: usize) -> SeqError {
-    SeqError::MalformedFasta {
+    SeqError::MalformedFastq {
         reason: "truncated FASTQ record".into(),
         line,
     }
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn quality_length_mismatch_rejected() {
         let err = parse_str("@r\nACGT\n+\nII\n", &Alphabet::dna()).unwrap_err();
-        assert!(matches!(err, SeqError::MalformedFasta { .. }));
+        assert!(matches!(err, SeqError::MalformedFastq { .. }));
     }
 
     #[test]
@@ -177,14 +177,22 @@ mod tests {
 
     #[test]
     fn truncated_record_rejected() {
-        let err = parse_str("@r\nACGT\n+\n", &Alphabet::dna()).unwrap_err();
-        assert!(err.to_string().contains("truncated"));
+        // Cut after every prefix of a record: each must be a structured
+        // MalformedFastq error, never a panic or a silent partial parse.
+        for (cut, text) in [(1, "@r\n"), (2, "@r\nACGT\n"), (3, "@r\nACGT\n+\n")] {
+            let err = parse_str(text, &Alphabet::dna()).unwrap_err();
+            assert!(
+                matches!(err, SeqError::MalformedFastq { .. }),
+                "cut after line {cut}: {err}"
+            );
+            assert!(err.to_string().contains("truncated"), "cut {cut}: {err}");
+        }
     }
 
     #[test]
     fn invalid_base_rejected() {
         let err = parse_str("@r\nACXT\n+\nIIII\n", &Alphabet::dna()).unwrap_err();
-        assert!(matches!(err, SeqError::MalformedFasta { .. }));
+        assert!(matches!(err, SeqError::MalformedFastq { .. }));
     }
 
     #[test]

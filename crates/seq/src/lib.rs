@@ -15,6 +15,7 @@
 //! Sequences are stored *encoded*: each residue is a small integer code in
 //! `0..alphabet.len()`. The scoring crate indexes substitution matrices
 //! directly by these codes, so the DP inner loops never touch ASCII.
+#![forbid(unsafe_code)]
 
 pub mod alphabet;
 pub mod error;

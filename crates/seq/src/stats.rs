@@ -86,9 +86,10 @@ pub fn gc_content(seq: &Sequence) -> Option<f64> {
 pub fn kmer_counts(seq: &Sequence, k: usize) -> std::collections::HashMap<u64, u64> {
     assert!(k >= 1, "k must be positive");
     let radix = seq.alphabet().len() as u64;
-    let _capacity_check = radix
-        .checked_pow(k as u32)
-        .expect("k-mer space must fit in u64");
+    assert!(
+        radix.checked_pow(k as u32).is_some(),
+        "k-mer space must fit in u64 (|alphabet|^{k} overflows)"
+    );
     let mut map = std::collections::HashMap::new();
     if seq.len() < k {
         return map;

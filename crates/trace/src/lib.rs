@@ -33,6 +33,7 @@
 //! tile-latency histograms. [`export`] writes JSONL or Chrome
 //! `trace_event` JSON (loadable in Perfetto / `chrome://tracing`) and
 //! reads both back for `flsa report`.
+#![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod event;

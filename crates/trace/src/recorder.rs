@@ -44,6 +44,7 @@ impl fmt::Debug for Recorder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Recorder")
             .field("id", &self.id)
+            // Relaxed: debug readout of a counter.
             .field("threads_seen", &self.next_tid.load(Ordering::Relaxed))
             .finish()
     }
@@ -52,7 +53,7 @@ impl fmt::Debug for Recorder {
 impl Recorder {
     pub fn new() -> Self {
         Recorder {
-            id: RECORDER_IDS.fetch_add(1, Ordering::Relaxed),
+            id: RECORDER_IDS.fetch_add(1, Ordering::Relaxed), // Relaxed: unique-id tick
             epoch: Instant::now(),
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             next_tid: AtomicU32::new(0),
@@ -75,6 +76,7 @@ impl Recorder {
             if let Some(&(_, tid)) = ids.iter().find(|&&(rid, _)| rid == self.id) {
                 return tid;
             }
+            // Relaxed: dense-id allocation; the id itself carries the data.
             let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
             ids.push((self.id, tid));
             tid
@@ -83,7 +85,7 @@ impl Recorder {
 
     /// A fresh wavefront-fill id (links a fill region to its tiles).
     pub fn next_fill_id(&self) -> u32 {
-        self.next_fill.fetch_add(1, Ordering::Relaxed)
+        self.next_fill.fetch_add(1, Ordering::Relaxed) // Relaxed: unique-id tick
     }
 
     /// Records one event on the calling thread's timeline.
@@ -127,7 +129,7 @@ impl Recorder {
 
     /// Number of distinct threads that have recorded so far.
     pub fn threads_seen(&self) -> u32 {
-        self.next_tid.load(Ordering::Relaxed)
+        self.next_tid.load(Ordering::Relaxed) // Relaxed: approximate readout
     }
 
     /// Copies all events out into a start-time-ordered [`Trace`].

@@ -6,16 +6,18 @@
 //! bottom-right FastLSA sub-problem during Fill Cache — paper Fig. 13).
 //!
 //! [`run_wavefront`] executes the DAG on `threads` OS threads using scoped
-//! threads, per-tile atomic in-degree counters, and a mutex/condvar ready
-//! queue. Happens-before: a finished tile's writes are published by the
-//! ready-queue mutex (push after completion, pop before start), with the
-//! in-degree decrement additionally `AcqRel` for clarity. This is the
-//! DAG-ordered-disjoint-writes pattern from *Rust Atomics and Locks*.
+//! threads over the shared [`JobCore`](crate::protocol::JobCore) protocol
+//! (per-tile atomic in-degree counters and a monitor-guarded ready queue).
+//! Happens-before: a finished tile's writes are published by the
+//! ready-queue monitor (push after completion, pop before start), with the
+//! in-degree decrement additionally `AcqRel` so the second parent's writes
+//! reach the child no matter which parent enqueues it. This is the
+//! DAG-ordered-disjoint-writes pattern from *Rust Atomics and Locks*; the
+//! `flsa-check` crate model-checks it over explored interleavings (see
+//! [`crate::protocol`] for the invariant list).
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-
-use parking_lot::{Condvar, Mutex};
+use crate::protocol::{sequential_wavefront, JobCore};
+use crate::sync::StdSync;
 
 /// Description of one wavefront job.
 pub struct WavefrontSpec<'a> {
@@ -41,27 +43,6 @@ impl WavefrontSpec<'_> {
     }
 }
 
-struct Queue {
-    ready: Mutex<VecDeque<(usize, usize)>>,
-    cv: Condvar,
-    /// Live tiles not yet completed; when it hits 0 everyone wakes and exits.
-    remaining: AtomicUsize,
-}
-
-/// Dropped only during unwinding: zeroes `remaining` and wakes every
-/// worker so the panic can propagate through the thread scope.
-struct AbortOnUnwind<'q> {
-    queue: &'q Queue,
-}
-
-impl Drop for AbortOnUnwind<'_> {
-    fn drop(&mut self) {
-        self.queue.remaining.store(0, Ordering::Release);
-        let _guard = self.queue.ready.lock();
-        self.queue.cv.notify_all();
-    }
-}
-
 /// Runs the wavefront on `threads` OS threads (1 ⇒ a fully sequential,
 /// synchronization-free fast path in anti-diagonal order).
 ///
@@ -70,7 +51,9 @@ impl Drop for AbortOnUnwind<'_> {
 ///
 /// # Panics
 ///
-/// Panics when `threads == 0`. A panic inside `work` propagates.
+/// Panics when `threads == 0`. A panic inside `work` propagates (the
+/// remaining participants drain without deadlock first — protocol
+/// invariant 6).
 pub fn run_wavefront(
     spec: &WavefrontSpec<'_>,
     threads: usize,
@@ -83,121 +66,23 @@ pub fn run_wavefront(
     }
 
     if threads == 1 {
-        // Anti-diagonal order is a valid topological order; no sync needed.
-        for d in 0..rows + cols - 1 {
-            let r_lo = d.saturating_sub(cols - 1);
-            let r_hi = d.min(rows - 1);
-            for r in r_lo..=r_hi {
-                let c = d - r;
-                if !spec.skipped(r, c) {
-                    work(r, c);
-                }
-            }
-        }
+        sequential_wavefront(rows, cols, |r, c| spec.skipped(r, c), work);
         return;
     }
 
-    // In-degree of each live tile, counting only live parents (skipped
-    // parents are "already done"; in FastLSA's skip shape no live tile
-    // ever depends on a skipped one, but the executor stays general).
-    let mut indeg = Vec::with_capacity(rows * cols);
-    let mut initially_ready = VecDeque::new();
-    let mut live = 0usize;
-    for r in 0..rows {
-        for c in 0..cols {
-            if spec.skipped(r, c) {
-                indeg.push(AtomicU32::new(u32::MAX));
-                continue;
-            }
-            live += 1;
-            let mut d = 0;
-            if r > 0 && !spec.skipped(r - 1, c) {
-                d += 1;
-            }
-            if c > 0 && !spec.skipped(r, c - 1) {
-                d += 1;
-            }
-            if d == 0 {
-                initially_ready.push_back((r, c));
-            }
-            indeg.push(AtomicU32::new(d));
-        }
-    }
-    if live == 0 {
+    let skip_mask: Vec<bool> = (0..rows * cols)
+        .map(|i| spec.skipped(i / cols, i % cols))
+        .collect();
+    let core = JobCore::<StdSync>::new(rows, cols, skip_mask);
+    if core.live() == 0 {
         return;
     }
-
-    let queue = Queue {
-        ready: Mutex::new(initially_ready),
-        cv: Condvar::new(),
-        remaining: AtomicUsize::new(live),
-    };
-
-    let worker = || {
-        loop {
-            let tile = {
-                let mut ready = queue.ready.lock();
-                loop {
-                    if queue.remaining.load(Ordering::Acquire) == 0 {
-                        return;
-                    }
-                    if let Some(t) = ready.pop_front() {
-                        break t;
-                    }
-                    queue.cv.wait(&mut ready);
-                }
-            };
-            let (r, c) = tile;
-            // Panic safety: if `work` unwinds, release every waiter so the
-            // scope can join and propagate the panic instead of hanging.
-            {
-                let abort = AbortOnUnwind { queue: &queue };
-                work(r, c);
-                std::mem::forget(abort);
-            }
-
-            // Publish completion, then release successors.
-            let mut newly_ready: [(usize, usize); 2] = [(usize::MAX, 0); 2];
-            let mut n_new = 0;
-            if r + 1 < rows
-                && !spec.skipped(r + 1, c)
-                && indeg[(r + 1) * cols + c].fetch_sub(1, Ordering::AcqRel) == 1
-            {
-                newly_ready[n_new] = (r + 1, c);
-                n_new += 1;
-            }
-            if c + 1 < cols
-                && !spec.skipped(r, c + 1)
-                && indeg[r * cols + c + 1].fetch_sub(1, Ordering::AcqRel) == 1
-            {
-                newly_ready[n_new] = (r, c + 1);
-                n_new += 1;
-            }
-            let prev_remaining = queue.remaining.fetch_sub(1, Ordering::AcqRel);
-            if prev_remaining == 1 {
-                // Last tile: wake everyone so they observe remaining == 0.
-                let _guard = queue.ready.lock();
-                queue.cv.notify_all();
-            } else if n_new > 0 {
-                let mut ready = queue.ready.lock();
-                for &t in &newly_ready[..n_new] {
-                    ready.push_back(t);
-                }
-                drop(ready);
-                if n_new > 1 {
-                    queue.cv.notify_all();
-                } else {
-                    queue.cv.notify_one();
-                }
-            }
-        }
-    };
 
     std::thread::scope(|s| {
         for _ in 1..threads {
-            s.spawn(worker);
+            s.spawn(|| core.participate(work));
         }
-        worker();
+        core.participate(work);
     });
 }
 
@@ -221,7 +106,7 @@ pub fn run_wavefront_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex as StdMutex;
 
     fn spec(rows: usize, cols: usize) -> WavefrontSpec<'static> {

@@ -7,6 +7,14 @@
 //! that substrate, decoupled from alignment so it can be tested (and
 //! reused) on its own:
 //!
+//! * [`sync`] — the synchronization shim ([`sync::SyncModel`]): the
+//!   primitive surface the protocol is written against, with the real
+//!   `parking_lot`/`std::sync::atomic` implementation ([`sync::StdSync`])
+//!   for production and an instrumented virtual implementation in the
+//!   `flsa-check` model checker;
+//! * [`protocol`] — [`protocol::JobCore`], the generic wavefront
+//!   scheduling protocol (ready queue + in-degrees + drain counter) both
+//!   execution front-ends share, with its checked invariants documented;
 //! * [`executor`] — run a tile DAG on real threads (`std::thread::scope`
 //!   + atomic in-degree counters + a condvar-guarded ready queue);
 //! * [`shared`] — [`shared::DisjointBuf`], the guarded shared buffer that
@@ -20,11 +28,14 @@
 pub mod executor;
 pub mod phases;
 pub mod pool;
+pub mod protocol;
 pub mod shared;
 pub mod sim;
+pub mod sync;
 
 pub use executor::{run_wavefront, run_wavefront_traced, WavefrontSpec};
 pub use phases::{alpha_factor, PhaseBreakdown};
 pub use pool::WorkerPool;
+pub use protocol::{sequential_wavefront, JobCore};
 pub use shared::DisjointBuf;
 pub use sim::{simulate_schedule, ScheduleResult};

@@ -10,99 +10,65 @@
 //!
 //! Jobs borrow non-`'static` state (the tile closure captures the DP
 //! buffers of the current fill), but pool threads are `'static`. The
-//! lifetime is erased behind a raw pointer inside the internal `JobState` with this
-//! protocol:
+//! lifetime is erased behind a raw pointer inside the internal `JobState`
+//! with this protocol (the scheduling half lives in
+//! [`JobCore`](crate::protocol::JobCore) and is model-checked by
+//! `flsa-check`; see the invariant list in [`crate::protocol`]):
 //!
-//! * a worker may dereference the work pointer **only after** popping a
-//!   tile, and tiles can only be popped while `remaining > 0`;
-//! * [`WorkerPool::run`] returns only after its own participation loop
-//!   observed `remaining == 0`, which (because `remaining` is decremented
-//!   *after* a tile's work call returns) implies every work call has
-//!   finished and none can start;
+//! * a worker may dereference the work pointer **only while executing a
+//!   popped tile**, and claiming a tile increments the `in_work` census
+//!   under the ready-queue monitor;
+//! * [`WorkerPool::run`] exits — by return *or* unwind — only after
+//!   [`JobCore::wait_quiescent`] observed `remaining == 0` with an empty
+//!   in-work census, so every work call has finished and none can start
+//!   (checked invariant 3, which holds on the abort path too);
 //! * workers that receive the job message late observe `remaining == 0`
 //!   (Acquire) and return without ever touching the pointer. The
 //!   `JobState` itself is reference-counted, so late observers only touch
 //!   owned memory.
+//!
+//! A panic inside a tile poisons the job (checked invariant 6): the other
+//! participants drain without deadlock, the worker thread survives for
+//! the next job, and [`WorkerPool::run`] re-raises the failure on the
+//! submitting thread.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+
+use crate::protocol::{sequential_wavefront, JobCore};
+use crate::sync::StdSync;
+
+/// The borrowed tile closure a job runs.
+type WorkFn = dyn Fn(usize, usize) + Sync;
 
 /// Type-erased wavefront job shared between the submitting thread and the
 /// pool workers.
 struct JobState {
-    rows: usize,
-    cols: usize,
-    /// `skip[r * cols + c]`: tile does not exist.
-    skip: Vec<bool>,
+    core: JobCore<StdSync>,
     /// Borrowed tile closure; see the module-level safety protocol.
-    work: *const (dyn Fn(usize, usize) + Sync),
-    indeg: Vec<AtomicU32>,
-    ready: Mutex<VecDeque<(usize, usize)>>,
-    cv: Condvar,
-    remaining: AtomicUsize,
+    work: *const WorkFn,
 }
 
 // SAFETY: the raw `work` pointer is only dereferenced under the protocol
 // documented at module level, which guarantees the referent outlives
 // every dereference; all other fields are owned and Sync.
 unsafe impl Send for JobState {}
+// SAFETY: as for `Send` — aliasing of the raw pointer is governed by the
+// module-level protocol, and `JobCore` is Sync by construction.
 unsafe impl Sync for JobState {}
 
 impl JobState {
     fn participate(&self) {
-        loop {
-            let tile = {
-                let mut ready = self.ready.lock();
-                loop {
-                    if self.remaining.load(Ordering::Acquire) == 0 {
-                        return;
-                    }
-                    if let Some(t) = ready.pop_front() {
-                        break t;
-                    }
-                    self.cv.wait(&mut ready);
-                }
-            };
-            let (r, c) = tile;
-            // SAFETY: we hold a popped tile, so `remaining > 0` at pop
-            // time; per the module protocol the submitting thread is
-            // still blocked inside `run`, keeping the closure alive.
+        self.core.participate(|r, c| {
+            // SAFETY: this closure runs only while its tile is counted in
+            // the `in_work` census, and `run` blocks in `wait_quiescent`
+            // until that census is empty — even when a tile panics — so
+            // the submitting thread's frame (and the closure it borrows)
+            // outlives every dereference here.
             let work = unsafe { &*self.work };
             work(r, c);
-
-            let cols = self.cols;
-            let mut newly_ready: [(usize, usize); 2] = [(usize::MAX, 0); 2];
-            let mut n_new = 0;
-            if r + 1 < self.rows
-                && !self.skip[(r + 1) * cols + c]
-                && self.indeg[(r + 1) * cols + c].fetch_sub(1, Ordering::AcqRel) == 1
-            {
-                newly_ready[n_new] = (r + 1, c);
-                n_new += 1;
-            }
-            if c + 1 < cols
-                && !self.skip[r * cols + c + 1]
-                && self.indeg[r * cols + c + 1].fetch_sub(1, Ordering::AcqRel) == 1
-            {
-                newly_ready[n_new] = (r, c + 1);
-                n_new += 1;
-            }
-            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let _guard = self.ready.lock();
-                self.cv.notify_all();
-            } else if n_new > 0 {
-                let mut ready = self.ready.lock();
-                for &t in &newly_ready[..n_new] {
-                    ready.push_back(t);
-                }
-                drop(ready);
-                self.cv.notify_all();
-            }
-        }
+        });
     }
 }
 
@@ -142,7 +108,12 @@ impl WorkerPool {
             let rx = receiver.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    job.participate();
+                    // A panicking tile poisons the job (the submitting
+                    // thread re-raises it); swallow the unwind here so
+                    // this worker survives for the next job.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        job.participate();
+                    }));
                 }
             }));
         }
@@ -161,6 +132,11 @@ impl WorkerPool {
     /// Runs one wavefront job, blocking until every live tile finished.
     /// Semantics match [`crate::run_wavefront`]: `work(r, c)` runs once
     /// per non-skipped tile, after its up/left neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tile's `work` panics (on whichever thread it ran);
+    /// the pool itself stays usable for subsequent jobs.
     pub fn run(
         &mut self,
         rows: usize,
@@ -174,59 +150,23 @@ impl WorkerPool {
         let skip_mask: Vec<bool> = (0..rows * cols).map(|i| skip(i / cols, i % cols)).collect();
 
         if self.threads == 1 {
-            for d in 0..rows + cols - 1 {
-                let r_lo = d.saturating_sub(cols - 1);
-                let r_hi = d.min(rows - 1);
-                for r in r_lo..=r_hi {
-                    let c = d - r;
-                    if !skip_mask[r * cols + c] {
-                        work(r, c);
-                    }
-                }
-            }
+            sequential_wavefront(rows, cols, |r, c| skip_mask[r * cols + c], work);
             return;
         }
 
-        let mut indeg = Vec::with_capacity(rows * cols);
-        let mut initially_ready = VecDeque::new();
-        let mut live = 0usize;
-        for r in 0..rows {
-            for c in 0..cols {
-                if skip_mask[r * cols + c] {
-                    indeg.push(AtomicU32::new(u32::MAX));
-                    continue;
-                }
-                live += 1;
-                let mut d = 0;
-                if r > 0 && !skip_mask[(r - 1) * cols + c] {
-                    d += 1;
-                }
-                if c > 0 && !skip_mask[r * cols + c - 1] {
-                    d += 1;
-                }
-                if d == 0 {
-                    initially_ready.push_back((r, c));
-                }
-                indeg.push(AtomicU32::new(d));
-            }
-        }
-        if live == 0 {
+        let core = JobCore::<StdSync>::new(rows, cols, skip_mask);
+        if core.live() == 0 {
             return;
         }
 
-        // Lifetime erasure; sound per the module-level protocol because
-        // this function blocks in `participate` until remaining == 0.
-        let work_erased: *const (dyn Fn(usize, usize) + Sync) =
-            unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize, usize) + Sync)>(work) };
+        // SAFETY: lifetime erasure — sound per the module-level protocol
+        // because this function blocks until the job is quiescent (no
+        // worker inside `work`, none able to start), so the erased borrow
+        // outlives every dereference.
+        let work_erased: *const WorkFn = unsafe { std::mem::transmute::<_, &'static WorkFn>(work) };
         let job = Arc::new(JobState {
-            rows,
-            cols,
-            skip: skip_mask,
+            core,
             work: work_erased,
-            indeg,
-            ready: Mutex::new(initially_ready),
-            cv: Condvar::new(),
-            remaining: AtomicUsize::new(live),
         });
         let sender = self.sender.as_ref().expect("pool is alive");
         for _ in 1..self.threads {
@@ -234,8 +174,20 @@ impl WorkerPool {
                 .send(Arc::clone(&job))
                 .expect("workers outlive the pool");
         }
-        job.participate();
-        debug_assert_eq!(job.remaining.load(Ordering::Acquire), 0);
+        // The submitting thread participates too. Whether its own
+        // participation returns cleanly or unwinds (a tile panicked right
+        // here), `run` must not exit before the job is quiescent: workers
+        // may still be inside `work`, and the closure dies with this frame.
+        let participation =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.participate()));
+        job.core.wait_quiescent();
+        if let Err(payload) = participation {
+            std::panic::resume_unwind(payload);
+        }
+        debug_assert!(job.core.is_drained());
+        if job.core.is_poisoned() {
+            panic!("a wavefront tile panicked on a pool worker thread");
+        }
     }
 
     /// [`WorkerPool::run`] with optional per-tile tracing. With
@@ -275,7 +227,7 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex as StdMutex;
 
     #[test]
@@ -374,6 +326,25 @@ mod tests {
         let mut pool = WorkerPool::new(3);
         pool.run(0, 4, |_, _| false, &|_, _| panic!("no tiles"));
         pool.run(3, 3, |_, _| true, &|_, _| panic!("all skipped"));
+    }
+
+    #[test]
+    fn panicking_tile_fails_the_job_but_not_the_pool() {
+        let mut pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, 4, |_, _| false, &|r, c| {
+                if (r, c) == (2, 2) {
+                    panic!("tile failure");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a poisoned job and runs the next one cleanly.
+        let count = AtomicU64::new(0);
+        pool.run(3, 3, |_, _| false, &|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 9);
     }
 
     #[test]

@@ -62,6 +62,7 @@ impl<T> DisjointBuf<T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
         debug_assert!(range.end <= self.len);
+        // SAFETY: the caller's contract above guarantees no aliasing access.
         let vec = unsafe { &mut *self.data.get() };
         &mut vec[range]
     }
@@ -74,6 +75,7 @@ impl<T> DisjointBuf<T> {
     /// must be ordered before this read.
     pub unsafe fn slice(&self, range: std::ops::Range<usize>) -> &[T] {
         debug_assert!(range.end <= self.len);
+        // SAFETY: the caller's contract above orders all writers before us.
         let vec = unsafe { &*self.data.get() };
         &vec[range]
     }
@@ -96,6 +98,7 @@ impl<T> DisjointBuf<T> {
         T: Copy,
     {
         debug_assert!(idx < self.len);
+        // SAFETY: the caller's contract above orders all writers before us.
         let vec = unsafe { &*self.data.get() };
         vec[idx]
     }
@@ -109,6 +112,7 @@ impl<T> DisjointBuf<T> {
     #[inline(always)]
     pub unsafe fn set(&self, idx: usize, value: T) {
         debug_assert!(idx < self.len);
+        // SAFETY: the caller's contract above guarantees no aliasing access.
         let vec = unsafe { &mut *self.data.get() };
         vec[idx] = value;
     }
@@ -152,14 +156,15 @@ mod tests {
             };
             run_wavefront(&spec, threads, &|r, c| {
                 let base = (r * cols + c) * seg;
-                // SAFETY: segment `base..base+seg` is written only by tile
-                // (r,c); the left neighbour's segment was completed before
-                // this tile became ready (wavefront ordering).
                 let left_sum: u64 = if c > 0 {
+                    // SAFETY: the left neighbour's segment was completed
+                    // before this tile became ready (wavefront ordering).
                     unsafe { self::sum(&buf, base - seg..base) }
                 } else {
                     r as u64
                 };
+                // SAFETY: segment `base..base+seg` is written only by
+                // tile (r,c), which runs exactly once.
                 let out = unsafe { buf.slice_mut(base..base + seg) };
                 for (k, slot) in out.iter_mut().enumerate() {
                     *slot = left_sum + k as u64 + 1;
@@ -171,7 +176,10 @@ mod tests {
         assert_eq!(compute(4), seq);
     }
 
+    // SAFETY: forwards `DisjointBuf::slice`'s contract — every writer of
+    // `range` must be ordered before the call.
     unsafe fn sum(buf: &DisjointBuf<u64>, range: std::ops::Range<usize>) -> u64 {
+        // SAFETY: forwarded to this fn's own contract (comment above).
         unsafe { buf.slice(range) }.iter().sum()
     }
 

@@ -28,6 +28,7 @@
 //! let result = fastlsa::align(&a, &b, &scheme, &metrics);
 //! assert_eq!(result.path.score(&a, &b, &scheme), result.score);
 //! ```
+#![forbid(unsafe_code)]
 
 pub use fastlsa_core as core;
 pub use flsa_cachesim as cachesim;
