@@ -34,7 +34,11 @@ fn bench_affine(c: &mut Criterion) {
             bch.iter(|| {
                 let m = Metrics::new();
                 let cfg = FastLsaConfig::new(8, 1 << 14);
-                black_box(fastlsa_core::align_affine(&a, &b, &scheme, cfg, &m).score)
+                black_box(
+                    fastlsa_core::align_affine(&a, &b, &scheme, cfg, &m)
+                        .unwrap()
+                        .score,
+                )
             })
         });
     }

@@ -21,7 +21,11 @@ fn bench_ksweep(c: &mut Criterion) {
             bch.iter(|| {
                 let m = Metrics::new();
                 let cfg = FastLsaConfig::new(k, 1 << 14);
-                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+                black_box(
+                    fastlsa_core::align_with(&a, &b, &scheme, cfg, &m)
+                        .unwrap()
+                        .score,
+                )
             })
         });
     }

@@ -26,7 +26,11 @@ fn bench_parallel(c: &mut Criterion) {
             bch.iter(|| {
                 let m = Metrics::new();
                 let cfg = FastLsaConfig::new(8, 1 << 16).with_threads(p);
-                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+                black_box(
+                    fastlsa_core::align_with(&a, &b, &scheme, cfg, &m)
+                        .unwrap()
+                        .score,
+                )
             })
         });
     }

@@ -38,7 +38,11 @@ fn bench_sequential(c: &mut Criterion) {
             bch.iter(|| {
                 let m = Metrics::new();
                 let cfg = FastLsaConfig::new(8, 1 << 16);
-                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+                black_box(
+                    fastlsa_core::align_with(&a, &b, &scheme, cfg, &m)
+                        .unwrap()
+                        .score,
+                )
             })
         });
     }

@@ -29,14 +29,22 @@ fn bench_trace_overhead(c: &mut Criterion) {
             bch.iter(|| {
                 let m = Metrics::new();
                 let cfg = FastLsaConfig::new(8, 1 << 16);
-                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+                black_box(
+                    fastlsa_core::align_with(&a, &b, &scheme, cfg, &m)
+                        .unwrap()
+                        .score,
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("recorder", n), &n, |bch, _| {
             bch.iter(|| {
                 let m = Metrics::with_recorder(Arc::new(Recorder::new()));
                 let cfg = FastLsaConfig::new(8, 1 << 16);
-                black_box(fastlsa_core::align_with(&a, &b, &scheme, cfg, &m).score)
+                black_box(
+                    fastlsa_core::align_with(&a, &b, &scheme, cfg, &m)
+                        .unwrap()
+                        .score,
+                )
             })
         });
     }

@@ -80,11 +80,11 @@ pub fn example() -> String {
         ),
         (
             "fastlsa k=2",
-            fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(2, 16), &metrics),
+            fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(2, 16), &metrics).unwrap(),
         ),
         (
             "fastlsa k=4",
-            fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(4, 16), &metrics),
+            fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(4, 16), &metrics).unwrap(),
         ),
     ];
     for (name, r) in &runs {
@@ -150,7 +150,7 @@ pub fn table2(opts: ExpOptions) -> String {
 
         for k in [2usize, 8] {
             let mm = Metrics::new();
-            fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &mm);
+            fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &mm).unwrap();
             let s = mm.snapshot();
             t.row(&[
                 spec.name.to_string(),
@@ -299,7 +299,7 @@ pub fn memory(opts: ExpOptions) -> String {
         let mut cells = Vec::new();
         for k in [4usize, 16] {
             let mm = Metrics::new();
-            fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 16), &mm);
+            fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 16), &mm).unwrap();
             cells.push(mm.snapshot().peak_bytes as f64 / (1 << 20) as f64);
         }
         t.row(&[
@@ -425,7 +425,7 @@ pub fn speedup(opts: ExpOptions) -> String {
         let f = 2;
         let metrics = Metrics::new();
         let cfg = FastLsaConfig::new(k, 1 << 16);
-        let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics);
+        let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics).unwrap();
         let mut row = vec![spec.name.to_string()];
         for &p in &threads {
             let rep = fastlsa_core::replay(&log, p, f);
@@ -462,7 +462,7 @@ pub fn efficiency(opts: ExpOptions) -> String {
         let scheme = scheme_for(spec);
         let metrics = Metrics::new();
         let cfg = FastLsaConfig::new(8, 1 << 16);
-        let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics);
+        let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics).unwrap();
         let e8 = fastlsa_core::replay(&log, 8, 2).efficiency();
         let e4 = fastlsa_core::replay(&log, 4, 2).efficiency();
         t.row(&[
@@ -620,7 +620,7 @@ pub fn tilesweep(opts: ExpOptions) -> String {
     let scheme = scheme_for(spec);
     let metrics = Metrics::new();
     let cfg = FastLsaConfig::new(8, 1 << 16);
-    let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics);
+    let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics).unwrap();
 
     let mut out = format!(
         "E13: tile-subdivision ablation on {} (k = 8, schedule replay)\n\n",
@@ -658,7 +658,7 @@ pub fn commsweep(opts: ExpOptions) -> String {
     let scheme = scheme_for(spec);
     let metrics = Metrics::new();
     let cfg = FastLsaConfig::new(8, 1 << 16);
-    let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics);
+    let (_, log) = fastlsa_core::align_traced(&a, &b, &scheme, cfg, &metrics).unwrap();
 
     let mut out = format!(
         "E14: communication-cost sensitivity on {} (k = 8, f = 2, replayed speedup)\n\n",
@@ -714,7 +714,7 @@ pub fn theorems(opts: ExpOptions) -> String {
     for k in [2usize, 4, 8, 16] {
         let base = 1 << 12;
         let mm = Metrics::new();
-        fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &mm);
+        fastlsa_core::align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &mm).unwrap();
         let meas = mm.snapshot().cells_computed as f64;
         let bound = model::fastlsa_cells_bound(m, n, k, base);
         let limit = (m * n) as f64 * model::theorem2_limit_factor(k) * 1.05;
@@ -740,7 +740,8 @@ pub fn theorems(opts: ExpOptions) -> String {
     let f = 2;
     let metrics = Metrics::new();
     let (_, log) =
-        fastlsa_core::align_traced(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 12), &metrics);
+        fastlsa_core::align_traced(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 12), &metrics)
+            .unwrap();
     for p in [2usize, 4, 8] {
         let rep = fastlsa_core::replay(&log, p, f);
         let bound = model::theorem4_bound(m, n, k, p, f);

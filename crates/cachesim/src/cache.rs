@@ -125,6 +125,7 @@ impl Cache {
         // Evict the LRU way, writing it back if dirty.
         let victim = (0..self.config.assoc)
             .min_by_key(|&w| self.stamps[base + w])
+            // flsa-check: allow(unwrap) — assoc >= 1 by construction
             .expect("assoc >= 1");
         if self.dirty[base + victim] && self.tags[base + victim] != u64::MAX {
             self.stats.writebacks += 1;

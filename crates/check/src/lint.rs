@@ -23,11 +23,19 @@
 //! * **R4-forbid-unsafe** — a crate whose sources contain no `unsafe`
 //!   at all must declare `#![forbid(unsafe_code)]` in every crate root
 //!   (`src/lib.rs` / `src/main.rs`) so the property is load-bearing.
+//! * **R5-no-unwrap-in-library** — library crates must not call
+//!   `.unwrap()` or `.expect(` outside `#[cfg(test)]` modules: the
+//!   public API is fallible (`AlignError`), so failures must travel as
+//!   `Result`, not as panics. Intentional invariant unwraps carry a
+//!   `// flsa-check: allow(unwrap)` marker on the same or previous
+//!   line. Binary and dev-tool crates (`crates/cli`, `crates/bench`,
+//!   `crates/check`) are exempt, as are the DP hot kernels already
+//!   covered by the stricter R2.
 //!
 //! Scope: production sources only — `src/` trees of the workspace root
 //! and every `crates/*` member. Integration tests, benches, fixtures,
 //! `target/` and `vendor/` are not scanned. `#[cfg(test)]` modules at
-//! the tail of a file are exempt from R2/R3 (but not R1: unsafe in
+//! the tail of a file are exempt from R2/R3/R5 (but not R1: unsafe in
 //! tests still needs a SAFETY story).
 
 use std::fs;
@@ -77,8 +85,16 @@ const PANIC_TOKENS: &[&str] = &[
     "unimplemented!",
 ];
 
+/// Panic-carrying calls banned in library crates (rule R5).
+const UNWRAP_TOKENS: &[&str] = &[".unwrap()", ".expect("];
+
+/// Crates exempt from R5: binaries and dev tooling whose top level *is*
+/// the process, so panicking on a broken invariant is acceptable there.
+const UNWRAP_EXEMPT_PREFIXES: &[&str] = &["crates/cli/", "crates/bench/", "crates/check/"];
+
 const ALLOW_PANIC: &str = "flsa-check: allow(panic)";
 const ALLOW_RELAXED: &str = "flsa-check: allow(relaxed)";
+const ALLOW_UNWRAP: &str = "flsa-check: allow(unwrap)";
 
 fn is_hot(rel: &str) -> bool {
     HOT_FILES.contains(&rel) || HOT_PREFIXES.iter().any(|p| rel.starts_with(p))
@@ -329,6 +345,7 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) -> bool {
     let lines = lex(text);
     let test_start = test_region_start(&lines);
     let hot = is_hot(rel);
+    let library = !UNWRAP_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
     let mut has_unsafe = false;
 
     for (idx, line) in lines.iter().enumerate() {
@@ -358,6 +375,21 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) -> bool {
                         rule: "R2-no-panic-hot-kernel",
                         message: format!(
                             "`{tok}` in a DP hot kernel (mark intentional invariant panics with `// {ALLOW_PANIC}`)"
+                        ),
+                    });
+                }
+            }
+        }
+        if library && !hot {
+            for tok in UNWRAP_TOKENS {
+                if line.code.contains(tok) && !has_marker(&lines, idx, ALLOW_UNWRAP) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: "R5-no-unwrap-in-library",
+                        message: format!(
+                            "`{tok}` in a library crate: return a Result or mark the \
+                             invariant with `// {ALLOW_UNWRAP}`"
                         ),
                     });
                 }
@@ -566,7 +598,11 @@ pub unsafe fn c() {}
             rules(&one("crates/dp/src/kernel.rs", src)),
             vec!["R2-no-panic-hot-kernel"]
         );
-        assert_eq!(one("crates/dp/src/matrix.rs", src), vec![]);
+        // Outside the hot list R2 stays quiet (the unwrap is R5's business).
+        assert_eq!(
+            rules(&one("crates/dp/src/matrix.rs", src)),
+            vec!["R5-no-unwrap-in-library"]
+        );
         let marked = "fn f() {\n    // flsa-check: allow(panic)\n    panic!(\"corrupt DPM\");\n}\n";
         assert_eq!(one("crates/fullmatrix/src/nw.rs", marked), vec![]);
     }
@@ -606,6 +642,36 @@ fn f(c: &C) {
             "// SAFETY: test\npub fn f() { unsafe { g() } }\n".to_string(),
         )];
         assert_eq!(lint_sources(&has_unsafe), vec![]);
+    }
+
+    #[test]
+    fn r5_flags_unwrap_in_library_crates_but_not_tools_or_tests() {
+        let src = "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n\
+                   #[cfg(test)]\nmod t { fn g(o: Option<u32>) { o.unwrap(); } }\n";
+        assert_eq!(
+            rules(&one("crates/core/src/solver.rs", src)),
+            vec!["R5-no-unwrap-in-library"]
+        );
+        // Binaries and dev tooling may unwrap at top level.
+        assert_eq!(one("crates/cli/src/args.rs", src), vec![]);
+        assert_eq!(one("crates/bench/src/experiments.rs", src), vec![]);
+        assert_eq!(one("crates/check/src/model.rs", src), vec![]);
+        // Hot kernels are covered by the stricter R2, not double-reported.
+        let f = one("crates/dp/src/kernel.rs", src);
+        assert_eq!(rules(&f), vec!["R2-no-panic-hot-kernel"]);
+    }
+
+    #[test]
+    fn r5_accepts_the_allow_unwrap_marker_and_expects_are_covered() {
+        let marked = "pub fn f(o: Option<u32>) -> u32 {\n\
+                      \x20   // flsa-check: allow(unwrap) -- len checked above\n\
+                      \x20   o.unwrap()\n}\n";
+        assert_eq!(one("crates/core/src/grid.rs", marked), vec![]);
+        let expect = "pub fn f(o: Option<u32>) -> u32 { o.expect(\"set\") }\n";
+        assert_eq!(
+            rules(&one("crates/wavefront/src/pool.rs", expect)),
+            vec!["R5-no-unwrap-in-library"]
+        );
     }
 
     #[test]

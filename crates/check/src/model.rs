@@ -16,7 +16,10 @@
 //!   pool lets its borrowed closure die (inv. 3);
 //! * the schedule terminates with no deadlock (inv. 4);
 //! * an injected tile panic poisons the job and everyone still drains
-//!   (inv. 6).
+//!   (inv. 6);
+//! * a cancellation observed at a tile (`abort_cancelled`, mirroring
+//!   the pool's cancel-callback path) marks the job cancelled, skips
+//!   the tile's work, and still drains every participant (inv. 7).
 
 use std::sync::{Arc, Mutex};
 
@@ -40,6 +43,10 @@ pub struct ModelSpec {
     pub skip: Vec<bool>,
     /// Tile whose `work` panics (invariant-6 scenarios).
     pub panic_at: Option<(usize, usize)>,
+    /// Tile at which a participant observes cancellation and calls
+    /// `abort_cancelled` instead of running the work (invariant-7
+    /// scenarios, mirroring `WorkerPool::run_with_cancel`).
+    pub cancel_at: Option<(usize, usize)>,
 }
 
 impl ModelSpec {
@@ -51,6 +58,7 @@ impl ModelSpec {
             threads,
             skip: vec![false; rows * cols],
             panic_at: None,
+            cancel_at: None,
         }
     }
 
@@ -70,6 +78,12 @@ impl ModelSpec {
     /// Same spec with tile `(r, c)` panicking when it runs.
     pub fn with_panic_at(mut self, r: usize, c: usize) -> Self {
         self.panic_at = Some((r, c));
+        self
+    }
+
+    /// Same spec with cancellation observed at tile `(r, c)`.
+    pub fn with_cancel_at(mut self, r: usize, c: usize) -> Self {
+        self.cancel_at = Some((r, c));
         self
     }
 
@@ -98,6 +112,12 @@ fn tile_work(shared: &Shared, spec: &ModelSpec, runs: &Mutex<Vec<u32>>, r: usize
         shared.alive.get(),
         "work({r},{c}) executed after the job was dropped"
     );
+    if spec.cancel_at == Some((r, c)) {
+        // The pool's cancel callback fires before the tile body runs:
+        // mark the job cancelled and skip the work. Everyone drains.
+        shared.core.abort_cancelled();
+        return;
+    }
     if r > 0 && !spec.skip[(r - 1) * cols + c] {
         assert_eq!(
             shared.cells[(r - 1) * cols + c].get(),
@@ -130,7 +150,7 @@ pub fn check_schedule(policy: SchedPolicy, spec: &ModelSpec) -> Result<ScheduleO
     // world (physically serialized by the runtime, so a plain std mutex
     // is fine) and survives even schedules that fail mid-way.
     let runs: Mutex<Vec<u32>> = Mutex::new(vec![0; n]);
-    let final_state: Mutex<Option<(bool, bool)>> = Mutex::new(None);
+    let final_state: Mutex<Option<(bool, bool, bool)>> = Mutex::new(None);
 
     let outcome = run_schedule(policy, |scope| {
         let shared = Arc::new(Shared {
@@ -159,8 +179,11 @@ pub fn check_schedule(policy: SchedPolicy, spec: &ModelSpec) -> Result<ScheduleO
         shared.alive.set(false);
         *final_state
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) =
-            Some((shared.core.is_drained(), shared.core.is_poisoned()));
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((
+            shared.core.is_drained(),
+            shared.core.is_poisoned(),
+            shared.core.is_cancelled(),
+        ));
         if let Err(payload) = participation {
             std::panic::resume_unwind(payload);
         }
@@ -198,12 +221,32 @@ pub fn check_schedule(policy: SchedPolicy, spec: &ModelSpec) -> Result<ScheduleO
         }
         ran += count as usize;
     }
-    let (drained, poisoned) = final_state
+    let (drained, poisoned, cancelled) = final_state
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .ok_or_else(|| "submitter never recorded the final job state".to_string())?;
     if !drained {
         return Err("job not drained after quiescence".to_string());
+    }
+    if let Some((r, c)) = spec.cancel_at {
+        // Invariant 7: the cancellation is visible, the cancelled tile's
+        // work never ran, and nothing ran more than live (checked above).
+        if !cancelled {
+            return Err("cancelled job not reported cancelled".to_string());
+        }
+        if runs[r * spec.cols + c] != 0 {
+            return Err(format!("cancelled tile ({r},{c}) ran its work"));
+        }
+        if ran >= spec.live() {
+            return Err(format!(
+                "{ran} of {} live tiles ran despite cancellation",
+                spec.live()
+            ));
+        }
+        return Ok(outcome);
+    }
+    if cancelled {
+        return Err("job reported cancelled without a cancel injection".to_string());
     }
     match spec.panic_at {
         None => {
@@ -256,6 +299,15 @@ mod tests {
     #[test]
     fn injected_panic_poisons_and_drains_without_deadlock() {
         let spec = ModelSpec::dense(2, 2, 2).with_panic_at(0, 1);
+        for seed in 0..30 {
+            check_schedule(SchedPolicy::random(seed, 40, 10), &spec)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn cancellation_marks_the_job_and_drains_without_deadlock() {
+        let spec = ModelSpec::dense(2, 2, 2).with_cancel_at(0, 1);
         for seed in 0..30 {
             check_schedule(SchedPolicy::random(seed, 40, 10), &spec)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));

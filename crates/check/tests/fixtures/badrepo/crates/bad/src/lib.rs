@@ -9,3 +9,8 @@ pub fn load(a: &std::sync::atomic::AtomicU32) -> u32 {
     let x = ();
     a.load(std::sync::atomic::Ordering::Relaxed)
 }
+
+// Seeded R5 violation: an unmarked unwrap in a library crate.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -36,6 +36,7 @@ fn seeded_fixture_trips_every_rule() {
         "R2-no-panic-hot-kernel",
         "R3-relaxed-justified",
         "R4-forbid-unsafe",
+        "R5-no-unwrap-in-library",
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),

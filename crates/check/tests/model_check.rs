@@ -120,6 +120,19 @@ fn injected_tile_panic_always_poisons_and_never_deadlocks() {
 }
 
 #[test]
+fn cancellation_at_any_tile_drains_and_never_deadlocks() {
+    // Invariant 7 under systematic exploration: whichever participant
+    // observes the cancellation, on whatever schedule, the job reports
+    // cancelled, the cancelled tile's work is skipped, and every thread
+    // still drains to quiescence.
+    for (r, c) in [(0, 0), (0, 1), (1, 1)] {
+        let spec = ModelSpec::dense(2, 2, 2).with_cancel_at(r, c);
+        explore_exhaustive(&spec, 1, 1_000);
+        explore_random(&spec, 0..200, 10);
+    }
+}
+
+#[test]
 fn spurious_wakeups_are_harmless() {
     // Crank the spurious-wakeup probability: predicate re-check loops
     // must absorb them without double-runs or lost work.

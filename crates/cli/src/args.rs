@@ -35,6 +35,7 @@ const VALUED: &[&str] = &[
     "seed",
     "out",
     "memory",
+    "deadline-ms",
     "width",
     "band",
     "trace",

@@ -13,9 +13,9 @@ mod args;
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use fastlsa_core::{FastLsaConfig, ParallelConfig};
+use fastlsa_core::{AlignError, AlignOptions, CancelToken, FastLsaConfig, ParallelConfig};
 use flsa_dp::{Alignment, Metrics};
 use flsa_scoring::{tables, GapModel, ScoringScheme};
 use flsa_seq::{fasta, generate, Alphabet, Sequence};
@@ -43,7 +43,11 @@ ALIGN OPTIONS:
     --band W           band half-width for --algo banded (default 32)
     -k, --k N          FastLSA grid division factor (default 8)
     --base-cells N     FastLSA base-case buffer, DPM entries (default 1Mi)
-    --memory BYTES     derive k/base-cells from a memory budget instead
+    --memory BYTES     derive k/base-cells from a memory budget instead;
+                       also enforced at runtime: allocations beyond the
+                       budget walk the degradation ladder (smaller
+                       base-case buffer, then smaller k)
+    --deadline-ms N    cancel the alignment after N milliseconds
     --threads P        parallel FastLSA with P threads (default 1)
     --tiles F          tiles per grid block per dimension (default auto)
     --stats            print cells/memory/time metrics
@@ -61,21 +65,74 @@ GEN OPTIONS:
     --identity F       target identity 0..1 (default 0.85)
     --seed N           RNG seed (default 42)
     -o, --out FILE     output FASTA (default stdout)
+
+EXIT CODES:
+    0  success
+    1  runtime fault (memory exhausted, deadline hit, worker panic, I/O)
+    2  bad configuration or arguments
+    3  malformed or unreadable input
 ";
+
+/// A CLI failure: the message printed to stderr plus the process exit
+/// code. The taxonomy (1 runtime fault, 2 bad config/args, 3 malformed
+/// input) lets scripts distinguish "your command was wrong" from "your
+/// data was wrong" from "the run itself failed".
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+impl CliError {
+    /// Exit 2: bad arguments, unknown names, invalid configuration.
+    fn usage(msg: impl Into<String>) -> Self {
+        Self {
+            code: 2,
+            msg: msg.into(),
+        }
+    }
+
+    /// Exit 3: input files that are missing, unreadable, or malformed.
+    fn input(msg: impl Into<String>) -> Self {
+        Self {
+            code: 3,
+            msg: msg.into(),
+        }
+    }
+
+    /// Exit 1: faults at run time — allocation exhaustion past the
+    /// bottom of the degradation ladder, cancellation, worker panics,
+    /// output I/O errors.
+    fn runtime(msg: impl Into<String>) -> Self {
+        Self {
+            code: 1,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl From<AlignError> for CliError {
+    fn from(e: AlignError) -> Self {
+        match &e {
+            AlignError::Config(_) => Self::usage(e.to_string()),
+            AlignError::AlphabetMismatch { .. } => Self::input(e.to_string()),
+            _ => Self::runtime(e.to_string()),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("flsa: {e}");
-            ExitCode::FAILURE
+            eprintln!("flsa: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
-    let parsed = args::parse(argv)?;
+fn run(argv: &[String]) -> Result<(), CliError> {
+    let parsed = args::parse(argv).map_err(CliError::usage)?;
     if parsed.has_flag("help") {
         print!("{HELP}");
         return Ok(());
@@ -90,7 +147,9 @@ fn run(argv: &[String]) -> Result<(), String> {
             print!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; try `flsa help`")),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}; try `flsa help`"
+        ))),
     }
 }
 
@@ -106,51 +165,59 @@ fn scheme_for(name: &str, gap: i32) -> Result<ScoringScheme, String> {
     Ok(ScoringScheme::new(matrix, GapModel::linear(gap)))
 }
 
-fn load_pair(paths: &[String], alphabet: &Alphabet) -> Result<(Sequence, Sequence), String> {
+fn load_pair(paths: &[String], alphabet: &Alphabet) -> Result<(Sequence, Sequence), CliError> {
     match paths {
         [one] => {
-            let recs = fasta::read_file(one, alphabet).map_err(|e| e.to_string())?;
-            if recs.len() < 2 {
-                return Err(format!("{one} holds {} record(s); need two", recs.len()));
-            }
+            let recs =
+                fasta::read_file(one, alphabet).map_err(|e| CliError::input(e.to_string()))?;
             let mut it = recs.into_iter();
-            Ok((it.next().unwrap(), it.next().unwrap()))
+            match (it.next(), it.next()) {
+                (Some(sa), Some(sb)) => Ok((sa, sb)),
+                (got, _) => Err(CliError::input(format!(
+                    "{one} holds {} record(s); need two",
+                    got.map_or(0, |_| 1)
+                ))),
+            }
         }
         [a, b] => {
-            let ra = fasta::read_file(a, alphabet).map_err(|e| e.to_string())?;
-            let rb = fasta::read_file(b, alphabet).map_err(|e| e.to_string())?;
+            let ra = fasta::read_file(a, alphabet).map_err(|e| CliError::input(e.to_string()))?;
+            let rb = fasta::read_file(b, alphabet).map_err(|e| CliError::input(e.to_string()))?;
             let sa = ra
                 .into_iter()
                 .next()
-                .ok_or_else(|| format!("{a} is empty"))?;
+                .ok_or_else(|| CliError::input(format!("{a} is empty")))?;
             let sb = rb
                 .into_iter()
                 .next()
-                .ok_or_else(|| format!("{b} is empty"))?;
+                .ok_or_else(|| CliError::input(format!("{b} is empty")))?;
             Ok((sa, sb))
         }
-        _ => Err("align needs one FASTA with two records, or two FASTA files".to_string()),
+        _ => Err(CliError::usage(
+            "align needs one FASTA with two records, or two FASTA files",
+        )),
     }
 }
 
-fn cmd_align(a: &args::Args) -> Result<(), String> {
-    let gap: i32 = a.get_or("gap", -10)?;
+fn cmd_align(a: &args::Args) -> Result<(), CliError> {
+    let gap: i32 = a.get_or("gap", -10).map_err(CliError::usage)?;
     let scheme = if let Some(path) = a.options.get("matrix-file") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let matrix = flsa_scoring::parse_ncbi(path, &text).map_err(|e| format!("{path}: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+        let matrix = flsa_scoring::parse_ncbi(path, &text)
+            .map_err(|e| CliError::input(format!("{path}: {e}")))?;
         ScoringScheme::new(matrix, GapModel::linear(gap))
     } else {
-        scheme_for(a.str_or("matrix", "dna"), gap)?
+        scheme_for(a.str_or("matrix", "dna"), gap).map_err(CliError::usage)?
     };
     let (sa, sb) = load_pair(&a.positional, scheme.alphabet())?;
 
     let algo = a.str_or("algo", "fastlsa");
-    let threads: usize = a.get_or("threads", 1)?;
+    let threads: usize = a.get_or("threads", 1).map_err(CliError::usage)?;
     let trace_format = a.str_or("trace-format", "chrome");
     if !matches!(trace_format, "chrome" | "jsonl") {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "unknown trace format {trace_format:?} (expected chrome or jsonl)"
-        ));
+        )));
     }
     let recorder = a.options.get("trace").map(|_| Arc::new(Recorder::new()));
     let metrics = match &recorder {
@@ -161,16 +228,22 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
 
     let (score, path) = match algo {
         "fastlsa" => {
+            let mut budget_bytes = None;
             let mut cfg = if let Some(mem) = a.options.get("memory") {
                 let bytes: usize = mem
                     .parse()
-                    .map_err(|_| format!("invalid --memory value {mem:?}"))?;
+                    .map_err(|_| CliError::usage(format!("invalid --memory value {mem:?}")))?;
+                budget_bytes = Some(bytes);
                 FastLsaConfig::for_memory(bytes, sa.len(), sb.len())
             } else {
-                FastLsaConfig::new(a.get_or("k", 8)?, a.get_or("base-cells", 1usize << 20)?)
+                FastLsaConfig::new(
+                    a.get_or("k", 8).map_err(CliError::usage)?,
+                    a.get_or("base-cells", 1usize << 20)
+                        .map_err(CliError::usage)?,
+                )
             };
             if threads > 1 {
-                let tiles = a.get_or("tiles", 0usize)?;
+                let tiles = a.get_or("tiles", 0usize).map_err(CliError::usage)?;
                 cfg = if tiles > 0 {
                     cfg.with_parallel(ParallelConfig {
                         threads,
@@ -180,7 +253,21 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
                     cfg.with_threads(threads)
                 };
             }
-            let r = fastlsa_core::align_with(&sa, &sb, &scheme, cfg, &metrics);
+            let cancel = match a.options.get("deadline-ms") {
+                Some(ms) => {
+                    let ms: u64 = ms.parse().map_err(|_| {
+                        CliError::usage(format!("invalid --deadline-ms value {ms:?}"))
+                    })?;
+                    Some(CancelToken::with_deadline(Duration::from_millis(ms)))
+                }
+                None => None,
+            };
+            let opts = AlignOptions {
+                budget_bytes,
+                cancel,
+                ..AlignOptions::default()
+            };
+            let r = fastlsa_core::align_opts(&sa, &sb, &scheme, cfg, &opts, &metrics)?;
             (r.score, Some(r.path))
         }
         "nw" => {
@@ -196,13 +283,13 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
             (r.score, Some(r.path))
         }
         "banded" => {
-            let w: usize = a.get_or("band", 32)?;
+            let w: usize = a.get_or("band", 32).map_err(CliError::usage)?;
             let r = flsa_fullmatrix::banded_needleman_wunsch(&sa, &sb, &scheme, w, &metrics);
             (r.score, Some(r.path))
         }
         "gotoh" | "mm-affine" | "fastlsa-affine" => {
-            let open: i32 = a.get_or("gap-open", -10)?;
-            let extend: i32 = a.get_or("gap-extend", -2)?;
+            let open: i32 = a.get_or("gap-open", -10).map_err(CliError::usage)?;
+            let extend: i32 = a.get_or("gap-extend", -2).map_err(CliError::usage)?;
             let affine =
                 ScoringScheme::new(scheme.matrix().clone(), GapModel::affine(open, extend));
             let r = match algo {
@@ -210,10 +297,11 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
                 "mm-affine" => flsa_hirschberg::myers_miller_affine(&sa, &sb, &affine, &metrics),
                 _ => {
                     let cfg = FastLsaConfig::new(
-                        a.get_or("k", 8)?,
-                        a.get_or("base-cells", 1usize << 20)?,
+                        a.get_or("k", 8).map_err(CliError::usage)?,
+                        a.get_or("base-cells", 1usize << 20)
+                            .map_err(CliError::usage)?,
                     );
-                    fastlsa_core::align_affine(&sa, &sb, &affine, cfg, &metrics)
+                    fastlsa_core::align_affine(&sa, &sb, &affine, cfg, &metrics)?
                 }
             };
             (r.score, Some(r.path))
@@ -250,7 +338,7 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
             );
             (r.score, None)
         }
-        other => return Err(format!("unknown algorithm {other:?}")),
+        other => return Err(CliError::usage(format!("unknown algorithm {other:?}"))),
     };
     let elapsed = start.elapsed();
 
@@ -258,7 +346,10 @@ fn cmd_align(a: &args::Args) -> Result<(), String> {
         (Some(out), Some(r)) => {
             r.set_label(format!("{algo} {}x{}", sa.len(), sb.len()));
             r.set_threads(threads as u32);
-            Some((out.as_str(), write_trace(out, trace_format, r)?))
+            Some((
+                out.as_str(),
+                write_trace(out, trace_format, r).map_err(CliError::runtime)?,
+            ))
         }
         _ => None,
     };
@@ -328,28 +419,42 @@ fn write_trace(path: &str, format: &str, recorder: &Recorder) -> Result<usize, S
 
 /// `flsa report TRACE`: reads a trace (either export format) and prints
 /// the utilization / pipeline-phase / recursion analysis.
-fn cmd_report(a: &args::Args) -> Result<(), String> {
+fn cmd_report(a: &args::Args) -> Result<(), CliError> {
     let [path] = &a.positional[..] else {
-        return Err("report needs exactly one trace file (from `flsa align --trace`)".to_string());
+        return Err(CliError::usage(
+            "report needs exactly one trace file (from `flsa align --trace`)",
+        ));
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let trace = flsa_trace::read_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+    let trace =
+        flsa_trace::read_trace(&text).map_err(|e| CliError::input(format!("{path}: {e}")))?;
     let analysis = flsa_trace::analyze(&trace);
     print!("{}", flsa_trace::render_report(&analysis));
     Ok(())
 }
 
-fn cmd_msa(a: &args::Args) -> Result<(), String> {
-    let gap: i32 = a.get_or("gap", -10)?;
-    let scheme = scheme_for(a.str_or("matrix", "dna"), gap)?;
+fn cmd_msa(a: &args::Args) -> Result<(), CliError> {
+    let gap: i32 = a.get_or("gap", -10).map_err(CliError::usage)?;
+    let scheme = scheme_for(a.str_or("matrix", "dna"), gap).map_err(CliError::usage)?;
     let [path] = &a.positional[..] else {
-        return Err("msa needs exactly one FASTA file with the family".to_string());
+        return Err(CliError::usage(
+            "msa needs exactly one FASTA file with the family",
+        ));
     };
-    let seqs = fasta::read_file(path, scheme.alphabet()).map_err(|e| e.to_string())?;
-    let cfg = FastLsaConfig::new(a.get_or("k", 8)?, a.get_or("base-cells", 1usize << 20)?);
+    let seqs =
+        fasta::read_file(path, scheme.alphabet()).map_err(|e| CliError::input(e.to_string()))?;
+    let cfg = FastLsaConfig::new(
+        a.get_or("k", 8).map_err(CliError::usage)?,
+        a.get_or("base-cells", 1usize << 20)
+            .map_err(CliError::usage)?,
+    );
     let metrics = Metrics::new();
     let start = Instant::now();
-    let result = flsa_msa::center_star(&seqs, &scheme, cfg, &metrics).map_err(|e| e.to_string())?;
+    let result = flsa_msa::center_star(&seqs, &scheme, cfg, &metrics).map_err(|e| match e {
+        flsa_msa::MsaError::Align(inner) => CliError::from(inner),
+        other => CliError::input(other.to_string()),
+    })?;
     let elapsed = start.elapsed();
     println!(
         "{} sequences, {} columns, center {}, conservation {:.1}%, sum-of-pairs {}",
@@ -371,27 +476,29 @@ fn cmd_msa(a: &args::Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(a: &args::Args) -> Result<(), String> {
+fn cmd_gen(a: &args::Args) -> Result<(), CliError> {
     let kind = a.str_or("kind", "dna");
     let alphabet = match kind {
         "dna" => Alphabet::dna(),
         "protein" => Alphabet::protein(),
-        other => return Err(format!("unknown kind {other:?}")),
+        other => return Err(CliError::usage(format!("unknown kind {other:?}"))),
     };
-    let len: usize = a.get_or("len", 1000)?;
-    let identity: f64 = a.get_or("identity", 0.85)?;
-    let seed: u64 = a.get_or("seed", 42)?;
+    let len: usize = a.get_or("len", 1000).map_err(CliError::usage)?;
+    let identity: f64 = a.get_or("identity", 0.85).map_err(CliError::usage)?;
+    let seed: u64 = a.get_or("seed", 42).map_err(CliError::usage)?;
     let (sa, sb) = generate::homologous_pair("pair", &alphabet, len, identity, seed)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::usage(e.to_string()))?;
     let text = fasta::to_string(&[sa, sb]);
     match a.options.get("out") {
-        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| CliError::runtime(format!("{path}: {e}")))?
+        }
         None => print!("{text}"),
     }
     Ok(())
 }
 
-fn cmd_info() -> Result<(), String> {
+fn cmd_info() -> Result<(), CliError> {
     println!("substitution matrices:");
     for m in [
         tables::dna_default(),

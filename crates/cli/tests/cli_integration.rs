@@ -318,6 +318,86 @@ fn unknown_long_flag_fails_cleanly() {
     assert!(!out.status.success());
 }
 
+// --- exit-code taxonomy: 0 ok, 1 runtime fault, 2 bad config/args, ---
+// --- 3 malformed input                                             ---
+
+fn write_pair(name: &str) -> PathBuf {
+    let fa = tmp(name);
+    std::fs::write(&fa, ">a\nACGTACGTACGTACGT\n>b\nACGTTCGTACGGACGT\n").unwrap();
+    fa
+}
+
+#[test]
+fn exit_code_0_on_successful_alignment() {
+    let fa = write_pair("exit0.fa");
+    let out = flsa(&["align", "--quiet", fa.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn exit_code_1_when_the_deadline_cancels_the_run() {
+    let fa = write_pair("exit1.fa");
+    let out = flsa(&[
+        "align",
+        "--deadline-ms",
+        "0",
+        "--quiet",
+        fa.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("cancelled"), "{err}");
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn exit_code_2_on_bad_config_or_args() {
+    let fa = write_pair("exit2.fa");
+    // Invalid FastLSA configuration (k must be >= 2).
+    let out = flsa(&["align", "-k", "1", "--quiet", fa.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("k must be >= 2"));
+    // Unknown algorithm and unknown subcommand are argument errors too.
+    let out = flsa(&["align", "--algo", "nope", fa.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = flsa(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Invalid numeric option value.
+    let out = flsa(&["align", "--deadline-ms", "soon", fa.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn exit_code_3_on_malformed_or_missing_input() {
+    // Sequence data before any FASTA header.
+    let bad = tmp("exit3.fa");
+    std::fs::write(&bad, "ACGT this is not a fasta file\n").unwrap();
+    let out = flsa(&["align", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    std::fs::remove_file(&bad).ok();
+    // Missing file.
+    let out = flsa(&["align", "/nonexistent/pair.fa"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    // Too few records in an otherwise valid file.
+    let one = tmp("exit3-one.fa");
+    std::fs::write(&one, ">only\nACGT\n").unwrap();
+    let out = flsa(&["align", one.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("need two"));
+    std::fs::remove_file(one).ok();
+}
+
+#[test]
+fn memory_budget_degrades_but_still_exits_zero() {
+    let fa = write_pair("budget.fa");
+    let out = flsa(&["align", "--memory", "4096", "--quiet", fa.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).contains("score "), "{out:?}");
+    std::fs::remove_file(fa).ok();
+}
+
 #[test]
 fn report_rejects_missing_and_invalid_files() {
     let out = flsa(&["report", "/nonexistent/trace.json"]);

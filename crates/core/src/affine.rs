@@ -25,6 +25,7 @@ use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
 
 use crate::config::FastLsaConfig;
+use crate::error::{AlignError, ConfigError};
 use crate::grid::{partition, segment_of};
 
 /// One recursion level's affine grid cache: `H`+`F` along internal rows,
@@ -242,9 +243,11 @@ impl AffineSolver<'_> {
 /// Produces the same optimal score as [`flsa_fullmatrix::gotoh()`] in
 /// FastLSA's adaptive memory footprint.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `scheme.gap()` is not affine.
+/// Returns [`ConfigError::GapModelNotAffine`] (wrapped in
+/// [`AlignError::Config`]) when `scheme.gap()` is not affine, and the
+/// usual configuration/alphabet errors of the linear entry points.
 ///
 /// # Examples
 ///
@@ -258,7 +261,7 @@ impl AffineSolver<'_> {
 /// let a = Sequence::from_str("a", scheme.alphabet(), "ACGTACCCCGTACGT").unwrap();
 /// let b = Sequence::from_str("b", scheme.alphabet(), "ACGTACGTACGT").unwrap();
 /// let metrics = Metrics::new();
-/// let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(4, 256), &metrics);
+/// let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(4, 256), &metrics).unwrap();
 /// assert!(r.path.is_global(a.len(), b.len()));
 /// // 12 matches (+60) and one length-3 gap (-13): score 47.
 /// assert_eq!(r.score, 47);
@@ -269,9 +272,19 @@ pub fn align_affine(
     scheme: &ScoringScheme,
     config: FastLsaConfig,
     metrics: &Metrics,
-) -> AlignResult {
-    scheme.check_sequences(a, b);
-    config.validate();
+) -> Result<AlignResult, AlignError> {
+    config.validate()?;
+    if !matches!(*scheme.gap(), flsa_scoring::GapModel::Affine { .. }) {
+        return Err(ConfigError::GapModelNotAffine.into());
+    }
+    for s in [a, b] {
+        if s.alphabet() != scheme.alphabet() {
+            return Err(AlignError::AlphabetMismatch {
+                expected: scheme.alphabet().name().to_string(),
+                found: s.alphabet().name().to_string(),
+            });
+        }
+    }
     let (open, extend) = flsa_dp::affine::affine_params(scheme);
     let (m, n) = (a.len(), b.len());
     let bnd = AffineGlobalBoundary::new(m, n, open, extend);
@@ -302,7 +315,7 @@ pub fn align_affine(
     let path = builder.finish((0, 0));
     debug_assert!(path.is_global(m, n));
     let score = flsa_fullmatrix::gotoh::score_path_affine(&path, a, b, scheme);
-    AlignResult { score, path }
+    Ok(AlignResult { score, path })
 }
 
 #[cfg(test)]
@@ -335,7 +348,7 @@ mod tests {
             for k in [2usize, 3, 4] {
                 for base in [16usize, 64, 1 << 20] {
                     let m = Metrics::new();
-                    let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(k, base), &m);
+                    let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(k, base), &m).unwrap();
                     assert_eq!(r.score, oracle.score, "{sa}/{sb} k={k} base={base}");
                 }
             }
@@ -349,7 +362,7 @@ mod tests {
             let (a, b) = homologous_pair("t", &Alphabet::dna(), 250, 0.8, seed).unwrap();
             let metrics = Metrics::new();
             let oracle = gotoh(&a, &b, &scheme, &metrics);
-            let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(4, 512), &metrics);
+            let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(4, 512), &metrics).unwrap();
             assert_eq!(r.score, oracle.score, "seed {seed}");
             assert!(r.path.is_global(a.len(), b.len()));
         }
@@ -363,7 +376,7 @@ mod tests {
             let b = random_sequence("b", &Alphabet::dna(), 140, seed * 2 + 1);
             let metrics = Metrics::new();
             let oracle = gotoh(&a, &b, &scheme, &metrics);
-            let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(3, 128), &metrics);
+            let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(3, 128), &metrics).unwrap();
             assert_eq!(r.score, oracle.score, "seed {seed}");
         }
     }
@@ -383,7 +396,7 @@ mod tests {
         let b = Sequence::from_str("b", scheme.alphabet(), &format!("{core}{core}")).unwrap();
         let metrics = Metrics::new();
         let oracle = gotoh(&a, &b, &scheme, &metrics);
-        let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(4, 64), &metrics);
+        let r = align_affine(&a, &b, &scheme, FastLsaConfig::new(4, 64), &metrics).unwrap();
         assert_eq!(r.score, oracle.score);
         // The 40 Ups must be one contiguous run (single open), otherwise
         // the rescore would fall short of the oracle.
@@ -404,7 +417,7 @@ mod tests {
         let scheme = scheme(-10, -2);
         let (a, b) = homologous_pair("t", &Alphabet::dna(), 1500, 0.85, 4).unwrap();
         let m_fl = Metrics::new();
-        align_affine(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 12), &m_fl);
+        align_affine(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 12), &m_fl).unwrap();
         let m_g = Metrics::new();
         gotoh(&a, &b, &scheme, &m_g);
         assert!(
@@ -422,17 +435,30 @@ mod tests {
         let e = Sequence::from_str("e", scheme.alphabet(), "").unwrap();
         let b = Sequence::from_str("b", scheme.alphabet(), "ACG").unwrap();
         let cfg = FastLsaConfig::new(2, 8);
-        assert_eq!(align_affine(&e, &b, &scheme, cfg, &metrics).score, -16);
-        assert_eq!(align_affine(&b, &e, &scheme, cfg, &metrics).score, -16);
-        assert_eq!(align_affine(&e, &e, &scheme, cfg, &metrics).score, 0);
+        assert_eq!(
+            align_affine(&e, &b, &scheme, cfg, &metrics).unwrap().score,
+            -16
+        );
+        assert_eq!(
+            align_affine(&b, &e, &scheme, cfg, &metrics).unwrap().score,
+            -16
+        );
+        assert_eq!(
+            align_affine(&e, &e, &scheme, cfg, &metrics).unwrap().score,
+            0
+        );
     }
 
     #[test]
-    #[should_panic(expected = "requires GapModel::Affine")]
     fn linear_scheme_rejected() {
         let scheme = ScoringScheme::dna_default();
         let a = Sequence::from_str("a", scheme.alphabet(), "ACG").unwrap();
         let metrics = Metrics::new();
-        align_affine(&a, &a, &scheme, FastLsaConfig::default(), &metrics);
+        let err = align_affine(&a, &a, &scheme, FastLsaConfig::default(), &metrics).unwrap_err();
+        assert_eq!(
+            err,
+            AlignError::Config(ConfigError::GapModelNotAffine),
+            "linear gap model must be rejected as a config error"
+        );
     }
 }

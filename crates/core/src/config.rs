@@ -5,6 +5,8 @@
 //! buffer size `BM` trade memory for recomputation. [`FastLsaConfig`]
 //! carries both, plus the parallel-execution knobs of §5.
 
+use crate::error::ConfigError;
+
 /// Parallel execution parameters (paper §5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
@@ -21,8 +23,8 @@ pub struct ParallelConfig {
 impl ParallelConfig {
     /// A sensible default for `threads` workers: `f` chosen so each
     /// wavefront has roughly `2·P` tiles in the saturated phase.
+    /// `threads == 0` is rejected by [`FastLsaConfig::validate`].
     pub fn for_threads(threads: usize) -> Self {
-        assert!(threads >= 1, "at least one thread");
         ParallelConfig {
             threads,
             tiles_per_block: (2 * threads).div_ceil(8).max(1),
@@ -61,15 +63,16 @@ impl Default for FastLsaConfig {
 }
 
 impl FastLsaConfig {
-    /// Sequential configuration with explicit `k` and base buffer.
+    /// Sequential configuration with explicit `k` and base buffer. The
+    /// value is not checked here; the `align*` entry points (and
+    /// [`FastLsaConfig::validate`]) reject invalid configurations with
+    /// [`ConfigError`] instead of panicking.
     pub fn new(k: usize, base_cells: usize) -> Self {
-        let cfg = FastLsaConfig {
+        FastLsaConfig {
             k,
             base_cells,
             parallel: None,
-        };
-        cfg.validate();
-        cfg
+        }
     }
 
     /// Adds parallel execution with `threads` workers (default tiling).
@@ -84,17 +87,21 @@ impl FastLsaConfig {
         self
     }
 
-    /// Checks invariants.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `k < 2` or a parallel config has zero threads/tiles.
-    pub fn validate(&self) {
-        assert!(self.k >= 2, "k must be >= 2 (k = {})", self.k);
-        if let Some(p) = self.parallel {
-            assert!(p.threads >= 1, "threads must be >= 1");
-            assert!(p.tiles_per_block >= 1, "tiles_per_block must be >= 1");
+    /// Checks invariants: `k ≥ 2`, and a parallel config (when present)
+    /// has at least one thread and one tile per block.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.k < 2 {
+            return Err(ConfigError::KTooSmall { k: self.k });
         }
+        if let Some(p) = self.parallel {
+            if p.threads < 1 {
+                return Err(ConfigError::ZeroThreads);
+            }
+            if p.tiles_per_block < 1 {
+                return Err(ConfigError::ZeroTiles);
+            }
+        }
+        Ok(())
     }
 
     /// The paper's memory-adaptive configuration (§3): given a memory
@@ -157,13 +164,28 @@ mod tests {
         assert_eq!(c.k, 8);
         assert!(c.parallel.is_none());
         assert_eq!(c.threads(), 1);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "k must be >= 2")]
     fn k_below_two_rejected() {
-        FastLsaConfig::new(1, 1024);
+        let err = FastLsaConfig::new(1, 1024).validate().unwrap_err();
+        assert_eq!(err, ConfigError::KTooSmall { k: 1 });
+        assert!(err.to_string().contains("k must be >= 2"));
+    }
+
+    #[test]
+    fn zero_threads_and_zero_tiles_rejected() {
+        let c = FastLsaConfig::default().with_parallel(ParallelConfig {
+            threads: 0,
+            tiles_per_block: 1,
+        });
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroThreads);
+        let c = FastLsaConfig::default().with_parallel(ParallelConfig {
+            threads: 2,
+            tiles_per_block: 0,
+        });
+        assert_eq!(c.validate().unwrap_err(), ConfigError::ZeroTiles);
     }
 
     #[test]

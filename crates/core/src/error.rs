@@ -1,0 +1,149 @@
+//! The alignment error taxonomy (DESIGN.md §9).
+//!
+//! The public `align*` functions return `Result<_, AlignError>`: no panic
+//! escapes the API. Configuration problems are separated into
+//! [`ConfigError`] so callers (the CLI in particular) can distinguish
+//! "bad request" from "runtime fault".
+
+use flsa_wavefront::JobError;
+
+/// A structurally invalid [`crate::FastLsaConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The grid division factor must be at least 2 (a 1×1 "grid" never
+    /// shrinks the problem).
+    KTooSmall {
+        /// The rejected value.
+        k: usize,
+    },
+    /// A parallel config must have at least one worker thread.
+    ZeroThreads,
+    /// A parallel config must subdivide each block into at least one tile.
+    ZeroTiles,
+    /// [`crate::align_affine`] requires [`flsa_scoring::GapModel::Affine`]
+    /// (use the linear entry points for linear gaps).
+    GapModelNotAffine,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::KTooSmall { k } => write!(f, "k must be >= 2 (k = {k})"),
+            ConfigError::ZeroThreads => write!(f, "threads must be >= 1"),
+            ConfigError::ZeroTiles => write!(f, "tiles_per_block must be >= 1"),
+            ConfigError::GapModelNotAffine => {
+                write!(f, "align_affine requires GapModel::Affine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why an alignment run failed. Produced by the fallible `align*` API;
+/// recoverable variants ([`AlignError::AllocFailed`],
+/// [`AlignError::WorkerPanic`]) are retried down the degradation ladder by
+/// [`crate::align_opts`] before being surfaced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// The configuration was rejected before any work started.
+    Config(ConfigError),
+    /// The sequences are not encoded in the scoring scheme's alphabet.
+    AlphabetMismatch {
+        /// Name of the scheme's alphabet.
+        expected: String,
+        /// Name of the offending sequence's alphabet.
+        found: String,
+    },
+    /// An allocation was refused — by the memory governor's byte budget,
+    /// by the allocator (`try_reserve` failed), or by an injected fault.
+    AllocFailed {
+        /// Size of the refused allocation.
+        bytes: usize,
+        /// What the allocation was for (e.g. "base-case buffer").
+        what: &'static str,
+    },
+    /// The run was cancelled (explicitly or by deadline) and every
+    /// parallel fill drained cleanly before this was returned.
+    Cancelled,
+    /// A worker panicked inside a parallel tile; the job drained and the
+    /// panic payload was contained.
+    WorkerPanic,
+}
+
+impl std::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignError::Config(e) => write!(f, "invalid configuration: {e}"),
+            AlignError::AlphabetMismatch { expected, found } => write!(
+                f,
+                "sequences must be encoded in the scoring scheme's alphabet \
+                 (scheme: {expected}, sequence: {found})"
+            ),
+            AlignError::AllocFailed { bytes, what } => {
+                write!(f, "allocation of {bytes} bytes for {what} failed")
+            }
+            AlignError::Cancelled => write!(f, "alignment cancelled"),
+            AlignError::WorkerPanic => write!(f, "a worker panicked during a parallel fill"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlignError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for AlignError {
+    fn from(e: ConfigError) -> Self {
+        AlignError::Config(e)
+    }
+}
+
+impl From<JobError> for AlignError {
+    fn from(e: JobError) -> Self {
+        match e {
+            JobError::TilePanicked => AlignError::WorkerPanic,
+            JobError::Cancelled => AlignError::Cancelled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AlignError::Config(ConfigError::KTooSmall { k: 1 });
+        assert!(e.to_string().contains("k must be >= 2"));
+        let e = AlignError::AllocFailed {
+            bytes: 4096,
+            what: "grid cache",
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("grid cache"));
+        assert!(AlignError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn job_errors_map_to_align_errors() {
+        assert_eq!(
+            AlignError::from(JobError::TilePanicked),
+            AlignError::WorkerPanic
+        );
+        assert_eq!(AlignError::from(JobError::Cancelled), AlignError::Cancelled);
+    }
+
+    #[test]
+    fn config_error_is_the_source() {
+        use std::error::Error;
+        let e = AlignError::Config(ConfigError::ZeroThreads);
+        assert!(e.source().is_some());
+        assert!(AlignError::Cancelled.source().is_none());
+    }
+}

@@ -5,6 +5,9 @@
 //! rows and `k−1` full columns. Together with the rectangle's input
 //! boundary these give every block its `cacheRow`/`cacheColumn`.
 
+use crate::error::AlignError;
+use crate::governor::MemoryGovernor;
+
 /// Near-equal partition of `len` residues into `k` segments:
 /// `bounds[i] = ⌊len·i/k⌋`, guaranteeing each segment is non-empty when
 /// `len ≥ k`.
@@ -15,7 +18,7 @@ pub fn partition(len: usize, k: usize) -> Vec<usize> {
 /// Locates the partition segment containing coordinate `i` (`1 ≤ i ≤ len`):
 /// returns `s` with `bounds[s] < i ≤ bounds[s+1]`.
 pub fn segment_of(bounds: &[usize], i: usize) -> usize {
-    debug_assert!(i >= 1 && i <= *bounds.last().unwrap());
+    debug_assert!(i >= 1 && bounds.last().is_some_and(|&last| i <= last));
     bounds.partition_point(|&x| x < i) - 1
 }
 
@@ -36,16 +39,62 @@ pub struct Grid {
 
 impl Grid {
     /// Allocates the grid for an `rows × cols` rectangle split into
-    /// `k_r × k_c` blocks.
+    /// `k_r × k_c` blocks, with unbounded (but still `try_reserve`-based)
+    /// allocation.
     pub fn new(rows: usize, cols: usize, k_r: usize, k_c: usize) -> Self {
+        match Grid::try_new(rows, cols, k_r, k_c, &MemoryGovernor::new(None)) {
+            Ok(g) => g,
+            // flsa-check: allow(panic) — only reachable on allocator
+            // exhaustion with no budget, where Vec::new would abort anyway.
+            Err(e) => panic!("grid allocation failed: {e}"),
+        }
+    }
+
+    /// Fallibly allocates the grid through the memory governor: each cache
+    /// line is charged against the budget and reserved with `try_reserve`,
+    /// so an oversized grid surfaces as
+    /// [`AlignError::AllocFailed`](crate::AlignError::AllocFailed) instead
+    /// of an abort.
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        k_r: usize,
+        k_c: usize,
+        governor: &MemoryGovernor,
+    ) -> Result<Self, AlignError> {
         debug_assert!(k_r >= 2 && k_c >= 2);
         debug_assert!(rows >= k_r && cols >= k_c, "every block must be non-empty");
-        Grid {
+        let mut rows_cache = Vec::with_capacity(k_r - 1);
+        let mut cols_cache = Vec::with_capacity(k_c - 1);
+        let undo = |grid_rows: &Vec<Vec<i32>>, grid_cols: &Vec<Vec<i32>>| {
+            for v in grid_rows.iter().chain(grid_cols.iter()) {
+                governor.release_i32(v.len());
+            }
+        };
+        for _ in 0..k_r - 1 {
+            match governor.try_alloc_i32(cols + 1, "grid row cache") {
+                Ok(v) => rows_cache.push(v),
+                Err(e) => {
+                    undo(&rows_cache, &cols_cache);
+                    return Err(e);
+                }
+            }
+        }
+        for _ in 0..k_c - 1 {
+            match governor.try_alloc_i32(rows + 1, "grid column cache") {
+                Ok(v) => cols_cache.push(v),
+                Err(e) => {
+                    undo(&rows_cache, &cols_cache);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Grid {
             row_bounds: partition(rows, k_r),
             col_bounds: partition(cols, k_c),
-            rows_cache: vec![vec![0; cols + 1]; k_r - 1],
-            cols_cache: vec![vec![0; rows + 1]; k_c - 1],
-        }
+            rows_cache,
+            cols_cache,
+        })
     }
 
     /// Number of block rows.
@@ -124,6 +173,20 @@ mod tests {
         assert_eq!(g.cache_entries(), 3 * 81 + 3 * 101);
         assert_eq!(g.k_r(), 4);
         assert_eq!(g.k_c(), 4);
+    }
+
+    #[test]
+    fn try_new_respects_the_budget_and_rolls_back() {
+        // 3 rows of 81 + 3 cols of 101 entries = 546 entries > 500.
+        let g = MemoryGovernor::new(Some(500 * 4));
+        let err = Grid::try_new(100, 80, 4, 4, &g).unwrap_err();
+        assert!(matches!(err, AlignError::AllocFailed { .. }));
+        // Partial allocations were released.
+        assert_eq!(g.used_bytes(), 0);
+        // A roomier budget succeeds and stays charged while alive.
+        let g = MemoryGovernor::new(Some(600 * 4));
+        let grid = Grid::try_new(100, 80, 4, 4, &g).unwrap();
+        assert_eq!(g.used_bytes(), grid.cache_entries() * 4);
     }
 
     #[test]

@@ -25,35 +25,59 @@
 //! let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
 //! let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
 //! let metrics = Metrics::new();
-//! let result = align(&a, &b, &scheme, &metrics);
+//! let result = align(&a, &b, &scheme, &metrics).unwrap();
 //! assert_eq!(result.score, 82);
 //!
 //! // Tune for a memory budget, or run the parallel version:
 //! let cfg = FastLsaConfig::for_memory(8 << 20, a.len(), b.len()).with_threads(4);
-//! let result2 = fastlsa_core::align_with(&a, &b, &scheme, cfg, &Metrics::new());
+//! let result2 = fastlsa_core::align_with(&a, &b, &scheme, cfg, &Metrics::new()).unwrap();
 //! assert_eq!(result2.score, 82);
 //! ```
+//!
+//! # Failure model
+//!
+//! Every `align*` entry point returns `Result<_, `[`AlignError`]`>`; no
+//! panic escapes the public API. [`align_opts`] additionally accepts
+//! [`AlignOptions`] — a byte budget enforced by the [`MemoryGovernor`],
+//! a [`CancelToken`] with optional deadline, and fault-injection hooks —
+//! and on a refused allocation automatically retries down the
+//! degradation ladder (see [`next_rung`]), recording each step as a
+//! trace event so `flsa report` can show what degraded and why.
 
 pub mod affine;
+pub mod cancel;
 pub mod config;
 pub mod costlog;
+pub mod error;
+pub mod governor;
 pub mod grid;
 pub mod model;
 mod parallel;
 mod solver;
 
 pub use affine::align_affine;
+pub use cancel::CancelToken;
 pub use config::{FastLsaConfig, ParallelConfig};
 pub use costlog::{CostEvent, CostLog};
+pub use error::{AlignError, ConfigError};
+pub use governor::{
+    degradation_ladder, next_rung, AlignOptions, FaultHooks, MemoryGovernor, MIN_BASE_CELLS,
+};
 pub use model::{replay, replay_with_comm, ReplayReport};
 
 use flsa_dp::{AlignResult, Metrics};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
+use flsa_trace::{DegradeReason, EventKind};
 
 /// Aligns two sequences with the default configuration
 /// ([`FastLsaConfig::default`]: sequential, `k = 8`, 4 MiB base buffer).
-pub fn align(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metrics) -> AlignResult {
+pub fn align(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    metrics: &Metrics,
+) -> Result<AlignResult, AlignError> {
     align_with(a, b, scheme, FastLsaConfig::default(), metrics)
 }
 
@@ -65,9 +89,69 @@ pub fn align_with(
     scheme: &ScoringScheme,
     config: FastLsaConfig,
     metrics: &Metrics,
-) -> AlignResult {
-    let mut solver = solver::Solver::new(scheme, config, metrics);
-    solver.run(a, b)
+) -> Result<AlignResult, AlignError> {
+    align_opts(a, b, scheme, config, &AlignOptions::default(), metrics)
+}
+
+/// Aligns two sequences under a memory budget, cancellation token, and
+/// (for testing) fault-injection hooks.
+///
+/// On [`AlignError::AllocFailed`] the run is retried with the next rung
+/// of the degradation ladder (halved `base_cells`, then halved `k`, down
+/// to the Hirschberg-style minimal footprint); on
+/// [`AlignError::WorkerPanic`] the retry strips parallelism. Every retry
+/// is recorded as an [`EventKind::Degrade`] trace event when a recorder
+/// is attached. Other errors — and failures at the bottom of the ladder
+/// — are returned to the caller.
+pub fn align_opts(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    config: FastLsaConfig,
+    opts: &AlignOptions,
+    metrics: &Metrics,
+) -> Result<AlignResult, AlignError> {
+    config.validate()?;
+    let mut cfg = config;
+    let mut rung: u32 = 0;
+    loop {
+        let mut solver = solver::Solver::new(scheme, cfg, metrics, opts);
+        let err = match solver.run(a, b) {
+            Ok(r) => return Ok(r),
+            Err(e) => e,
+        };
+        let (reason, next) = match &err {
+            AlignError::AllocFailed { .. } => (DegradeReason::AllocFailed, next_rung(&cfg)),
+            AlignError::WorkerPanic if cfg.threads() > 1 => (
+                DegradeReason::WorkerPanic,
+                Some(FastLsaConfig {
+                    parallel: None,
+                    ..cfg
+                }),
+            ),
+            _ => return Err(err),
+        };
+        let Some(next) = next else {
+            // Bottom of the ladder: give the caller the real failure.
+            return Err(err);
+        };
+        rung += 1;
+        if let Some(r) = metrics.recorder() {
+            let now = r.now_ns();
+            r.record(
+                now,
+                now,
+                EventKind::Degrade {
+                    reason,
+                    rung,
+                    k: next.k as u32,
+                    base_cells: next.base_cells as u64,
+                    threads: next.threads() as u32,
+                },
+            );
+        }
+        cfg = next;
+    }
 }
 
 /// Like [`align_with`], additionally returning the execution trace for
@@ -78,10 +162,11 @@ pub fn align_traced(
     scheme: &ScoringScheme,
     config: FastLsaConfig,
     metrics: &Metrics,
-) -> (AlignResult, CostLog) {
-    let mut solver = solver::Solver::new(scheme, config, metrics);
-    let result = solver.run(a, b);
-    (result, solver.log)
+) -> Result<(AlignResult, CostLog), AlignError> {
+    config.validate()?;
+    let mut solver = solver::Solver::new(scheme, config, metrics, &AlignOptions::default());
+    let result = solver.run(a, b)?;
+    Ok((result, solver.log))
 }
 
 #[cfg(test)]
@@ -103,7 +188,7 @@ mod tests {
     fn paper_example_scores_82() {
         let (a, b, scheme) = paper_pair();
         let metrics = Metrics::new();
-        let r = align(&a, &b, &scheme, &metrics);
+        let r = align(&a, &b, &scheme, &metrics).unwrap();
         assert_eq!(r.score, 82);
         assert_eq!(r.path.score(&a, &b, &scheme), 82);
     }
@@ -114,7 +199,7 @@ mod tests {
         for k in 2..=6 {
             let metrics = Metrics::new();
             let cfg = FastLsaConfig::new(k, 16);
-            let r = align_with(&a, &b, &scheme, cfg, &metrics);
+            let r = align_with(&a, &b, &scheme, cfg, &metrics).unwrap();
             assert_eq!(r.score, 82, "k={k}");
         }
     }
@@ -131,7 +216,7 @@ mod tests {
             for k in [2usize, 3, 5, 8] {
                 for base in [32usize, 1024, 1 << 20] {
                     let m = Metrics::new();
-                    let r = align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &m);
+                    let r = align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &m).unwrap();
                     assert_eq!(r.score, nw.score, "seed={seed} k={k} base={base}");
                     assert_eq!(r.path.score(&a, &b, &scheme), r.score);
                     assert!(r.path.is_global(a.len(), b.len()));
@@ -149,7 +234,7 @@ mod tests {
             let (a, b) = homologous_pair("t", &Alphabet::dna(), 257, 0.75, seed + 50).unwrap();
             let metrics = Metrics::new();
             let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
-            let r = align_with(&a, &b, &scheme, FastLsaConfig::new(4, 256), &metrics);
+            let r = align_with(&a, &b, &scheme, FastLsaConfig::new(4, 256), &metrics).unwrap();
             assert_eq!(nw.path, r.path, "seed={seed}");
         }
     }
@@ -159,11 +244,11 @@ mod tests {
         let scheme = ScoringScheme::dna_default();
         let (a, b) = homologous_pair("t", &Alphabet::dna(), 600, 0.8, 99).unwrap();
         let metrics = Metrics::new();
-        let seq = align_with(&a, &b, &scheme, FastLsaConfig::new(4, 2048), &metrics);
+        let seq = align_with(&a, &b, &scheme, FastLsaConfig::new(4, 2048), &metrics).unwrap();
         for threads in [1usize, 2, 3, 4, 8] {
             let m = Metrics::new();
             let cfg = FastLsaConfig::new(4, 2048).with_threads(threads);
-            let par = align_with(&a, &b, &scheme, cfg, &m);
+            let par = align_with(&a, &b, &scheme, cfg, &m).unwrap();
             assert_eq!(par.score, seq.score, "threads={threads}");
             assert_eq!(par.path, seq.path, "threads={threads}");
             // Same work regardless of thread count.
@@ -187,7 +272,7 @@ mod tests {
             base_cells: (a.len() + 1) * (b.len() + 1),
             parallel: None,
         };
-        align_with(&a, &b, &scheme, cfg, &metrics);
+        align_with(&a, &b, &scheme, cfg, &metrics).unwrap();
         assert_eq!(
             metrics.snapshot().cells_computed,
             (a.len() * b.len()) as u64
@@ -201,7 +286,7 @@ mod tests {
         for k in [2usize, 4, 8] {
             let base = 4096;
             let metrics = Metrics::new();
-            align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics);
+            align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics).unwrap();
             let measured = metrics.snapshot().cells_computed as f64;
             let bound = model::fastlsa_cells_bound(a.len(), b.len(), k, base);
             // Allow the non-divisible-length rounding slack (DESIGN.md §6).
@@ -224,7 +309,7 @@ mod tests {
         let mut prev_peak = 0u64;
         for k in [2usize, 4, 8, 16] {
             let metrics = Metrics::new();
-            align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics);
+            align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics).unwrap();
             let peak = metrics.snapshot().peak_bytes;
             let bound = model::fastlsa_space_entries(a.len(), b.len(), k, base) * 4.0;
             assert!(
@@ -244,7 +329,8 @@ mod tests {
         let scheme = ScoringScheme::dna_default();
         let (a, b) = homologous_pair("t", &Alphabet::dna(), 800, 0.8, 31).unwrap();
         let metrics = Metrics::new();
-        let (_, log) = align_traced(&a, &b, &scheme, FastLsaConfig::new(4, 1024), &metrics);
+        let (_, log) =
+            align_traced(&a, &b, &scheme, FastLsaConfig::new(4, 1024), &metrics).unwrap();
         assert_eq!(log.total_fill_cells(), metrics.snapshot().cells_computed);
         assert_eq!(log.total_trace_steps(), metrics.snapshot().traceback_steps);
     }
@@ -264,7 +350,7 @@ mod tests {
             let b = Sequence::from_str("b", scheme.alphabet(), sb).unwrap();
             let metrics = Metrics::new();
             let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
-            let r = align_with(&a, &b, &scheme, FastLsaConfig::new(2, 8), &metrics);
+            let r = align_with(&a, &b, &scheme, FastLsaConfig::new(2, 8), &metrics).unwrap();
             assert_eq!(r.score, nw.score, "case {sa:?} vs {sb:?}");
         }
     }
@@ -275,7 +361,7 @@ mod tests {
         let (a, b) = homologous_pair("t", &Alphabet::protein(), 350, 0.7, 77).unwrap();
         let metrics = Metrics::new();
         let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
-        let r = align_with(&a, &b, &scheme, FastLsaConfig::new(6, 512), &metrics);
+        let r = align_with(&a, &b, &scheme, FastLsaConfig::new(6, 512), &metrics).unwrap();
         assert_eq!(r.score, nw.score);
     }
 }

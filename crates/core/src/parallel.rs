@@ -13,8 +13,14 @@ use flsa_dp::ScoreMatrix;
 use flsa_trace::{TileKind, TileTracer};
 use flsa_wavefront::DisjointBuf;
 
+use crate::error::AlignError;
 use crate::grid::{partition, Grid};
 use crate::solver::Solver;
+
+/// A tile panicking (including an injected [`crate::FaultHooks::on_tile`]
+/// panic) or the job being cancelled both surface as a [`JobError`] from
+/// the pool; [`AlignError::from`] maps them to `WorkerPanic`/`Cancelled`.
+type FillResult = Result<(), AlignError>;
 
 /// Builds tile bounds refining `block_bounds`: each block is subdivided
 /// into `f` near-equal parts, so every block edge is also a tile edge
@@ -43,11 +49,11 @@ pub(crate) fn fill_grid_parallel(
     top: &[i32],
     left: &[i32],
     grid: &mut Grid,
-) {
+) -> FillResult {
     let par = solver
         .config
         .parallel
-        .expect("parallel fill requires a parallel config");
+        .expect("parallel fill requires a parallel config"); // flsa-check: allow(unwrap) — guarded by threads() > 1
     let (rows, cols) = (a.len(), b.len());
     let k_r = grid.k_r();
     let k_c = grid.k_c();
@@ -62,6 +68,13 @@ pub(crate) fn fill_grid_parallel(
     // Tile boundary storage: row `tr`'s bottom boundary and column `tc`'s
     // right boundary. (The last row/column slots are never read; keeping
     // them avoids index gymnastics.)
+    // Charge the shared boundary storage against the run's budget before
+    // building it; a refusal here degrades the run instead of aborting.
+    let reserved = r_tiles * (cols + 1) + c_tiles * (rows + 1);
+    solver
+        .ctx
+        .governor
+        .reserve_i32(reserved, "parallel tile boundaries")?;
     let mut tile_rows = DisjointBuf::<i32>::new(r_tiles * (cols + 1));
     let mut tile_cols = DisjointBuf::<i32>::new(c_tiles * (rows + 1));
     let _mem = solver
@@ -90,12 +103,16 @@ pub(crate) fn fill_grid_parallel(
 
     let scheme = solver.scheme;
     let metrics = solver.metrics;
+    let hooks = solver.ctx.hooks.clone();
     let trb_ref = &trb;
     let tcb_ref = &tcb;
     let tile_rows_ref = &tile_rows;
     let tile_cols_ref = &tile_cols;
 
     let work = move |tr: usize, tc: usize| {
+        if let Some(h) = &hooks {
+            h.on_tile(tr, tc);
+        }
         let r0 = trb_ref[tr];
         let r1 = trb_ref[tr + 1];
         let c0 = tcb_ref[tc];
@@ -160,11 +177,18 @@ pub(crate) fn fill_grid_parallel(
     let tracer = metrics
         .recorder()
         .map(|r| TileTracer::new(r, TileKind::GridFill));
-    solver
+    let token = solver.ctx.cancel.clone();
+    let cancel_closure = token.as_ref().map(|t| move || t.is_cancelled());
+    let cancel = cancel_closure
+        .as_ref()
+        .map(|c| c as &(dyn Fn() -> bool + Sync));
+    let outcome = solver
         .pool
         .as_mut()
-        .expect("parallel fill requires the worker pool")
-        .run_traced(r_tiles, c_tiles, skip, &work, tracer.as_ref());
+        .expect("parallel fill requires the worker pool") // flsa-check: allow(unwrap) — guarded by threads() > 1
+        .run_traced(r_tiles, c_tiles, skip, &work, cancel, tracer.as_ref());
+    solver.ctx.governor.release_i32(reserved);
+    outcome?;
 
     // Extract the grid rows/columns: block edge s+1 is tile edge
     // (s+1)·f − 1's bottom boundary.
@@ -178,6 +202,7 @@ pub(crate) fn fill_grid_parallel(
         let tc = (t + 1) * f_c - 1;
         grid.cols_cache[t].copy_from_slice(&tile_cols[tc * (rows + 1)..(tc + 1) * (rows + 1)]);
     }
+    Ok(())
 }
 
 /// Parallel Base Case fill (paper §5.1: the Base Case is tiled and
@@ -189,14 +214,19 @@ pub(crate) fn fill_base_parallel(
     b: &[u8],
     top: &[i32],
     left: &[i32],
-) -> ScoreMatrix {
+) -> Result<ScoreMatrix, AlignError> {
     let par = solver
         .config
         .parallel
-        .expect("parallel fill requires a parallel config");
+        .expect("parallel fill requires a parallel config"); // flsa-check: allow(unwrap) — guarded by threads() > 1
     let (rows, cols) = (a.len(), b.len());
     let w = cols + 1;
 
+    let reserved = (rows + 1) * w;
+    solver
+        .ctx
+        .governor
+        .reserve_i32(reserved, "parallel base-case matrix")?;
     let mut buf = DisjointBuf::<i32>::new((rows + 1) * w);
     {
         let s = buf.as_mut_slice();
@@ -214,6 +244,7 @@ pub(crate) fn fill_base_parallel(
 
     let scheme = solver.scheme;
     let metrics = solver.metrics;
+    let hooks = solver.ctx.hooks.clone();
     let gap = scheme.gap().linear_penalty();
     let matrix = scheme.matrix();
     let buf_ref = &buf;
@@ -221,6 +252,9 @@ pub(crate) fn fill_base_parallel(
     let tcb_ref = &tcb;
 
     let work = move |tr: usize, tc: usize| {
+        if let Some(h) = &hooks {
+            h.on_tile(tr, tc);
+        }
         let r0 = trb_ref[tr];
         let r1 = trb_ref[tr + 1];
         let c0 = tcb_ref[tc];
@@ -251,13 +285,27 @@ pub(crate) fn fill_base_parallel(
     let tracer = metrics
         .recorder()
         .map(|r| TileTracer::new(r, TileKind::BaseFill));
-    solver
+    let token = solver.ctx.cancel.clone();
+    let cancel_closure = token.as_ref().map(|t| move || t.is_cancelled());
+    let cancel = cancel_closure
+        .as_ref()
+        .map(|c| c as &(dyn Fn() -> bool + Sync));
+    let outcome = solver
         .pool
         .as_mut()
-        .expect("parallel fill requires the worker pool")
-        .run_traced(tiles_r, tiles_c, |_, _| false, &work, tracer.as_ref());
+        .expect("parallel fill requires the worker pool") // flsa-check: allow(unwrap) — guarded by threads() > 1
+        .run_traced(
+            tiles_r,
+            tiles_c,
+            |_, _| false,
+            &work,
+            cancel,
+            tracer.as_ref(),
+        );
+    solver.ctx.governor.release_i32(reserved);
+    outcome?;
 
-    ScoreMatrix::from_vec(rows, cols, buf.into_inner())
+    Ok(ScoreMatrix::from_vec(rows, cols, buf.into_inner()))
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@ use flsa_trace::{EventKind, Recorder, SpanKind};
 
 use crate::config::FastLsaConfig;
 use crate::costlog::{CostEvent, CostLog};
+use crate::error::AlignError;
+use crate::governor::{AlignOptions, RunCtx};
 use crate::grid::{segment_of, Grid};
 use crate::parallel;
 
@@ -39,11 +41,20 @@ pub(crate) struct Solver<'s> {
     /// Current depth in the recursion tree (0 = whole problem), recorded
     /// on trace spans.
     depth: u32,
+    /// Fallible-execution context: memory governor, cancellation,
+    /// fault-injection hooks.
+    pub(crate) ctx: RunCtx,
 }
 
 impl<'s> Solver<'s> {
-    pub fn new(scheme: &'s ScoringScheme, config: FastLsaConfig, metrics: &'s Metrics) -> Self {
-        config.validate();
+    /// Builds a solver. The caller (`align_opts`) is responsible for
+    /// validating `config` first.
+    pub fn new(
+        scheme: &'s ScoringScheme,
+        config: FastLsaConfig,
+        metrics: &'s Metrics,
+        opts: &AlignOptions,
+    ) -> Self {
         let pool =
             (config.threads() > 1).then(|| flsa_wavefront::WorkerPool::new(config.threads()));
         Solver {
@@ -56,6 +67,7 @@ impl<'s> Solver<'s> {
             pool,
             log: CostLog::default(),
             depth: 0,
+            ctx: RunCtx::from_options(opts),
         }
     }
 
@@ -95,13 +107,28 @@ impl<'s> Solver<'s> {
         }
     }
 
-    /// Aligns two sequences, returning the optimal score and path.
-    pub fn run(&mut self, a: &Sequence, b: &Sequence) -> AlignResult {
-        self.scheme.check_sequences(a, b);
+    /// Aligns two sequences, returning the optimal score and path, or a
+    /// structured error (bad alphabet, refused allocation, cancellation,
+    /// worker panic). No panic escapes this method for any input.
+    pub fn run(&mut self, a: &Sequence, b: &Sequence) -> Result<AlignResult, AlignError> {
+        for s in [a, b] {
+            if s.alphabet() != self.scheme.alphabet() {
+                return Err(AlignError::AlphabetMismatch {
+                    expected: self.scheme.alphabet().name().to_string(),
+                    found: s.alphabet().name().to_string(),
+                });
+            }
+        }
         let (m, n) = (a.len(), b.len());
         let gap = self.scheme.gap().linear_penalty();
 
-        // Reserve the Base Case buffer up front, as the paper does.
+        // Reserve the Base Case buffer up front, as the paper does —
+        // fallibly, through the governor, so an over-budget `BM` surfaces
+        // as `AllocFailed` before any work happens.
+        self.base_storage = self
+            .ctx
+            .governor
+            .try_alloc_i32(self.config.base_cells, "base-case buffer")?;
         let base_guard = self
             .metrics
             .track_alloc(self.config.base_cells * std::mem::size_of::<i32>());
@@ -110,7 +137,7 @@ impl<'s> Solver<'s> {
         let left: Vec<i32> = (0..=m as i64).map(|i| (i * gap as i64) as i32).collect();
 
         let mut builder = PathBuilder::new();
-        let (ei, ej) = self.solve(a.codes(), b.codes(), &top, &left, (m, n), &mut builder);
+        let (ei, ej) = self.solve(a.codes(), b.codes(), &top, &left, (m, n), &mut builder)?;
         // Extend along the gap-ramp boundary to the top-left corner
         // (paper: "this partial optimal path can then be extended to the
         // top-left entry").
@@ -125,7 +152,7 @@ impl<'s> Solver<'s> {
         let path = builder.finish((0, 0));
         debug_assert!(path.is_global(m, n));
         let score = path.score(a, b, self.scheme);
-        AlignResult { score, path }
+        Ok(AlignResult { score, path })
     }
 
     /// Extends the path through one rectangle: `head` (local coordinates)
@@ -140,7 +167,8 @@ impl<'s> Solver<'s> {
         left: &[i32],
         head: (usize, usize),
         out: &mut PathBuilder,
-    ) -> (usize, usize) {
+    ) -> Result<(usize, usize), AlignError> {
+        self.ctx.step()?;
         let (rows, cols) = (a.len(), b.len());
         debug_assert!(
             head.0 == rows || head.1 == cols,
@@ -148,7 +176,7 @@ impl<'s> Solver<'s> {
         );
         if head.0 == 0 || head.1 == 0 {
             // Degenerate rectangle (or head already on the exit boundary).
-            return head;
+            return Ok(head);
         }
 
         // BASE CASE (Figure 2 lines 1-2): the rectangle fits the buffer.
@@ -162,7 +190,8 @@ impl<'s> Solver<'s> {
         // GENERAL CASE (Figure 2 lines 3-15).
         let k_r = self.config.k.min(rows);
         let k_c = self.config.k.min(cols);
-        let mut grid = Grid::new(rows, cols, k_r, k_c);
+        let mut grid = Grid::try_new(rows, cols, k_r, k_c, &self.ctx.governor)?;
+        let grid_entries = grid.cache_entries();
         let grid_guard = self
             .metrics
             .track_alloc(grid.cache_entries() * std::mem::size_of::<i32>());
@@ -176,7 +205,7 @@ impl<'s> Solver<'s> {
         // fillGridCache (Figure 2 line 5 / Figure 3d).
         let fill_start = self.recorder().map(Recorder::now_ns);
         if self.config.threads() > 1 {
-            parallel::fill_grid_parallel(self, a, b, top, left, &mut grid);
+            parallel::fill_grid_parallel(self, a, b, top, left, &mut grid)?;
         } else {
             self.fill_grid_sequential(a, b, top, left, &mut grid);
         }
@@ -203,14 +232,16 @@ impl<'s> Solver<'s> {
                 sub_left,
                 (i - r0, j - c0),
                 out,
-            );
+            )?;
             i = r0 + ei;
             j = c0 + ej;
         }
         self.depth -= 1;
 
+        drop(grid);
+        self.ctx.governor.release_i32(grid_entries);
         drop(grid_guard);
-        (i, j)
+        Ok((i, j))
     }
 
     /// Figure 2's BASE CASE: full-matrix solve in the reserved buffer.
@@ -222,7 +253,7 @@ impl<'s> Solver<'s> {
         left: &[i32],
         head: (usize, usize),
         out: &mut PathBuilder,
-    ) -> (usize, usize) {
+    ) -> Result<(usize, usize), AlignError> {
         let (rows, cols) = (a.len(), b.len());
         self.log.events.push(CostEvent::BaseFill { rows, cols });
 
@@ -237,7 +268,7 @@ impl<'s> Solver<'s> {
         });
         let fill_start = self.recorder().map(Recorder::now_ns);
         let dpm = if use_parallel {
-            parallel::fill_base_parallel(self, a, b, top, left)
+            parallel::fill_base_parallel(self, a, b, top, left)?
         } else {
             let storage = std::mem::take(&mut self.base_storage);
             fill_full_reusing(a, b, top, left, self.scheme, storage, self.metrics)
@@ -258,7 +289,7 @@ impl<'s> Solver<'s> {
         if storage.capacity() > self.base_storage.capacity() {
             self.base_storage = storage;
         }
-        exit
+        Ok(exit)
     }
 
     /// Sequential fillGridCache: every block except the bottom-right one,

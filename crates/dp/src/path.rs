@@ -257,9 +257,9 @@ impl std::fmt::Display for Alignment {
         let mut pos = 0;
         while pos < a.len() {
             let end = (pos + W).min(a.len());
-            writeln!(f, "{}", std::str::from_utf8(&a[pos..end]).unwrap())?;
-            writeln!(f, "{}", std::str::from_utf8(&m[pos..end]).unwrap())?;
-            writeln!(f, "{}", std::str::from_utf8(&b[pos..end]).unwrap())?;
+            writeln!(f, "{}", String::from_utf8_lossy(&a[pos..end]))?;
+            writeln!(f, "{}", String::from_utf8_lossy(&m[pos..end]))?;
+            writeln!(f, "{}", String::from_utf8_lossy(&b[pos..end]))?;
             if end < a.len() {
                 writeln!(f)?;
             }

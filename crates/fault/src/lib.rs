@@ -1,0 +1,252 @@
+//! Deterministic fault injection for the FastLSA engine (DESIGN.md §9).
+//!
+//! The robustness claims of the fallible `align*` API — no escaped panic,
+//! no deadlock, no corrupted path, graceful degradation under memory
+//! pressure — are only as good as the failures they are tested against.
+//! This crate turns a 64-bit seed into a [`FaultPlan`] (which allocation
+//! to refuse, which wavefront tile panics, at which recursion step the
+//! run is cancelled, what byte budget applies) and a [`FaultInjector`]
+//! that wires the plan into [`fastlsa_core::AlignOptions`] via the
+//! [`FaultHooks`] trait.
+//!
+//! The property suite in `tests/` runs a matrix of seeded plans and
+//! asserts that every run either returns the byte-identical optimal
+//! alignment (when the degradation ladder sufficed) or a structured
+//! [`fastlsa_core::AlignError`] matching the injected fault class —
+//! never a corrupted path, a deadlock, or a panic that crosses the API
+//! boundary.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fastlsa_core::{AlignOptions, CancelToken, FaultHooks};
+
+/// `splitmix64`: the standard seed-expansion permutation. Deterministic,
+/// platform-independent, and good enough to decorrelate plan fields.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// One deterministic fault scenario, derived from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from (kept for diagnostics).
+    pub seed: u64,
+    /// Refuse the Nth governed allocation (0-based), exactly once — the
+    /// degraded retry's allocations then succeed, modelling a transient
+    /// memory spike.
+    pub fail_alloc_at: Option<u64>,
+    /// Panic inside the wavefront tile with these tile coordinates,
+    /// exactly once (a tile grid that never schedules the coordinates
+    /// simply never fires).
+    pub panic_tile: Option<(usize, usize)>,
+    /// Cancel the run's token at the Nth recursion step (0-based).
+    pub cancel_at_step: Option<u64>,
+    /// Byte budget handed to the memory governor.
+    pub budget_bytes: Option<usize>,
+}
+
+impl FaultPlan {
+    /// Derives a plan from `seed`. Consecutive seeds rotate through the
+    /// fault classes (`seed % 4`: alloc failure, tile panic,
+    /// cancellation, byte budget + a second fault), so any 4 consecutive
+    /// seeds cover every class.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        match seed % 4 {
+            0 => plan.fail_alloc_at = Some(rng.below(48)),
+            1 => {
+                plan.panic_tile = Some((rng.below(4) as usize, rng.below(4) as usize));
+            }
+            2 => plan.cancel_at_step = Some(rng.below(256)),
+            _ => {
+                // Squeeze the budget, sometimes stacking a second fault on
+                // top (faults rarely arrive alone).
+                plan.budget_bytes = Some((24 << 10) + rng.below(96 << 10) as usize);
+                match rng.below(4) {
+                    0 => plan.fail_alloc_at = Some(rng.below(48)),
+                    1 => {
+                        plan.panic_tile = Some((rng.below(4) as usize, rng.below(4) as usize));
+                    }
+                    2 => plan.cancel_at_step = Some(rng.below(256)),
+                    _ => {}
+                }
+            }
+        }
+        plan
+    }
+
+    /// True when the plan can produce `AlignError::AllocFailed`.
+    pub fn may_fail_alloc(&self) -> bool {
+        self.fail_alloc_at.is_some() || self.budget_bytes.is_some()
+    }
+}
+
+/// Implements [`FaultHooks`] for a [`FaultPlan`]: counts governed
+/// allocations, fires the planned faults exactly once, and cancels the
+/// shared [`CancelToken`] at the planned recursion step.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    token: CancelToken,
+    allocs: AtomicU64,
+    alloc_fired: AtomicBool,
+    panic_fired: AtomicBool,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            plan,
+            token: CancelToken::new(),
+            allocs: AtomicU64::new(0),
+            alloc_fired: AtomicBool::new(false),
+            panic_fired: AtomicBool::new(false),
+        })
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The token the injector cancels at `cancel_at_step`.
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Governed allocations observed so far (across ladder retries — the
+    /// injector is shared, so "the Nth allocation" is global to the run).
+    pub fn allocs_seen(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed) // Relaxed: monotonic counter read after the run
+    }
+
+    /// Align options wiring this injector's plan into a run.
+    pub fn options(self: &Arc<Self>) -> AlignOptions {
+        AlignOptions {
+            budget_bytes: self.plan.budget_bytes,
+            cancel: Some(self.token.clone()),
+            hooks: Some(Arc::clone(self) as Arc<dyn FaultHooks>),
+        }
+    }
+}
+
+impl FaultHooks for FaultInjector {
+    fn on_alloc(&self, _bytes: usize) -> bool {
+        let Some(n) = self.plan.fail_alloc_at else {
+            return false;
+        };
+        // Relaxed: the counter and the one-shot flag are each internally
+        // consistent; no other memory is published through them.
+        let i = self.allocs.fetch_add(1, Ordering::Relaxed);
+        i == n && !self.alloc_fired.swap(true, Ordering::Relaxed)
+    }
+
+    fn on_tile(&self, r: usize, c: usize) {
+        // Relaxed: the swap only arbitrates the one-shot; the panic itself
+        // is contained and reported through the job protocol.
+        if self.plan.panic_tile == Some((r, c)) && !self.panic_fired.swap(true, Ordering::Relaxed) {
+            // flsa-check: allow(panic) — this panic IS the injected fault;
+            // the wavefront layer must contain it.
+            panic!("injected tile fault at ({r}, {c})");
+        }
+    }
+
+    fn on_step(&self, step: u64) {
+        if self.plan.cancel_at_step == Some(step) {
+            self.token.cancel();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let a: Vec<u64> = {
+            let mut s = SplitMix64::new(42);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = SplitMix64::new(42);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        // All distinct (splitmix64 is a permutation of the counter).
+        for (i, x) in a.iter().enumerate() {
+            for y in &a[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn four_consecutive_seeds_cover_every_fault_class() {
+        for base in [0u64, 40, 1000] {
+            let plans: Vec<FaultPlan> = (base..base + 4).map(FaultPlan::from_seed).collect();
+            assert!(plans.iter().any(|p| p.fail_alloc_at.is_some()));
+            assert!(plans.iter().any(|p| p.panic_tile.is_some()));
+            assert!(plans.iter().any(|p| p.cancel_at_step.is_some()));
+            assert!(plans.iter().any(|p| p.budget_bytes.is_some()));
+        }
+    }
+
+    #[test]
+    fn plans_are_reproducible() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+        }
+    }
+
+    #[test]
+    fn injector_fires_alloc_fault_exactly_once() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            fail_alloc_at: Some(2),
+            ..FaultPlan::default()
+        });
+        let fired: Vec<bool> = (0..6).map(|_| inj.on_alloc(128)).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(inj.allocs_seen(), 6);
+    }
+
+    #[test]
+    fn injector_cancels_at_the_planned_step() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            cancel_at_step: Some(3),
+            ..FaultPlan::default()
+        });
+        for step in 0..3 {
+            inj.on_step(step);
+            assert!(!inj.token().is_cancelled(), "step {step}");
+        }
+        inj.on_step(3);
+        assert!(inj.token().is_cancelled());
+    }
+}

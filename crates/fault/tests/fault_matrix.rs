@@ -1,0 +1,255 @@
+//! The fault-injection property suite (ISSUE 3 acceptance matrix).
+//!
+//! A matrix of ≥64 seeded [`FaultPlan`]s — covering injected allocation
+//! failures, tile panics, cancellation, and byte budgets — runs against
+//! a Needleman–Wunsch oracle. Every plan must yield either the
+//! byte-identical optimal alignment (when the degradation ladder
+//! sufficed) or a structured error matching the injected fault class;
+//! never a corrupted path, a deadlock (every run is under a watchdog),
+//! or a panic escaping the `align*` API.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use fastlsa_core::{align_opts, AlignError, AlignOptions, FastLsaConfig};
+use flsa_dp::{AlignResult, Metrics};
+use flsa_fault::{FaultInjector, FaultPlan};
+use flsa_fullmatrix::needleman_wunsch;
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::{Alphabet, Sequence};
+use flsa_trace::{analyze, render_report, DegradeReason, EventKind, Recorder};
+
+/// Upper bound for one faulted run; far beyond any healthy execution, so
+/// hitting it means the drain protocol deadlocked.
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+fn test_pair(pair_seed: u64) -> (Sequence, Sequence) {
+    homologous_pair("t", &Alphabet::dna(), 280, 0.8, pair_seed).unwrap()
+}
+
+/// Runs one plan under a watchdog; panics on timeout (deadlock) or on a
+/// panic escaping `align_opts` (the worker thread would die without
+/// sending).
+fn run_plan(
+    plan: FaultPlan,
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    cfg: FastLsaConfig,
+    recorder: &Arc<Recorder>,
+) -> (Result<AlignResult, AlignError>, Arc<FaultInjector>) {
+    let injector = FaultInjector::new(plan);
+    let opts = injector.options();
+    let (tx, rx) = mpsc::channel();
+    let (a, b, scheme) = (a.clone(), b.clone(), scheme.clone());
+    let rec = Arc::clone(recorder);
+    let worker = thread::spawn(move || {
+        let metrics = Metrics::with_recorder(rec);
+        let out = align_opts(&a, &b, &scheme, cfg, &opts, &metrics);
+        // If a panic escaped align_opts we never get here and the channel
+        // closes, which the receiver reports as an escaped panic.
+        tx.send(out).ok();
+    });
+    let outcome = match rx.recv_timeout(WATCHDOG) {
+        Ok(out) => out,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("plan {plan:?} did not finish within {WATCHDOG:?}: drain deadlocked")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("plan {plan:?}: a panic escaped align_opts")
+        }
+    };
+    worker
+        .join()
+        .unwrap_or_else(|_| panic!("plan {plan:?}: worker panicked after reporting"));
+    (outcome, injector)
+}
+
+fn degrade_events(recorder: &Recorder) -> Vec<(DegradeReason, u32)> {
+    recorder
+        .snapshot()
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Degrade { reason, rung, .. } => Some((reason, rung)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn matrix_of_64_seeded_plans_is_safe_and_exact() {
+    let scheme = ScoringScheme::dna_default();
+    // Three sequence pairs, shared across plans so the oracle is computed
+    // once per pair.
+    let pairs: Vec<(Sequence, Sequence)> = (0..3).map(test_pair).collect();
+    let oracles: Vec<AlignResult> = pairs
+        .iter()
+        .map(|(a, b)| needleman_wunsch(a, b, &scheme, &Metrics::new()))
+        .collect();
+
+    let mut ok_runs = 0usize;
+    let mut err_runs = 0usize;
+    for seed in 0..64u64 {
+        let plan = FaultPlan::from_seed(seed);
+        let (a, b) = &pairs[(seed % 3) as usize];
+        let oracle = &oracles[(seed % 3) as usize];
+        let threads = 2 + (seed % 3) as usize;
+        let cfg = FastLsaConfig::new(4, 512).with_threads(threads);
+        let recorder = Arc::new(Recorder::new());
+
+        let (outcome, injector) = run_plan(plan, a, b, &scheme, cfg, &recorder);
+        let degrades = degrade_events(&recorder);
+
+        match outcome {
+            Ok(r) => {
+                ok_runs += 1;
+                // Byte-identical optimal alignment: same score AND the
+                // same canonical path as the full-matrix oracle, no
+                // matter what was injected or how far the run degraded.
+                assert_eq!(r.score, oracle.score, "seed {seed}: score corrupted");
+                assert_eq!(r.path, oracle.path, "seed {seed}: path corrupted");
+                // A fault that actually fired on a successful run must
+                // have left a visible degradation trail.
+                if plan.fail_alloc_at.is_some()
+                    && injector.allocs_seen() > plan.fail_alloc_at.unwrap()
+                {
+                    assert!(
+                        !degrades.is_empty(),
+                        "seed {seed}: alloc fault fired but no degrade event recorded"
+                    );
+                }
+            }
+            Err(e) => {
+                err_runs += 1;
+                // Structured error matching an injected fault class only.
+                match e {
+                    AlignError::Cancelled => assert!(
+                        plan.cancel_at_step.is_some(),
+                        "seed {seed}: spurious cancellation"
+                    ),
+                    AlignError::AllocFailed { .. } => assert!(
+                        plan.may_fail_alloc(),
+                        "seed {seed}: spurious allocation failure"
+                    ),
+                    AlignError::WorkerPanic => assert!(
+                        plan.panic_tile.is_some(),
+                        "seed {seed}: spurious worker panic"
+                    ),
+                    other => panic!("seed {seed}: unexpected error class {other:?}"),
+                }
+            }
+        }
+    }
+    // The matrix must exercise both outcomes, otherwise it proves nothing.
+    assert!(ok_runs > 0, "no plan completed successfully");
+    assert!(err_runs > 0, "no plan surfaced a structured error");
+}
+
+#[test]
+fn injected_tile_panic_degrades_to_sequential_and_stays_optimal() {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = test_pair(7);
+    let oracle = needleman_wunsch(&a, &b, &scheme, &Metrics::new());
+    let plan = FaultPlan {
+        seed: 0,
+        panic_tile: Some((0, 0)),
+        ..FaultPlan::default()
+    };
+    let cfg = FastLsaConfig::new(4, 512).with_threads(4);
+    let recorder = Arc::new(Recorder::new());
+    let (outcome, _inj) = run_plan(plan, &a, &b, &scheme, cfg, &recorder);
+    let r = outcome.expect("tile panic must degrade, not fail the run");
+    assert_eq!(r.score, oracle.score);
+    assert_eq!(r.path, oracle.path);
+    let degrades = degrade_events(&recorder);
+    assert!(
+        degrades
+            .iter()
+            .any(|(reason, _)| *reason == DegradeReason::WorkerPanic),
+        "expected a WorkerPanic degrade event, got {degrades:?}"
+    );
+}
+
+#[test]
+fn byte_budget_walks_the_ladder_and_report_shows_it() {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = test_pair(11);
+    let oracle = needleman_wunsch(&a, &b, &scheme, &Metrics::new());
+    // Far too small for the requested 256 KiB base buffer, but plenty for
+    // the Hirschberg-style bottom rungs: the run must degrade and still
+    // produce the exact optimal alignment.
+    let opts = AlignOptions {
+        budget_bytes: Some(48 << 10),
+        ..AlignOptions::default()
+    };
+    let recorder = Arc::new(Recorder::new());
+    let metrics = Metrics::with_recorder(Arc::clone(&recorder));
+    let cfg = FastLsaConfig::new(8, 1 << 16);
+    let r = align_opts(&a, &b, &scheme, cfg, &opts, &metrics).expect("budget should degrade");
+    assert_eq!(r.score, oracle.score);
+    assert_eq!(r.path, oracle.path);
+
+    let degrades = degrade_events(&recorder);
+    assert!(
+        !degrades.is_empty(),
+        "a 48 KiB budget must force at least one degradation"
+    );
+    assert!(degrades
+        .iter()
+        .all(|(reason, _)| *reason == DegradeReason::AllocFailed));
+    // Rungs are recorded in order, starting at 1.
+    for (i, (_, rung)) in degrades.iter().enumerate() {
+        assert_eq!(*rung as usize, i + 1);
+    }
+
+    // `flsa report`'s analysis surfaces what degraded and why.
+    let analysis = analyze(&recorder.snapshot());
+    assert_eq!(analysis.degradations.len(), degrades.len());
+    let report = render_report(&analysis);
+    assert!(
+        report.contains("degradation ladder"),
+        "report must show the degradation section:\n{report}"
+    );
+    assert!(report.contains("AllocFailed"));
+}
+
+#[test]
+fn cancellation_token_stops_a_run_cleanly() {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = test_pair(13);
+    let plan = FaultPlan {
+        seed: 0,
+        cancel_at_step: Some(5),
+        ..FaultPlan::default()
+    };
+    let cfg = FastLsaConfig::new(4, 512).with_threads(3);
+    let recorder = Arc::new(Recorder::new());
+    let (outcome, inj) = run_plan(plan, &a, &b, &scheme, cfg, &recorder);
+    assert_eq!(outcome.unwrap_err(), AlignError::Cancelled);
+    assert!(inj.token().is_cancelled());
+}
+
+#[test]
+fn deadline_token_cancels_immediately() {
+    use fastlsa_core::CancelToken;
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = test_pair(17);
+    let opts = AlignOptions {
+        cancel: Some(CancelToken::with_deadline(Duration::ZERO)),
+        ..AlignOptions::default()
+    };
+    let err = align_opts(
+        &a,
+        &b,
+        &scheme,
+        FastLsaConfig::new(4, 512),
+        &opts,
+        &Metrics::new(),
+    )
+    .unwrap_err();
+    assert_eq!(err, AlignError::Cancelled);
+}

@@ -1,0 +1,50 @@
+//! Degradation-ladder property: every rung is still exact.
+//!
+//! For random byte budgets, every configuration on
+//! [`fastlsa_core::degradation_ladder`]'s descent — from the budget-fit
+//! config down to the Hirschberg-style minimal footprint — must produce
+//! the same optimal score as the default configuration and a valid
+//! global path. (Paths on different rungs may differ only when scores
+//! tie; with the workspace's shared Diag > Up > Left tie-break they are
+//! in fact identical, but the property asserted here is the one the
+//! ladder relies on: the score never changes.)
+
+use fastlsa_core::{align_with, degradation_ladder, FastLsaConfig, MIN_BASE_CELLS};
+use flsa_dp::Metrics;
+use flsa_fault::SplitMix64;
+use flsa_fullmatrix::needleman_wunsch;
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+
+#[test]
+fn every_rung_of_random_budget_ladders_scores_optimally() {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = homologous_pair("t", &Alphabet::dna(), 240, 0.8, 3).unwrap();
+    let oracle = needleman_wunsch(&a, &b, &scheme, &Metrics::new());
+
+    let mut rng = SplitMix64::new(0xfa57_15a0);
+    for case in 0..12 {
+        let budget = 1024 + rng.below(512 << 10) as usize;
+        let cfg = FastLsaConfig::for_memory(budget, a.len(), b.len());
+        let ladder = degradation_ladder(&cfg);
+        assert_eq!(ladder[0], cfg, "case {case}: ladder must start at cfg");
+        let bottom = ladder.last().unwrap();
+        assert_eq!(bottom.k, 2);
+        assert!(bottom.base_cells <= cfg.base_cells.max(MIN_BASE_CELLS));
+
+        for (i, rung) in ladder.iter().enumerate() {
+            let metrics = Metrics::new();
+            let r = align_with(&a, &b, &scheme, *rung, &metrics)
+                .unwrap_or_else(|e| panic!("case {case} rung {i} ({rung:?}) failed: {e}"));
+            assert_eq!(
+                r.score, oracle.score,
+                "case {case} rung {i} ({rung:?}): wrong score"
+            );
+            assert!(
+                r.path.is_global(a.len(), b.len()),
+                "case {case} rung {i}: path is not global"
+            );
+        }
+    }
+}

@@ -22,4 +22,4 @@ pub mod msa;
 pub mod star;
 
 pub use msa::Msa;
-pub use star::{center_star, CenterStarResult};
+pub use star::{center_star, CenterStarResult, MsaError};

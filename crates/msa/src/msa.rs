@@ -60,7 +60,9 @@ impl Msa {
                         (true, true) => 0,
                         (true, false) | (false, true) => gap,
                         (false, false) => {
+                            // flsa-check: allow(unwrap) — rows render from encoded seqs
                             let a = alpha.encode_symbol(ci).expect("row symbol in alphabet");
+                            // flsa-check: allow(unwrap) — same invariant as above
                             let b = alpha.encode_symbol(cj).expect("row symbol in alphabet");
                             scheme.sub(a, b) as i64
                         }

@@ -1,6 +1,6 @@
 //! The center-star construction.
 
-use fastlsa_core::FastLsaConfig;
+use fastlsa_core::{AlignError, FastLsaConfig};
 use flsa_dp::kernel::fill_last_row;
 use flsa_dp::{Boundary, Metrics, Move, Path};
 use flsa_scoring::ScoringScheme;
@@ -13,17 +13,41 @@ use crate::Msa;
 pub enum MsaError {
     /// No sequences supplied.
     Empty,
+    /// A sequence is not encoded in the scoring scheme's alphabet.
+    AlphabetMismatch {
+        /// `id()` of the offending sequence.
+        id: String,
+    },
+    /// A pairwise FastLSA alignment failed.
+    Align(AlignError),
 }
 
 impl std::fmt::Display for MsaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MsaError::Empty => write!(f, "center-star MSA needs at least one sequence"),
+            MsaError::AlphabetMismatch { id } => {
+                write!(f, "sequence {id} is not encoded in the scheme's alphabet")
+            }
+            MsaError::Align(e) => write!(f, "pairwise alignment failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for MsaError {}
+impl std::error::Error for MsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MsaError::Align(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlignError> for MsaError {
+    fn from(e: AlignError) -> Self {
+        MsaError::Align(e)
+    }
+}
 
 /// Outcome of [`center_star`].
 #[derive(Debug, Clone)]
@@ -147,11 +171,11 @@ pub fn center_star(
         return Err(MsaError::Empty);
     }
     for s in seqs {
-        assert!(
-            s.alphabet() == scheme.alphabet(),
-            "sequence {} is not encoded in the scheme's alphabet",
-            s.id()
-        );
+        if s.alphabet() != scheme.alphabet() {
+            return Err(MsaError::AlphabetMismatch {
+                id: s.id().to_string(),
+            });
+        }
     }
     if seqs.len() == 1 {
         return Ok(CenterStarResult {
@@ -171,7 +195,7 @@ pub fn center_star(
             totals[j] += s;
         }
     }
-    let center = (0..n).max_by_key(|&i| totals[i]).expect("non-empty");
+    let center = (0..n).max_by_key(|&i| totals[i]).expect("non-empty"); // flsa-check: allow(unwrap) — seqs.is_empty() rejected above
     let center_seq = &seqs[center];
 
     // 2. Optimal FastLSA path of every other sequence against the center.
@@ -181,7 +205,7 @@ pub fn center_star(
         if i == center {
             continue;
         }
-        let r = fastlsa_core::align_with(center_seq, seq, scheme, config, metrics);
+        let r = fastlsa_core::align_with(center_seq, seq, scheme, config, metrics)?;
         pairwise[i] = r.score;
         paths[i] = Some(r.path);
     }

@@ -38,7 +38,9 @@ pub fn mdm_fragment() -> SubstitutionMatrix {
     let n = alphabet.len();
     let mut table = vec![0i32; n * n];
     let set = |table: &mut Vec<i32>, a: char, b: char, v: i32| {
+        // flsa-check: allow(unwrap) — callers pass symbols of this alphabet
         let i = alphabet.encode_symbol(a).unwrap() as usize;
+        // flsa-check: allow(unwrap) — same invariant as above
         let j = alphabet.encode_symbol(b).unwrap() as usize;
         table[i * n + j] = v;
         table[j * n + i] = v;
@@ -127,6 +129,7 @@ pub fn dna_default() -> SubstitutionMatrix {
     for i in 0..4 {
         table[i * n + i] = 5;
     }
+    // flsa-check: allow(unwrap) — 'N' is part of the DNA alphabet
     let nn = alphabet.encode_symbol('N').unwrap() as usize;
     for i in 0..n {
         table[nn * n + i] = 0;

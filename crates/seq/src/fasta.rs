@@ -118,7 +118,9 @@ pub fn write_to<W: Write>(mut w: W, records: &[Sequence], width: usize) -> Resul
 /// Renders records to a FASTA string (60-column bodies).
 pub fn to_string(records: &[Sequence]) -> String {
     let mut buf = Vec::new();
+    // flsa-check: allow(unwrap) — writing to a Vec is infallible
     write_to(&mut buf, records, 60).expect("writing to a Vec cannot fail");
+    // flsa-check: allow(unwrap) — FASTA bodies are ASCII by construction
     String::from_utf8(buf).expect("FASTA output is ASCII")
 }
 

@@ -43,6 +43,7 @@ impl WorkloadSpec {
             WorkloadKind::Dna => Alphabet::dna(),
         };
         homologous_pair(self.name, &alphabet, self.len, self.identity, self.seed)
+            // flsa-check: allow(unwrap) — SUITE entries are valid by construction
             .expect("suite parameters are valid by construction")
     }
 }

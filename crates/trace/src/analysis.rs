@@ -13,7 +13,20 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::event::{EventKind, SpanKind, TileKind, Trace};
+use crate::event::{DegradeReason, EventKind, SpanKind, TileKind, Trace};
+
+/// One recorded degradation step (the engine retried with a smaller
+/// configuration after a fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeStats {
+    pub reason: DegradeReason,
+    /// 1-based retry index.
+    pub rung: u32,
+    /// Configuration of the retry.
+    pub k: u32,
+    pub base_cells: u64,
+    pub threads: u32,
+}
 
 /// Busy time and event count for one recording thread.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +124,8 @@ pub struct Analysis {
     pub fills: Vec<FillStats>,
     pub spans: Vec<SpanDepthStats>,
     pub tile_hist: Histogram,
+    /// Degradation-ladder steps, in the order they happened.
+    pub degradations: Vec<DegradeStats>,
 }
 
 /// Union length of a set of half-open intervals, ns.
@@ -209,6 +224,21 @@ pub fn analyze(trace: &Trace) -> Analysis {
                 s.count += 1;
                 s.cells += cells;
                 s.total_ns += e.duration_ns();
+            }
+            EventKind::Degrade {
+                reason,
+                rung,
+                k,
+                base_cells,
+                threads,
+            } => {
+                out.degradations.push(DegradeStats {
+                    reason,
+                    rung,
+                    k,
+                    base_cells,
+                    threads,
+                });
             }
         }
     }
@@ -397,6 +427,21 @@ pub fn render_report(a: &Analysis) -> String {
             totals(2),
             a.fills.len()
         );
+    }
+
+    if !a.degradations.is_empty() {
+        let _ = writeln!(out, "\ndegradation ladder (what degraded and why):");
+        for d in &a.degradations {
+            let _ = writeln!(
+                out,
+                "  rung {:<2} {:<12} -> retried with k={} base_cells={} threads={}",
+                d.rung,
+                d.reason.name(),
+                d.k,
+                d.base_cells,
+                d.threads
+            );
+        }
     }
 
     if a.tile_hist.total() > 0 {

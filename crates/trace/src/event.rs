@@ -40,6 +40,24 @@ impl TileKind {
     }
 }
 
+/// Why the engine stepped down the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// An allocation was refused (budget, allocator, or injected fault).
+    AllocFailed,
+    /// A parallel worker panicked; the retry strips parallelism.
+    WorkerPanic,
+}
+
+impl DegradeReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeReason::AllocFailed => "AllocFailed",
+            DegradeReason::WorkerPanic => "WorkerPanic",
+        }
+    }
+}
+
 /// Payload of one recorded event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -77,6 +95,17 @@ pub enum EventKind {
     /// (instant event: `start_ns == end_ns`). Summing `cells` over a
     /// trace reproduces `Metrics::cells_computed`.
     Kernel { cells: u64 },
+    /// The engine degraded its configuration (instant event): attempt
+    /// `rung` failed for `reason` and the run was retried with the given
+    /// `k`/`base_cells`/`threads`. `flsa report` surfaces these so a
+    /// degraded run is visible after the fact.
+    Degrade {
+        reason: DegradeReason,
+        rung: u32,
+        k: u32,
+        base_cells: u64,
+        threads: u32,
+    },
 }
 
 /// One timeline entry: who, when, what.

@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
-use crate::event::{Event, EventKind, SpanKind, TileKind, Trace, TraceMeta};
+use crate::event::{DegradeReason, Event, EventKind, SpanKind, TileKind, Trace, TraceMeta};
 use crate::json::{self, Value};
 
 fn span_kind_from(name: &str) -> Result<SpanKind, String> {
@@ -26,6 +26,14 @@ fn tile_kind_from(name: &str) -> Result<TileKind, String> {
         "GridFill" => Ok(TileKind::GridFill),
         "BaseFill" => Ok(TileKind::BaseFill),
         other => Err(format!("unknown tile kind {other:?}")),
+    }
+}
+
+fn degrade_reason_from(name: &str) -> Result<DegradeReason, String> {
+    match name {
+        "AllocFailed" => Ok(DegradeReason::AllocFailed),
+        "WorkerPanic" => Ok(DegradeReason::WorkerPanic),
+        other => Err(format!("unknown degrade reason {other:?}")),
     }
 }
 
@@ -80,6 +88,20 @@ fn event_object(e: &Event) -> String {
         EventKind::Kernel { cells } => {
             let _ = write!(s, "{{\"type\":\"kernel\",\"cells\":{cells}");
         }
+        EventKind::Degrade {
+            reason,
+            rung,
+            k,
+            base_cells,
+            threads,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"degrade\",\"reason\":\"{}\",\"rung\":{rung},\"k\":{k},\
+                 \"base_cells\":{base_cells},\"threads\":{threads}",
+                reason.name()
+            );
+        }
     }
     let _ = write!(
         s,
@@ -127,6 +149,17 @@ fn event_from_object(v: &Value) -> Result<Event, String> {
         },
         Some("kernel") => EventKind::Kernel {
             cells: field("cells")?,
+        },
+        Some("degrade") => EventKind::Degrade {
+            reason: degrade_reason_from(
+                v.get("reason")
+                    .and_then(Value::as_str)
+                    .ok_or("missing reason")?,
+            )?,
+            rung: field("rung")? as u32,
+            k: field("k")? as u32,
+            base_cells: field("base_cells")?,
+            threads: field("threads")? as u32,
         },
         other => return Err(format!("unknown event type {other:?}")),
     };
@@ -188,6 +221,9 @@ fn chrome_event_name(e: &Event) -> String {
         }
         EventKind::Tile { row, col, .. } => format!("tile ({row},{col})"),
         EventKind::Kernel { cells } => format!("kernel {cells}"),
+        EventKind::Degrade {
+            reason, rung, k, ..
+        } => format!("degrade #{rung} ({}) -> k={k}", reason.name()),
     }
 }
 
@@ -197,6 +233,7 @@ fn chrome_category(e: &Event) -> &'static str {
         EventKind::Fill { .. } => "fill",
         EventKind::Tile { .. } => "tile",
         EventKind::Kernel { .. } => "kernel",
+        EventKind::Degrade { .. } => "degrade",
     }
 }
 
@@ -331,6 +368,18 @@ mod tests {
                     end_ns: 180,
                     kind: EventKind::Kernel { cells: 4096 },
                 },
+                Event {
+                    tid: 0,
+                    start_ns: 950,
+                    end_ns: 950,
+                    kind: EventKind::Degrade {
+                        reason: DegradeReason::AllocFailed,
+                        rung: 1,
+                        k: 4,
+                        base_cells: 512,
+                        threads: 4,
+                    },
+                },
             ],
         }
     }
@@ -353,7 +402,7 @@ mod tests {
         let text = std::str::from_utf8(&buf).unwrap();
         // Structure sanity: valid JSON with one traceEvent per event.
         let doc = json::parse(text).unwrap();
-        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 4);
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 5);
         let back = read_trace(text).unwrap();
         assert_eq!(back.meta, trace.meta);
         assert_eq!(back.events, trace.events);

@@ -108,7 +108,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn eat(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -158,6 +158,7 @@ impl Parser<'_> {
         }) {
             self.pos += 1;
         }
+        // flsa-check: allow(unwrap) — the scanned span is ASCII digits/signs
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>()
             .map(Value::Num)
@@ -165,7 +166,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -204,11 +205,28 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8 in string")?;
-                    let ch = rest.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 scalar. Validate only a
+                    // 4-byte window (the maximum scalar length) — validating
+                    // the whole tail here made parsing quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // The window may clip the *next* scalar; everything
+                        // up to the error is still valid and non-empty.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            // flsa-check: allow(unwrap) — valid_up_to bytes are valid UTF-8
+                            std::str::from_utf8(&window[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(_) => return Err("invalid UTF-8 in string".to_string()),
+                    };
+                    // flsa-check: allow(unwrap) — `valid` is non-empty
+                    let ch = valid.chars().next().unwrap();
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -217,7 +235,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -245,7 +263,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -256,7 +274,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);

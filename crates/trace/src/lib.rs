@@ -42,8 +42,9 @@ pub mod json;
 pub mod recorder;
 
 pub use analysis::{
-    analyze, render_report, Analysis, FillStats, Histogram, PhaseStats, SpanDepthStats, ThreadStats,
+    analyze, render_report, Analysis, DegradeStats, FillStats, Histogram, PhaseStats,
+    SpanDepthStats, ThreadStats,
 };
-pub use event::{Event, EventKind, SpanKind, TileKind, Trace, TraceMeta};
+pub use event::{DegradeReason, Event, EventKind, SpanKind, TileKind, Trace, TraceMeta};
 pub use export::{read_trace, write_chrome, write_jsonl};
 pub use recorder::{Recorder, TileTracer};

@@ -16,7 +16,7 @@
 //! `flsa-check` crate model-checks it over explored interleavings (see
 //! [`crate::protocol`] for the invariant list).
 
-use crate::protocol::{sequential_wavefront, JobCore};
+use crate::protocol::{sequential_wavefront, JobCore, JobError};
 use crate::sync::StdSync;
 
 /// Description of one wavefront job.
@@ -49,25 +49,32 @@ impl WavefrontSpec<'_> {
 /// `work(r, c)` is invoked exactly once per non-skipped tile, never before
 /// both of the tile's parents have finished.
 ///
+/// # Errors
+///
+/// Returns [`JobError::TilePanicked`] when a tile's `work` panicked on any
+/// participant: the job aborts, every thread drains without deadlock
+/// (protocol invariant 6), the panic payload is contained, and the caller
+/// gets the structured error instead of an unwind.
+///
 /// # Panics
 ///
-/// Panics when `threads == 0`. A panic inside `work` propagates (the
-/// remaining participants drain without deadlock first — protocol
-/// invariant 6).
+/// Panics when `threads == 0`.
 pub fn run_wavefront(
     spec: &WavefrontSpec<'_>,
     threads: usize,
     work: &(dyn Fn(usize, usize) + Sync),
-) {
+) -> Result<(), JobError> {
     assert!(threads > 0, "at least one thread required");
     let (rows, cols) = (spec.rows, spec.cols);
     if rows == 0 || cols == 0 {
-        return;
+        return Ok(());
     }
 
     if threads == 1 {
-        sequential_wavefront(rows, cols, |r, c| spec.skipped(r, c), work);
-        return;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sequential_wavefront(rows, cols, |r, c| spec.skipped(r, c), work);
+        }));
+        return outcome.map_err(|_| JobError::TilePanicked);
     }
 
     let skip_mask: Vec<bool> = (0..rows * cols)
@@ -75,15 +82,31 @@ pub fn run_wavefront(
         .collect();
     let core = JobCore::<StdSync>::new(rows, cols, skip_mask);
     if core.live() == 0 {
-        return;
+        return Ok(());
     }
 
     std::thread::scope(|s| {
         for _ in 1..threads {
-            s.spawn(|| core.participate(work));
+            s.spawn(|| {
+                // The unwind guard inside `participate` already aborted
+                // the job; containing the payload here keeps the scope
+                // join from re-raising it and lets the submitter report
+                // the structured error instead.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    core.participate(work)
+                }));
+            });
         }
-        core.participate(work);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| core.participate(work)));
     });
+    // The scope joined every participant, so the job is quiescent.
+    if core.is_cancelled() {
+        Err(JobError::Cancelled)
+    } else if core.is_poisoned() {
+        Err(JobError::TilePanicked)
+    } else {
+        Ok(())
+    }
 }
 
 /// [`run_wavefront`] with optional per-tile tracing. With `tracer == None`
@@ -94,12 +117,16 @@ pub fn run_wavefront_traced(
     threads: usize,
     work: &(dyn Fn(usize, usize) + Sync),
     tracer: Option<&flsa_trace::TileTracer<'_>>,
-) {
+) -> Result<(), JobError> {
     match tracer {
         None => run_wavefront(spec, threads, work),
-        Some(t) => t.region(spec.rows, spec.cols, threads, || {
-            run_wavefront(spec, threads, &|r, c| t.tile(r, c, || work(r, c)));
-        }),
+        Some(t) => {
+            let mut outcome = Ok(());
+            t.region(spec.rows, spec.cols, threads, || {
+                outcome = run_wavefront(spec, threads, &|r, c| t.tile(r, c, || work(r, c)));
+            });
+            outcome
+        }
     }
 }
 
@@ -120,7 +147,7 @@ mod tests {
     #[test]
     fn sequential_path_visits_all_tiles_in_topological_order() {
         let order = StdMutex::new(Vec::new());
-        run_wavefront(&spec(4, 5), 1, &|r, c| order.lock().unwrap().push((r, c)));
+        run_wavefront(&spec(4, 5), 1, &|r, c| order.lock().unwrap().push((r, c))).unwrap();
         let order = order.into_inner().unwrap();
         assert_eq!(order.len(), 20);
         for (idx, &(r, c)) in order.iter().enumerate() {
@@ -156,7 +183,8 @@ mod tests {
             }
             let s = stamp.fetch_add(1, Ordering::Relaxed);
             cells[r * cols + c].store(s, Ordering::Release);
-        });
+        })
+        .unwrap();
         assert!(cells.iter().all(|c| c.load(Ordering::Relaxed) != 0));
     }
 
@@ -181,7 +209,8 @@ mod tests {
                     1
                 };
                 table[r * cols + c].store(up + left + (r * cols + c) as u64, Ordering::Release);
-            });
+            })
+            .unwrap();
             table.into_iter().map(|a| a.into_inner()).collect()
         };
         let seq = compute(1);
@@ -205,7 +234,7 @@ mod tests {
         assert_eq!(spec.live_tiles(), 36 - 6);
         for threads in [1, 4] {
             visited.lock().unwrap().clear();
-            run_wavefront(&spec, threads, &|r, c| visited.lock().unwrap().push((r, c)));
+            run_wavefront(&spec, threads, &|r, c| visited.lock().unwrap().push((r, c))).unwrap();
             let v = visited.lock().unwrap();
             assert_eq!(v.len(), 30, "threads={threads}");
             assert!(v.iter().all(|&(r, c)| !skip(r, c)));
@@ -218,15 +247,16 @@ mod tests {
             let count = AtomicU64::new(0);
             run_wavefront(&spec(rows, cols), 3, &|_, _| {
                 count.fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
             assert_eq!(count.into_inner() as usize, rows * cols);
         }
     }
 
     #[test]
     fn empty_grid_is_a_noop() {
-        run_wavefront(&spec(0, 5), 2, &|_, _| panic!("no tiles expected"));
-        run_wavefront(&spec(5, 0), 2, &|_, _| panic!("no tiles expected"));
+        run_wavefront(&spec(0, 5), 2, &|_, _| panic!("no tiles expected")).unwrap();
+        run_wavefront(&spec(5, 0), 2, &|_, _| panic!("no tiles expected")).unwrap();
     }
 
     #[test]
@@ -234,26 +264,27 @@ mod tests {
         let count = AtomicU64::new(0);
         run_wavefront(&spec(2, 2), 16, &|_, _| {
             count.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(count.into_inner(), 4);
     }
 
     #[test]
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
-        run_wavefront(&spec(1, 1), 0, &|_, _| {});
+        let _ = run_wavefront(&spec(1, 1), 0, &|_, _| {});
     }
 
     #[test]
-    fn panicking_tile_propagates_instead_of_hanging() {
-        let result = std::panic::catch_unwind(|| {
-            run_wavefront(&spec(4, 4), 3, &|r, c| {
+    fn panicking_tile_surfaces_as_error_instead_of_hanging() {
+        for threads in [1usize, 3] {
+            let result = run_wavefront(&spec(4, 4), threads, &|r, c| {
                 if (r, c) == (2, 2) {
                     panic!("tile failure");
                 }
             });
-        });
-        assert!(result.is_err());
+            assert_eq!(result, Err(JobError::TilePanicked), "threads={threads}");
+        }
     }
 
     #[test]
@@ -269,7 +300,8 @@ mod tests {
                 count.fetch_add(1, Ordering::Relaxed);
             },
             Some(&tracer),
-        );
+        )
+        .unwrap();
         assert_eq!(count.into_inner(), 20);
         let trace = recorder.snapshot();
         let tiles = trace
@@ -293,6 +325,6 @@ mod tests {
             cols: 3,
             skip: Some(&skip),
         };
-        run_wavefront(&spec, 4, &|_, _| panic!("everything is skipped"));
+        run_wavefront(&spec, 4, &|_, _| panic!("everything is skipped")).unwrap();
     }
 }

@@ -29,18 +29,24 @@
 //!
 //! A panic inside a tile poisons the job (checked invariant 6): the other
 //! participants drain without deadlock, the worker thread survives for
-//! the next job, and [`WorkerPool::run`] re-raises the failure on the
-//! submitting thread.
+//! the next job, and [`WorkerPool::run`] surfaces the failure as
+//! [`JobError::TilePanicked`] on the submitting thread. Cooperative
+//! cancellation ([`WorkerPool::run_with_cancel`]) drains the same way and
+//! surfaces as [`JobError::Cancelled`].
 
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
 
+pub use crate::protocol::JobError;
 use crate::protocol::{sequential_wavefront, JobCore};
 use crate::sync::StdSync;
 
 /// The borrowed tile closure a job runs.
 type WorkFn = dyn Fn(usize, usize) + Sync;
+
+/// The borrowed cancel predicate a job polls before each tile.
+type CancelFn = dyn Fn() -> bool + Sync;
 
 /// Type-erased wavefront job shared between the submitting thread and the
 /// pool workers.
@@ -48,6 +54,9 @@ struct JobState {
     core: JobCore<StdSync>,
     /// Borrowed tile closure; see the module-level safety protocol.
     work: *const WorkFn,
+    /// Borrowed cancel predicate, erased and guarded exactly like `work`
+    /// (polled only while a claimed tile is in the `in_work` census).
+    cancel: Option<*const CancelFn>,
 }
 
 // SAFETY: the raw `work` pointer is only dereferenced under the protocol
@@ -61,6 +70,15 @@ unsafe impl Sync for JobState {}
 impl JobState {
     fn participate(&self) {
         self.core.participate(|r, c| {
+            if let Some(cancel) = self.cancel {
+                // SAFETY: same protocol as `work` below — the predicate is
+                // only dereferenced while this tile is in the `in_work`
+                // census, which `run` waits out before returning.
+                if unsafe { &*cancel }() {
+                    self.core.abort_cancelled();
+                    return;
+                }
+            }
             // SAFETY: this closure runs only while its tile is counted in
             // the `in_work` census, and `run` blocks in `wait_quiescent`
             // until that census is empty — even when a tile panics — so
@@ -84,7 +102,8 @@ impl JobState {
 /// let count = AtomicU64::new(0);
 /// pool.run(8, 8, |_, _| false, &|_r, _c| {
 ///     count.fetch_add(1, Ordering::Relaxed);
-/// });
+/// })
+/// .unwrap();
 /// assert_eq!(count.into_inner(), 64);
 /// ```
 pub struct WorkerPool {
@@ -133,45 +152,99 @@ impl WorkerPool {
     /// Semantics match [`crate::run_wavefront`]: `work(r, c)` runs once
     /// per non-skipped tile, after its up/left neighbours.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when a tile's `work` panics (on whichever thread it ran);
-    /// the pool itself stays usable for subsequent jobs.
+    /// Returns [`JobError::TilePanicked`] when a tile's `work` panicked
+    /// (on whichever thread it ran); the panic payload is contained and
+    /// the pool stays usable for subsequent jobs. This call never returns
+    /// before the job is quiescent, so on the error path too every
+    /// in-flight `work` call has finished.
     pub fn run(
         &mut self,
         rows: usize,
         cols: usize,
         skip: impl Fn(usize, usize) -> bool,
         work: &(dyn Fn(usize, usize) + Sync),
-    ) {
+    ) -> Result<(), JobError> {
+        self.run_with_cancel(rows, cols, skip, work, None)
+    }
+
+    /// [`WorkerPool::run`] with a cooperative cancel predicate, polled
+    /// before each tile on whichever thread claims it. When it first
+    /// returns `true` the job aborts via
+    /// [`JobCore::abort_cancelled`](crate::protocol::JobCore::abort_cancelled):
+    /// tiles already inside `work` finish, nothing new starts, and this
+    /// call returns [`JobError::Cancelled`] once the job drained.
+    pub fn run_with_cancel(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        skip: impl Fn(usize, usize) -> bool,
+        work: &(dyn Fn(usize, usize) + Sync),
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Result<(), JobError> {
         if rows == 0 || cols == 0 {
-            return;
+            return Ok(());
         }
         let skip_mask: Vec<bool> = (0..rows * cols).map(|i| skip(i / cols, i % cols)).collect();
 
         if self.threads == 1 {
-            sequential_wavefront(rows, cols, |r, c| skip_mask[r * cols + c], work);
-            return;
+            let cancelled = std::cell::Cell::new(false);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sequential_wavefront(
+                    rows,
+                    cols,
+                    |r, c| skip_mask[r * cols + c],
+                    |r, c| {
+                        if cancelled.get() {
+                            return;
+                        }
+                        if let Some(cancel) = cancel {
+                            if cancel() {
+                                cancelled.set(true);
+                                return;
+                            }
+                        }
+                        work(r, c);
+                    },
+                );
+            }));
+            return match outcome {
+                Err(_) => Err(JobError::TilePanicked),
+                Ok(()) if cancelled.get() => Err(JobError::Cancelled),
+                Ok(()) => Ok(()),
+            };
         }
 
         let core = JobCore::<StdSync>::new(rows, cols, skip_mask);
         if core.live() == 0 {
-            return;
+            return Ok(());
         }
 
         // SAFETY: lifetime erasure — sound per the module-level protocol
         // because this function blocks until the job is quiescent (no
         // worker inside `work`, none able to start), so the erased borrow
         // outlives every dereference.
+        // The source lifetime must stay inferred: naming it forces the
+        // borrow to outlive 'static *before* the transmute launders it.
+        #[allow(clippy::missing_transmute_annotations)]
         let work_erased: *const WorkFn = unsafe { std::mem::transmute::<_, &'static WorkFn>(work) };
+        #[allow(clippy::missing_transmute_annotations)]
+        let cancel_erased: Option<*const CancelFn> = cancel.map(|c| {
+            // SAFETY: as for `work` — same erasure, same quiescence guarantee.
+            (unsafe { std::mem::transmute::<_, &'static CancelFn>(c) }) as *const _
+        });
         let job = Arc::new(JobState {
             core,
             work: work_erased,
+            cancel: cancel_erased,
         });
+        // flsa-check: allow(unwrap) — sender is Some until drop
         let sender = self.sender.as_ref().expect("pool is alive");
         for _ in 1..self.threads {
             sender
                 .send(Arc::clone(&job))
+                // flsa-check: allow(unwrap) — receivers live as long as the pool
                 .expect("workers outlive the pool");
         }
         // The submitting thread participates too. Whether its own
@@ -181,34 +254,48 @@ impl WorkerPool {
         let participation =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.participate()));
         job.core.wait_quiescent();
-        if let Err(payload) = participation {
-            std::panic::resume_unwind(payload);
-        }
         debug_assert!(job.core.is_drained());
-        if job.core.is_poisoned() {
-            panic!("a wavefront tile panicked on a pool worker thread");
+        // A submitter-side tile panic already poisoned the core via the
+        // unwind guard; the payload is dropped in favour of the structured
+        // error so both worker- and submitter-side failures look alike.
+        if job.core.is_cancelled() {
+            Err(JobError::Cancelled)
+        } else if participation.is_err() || job.core.is_poisoned() {
+            Err(JobError::TilePanicked)
+        } else {
+            Ok(())
         }
     }
 
-    /// [`WorkerPool::run`] with optional per-tile tracing. With
-    /// `tracer == None` this is exactly `run` (the disabled path adds
-    /// nothing to the per-tile work); with a tracer, each tile's work is
-    /// timed and the whole job is wrapped in a fill-region event.
+    /// [`WorkerPool::run_with_cancel`] with optional per-tile tracing.
+    /// With `tracer == None` this is exactly `run_with_cancel` (the
+    /// disabled path adds nothing to the per-tile work); with a tracer,
+    /// each tile's work is timed and the whole job is wrapped in a
+    /// fill-region event.
     pub fn run_traced(
         &mut self,
         rows: usize,
         cols: usize,
         skip: impl Fn(usize, usize) -> bool,
         work: &(dyn Fn(usize, usize) + Sync),
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
         tracer: Option<&flsa_trace::TileTracer<'_>>,
-    ) {
+    ) -> Result<(), JobError> {
         match tracer {
-            None => self.run(rows, cols, skip, work),
+            None => self.run_with_cancel(rows, cols, skip, work, cancel),
             Some(t) => {
                 let threads = self.threads;
+                let mut outcome = Ok(());
                 t.region(rows, cols, threads, || {
-                    self.run(rows, cols, skip, &|r, c| t.tile(r, c, || work(r, c)));
+                    outcome = self.run_with_cancel(
+                        rows,
+                        cols,
+                        skip,
+                        &|r, c| t.tile(r, c, || work(r, c)),
+                        cancel,
+                    );
                 });
+                outcome
             }
         }
     }
@@ -236,7 +323,8 @@ mod tests {
         let visited = StdMutex::new(Vec::new());
         pool.run(5, 7, |_, _| false, &|r, c| {
             visited.lock().unwrap().push((r, c))
-        });
+        })
+        .unwrap();
         let mut v = visited.into_inner().unwrap();
         v.sort_unstable();
         let mut expect: Vec<(usize, usize)> =
@@ -262,7 +350,8 @@ mod tests {
                     assert_ne!(cells[r * cols + c - 1].load(Ordering::Acquire), 0);
                 }
                 cells[r * cols + c].store(1 + (r * cols + c) as u64, Ordering::Release);
-            });
+            })
+            .unwrap();
             assert!(
                 cells.iter().all(|c| c.load(Ordering::Relaxed) != 0),
                 "round {round}"
@@ -289,7 +378,8 @@ mod tests {
                     1
                 };
                 table[r * cols + c].store(up + left + (r * cols + c) as u64, Ordering::Release);
-            });
+            })
+            .unwrap();
             table.into_iter().map(|a| a.into_inner()).collect()
         };
         let seq = compute_pool(1);
@@ -304,7 +394,8 @@ mod tests {
         let count = AtomicU64::new(0);
         pool.run(6, 6, |r, c| r >= 4 && c >= 3, &|_r, _c| {
             count.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(count.into_inner(), 36 - 6);
     }
 
@@ -314,7 +405,8 @@ mod tests {
         let order = StdMutex::new(Vec::new());
         pool.run(3, 3, |_, _| false, &|r, c| {
             order.lock().unwrap().push((r, c))
-        });
+        })
+        .unwrap();
         let order = order.into_inner().unwrap();
         assert_eq!(order.len(), 9);
         assert_eq!(order[0], (0, 0));
@@ -324,27 +416,77 @@ mod tests {
     #[test]
     fn empty_and_fully_skipped_jobs_return_immediately() {
         let mut pool = WorkerPool::new(3);
-        pool.run(0, 4, |_, _| false, &|_, _| panic!("no tiles"));
-        pool.run(3, 3, |_, _| true, &|_, _| panic!("all skipped"));
+        pool.run(0, 4, |_, _| false, &|_, _| panic!("no tiles"))
+            .unwrap();
+        pool.run(3, 3, |_, _| true, &|_, _| panic!("all skipped"))
+            .unwrap();
     }
 
     #[test]
     fn panicking_tile_fails_the_job_but_not_the_pool() {
-        let mut pool = WorkerPool::new(4);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run(4, 4, |_, _| false, &|r, c| {
+        for threads in [1usize, 4] {
+            let mut pool = WorkerPool::new(threads);
+            let result = pool.run(4, 4, |_, _| false, &|r, c| {
                 if (r, c) == (2, 2) {
                     panic!("tile failure");
                 }
             });
-        }));
-        assert!(result.is_err());
-        // The pool survives a poisoned job and runs the next one cleanly.
+            assert_eq!(result, Err(JobError::TilePanicked), "threads={threads}");
+            // The pool survives a poisoned job and runs the next one cleanly.
+            let count = AtomicU64::new(0);
+            pool.run(3, 3, |_, _| false, &|_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert_eq!(count.into_inner(), 9);
+        }
+    }
+
+    #[test]
+    fn cancelled_job_drains_and_reports_cancelled() {
+        for threads in [1usize, 4] {
+            let mut pool = WorkerPool::new(threads);
+            let fired = AtomicU64::new(0);
+            let ran = AtomicU64::new(0);
+            let result = pool.run_with_cancel(
+                8,
+                8,
+                |_, _| false,
+                &|_, _| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                },
+                Some(&|| fired.fetch_add(1, Ordering::Relaxed) >= 5),
+            );
+            assert_eq!(result, Err(JobError::Cancelled), "threads={threads}");
+            assert!(
+                ran.load(Ordering::Relaxed) < 64,
+                "cancellation must drop the tail (threads={threads})"
+            );
+            // The pool stays usable after a cancelled job.
+            let count = AtomicU64::new(0);
+            pool.run(3, 3, |_, _| false, &|_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert_eq!(count.into_inner(), 9);
+        }
+    }
+
+    #[test]
+    fn never_firing_cancel_predicate_is_harmless() {
+        let mut pool = WorkerPool::new(4);
         let count = AtomicU64::new(0);
-        pool.run(3, 3, |_, _| false, &|_, _| {
-            count.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(count.into_inner(), 9);
+        pool.run_with_cancel(
+            5,
+            5,
+            |_, _| false,
+            &|_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+            Some(&|| false),
+        )
+        .unwrap();
+        assert_eq!(count.into_inner(), 25);
     }
 
     #[test]
@@ -354,7 +496,8 @@ mod tests {
         let mut pool = WorkerPool::new(4);
         for round in 0..3 {
             let tracer = TileTracer::new(&recorder, TileKind::BaseFill);
-            pool.run_traced(3, 3, |_, _| false, &|_, _| {}, Some(&tracer));
+            pool.run_traced(3, 3, |_, _| false, &|_, _| {}, None, Some(&tracer))
+                .unwrap();
             let trace = recorder.snapshot();
             let this_fill = trace
                 .events
@@ -367,7 +510,8 @@ mod tests {
         }
         // Untraced path records nothing.
         let before = recorder.snapshot().events.len();
-        pool.run_traced(2, 2, |_, _| false, &|_, _| {}, None);
+        pool.run_traced(2, 2, |_, _| false, &|_, _| {}, None, None)
+            .unwrap();
         assert_eq!(recorder.snapshot().events.len(), before);
     }
 
@@ -378,7 +522,8 @@ mod tests {
         for _ in 0..500 {
             pool.run(1, 1, |_, _| false, &|_, _| {
                 total.fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
         }
         assert_eq!(total.into_inner(), 500);
     }

@@ -32,12 +32,42 @@
 //!    over the explored schedules.
 //! 6. **Panic abort**: a panicking `work` poisons the job, zeroes
 //!    `remaining` and wakes everyone, so all participants drain without
-//!    deadlock and the submitter can surface the failure.
+//!    deadlock and the submitter can surface the failure. Cooperative
+//!    cancellation ([`JobCore::abort_cancelled`]) rides the same drain
+//!    path, additionally raising the `cancelled` flag so the submitter
+//!    can tell [`JobError::Cancelled`] from [`JobError::TilePanicked`].
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 
 use crate::sync::{AtomicInt, Monitor, SyncModel};
+
+/// Why a wavefront job did not run to completion. Returned by
+/// [`crate::pool::WorkerPool::run`] and [`crate::executor::run_wavefront`]
+/// instead of letting a tile failure escape as a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// A tile's `work` panicked on some participant. The job was aborted
+    /// (invariant 6), every participant drained, and the pool/threads
+    /// stay usable; the panic payload is discarded in favour of this
+    /// structured error.
+    TilePanicked,
+    /// The job's cancel predicate fired: a participant called
+    /// [`JobCore::abort_cancelled`], the remaining tiles were dropped and
+    /// every participant drained via the abort path.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::TilePanicked => write!(f, "a wavefront tile panicked"),
+            JobError::Cancelled => write!(f, "the wavefront job was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// State guarded by the ready-queue monitor: the FIFO of runnable tiles
 /// plus the count of participants currently inside a `work` call (the
@@ -64,6 +94,10 @@ pub struct JobCore<S: SyncModel> {
     remaining: S::AtomicUsize,
     /// Set (before `remaining` is zeroed) when a tile's `work` panicked.
     poisoned: S::AtomicUsize,
+    /// Set (before the abort) when the job was cooperatively cancelled
+    /// rather than poisoned by a panic. Checked *before* `poisoned` by
+    /// the front-ends, since cancellation aborts through the same path.
+    cancelled: S::AtomicUsize,
     live: usize,
 }
 
@@ -127,6 +161,7 @@ impl<S: SyncModel> JobCore<S> {
             }),
             remaining: S::AtomicUsize::new(live),
             poisoned: S::AtomicUsize::new(0),
+            cancelled: S::AtomicUsize::new(0),
             live,
         }
     }
@@ -156,6 +191,22 @@ impl<S: SyncModel> JobCore<S> {
         self.remaining.store(0, Ordering::Release);
         let _guard = self.ready.lock();
         self.ready.notify_all();
+    }
+
+    /// Cooperative cancellation: raises the `cancelled` flag, then aborts.
+    /// The flag is stored before the abort's `remaining.store(0)` so any
+    /// participant (or the submitter) that observes the drained job also
+    /// observes the cancellation reason. Tiles already inside `work`
+    /// finish normally; nothing new starts, and the job drains via the
+    /// abort path (bounded time, invariant 4).
+    pub fn abort_cancelled(&self) {
+        self.cancelled.store(1, Ordering::Release);
+        self.abort();
+    }
+
+    /// True when the job was aborted by [`JobCore::abort_cancelled`].
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire) != 0
     }
 
     /// Blocks until the job is fully quiescent: `remaining == 0` and no
@@ -339,6 +390,32 @@ mod tests {
         assert!(result.is_err());
         assert!(core.is_poisoned());
         assert!(core.is_drained());
+    }
+
+    #[test]
+    fn cancel_abort_drains_and_reports_cancelled() {
+        let core = JobCore::<StdSync>::new(3, 3, vec![false; 9]);
+        let count = AtomicU64::new(0);
+        core.participate(|r, c| {
+            count.fetch_add(1, Ordering::Relaxed);
+            if (r, c) == (1, 1) {
+                core.abort_cancelled();
+            }
+        });
+        assert!(core.is_drained());
+        assert!(core.is_cancelled());
+        // Cancellation aborts through the poison path; the front-ends
+        // must therefore check `is_cancelled` first.
+        assert!(core.is_poisoned());
+        assert!(count.into_inner() < 9, "cancellation dropped the tail");
+    }
+
+    #[test]
+    fn plain_abort_is_not_cancelled() {
+        let core = JobCore::<StdSync>::new(2, 2, vec![false; 4]);
+        core.abort();
+        assert!(core.is_poisoned());
+        assert!(!core.is_cancelled());
     }
 
     #[test]

@@ -169,7 +169,8 @@ mod tests {
                 for (k, slot) in out.iter_mut().enumerate() {
                     *slot = left_sum + k as u64 + 1;
                 }
-            });
+            })
+            .unwrap();
             buf.into_inner()
         };
         let seq = compute(1);

@@ -133,6 +133,7 @@ pub fn simulate_schedule_comm(
 
     let mut scheduled = 0usize;
     while let Some(Reverse((ready_time, _diag, r, c))) = ready.pop() {
+        // flsa-check: allow(unwrap) — threads >= 1, so the heap is non-empty
         let Reverse((free_at, p)) = procs.pop().expect("processor pool is never empty");
         let t_cost = cost(r, c);
         // Cross-processor dependencies delay the start by `comm`.

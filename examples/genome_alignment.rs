@@ -28,7 +28,7 @@ fn main() {
     let config = FastLsaConfig::new(16, 1 << 20);
     let metrics = Metrics::new();
     let start = Instant::now();
-    let result = fastlsa::align_with(&a, &b, &scheme, config, &metrics);
+    let result = fastlsa::align_with(&a, &b, &scheme, config, &metrics).unwrap();
     let elapsed = start.elapsed();
 
     let alignment = Alignment::from_path(&a, &b, &result.path, &scheme);

@@ -36,7 +36,7 @@ fn main() {
         &b.to_string()[local.b_range()]
     );
 
-    let global = fastlsa::align(&a, &b, &scheme, &metrics);
+    let global = fastlsa::align(&a, &b, &scheme, &metrics).unwrap();
     println!(
         "global score {} (pays for the mismatched flanks)",
         global.score
@@ -53,7 +53,7 @@ fn main() {
     let r = gotoh(&a, &b, &affine, &metrics);
     println!("\naffine-gap global score {} (single 6-base gap)", r.score);
     let linear = ScoringScheme::dna_default();
-    let rl = fastlsa::align(&a, &b, &linear, &metrics);
+    let rl = fastlsa::align(&a, &b, &linear, &metrics).unwrap();
     println!(
         "linear-gap global score {} (same gap costs 6 x -10)",
         rl.score

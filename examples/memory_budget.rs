@@ -28,7 +28,7 @@ fn main() {
     for budget in [2usize << 30, 64 << 20, 8 << 20, 1 << 20, 256 << 10] {
         let config = FastLsaConfig::for_memory(budget, a.len(), b.len());
         let metrics = Metrics::new();
-        let result = fastlsa::align_with(&a, &b, &scheme, config, &metrics);
+        let result = fastlsa::align_with(&a, &b, &scheme, config, &metrics).unwrap();
         let s = metrics.snapshot();
         println!(
             "{:>12}  {:>4}  {:>12}  {:>10.3}  {:>9.2}  {:>8}",

@@ -25,12 +25,12 @@ fn main() {
         b.len()
     );
     let metrics = Metrics::new();
-    let reference = fastlsa::align_with(&a, &b, &scheme, base, &metrics);
+    let reference = fastlsa::align_with(&a, &b, &scheme, base, &metrics).unwrap();
     for threads in [1usize, 2, 4] {
         let metrics = Metrics::new();
         let cfg = base.with_threads(threads);
         let start = Instant::now();
-        let result = fastlsa::align_with(&a, &b, &scheme, cfg, &metrics);
+        let result = fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).unwrap();
         let elapsed = start.elapsed();
         assert_eq!(result.score, reference.score);
         assert_eq!(result.path, reference.path);
@@ -39,7 +39,7 @@ fn main() {
 
     // Schedule replay: the paper's speedup curve for any P.
     let metrics = Metrics::new();
-    let (_, log) = fastlsa::align_traced(&a, &b, &scheme, base, &metrics);
+    let (_, log) = fastlsa::align_traced(&a, &b, &scheme, base, &metrics).unwrap();
     println!("\nvirtual-processor schedule replay (tiles/block = 2):");
     println!("  {:>3}  {:>8}  {:>10}", "P", "speedup", "efficiency");
     for p in [1usize, 2, 4, 8, 16, 32] {

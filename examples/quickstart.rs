@@ -13,7 +13,7 @@ fn main() {
     let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
 
     let metrics = Metrics::new();
-    let result = fastlsa::align(&a, &b, &scheme, &metrics);
+    let result = fastlsa::align(&a, &b, &scheme, &metrics).unwrap();
     println!(
         "paper example: optimal score = {} (paper reports 82)",
         result.score
@@ -26,7 +26,7 @@ fn main() {
     let (a, b) = generate::homologous_pair("demo", scheme.alphabet(), 600, 0.85, 7).unwrap();
 
     let metrics = Metrics::new();
-    let result = fastlsa::align(&a, &b, &scheme, &metrics);
+    let result = fastlsa::align(&a, &b, &scheme, &metrics).unwrap();
     let alignment = Alignment::from_path(&a, &b, &result.path, &scheme);
     println!(
         "dna demo: {} x {} residues, score {}, identity {:.1}%",

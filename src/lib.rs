@@ -25,8 +25,30 @@
 //! let a = Sequence::from_str("a", scheme.alphabet(), "ACGTACGTTACG").unwrap();
 //! let b = Sequence::from_str("b", scheme.alphabet(), "ACGTCGTTAACG").unwrap();
 //! let metrics = Metrics::new();
-//! let result = fastlsa::align(&a, &b, &scheme, &metrics);
+//! let result = fastlsa::align(&a, &b, &scheme, &metrics).unwrap();
 //! assert_eq!(result.path.score(&a, &b, &scheme), result.score);
+//! ```
+//!
+//! The `align*` entry points are fallible: they return
+//! [`AlignError`] instead of panicking, degrade gracefully under a byte
+//! budget ([`AlignOptions::budget_bytes`]), and honor cancellation
+//! ([`CancelToken`]):
+//!
+//! ```
+//! use fastlsa::prelude::*;
+//! use std::time::Duration;
+//!
+//! let scheme = ScoringScheme::dna_default();
+//! let a = Sequence::from_str("a", scheme.alphabet(), "ACGTACGTTACG").unwrap();
+//! let b = Sequence::from_str("b", scheme.alphabet(), "ACGTCGTTAACG").unwrap();
+//! let opts = AlignOptions {
+//!     cancel: Some(CancelToken::with_deadline(Duration::ZERO)),
+//!     ..AlignOptions::default()
+//! };
+//! let err = fastlsa::align_opts(
+//!     &a, &b, &scheme, FastLsaConfig::default(), &opts, &Metrics::new(),
+//! ).unwrap_err();
+//! assert_eq!(err, AlignError::Cancelled);
 //! ```
 #![forbid(unsafe_code)]
 
@@ -41,11 +63,16 @@ pub use flsa_seq as seq;
 pub use flsa_trace as trace;
 pub use flsa_wavefront as wavefront;
 
-pub use fastlsa_core::{align, align_traced, align_with, FastLsaConfig, ParallelConfig};
+pub use fastlsa_core::{
+    align, align_opts, align_traced, align_with, degradation_ladder, AlignError, AlignOptions,
+    CancelToken, ConfigError, FastLsaConfig, FaultHooks, MemoryGovernor, ParallelConfig,
+};
 
 /// The names most programs need.
 pub mod prelude {
-    pub use crate::core::{FastLsaConfig, ParallelConfig};
+    pub use crate::core::{
+        AlignError, AlignOptions, CancelToken, ConfigError, FastLsaConfig, ParallelConfig,
+    };
     pub use crate::dp::{AlignResult, Alignment, Metrics, Move, Path};
     pub use crate::scoring::{GapModel, ScoringScheme, SubstitutionMatrix};
     pub use crate::seq::{fasta, generate, workload, Alphabet, Sequence};

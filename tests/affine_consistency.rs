@@ -51,7 +51,7 @@ proptest! {
         let sb = to_seq(&b);
         let metrics = Metrics::new();
         let full = gotoh(&sa, &sb, &scheme, &metrics);
-        let fl = fastlsa::core::align_affine(&sa, &sb, &scheme, FastLsaConfig::new(k, base), &metrics);
+        let fl = fastlsa::core::align_affine(&sa, &sb, &scheme, FastLsaConfig::new(k, base), &metrics).unwrap();
         prop_assert_eq!(fl.score, full.score);
         prop_assert!(fl.path.is_global(sa.len(), sb.len()));
         prop_assert_eq!(score_path_affine(&fl.path, &sa, &sb, &scheme), fl.score);
@@ -70,7 +70,7 @@ proptest! {
         let sb = to_seq(&b);
         let metrics = Metrics::new();
         let mm = myers_miller_affine(&sa, &sb, &affine, &metrics);
-        let fl = fastlsa::align(&sa, &sb, &linear, &metrics);
+        let fl = fastlsa::align(&sa, &sb, &linear, &metrics).unwrap();
         prop_assert_eq!(mm.score, fl.score);
     }
 
@@ -95,8 +95,8 @@ proptest! {
         let sb = to_seq(&b);
         let metrics = Metrics::new();
         let mid = myers_miller_affine(&sa, &sb, &affine, &metrics).score;
-        let hi = fastlsa::align(&sa, &sb, &upper, &metrics).score;
-        let lo = fastlsa::align(&sa, &sb, &lower, &metrics).score;
+        let hi = fastlsa::align(&sa, &sb, &upper, &metrics).unwrap().score;
+        let lo = fastlsa::align(&sa, &sb, &lower, &metrics).unwrap().score;
         prop_assert!(mid <= hi, "affine {mid} > extend-only {hi}");
         prop_assert!(mid >= lo, "affine {mid} < open+extend-per-symbol {lo}");
     }

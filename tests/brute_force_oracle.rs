@@ -53,7 +53,7 @@ proptest! {
             oracle
         );
         prop_assert_eq!(
-            fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, 9), &metrics).score,
+            fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, 9), &metrics).unwrap().score,
             oracle
         );
     }
@@ -69,7 +69,7 @@ proptest! {
         let sb = Sequence::from_codes("b", scheme.alphabet(), b.clone());
         let oracle = brute_force(&a, &b, &scheme);
         let metrics = Metrics::new();
-        prop_assert_eq!(fastlsa::align(&sa, &sb, &scheme, &metrics).score, oracle);
+        prop_assert_eq!(fastlsa::align(&sa, &sb, &scheme, &metrics).unwrap().score, oracle);
     }
 }
 

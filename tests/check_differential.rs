@@ -69,7 +69,8 @@ fn fill_executor(rows: usize, cols: usize, mask: &[bool], threads: usize) -> Vec
     run_wavefront(&spec, threads, &|r, c| {
         let v = tile_value(&cells, (rows, cols), r, c);
         cells[r * cols + c].store(v, Ordering::Release);
-    });
+    })
+    .unwrap();
     cells.into_iter().map(AtomicU64::into_inner).collect()
 }
 
@@ -78,7 +79,8 @@ fn fill_pool(pool: &mut WorkerPool, rows: usize, cols: usize, mask: &[bool]) -> 
     pool.run(rows, cols, |r, c| mask[r * cols + c], &|r, c| {
         let v = tile_value(&cells, (rows, cols), r, c);
         cells[r * cols + c].store(v, Ordering::Release);
-    });
+    })
+    .unwrap();
     cells.into_iter().map(AtomicU64::into_inner).collect()
 }
 

@@ -33,7 +33,7 @@ proptest! {
         let nw = fastlsa::fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics);
         let packed = fastlsa::fullmatrix::needleman_wunsch_packed(&sa, &sb, &scheme, &metrics);
         let hb = fastlsa::hirschberg::hirschberg(&sa, &sb, &scheme, &metrics);
-        let fl = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, base), &metrics);
+        let fl = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, base), &metrics).unwrap();
 
         prop_assert_eq!(nw.score, packed.score);
         prop_assert_eq!(nw.score, hb.score);
@@ -60,12 +60,12 @@ proptest! {
         let sa = to_seq(&a);
         let sb = to_seq(&b);
         let metrics = Metrics::new();
-        let seq = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, 64), &metrics);
+        let seq = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, 64), &metrics).unwrap();
         let par = fastlsa::align_with(
             &sa, &sb, &scheme,
             FastLsaConfig::new(k, 64).with_threads(threads),
             &metrics,
-        );
+        ).unwrap();
         prop_assert_eq!(seq.score, par.score);
         prop_assert_eq!(seq.path, par.path);
     }
@@ -77,8 +77,8 @@ proptest! {
         let sa = to_seq(&a);
         let sb = to_seq(&b);
         let metrics = Metrics::new();
-        let ab = fastlsa::align(&sa, &sb, &scheme, &metrics).score;
-        let ba = fastlsa::align(&sb, &sa, &scheme, &metrics).score;
+        let ab = fastlsa::align(&sa, &sb, &scheme, &metrics).unwrap().score;
+        let ba = fastlsa::align(&sb, &sa, &scheme, &metrics).unwrap().score;
         prop_assert_eq!(ab, ba);
     }
 
@@ -89,7 +89,7 @@ proptest! {
         let scheme = ScoringScheme::dna_default();
         let sa = to_seq(&a);
         let metrics = Metrics::new();
-        let r = fastlsa::align_with(&sa, &sa, &scheme, FastLsaConfig::new(3, 32), &metrics);
+        let r = fastlsa::align_with(&sa, &sa, &scheme, FastLsaConfig::new(3, 32), &metrics).unwrap();
         let expect: i64 = a.iter().map(|&c| scheme.sub(c, c) as i64).sum();
         prop_assert_eq!(r.score, expect);
         prop_assert!(r.path.moves().iter().all(|&m| m == Move::Diag));
@@ -106,8 +106,8 @@ proptest! {
         b2.push(extra);
         let sb2 = to_seq(&b2);
         let metrics = Metrics::new();
-        let before = fastlsa::align(&sa, &sb, &scheme, &metrics).score;
-        let after = fastlsa::align(&sa, &sb2, &scheme, &metrics).score;
+        let before = fastlsa::align(&sa, &sb, &scheme, &metrics).unwrap().score;
+        let after = fastlsa::align(&sa, &sb2, &scheme, &metrics).unwrap().score;
         let max_gain = scheme.matrix().max_score() as i64 - scheme.gap().linear_penalty() as i64;
         prop_assert!(after >= before + scheme.gap().linear_penalty() as i64);
         prop_assert!(after <= before + max_gain);
@@ -120,7 +120,7 @@ proptest! {
         let sa = to_seq(&a);
         let sb = to_seq(&b);
         let metrics = Metrics::new();
-        let fl = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(2, 32), &metrics);
+        let fl = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(2, 32), &metrics).unwrap();
         let hb = fastlsa::hirschberg::hirschberg(&sa, &sb, &scheme, &metrics);
         prop_assert_eq!(fl.score, hb.score);
         // LCS length is at most min(m, n).

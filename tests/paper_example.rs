@@ -30,7 +30,9 @@ fn every_algorithm_reports_82() {
         for base in [16usize, 30, 1000] {
             let cfg = FastLsaConfig::new(k, base);
             assert_eq!(
-                fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).score,
+                fastlsa::align_with(&a, &b, &scheme, cfg, &metrics)
+                    .unwrap()
+                    .score,
                 82
             );
         }
@@ -91,7 +93,7 @@ fn both_paper_alignments_have_five_identities() {
 fn canonical_alignment_rendering_matches_paper() {
     let (a, b, scheme) = paper_pair();
     let metrics = Metrics::new();
-    let r = fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(2, 16), &metrics);
+    let r = fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(2, 16), &metrics).unwrap();
     let al = Alignment::from_path(&a, &b, &r.path, &scheme);
     assert_eq!(al.aligned_a, "TLDKLLK-D");
     assert_eq!(al.aligned_b, "T-D-VLKAD");

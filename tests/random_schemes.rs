@@ -43,10 +43,10 @@ proptest! {
         let nw = fastlsa::fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics);
         let packed = fastlsa::fullmatrix::needleman_wunsch_packed(&sa, &sb, &scheme, &metrics);
         let hb = fastlsa::hirschberg::hirschberg(&sa, &sb, &scheme, &metrics);
-        let fl = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, base), &metrics);
+        let fl = fastlsa::align_with(&sa, &sb, &scheme, FastLsaConfig::new(k, base), &metrics).unwrap();
         let flp = fastlsa::align_with(
             &sa, &sb, &scheme, FastLsaConfig::new(k, base).with_threads(3), &metrics,
-        );
+        ).unwrap();
 
         prop_assert_eq!(nw.score, packed.score);
         prop_assert_eq!(nw.score, hb.score);

@@ -8,7 +8,7 @@ fn alignment_rendering_golden() {
     let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
     let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
     let metrics = Metrics::new();
-    let r = fastlsa::align(&a, &b, &scheme, &metrics);
+    let r = fastlsa::align(&a, &b, &scheme, &metrics).unwrap();
     let al = Alignment::from_path(&a, &b, &r.path, &scheme);
     assert_eq!(format!("{al}"), "TLDKLLK-D\n* * |** *\nT-D-VLKAD\n");
 }
@@ -31,7 +31,7 @@ fn fasta_fastq_interop() {
         fastlsa::seq::fastq::parse_str("@r\nACGTACGT\n+\nIIIIIIII\n", scheme.alphabet()).unwrap();
     assert_eq!(fa[0].codes(), fq[0].seq.codes());
     let metrics = Metrics::new();
-    let r = fastlsa::align(&fa[0], &fq[0].seq, &scheme, &metrics);
+    let r = fastlsa::align(&fa[0], &fq[0].seq, &scheme, &metrics).unwrap();
     assert_eq!(r.score, 8 * 5);
 }
 
@@ -44,9 +44,9 @@ fn metrics_are_consistent_under_parallel_fills() {
     let (a, b) = generate::homologous_pair("t", scheme.alphabet(), 2000, 0.8, 55).unwrap();
     let cfg = FastLsaConfig::new(8, 1 << 14);
     let m_seq = Metrics::new();
-    fastlsa::align_with(&a, &b, &scheme, cfg, &m_seq);
+    fastlsa::align_with(&a, &b, &scheme, cfg, &m_seq).unwrap();
     let m_par = Metrics::new();
-    fastlsa::align_with(&a, &b, &scheme, cfg.with_threads(4), &m_par);
+    fastlsa::align_with(&a, &b, &scheme, cfg.with_threads(4), &m_par).unwrap();
     assert_eq!(
         m_seq.snapshot().cells_computed,
         m_par.snapshot().cells_computed
@@ -65,7 +65,7 @@ fn repeated_runs_reuse_allocations_without_leaking_accounting() {
     let (a, b) = generate::homologous_pair("t", scheme.alphabet(), 400, 0.8, 66).unwrap();
     let metrics = Metrics::new();
     for k in [2usize, 4, 8] {
-        fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(k, 512), &metrics);
+        fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(k, 512), &metrics).unwrap();
         fastlsa::fullmatrix::needleman_wunsch(&a, &b, &scheme, &metrics);
         fastlsa::hirschberg::hirschberg(&a, &b, &scheme, &metrics);
     }
@@ -113,14 +113,19 @@ fn very_skewed_aspect_ratios() {
     let metrics = Metrics::new();
     let expect = fastlsa::fullmatrix::nw_score_only(&long, &short, &scheme, &metrics);
     for (x, y) in [(&long, &short), (&short, &long)] {
-        assert_eq!(fastlsa::align(x, y, &scheme, &metrics).score, expect);
+        assert_eq!(
+            fastlsa::align(x, y, &scheme, &metrics).unwrap().score,
+            expect
+        );
         assert_eq!(
             fastlsa::hirschberg::hirschberg(x, y, &scheme, &metrics).score,
             expect
         );
         let cfg = FastLsaConfig::new(4, 64).with_threads(3);
         assert_eq!(
-            fastlsa::align_with(x, y, &scheme, cfg, &metrics).score,
+            fastlsa::align_with(x, y, &scheme, cfg, &metrics)
+                .unwrap()
+                .score,
             expect
         );
     }

@@ -38,7 +38,7 @@ fn fastlsa_cells_obey_theorem_2_bound_across_k() {
     let mut prev = f64::INFINITY;
     for k in [2usize, 3, 4, 6, 8, 12, 16] {
         let metrics = Metrics::new();
-        fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics);
+        fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics).unwrap();
         let measured = metrics.snapshot().cells_computed as f64;
         let bound = model::fastlsa_cells_bound(a.len(), b.len(), k, base);
         let limit = (a.len() * b.len()) as f64 * model::theorem2_limit_factor(k);
@@ -61,7 +61,7 @@ fn fastlsa_linear_space_mode_is_about_1_5x_fm() {
     // factor sits at ~1.5.
     let (a, b, scheme) = pair(4000, 4);
     let metrics = Metrics::new();
-    fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(4, 1 << 12), &metrics);
+    fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(4, 1 << 12), &metrics).unwrap();
     let factor = metrics.snapshot().cell_factor(a.len(), b.len());
     assert!((1.3..=1.6).contains(&factor), "factor {factor}");
 }
@@ -77,7 +77,7 @@ fn fastlsa_quadratic_space_mode_has_no_extra_operations() {
         base_cells: (a.len() + 1) * (b.len() + 1),
         parallel: None,
     };
-    fastlsa::align_with(&a, &b, &scheme, cfg, &metrics);
+    fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).unwrap();
     assert_eq!(
         metrics.snapshot().cells_computed,
         (a.len() * b.len()) as u64
@@ -90,7 +90,7 @@ fn fastlsa_space_obeys_theorem_3_bound() {
     for k in [2usize, 8, 16] {
         let base = 1 << 14;
         let metrics = Metrics::new();
-        fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics);
+        fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(k, base), &metrics).unwrap();
         let peak = metrics.snapshot().peak_bytes as f64;
         let bound = model::fastlsa_space_entries(a.len(), b.len(), k, base) * 4.0;
         assert!(peak <= bound * 1.1, "k={k}: peak {peak} > bound {bound}");
@@ -103,7 +103,8 @@ fn replayed_parallel_cost_obeys_theorem_4() {
     let k = 8;
     let f = 2;
     let metrics = Metrics::new();
-    let (_, log) = fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 12), &metrics);
+    let (_, log) =
+        fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(k, 1 << 12), &metrics).unwrap();
     for p in [1usize, 2, 4, 8, 16] {
         let rep = fastlsa::core::replay(&log, p, f);
         let bound = model::theorem4_bound(a.len(), b.len(), k, p, f);
@@ -119,7 +120,8 @@ fn replayed_parallel_cost_obeys_theorem_4() {
 fn speedup_is_monotone_and_bounded_by_p() {
     let (a, b, scheme) = pair(4000, 8);
     let metrics = Metrics::new();
-    let (_, log) = fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 14), &metrics);
+    let (_, log) =
+        fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 14), &metrics).unwrap();
     let mut prev = 0.0;
     for p in [1usize, 2, 4, 8, 16] {
         let rep = fastlsa::core::replay(&log, p, 2);
@@ -140,7 +142,8 @@ fn efficiency_grows_with_problem_size() {
         let (a, b) = generate::homologous_pair("t", scheme.alphabet(), len, 0.8, 9).unwrap();
         let metrics = Metrics::new();
         let (_, log) =
-            fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 16), &metrics);
+            fastlsa::align_traced(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 16), &metrics)
+                .unwrap();
         effs.push(fastlsa::core::replay(&log, 8, 2).efficiency());
     }
     assert!(

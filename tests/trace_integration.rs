@@ -24,7 +24,7 @@ fn traced_run(threads: usize) -> (Trace, fastlsa::dp::MetricsSnapshot) {
     // for the parallel tiled base fill, so the trace carries both
     // GridFill (skip-hole) and BaseFill (full-grid) wavefronts.
     let cfg = FastLsaConfig::new(8, 1 << 17).with_threads(threads);
-    let result = fastlsa::align_with(&a, &b, &scheme, cfg, &metrics);
+    let result = fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).unwrap();
     assert_eq!(result.path.score(&a, &b, &scheme), result.score);
     recorder.set_threads(threads as u32);
     (recorder.snapshot(), metrics.snapshot())

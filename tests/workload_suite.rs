@@ -15,7 +15,8 @@ fn suite_mid_sizes_agree_with_hirschberg() {
         };
         let metrics = Metrics::new();
         let hb = fastlsa::hirschberg::hirschberg(&a, &b, &scheme, &metrics);
-        let fl = fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 14), &metrics);
+        let fl =
+            fastlsa::align_with(&a, &b, &scheme, FastLsaConfig::new(8, 1 << 14), &metrics).unwrap();
         assert_eq!(hb.score, fl.score, "{name}");
         assert!(fl.path.is_global(a.len(), b.len()), "{name}");
     }
@@ -29,7 +30,7 @@ fn aligned_identity_tracks_workload_target() {
     let (a, b) = spec.generate();
     let scheme = ScoringScheme::dna_default();
     let metrics = Metrics::new();
-    let r = fastlsa::align(&a, &b, &scheme, &metrics);
+    let r = fastlsa::align(&a, &b, &scheme, &metrics).unwrap();
     let al = Alignment::from_path(&a, &b, &r.path, &scheme);
     let identity = al.identity();
     assert!(
@@ -56,7 +57,7 @@ fn path_move_counts_account_for_both_sequences() {
     let (a, b) = spec.generate();
     let scheme = ScoringScheme::dna_default();
     let metrics = Metrics::new();
-    let r = fastlsa::align(&a, &b, &scheme, &metrics);
+    let r = fastlsa::align(&a, &b, &scheme, &metrics).unwrap();
     let (d, u, l) = r.path.move_counts();
     assert_eq!(d + u, a.len(), "vertical residues consumed");
     assert_eq!(d + l, b.len(), "horizontal residues consumed");
@@ -84,7 +85,11 @@ fn memory_adaptive_config_handles_the_suite() {
     for budget in [512usize << 10, 4 << 20, 128 << 20] {
         let cfg = FastLsaConfig::for_memory(budget, a.len(), b.len());
         let metrics = Metrics::new();
-        scores.push(fastlsa::align_with(&a, &b, &scheme, cfg, &metrics).score);
+        scores.push(
+            fastlsa::align_with(&a, &b, &scheme, cfg, &metrics)
+                .unwrap()
+                .score,
+        );
     }
     assert!(scores.windows(2).all(|w| w[0] == w[1]), "{scores:?}");
 }
