@@ -1,0 +1,287 @@
+//! Byte-level primitives for the snapshot format: little-endian scalar
+//! encoding, a bounds-checked read cursor, CRC32 (IEEE) section
+//! checksums, and FNV-1a 64 content digests.
+//!
+//! Everything here is written against hostile input: the cursor never
+//! reads past its slice, and every length field is validated against the
+//! bytes actually present *before* any allocation, so truncated or
+//! bit-flipped snapshots fail with a structured error instead of an
+//! allocation bomb or a panic.
+
+use std::sync::OnceLock;
+
+use crate::CheckpointError;
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the framing
+/// checksum of every snapshot section.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// FNV-1a 64 over a byte stream — the content digest used for the
+/// scheme, sequences, and configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    pub fn update_i32(&mut self, v: i32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Append-only encoder for section payloads.
+#[derive(Default)]
+pub struct Enc {
+    pub buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    /// Length-prefixed `i32` array.
+    pub fn i32s(&mut self, v: &[i32]) {
+        self.usize(v.len());
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    /// Length-prefixed `usize` array (as u64s).
+    pub fn usizes(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x as u64);
+        }
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(detail.into())
+}
+
+/// Bounds-checked read cursor over a payload slice.
+pub struct Cur<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Cur { data, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if n > self.remaining() {
+            return Err(corrupt(format!(
+                "need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn i32(&mut self) -> Result<i32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// A length field that must describe at most `remaining / elem_size`
+    /// elements — checked before any allocation so corrupt lengths can't
+    /// trigger huge reservations.
+    pub fn len(&mut self, elem_size: usize) -> Result<usize, CheckpointError> {
+        let n = self.u64()?;
+        let max = self.remaining() / elem_size.max(1);
+        if n > max as u64 {
+            return Err(corrupt(format!(
+                "length {n} exceeds the {max} elements actually present"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let n = self.len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub fn str(&mut self) -> Result<String, CheckpointError> {
+        let b = self.bytes()?;
+        String::from_utf8(b).map_err(|_| corrupt("string is not UTF-8"))
+    }
+
+    pub fn i32s(&mut self) -> Result<Vec<i32>, CheckpointError> {
+        let n = self.len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.i32()?);
+        }
+        Ok(out)
+    }
+
+    pub fn usizes(&mut self) -> Result<Vec<usize>, CheckpointError> {
+        let n = self.len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = self.u64()?;
+            usize::try_from(v)
+                .map(|v| out.push(v))
+                .map_err(|_| corrupt(format!("value {v} does not fit a usize")))?;
+        }
+        Ok(out)
+    }
+
+    pub fn usize(&mut self) -> Result<usize, CheckpointError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| corrupt(format!("value {v} does not fit a usize")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        let mut h = Fnv1a::default();
+        h.update(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::default();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn round_trip_scalars_and_arrays() {
+        let mut e = Enc::default();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.i32(-42);
+        e.str("héllo");
+        e.i32s(&[1, -2, 3]);
+        e.usizes(&[0, 9, 100]);
+        e.bytes(&[1, 2, 3]);
+        let mut c = Cur::new(&e.buf);
+        assert_eq!(c.u8().unwrap(), 7);
+        assert_eq!(c.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(c.i32().unwrap(), -42);
+        assert_eq!(c.str().unwrap(), "héllo");
+        assert_eq!(c.i32s().unwrap(), vec![1, -2, 3]);
+        assert_eq!(c.usizes().unwrap(), vec![0, 9, 100]);
+        assert_eq!(c.bytes().unwrap(), vec![1, 2, 3]);
+        assert!(c.done());
+    }
+
+    #[test]
+    fn oversized_length_fields_are_rejected_before_allocation() {
+        let mut e = Enc::default();
+        e.u64(u64::MAX); // claims ~2^64 elements
+        let mut c = Cur::new(&e.buf);
+        assert!(c.i32s().is_err());
+        let mut c = Cur::new(&e.buf);
+        assert!(c.bytes().is_err());
+    }
+
+    #[test]
+    fn truncated_reads_error_cleanly() {
+        let mut c = Cur::new(&[1, 2]);
+        assert!(c.u64().is_err());
+        assert_eq!(c.u8().unwrap(), 1); // cursor unchanged by the failed read
+    }
+}

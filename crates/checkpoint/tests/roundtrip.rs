@@ -1,0 +1,133 @@
+//! End-to-end snapshot round trips: a checkpointed run's snapshots
+//! decode, validate, and resume to the byte-identical optimal result —
+//! through the in-memory sink and through the durable file sink.
+
+use std::sync::Arc;
+
+use fastlsa_core::{align_opts, align_with, AlignOptions, CheckpointPolicy, FastLsaConfig};
+use flsa_checkpoint::{
+    decode, read_snapshot, resume_from_snapshot, CheckpointError, FileCheckpointSink, MemorySink,
+    SnapshotMeta,
+};
+use flsa_dp::Metrics;
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+
+fn inputs(len: usize, seed: u64) -> (flsa_seq::Sequence, flsa_seq::Sequence) {
+    homologous_pair("rt", &Alphabet::dna(), len, 0.8, seed).unwrap()
+}
+
+#[test]
+fn every_snapshot_resumes_to_the_reference_result() {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = inputs(240, 11);
+    for threads in [1usize, 3] {
+        let cfg = FastLsaConfig::new(4, 256).with_threads(threads);
+        let reference = align_with(&a, &b, &scheme, cfg, &Metrics::new()).unwrap();
+
+        let meta = SnapshotMeta::for_run("dna", &scheme, &a, &b, 1);
+        let sink = Arc::new(MemorySink::new(meta));
+        let opts = AlignOptions {
+            checkpoint: Some(CheckpointPolicy::new(1, sink.clone())),
+            ..AlignOptions::default()
+        };
+        align_opts(&a, &b, &scheme, cfg, &opts, &Metrics::new()).unwrap();
+
+        let snapshots = sink.snapshots();
+        assert!(snapshots.len() > 3, "got {} snapshots", snapshots.len());
+        for (i, bytes) in snapshots.iter().enumerate() {
+            let snap =
+                decode(bytes).unwrap_or_else(|e| panic!("snapshot {i} failed to decode: {e}"));
+            // The snapshot is self-contained: sequences come back out.
+            let (ra, rb) = snap.sequences(&scheme).unwrap();
+            assert_eq!(ra.codes(), a.codes());
+            assert_eq!(rb.codes(), b.codes());
+            let r = resume_from_snapshot(&snap, &scheme, &AlignOptions::default(), &Metrics::new())
+                .unwrap_or_else(|e| panic!("snapshot {i} failed to resume: {e}"));
+            assert_eq!(r.score, reference.score, "threads={threads} snapshot {i}");
+            assert_eq!(r.path, reference.path, "threads={threads} snapshot {i}");
+        }
+    }
+}
+
+#[test]
+fn file_sink_writes_atomically_and_reads_back() {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = inputs(160, 3);
+    let cfg = FastLsaConfig::new(4, 256);
+    let reference = align_with(&a, &b, &scheme, cfg, &Metrics::new()).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("flsa-ckpt-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+    let meta = SnapshotMeta::for_run("dna", &scheme, &a, &b, 2);
+    let sink = Arc::new(FileCheckpointSink::new(&path, meta));
+    let opts = AlignOptions {
+        checkpoint: Some(CheckpointPolicy::new(2, sink.clone())),
+        ..AlignOptions::default()
+    };
+    align_opts(&a, &b, &scheme, cfg, &opts, &Metrics::new()).unwrap();
+
+    assert!(
+        sink.saves() > 1,
+        "expected multiple saves, got {}",
+        sink.saves()
+    );
+    // The published file is always the latest complete snapshot.
+    let snap = read_snapshot(&path).unwrap();
+    assert_eq!(snap.meta.every_blocks, 2);
+    let r =
+        resume_from_snapshot(&snap, &scheme, &AlignOptions::default(), &Metrics::new()).unwrap();
+    assert_eq!(r.score, reference.score);
+    assert_eq!(r.path, reference.path);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_scheme_is_rejected_structurally() {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = inputs(120, 5);
+    let meta = SnapshotMeta::for_run("dna", &scheme, &a, &b, 1);
+    let sink = Arc::new(MemorySink::new(meta));
+    let opts = AlignOptions {
+        checkpoint: Some(CheckpointPolicy::new(1, sink.clone())),
+        ..AlignOptions::default()
+    };
+    align_opts(
+        &a,
+        &b,
+        &scheme,
+        FastLsaConfig::new(4, 128),
+        &opts,
+        &Metrics::new(),
+    )
+    .unwrap();
+    let snap = decode(&sink.last().unwrap()).unwrap();
+
+    // Different alphabet entirely.
+    let protein = ScoringScheme::protein_default();
+    match snap.sequences(&protein) {
+        Err(CheckpointError::Mismatch(_)) => {}
+        other => panic!("expected alphabet mismatch, got {other:?}"),
+    }
+
+    // Same alphabet, different scoring parameters → digest mismatch.
+    let tweaked = flsa_scoring::ScoringScheme::new(
+        flsa_scoring::SubstitutionMatrix::match_mismatch("dna+2/-3", Alphabet::dna(), 2, -3),
+        flsa_scoring::GapModel::linear(-1),
+    );
+    match snap.sequences(&tweaked) {
+        Err(CheckpointError::Mismatch(_)) => {}
+        other => panic!("expected digest mismatch, got {other:?}"),
+    }
+
+    // The matching scheme still works.
+    assert!(snap.sequences(&scheme).is_ok());
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let err = read_snapshot(std::path::Path::new("/nonexistent/flsa.ckpt")).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "{err:?}");
+}

@@ -40,6 +40,8 @@ const VALUED: &[&str] = &[
     "band",
     "trace",
     "trace-format",
+    "checkpoint",
+    "checkpoint-every-blocks",
 ];
 
 /// The known bare switches; anything else starting with `--` is an error

@@ -15,7 +15,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fastlsa_core::{AlignError, AlignOptions, CancelToken, FastLsaConfig, ParallelConfig};
+use fastlsa_core::{
+    AlignError, AlignOptions, CancelToken, CheckpointPolicy, FastLsaConfig, ParallelConfig,
+};
+use flsa_checkpoint::{read_snapshot, resume_from_snapshot, FileCheckpointSink, SnapshotMeta};
 use flsa_dp::{Alignment, Metrics};
 use flsa_scoring::{tables, GapModel, ScoringScheme};
 use flsa_seq::{fasta, generate, Alphabet, Sequence};
@@ -26,6 +29,7 @@ flsa - FastLSA sequence alignment (Driga et al., ICPP 2003)
 
 USAGE:
     flsa align [options] A.fasta [B.fasta]
+    flsa resume [options] CKPT              continue an interrupted checkpointed run
     flsa msa   [options] FAMILY.fasta       center-star multiple alignment
     flsa report TRACE                       analyze a recorded execution trace
     flsa gen   [options]
@@ -56,8 +60,23 @@ ALIGN OPTIONS:
                        kernels) to FILE; analyze with `flsa report FILE`
                        or load in Perfetto / chrome://tracing
     --trace-format F   chrome (default) | jsonl
+    --checkpoint FILE  (fastlsa only) write a crash-safe snapshot of the
+                       recursion state to FILE, atomically, as the run
+                       progresses; after a crash or kill, `flsa resume
+                       FILE` continues from the last snapshot. The file
+                       is removed when the run completes.
+    --checkpoint-every-blocks N
+                       snapshot cadence in completed grid blocks
+                       (default 64)
     --quiet            suppress the alignment rendering
     --width N          alignment rendering width (default 60)
+
+RESUME OPTIONS (plus --stats/--json/--quiet/--trace as for align):
+    flsa resume CKPT   validates the snapshot (CRC-framed; scheme and
+                       sequence digests must match) and continues the
+                       run to completion, checkpointing at the same
+                       cadence. A corrupt or mismatched snapshot exits
+                       with code 3 and touches nothing.
 
 GEN OPTIONS:
     --kind dna|protein (default dna)
@@ -115,6 +134,9 @@ impl From<AlignError> for CliError {
         match &e {
             AlignError::Config(_) => Self::usage(e.to_string()),
             AlignError::AlphabetMismatch { .. } => Self::input(e.to_string()),
+            // A snapshot that fails validation is malformed input, like
+            // a bad FASTA file — distinct from faults during the run.
+            AlignError::CorruptCheckpoint { .. } => Self::input(e.to_string()),
             _ => Self::runtime(e.to_string()),
         }
     }
@@ -139,6 +161,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     }
     match parsed.command.as_str() {
         "align" => cmd_align(&parsed),
+        "resume" => cmd_resume(&parsed),
         "msa" => cmd_msa(&parsed),
         "report" => cmd_report(&parsed),
         "gen" => cmd_gen(&parsed),
@@ -212,6 +235,19 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
     let (sa, sb) = load_pair(&a.positional, scheme.alphabet())?;
 
     let algo = a.str_or("algo", "fastlsa");
+    if a.options.contains_key("checkpoint") {
+        if algo != "fastlsa" {
+            return Err(CliError::usage(
+                "--checkpoint is only supported for --algo fastlsa",
+            ));
+        }
+        if a.options.contains_key("matrix-file") {
+            return Err(CliError::usage(
+                "--checkpoint needs a named --matrix (snapshots record the scheme by name \
+                 so `flsa resume` can rebuild it)",
+            ));
+        }
+    }
     let threads: usize = a.get_or("threads", 1).map_err(CliError::usage)?;
     let trace_format = a.str_or("trace-format", "chrome");
     if !matches!(trace_format, "chrome" | "jsonl") {
@@ -262,12 +298,34 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
                 }
                 None => None,
             };
+            let checkpoint = match a.options.get("checkpoint") {
+                Some(ckpt_path) => {
+                    let every: u64 = a
+                        .get_or("checkpoint-every-blocks", 64)
+                        .map_err(CliError::usage)?;
+                    if every == 0 {
+                        return Err(CliError::usage(
+                            "--checkpoint-every-blocks must be at least 1",
+                        ));
+                    }
+                    let meta =
+                        SnapshotMeta::for_run(a.str_or("matrix", "dna"), &scheme, &sa, &sb, every);
+                    let sink = FileCheckpointSink::new(ckpt_path.as_str(), meta);
+                    Some(CheckpointPolicy::new(every, Arc::new(sink)))
+                }
+                None => None,
+            };
             let opts = AlignOptions {
                 budget_bytes,
                 cancel,
+                checkpoint,
                 ..AlignOptions::default()
             };
             let r = fastlsa_core::align_opts(&sa, &sb, &scheme, cfg, &opts, &metrics)?;
+            // The job finished: the snapshot has served its purpose.
+            if let Some(ckpt_path) = a.options.get("checkpoint") {
+                cleanup_checkpoint(ckpt_path);
+            }
             (r.score, Some(r.path))
         }
         "nw" => {
@@ -341,8 +399,41 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
         other => return Err(CliError::usage(format!("unknown algorithm {other:?}"))),
     };
     let elapsed = start.elapsed();
+    report_run(
+        a,
+        algo,
+        score,
+        path.as_ref(),
+        &sa,
+        &sb,
+        &scheme,
+        elapsed,
+        &metrics,
+        recorder.as_ref(),
+        threads,
+        trace_format,
+    )
+}
 
-    let trace_events = match (a.options.get("trace"), &recorder) {
+/// Prints a finished run in whichever form the flags ask for. Shared by
+/// `align` and `resume` so a resumed run's output is byte-identical to
+/// the uninterrupted run's.
+#[allow(clippy::too_many_arguments)]
+fn report_run(
+    a: &args::Args,
+    algo: &str,
+    score: i64,
+    path: Option<&flsa_dp::Path>,
+    sa: &Sequence,
+    sb: &Sequence,
+    scheme: &ScoringScheme,
+    elapsed: Duration,
+    metrics: &Metrics,
+    recorder: Option<&Arc<Recorder>>,
+    threads: usize,
+    trace_format: &str,
+) -> Result<(), CliError> {
+    let trace_events = match (a.options.get("trace"), recorder) {
         (Some(out), Some(r)) => {
             r.set_label(format!("{algo} {}x{}", sa.len(), sb.len()));
             r.set_threads(threads as u32);
@@ -379,9 +470,9 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
         sa.len(),
         sb.len()
     );
-    if let Some(path) = &path {
+    if let Some(path) = path {
         if !a.has_flag("quiet") {
-            let al = Alignment::from_path(&sa, &sb, path, &scheme);
+            let al = Alignment::from_path(sa, sb, path, scheme);
             println!("identity {:.1}%", al.identity() * 100.0);
             print!("{al}");
         }
@@ -398,6 +489,78 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
         println!("trace           {events} events -> {out} ({trace_format})");
     }
     Ok(())
+}
+
+/// Removes a completed run's snapshot and any leftover temp buffers.
+fn cleanup_checkpoint(path: &str) {
+    let p = std::path::Path::new(path);
+    std::fs::remove_file(p).ok();
+    std::fs::remove_file(p.with_extension("tmp0")).ok();
+    std::fs::remove_file(p.with_extension("tmp1")).ok();
+}
+
+/// `flsa resume CKPT`: validate a snapshot written by
+/// `flsa align --checkpoint` and run the alignment to completion.
+fn cmd_resume(a: &args::Args) -> Result<(), CliError> {
+    let [ckpt_path] = &a.positional[..] else {
+        return Err(CliError::usage(
+            "resume needs exactly one checkpoint file (from `flsa align --checkpoint`)",
+        ));
+    };
+    let snap = read_snapshot(std::path::Path::new(ckpt_path))
+        .map_err(|e| CliError::input(e.to_string()))?;
+    let scheme = scheme_for(&snap.meta.scheme_name, snap.meta.gap_penalty).map_err(|msg| {
+        CliError::input(format!(
+            "cannot rebuild the snapshot's scoring scheme: {msg}"
+        ))
+    })?;
+    // `sequences` re-verifies the scheme digest and every residue code.
+    let (sa, sb) = snap
+        .sequences(&scheme)
+        .map_err(|e| CliError::input(e.to_string()))?;
+
+    let trace_format = a.str_or("trace-format", "chrome");
+    if !matches!(trace_format, "chrome" | "jsonl") {
+        return Err(CliError::usage(format!(
+            "unknown trace format {trace_format:?} (expected chrome or jsonl)"
+        )));
+    }
+    let recorder = a.options.get("trace").map(|_| Arc::new(Recorder::new()));
+    let metrics = match &recorder {
+        Some(r) => Metrics::with_recorder(Arc::clone(r)),
+        None => Metrics::new(),
+    };
+    let threads = snap.state.config.threads();
+
+    // Keep checkpointing to the same file at the recorded cadence, with
+    // the degrade history carried over, so a resumed run is just as
+    // killable as the original.
+    let sink = FileCheckpointSink::new(ckpt_path.as_str(), snap.meta.clone());
+    let opts = AlignOptions {
+        checkpoint: Some(CheckpointPolicy::new(
+            snap.meta.every_blocks,
+            Arc::new(sink),
+        )),
+        ..AlignOptions::default()
+    };
+    let start = Instant::now();
+    let r = resume_from_snapshot(&snap, &scheme, &opts, &metrics)?;
+    let elapsed = start.elapsed();
+    cleanup_checkpoint(ckpt_path);
+    report_run(
+        a,
+        "fastlsa",
+        r.score,
+        Some(&r.path),
+        &sa,
+        &sb,
+        &scheme,
+        elapsed,
+        &metrics,
+        recorder.as_ref(),
+        threads,
+        trace_format,
+    )
 }
 
 /// Snapshots `recorder` and writes it to `path` in `format`, returning the

@@ -408,3 +408,163 @@ fn report_rejects_missing_and_invalid_files() {
     assert!(!out.status.success());
     std::fs::remove_file(bad).ok();
 }
+
+// --- checkpoint / resume -------------------------------------------------
+
+/// A pair long enough that `--checkpoint-every-blocks 1` leaves several
+/// snapshots behind when a run is cut short.
+fn write_checkpoint_pair(name: &str) -> PathBuf {
+    let fa = tmp(name);
+    let out = flsa(&[
+        "gen",
+        "--len",
+        "500",
+        "--seed",
+        "12",
+        "-o",
+        fa.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    fa
+}
+
+#[test]
+fn checkpointed_align_completes_and_removes_the_snapshot() {
+    let fa = write_checkpoint_pair("ckpt-ok.fa");
+    let ckpt = tmp("ckpt-ok.ckpt");
+    let out = flsa(&[
+        "align",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every-blocks",
+        "1",
+        "-k",
+        "4",
+        "--base-cells",
+        "512",
+        fa.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).contains("score "));
+    assert!(!ckpt.exists(), "snapshot should be removed after success");
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn cancelled_run_leaves_a_snapshot_that_resume_finishes_identically() {
+    let fa = write_checkpoint_pair("ckpt-resume.fa");
+    let ckpt = tmp("ckpt-resume.ckpt");
+    let align = [
+        "align",
+        "-k",
+        "4",
+        "--base-cells",
+        "512",
+        fa.to_str().unwrap(),
+    ];
+    let reference = flsa(&align);
+    assert!(reference.status.success(), "{reference:?}");
+
+    // Cancel immediately: the engine force-checkpoints at the last
+    // consistent point before reporting the cancellation (exit 1).
+    let mut cancelled: Vec<&str> = align.to_vec();
+    let ckpt_s = ckpt.to_str().unwrap();
+    cancelled.extend_from_slice(&[
+        "--checkpoint",
+        ckpt_s,
+        "--checkpoint-every-blocks",
+        "1",
+        "--deadline-ms",
+        "0",
+    ]);
+    let out = flsa(&cancelled);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        ckpt.exists(),
+        "cancellation must leave a resumable snapshot"
+    );
+
+    let resumed = flsa(&["resume", ckpt_s]);
+    assert_eq!(resumed.status.code(), Some(0), "{resumed:?}");
+    assert_eq!(
+        stdout(&resumed),
+        stdout(&reference),
+        "resumed output must be byte-identical"
+    );
+    assert!(!ckpt.exists(), "snapshot should be removed after resume");
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn corrupt_snapshot_exits_3_with_a_structured_message() {
+    let fa = write_checkpoint_pair("ckpt-corrupt.fa");
+    let ckpt = tmp("ckpt-corrupt.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let out = flsa(&[
+        "align",
+        "-k",
+        "4",
+        "--base-cells",
+        "512",
+        "--checkpoint",
+        ckpt_s,
+        "--checkpoint-every-blocks",
+        "1",
+        "--deadline-ms",
+        "0",
+        fa.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // Flip one bit in the middle of the snapshot.
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&ckpt, &bytes).unwrap();
+    let out = flsa(&["resume", ckpt_s]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("corrupt checkpoint"),
+        "{out:?}"
+    );
+
+    // Truncation is detected too.
+    bytes[mid] ^= 0x40; // restore the flipped bit
+    bytes.truncate(bytes.len() - 20);
+    std::fs::write(&ckpt, &bytes).unwrap();
+    let out = flsa(&["resume", ckpt_s]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+
+    std::fs::remove_file(ckpt).ok();
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn resume_rejects_missing_files_and_bad_usage() {
+    let out = flsa(&["resume", "/nonexistent/run.ckpt"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let out = flsa(&["resume"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // --checkpoint composes only with the checkpointable engine.
+    let fa = write_pair("ckpt-usage.fa");
+    let out = flsa(&[
+        "align",
+        "--algo",
+        "nw",
+        "--checkpoint",
+        "/tmp/x.ckpt",
+        fa.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = flsa(&[
+        "align",
+        "--checkpoint",
+        "/tmp/x.ckpt",
+        "--checkpoint-every-blocks",
+        "0",
+        fa.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::remove_file(fa).ok();
+}

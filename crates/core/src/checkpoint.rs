@@ -1,0 +1,298 @@
+//! Checkpoint/resume of an in-flight alignment (DESIGN.md §10).
+//!
+//! FastLSA's live state is small by construction (paper Theorem 2): the
+//! recursion stack plus one grid cache per level is `O(k·(m+n))` cells,
+//! and the Base Case buffer never needs to be persisted because base
+//! cases complete atomically between checkpoints. [`CheckpointState`] is
+//! a plain-data snapshot of exactly that surface, captured by the solver
+//! at *consistent points* — the top of its drive loop, where every grid
+//! fill and base case has either fully completed or not started.
+//!
+//! The core crate only defines the state and the [`CheckpointSink`]
+//! hook; durable serialization (CRC32 framing, atomic rename,
+//! double-buffering) lives in the `flsa-checkpoint` crate so the engine
+//! stays free of I/O.
+
+use std::sync::Arc;
+
+use flsa_dp::Move;
+
+use crate::config::FastLsaConfig;
+
+/// Snapshot of one suspended recursion frame.
+///
+/// Coordinates are *absolute* (relative to the whole `m × n` problem),
+/// so a frame is self-describing: `a[r0..r0+rows]` × `b[c0..c0+cols]`
+/// with the path head at local `(head.0, head.1)` and the input
+/// boundaries `top`/`left` captured by value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameState {
+    /// First row of the rectangle in absolute coordinates.
+    pub r0: usize,
+    /// First column of the rectangle in absolute coordinates.
+    pub c0: usize,
+    /// Rectangle height in residues.
+    pub rows: usize,
+    /// Rectangle width in residues.
+    pub cols: usize,
+    /// Path head in local coordinates (`head.0 <= rows`,
+    /// `head.1 <= cols`).
+    pub head: (usize, usize),
+    /// Input top boundary, length `cols + 1`.
+    pub top: Vec<i32>,
+    /// Input left boundary, length `rows + 1`.
+    pub left: Vec<i32>,
+    /// The frame's filled grid cache, or `None` if fillGridCache has not
+    /// run yet for this rectangle.
+    pub grid: Option<GridState>,
+}
+
+/// Snapshot of one frame's grid cache (the `k−1` interior rows and
+/// columns of DP values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridState {
+    /// Row cut points, length `k_r + 1`, `[0, …, rows]`.
+    pub row_bounds: Vec<usize>,
+    /// Column cut points, length `k_c + 1`, `[0, …, cols]`.
+    pub col_bounds: Vec<usize>,
+    /// `k_r − 1` cached rows, each of length `cols + 1`.
+    pub rows_cache: Vec<Vec<i32>>,
+    /// `k_c − 1` cached columns, each of length `rows + 1`.
+    pub cols_cache: Vec<Vec<i32>>,
+}
+
+/// Everything needed to continue an interrupted run: configuration,
+/// progress counters, the partial optimal path, and the recursion stack
+/// outside-in (`frames[0]` is the whole problem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointState {
+    /// Configuration the run was executing under when captured (the
+    /// ladder may have degraded it below the requested one).
+    pub config: FastLsaConfig,
+    /// Completed grid blocks (fill + base-case units), the checkpoint
+    /// cadence's progress measure.
+    pub blocks_done: u64,
+    /// How many times this lineage has been resumed (0 = fresh run).
+    pub generation: u32,
+    /// The partial optimal path in prepend order (path end toward path
+    /// start), as captured from
+    /// [`PathBuilder::rev_moves`](flsa_dp::PathBuilder::rev_moves).
+    pub rev_moves: Vec<Move>,
+    /// The suspended recursion stack, outermost first. Non-empty for any
+    /// snapshot of an unfinished run.
+    pub frames: Vec<FrameState>,
+}
+
+impl CheckpointState {
+    /// Structurally validates the snapshot against problem dimensions
+    /// `m × n`. Returns a human-readable reason on the first violation;
+    /// a state that passes can be rebuilt and driven without panicking.
+    pub fn validate(&self, m: usize, n: usize) -> Result<(), String> {
+        if self.frames.is_empty() {
+            return Err("no recursion frames".into());
+        }
+        let root = &self.frames[0];
+        if root.r0 != 0 || root.c0 != 0 || root.rows != m || root.cols != n {
+            return Err(format!(
+                "root frame {}x{} at ({},{}) does not cover the {m}x{n} problem",
+                root.rows, root.cols, root.r0, root.c0
+            ));
+        }
+        for (idx, f) in self.frames.iter().enumerate() {
+            f.validate(idx).map_err(|e| format!("frame {idx}: {e}"))?;
+        }
+        for w in self.frames.windows(2) {
+            let (p, c) = (&w[0], &w[1]);
+            if c.r0 < p.r0
+                || c.c0 < p.c0
+                || c.r0 + c.rows > p.r0 + p.rows
+                || c.c0 + c.cols > p.c0 + p.cols
+            {
+                return Err("child frame escapes its parent rectangle".into());
+            }
+            if p.grid.is_none() {
+                return Err("interior frame has no grid cache".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FrameState {
+    fn validate(&self, idx: usize) -> Result<(), String> {
+        if idx > 0 && (self.rows == 0 || self.cols == 0) {
+            return Err("degenerate non-root rectangle".into());
+        }
+        if self.head.0 > self.rows || self.head.1 > self.cols {
+            return Err(format!(
+                "head ({},{}) outside the {}x{} rectangle",
+                self.head.0, self.head.1, self.rows, self.cols
+            ));
+        }
+        if self.top.len() != self.cols + 1 || self.left.len() != self.rows + 1 {
+            return Err("boundary length does not match the rectangle".into());
+        }
+        let Some(g) = &self.grid else { return Ok(()) };
+        for (bounds, len, what) in [
+            (&g.row_bounds, self.rows, "row"),
+            (&g.col_bounds, self.cols, "column"),
+        ] {
+            if bounds.len() < 3
+                || bounds[0] != 0
+                || *bounds.last().unwrap_or(&0) != len
+                || bounds.windows(2).any(|w| w[1] <= w[0])
+            {
+                return Err(format!("malformed grid {what} bounds"));
+            }
+        }
+        if g.rows_cache.len() != g.row_bounds.len() - 2
+            || g.cols_cache.len() != g.col_bounds.len() - 2
+            || g.rows_cache.iter().any(|r| r.len() != self.cols + 1)
+            || g.cols_cache.iter().any(|c| c.len() != self.rows + 1)
+        {
+            return Err("grid cache shape does not match its bounds".into());
+        }
+        Ok(())
+    }
+}
+
+/// Where snapshots go. Implemented durably (atomic file writes) by
+/// `flsa-checkpoint`; test harnesses keep them in memory.
+pub trait CheckpointSink: Send + Sync {
+    /// Persists one consistent snapshot; returns the serialized size in
+    /// bytes (for the trace event). An `Err` aborts the run with
+    /// [`AlignError::CheckpointSave`](crate::AlignError::CheckpointSave)
+    /// — a sink that cannot write is a failed durability contract, not
+    /// something to ignore silently.
+    fn save(&self, state: &CheckpointState) -> Result<u64, String>;
+
+    /// Called when the degradation ladder retries the run, so durable
+    /// snapshots can carry the degrade history across process death.
+    fn note_degrade(&self, reason: &'static str, rung: u32, config: &FastLsaConfig) {
+        let _ = (reason, rung, config);
+    }
+}
+
+/// How often (and where) the solver checkpoints.
+#[derive(Clone)]
+pub struct CheckpointPolicy {
+    /// Snapshot after every `every_blocks` newly completed grid blocks
+    /// (clamped to at least 1). Cancellation additionally forces a final
+    /// snapshot regardless of cadence.
+    pub every_blocks: u64,
+    /// Destination for snapshots.
+    pub sink: Arc<dyn CheckpointSink>,
+}
+
+impl CheckpointPolicy {
+    pub fn new(every_blocks: u64, sink: Arc<dyn CheckpointSink>) -> Self {
+        CheckpointPolicy { every_blocks, sink }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_state() -> CheckpointState {
+        CheckpointState {
+            config: FastLsaConfig::default(),
+            blocks_done: 0,
+            generation: 0,
+            rev_moves: vec![],
+            frames: vec![FrameState {
+                r0: 0,
+                c0: 0,
+                rows: 4,
+                cols: 6,
+                head: (4, 6),
+                top: vec![0; 7],
+                left: vec![0; 5],
+                grid: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_state_passes() {
+        assert_eq!(flat_state().validate(4, 6), Ok(()));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let s = flat_state();
+        assert!(s.validate(5, 6).is_err());
+        assert!(s.validate(4, 7).is_err());
+    }
+
+    #[test]
+    fn structural_corruption_is_rejected() {
+        let mut s = flat_state();
+        s.frames[0].head = (5, 6); // outside the rectangle
+        assert!(s.validate(4, 6).is_err());
+
+        let mut s = flat_state();
+        s.frames[0].top.pop();
+        assert!(s.validate(4, 6).is_err());
+
+        let mut s = flat_state();
+        s.frames.clear();
+        assert!(s.validate(4, 6).is_err());
+    }
+
+    #[test]
+    fn grid_shape_is_checked() {
+        let mut s = flat_state();
+        s.frames[0].grid = Some(GridState {
+            row_bounds: vec![0, 2, 4],
+            col_bounds: vec![0, 3, 6],
+            rows_cache: vec![vec![0; 7]],
+            cols_cache: vec![vec![0; 5]],
+        });
+        assert_eq!(s.validate(4, 6), Ok(()));
+
+        // Non-monotone bounds.
+        if let Some(g) = &mut s.frames[0].grid {
+            g.row_bounds = vec![0, 3, 2, 4];
+        }
+        assert!(s.validate(4, 6).is_err());
+
+        // Cache line with the wrong width.
+        let mut s = flat_state();
+        s.frames[0].grid = Some(GridState {
+            row_bounds: vec![0, 2, 4],
+            col_bounds: vec![0, 3, 6],
+            rows_cache: vec![vec![0; 6]],
+            cols_cache: vec![vec![0; 5]],
+        });
+        assert!(s.validate(4, 6).is_err());
+    }
+
+    #[test]
+    fn child_must_nest_inside_parent() {
+        let mut s = flat_state();
+        s.frames[0].grid = Some(GridState {
+            row_bounds: vec![0, 2, 4],
+            col_bounds: vec![0, 3, 6],
+            rows_cache: vec![vec![0; 7]],
+            cols_cache: vec![vec![0; 5]],
+        });
+        s.frames.push(FrameState {
+            r0: 2,
+            c0: 3,
+            rows: 3, // escapes: 2 + 3 > 4
+            cols: 3,
+            head: (3, 3),
+            top: vec![0; 4],
+            left: vec![0; 4],
+            grid: None,
+        });
+        assert!(s.validate(4, 6).is_err());
+        if let Some(f) = s.frames.last_mut() {
+            f.rows = 2;
+            f.left = vec![0; 3];
+            f.head = (2, 3);
+        }
+        assert_eq!(s.validate(4, 6), Ok(()));
+    }
+}

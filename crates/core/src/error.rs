@@ -69,6 +69,21 @@ pub enum AlignError {
     /// A worker panicked inside a parallel tile; the job drained and the
     /// panic payload was contained.
     WorkerPanic,
+    /// A checkpoint snapshot could not be written by the configured
+    /// [`CheckpointSink`](crate::CheckpointSink). The run is aborted
+    /// rather than silently continuing without durability.
+    CheckpointSave {
+        /// Sink-provided reason (e.g. the I/O error).
+        detail: String,
+    },
+    /// A checkpoint snapshot failed validation — framing/CRC damage,
+    /// digest mismatch against the inputs, or structural inconsistency.
+    /// Resume refuses to continue: a corrupt snapshot must surface as an
+    /// error, never as a wrong alignment.
+    CorruptCheckpoint {
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for AlignError {
@@ -85,6 +100,12 @@ impl std::fmt::Display for AlignError {
             }
             AlignError::Cancelled => write!(f, "alignment cancelled"),
             AlignError::WorkerPanic => write!(f, "a worker panicked during a parallel fill"),
+            AlignError::CheckpointSave { detail } => {
+                write!(f, "failed to write checkpoint snapshot: {detail}")
+            }
+            AlignError::CorruptCheckpoint { detail } => {
+                write!(f, "checkpoint snapshot rejected: {detail}")
+            }
         }
     }
 }

@@ -14,6 +14,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use crate::cancel::CancelToken;
+use crate::checkpoint::CheckpointPolicy;
 use crate::config::FastLsaConfig;
 use crate::error::AlignError;
 
@@ -57,6 +58,9 @@ pub struct AlignOptions {
     pub cancel: Option<CancelToken>,
     /// Deterministic fault-injection hooks.
     pub hooks: Option<Arc<dyn FaultHooks>>,
+    /// Periodic crash-safe snapshots of the recursion state
+    /// (DESIGN.md §10); `None` = no checkpointing.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 /// Owns the run's byte budget and performs fallible allocation for the
@@ -176,6 +180,8 @@ pub(crate) struct RunCtx {
     pub hooks: Option<Arc<dyn FaultHooks>>,
     /// Monotone recursion-step counter for `FaultHooks::on_step`.
     pub steps: Cell<u64>,
+    /// Checkpoint cadence and sink, if the run is checkpointed.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl RunCtx {
@@ -185,6 +191,7 @@ impl RunCtx {
             cancel: opts.cancel.clone(),
             hooks: opts.hooks.clone(),
             steps: Cell::new(0),
+            checkpoint: opts.checkpoint.clone(),
         }
     }
 

@@ -97,6 +97,24 @@ impl Grid {
         })
     }
 
+    /// Rebuilds a grid from a checkpoint snapshot, charging the cache
+    /// lines against the governor exactly as [`Grid::try_new`] does. The
+    /// caller ([`crate::align_resume`]) validates the snapshot's shape
+    /// first; this only accounts for the memory.
+    pub fn from_parts(
+        state: crate::checkpoint::GridState,
+        governor: &MemoryGovernor,
+    ) -> Result<Self, AlignError> {
+        let grid = Grid {
+            row_bounds: state.row_bounds,
+            col_bounds: state.col_bounds,
+            rows_cache: state.rows_cache,
+            cols_cache: state.cols_cache,
+        };
+        governor.reserve_i32(grid.cache_entries(), "resumed grid cache")?;
+        Ok(grid)
+    }
+
     /// Number of block rows.
     pub fn k_r(&self) -> usize {
         self.row_bounds.len() - 1

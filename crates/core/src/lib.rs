@@ -46,6 +46,7 @@
 
 pub mod affine;
 pub mod cancel;
+pub mod checkpoint;
 pub mod config;
 pub mod costlog;
 pub mod error;
@@ -57,6 +58,7 @@ mod solver;
 
 pub use affine::align_affine;
 pub use cancel::CancelToken;
+pub use checkpoint::{CheckpointPolicy, CheckpointSink, CheckpointState, FrameState, GridState};
 pub use config::{FastLsaConfig, ParallelConfig};
 pub use costlog::{CostEvent, CostLog};
 pub use error::{AlignError, ConfigError};
@@ -149,6 +151,73 @@ pub fn align_opts(
                     threads: next.threads() as u32,
                 },
             );
+        }
+        if let Some(p) = &opts.checkpoint {
+            p.sink.note_degrade(reason.name(), rung, &next);
+        }
+        cfg = next;
+    }
+}
+
+/// Continues an interrupted run from a [`CheckpointState`] snapshot.
+///
+/// The snapshot is validated structurally against the input dimensions
+/// (digest/CRC validation happens in the serialization layer before the
+/// state ever reaches this function); any inconsistency is returned as
+/// [`AlignError::CorruptCheckpoint`] — never a wrong alignment. The run
+/// restarts under the snapshot's own configuration (which may already be
+/// a degraded rung) and keeps degrading from there on further faults:
+/// frames are self-describing, so a retry with a smaller `base_cells` or
+/// `k` reuses every already-filled grid cache and only shapes *future*
+/// frames differently.
+pub fn align_resume(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    state: CheckpointState,
+    opts: &AlignOptions,
+    metrics: &Metrics,
+) -> Result<AlignResult, AlignError> {
+    state.config.validate()?;
+    let mut cfg = state.config;
+    let mut rung: u32 = 0;
+    loop {
+        let mut solver = solver::Solver::new(scheme, cfg, metrics, opts);
+        let err = match solver.resume(a, b, state.clone()) {
+            Ok(r) => return Ok(r),
+            Err(e) => e,
+        };
+        let (reason, next) = match &err {
+            AlignError::AllocFailed { .. } => (DegradeReason::AllocFailed, next_rung(&cfg)),
+            AlignError::WorkerPanic if cfg.threads() > 1 => (
+                DegradeReason::WorkerPanic,
+                Some(FastLsaConfig {
+                    parallel: None,
+                    ..cfg
+                }),
+            ),
+            _ => return Err(err),
+        };
+        let Some(next) = next else {
+            return Err(err);
+        };
+        rung += 1;
+        if let Some(r) = metrics.recorder() {
+            let now = r.now_ns();
+            r.record(
+                now,
+                now,
+                EventKind::Degrade {
+                    reason,
+                    rung,
+                    k: next.k as u32,
+                    base_cells: next.base_cells as u64,
+                    threads: next.threads() as u32,
+                },
+            );
+        }
+        if let Some(p) = &opts.checkpoint {
+            p.sink.note_degrade(reason.name(), rung, &next);
         }
         cfg = next;
     }
@@ -352,6 +421,165 @@ mod tests {
             let nw = needleman_wunsch(&a, &b, &scheme, &metrics);
             let r = align_with(&a, &b, &scheme, FastLsaConfig::new(2, 8), &metrics).unwrap();
             assert_eq!(r.score, nw.score, "case {sa:?} vs {sb:?}");
+        }
+    }
+
+    /// Test sink that keeps every captured state in memory.
+    struct CaptureSink(std::sync::Mutex<Vec<CheckpointState>>);
+
+    impl CaptureSink {
+        fn new() -> std::sync::Arc<Self> {
+            std::sync::Arc::new(CaptureSink(std::sync::Mutex::new(Vec::new())))
+        }
+        fn states(&self) -> Vec<CheckpointState> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    impl CheckpointSink for CaptureSink {
+        fn save(&self, state: &CheckpointState) -> Result<u64, String> {
+            self.0.lock().unwrap().push(state.clone());
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn resume_from_every_snapshot_reproduces_the_exact_result() {
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 400, 0.8, 7).unwrap();
+        for threads in [1usize, 3] {
+            let cfg = FastLsaConfig::new(4, 512).with_threads(threads);
+            let reference = align_with(&a, &b, &scheme, cfg, &Metrics::new()).unwrap();
+
+            let sink = CaptureSink::new();
+            let opts = AlignOptions {
+                checkpoint: Some(checkpoint::CheckpointPolicy::new(1, sink.clone())),
+                ..AlignOptions::default()
+            };
+            let ckpt_run = align_opts(&a, &b, &scheme, cfg, &opts, &Metrics::new()).unwrap();
+            assert_eq!(ckpt_run.score, reference.score);
+            assert_eq!(ckpt_run.path, reference.path);
+
+            let states = sink.states();
+            assert!(
+                states.len() > 5,
+                "every_blocks=1 should checkpoint often (got {})",
+                states.len()
+            );
+            // Resuming from ANY intermediate snapshot must land on the
+            // same optimal score and path — no work replayed or skipped.
+            for (i, state) in states.into_iter().enumerate() {
+                let r = align_resume(
+                    &a,
+                    &b,
+                    &scheme,
+                    state,
+                    &AlignOptions::default(),
+                    &Metrics::new(),
+                )
+                .unwrap();
+                assert_eq!(r.score, reference.score, "threads={threads} snapshot {i}");
+                assert_eq!(r.path, reference.path, "threads={threads} snapshot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_forces_a_final_resumable_snapshot() {
+        struct CancelAt {
+            at: u64,
+            token: CancelToken,
+        }
+        impl FaultHooks for CancelAt {
+            fn on_step(&self, step: u64) {
+                if step == self.at {
+                    self.token.cancel();
+                }
+            }
+        }
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 350, 0.8, 13).unwrap();
+        let cfg = FastLsaConfig::new(4, 256);
+        let reference = align_with(&a, &b, &scheme, cfg, &Metrics::new()).unwrap();
+
+        let mut resumed_any = false;
+        for cancel_at in [2u64, 5, 9, 14] {
+            let token = CancelToken::new();
+            let sink = CaptureSink::new();
+            let opts = AlignOptions {
+                cancel: Some(token.clone()),
+                hooks: Some(std::sync::Arc::new(CancelAt {
+                    at: cancel_at,
+                    token: token.clone(),
+                })),
+                // Cadence so sparse that only the forced final snapshot
+                // can realistically fire before the cancellation point.
+                checkpoint: Some(checkpoint::CheckpointPolicy::new(u64::MAX, sink.clone())),
+                ..AlignOptions::default()
+            };
+            let err = align_opts(&a, &b, &scheme, cfg, &opts, &Metrics::new()).unwrap_err();
+            assert_eq!(err, AlignError::Cancelled);
+            let Some(state) = sink.states().pop() else {
+                // Cancelled before any frame existed; nothing to resume.
+                continue;
+            };
+            resumed_any = true;
+            let r = align_resume(
+                &a,
+                &b,
+                &scheme,
+                state,
+                &AlignOptions::default(),
+                &Metrics::new(),
+            )
+            .unwrap();
+            assert_eq!(r.score, reference.score, "cancel_at={cancel_at}");
+            assert_eq!(r.path, reference.path, "cancel_at={cancel_at}");
+        }
+        assert!(resumed_any, "no cancellation produced a snapshot");
+    }
+
+    #[test]
+    fn corrupt_states_are_rejected_structurally() {
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 200, 0.8, 3).unwrap();
+        let sink = CaptureSink::new();
+        let opts = AlignOptions {
+            checkpoint: Some(checkpoint::CheckpointPolicy::new(1, sink.clone())),
+            ..AlignOptions::default()
+        };
+        let cfg = FastLsaConfig::new(4, 256);
+        align_opts(&a, &b, &scheme, cfg, &opts, &Metrics::new()).unwrap();
+        let state = sink.states().pop().unwrap();
+
+        type Mutation = Box<dyn Fn(&mut CheckpointState)>;
+        let mutations: Vec<Mutation> = vec![
+            Box::new(|s| s.frames.clear()),
+            Box::new(|s| s.frames[0].rows += 1),
+            Box::new(|s| s.frames[0].head.1 = s.frames[0].cols + 1),
+            Box::new(|s| s.frames[0].top.pop().map(|_| ()).unwrap_or(())),
+            Box::new(|s| {
+                if let Some(g) = &mut s.frames[0].grid {
+                    g.rows_cache.pop();
+                }
+            }),
+        ];
+        for (i, mutate) in mutations.iter().enumerate() {
+            let mut bad = state.clone();
+            mutate(&mut bad);
+            let err = align_resume(
+                &a,
+                &b,
+                &scheme,
+                bad,
+                &AlignOptions::default(),
+                &Metrics::new(),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, AlignError::CorruptCheckpoint { .. }),
+                "mutation {i}: got {err:?}"
+            );
         }
     }
 

@@ -18,6 +18,23 @@ pub enum Move {
     Left,
 }
 
+impl Move {
+    /// Stable wire encoding (checkpoint snapshots): Diag 0, Up 1, Left 2.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Move::code`]; `None` for bytes outside the encoding.
+    pub fn from_code(code: u8) -> Option<Move> {
+        match code {
+            0 => Some(Move::Diag),
+            1 => Some(Move::Up),
+            2 => Some(Move::Left),
+            _ => None,
+        }
+    }
+}
+
 /// A monotone path through the DPM from `start` (inclusive) following
 /// `moves` in order. A complete global alignment starts at `(0, 0)` and
 /// ends at `(m, n)`.
@@ -149,6 +166,19 @@ impl PathBuilder {
     /// naturally produce).
     pub fn extend_back(&mut self, rev_fragment: impl IntoIterator<Item = Move>) {
         self.rev_moves.extend(rev_fragment);
+    }
+
+    /// Rebuilds a builder from a reversed move list previously captured
+    /// with [`PathBuilder::rev_moves`] (checkpoint/resume support).
+    pub fn from_rev_moves(rev_moves: Vec<Move>) -> Self {
+        PathBuilder { rev_moves }
+    }
+
+    /// The moves prepended so far, in prepend order (path end toward path
+    /// start). Snapshotting this and feeding it back through
+    /// [`PathBuilder::from_rev_moves`] reproduces the builder exactly.
+    pub fn rev_moves(&self) -> &[Move] {
+        &self.rev_moves
     }
 
     /// Moves prepended so far.

@@ -1,0 +1,163 @@
+//! Kill–restore harness: SIGKILL a checkpointed `flsa align` child
+//! process at seeded points, resume from the surviving snapshot, and
+//! keep going until the run completes (DESIGN.md §10).
+//!
+//! The harness knows nothing about the engine's internals — it drives
+//! the real binary through its public surface (`align --checkpoint`,
+//! `resume`, the exit-code taxonomy) exactly the way an operator's
+//! retry loop would, which is what makes the byte-identical-output
+//! assertion meaningful end to end: process death at *any* instant must
+//! be invisible in the final output.
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use crate::SplitMix64;
+
+/// Seeded kill schedule: the Nth (re)start of the job is killed after
+/// `delays_ms[N]` milliseconds; once the schedule is exhausted the job
+/// runs undisturbed to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillPlan {
+    pub seed: u64,
+    pub delays_ms: Vec<u64>,
+}
+
+impl KillPlan {
+    /// Derives a plan of `kills` kill points with delays in
+    /// `0..max_delay_ms` from `seed`.
+    pub fn from_seed(seed: u64, kills: usize, max_delay_ms: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        KillPlan {
+            seed,
+            delays_ms: (0..kills).map(|_| rng.below(max_delay_ms.max(1))).collect(),
+        }
+    }
+}
+
+/// One checkpointed job to be crashed and restored: the `flsa` binary,
+/// its alignment arguments, and where the snapshot lives.
+pub struct CrashJob<'a> {
+    /// Path to the `flsa` binary (tests use `env!("CARGO_BIN_EXE_flsa")`).
+    pub flsa_bin: &'a Path,
+    /// Arguments after `align`, excluding `--checkpoint` (the harness
+    /// appends it): matrix/k/base-cells/threads flags plus the FASTA
+    /// path(s).
+    pub align_args: &'a [String],
+    /// Snapshot path handed to `--checkpoint` and `resume`.
+    pub ckpt: &'a Path,
+    /// Snapshot cadence in completed grid blocks.
+    pub every_blocks: u64,
+}
+
+/// What happened across the kill–restore loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashOutcome {
+    /// SIGKILLs actually delivered to a still-running child.
+    pub kills_delivered: u32,
+    /// Restarts that found a snapshot and went through `flsa resume`.
+    pub resumes: u32,
+    /// Restarts that found no snapshot yet and re-ran `flsa align`.
+    pub fresh_starts: u32,
+    /// Stdout of the run that finally completed.
+    pub stdout: Vec<u8>,
+}
+
+impl<'a> CrashJob<'a> {
+    /// The uninterrupted reference: one clean `flsa align` (no
+    /// checkpointing) whose stdout every crashed-and-restored run must
+    /// reproduce byte for byte.
+    pub fn reference_stdout(&self) -> Result<Vec<u8>, String> {
+        let out = Command::new(self.flsa_bin)
+            .arg("align")
+            .args(self.align_args)
+            .stdin(Stdio::null())
+            .output()
+            .map_err(|e| format!("spawn reference run: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "reference run failed ({:?}): {}",
+                out.status.code(),
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        Ok(out.stdout)
+    }
+
+    /// Runs the kill–restore loop under `plan`: start the job, SIGKILL
+    /// it after the next seeded delay, restart it (`resume` when a
+    /// snapshot survived, `align` from scratch otherwise), and repeat
+    /// until either the schedule is exhausted and the job completes, or
+    /// a restart fails in a way the taxonomy says must never happen
+    /// (exit 3: the snapshot a kill left behind was corrupt).
+    pub fn run(&self, plan: &KillPlan) -> Result<CrashOutcome, String> {
+        let mut outcome = CrashOutcome {
+            kills_delivered: 0,
+            resumes: 0,
+            fresh_starts: 0,
+            stdout: Vec::new(),
+        };
+        let every = self.every_blocks.to_string();
+        let mut attempt = 0usize;
+        loop {
+            let resuming = self.ckpt.exists();
+            let mut cmd = Command::new(self.flsa_bin);
+            if resuming {
+                outcome.resumes += 1;
+                cmd.arg("resume").arg(self.ckpt);
+            } else {
+                outcome.fresh_starts += 1;
+                cmd.arg("align")
+                    .args(self.align_args)
+                    .arg("--checkpoint")
+                    .arg(self.ckpt)
+                    .arg("--checkpoint-every-blocks")
+                    .arg(&every);
+            }
+            let mut child = cmd
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .map_err(|e| format!("spawn attempt {attempt}: {e}"))?;
+
+            if let Some(&delay) = plan.delays_ms.get(attempt) {
+                std::thread::sleep(Duration::from_millis(delay));
+                // kill() is SIGKILL: no signal handler can run, so this
+                // models true process death at an arbitrary instruction.
+                // If the child already exited the kill is a no-op and
+                // the status below tells us which case we hit.
+                let still_running = matches!(child.try_wait(), Ok(None));
+                child.kill().ok();
+                if still_running {
+                    outcome.kills_delivered += 1;
+                }
+            }
+            attempt += 1;
+            let out = child
+                .wait_with_output()
+                .map_err(|e| format!("wait attempt {attempt}: {e}"))?;
+            if out.status.success() {
+                outcome.stdout = out.stdout;
+                return Ok(outcome);
+            }
+            match out.status.code() {
+                // Killed by signal (no code) — restart.
+                None => continue,
+                // A kill can race run completion and cleanup; exit 1
+                // (e.g. snapshot write hit the dying process) also just
+                // means "retry".
+                Some(1) => continue,
+                Some(code) => {
+                    return Err(format!(
+                        "attempt {attempt} ({}) exited {code}, which the kill-restore \
+                         protocol never produces: {}",
+                        if resuming { "resume" } else { "align" },
+                        String::from_utf8_lossy(&out.stderr)
+                    ));
+                }
+            }
+        }
+    }
+}

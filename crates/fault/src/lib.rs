@@ -15,7 +15,14 @@
 //! [`fastlsa_core::AlignError`] matching the injected fault class —
 //! never a corrupted path, a deadlock, or a panic that crosses the API
 //! boundary.
+//!
+//! The [`crash`] module extends the same philosophy past the process
+//! boundary: it SIGKILLs a checkpointed `flsa align` child at seeded
+//! points and drives `flsa resume` until the job completes, asserting
+//! the final output is byte-identical to an uninterrupted run.
 #![forbid(unsafe_code)]
+
+pub mod crash;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -150,6 +157,7 @@ impl FaultInjector {
             budget_bytes: self.plan.budget_bytes,
             cancel: Some(self.token.clone()),
             hooks: Some(Arc::clone(self) as Arc<dyn FaultHooks>),
+            checkpoint: None,
         }
     }
 }

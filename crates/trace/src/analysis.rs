@@ -28,6 +28,33 @@ pub struct DegradeStats {
     pub threads: u32,
 }
 
+/// One entry on the run-lifecycle timeline: the instant events that
+/// describe how the run survived (or didn't) — degradations, persisted
+/// checkpoints, and resumes — in wall-clock order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleKind {
+    Degrade(DegradeStats),
+    Checkpoint {
+        seq: u32,
+        blocks: u64,
+        frames: u32,
+        bytes: u64,
+    },
+    Resume {
+        generation: u32,
+        blocks: u64,
+        frames: u32,
+    },
+}
+
+/// A lifecycle event positioned on the trace timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// Nanoseconds from the trace's first event.
+    pub at_ns: u64,
+    pub kind: LifecycleKind,
+}
+
 /// Busy time and event count for one recording thread.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThreadStats {
@@ -126,6 +153,10 @@ pub struct Analysis {
     pub tile_hist: Histogram,
     /// Degradation-ladder steps, in the order they happened.
     pub degradations: Vec<DegradeStats>,
+    /// Degrade/checkpoint/resume events on one timeline, in wall-clock
+    /// order, so an operator can see where a job died and where it
+    /// picked back up.
+    pub lifecycle: Vec<LifecycleEvent>,
 }
 
 /// Union length of a set of half-open intervals, ns.
@@ -172,6 +203,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
     let mut tiles_by_fill: BTreeMap<u32, Vec<TileRec>> = BTreeMap::new();
     let mut fill_meta: BTreeMap<u32, (TileKind, u32, u32, u32, u64)> = BTreeMap::new();
     let mut spans: BTreeMap<(u8, u32), SpanDepthStats> = BTreeMap::new();
+    let t0 = trace.events.iter().map(|e| e.start_ns).min().unwrap_or(0);
 
     for e in &trace.events {
         let entry = per_thread.entry(e.tid).or_default();
@@ -232,16 +264,52 @@ pub fn analyze(trace: &Trace) -> Analysis {
                 base_cells,
                 threads,
             } => {
-                out.degradations.push(DegradeStats {
+                let d = DegradeStats {
                     reason,
                     rung,
                     k,
                     base_cells,
                     threads,
+                };
+                out.degradations.push(d);
+                out.lifecycle.push(LifecycleEvent {
+                    at_ns: e.start_ns.saturating_sub(t0),
+                    kind: LifecycleKind::Degrade(d),
+                });
+            }
+            EventKind::Checkpoint {
+                seq,
+                blocks,
+                frames,
+                bytes,
+            } => {
+                out.lifecycle.push(LifecycleEvent {
+                    at_ns: e.start_ns.saturating_sub(t0),
+                    kind: LifecycleKind::Checkpoint {
+                        seq,
+                        blocks,
+                        frames,
+                        bytes,
+                    },
+                });
+            }
+            EventKind::Resume {
+                generation,
+                blocks,
+                frames,
+            } => {
+                out.lifecycle.push(LifecycleEvent {
+                    at_ns: e.start_ns.saturating_sub(t0),
+                    kind: LifecycleKind::Resume {
+                        generation,
+                        blocks,
+                        frames,
+                    },
                 });
             }
         }
     }
+    out.lifecycle.sort_by_key(|l| l.at_ns);
 
     out.threads = per_thread
         .into_iter()
@@ -427,6 +495,41 @@ pub fn render_report(a: &Analysis) -> String {
             totals(2),
             a.fills.len()
         );
+    }
+
+    if !a.lifecycle.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nrun lifecycle (degrade / checkpoint / resume timeline):"
+        );
+        for l in &a.lifecycle {
+            let what = match l.kind {
+                LifecycleKind::Degrade(d) => format!(
+                    "degrade   rung {} ({}) -> k={} base_cells={} threads={}",
+                    d.rung,
+                    d.reason.name(),
+                    d.k,
+                    d.base_cells,
+                    d.threads
+                ),
+                LifecycleKind::Checkpoint {
+                    seq,
+                    blocks,
+                    frames,
+                    bytes,
+                } => {
+                    format!("checkpoint #{seq} at {blocks} blocks ({frames} frames, {bytes} bytes)")
+                }
+                LifecycleKind::Resume {
+                    generation,
+                    blocks,
+                    frames,
+                } => format!(
+                    "resume    generation {generation} from {blocks} blocks ({frames} frames)"
+                ),
+            };
+            let _ = writeln!(out, "  +{:<12} {}", fmt_ns(l.at_ns), what);
+        }
     }
 
     if !a.degradations.is_empty() {
@@ -616,6 +719,69 @@ mod tests {
         let report = render_report(&a);
         assert!(report.contains("BaseCase"));
         assert!(report.contains("kernel cells 42"));
+    }
+
+    #[test]
+    fn lifecycle_timeline_orders_degrade_checkpoint_resume() {
+        let events = vec![
+            Event {
+                tid: 0,
+                start_ns: 300,
+                end_ns: 300,
+                kind: EventKind::Resume {
+                    generation: 1,
+                    blocks: 9,
+                    frames: 2,
+                },
+            },
+            Event {
+                tid: 0,
+                start_ns: 100,
+                end_ns: 100,
+                kind: EventKind::Degrade {
+                    reason: DegradeReason::AllocFailed,
+                    rung: 1,
+                    k: 4,
+                    base_cells: 512,
+                    threads: 1,
+                },
+            },
+            Event {
+                tid: 0,
+                start_ns: 200,
+                end_ns: 200,
+                kind: EventKind::Checkpoint {
+                    seq: 0,
+                    blocks: 9,
+                    frames: 2,
+                    bytes: 4096,
+                },
+            },
+        ];
+        let a = analyze(&Trace {
+            meta: TraceMeta::default(),
+            events,
+        });
+        // Ordered by time, offsets relative to the first event.
+        assert_eq!(a.lifecycle.len(), 3);
+        assert_eq!(a.lifecycle[0].at_ns, 0);
+        assert!(matches!(a.lifecycle[0].kind, LifecycleKind::Degrade(_)));
+        assert!(matches!(
+            a.lifecycle[1].kind,
+            LifecycleKind::Checkpoint {
+                seq: 0,
+                bytes: 4096,
+                ..
+            }
+        ));
+        assert!(matches!(
+            a.lifecycle[2].kind,
+            LifecycleKind::Resume { generation: 1, .. }
+        ));
+        let report = render_report(&a);
+        assert!(report.contains("run lifecycle"));
+        assert!(report.contains("checkpoint #0 at 9 blocks"));
+        assert!(report.contains("resume    generation 1"));
     }
 
     #[test]

@@ -106,6 +106,25 @@ pub enum EventKind {
         base_cells: u64,
         threads: u32,
     },
+    /// A consistent snapshot of the recursion state was persisted
+    /// (instant event). `seq` numbers snapshots within one process
+    /// lifetime; `blocks` is the completed-grid-block progress counter;
+    /// `frames` the recursion-stack depth captured; `bytes` the
+    /// serialized snapshot size.
+    Checkpoint {
+        seq: u32,
+        blocks: u64,
+        frames: u32,
+        bytes: u64,
+    },
+    /// The run was reconstructed from a durable snapshot (instant
+    /// event). `generation` counts resumes in the lineage (1 = first
+    /// resume); `blocks`/`frames` describe the snapshot picked up.
+    Resume {
+        generation: u32,
+        blocks: u64,
+        frames: u32,
+    },
 }
 
 /// One timeline entry: who, when, what.

@@ -102,6 +102,29 @@ fn event_object(e: &Event) -> String {
                 reason.name()
             );
         }
+        EventKind::Checkpoint {
+            seq,
+            blocks,
+            frames,
+            bytes,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"checkpoint\",\"seq\":{seq},\"blocks\":{blocks},\
+                 \"frames\":{frames},\"bytes\":{bytes}"
+            );
+        }
+        EventKind::Resume {
+            generation,
+            blocks,
+            frames,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"resume\",\"generation\":{generation},\"blocks\":{blocks},\
+                 \"frames\":{frames}"
+            );
+        }
     }
     let _ = write!(
         s,
@@ -160,6 +183,17 @@ fn event_from_object(v: &Value) -> Result<Event, String> {
             k: field("k")? as u32,
             base_cells: field("base_cells")?,
             threads: field("threads")? as u32,
+        },
+        Some("checkpoint") => EventKind::Checkpoint {
+            seq: field("seq")? as u32,
+            blocks: field("blocks")?,
+            frames: field("frames")? as u32,
+            bytes: field("bytes")?,
+        },
+        Some("resume") => EventKind::Resume {
+            generation: field("generation")? as u32,
+            blocks: field("blocks")?,
+            frames: field("frames")? as u32,
         },
         other => return Err(format!("unknown event type {other:?}")),
     };
@@ -224,6 +258,12 @@ fn chrome_event_name(e: &Event) -> String {
         EventKind::Degrade {
             reason, rung, k, ..
         } => format!("degrade #{rung} ({}) -> k={k}", reason.name()),
+        EventKind::Checkpoint { seq, blocks, .. } => {
+            format!("checkpoint #{seq} @{blocks} blocks")
+        }
+        EventKind::Resume {
+            generation, blocks, ..
+        } => format!("resume gen {generation} @{blocks} blocks"),
     }
 }
 
@@ -234,6 +274,8 @@ fn chrome_category(e: &Event) -> &'static str {
         EventKind::Tile { .. } => "tile",
         EventKind::Kernel { .. } => "kernel",
         EventKind::Degrade { .. } => "degrade",
+        EventKind::Checkpoint { .. } => "checkpoint",
+        EventKind::Resume { .. } => "resume",
     }
 }
 
@@ -380,6 +422,27 @@ mod tests {
                         threads: 4,
                     },
                 },
+                Event {
+                    tid: 0,
+                    start_ns: 960,
+                    end_ns: 960,
+                    kind: EventKind::Checkpoint {
+                        seq: 3,
+                        blocks: 48,
+                        frames: 2,
+                        bytes: 18_432,
+                    },
+                },
+                Event {
+                    tid: 0,
+                    start_ns: 970,
+                    end_ns: 970,
+                    kind: EventKind::Resume {
+                        generation: 1,
+                        blocks: 48,
+                        frames: 2,
+                    },
+                },
             ],
         }
     }
@@ -402,7 +465,7 @@ mod tests {
         let text = std::str::from_utf8(&buf).unwrap();
         // Structure sanity: valid JSON with one traceEvent per event.
         let doc = json::parse(text).unwrap();
-        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 7);
         let back = read_trace(text).unwrap();
         assert_eq!(back.meta, trace.meta);
         assert_eq!(back.events, trace.events);
