@@ -1,9 +1,11 @@
 //! Criterion bench for the DP kernels underlying every aligner: full
-//! fill vs last-row/col scan vs packed-direction fill.
+//! fill vs last-row/col scan vs packed-direction fill, plus the
+//! vectorized backend sweep (`flsa bench kernels` is the JSON-emitting
+//! counterpart of the `kernel_backends` group).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use flsa_dp::kernel::{fill_dir, fill_full, fill_last_row_col};
-use flsa_dp::{Boundary, Metrics};
+use flsa_dp::{Boundary, Kernel, KernelBackend, Metrics};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::generate::random_sequence;
 use flsa_seq::Alphabet;
@@ -78,5 +80,38 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+fn bench_backends(c: &mut Criterion) {
+    let scheme = ScoringScheme::dna_default();
+    let n = 1024;
+    let a = random_sequence("a", &Alphabet::dna(), n, 1);
+    let b = random_sequence("b", &Alphabet::dna(), n, 2);
+    let bound = Boundary::global(n, n, -10);
+
+    let mut group = c.benchmark_group("kernel_backends");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((n * n) as u64));
+
+    for backend in KernelBackend::available() {
+        let kernel = Kernel::try_new(backend).expect("available backend");
+        group.bench_function(backend.name(), |bch| {
+            let mut bottom = vec![0i32; n + 1];
+            bch.iter(|| {
+                let m = Metrics::new();
+                kernel.fill_last_row(
+                    a.codes(),
+                    b.codes(),
+                    &bound.top,
+                    &bound.left,
+                    &scheme,
+                    &mut bottom,
+                    &m,
+                );
+                black_box(bottom[n])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_backends);
 criterion_main!(benches);

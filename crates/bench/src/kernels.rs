@@ -1,0 +1,251 @@
+//! The `flsa bench kernels` sweep: DP kernel throughput per backend.
+//!
+//! Times [`Kernel::fill_last_row`] — the row-rolling fill at the heart of
+//! both FastLSA's grid fill and Hirschberg's passes — on square global
+//! problems, for every backend the CPU supports, and reports cells/sec
+//! and ns/cell. The JSON report (`BENCH_kernels.json`) records the
+//! detected CPU features so numbers are comparable across machines, and
+//! `--gate F` turns the sweep into a regression gate: it fails unless the
+//! best vectorized backend reaches `F`× the scalar throughput on the
+//! largest problem.
+
+use std::time::Instant;
+
+use flsa_dp::{detected_cpu_features, Boundary, Kernel, KernelBackend, Metrics};
+use flsa_scoring::ScoringScheme;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Alphabet;
+
+/// One (backend, problem size) measurement.
+#[derive(Debug, Clone)]
+pub struct KernelBenchCase {
+    /// The backend measured.
+    pub backend: KernelBackend,
+    /// Square problem side (both sequences have this many residues).
+    pub len: usize,
+    /// DP cells per fill (`len²`).
+    pub cells: u64,
+    /// Best wall-clock time over the measured repetitions.
+    pub best_ns: u64,
+}
+
+impl KernelBenchCase {
+    /// Throughput in DP cells per second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.best_ns == 0 {
+            0.0
+        } else {
+            self.cells as f64 * 1e9 / self.best_ns as f64
+        }
+    }
+
+    /// Nanoseconds per DP cell.
+    pub fn ns_per_cell(&self) -> f64 {
+        self.best_ns as f64 / self.cells as f64
+    }
+}
+
+/// A full sweep: every available backend × every requested length.
+#[derive(Debug, Clone)]
+pub struct KernelBenchReport {
+    /// All measurements, grouped by length then backend.
+    pub cases: Vec<KernelBenchCase>,
+    /// SIMD features the CPU reports (from `is_x86_feature_detected!`).
+    pub cpu_features: Vec<&'static str>,
+    /// The backend [`KernelBackend::detect_best`] would pick.
+    pub best_backend: KernelBackend,
+}
+
+impl KernelBenchReport {
+    /// Speedup of the best vectorized backend over scalar at the largest
+    /// measured length (`None` when only scalar ran).
+    pub fn best_speedup(&self) -> Option<f64> {
+        let largest = self.cases.iter().map(|c| c.len).max()?;
+        let at = |b: KernelBackend| {
+            self.cases
+                .iter()
+                .find(|c| c.len == largest && c.backend == b)
+                .map(KernelBenchCase::cells_per_sec)
+        };
+        let scalar = at(KernelBackend::Scalar)?;
+        let best = self
+            .cases
+            .iter()
+            .filter(|c| c.len == largest && c.backend != KernelBackend::Scalar)
+            .map(KernelBenchCase::cells_per_sec)
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))?;
+        (scalar > 0.0).then(|| best / scalar)
+    }
+
+    /// The JSON body of `BENCH_kernels.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"bench\": \"kernels\",\n  \"cpu_features\": [");
+        for (i, f) in self.cpu_features.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{f}\""));
+        }
+        out.push_str(&format!(
+            "],\n  \"best_backend\": \"{}\",\n",
+            self.best_backend.name()
+        ));
+        if let Some(s) = self.best_speedup() {
+            out.push_str(&format!("  \"best_speedup_vs_scalar\": {s:.3},\n"));
+        }
+        out.push_str("  \"results\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"len\": {}, \"cells\": {}, \
+                 \"best_ns\": {}, \"cells_per_sec\": {:.0}, \"ns_per_cell\": {:.4}}}{}\n",
+                c.backend.name(),
+                c.len,
+                c.cells,
+                c.best_ns,
+                c.cells_per_sec(),
+                c.ns_per_cell(),
+                if i + 1 < self.cases.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A plain-text table of the sweep, with per-length speedup columns.
+    pub fn render(&self) -> String {
+        let mut t = crate::Table::new(&[
+            "len",
+            "backend",
+            "best ms",
+            "Mcells/s",
+            "ns/cell",
+            "vs scalar",
+        ]);
+        let mut lens: Vec<usize> = self.cases.iter().map(|c| c.len).collect();
+        lens.dedup();
+        for len in lens {
+            let scalar = self
+                .cases
+                .iter()
+                .find(|c| c.len == len && c.backend == KernelBackend::Scalar)
+                .map(KernelBenchCase::cells_per_sec);
+            for c in self.cases.iter().filter(|c| c.len == len) {
+                let speedup = match scalar {
+                    Some(s) if s > 0.0 => format!("{:.2}x", c.cells_per_sec() / s),
+                    _ => "-".to_string(),
+                };
+                t.row(&[
+                    format!("{len}"),
+                    c.backend.name().to_string(),
+                    format!("{:.1}", c.best_ns as f64 / 1e6),
+                    format!("{:.0}", c.cells_per_sec() / 1e6),
+                    format!("{:.3}", c.ns_per_cell()),
+                    speedup,
+                ]);
+            }
+        }
+        t.render()
+    }
+}
+
+/// Runs the sweep: every CPU-supported backend on square `lens`×`lens`
+/// DNA problems, one warmup fill then the best of `reps` timed fills.
+pub fn run(lens: &[usize], reps: usize) -> KernelBenchReport {
+    let scheme = ScoringScheme::dna_default();
+    let gap = scheme.gap().linear_penalty();
+    let metrics = Metrics::new();
+    let mut cases = Vec::new();
+    for &len in lens {
+        let (sa, sb) = homologous_pair("bench", &Alphabet::dna(), len, 0.8, 0xbc)
+            .expect("bench sequence generation");
+        let bound = Boundary::global(sa.len(), sb.len(), gap);
+        let mut out = vec![0i32; sb.len() + 1];
+        for backend in KernelBackend::available() {
+            let kernel = Kernel::try_new(backend).expect("available backend");
+            let mut best_ns = u64::MAX;
+            // One untimed pass warms caches and populates the arena pool.
+            for rep in 0..=reps.max(1) {
+                let start = Instant::now();
+                kernel.fill_last_row(
+                    sa.codes(),
+                    sb.codes(),
+                    &bound.top,
+                    &bound.left,
+                    &scheme,
+                    &mut out,
+                    &metrics,
+                );
+                let ns = start.elapsed().as_nanos() as u64;
+                if rep > 0 {
+                    best_ns = best_ns.min(ns);
+                }
+            }
+            cases.push(KernelBenchCase {
+                backend,
+                len,
+                cells: (sa.len() * sb.len()) as u64,
+                best_ns,
+            });
+        }
+    }
+    KernelBenchReport {
+        cases,
+        cpu_features: detected_cpu_features(),
+        best_backend: KernelBackend::detect_best(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_available_backend() {
+        let report = run(&[64], 1);
+        let backends: Vec<_> = report.cases.iter().map(|c| c.backend).collect();
+        assert_eq!(backends, KernelBackend::available());
+        // Mutation introduces indels, so cells is near (not exactly) 64².
+        assert!(report.cases.iter().all(|c| c.cells > 32 * 32));
+        assert!(report.cases.iter().all(|c| c.best_ns > 0));
+    }
+
+    #[test]
+    fn json_names_every_backend_and_parses_shape() {
+        let report = run(&[64], 1);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"kernels\""));
+        assert!(json.contains("\"scalar\""));
+        assert!(json.contains("\"best_backend\""));
+        // Balanced braces/brackets — cheap structural sanity.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn speedup_compares_best_nonscalar_to_scalar() {
+        let report = KernelBenchReport {
+            cases: vec![
+                KernelBenchCase {
+                    backend: KernelBackend::Scalar,
+                    len: 100,
+                    cells: 10_000,
+                    best_ns: 40_000,
+                },
+                KernelBenchCase {
+                    backend: KernelBackend::Lanes,
+                    len: 100,
+                    cells: 10_000,
+                    best_ns: 10_000,
+                },
+            ],
+            cpu_features: vec![],
+            best_backend: KernelBackend::Lanes,
+        };
+        let s = report.best_speedup().unwrap();
+        assert!((s - 4.0).abs() < 1e-9, "{s}");
+    }
+}

@@ -6,6 +6,7 @@
 use std::time::{Duration, Instant};
 
 pub mod experiments;
+pub mod kernels;
 
 /// Times one closure invocation.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {

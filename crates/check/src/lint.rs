@@ -3,7 +3,7 @@
 //! A deliberately small, dependency-free scanner: a line-oriented lexer
 //! splits each source line into *code* and *comment* halves (string
 //! literals are blanked, block comments and raw strings tracked across
-//! lines), and four rules run over the result:
+//! lines), and the rules below run over the result:
 //!
 //! * **R1-safety-comment** — every occurrence of the `unsafe` keyword
 //!   must be justified by a `// SAFETY:` comment on the same line or in
@@ -31,6 +31,14 @@
 //!   line. Binary and dev-tool crates (`crates/cli`, `crates/bench`,
 //!   `crates/check`) are exempt, as are the DP hot kernels already
 //!   covered by the stricter R2.
+//! * **R6-target-feature** — `#[target_feature(enable = "…")]` is the
+//!   one attribute that lets callers assume an ISA the build did not
+//!   prove, so it is confined to `crates/dp/src/simd/`, the function it
+//!   annotates must be `unsafe fn` (callers are forced to prove CPU
+//!   support), and every enabled feature must have a matching
+//!   `is_x86_feature_detected!("…")` call site somewhere in the scanned
+//!   sources. This rule is workspace-global: the detection call site
+//!   may live in a different file than the kernel it guards.
 //!
 //! Scope: production sources only — `src/` trees of the workspace root
 //! and every `crates/*` member. Integration tests, benches, fixtures,
@@ -73,7 +81,10 @@ const HOT_FILES: &[&str] = &[
 ];
 
 /// Directory prefixes that are hot wholesale (rule R2).
-const HOT_PREFIXES: &[&str] = &["crates/fullmatrix/src/"];
+const HOT_PREFIXES: &[&str] = &["crates/fullmatrix/src/", "crates/dp/src/simd/"];
+
+/// The only directory allowed to hold `#[target_feature]` fns (rule R6).
+const SIMD_DIR: &str = "crates/dp/src/simd/";
 
 /// Panic-family tokens banned in hot kernels.
 const PANIC_TOKENS: &[&str] = &[
@@ -412,17 +423,124 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) -> bool {
     has_unsafe
 }
 
+/// The first `"…"` literal in `s`, if any.
+fn first_quoted(s: &str) -> Option<&str> {
+    let open = s.find('"')?;
+    let rest = &s[open + 1..];
+    let close = rest.find('"')?;
+    Some(&rest[..close])
+}
+
+/// Feature names with a runtime `is_x86_feature_detected!("…")` call
+/// site anywhere in the scanned sources (rule R6). Read from the *raw*
+/// text: the feature name is a string literal, which the lexer blanks.
+fn detected_features(files: &[(String, String)]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for (_, text) in files {
+        for line in text.lines() {
+            let mut rest = line;
+            while let Some(p) = rest.find("is_x86_feature_detected!") {
+                rest = &rest[p + "is_x86_feature_detected!".len()..];
+                if let Some(feat) = first_quoted(rest) {
+                    out.insert(feat.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// R6: every `#[target_feature]` attribute must live under [`SIMD_DIR`],
+/// annotate an `unsafe fn`, and enable only features that some scanned
+/// file runtime-detects. The gate is the lexed code (so mentions in
+/// comments or string literals don't count), but the feature names are
+/// read from the raw line because the lexer blanks string contents.
+fn r6_target_feature(
+    rel: &str,
+    text: &str,
+    detected: &std::collections::BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let raw: Vec<&str> = text.lines().collect();
+    let lines = lex(text);
+    for idx in 0..lines.len() {
+        if !lines[idx].code.contains("#[target_feature") {
+            continue;
+        }
+        let lineno = idx + 1;
+        if !rel.starts_with(SIMD_DIR) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "R6-target-feature",
+                message: format!(
+                    "`#[target_feature]` outside `{SIMD_DIR}`: explicit-ISA kernels are \
+                     confined there"
+                ),
+            });
+        }
+        // The annotated fn must be `unsafe`: it may share this line or
+        // follow after further attribute / comment-only lines.
+        let mut decl = None;
+        let mut j = idx;
+        while j < lines.len() {
+            let code = lines[j].code.trim();
+            if has_token(code, "fn") {
+                decl = Some(j);
+                break;
+            }
+            if j > idx && !(code.is_empty() || code.starts_with("#[") || code.starts_with("#![")) {
+                break;
+            }
+            j += 1;
+        }
+        if !decl.is_some_and(|d| has_token(&lines[d].code, "unsafe")) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "R6-target-feature",
+                message: "`#[target_feature]` on a non-`unsafe fn`: callers must be forced to \
+                          prove CPU support at the call site"
+                    .to_string(),
+            });
+        }
+        // Every enabled feature needs a runtime-detection call site.
+        let Some(p) = raw[idx].find("enable") else {
+            continue;
+        };
+        let Some(csv) = first_quoted(&raw[idx][p..]) else {
+            continue;
+        };
+        for feat in csv.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            if !detected.contains(feat) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "R6-target-feature",
+                    message: format!(
+                        "feature \"{feat}\" has no `is_x86_feature_detected!(\"{feat}\")` call \
+                         site anywhere in the workspace"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Lints a set of `(relative path, contents)` sources as one workspace:
-/// runs R1–R3 per file and R4 per crate. This is the pure core —
+/// runs R1–R3/R5 per file, R6 per file against the workspace-wide
+/// detection set, and R4 per crate. This is the pure core —
 /// [`lint_workspace`] feeds it from disk, tests feed it inline strings.
 pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let detected = detected_features(files);
     // crate key -> (has_unsafe, root files seen)
     let mut crates: std::collections::BTreeMap<String, (bool, Vec<usize>)> =
         std::collections::BTreeMap::new();
 
     for (i, (rel, text)) in files.iter().enumerate() {
         let has_unsafe = lint_file(rel, text, &mut findings);
+        r6_target_feature(rel, text, &detected, &mut findings);
         let key = crate_key(rel);
         let entry = crates.entry(key).or_default();
         entry.0 |= has_unsafe;
@@ -672,6 +790,64 @@ fn f(c: &C) {
             rules(&one("crates/wavefront/src/pool.rs", expect)),
             vec!["R5-no-unwrap-in-library"]
         );
+    }
+
+    #[test]
+    fn r6_accepts_confined_unsafe_and_detected_kernels() {
+        let kernel = "\
+/// # Safety
+/// Caller must have proven AVX2 support at runtime.
+#[target_feature(enable = \"avx2\")]
+pub(crate) unsafe fn f() {}
+";
+        // The detection call site lives in a *different* file — R6 is
+        // workspace-global, mirroring the real dispatch layout.
+        let dispatch = "pub fn up() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }\n";
+        let files = [
+            ("crates/dp/src/simd/x86.rs".to_string(), kernel.to_string()),
+            (
+                "crates/dp/src/simd/mod.rs".to_string(),
+                dispatch.to_string(),
+            ),
+        ];
+        assert_eq!(lint_sources(&files), vec![]);
+    }
+
+    #[test]
+    fn r6_flags_escaped_safe_and_undetected_target_feature_fns() {
+        // Outside the simd dir, on a safe fn, feature never detected:
+        // three distinct findings anchored to the attribute line.
+        let bad = "#[target_feature(enable = \"avx512vnni\")]\npub fn f() {}\n";
+        let f = one("crates/core/src/fast.rs", bad);
+        assert_eq!(rules(&f), vec!["R6-target-feature"; 3]);
+        assert!(f.iter().all(|x| x.line == 1));
+
+        // Confined and detected, but the fn is safe: exactly one finding.
+        let safe_fn = "#[target_feature(enable = \"avx2\")]\nfn f() {}\n\
+                       pub fn d() -> bool { is_x86_feature_detected!(\"avx2\") }\n";
+        let f = one("crates/dp/src/simd/k.rs", safe_fn);
+        assert_eq!(rules(&f), vec!["R6-target-feature"]);
+    }
+
+    #[test]
+    fn r6_checks_each_enabled_feature_against_detection_sites() {
+        let src = "\
+/// # Safety
+/// ISA proven by the dispatcher.
+#[target_feature(enable = \"avx2,bmi2\")]
+pub unsafe fn f() {}
+pub fn d() -> bool { is_x86_feature_detected!(\"avx2\") }
+";
+        let f = one("crates/dp/src/simd/k.rs", src);
+        assert_eq!(rules(&f), vec!["R6-target-feature"]);
+        assert!(f[0].message.contains("bmi2"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn r6_ignores_mentions_in_comments_and_strings() {
+        let src = "// `#[target_feature(enable = \"avx2\")]` stays in the simd dir.\n\
+                   pub fn f() -> &'static str { \"#[target_feature]\" }\n";
+        assert_eq!(one("crates/core/src/doc.rs", src), vec![]);
     }
 
     #[test]

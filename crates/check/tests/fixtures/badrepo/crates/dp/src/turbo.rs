@@ -1,0 +1,7 @@
+// Seeded R6 violation: a #[target_feature] kernel outside
+// crates/dp/src/simd/, on a safe fn, with no runtime-detection call
+// site anywhere in the fixture.
+#[target_feature(enable = "avx2")]
+pub fn turbo_sum(xs: &[i32]) -> i32 {
+    xs.iter().sum()
+}

@@ -37,6 +37,7 @@ fn seeded_fixture_trips_every_rule() {
         "R3-relaxed-justified",
         "R4-forbid-unsafe",
         "R5-no-unwrap-in-library",
+        "R6-target-feature",
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),

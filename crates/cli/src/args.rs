@@ -42,6 +42,9 @@ const VALUED: &[&str] = &[
     "trace-format",
     "checkpoint",
     "checkpoint-every-blocks",
+    "kernel",
+    "gate",
+    "reps",
 ];
 
 /// The known bare switches; anything else starting with `--` is an error

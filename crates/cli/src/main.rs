@@ -19,7 +19,7 @@ use fastlsa_core::{
     AlignError, AlignOptions, CancelToken, CheckpointPolicy, FastLsaConfig, ParallelConfig,
 };
 use flsa_checkpoint::{read_snapshot, resume_from_snapshot, FileCheckpointSink, SnapshotMeta};
-use flsa_dp::{Alignment, Metrics};
+use flsa_dp::{Alignment, Kernel, KernelBackend, Metrics};
 use flsa_scoring::{tables, GapModel, ScoringScheme};
 use flsa_seq::{fasta, generate, Alphabet, Sequence};
 use flsa_trace::Recorder;
@@ -32,6 +32,7 @@ USAGE:
     flsa resume [options] CKPT              continue an interrupted checkpointed run
     flsa msa   [options] FAMILY.fasta       center-star multiple alignment
     flsa report TRACE                       analyze a recorded execution trace
+    flsa bench kernels [options]            DP kernel backend throughput sweep
     flsa gen   [options]
     flsa info
     flsa help
@@ -54,6 +55,10 @@ ALIGN OPTIONS:
     --deadline-ms N    cancel the alignment after N milliseconds
     --threads P        parallel FastLSA with P threads (default 1)
     --tiles F          tiles per grid block per dimension (default auto)
+    --kernel K         DP kernel backend: auto (default) | scalar | lanes
+                       | sse4.1 | avx2. Every backend is bit-identical;
+                       unavailable backends are rejected. Applies to
+                       fastlsa, nw, and hirschberg.
     --stats            print cells/memory/time metrics
     --json             print score and metrics as one JSON object instead
     --trace FILE       record an execution trace (spans, wavefront tiles,
@@ -77,6 +82,14 @@ RESUME OPTIONS (plus --stats/--json/--quiet/--trace as for align):
                        run to completion, checkpointing at the same
                        cadence. A corrupt or mismatched snapshot exits
                        with code 3 and touches nothing.
+
+BENCH OPTIONS (flsa bench kernels):
+    --len CSV          comma-separated square problem sides
+                       (default 1024,4096,10000)
+    --reps N           timed repetitions per case, best kept (default 3)
+    --gate F           fail (exit 1) unless the best vectorized backend
+                       reaches F x scalar cells/sec on the largest size
+    -o, --out FILE     JSON report path (default BENCH_kernels.json)
 
 GEN OPTIONS:
     --kind dna|protein (default dna)
@@ -164,6 +177,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "resume" => cmd_resume(&parsed),
         "msa" => cmd_msa(&parsed),
         "report" => cmd_report(&parsed),
+        "bench" => cmd_bench(&parsed),
         "gen" => cmd_gen(&parsed),
         "info" => cmd_info(),
         "" | "help" => {
@@ -221,6 +235,33 @@ fn load_pair(paths: &[String], alphabet: &Alphabet) -> Result<(Sequence, Sequenc
     }
 }
 
+/// Parses and validates `--kernel`: `None` means auto-select, `Some` is
+/// a named backend the current CPU can actually run.
+fn parse_kernel(a: &args::Args) -> Result<Option<KernelBackend>, CliError> {
+    match a.str_or("kernel", "auto") {
+        "auto" => Ok(None),
+        name => {
+            let b = KernelBackend::parse(name).ok_or_else(|| {
+                CliError::usage(format!(
+                    "unknown kernel backend {name:?} (expected auto, scalar, lanes, sse4.1, avx2)"
+                ))
+            })?;
+            if !b.is_available() {
+                return Err(CliError::usage(format!(
+                    "kernel backend {name} is not available on this CPU \
+                     (available: {})",
+                    KernelBackend::available()
+                        .iter()
+                        .map(|b| b.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            Ok(Some(b))
+        }
+    }
+}
+
 fn cmd_align(a: &args::Args) -> Result<(), CliError> {
     let gap: i32 = a.get_or("gap", -10).map_err(CliError::usage)?;
     let scheme = if let Some(path) = a.options.get("matrix-file") {
@@ -249,6 +290,7 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
         }
     }
     let threads: usize = a.get_or("threads", 1).map_err(CliError::usage)?;
+    let kernel_choice = parse_kernel(a)?;
     let trace_format = a.str_or("trace-format", "chrome");
     if !matches!(trace_format, "chrome" | "jsonl") {
         return Err(CliError::usage(format!(
@@ -319,6 +361,7 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
                 budget_bytes,
                 cancel,
                 checkpoint,
+                kernel: kernel_choice,
                 ..AlignOptions::default()
             };
             let r = fastlsa_core::align_opts(&sa, &sb, &scheme, cfg, &opts, &metrics)?;
@@ -329,7 +372,15 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
             (r.score, Some(r.path))
         }
         "nw" => {
-            let r = flsa_fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics);
+            // The reference FM algorithm defaults to the scalar kernel;
+            // an explicit --kernel switches the fill backend.
+            let r = match kernel_choice {
+                Some(b) => {
+                    let kernel = Kernel::try_new(b).expect("pre-validated backend");
+                    flsa_fullmatrix::needleman_wunsch_kernel(&sa, &sb, &scheme, &kernel, &metrics)
+                }
+                None => flsa_fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics),
+            };
             (r.score, Some(r.path))
         }
         "nw-packed" => {
@@ -337,7 +388,18 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
             (r.score, Some(r.path))
         }
         "hirschberg" => {
-            let r = flsa_hirschberg::hirschberg(&sa, &sb, &scheme, &metrics);
+            let kernel = match kernel_choice {
+                Some(b) => Kernel::try_new(b).expect("pre-validated backend"),
+                None => Kernel::auto(),
+            };
+            let r = flsa_hirschberg::hirschberg_kernel(
+                &sa,
+                &sb,
+                &scheme,
+                flsa_hirschberg::HirschbergConfig::default(),
+                &kernel,
+                &metrics,
+            );
             (r.score, Some(r.path))
         }
         "banded" => {
@@ -639,6 +701,63 @@ fn cmd_msa(a: &args::Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `flsa bench kernels`: sweeps every available DP kernel backend over a
+/// set of square problem sizes, prints a throughput table, writes the
+/// JSON report, and optionally gates on the SIMD-vs-scalar speedup.
+fn cmd_bench(a: &args::Args) -> Result<(), CliError> {
+    match a.positional.first().map(String::as_str) {
+        Some("kernels") => {}
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown bench suite {other:?}; try `flsa bench kernels`"
+            )))
+        }
+    }
+    let lens: Vec<usize> = match a.options.get("len") {
+        None => vec![1024, 4096, 10_000],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("invalid --len element {s:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let reps: usize = a.get_or("reps", 3).map_err(CliError::usage)?;
+    if lens.is_empty() || reps == 0 {
+        return Err(CliError::usage("--len and --reps must be non-empty"));
+    }
+    let report = flsa_bench::kernels::run(&lens, reps);
+    print!("{}", report.render());
+    println!(
+        "cpu features: {}   best backend: {}",
+        if report.cpu_features.is_empty() {
+            "none".to_string()
+        } else {
+            report.cpu_features.join(", ")
+        },
+        report.best_backend
+    );
+    let out = a.str_or("out", "BENCH_kernels.json");
+    std::fs::write(out, report.to_json()).map_err(|e| CliError::runtime(format!("{out}: {e}")))?;
+    println!("report          -> {out}");
+    if let Some(gate) = a.options.get("gate") {
+        let gate: f64 = gate
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --gate value {gate:?}")))?;
+        let speedup = report.best_speedup().unwrap_or(0.0);
+        println!("speedup gate    {speedup:.2}x measured, {gate:.2}x required");
+        if speedup < gate {
+            return Err(CliError::runtime(format!(
+                "kernel speedup regression: best vectorized backend reached only \
+                 {speedup:.2}x scalar (gate {gate:.2}x)"
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_gen(a: &args::Args) -> Result<(), CliError> {
     let kind = a.str_or("kind", "dna");
     let alphabet = match kind {
@@ -682,6 +801,32 @@ fn cmd_info() -> Result<(), CliError> {
         println!(
             "  {:12} {:?} len={} identity={:.2} seed={}",
             w.name, w.kind, w.len, w.identity, w.seed
+        );
+    }
+    let features = flsa_dp::detected_cpu_features();
+    println!(
+        "\ncpu simd features: {}",
+        if features.is_empty() {
+            "none detected".to_string()
+        } else {
+            features.join(", ")
+        }
+    );
+    println!("kernel backends:");
+    for b in KernelBackend::ALL {
+        println!(
+            "  {:8} {}{}",
+            b.name(),
+            if b.is_available() {
+                "available"
+            } else {
+                "unavailable on this CPU"
+            },
+            if b == KernelBackend::detect_best() {
+                "  (auto pick)"
+            } else {
+                ""
+            },
         );
     }
     Ok(())

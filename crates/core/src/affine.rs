@@ -18,9 +18,9 @@
 //! is validated against Gotoh and Myers–Miller oracles.
 
 use flsa_dp::affine::{
-    fill_affine_edges, fill_affine_full, AffineBoundary, AffineGlobalBoundary, GapState, NEG,
+    fill_affine_edges_in, fill_affine_full, AffineBoundary, AffineGlobalBoundary, GapState, NEG,
 };
-use flsa_dp::{AlignResult, Metrics, Move, PathBuilder};
+use flsa_dp::{AlignResult, KernelArena, Metrics, Move, PathBuilder};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
 
@@ -61,6 +61,10 @@ struct AffineSolver<'s> {
     scheme: &'s ScoringScheme,
     config: FastLsaConfig,
     metrics: &'s Metrics,
+    /// Scratch pool for grid-fill boundary and edge buffers: every block
+    /// after the first reuses the same handful of vectors instead of
+    /// allocating eight per block.
+    arena: KernelArena,
 }
 
 impl AffineSolver<'_> {
@@ -184,28 +188,33 @@ impl AffineSolver<'_> {
                 let c0 = grid.col_bounds[t];
                 let c1 = grid.col_bounds[t + 1];
                 // Copy inputs first (the outputs may alias other rows of
-                // the same cache vectors).
-                let top_h: Vec<i32> = if s == 0 {
-                    bnd.top_h[c0..=c1].to_vec()
+                // the same cache vectors). Buffers come from the arena so
+                // steady-state grid fills allocate nothing.
+                let mut top_h = self.arena.take(c1 - c0 + 1);
+                top_h.copy_from_slice(if s == 0 {
+                    &bnd.top_h[c0..=c1]
                 } else {
-                    grid.rows_h[s - 1][c0..=c1].to_vec()
-                };
-                let top_v: Vec<i32> = if s == 0 {
-                    bnd.top_v[c0..=c1].to_vec()
+                    &grid.rows_h[s - 1][c0..=c1]
+                });
+                let mut top_v = self.arena.take(c1 - c0 + 1);
+                top_v.copy_from_slice(if s == 0 {
+                    &bnd.top_v[c0..=c1]
                 } else {
-                    grid.rows_v[s - 1][c0..=c1].to_vec()
-                };
-                let left_h: Vec<i32> = if t == 0 {
-                    bnd.left_h[r0..=r1].to_vec()
+                    &grid.rows_v[s - 1][c0..=c1]
+                });
+                let mut left_h = self.arena.take(r1 - r0 + 1);
+                left_h.copy_from_slice(if t == 0 {
+                    &bnd.left_h[r0..=r1]
                 } else {
-                    grid.cols_h[t - 1][r0..=r1].to_vec()
-                };
-                let left_e: Vec<i32> = if t == 0 {
-                    bnd.left_e[r0..=r1].to_vec()
+                    &grid.cols_h[t - 1][r0..=r1]
+                });
+                let mut left_e = self.arena.take(r1 - r0 + 1);
+                left_e.copy_from_slice(if t == 0 {
+                    &bnd.left_e[r0..=r1]
                 } else {
-                    grid.cols_e[t - 1][r0..=r1].to_vec()
-                };
-                let edges = fill_affine_edges(
+                    &grid.cols_e[t - 1][r0..=r1]
+                });
+                let edges = fill_affine_edges_in(
                     &a[r0..r1],
                     &b[c0..c1],
                     AffineBoundary {
@@ -215,8 +224,13 @@ impl AffineSolver<'_> {
                         left_e: &left_e,
                     },
                     self.scheme,
+                    &self.arena,
                     self.metrics,
                 );
+                self.arena.put(top_h);
+                self.arena.put(top_v);
+                self.arena.put(left_h);
+                self.arena.put(left_e);
                 if s + 1 < k_r {
                     grid.rows_h[s][c0..=c1].copy_from_slice(&edges.bottom_h);
                     // bottom_v[0] is a placeholder (the kernel never
@@ -233,6 +247,7 @@ impl AffineSolver<'_> {
                     // very top, where no cell reads it).
                     grid.cols_e[t][r0 + 1..=r1].copy_from_slice(&edges.right_e[1..]);
                 }
+                edges.recycle(&self.arena);
             }
         }
     }
@@ -294,6 +309,7 @@ pub fn align_affine(
         scheme,
         config,
         metrics,
+        arena: KernelArena::new(),
     };
     let mut builder = PathBuilder::new();
     let ((ei, ej), _state) = solver.solve(

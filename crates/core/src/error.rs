@@ -23,6 +23,12 @@ pub enum ConfigError {
     /// [`crate::align_affine`] requires [`flsa_scoring::GapModel::Affine`]
     /// (use the linear entry points for linear gaps).
     GapModelNotAffine,
+    /// The requested DP kernel backend is not available on this CPU
+    /// (e.g. `avx2` on a machine without AVX2).
+    KernelUnavailable {
+        /// Name of the rejected backend.
+        backend: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -33,6 +39,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroTiles => write!(f, "tiles_per_block must be >= 1"),
             ConfigError::GapModelNotAffine => {
                 write!(f, "align_affine requires GapModel::Affine")
+            }
+            ConfigError::KernelUnavailable { backend } => {
+                write!(f, "kernel backend {backend} is not available on this CPU")
             }
         }
     }

@@ -61,6 +61,9 @@ pub struct AlignOptions {
     /// Periodic crash-safe snapshots of the recursion state
     /// (DESIGN.md §10); `None` = no checkpointing.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// DP kernel backend to use (DESIGN.md §11); `None` = auto-detect
+    /// the best available SIMD backend.
+    pub kernel: Option<flsa_dp::KernelBackend>,
 }
 
 /// Owns the run's byte budget and performs fallible allocation for the
@@ -134,6 +137,28 @@ impl MemoryGovernor {
     /// Returns `len * 4` bytes to the budget (the buffer was dropped).
     pub fn release_i32(&self, len: usize) {
         let bytes = len.saturating_mul(std::mem::size_of::<i32>());
+        self.used.set(self.used.get().saturating_sub(bytes));
+    }
+
+    /// Charges raw bytes against the budget *without* consulting the
+    /// fault hooks, returning whether the budget admits them. Used for
+    /// opportunistic caches (the kernel arena) whose refusal is handled
+    /// by graceful fallback rather than the degradation ladder — routing
+    /// them through `on_alloc` would shift the deterministic allocation
+    /// counts the fault harness keys on. Balance with
+    /// [`MemoryGovernor::release_bytes`].
+    pub fn try_charge_bytes(&self, bytes: usize) -> bool {
+        if let Some(budget) = self.budget {
+            if self.used.get().saturating_add(bytes) > budget {
+                return false;
+            }
+        }
+        self.used.set(self.used.get() + bytes);
+        true
+    }
+
+    /// Returns bytes charged via [`MemoryGovernor::try_charge_bytes`].
+    pub fn release_bytes(&self, bytes: usize) {
         self.used.set(self.used.get().saturating_sub(bytes));
     }
 }
@@ -242,6 +267,26 @@ mod tests {
         let g = MemoryGovernor::new(None);
         let v = g.try_alloc_i32(1 << 16, "big").unwrap();
         assert_eq!(v.len(), 1 << 16);
+    }
+
+    #[test]
+    fn charge_bytes_respects_budget_but_skips_hooks() {
+        struct AlwaysFail;
+        impl FaultHooks for AlwaysFail {
+            fn on_alloc(&self, _bytes: usize) -> bool {
+                true
+            }
+        }
+        let g = MemoryGovernor::with_hooks(Some(1024), Some(Arc::new(AlwaysFail)));
+        // Hooks refuse every governed allocation…
+        assert!(g.try_alloc_i32(8, "hooked").is_err());
+        // …but raw charges bypass them and only the budget applies.
+        assert!(g.try_charge_bytes(1000));
+        assert_eq!(g.used_bytes(), 1000);
+        assert!(!g.try_charge_bytes(100), "over budget");
+        assert_eq!(g.used_bytes(), 1000, "failed charge leaves usage alone");
+        g.release_bytes(1000);
+        assert_eq!(g.used_bytes(), 0);
     }
 
     #[test]

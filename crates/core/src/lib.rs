@@ -67,6 +67,10 @@ pub use governor::{
 };
 pub use model::{replay, replay_with_comm, ReplayReport};
 
+// Kernel dispatch re-exports so callers can populate
+// [`AlignOptions::kernel`] without depending on `flsa-dp` directly.
+pub use flsa_dp::{KernelArena, KernelBackend};
+
 use flsa_dp::{AlignResult, Metrics};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
@@ -114,6 +118,7 @@ pub fn align_opts(
     metrics: &Metrics,
 ) -> Result<AlignResult, AlignError> {
     config.validate()?;
+    validate_kernel(opts)?;
     let mut cfg = config;
     let mut rung: u32 = 0;
     loop {
@@ -179,6 +184,7 @@ pub fn align_resume(
     metrics: &Metrics,
 ) -> Result<AlignResult, AlignError> {
     state.config.validate()?;
+    validate_kernel(opts)?;
     let mut cfg = state.config;
     let mut rung: u32 = 0;
     loop {
@@ -220,6 +226,15 @@ pub fn align_resume(
             p.sink.note_degrade(reason.name(), rung, &next);
         }
         cfg = next;
+    }
+}
+
+/// Rejects an explicitly requested kernel backend that this CPU cannot
+/// run (auto-detection, `opts.kernel = None`, never fails).
+fn validate_kernel(opts: &AlignOptions) -> Result<(), ConfigError> {
+    match opts.kernel {
+        Some(b) if !b.is_available() => Err(ConfigError::KernelUnavailable { backend: b.name() }),
+        _ => Ok(()),
     }
 }
 

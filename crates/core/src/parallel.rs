@@ -8,7 +8,6 @@
 //! contract). The recursion and all tracebacks stay sequential, exactly
 //! as in the paper — only FindScore-phase fills are parallel.
 
-use flsa_dp::kernel::fill_last_row_col;
 use flsa_dp::ScoreMatrix;
 use flsa_trace::{TileKind, TileTracer};
 use flsa_wavefront::DisjointBuf;
@@ -104,6 +103,10 @@ pub(crate) fn fill_grid_parallel(
     let scheme = solver.scheme;
     let metrics = solver.metrics;
     let hooks = solver.ctx.hooks.clone();
+    // The kernel handle is `Sync` (shared arena behind an `Arc`), so one
+    // clone serves every worker; tiles draw their boundary scratch from
+    // the arena instead of allocating four vectors per tile.
+    let kernel = solver.kernel.clone();
     let trb_ref = &trb;
     let tcb_ref = &tcb;
     let tile_rows_ref = &tile_rows;
@@ -126,7 +129,7 @@ pub(crate) fn fill_grid_parallel(
         // below was written by one of those tiles, a transitively ordered
         // earlier tile, or the exclusive prefill above. Writes go to the
         // segment owned by this tile alone (interior coordinates only).
-        let mut top_buf = vec![0i32; w + 1];
+        let mut top_buf = kernel.arena().take(w + 1);
         if tr == 0 {
             top_buf.copy_from_slice(&top[c0..=c1]);
         } else {
@@ -135,7 +138,7 @@ pub(crate) fn fill_grid_parallel(
             // ordered before this tile (block comment above).
             top_buf.copy_from_slice(unsafe { tile_rows_ref.slice(base + c0..base + c1 + 1) });
         }
-        let mut left_buf = vec![0i32; h + 1];
+        let mut left_buf = kernel.arena().take(h + 1);
         if tc == 0 {
             left_buf.copy_from_slice(&left[r0..=r1]);
         } else {
@@ -145,9 +148,9 @@ pub(crate) fn fill_grid_parallel(
             left_buf.copy_from_slice(unsafe { tile_cols_ref.slice(base + r0..base + r1 + 1) });
         }
 
-        let mut out_b = vec![0i32; w + 1];
-        let mut out_r = vec![0i32; h + 1];
-        fill_last_row_col(
+        let mut out_b = kernel.arena().take(w + 1);
+        let mut out_r = kernel.arena().take(h + 1);
+        kernel.fill_last_row_col(
             &a[r0..r1],
             &b[c0..c1],
             &top_buf,
@@ -172,6 +175,10 @@ pub(crate) fn fill_grid_parallel(
             let dst = unsafe { tile_cols_ref.slice_mut(base + r0 + 1..base + r1 + 1) };
             dst.copy_from_slice(&out_r[1..]);
         }
+        kernel.arena().put(top_buf);
+        kernel.arena().put(left_buf);
+        kernel.arena().put(out_b);
+        kernel.arena().put(out_r);
     };
 
     let tracer = metrics

@@ -16,9 +16,8 @@
 //! where [`CheckpointPolicy`] snapshots are taken and where resumed runs
 //! re-enter.
 
-use flsa_dp::kernel::{fill_full_reusing, fill_last_row_col};
 use flsa_dp::traceback::trace_from;
-use flsa_dp::{AlignResult, MemGuard, Metrics, PathBuilder};
+use flsa_dp::{AlignResult, Kernel, MemGuard, Metrics, PathBuilder};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
 use flsa_trace::{EventKind, Recorder, SpanKind};
@@ -85,6 +84,12 @@ pub(crate) struct Solver<'s> {
     /// Fallible-execution context: memory governor, cancellation,
     /// fault-injection hooks, checkpoint policy.
     pub(crate) ctx: RunCtx,
+    /// DP kernel dispatch handle (backend + scratch arena), shared with
+    /// the parallel tile executor.
+    pub(crate) kernel: Kernel,
+    /// Arena bytes currently charged against the governor's budget;
+    /// settled at the drive loop's consistent points.
+    arena_charged: usize,
 }
 
 impl<'s> Solver<'s> {
@@ -98,6 +103,16 @@ impl<'s> Solver<'s> {
     ) -> Self {
         let pool =
             (config.threads() > 1).then(|| flsa_wavefront::WorkerPool::new(config.threads()));
+        // `align_opts` validates availability up front, so an explicit
+        // request can only fail here on a resumed snapshot from another
+        // machine — fall back to auto-detection rather than erroring.
+        let kernel = match opts.kernel {
+            Some(b) => Kernel::try_new(b).unwrap_or_else(|_| Kernel::auto()),
+            None => Kernel::auto(),
+        };
+        if let Some(r) = metrics.recorder() {
+            r.set_kernel_backend(kernel.backend().name());
+        }
         Solver {
             scheme,
             config,
@@ -114,6 +129,8 @@ impl<'s> Solver<'s> {
             ckpt_seq: 0,
             generation: 0,
             ctx: RunCtx::from_options(opts),
+            kernel,
+            arena_charged: 0,
         }
     }
 
@@ -316,7 +333,10 @@ impl<'s> Solver<'s> {
     ) -> Result<(usize, usize), AlignError> {
         loop {
             // Consistent point: the frame stack plus `out` is exactly
-            // the remaining work. Snapshots happen here and nowhere else.
+            // the remaining work. Snapshots happen here and nowhere else,
+            // and the kernel arena (no buffers checked out here) settles
+            // its growth against the budget.
+            self.charge_arena();
             self.maybe_checkpoint(out, false)?;
             if let Err(e) = self.ctx.step() {
                 return Err(self.fail_with_snapshot(out, e));
@@ -417,6 +437,35 @@ impl<'s> Solver<'s> {
                     return Err(self.fail_with_snapshot(out, e));
                 }
             }
+        }
+    }
+
+    /// Settles the kernel arena's byte usage against the governor. The
+    /// arena is an opportunistic cache: if the budget refuses its
+    /// growth, the kernel degrades to the scalar backend (bit-identical
+    /// results, caller-owned buffers only) and the pooled scratch is
+    /// freed — a graceful fallback, never an error, and deliberately
+    /// outside the fault hooks and the degradation ladder.
+    fn charge_arena(&mut self) {
+        let held = self.kernel.arena().held_bytes();
+        if held > self.arena_charged {
+            if self
+                .ctx
+                .governor
+                .try_charge_bytes(held - self.arena_charged)
+            {
+                self.arena_charged = held;
+            } else {
+                self.kernel.degrade_to_scalar();
+                if let Some(r) = self.recorder() {
+                    r.set_kernel_backend(self.kernel.backend().name());
+                }
+                self.ctx.governor.release_bytes(self.arena_charged);
+                self.arena_charged = 0;
+            }
+        } else if held < self.arena_charged {
+            self.ctx.governor.release_bytes(self.arena_charged - held);
+            self.arena_charged = held;
         }
     }
 
@@ -593,7 +642,8 @@ impl<'s> Solver<'s> {
             }
         } else {
             let storage = std::mem::take(&mut self.base_storage);
-            fill_full_reusing(a, b, top, left, self.scheme, storage, self.metrics)
+            self.kernel
+                .fill_full_reusing(a, b, top, left, self.scheme, storage, self.metrics)
         };
         self.record_span(fill_start, SpanKind::BaseCase, rows, cols, 0, 0);
         self.metrics.add_base_case_cells(rows as u64 * cols as u64);
@@ -648,7 +698,7 @@ impl<'s> Solver<'s> {
                 self.scratch_row.resize(c1 - c0 + 1, 0);
                 self.scratch_col.resize(r1 - r0 + 1, 0);
                 flsa_dp::boundary::check_boundary(&top_buf, &left_buf, r1 - r0, c1 - c0);
-                fill_last_row_col(
+                self.kernel.fill_last_row_col(
                     &a[r0..r1],
                     &b[c0..c1],
                     &top_buf,

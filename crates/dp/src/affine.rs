@@ -117,6 +117,17 @@ pub struct AffineEdges {
     pub right_e: Vec<i32>,
 }
 
+impl AffineEdges {
+    /// Returns the four edge buffers to `arena` for reuse. Pair with
+    /// [`fill_affine_edges_in`] once the edges have been copied out.
+    pub fn recycle(self, arena: &crate::KernelArena) {
+        arena.put(self.bottom_h);
+        arena.put(self.bottom_v);
+        arena.put(self.right_h);
+        arena.put(self.right_e);
+    }
+}
+
 /// Rolling-row fill returning the rectangle's bottom and right edges
 /// (the affine analogue of [`crate::kernel::fill_last_row_col`]).
 pub fn fill_affine_edges(
@@ -127,14 +138,63 @@ pub fn fill_affine_edges(
     metrics: &Metrics,
 ) -> AffineEdges {
     let (rows, cols) = (a.len(), b.len());
+    let mut edges = AffineEdges {
+        bottom_h: vec![0; cols + 1],
+        bottom_v: vec![0; cols + 1],
+        right_h: vec![0; rows + 1],
+        right_e: vec![0; rows + 1],
+    };
+    fill_affine_edges_into(a, b, bnd, scheme, &mut edges, metrics);
+    edges
+}
+
+/// [`fill_affine_edges`] with all four output buffers drawn from an
+/// arena instead of freshly allocated — identical results. Return the
+/// buffers with [`AffineEdges::recycle`] once the caller has copied the
+/// edges out, so repeated block fills are allocation-free.
+pub fn fill_affine_edges_in(
+    a: &[u8],
+    b: &[u8],
+    bnd: AffineBoundary<'_>,
+    scheme: &ScoringScheme,
+    arena: &crate::KernelArena,
+    metrics: &Metrics,
+) -> AffineEdges {
+    let (rows, cols) = (a.len(), b.len());
+    let mut edges = AffineEdges {
+        bottom_h: arena.take(cols + 1),
+        bottom_v: arena.take(cols + 1),
+        right_h: arena.take(rows + 1),
+        right_e: arena.take(rows + 1),
+    };
+    fill_affine_edges_into(a, b, bnd, scheme, &mut edges, metrics);
+    edges
+}
+
+/// The rolling-row core shared by the allocating and arena-backed entry
+/// points. `edges` must hold four buffers of exactly `cols + 1` /
+/// `rows + 1` elements; prior contents are overwritten.
+fn fill_affine_edges_into(
+    a: &[u8],
+    b: &[u8],
+    bnd: AffineBoundary<'_>,
+    scheme: &ScoringScheme,
+    edges: &mut AffineEdges,
+    metrics: &Metrics,
+) {
+    let (rows, cols) = (a.len(), b.len());
     bnd.check(rows, cols);
     let (open, extend) = affine_params(scheme);
     let matrix = scheme.matrix();
 
-    let mut h_row = bnd.top_h.to_vec();
-    let mut v_row = bnd.top_v.to_vec();
-    let mut right_h = vec![NEG; rows + 1];
-    let mut right_e = vec![NEG; rows + 1];
+    let h_row = &mut edges.bottom_h;
+    let v_row = &mut edges.bottom_v;
+    let right_h = &mut edges.right_h;
+    let right_e = &mut edges.right_e;
+    h_row.copy_from_slice(bnd.top_h);
+    v_row.copy_from_slice(bnd.top_v);
+    right_h.fill(NEG);
+    right_e.fill(NEG);
     right_h[0] = bnd.top_h[cols];
     for i in 1..=rows {
         let ai = a[i - 1];
@@ -156,12 +216,6 @@ pub fn fill_affine_edges(
         right_e[i] = if cols == 0 { bnd.left_e[i] } else { e_reg };
     }
     metrics.add_cells(rows as u64 * cols as u64);
-    AffineEdges {
-        bottom_h: h_row,
-        bottom_v: v_row,
-        right_h,
-        right_e,
-    }
 }
 
 /// The three filled layers of an affine rectangle.

@@ -18,21 +18,33 @@
 //! * [`traceback`] — the shared backward path-recovery routine with the
 //!   deterministic Diag ≻ Up ≻ Left tie-break;
 //! * [`metrics`] — operation and memory accounting used to verify the
-//!   paper's analytical bounds (Theorems 1–4).
-#![forbid(unsafe_code)]
+//!   paper's analytical bounds (Theorems 1–4);
+//! * [`simd`] — vectorized kernel backends (portable lanes, SSE4.1,
+//!   AVX2) behind the [`simd::Kernel`] dispatch handle, bit-identical to
+//!   the scalar kernels;
+//! * [`arena`] — the reusable scratch-buffer pool the vectorized kernels
+//!   and the block executors draw from.
+//!
+//! The only `unsafe` in this crate is the `core::arch` intrinsics in
+//! `simd/x86.rs`, confined there by `flsa-check` lint rule R6 and guarded
+//! by runtime feature detection.
 
 pub mod affine;
 pub mod antidiagonal;
+pub mod arena;
 pub mod boundary;
 pub mod kernel;
 pub mod matrix;
 pub mod metrics;
 pub mod path;
 pub mod result;
+pub mod simd;
 pub mod traceback;
 
+pub use arena::KernelArena;
 pub use boundary::Boundary;
 pub use matrix::{DirMatrix, ScoreMatrix};
 pub use metrics::{MemGuard, Metrics, MetricsSnapshot};
 pub use path::{Alignment, Move, Path, PathBuilder};
 pub use result::AlignResult;
+pub use simd::{detected_cpu_features, Kernel, KernelBackend, UnsupportedBackend};

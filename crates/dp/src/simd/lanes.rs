@@ -1,0 +1,80 @@
+//! Portable fixed-width lane kernel: the always-on vector path.
+//!
+//! Straight-line `[i32; 8]` array code with no data-dependent branches in
+//! the block body — the shape LLVM's autovectorizer reliably maps onto
+//! whatever SIMD the target has, with no `unsafe` and no feature
+//! detection. The math is the two-pass prefix-max scan documented in the
+//! parent module; the scalar tail below the last full block uses the same
+//! u-domain recurrence, so the whole routine is bit-identical to the
+//! scalar kernel for every input.
+
+/// Lane width of one block. Eight `i32`s = one AVX2 register; narrower
+/// targets simply use two or four hardware vectors per block.
+pub(crate) const LANES: usize = 8;
+
+/// Computes row `cur` from row `prev` under the linear-gap recurrence.
+///
+/// Contract shared by every backend: `prev.len() == cur.len() ==
+/// profile.len() + 1`, `profile[j-1] = S(a_i, b[j-1])` for this row's
+/// residue, and `cur[0]` already holds the left-boundary value. On return
+/// `cur[j] = max(prev[j-1] + profile[j-1], prev[j] + gap, cur[j-1] + gap)`
+/// for every `j >= 1` — exactly the scalar kernel's row.
+pub(crate) fn row_update(prev: &[i32], cur: &mut [i32], profile: &[i32], gap: i32) {
+    let cols = profile.len();
+    debug_assert_eq!(prev.len(), cols + 1, "prev row length");
+    debug_assert_eq!(cur.len(), cols + 1, "cur row length");
+    // Running maximum over the ramp-free domain u[j] = H(i,j) - j*gap;
+    // u[0] is the left boundary itself.
+    let mut carry = cur[0];
+    let mut j = 1usize;
+    while j + LANES <= cols + 1 {
+        // Pass A: the vertically independent terms, t[l] = max(diag, up).
+        let mut t = [0i32; LANES];
+        for l in 0..LANES {
+            let diag = prev[j + l - 1] + profile[j + l - 1];
+            let up = prev[j + l] + gap;
+            t[l] = if diag > up { diag } else { up };
+        }
+        // Remove the gap ramp: in the u-domain the row-carried term
+        // `cur[j-1] + gap` becomes a plain inclusive prefix maximum.
+        let mut m = [0i32; LANES];
+        for l in 0..LANES {
+            m[l] = t[l] - (j + l) as i32 * gap;
+        }
+        // Pass B: log-step inclusive prefix max, shifting in i32::MIN.
+        let mut s = [i32::MIN; LANES];
+        s[1..].copy_from_slice(&m[..LANES - 1]);
+        for l in 0..LANES {
+            m[l] = if s[l] > m[l] { s[l] } else { m[l] };
+        }
+        let mut s = [i32::MIN; LANES];
+        s[2..].copy_from_slice(&m[..LANES - 2]);
+        for l in 0..LANES {
+            m[l] = if s[l] > m[l] { s[l] } else { m[l] };
+        }
+        let mut s = [i32::MIN; LANES];
+        s[4..].copy_from_slice(&m[..LANES - 4]);
+        for l in 0..LANES {
+            m[l] = if s[l] > m[l] { s[l] } else { m[l] };
+        }
+        // Fold in the carry from the previous block and restore the ramp.
+        for v in m.iter_mut() {
+            *v = if carry > *v { carry } else { *v };
+        }
+        carry = m[LANES - 1];
+        for l in 0..LANES {
+            cur[j + l] = m[l] + (j + l) as i32 * gap;
+        }
+        j += LANES;
+    }
+    // Scalar tail over the same u-domain recurrence.
+    while j <= cols {
+        let diag = prev[j - 1] + profile[j - 1];
+        let up = prev[j] + gap;
+        let t = if diag > up { diag } else { up };
+        let u = t - j as i32 * gap;
+        carry = if u > carry { u } else { carry };
+        cur[j] = carry + j as i32 * gap;
+        j += 1;
+    }
+}

@@ -1,0 +1,180 @@
+//! Explicit SSE4.1 / AVX2 row-update kernels.
+//!
+//! Hand-written `core::arch` versions of [`super::lanes::row_update`],
+//! selected at runtime by the dispatch layer after
+//! `is_x86_feature_detected!` has confirmed the ISA (see
+//! [`super::KernelBackend::is_available`]). The math is identical to the
+//! portable lane kernel — pass A computes `max(diag, up)`, pass B runs a
+//! log-step inclusive prefix max in the ramp-free u-domain — so both ISAs
+//! are bit-identical to the scalar kernel.
+//!
+//! This module is the only `unsafe` surface of the workspace outside the
+//! audited `DisjointBuf` writes, and lint rule R6 pins every
+//! `#[target_feature]` function here.
+
+#![cfg(target_arch = "x86_64")]
+
+use core::arch::x86_64::*;
+
+/// Lane-shift `x` one `i32` toward higher lanes, filling lane 0 from
+/// `fill` (lane `l` of the result is `x`'s lane `l-1`).
+///
+/// # Safety
+///
+/// Requires AVX2 (guaranteed by the caller's own `target_feature`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn shl1_avx2(x: __m256i, fill: __m256i) -> __m256i {
+    // Selector 0x08: low 128 = zero, high 128 = x's low half — the
+    // cross-lane carry `alignr` cannot express on its own.
+    let low_to_high = _mm256_permute2x128_si256::<0x08>(x, x);
+    let s = _mm256_alignr_epi8::<12>(x, low_to_high);
+    _mm256_blend_epi32::<0b0000_0001>(s, fill)
+}
+
+/// Lane-shift `x` two `i32`s toward higher lanes, filling lanes 0–1.
+///
+/// # Safety
+///
+/// Requires AVX2 (guaranteed by the caller's own `target_feature`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn shl2_avx2(x: __m256i, fill: __m256i) -> __m256i {
+    let low_to_high = _mm256_permute2x128_si256::<0x08>(x, x);
+    let s = _mm256_alignr_epi8::<8>(x, low_to_high);
+    _mm256_blend_epi32::<0b0000_0011>(s, fill)
+}
+
+/// Lane-shift `x` four `i32`s toward higher lanes, filling lanes 0–3.
+///
+/// # Safety
+///
+/// Requires AVX2 (guaranteed by the caller's own `target_feature`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn shl4_avx2(x: __m256i, fill: __m256i) -> __m256i {
+    let low_to_high = _mm256_permute2x128_si256::<0x08>(x, x);
+    _mm256_blend_epi32::<0b0000_1111>(low_to_high, fill)
+}
+
+/// AVX2 version of [`super::lanes::row_update`]: identical contract,
+/// identical results, eight columns per vector.
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("avx2")`; the
+/// dispatch layer does this once at `Kernel` construction.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn row_update_avx2(prev: &[i32], cur: &mut [i32], profile: &[i32], gap: i32) {
+    let cols = profile.len();
+    debug_assert_eq!(prev.len(), cols + 1, "prev row length");
+    debug_assert_eq!(cur.len(), cols + 1, "cur row length");
+    let mut carry = cur[0];
+    let mut j = 1usize;
+    if j + 8 <= cols + 1 {
+        let gapv = _mm256_set1_epi32(gap);
+        let minv = _mm256_set1_epi32(i32::MIN);
+        let step = _mm256_set1_epi32(gap.wrapping_mul(8));
+        // ramp lanes hold (j+l)*gap for the block's eight columns.
+        let mut r = [0i32; 8];
+        for (l, slot) in r.iter_mut().enumerate() {
+            *slot = (l as i32 + 1).wrapping_mul(gap);
+        }
+        let mut ramp = _mm256_loadu_si256(r.as_ptr() as *const __m256i);
+        let mut carryv = _mm256_set1_epi32(carry);
+        while j + 8 <= cols + 1 {
+            let diag = _mm256_add_epi32(
+                _mm256_loadu_si256(prev.as_ptr().add(j - 1) as *const __m256i),
+                _mm256_loadu_si256(profile.as_ptr().add(j - 1) as *const __m256i),
+            );
+            let up = _mm256_add_epi32(
+                _mm256_loadu_si256(prev.as_ptr().add(j) as *const __m256i),
+                gapv,
+            );
+            let t = _mm256_max_epi32(diag, up);
+            let u = _mm256_sub_epi32(t, ramp);
+            let m1 = _mm256_max_epi32(u, shl1_avx2(u, minv));
+            let m2 = _mm256_max_epi32(m1, shl2_avx2(m1, minv));
+            let m4 = _mm256_max_epi32(m2, shl4_avx2(m2, minv));
+            let m = _mm256_max_epi32(m4, carryv);
+            _mm256_storeu_si256(
+                cur.as_mut_ptr().add(j) as *mut __m256i,
+                _mm256_add_epi32(m, ramp),
+            );
+            carryv = _mm256_permutevar8x32_epi32(m, _mm256_set1_epi32(7));
+            ramp = _mm256_add_epi32(ramp, step);
+            j += 8;
+        }
+        carry = _mm256_extract_epi32::<7>(carryv);
+    }
+    while j <= cols {
+        let diag = prev[j - 1] + profile[j - 1];
+        let up = prev[j] + gap;
+        let t = if diag > up { diag } else { up };
+        let u = t - j as i32 * gap;
+        carry = if u > carry { u } else { carry };
+        cur[j] = carry + j as i32 * gap;
+        j += 1;
+    }
+}
+
+/// SSE4.1 version of [`super::lanes::row_update`]: identical contract,
+/// identical results, four columns per vector. `alignr` is SSSE3, which
+/// SSE4.1 implies.
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("sse4.1")`;
+/// the dispatch layer does this once at `Kernel` construction.
+#[target_feature(enable = "sse4.1")]
+pub(crate) unsafe fn row_update_sse41(prev: &[i32], cur: &mut [i32], profile: &[i32], gap: i32) {
+    let cols = profile.len();
+    debug_assert_eq!(prev.len(), cols + 1, "prev row length");
+    debug_assert_eq!(cur.len(), cols + 1, "cur row length");
+    let mut carry = cur[0];
+    let mut j = 1usize;
+    if j + 4 <= cols + 1 {
+        let gapv = _mm_set1_epi32(gap);
+        let minv = _mm_set1_epi32(i32::MIN);
+        let step = _mm_set1_epi32(gap.wrapping_mul(4));
+        let mut r = [0i32; 4];
+        for (l, slot) in r.iter_mut().enumerate() {
+            *slot = (l as i32 + 1).wrapping_mul(gap);
+        }
+        let mut ramp = _mm_loadu_si128(r.as_ptr() as *const __m128i);
+        let mut carryv = _mm_set1_epi32(carry);
+        while j + 4 <= cols + 1 {
+            let diag = _mm_add_epi32(
+                _mm_loadu_si128(prev.as_ptr().add(j - 1) as *const __m128i),
+                _mm_loadu_si128(profile.as_ptr().add(j - 1) as *const __m128i),
+            );
+            let up = _mm_add_epi32(
+                _mm_loadu_si128(prev.as_ptr().add(j) as *const __m128i),
+                gapv,
+            );
+            let t = _mm_max_epi32(diag, up);
+            let u = _mm_sub_epi32(t, ramp);
+            // Shift-by-one / shift-by-two with MIN fill via alignr.
+            let m1 = _mm_max_epi32(u, _mm_alignr_epi8::<12>(u, minv));
+            let m2 = _mm_max_epi32(m1, _mm_alignr_epi8::<8>(m1, minv));
+            let m = _mm_max_epi32(m2, carryv);
+            _mm_storeu_si128(
+                cur.as_mut_ptr().add(j) as *mut __m128i,
+                _mm_add_epi32(m, ramp),
+            );
+            carryv = _mm_shuffle_epi32::<0xFF>(m);
+            ramp = _mm_add_epi32(ramp, step);
+            j += 4;
+        }
+        carry = _mm_extract_epi32::<3>(carryv);
+    }
+    while j <= cols {
+        let diag = prev[j - 1] + profile[j - 1];
+        let up = prev[j] + gap;
+        let t = if diag > up { diag } else { up };
+        let u = t - j as i32 * gap;
+        carry = if u > carry { u } else { carry };
+        cur[j] = carry + j as i32 * gap;
+        j += 1;
+    }
+}

@@ -158,6 +158,7 @@ impl FaultInjector {
             cancel: Some(self.token.clone()),
             hooks: Some(Arc::clone(self) as Arc<dyn FaultHooks>),
             checkpoint: None,
+            kernel: None,
         }
     }
 }

@@ -25,6 +25,6 @@ pub mod sw;
 
 pub use banded::{adaptive_banded, banded_needleman_wunsch};
 pub use gotoh::gotoh;
-pub use nw::{needleman_wunsch, needleman_wunsch_packed, nw_score_only};
+pub use nw::{needleman_wunsch, needleman_wunsch_kernel, needleman_wunsch_packed, nw_score_only};
 pub use semiglobal::{semiglobal, EndsFree};
 pub use sw::{smith_waterman, LocalAlignResult};

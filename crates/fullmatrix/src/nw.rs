@@ -1,8 +1,8 @@
 //! Needleman–Wunsch global alignment (the paper's FM reference).
 
-use flsa_dp::kernel::{fill_dir, fill_full, fill_last_row};
+use flsa_dp::kernel::{fill_dir, fill_last_row};
 use flsa_dp::traceback::{trace_dirs, trace_from};
-use flsa_dp::{AlignResult, Boundary, Metrics, Move, PathBuilder};
+use flsa_dp::{AlignResult, Boundary, Kernel, Metrics, Move, PathBuilder};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
 
@@ -34,12 +34,27 @@ pub fn needleman_wunsch(
     scheme: &ScoringScheme,
     metrics: &Metrics,
 ) -> AlignResult {
+    // The reference implementation stays on the scalar kernel; use
+    // [`needleman_wunsch_kernel`] to pick a vectorized backend.
+    needleman_wunsch_kernel(a, b, scheme, &Kernel::scalar(), metrics)
+}
+
+/// [`needleman_wunsch`] with the matrix fill dispatched through an
+/// explicit DP kernel. Every backend is bit-identical to the scalar
+/// kernel, so the score and path never depend on the choice.
+pub fn needleman_wunsch_kernel(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    kernel: &Kernel,
+    metrics: &Metrics,
+) -> AlignResult {
     scheme.check_sequences(a, b);
     let (m, n) = (a.len(), b.len());
     let gap = scheme.gap().linear_penalty();
     let bound = Boundary::global(m, n, gap);
 
-    let dpm = fill_full(
+    let dpm = kernel.fill_full(
         a.codes(),
         b.codes(),
         &bound.top,

@@ -22,9 +22,8 @@ pub mod affine;
 
 pub use affine::myers_miller_affine;
 
-use flsa_dp::kernel::{fill_full, fill_last_row};
 use flsa_dp::traceback::trace_from;
-use flsa_dp::{AlignResult, Boundary, Metrics, Move, Path, PathBuilder};
+use flsa_dp::{AlignResult, Boundary, Kernel, Metrics, Move, Path, PathBuilder};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
 
@@ -74,11 +73,30 @@ pub fn hirschberg(
 }
 
 /// Global alignment in linear space with explicit tuning.
+///
+/// Uses the best DP kernel backend available on this CPU (every backend
+/// is bit-identical to the scalar kernel, so the path and score do not
+/// depend on the machine).
 pub fn hirschberg_with(
     a: &Sequence,
     b: &Sequence,
     scheme: &ScoringScheme,
     config: HirschbergConfig,
+    metrics: &Metrics,
+) -> AlignResult {
+    hirschberg_kernel(a, b, scheme, config, &Kernel::auto(), metrics)
+}
+
+/// [`hirschberg_with`] on an explicit DP kernel: the forward/backward
+/// row fills and the FM base cases all dispatch through `kernel`, and
+/// the per-level row buffers are drawn from its arena instead of being
+/// freshly allocated at every recursion level.
+pub fn hirschberg_kernel(
+    a: &Sequence,
+    b: &Sequence,
+    scheme: &ScoringScheme,
+    config: HirschbergConfig,
+    kernel: &Kernel,
     metrics: &Metrics,
 ) -> AlignResult {
     scheme.check_sequences(a, b);
@@ -91,6 +109,7 @@ pub fn hirschberg_with(
     let mut ctx = Ctx {
         scheme,
         config,
+        kernel,
         metrics,
     };
     ctx.solve(a.codes(), b.codes(), &mut moves);
@@ -103,6 +122,7 @@ pub fn hirschberg_with(
 struct Ctx<'s> {
     scheme: &'s ScoringScheme,
     config: HirschbergConfig,
+    kernel: &'s Kernel,
     metrics: &'s Metrics,
 }
 
@@ -130,10 +150,11 @@ impl Ctx<'_> {
         let gap = self.scheme.gap().linear_penalty();
         let mid = m / 2;
 
-        // Forward pass: last row of the top half.
-        let mut fwd = vec![0i32; n + 1];
+        // Forward pass: last row of the top half. Row buffers come from
+        // the kernel's arena, so each level past the first reuses them.
+        let mut fwd = self.kernel.arena().take(n + 1);
         let top_bound = Boundary::global(mid, n, gap);
-        fill_last_row(
+        self.kernel.fill_last_row(
             &a[..mid],
             b,
             &top_bound.top,
@@ -146,9 +167,9 @@ impl Ctx<'_> {
         // Backward pass: last row of the reversed bottom half.
         let ra: Vec<u8> = a[mid..].iter().rev().copied().collect();
         let rb: Vec<u8> = b.iter().rev().copied().collect();
-        let mut rev = vec![0i32; n + 1];
+        let mut rev = self.kernel.arena().take(n + 1);
         let bot_bound = Boundary::global(ra.len(), n, gap);
-        fill_last_row(
+        self.kernel.fill_last_row(
             &ra,
             &rb,
             &bot_bound.top,
@@ -169,6 +190,8 @@ impl Ctx<'_> {
                 best_j = j;
             }
         }
+        self.kernel.arena().put(fwd);
+        self.kernel.arena().put(rev);
 
         self.solve(&a[..mid], &b[..best_j], out);
         self.solve(&a[mid..], &b[best_j..], out);
@@ -180,7 +203,9 @@ impl Ctx<'_> {
         let (m, n) = (a.len(), b.len());
         let gap = self.scheme.gap().linear_penalty();
         let bound = Boundary::global(m, n, gap);
-        let dpm = fill_full(a, b, &bound.top, &bound.left, self.scheme, self.metrics);
+        let dpm = self
+            .kernel
+            .fill_full(a, b, &bound.top, &bound.left, self.scheme, self.metrics);
         let _mem = self.metrics.track_alloc(dpm.bytes());
         self.metrics.add_base_case_cells(m as u64 * n as u64);
         let mut builder = PathBuilder::new();

@@ -15,10 +15,12 @@
 pub mod gap;
 pub mod matrix;
 pub mod parser;
+pub mod profile;
 pub mod scheme;
 pub mod tables;
 
 pub use gap::GapModel;
 pub use matrix::SubstitutionMatrix;
 pub use parser::{parse_ncbi, to_ncbi, MatrixParseError};
+pub use profile::QueryProfile;
 pub use scheme::ScoringScheme;

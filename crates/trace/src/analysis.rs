@@ -110,6 +110,31 @@ pub struct SpanDepthStats {
     pub total_ns: u64,
 }
 
+/// Kernel-event aggregate for one DP kernel backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelBackendStats {
+    /// Interned backend name ("scalar", "lanes", "sse4.1", "avx2").
+    pub backend: &'static str,
+    /// Kernel invocations recorded under this backend.
+    pub calls: usize,
+    /// DPM cells those invocations computed.
+    pub cells: u64,
+    /// Extent from this backend's first kernel event to its last, ns —
+    /// the denominator for its cells/sec figure.
+    pub span_ns: u64,
+}
+
+impl KernelBackendStats {
+    /// Throughput in cells per second over this backend's active extent
+    /// (`None` when the extent is zero, e.g. a single instant event).
+    pub fn cells_per_sec(&self) -> Option<f64> {
+        if self.span_ns == 0 {
+            return None;
+        }
+        Some(self.cells as f64 * 1e9 / self.span_ns as f64)
+    }
+}
+
 /// Power-of-two histogram of tile durations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
@@ -147,6 +172,9 @@ pub struct Analysis {
     /// Sum of kernel-event cells (equals `Metrics::cells_computed`).
     pub kernel_cells: u64,
     pub kernel_events: usize,
+    /// Kernel-event totals broken down by DP kernel backend, largest
+    /// cell count first.
+    pub kernel_backends: Vec<KernelBackendStats>,
     pub threads: Vec<ThreadStats>,
     pub fills: Vec<FillStats>,
     pub spans: Vec<SpanDepthStats>,
@@ -203,6 +231,8 @@ pub fn analyze(trace: &Trace) -> Analysis {
     let mut tiles_by_fill: BTreeMap<u32, Vec<TileRec>> = BTreeMap::new();
     let mut fill_meta: BTreeMap<u32, (TileKind, u32, u32, u32, u64)> = BTreeMap::new();
     let mut spans: BTreeMap<(u8, u32), SpanDepthStats> = BTreeMap::new();
+    // Per-backend kernel totals: (calls, cells, first start, last end).
+    let mut backends: BTreeMap<&'static str, (usize, u64, u64, u64)> = BTreeMap::new();
     let t0 = trace.events.iter().map(|e| e.start_ns).min().unwrap_or(0);
 
     for e in &trace.events {
@@ -212,9 +242,16 @@ pub fn analyze(trace: &Trace) -> Analysis {
             entry.1.push((e.start_ns, e.end_ns));
         }
         match e.kind {
-            EventKind::Kernel { cells } => {
+            EventKind::Kernel { cells, backend } => {
                 out.kernel_cells += cells;
                 out.kernel_events += 1;
+                let b = backends
+                    .entry(backend)
+                    .or_insert((0, 0, e.start_ns, e.end_ns));
+                b.0 += 1;
+                b.1 += cells;
+                b.2 = b.2.min(e.start_ns);
+                b.3 = b.3.max(e.end_ns);
             }
             EventKind::Tile {
                 kind,
@@ -310,6 +347,20 @@ pub fn analyze(trace: &Trace) -> Analysis {
         }
     }
     out.lifecycle.sort_by_key(|l| l.at_ns);
+
+    out.kernel_backends = backends
+        .into_iter()
+        .map(
+            |(backend, (calls, cells, first, last))| KernelBackendStats {
+                backend,
+                calls,
+                cells,
+                span_ns: last.saturating_sub(first),
+            },
+        )
+        .collect();
+    out.kernel_backends
+        .sort_by(|a, b| b.cells.cmp(&a.cells).then(a.backend.cmp(b.backend)));
 
     out.threads = per_thread
         .into_iter()
@@ -424,6 +475,27 @@ pub fn render_report(a: &Analysis) -> String {
         a.kernel_events,
         a.kernel_cells
     );
+
+    if !a.kernel_backends.is_empty() {
+        let _ = writeln!(out, "\nkernel backends:");
+        for b in &a.kernel_backends {
+            let rate = match b.cells_per_sec() {
+                Some(r) if r >= 1e9 => format!("{:.2} Gcells/s", r / 1e9),
+                Some(r) if r >= 1e6 => format!("{:.1} Mcells/s", r / 1e6),
+                Some(r) => format!("{r:.0} cells/s"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>9} calls {:>16} cells  {:>14}  over {}",
+                b.backend,
+                b.calls,
+                b.cells,
+                rate,
+                fmt_ns(b.span_ns)
+            );
+        }
+    }
 
     let _ = writeln!(out, "\nper-thread utilization:");
     for t in &a.threads {
@@ -667,13 +739,19 @@ mod tests {
                 tid: 0,
                 start_ns: 5,
                 end_ns: 5,
-                kind: EventKind::Kernel { cells: 30 },
+                kind: EventKind::Kernel {
+                    cells: 30,
+                    backend: "avx2",
+                },
             },
             Event {
                 tid: 0,
                 start_ns: 9,
                 end_ns: 9,
-                kind: EventKind::Kernel { cells: 12 },
+                kind: EventKind::Kernel {
+                    cells: 12,
+                    backend: "scalar",
+                },
             },
             Event {
                 tid: 0,
@@ -712,6 +790,11 @@ mod tests {
         let a = analyze(&trace);
         assert_eq!(a.kernel_cells, 42);
         assert_eq!(a.kernel_events, 2);
+        assert_eq!(a.kernel_backends.len(), 2);
+        assert_eq!(a.kernel_backends[0].backend, "avx2");
+        assert_eq!(a.kernel_backends[0].cells, 30);
+        assert_eq!(a.kernel_backends[1].backend, "scalar");
+        assert_eq!(a.kernel_backends[1].calls, 1);
         assert_eq!(a.spans.len(), 1);
         assert_eq!(a.spans[0].count, 2);
         assert_eq!(a.spans[0].cells, 84);
@@ -719,6 +802,38 @@ mod tests {
         let report = render_report(&a);
         assert!(report.contains("BaseCase"));
         assert!(report.contains("kernel cells 42"));
+        assert!(report.contains("kernel backends:"));
+        assert!(report.contains("avx2"));
+    }
+
+    #[test]
+    fn backend_throughput_uses_event_extent() {
+        let kernel = |start: u64, cells: u64| Event {
+            tid: 0,
+            start_ns: start,
+            end_ns: start,
+            kind: EventKind::Kernel {
+                cells,
+                backend: "lanes",
+            },
+        };
+        let a = analyze(&Trace {
+            meta: TraceMeta::default(),
+            events: vec![kernel(0, 500), kernel(1_000_000_000, 500)],
+        });
+        let b = &a.kernel_backends[0];
+        assert_eq!(b.backend, "lanes");
+        assert_eq!(b.calls, 2);
+        assert_eq!(b.cells, 1000);
+        assert_eq!(b.span_ns, 1_000_000_000);
+        let rate = b.cells_per_sec().unwrap();
+        assert!((rate - 1000.0).abs() < 1e-6, "1000 cells over 1 s");
+        // A single instant event has no extent and no rate.
+        let single = analyze(&Trace {
+            meta: TraceMeta::default(),
+            events: vec![kernel(5, 10)],
+        });
+        assert!(single.kernel_backends[0].cells_per_sec().is_none());
     }
 
     #[test]

@@ -93,8 +93,11 @@ pub enum EventKind {
     },
     /// One fill-kernel invocation computing `cells` DPM entries
     /// (instant event: `start_ns == end_ns`). Summing `cells` over a
-    /// trace reproduces `Metrics::cells_computed`.
-    Kernel { cells: u64 },
+    /// trace reproduces `Metrics::cells_computed`. `backend` is the
+    /// interned name of the DP kernel backend that ran ("scalar",
+    /// "lanes", "sse4.1", "avx2") so reports can break throughput down
+    /// per backend.
+    Kernel { cells: u64, backend: &'static str },
     /// The engine degraded its configuration (instant event): attempt
     /// `rung` failed for `reason` and the run was retried with the given
     /// `k`/`base_cells`/`threads`. `flsa report` surfaces these so a
@@ -145,6 +148,22 @@ impl Event {
     }
 }
 
+/// The kernel backend names [`EventKind::Kernel`] may carry. Interning
+/// keeps `EventKind` `Copy` while exports stay human-readable.
+pub const KERNEL_BACKENDS: [&str; 4] = ["scalar", "lanes", "sse4.1", "avx2"];
+
+/// Maps a backend name read from an external trace file back to its
+/// interned `'static` form. Unknown names (future backends, foreign
+/// traces) collapse to `"unknown"` rather than failing the parse.
+pub fn intern_backend(name: &str) -> &'static str {
+    for known in KERNEL_BACKENDS {
+        if name == known {
+            return known;
+        }
+    }
+    "unknown"
+}
+
 /// Run-level context carried alongside the events.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceMeta {
@@ -180,7 +199,7 @@ impl Trace {
         self.events
             .iter()
             .map(|e| match e.kind {
-                EventKind::Kernel { cells } => cells,
+                EventKind::Kernel { cells, .. } => cells,
                 _ => 0,
             })
             .sum()
@@ -200,7 +219,10 @@ mod tests {
                     tid: 0,
                     start_ns: 10,
                     end_ns: 30,
-                    kind: EventKind::Kernel { cells: 7 },
+                    kind: EventKind::Kernel {
+                        cells: 7,
+                        backend: "scalar",
+                    },
                 },
                 Event {
                     tid: 1,
@@ -218,7 +240,10 @@ mod tests {
                     tid: 0,
                     start_ns: 40,
                     end_ns: 40,
-                    kind: EventKind::Kernel { cells: 3 },
+                    kind: EventKind::Kernel {
+                        cells: 3,
+                        backend: "avx2",
+                    },
                 },
             ],
         };

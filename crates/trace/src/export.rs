@@ -9,7 +9,9 @@
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
-use crate::event::{DegradeReason, Event, EventKind, SpanKind, TileKind, Trace, TraceMeta};
+use crate::event::{
+    intern_backend, DegradeReason, Event, EventKind, SpanKind, TileKind, Trace, TraceMeta,
+};
 use crate::json::{self, Value};
 
 fn span_kind_from(name: &str) -> Result<SpanKind, String> {
@@ -85,8 +87,11 @@ fn event_object(e: &Event) -> String {
                 kind.name()
             );
         }
-        EventKind::Kernel { cells } => {
-            let _ = write!(s, "{{\"type\":\"kernel\",\"cells\":{cells}");
+        EventKind::Kernel { cells, backend } => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"kernel\",\"cells\":{cells},\"backend\":\"{backend}\""
+            );
         }
         EventKind::Degrade {
             reason,
@@ -172,6 +177,9 @@ fn event_from_object(v: &Value) -> Result<Event, String> {
         },
         Some("kernel") => EventKind::Kernel {
             cells: field("cells")?,
+            // Tolerant default: traces written before the backend field
+            // existed parse as scalar-kernel runs.
+            backend: intern_backend(v.get("backend").and_then(Value::as_str).unwrap_or("scalar")),
         },
         Some("degrade") => EventKind::Degrade {
             reason: degrade_reason_from(
@@ -254,7 +262,7 @@ fn chrome_event_name(e: &Event) -> String {
             format!("{} #{fill} {rows}x{cols} tiles", kind.name())
         }
         EventKind::Tile { row, col, .. } => format!("tile ({row},{col})"),
-        EventKind::Kernel { cells } => format!("kernel {cells}"),
+        EventKind::Kernel { cells, backend } => format!("kernel {cells} [{backend}]"),
         EventKind::Degrade {
             reason, rung, k, ..
         } => format!("degrade #{rung} ({}) -> k={k}", reason.name()),
@@ -408,7 +416,10 @@ mod tests {
                     tid: 2,
                     start_ns: 180,
                     end_ns: 180,
-                    kind: EventKind::Kernel { cells: 4096 },
+                    kind: EventKind::Kernel {
+                        cells: 4096,
+                        backend: "avx2",
+                    },
                 },
                 Event {
                     tid: 0,

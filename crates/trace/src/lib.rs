@@ -42,9 +42,11 @@ pub mod json;
 pub mod recorder;
 
 pub use analysis::{
-    analyze, render_report, Analysis, DegradeStats, FillStats, Histogram, LifecycleEvent,
-    LifecycleKind, PhaseStats, SpanDepthStats, ThreadStats,
+    analyze, render_report, Analysis, DegradeStats, FillStats, Histogram, KernelBackendStats,
+    LifecycleEvent, LifecycleKind, PhaseStats, SpanDepthStats, ThreadStats,
 };
-pub use event::{DegradeReason, Event, EventKind, SpanKind, TileKind, Trace, TraceMeta};
+pub use event::{
+    intern_backend, DegradeReason, Event, EventKind, SpanKind, TileKind, Trace, TraceMeta,
+};
 pub use export::{read_trace, write_chrome, write_jsonl};
 pub use recorder::{Recorder, TileTracer};

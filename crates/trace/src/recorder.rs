@@ -32,6 +32,10 @@ pub struct Recorder {
     next_tid: AtomicU32,
     next_fill: AtomicU32,
     meta: Mutex<TraceMeta>,
+    /// Interned name of the DP kernel backend currently in effect;
+    /// stamped onto every kernel event so per-backend throughput
+    /// survives into reports.
+    kernel_backend: Mutex<&'static str>,
 }
 
 impl Default for Recorder {
@@ -59,6 +63,7 @@ impl Recorder {
             next_tid: AtomicU32::new(0),
             next_fill: AtomicU32::new(0),
             meta: Mutex::new(TraceMeta::default()),
+            kernel_backend: Mutex::new("scalar"),
         }
     }
 
@@ -104,11 +109,26 @@ impl Recorder {
             .push(event);
     }
 
-    /// Records one kernel invocation as an instant event.
+    /// Records one kernel invocation as an instant event, stamped with
+    /// the backend set by [`Recorder::set_kernel_backend`].
     #[inline]
     pub fn record_kernel(&self, cells: u64) {
         let now = self.now_ns();
-        self.record(now, now, EventKind::Kernel { cells });
+        let backend = *self
+            .kernel_backend
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.record(now, now, EventKind::Kernel { cells, backend });
+    }
+
+    /// Sets the interned backend name stamped onto subsequent kernel
+    /// events. The engine calls this when it resolves (or degrades) its
+    /// kernel dispatch, so a single trace can carry a backend switch.
+    pub fn set_kernel_backend(&self, backend: &'static str) {
+        *self
+            .kernel_backend
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = backend;
     }
 
     /// Sets the run label shown in reports and exports.

@@ -1,0 +1,317 @@
+//! Differential suite: every DP kernel backend must be **bit-identical**
+//! to the scalar reference — same scores, same [`Metrics`] cell counts,
+//! same tracebacks — on randomized sequences, schemes, and boundaries.
+//!
+//! This is the contract that makes backend selection transparent: a run
+//! on AVX2 and a run on a scalar-only machine must produce byte-identical
+//! output. The SIMD kernels use an exact algebraic reformulation of the
+//! recurrence (prefix-max scan), so equality here is integer equality,
+//! not approximation.
+//!
+//! Set `FLSA_KERNEL_FORCE=scalar,lanes` (comma-separated backend names)
+//! to restrict the swept set — CI uses this to exercise the portable
+//! backends on machines whose SIMD features it cannot assume.
+
+use fastlsa_core::{align_opts, AlignOptions, FastLsaConfig};
+use flsa_dp::kernel::{fill_dir, fill_full, fill_last_row_col};
+use flsa_dp::{Boundary, Kernel, KernelBackend, Metrics};
+use flsa_fullmatrix::{needleman_wunsch, needleman_wunsch_kernel};
+use flsa_hirschberg::{hirschberg_kernel, HirschbergConfig};
+use flsa_scoring::{tables, GapModel, ScoringScheme};
+use flsa_seq::{Alphabet, Sequence};
+
+/// Deterministic xorshift64* — no external RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + self.below((hi - lo + 1) as u64) as i32
+    }
+}
+
+/// Backends under test: `FLSA_KERNEL_FORCE` (comma-separated names) when
+/// set, every CPU-supported backend otherwise. Scalar is always included
+/// as the reference.
+fn backends() -> Vec<KernelBackend> {
+    let mut set = match std::env::var("FLSA_KERNEL_FORCE") {
+        Ok(csv) => csv
+            .split(',')
+            .map(|name| {
+                KernelBackend::parse(name)
+                    .unwrap_or_else(|| panic!("FLSA_KERNEL_FORCE: unknown backend {name:?}"))
+            })
+            .collect(),
+        Err(_) => KernelBackend::available(),
+    };
+    if !set.contains(&KernelBackend::Scalar) {
+        set.insert(0, KernelBackend::Scalar);
+    }
+    for b in &set {
+        assert!(b.is_available(), "backend {b} is not available on this CPU");
+    }
+    set
+}
+
+fn random_codes(rng: &mut Rng, len: usize, alphabet_size: u8) -> Vec<u8> {
+    (0..len)
+        .map(|_| rng.below(alphabet_size as u64) as u8)
+        .collect()
+}
+
+/// A random but *consistent* boundary: arbitrary values with the shared
+/// corner, exercising the kernels away from the global gap ramp (inside
+/// FastLSA, boundaries are grid-cache slices of arbitrary shape).
+fn random_boundary(rng: &mut Rng, rows: usize, cols: usize) -> Boundary {
+    let corner = rng.range_i32(-50, 50);
+    let mut top = vec![corner];
+    let mut left = vec![corner];
+    for _ in 0..cols {
+        let prev = *top.last().unwrap();
+        top.push(prev + rng.range_i32(-12, 6));
+    }
+    for _ in 0..rows {
+        let prev = *left.last().unwrap();
+        left.push(prev + rng.range_i32(-12, 6));
+    }
+    Boundary::new(top, left)
+}
+
+fn schemes() -> Vec<ScoringScheme> {
+    vec![
+        ScoringScheme::dna_default(),
+        ScoringScheme::new(tables::dna_default(), GapModel::linear(-3)),
+        ScoringScheme::new(tables::identity(Alphabet::dna()), GapModel::linear(-1)),
+        ScoringScheme::new(tables::blosum62(), GapModel::linear(-8)),
+        ScoringScheme::paper_example(),
+    ]
+}
+
+#[test]
+fn fill_kernels_match_scalar_on_random_rectangles() {
+    let mut rng = Rng::new(0xd1ff);
+    let schemes = schemes();
+    for case in 0..60 {
+        let scheme = &schemes[case % schemes.len()];
+        let codes = scheme.matrix().alphabet().len() as u8;
+        // Skew toward widths that cross the vectorization cutoff and the
+        // lane width, including degenerate 0/1-sized rectangles.
+        let rows = rng.below(40) as usize;
+        let cols = match case % 4 {
+            0 => rng.below(8) as usize,
+            1 => 8 + rng.below(16) as usize,
+            _ => 16 + rng.below(120) as usize,
+        };
+        let a = random_codes(&mut rng, rows, codes);
+        let b = random_codes(&mut rng, cols, codes);
+        let bound = random_boundary(&mut rng, rows, cols);
+
+        let m_ref = Metrics::new();
+        let full_ref = fill_full(&a, &b, &bound.top, &bound.left, scheme, &m_ref);
+        let mut bottom_ref = vec![0i32; cols + 1];
+        let mut right_ref = vec![0i32; rows + 1];
+        fill_last_row_col(
+            &a,
+            &b,
+            &bound.top,
+            &bound.left,
+            scheme,
+            &mut bottom_ref,
+            Some(&mut right_ref),
+            &m_ref,
+        );
+        let (dirs_ref, last_ref) = fill_dir(&a, &b, &bound.top, &bound.left, scheme, &m_ref);
+
+        for backend in backends() {
+            let kernel = Kernel::try_new(backend).unwrap();
+            let m = Metrics::new();
+            let full = kernel.fill_full(&a, &b, &bound.top, &bound.left, scheme, &m);
+            assert_eq!(full, full_ref, "case {case} backend {backend}: fill_full");
+
+            let mut bottom = vec![0i32; cols + 1];
+            let mut right = vec![0i32; rows + 1];
+            kernel.fill_last_row_col(
+                &a,
+                &b,
+                &bound.top,
+                &bound.left,
+                scheme,
+                &mut bottom,
+                Some(&mut right),
+                &m,
+            );
+            assert_eq!(bottom, bottom_ref, "case {case} backend {backend}: bottom");
+            assert_eq!(right, right_ref, "case {case} backend {backend}: right");
+
+            let (dirs, last) = kernel.fill_dir(&a, &b, &bound.top, &bound.left, scheme, &m);
+            assert_eq!(
+                last, last_ref,
+                "case {case} backend {backend}: dir last row"
+            );
+            for i in 0..=rows {
+                for j in 0..=cols {
+                    assert_eq!(
+                        dirs.get(i, j),
+                        dirs_ref.get(i, j),
+                        "case {case} backend {backend}: dir ({i},{j})"
+                    );
+                }
+            }
+            // Identical work accounting: cells_computed must not depend
+            // on the backend.
+            assert_eq!(
+                m.snapshot().cells_computed,
+                m_ref.snapshot().cells_computed,
+                "case {case} backend {backend}: cells_computed"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_matches_scalar_per_backend() {
+    let mut rng = Rng::new(0xa11);
+    let scheme = ScoringScheme::dna_default();
+    let alphabet = Alphabet::dna();
+    for case in 0..8 {
+        let la = 40 + rng.below(260) as usize;
+        let lb = 40 + rng.below(260) as usize;
+        let a = Sequence::from_codes(
+            "a",
+            &alphabet,
+            random_codes(&mut rng, la, alphabet.len() as u8),
+        );
+        let b = Sequence::from_codes(
+            "b",
+            &alphabet,
+            random_codes(&mut rng, lb, alphabet.len() as u8),
+        );
+
+        let m_ref = Metrics::new();
+        let nw_ref = needleman_wunsch(&a, &b, &scheme, &m_ref);
+        let cfg = FastLsaConfig::new(4, 256);
+        let fl_ref = align_opts(
+            &a,
+            &b,
+            &scheme,
+            cfg,
+            &AlignOptions {
+                kernel: Some(KernelBackend::Scalar),
+                ..AlignOptions::default()
+            },
+            &m_ref,
+        )
+        .unwrap();
+
+        for backend in backends() {
+            let kernel = Kernel::try_new(backend).unwrap();
+            let m = Metrics::new();
+
+            let nw = needleman_wunsch_kernel(&a, &b, &scheme, &kernel, &m);
+            assert_eq!(
+                nw.score, nw_ref.score,
+                "case {case} backend {backend}: nw score"
+            );
+            assert_eq!(
+                nw.path, nw_ref.path,
+                "case {case} backend {backend}: nw path"
+            );
+
+            let h = hirschberg_kernel(
+                &a,
+                &b,
+                &scheme,
+                HirschbergConfig { base_cells: 128 },
+                &kernel,
+                &m,
+            );
+            assert_eq!(
+                h.score, nw_ref.score,
+                "case {case} backend {backend}: hirschberg"
+            );
+
+            let fl = align_opts(
+                &a,
+                &b,
+                &scheme,
+                cfg,
+                &AlignOptions {
+                    kernel: Some(backend),
+                    ..AlignOptions::default()
+                },
+                &m,
+            )
+            .unwrap();
+            assert_eq!(
+                fl.score, fl_ref.score,
+                "case {case} backend {backend}: fastlsa score"
+            );
+            assert_eq!(
+                fl.path, fl_ref.path,
+                "case {case} backend {backend}: fastlsa path"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_worked_example_scores_82_on_every_backend() {
+    let scheme = ScoringScheme::paper_example();
+    let a = Sequence::from_str("a", scheme.alphabet(), "TLDKLLKD").unwrap();
+    let b = Sequence::from_str("b", scheme.alphabet(), "TDVLKAD").unwrap();
+    for backend in backends() {
+        let kernel = Kernel::try_new(backend).unwrap();
+        let metrics = Metrics::new();
+        let r = needleman_wunsch_kernel(&a, &b, &scheme, &kernel, &metrics);
+        assert_eq!(r.score, 82, "backend {backend}");
+        let h = hirschberg_kernel(
+            &a,
+            &b,
+            &scheme,
+            HirschbergConfig { base_cells: 16 },
+            &kernel,
+            &metrics,
+        );
+        assert_eq!(h.score, 82, "backend {backend} (hirschberg)");
+        let fl = align_opts(
+            &a,
+            &b,
+            &scheme,
+            FastLsaConfig::new(2, 16),
+            &AlignOptions {
+                kernel: Some(backend),
+                ..AlignOptions::default()
+            },
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(fl.score, 82, "backend {backend} (fastlsa)");
+    }
+}
+
+#[test]
+fn unavailable_or_unknown_backends_are_rejected_cleanly() {
+    assert!(KernelBackend::parse("no-such-simd").is_none());
+    // Whatever this CPU supports, requesting it through AlignOptions
+    // must validate; the scalar fallback must always exist.
+    assert!(KernelBackend::Scalar.is_available());
+    assert!(KernelBackend::Lanes.is_available());
+    assert!(Kernel::try_new(KernelBackend::Scalar).is_ok());
+}
