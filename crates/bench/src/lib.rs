@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 pub mod experiments;
 pub mod kernels;
+pub mod metrics;
 
 /// Times one closure invocation.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {

@@ -39,6 +39,14 @@
 //!   `is_x86_feature_detected!("…")` call site somewhere in the scanned
 //!   sources. This rule is workspace-global: the detection call site
 //!   may live in a different file than the kernel it guards.
+//! * **R7-metric-names** — metric registration sites
+//!   (`.counter("…")`, `.gauge("…")`, `.histogram("…")`) must not pass
+//!   inline string literals: every metric name is a constant in
+//!   `flsa_metrics::names`, which keeps the Prometheus namespace
+//!   collision-free and greppable. `crates/metrics/src/` itself is
+//!   exempt (it defines the API and the names), as are `#[cfg(test)]`
+//!   modules; a deliberate dynamic name carries a
+//!   `// flsa-check: allow(metric-name)` marker.
 //!
 //! Scope: production sources only — `src/` trees of the workspace root
 //! and every `crates/*` member. Integration tests, benches, fixtures,
@@ -103,9 +111,20 @@ const UNWRAP_TOKENS: &[&str] = &[".unwrap()", ".expect("];
 /// the process, so panicking on a broken invariant is acceptable there.
 const UNWRAP_EXEMPT_PREFIXES: &[&str] = &["crates/cli/", "crates/bench/", "crates/check/"];
 
+/// Registration calls that must take a `flsa_metrics::names` constant,
+/// not an inline literal (rule R7). The lexer blanks string contents but
+/// keeps the quote characters, so `.counter("` in lexed code means a
+/// literal was passed, while `.counter(names::…` has no quote.
+const METRIC_TOKENS: &[&str] = &[".counter(\"", ".gauge(\"", ".histogram(\""];
+
+/// The one directory allowed to spell metric names out: the metrics
+/// crate itself, which defines both the API and the names module.
+const METRICS_CRATE_PREFIX: &str = "crates/metrics/src/";
+
 const ALLOW_PANIC: &str = "flsa-check: allow(panic)";
 const ALLOW_RELAXED: &str = "flsa-check: allow(relaxed)";
 const ALLOW_UNWRAP: &str = "flsa-check: allow(unwrap)";
+const ALLOW_METRIC_NAME: &str = "flsa-check: allow(metric-name)";
 
 fn is_hot(rel: &str) -> bool {
     HOT_FILES.contains(&rel) || HOT_PREFIXES.iter().any(|p| rel.starts_with(p))
@@ -401,6 +420,22 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) -> bool {
                         message: format!(
                             "`{tok}` in a library crate: return a Result or mark the \
                              invariant with `// {ALLOW_UNWRAP}`"
+                        ),
+                    });
+                }
+            }
+        }
+        if !rel.starts_with(METRICS_CRATE_PREFIX) {
+            for tok in METRIC_TOKENS {
+                if line.code.contains(tok) && !has_marker(&lines, idx, ALLOW_METRIC_NAME) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: "R7-metric-names",
+                        message: format!(
+                            "inline metric name at a `{tok}…\")` site: use a \
+                             `flsa_metrics::names` constant (or mark with \
+                             `// {ALLOW_METRIC_NAME}`)"
                         ),
                     });
                 }
@@ -854,5 +889,41 @@ pub fn d() -> bool { is_x86_feature_detected!(\"avx2\") }
     fn doc_comment_examples_do_not_trip_r2() {
         let src = "/// ```\n/// let x = v.unwrap();\n/// ```\npub fn f() {}\n";
         assert_eq!(one("crates/dp/src/kernel.rs", src), vec![]);
+    }
+
+    #[test]
+    fn r7_flags_inline_metric_names_but_not_names_constants() {
+        let inline = "pub fn f(reg: &Registry) { reg.counter(\"flsa_cells_total\").inc(); }\n";
+        let f = one("crates/core/src/metrics.rs", inline);
+        assert_eq!(rules(&f), vec!["R7-metric-names"]);
+        assert!(
+            f[0].message.contains("flsa_metrics::names"),
+            "{}",
+            f[0].message
+        );
+        let constant = "pub fn f(reg: &Registry) { reg.counter(names::CELLS_TOTAL).inc(); }\n";
+        assert_eq!(one("crates/core/src/metrics.rs", constant), vec![]);
+    }
+
+    #[test]
+    fn r7_covers_all_three_instruments() {
+        let src = "fn f(r: &Registry) {\n    r.gauge(\"g\").set(1);\n    r.histogram(\"h\").record(2);\n}\n";
+        assert_eq!(
+            rules(&one("crates/wavefront/src/pool.rs", src)),
+            vec!["R7-metric-names"; 2]
+        );
+    }
+
+    #[test]
+    fn r7_exempts_the_metrics_crate_tests_and_marked_sites() {
+        let src = "pub fn f(reg: &Registry) { reg.counter(\"x\").inc(); }\n";
+        // The metrics crate defines the API and the names module.
+        assert_eq!(one("crates/metrics/src/registry.rs", src), vec![]);
+        let in_tests = "#[cfg(test)]\nmod t { fn g(r: &Registry) { r.counter(\"x\"); } }\n";
+        assert_eq!(one("crates/core/src/metrics.rs", in_tests), vec![]);
+        let marked = "fn f(r: &Registry, name: &'static str) {\n\
+                      \x20   // flsa-check: allow(metric-name) -- caller-chosen name\n\
+                      \x20   r.counter(\"prefix\");\n}\n";
+        assert_eq!(one("crates/core/src/metrics.rs", marked), vec![]);
     }
 }

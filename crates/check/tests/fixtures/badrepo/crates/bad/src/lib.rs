@@ -14,3 +14,9 @@ pub fn load(a: &std::sync::atomic::AtomicU32) -> u32 {
 pub fn first(v: &[u32]) -> u32 {
     *v.first().unwrap()
 }
+
+// Seeded R7 violation: an inline metric name at a record site instead
+// of a `flsa_metrics::names` constant.
+pub fn observe(reg: &flsa_metrics::Registry) {
+    reg.counter("flsa_inline_total").inc();
+}

@@ -38,6 +38,7 @@ fn seeded_fixture_trips_every_rule() {
         "R4-forbid-unsafe",
         "R5-no-unwrap-in-library",
         "R6-target-feature",
+        "R7-metric-names",
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),

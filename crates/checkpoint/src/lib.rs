@@ -28,7 +28,7 @@ pub use format::{
     decode, encode, scheme_digest, sequence_digest, DegradeNote, Snapshot, SnapshotMeta,
     FORMAT_VERSION, MAGIC,
 };
-pub use sink::{read_snapshot, FileCheckpointSink, MemorySink};
+pub use sink::{read_snapshot, CheckpointMetrics, FileCheckpointSink, MemorySink};
 
 use fastlsa_core::{align_resume, AlignError, AlignOptions};
 use flsa_dp::{AlignResult, Metrics};

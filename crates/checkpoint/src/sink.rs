@@ -8,6 +8,7 @@ use std::sync::Mutex;
 
 use fastlsa_core::checkpoint::{CheckpointSink, CheckpointState};
 use fastlsa_core::FastLsaConfig;
+use flsa_metrics::{names, Counter, Histogram, Registry};
 
 use crate::format::{encode, DegradeNote, Snapshot, SnapshotMeta};
 use crate::CheckpointError;
@@ -35,6 +36,26 @@ pub struct FileCheckpointSink {
     /// later snapshots carry the full degradation history.
     meta: Mutex<SnapshotMeta>,
     saves: AtomicU64,
+    metrics: Option<CheckpointMetrics>,
+}
+
+/// Cached registry handles for checkpoint durability accounting.
+#[derive(Clone, Debug)]
+pub struct CheckpointMetrics {
+    saves: Counter,
+    bytes: Counter,
+    fsync_ns: Histogram,
+}
+
+impl CheckpointMetrics {
+    /// Binds the checkpoint handles in `reg`.
+    pub fn new(reg: &Registry) -> Self {
+        CheckpointMetrics {
+            saves: reg.counter(names::CHECKPOINT_SAVES_TOTAL),
+            bytes: reg.counter(names::CHECKPOINT_BYTES_TOTAL),
+            fsync_ns: reg.histogram(names::CHECKPOINT_FSYNC_NS),
+        }
+    }
 }
 
 impl FileCheckpointSink {
@@ -43,7 +64,16 @@ impl FileCheckpointSink {
             path: path.into(),
             meta: Mutex::new(meta),
             saves: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Attaches durability metrics: every completed save records its
+    /// size and the latency of the durable portion (file fsync + rename
+    /// + directory fsync) into the registry the handles came from.
+    pub fn with_metrics(mut self, metrics: CheckpointMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The snapshot path this sink writes to.
@@ -82,8 +112,12 @@ impl CheckpointSink for FileCheckpointSink {
             .open(&tmp)
             .map_err(|e| self.io_err("create temp for", e))?;
         f.write_all(&bytes)
-            .and_then(|()| f.sync_all())
             .map_err(|e| self.io_err("write temp for", e))?;
+        // Time the durable portion — file fsync, publish rename, and
+        // directory fsync — which is where checkpoint latency actually
+        // lives (the encode + buffered write above is memory-speed).
+        let fsync_start = std::time::Instant::now();
+        f.sync_all().map_err(|e| self.io_err("write temp for", e))?;
         drop(f);
         fs::rename(&tmp, &self.path).map_err(|e| self.io_err("publish", e))?;
         // Durability of the rename itself: fsync the directory. Best
@@ -92,6 +126,11 @@ impl CheckpointSink for FileCheckpointSink {
             if let Ok(d) = File::open(dir) {
                 let _ = d.sync_all();
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.fsync_ns.record(fsync_start.elapsed().as_nanos() as u64);
+            m.saves.inc();
+            m.bytes.add(bytes.len() as u64);
         }
         Ok(bytes.len() as u64)
     }

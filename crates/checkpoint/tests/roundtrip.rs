@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use fastlsa_core::{align_opts, align_with, AlignOptions, CheckpointPolicy, FastLsaConfig};
 use flsa_checkpoint::{
-    decode, read_snapshot, resume_from_snapshot, CheckpointError, FileCheckpointSink, MemorySink,
-    SnapshotMeta,
+    decode, read_snapshot, resume_from_snapshot, CheckpointError, CheckpointMetrics,
+    FileCheckpointSink, MemorySink, SnapshotMeta,
 };
 use flsa_dp::Metrics;
 use flsa_scoring::ScoringScheme;
@@ -62,7 +62,10 @@ fn file_sink_writes_atomically_and_reads_back() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("run.ckpt");
     let meta = SnapshotMeta::for_run("dna", &scheme, &a, &b, 2);
-    let sink = Arc::new(FileCheckpointSink::new(&path, meta));
+    let registry = flsa_metrics::Registry::new();
+    let sink = Arc::new(
+        FileCheckpointSink::new(&path, meta).with_metrics(CheckpointMetrics::new(&registry)),
+    );
     let opts = AlignOptions {
         checkpoint: Some(CheckpointPolicy::new(2, sink.clone())),
         ..AlignOptions::default()
@@ -74,6 +77,18 @@ fn file_sink_writes_atomically_and_reads_back() {
         "expected multiple saves, got {}",
         sink.saves()
     );
+    // Every completed save was accounted to the registry, including its
+    // fsync latency.
+    let snap_metrics = registry.snapshot();
+    use flsa_metrics::names;
+    assert_eq!(
+        snap_metrics.counter(names::CHECKPOINT_SAVES_TOTAL),
+        Some(sink.saves())
+    );
+    assert!(snap_metrics.counter(names::CHECKPOINT_BYTES_TOTAL).unwrap() > 0);
+    let fsync = snap_metrics.histogram(names::CHECKPOINT_FSYNC_NS).unwrap();
+    assert_eq!(fsync.count, sink.saves());
+    assert!(fsync.sum > 0);
     // The published file is always the latest complete snapshot.
     let snap = read_snapshot(&path).unwrap();
     assert_eq!(snap.meta.every_blocks, 2);

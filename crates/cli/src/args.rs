@@ -45,11 +45,12 @@ const VALUED: &[&str] = &[
     "kernel",
     "gate",
     "reps",
+    "metrics",
 ];
 
 /// The known bare switches; anything else starting with `--` is an error
 /// (a typo'd valued option would otherwise silently become a switch).
-const FLAGS: &[&str] = &["stats", "quiet", "json", "help"];
+const FLAGS: &[&str] = &["stats", "quiet", "json", "help", "progress"];
 
 /// Parses `argv[1..]`.
 pub fn parse(argv: &[String]) -> Result<Args, String> {

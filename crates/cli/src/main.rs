@@ -18,8 +18,11 @@ use std::time::{Duration, Instant};
 use fastlsa_core::{
     AlignError, AlignOptions, CancelToken, CheckpointPolicy, FastLsaConfig, ParallelConfig,
 };
-use flsa_checkpoint::{read_snapshot, resume_from_snapshot, FileCheckpointSink, SnapshotMeta};
+use flsa_checkpoint::{
+    read_snapshot, resume_from_snapshot, CheckpointMetrics, FileCheckpointSink, SnapshotMeta,
+};
 use flsa_dp::{Alignment, Kernel, KernelBackend, Metrics};
+use flsa_metrics::{MetricsSnapshot, Registry};
 use flsa_scoring::{tables, GapModel, ScoringScheme};
 use flsa_seq::{fasta, generate, Alphabet, Sequence};
 use flsa_trace::Recorder;
@@ -31,8 +34,9 @@ USAGE:
     flsa align [options] A.fasta [B.fasta]
     flsa resume [options] CKPT              continue an interrupted checkpointed run
     flsa msa   [options] FAMILY.fasta       center-star multiple alignment
-    flsa report TRACE                       analyze a recorded execution trace
+    flsa report TRACE [--metrics FILE]      analyze a recorded execution trace
     flsa bench kernels [options]            DP kernel backend throughput sweep
+    flsa bench metrics [options]            metrics-layer overhead bench + gate
     flsa gen   [options]
     flsa info
     flsa help
@@ -73,15 +77,47 @@ ALIGN OPTIONS:
     --checkpoint-every-blocks N
                        snapshot cadence in completed grid blocks
                        (default 64)
+    --metrics FILE     export the run's metrics registry (counters,
+                       gauges, latency histograms) to FILE on exit —
+                       JSON when FILE ends in .json, Prometheus text
+                       format otherwise. With --checkpoint the file is
+                       also refreshed periodically during the run, so a
+                       killed run leaves a snapshot `flsa resume` folds
+                       into its own totals.
+    --progress         live status line on stderr (percent done,
+                       cells/sec, ETA, engine phase, kernel backend),
+                       refreshed at a bounded ~5 Hz
     --quiet            suppress the alignment rendering
     --width N          alignment rendering width (default 60)
 
-RESUME OPTIONS (plus --stats/--json/--quiet/--trace as for align):
+RESUME OPTIONS (plus --stats/--json/--quiet/--trace/--metrics/
+                --progress as for align):
     flsa resume CKPT   validates the snapshot (CRC-framed; scheme and
                        sequence digests must match) and continues the
                        run to completion, checkpointing at the same
                        cadence. A corrupt or mismatched snapshot exits
-                       with code 3 and touches nothing.
+                       with code 3 and touches nothing. With --metrics
+                       FILE, an existing export at FILE (from the killed
+                       run) is folded in so the final export covers the
+                       whole logical alignment.
+
+REPORT OPTIONS:
+    --metrics FILE     also load a metrics export written by
+                       `flsa align --metrics` and cross-check it against
+                       the trace: per-backend cell counts must match the
+                       trace-derived totals exactly, and the worker
+                       busy/idle split is folded into an occupancy figure.
+
+BENCH OPTIONS (flsa bench metrics):
+    --len N            square problem side for the end-to-end overhead
+                       measurement (default 10000)
+    --reps N           timed repetitions per configuration, best kept
+                       (default 3)
+    --threads P        worker threads for the parallel align (default 4,
+                       capped at the host's parallelism)
+    --gate F           fail (exit 1) if metrics-on overhead exceeds F
+                       percent end-to-end
+    -o, --out FILE     JSON report path (default BENCH_metrics.json)
 
 BENCH OPTIONS (flsa bench kernels):
     --len CSV          comma-separated square problem sides
@@ -262,6 +298,120 @@ fn parse_kernel(a: &args::Args) -> Result<Option<KernelBackend>, CliError> {
     }
 }
 
+/// A run's metrics registry, when `--metrics` or `--progress` asked for
+/// one. `None` keeps the metrics-off path allocation-free.
+fn registry_for(a: &args::Args) -> Option<Arc<Registry>> {
+    (a.options.contains_key("metrics") || a.has_flag("progress")).then(|| Arc::new(Registry::new()))
+}
+
+/// Writes a registry snapshot to `path`, atomically (tmp + rename): JSON
+/// when the path ends in `.json`, Prometheus text format otherwise.
+fn write_metrics_file(path: &str, snap: &MetricsSnapshot) -> Result<(), String> {
+    let body = if path.ends_with(".json") {
+        snap.to_json()
+    } else {
+        snap.to_prometheus()
+    };
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, body).map_err(|e| format!("{path}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The background observer behind `--progress` and the periodic metrics
+/// refresh: one thread, woken every 200 ms, that repaints the status
+/// line and (when checkpointing, so a killed run leaves something to
+/// resume *and* to seed metrics from) rewrites the metrics export about
+/// once a second.
+struct LiveObserver {
+    stop: std::sync::mpsc::Sender<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveObserver {
+    /// Spawns the observer, or returns `None` when it would have nothing
+    /// to do (no progress line, nothing to refresh) — a bare `--metrics`
+    /// run pays only the final export.
+    fn spawn(reg: &Arc<Registry>, progress: bool, refresh_path: Option<String>) -> Option<Self> {
+        if !progress && refresh_path.is_none() {
+            return None;
+        }
+        // The channel doubles as the stop signal: `finish` drops the
+        // sender, turning the 200ms `recv_timeout` tick into an
+        // immediate `Disconnected` — shutdown never waits out a sleep.
+        let (stop, tick) = std::sync::mpsc::channel::<()>();
+        let reg = Arc::clone(reg);
+        let handle = std::thread::spawn(move || {
+            let line = progress.then(|| flsa_metrics::progress::Progress::new(&reg));
+            let start = Instant::now();
+            let mut ticks = 0u64;
+            loop {
+                let disconnected = matches!(
+                    tick.recv_timeout(Duration::from_millis(200)),
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected)
+                );
+                if disconnected {
+                    break;
+                }
+                if let Some(p) = &line {
+                    use std::io::Write as _;
+                    eprint!("\r{}", p.line(start.elapsed().as_secs_f64()));
+                    let _ = std::io::stderr().flush();
+                }
+                ticks += 1;
+                if ticks % 5 == 0 {
+                    if let Some(path) = &refresh_path {
+                        let _ = write_metrics_file(path, &reg.snapshot());
+                    }
+                }
+            }
+            if line.is_some() {
+                eprintln!();
+            }
+        });
+        Some(LiveObserver {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops the refresh loop and waits for the final repaint.
+    fn finish(mut self) {
+        drop(self.stop);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+
+    /// `finish` for an optional observer.
+    fn finish_opt(live: Option<Self>) {
+        if let Some(l) = live {
+            l.finish();
+        }
+    }
+}
+
+/// Final `--metrics` export. Called after the run settles (success or
+/// fault — a deadline-hit or exhausted run still leaves its numbers); a
+/// write failure is only promoted to an error when the run itself
+/// succeeded, so it never masks the run's own fault.
+fn export_metrics(
+    a: &args::Args,
+    registry: Option<&Arc<Registry>>,
+    run_failed: bool,
+) -> Result<(), CliError> {
+    let (Some(reg), Some(path)) = (registry, a.options.get("metrics")) else {
+        return Ok(());
+    };
+    match write_metrics_file(path, &reg.snapshot()) {
+        Ok(()) => Ok(()),
+        Err(e) if run_failed => {
+            eprintln!("flsa: warning: metrics export failed: {e}");
+            Ok(())
+        }
+        Err(e) => Err(CliError::runtime(e)),
+    }
+}
+
 fn cmd_align(a: &args::Args) -> Result<(), CliError> {
     let gap: i32 = a.get_or("gap", -10).map_err(CliError::usage)?;
     let scheme = if let Some(path) = a.options.get("matrix-file") {
@@ -298,169 +448,201 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
         )));
     }
     let recorder = a.options.get("trace").map(|_| Arc::new(Recorder::new()));
-    let metrics = match &recorder {
+    let registry = registry_for(a);
+    let mut metrics = match &recorder {
         Some(r) => Metrics::with_recorder(Arc::clone(r)),
         None => Metrics::new(),
     };
+    if let Some(reg) = &registry {
+        metrics = metrics.with_registry(reg);
+    }
+    let live = registry.as_ref().and_then(|reg| {
+        // Refresh the export mid-run only when a checkpoint makes the
+        // partial totals resumable; otherwise it is written once on exit.
+        let refresh = a
+            .options
+            .contains_key("checkpoint")
+            .then(|| a.options.get("metrics").cloned())
+            .flatten();
+        LiveObserver::spawn(reg, a.has_flag("progress"), refresh)
+    });
     let start = Instant::now();
 
-    let (score, path) = match algo {
-        "fastlsa" => {
-            let mut budget_bytes = None;
-            let mut cfg = if let Some(mem) = a.options.get("memory") {
-                let bytes: usize = mem
-                    .parse()
-                    .map_err(|_| CliError::usage(format!("invalid --memory value {mem:?}")))?;
-                budget_bytes = Some(bytes);
-                FastLsaConfig::for_memory(bytes, sa.len(), sb.len())
-            } else {
-                FastLsaConfig::new(
-                    a.get_or("k", 8).map_err(CliError::usage)?,
-                    a.get_or("base-cells", 1usize << 20)
-                        .map_err(CliError::usage)?,
-                )
-            };
-            if threads > 1 {
-                let tiles = a.get_or("tiles", 0usize).map_err(CliError::usage)?;
-                cfg = if tiles > 0 {
-                    cfg.with_parallel(ParallelConfig {
-                        threads,
-                        tiles_per_block: tiles,
-                    })
+    let outcome = (|| -> Result<(i64, Option<flsa_dp::Path>), CliError> {
+        Ok(match algo {
+            "fastlsa" => {
+                let mut budget_bytes = None;
+                let mut cfg = if let Some(mem) = a.options.get("memory") {
+                    let bytes: usize = mem
+                        .parse()
+                        .map_err(|_| CliError::usage(format!("invalid --memory value {mem:?}")))?;
+                    budget_bytes = Some(bytes);
+                    FastLsaConfig::for_memory(bytes, sa.len(), sb.len())
                 } else {
-                    cfg.with_threads(threads)
-                };
-            }
-            let cancel = match a.options.get("deadline-ms") {
-                Some(ms) => {
-                    let ms: u64 = ms.parse().map_err(|_| {
-                        CliError::usage(format!("invalid --deadline-ms value {ms:?}"))
-                    })?;
-                    Some(CancelToken::with_deadline(Duration::from_millis(ms)))
-                }
-                None => None,
-            };
-            let checkpoint = match a.options.get("checkpoint") {
-                Some(ckpt_path) => {
-                    let every: u64 = a
-                        .get_or("checkpoint-every-blocks", 64)
-                        .map_err(CliError::usage)?;
-                    if every == 0 {
-                        return Err(CliError::usage(
-                            "--checkpoint-every-blocks must be at least 1",
-                        ));
-                    }
-                    let meta =
-                        SnapshotMeta::for_run(a.str_or("matrix", "dna"), &scheme, &sa, &sb, every);
-                    let sink = FileCheckpointSink::new(ckpt_path.as_str(), meta);
-                    Some(CheckpointPolicy::new(every, Arc::new(sink)))
-                }
-                None => None,
-            };
-            let opts = AlignOptions {
-                budget_bytes,
-                cancel,
-                checkpoint,
-                kernel: kernel_choice,
-                ..AlignOptions::default()
-            };
-            let r = fastlsa_core::align_opts(&sa, &sb, &scheme, cfg, &opts, &metrics)?;
-            // The job finished: the snapshot has served its purpose.
-            if let Some(ckpt_path) = a.options.get("checkpoint") {
-                cleanup_checkpoint(ckpt_path);
-            }
-            (r.score, Some(r.path))
-        }
-        "nw" => {
-            // The reference FM algorithm defaults to the scalar kernel;
-            // an explicit --kernel switches the fill backend.
-            let r = match kernel_choice {
-                Some(b) => {
-                    let kernel = Kernel::try_new(b).expect("pre-validated backend");
-                    flsa_fullmatrix::needleman_wunsch_kernel(&sa, &sb, &scheme, &kernel, &metrics)
-                }
-                None => flsa_fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics),
-            };
-            (r.score, Some(r.path))
-        }
-        "nw-packed" => {
-            let r = flsa_fullmatrix::needleman_wunsch_packed(&sa, &sb, &scheme, &metrics);
-            (r.score, Some(r.path))
-        }
-        "hirschberg" => {
-            let kernel = match kernel_choice {
-                Some(b) => Kernel::try_new(b).expect("pre-validated backend"),
-                None => Kernel::auto(),
-            };
-            let r = flsa_hirschberg::hirschberg_kernel(
-                &sa,
-                &sb,
-                &scheme,
-                flsa_hirschberg::HirschbergConfig::default(),
-                &kernel,
-                &metrics,
-            );
-            (r.score, Some(r.path))
-        }
-        "banded" => {
-            let w: usize = a.get_or("band", 32).map_err(CliError::usage)?;
-            let r = flsa_fullmatrix::banded_needleman_wunsch(&sa, &sb, &scheme, w, &metrics);
-            (r.score, Some(r.path))
-        }
-        "gotoh" | "mm-affine" | "fastlsa-affine" => {
-            let open: i32 = a.get_or("gap-open", -10).map_err(CliError::usage)?;
-            let extend: i32 = a.get_or("gap-extend", -2).map_err(CliError::usage)?;
-            let affine =
-                ScoringScheme::new(scheme.matrix().clone(), GapModel::affine(open, extend));
-            let r = match algo {
-                "gotoh" => flsa_fullmatrix::gotoh(&sa, &sb, &affine, &metrics),
-                "mm-affine" => flsa_hirschberg::myers_miller_affine(&sa, &sb, &affine, &metrics),
-                _ => {
-                    let cfg = FastLsaConfig::new(
+                    FastLsaConfig::new(
                         a.get_or("k", 8).map_err(CliError::usage)?,
                         a.get_or("base-cells", 1usize << 20)
                             .map_err(CliError::usage)?,
-                    );
-                    fastlsa_core::align_affine(&sa, &sb, &affine, cfg, &metrics)?
+                    )
+                };
+                if threads > 1 {
+                    let tiles = a.get_or("tiles", 0usize).map_err(CliError::usage)?;
+                    cfg = if tiles > 0 {
+                        cfg.with_parallel(ParallelConfig {
+                            threads,
+                            tiles_per_block: tiles,
+                        })
+                    } else {
+                        cfg.with_threads(threads)
+                    };
                 }
-            };
-            (r.score, Some(r.path))
-        }
-        "fit" => {
-            let r = flsa_fullmatrix::semiglobal(
-                &sa,
-                &sb,
-                &scheme,
-                flsa_fullmatrix::EndsFree::FIT_A_IN_B,
-                &metrics,
-            );
-            (r.score, Some(r.path))
-        }
-        "overlap" => {
-            let r = flsa_fullmatrix::semiglobal(
-                &sa,
-                &sb,
-                &scheme,
-                flsa_fullmatrix::EndsFree::OVERLAP_A_THEN_B,
-                &metrics,
-            );
-            (r.score, Some(r.path))
-        }
-        "sw" => {
-            let r = flsa_fullmatrix::smith_waterman(&sa, &sb, &scheme, &metrics);
-            println!(
-                "local score {} over {}[{:?}] x {}[{:?}]",
-                r.score,
-                sa.id(),
-                r.a_range(),
-                sb.id(),
-                r.b_range()
-            );
-            (r.score, None)
-        }
-        other => return Err(CliError::usage(format!("unknown algorithm {other:?}"))),
-    };
+                let cancel = match a.options.get("deadline-ms") {
+                    Some(ms) => {
+                        let ms: u64 = ms.parse().map_err(|_| {
+                            CliError::usage(format!("invalid --deadline-ms value {ms:?}"))
+                        })?;
+                        Some(CancelToken::with_deadline(Duration::from_millis(ms)))
+                    }
+                    None => None,
+                };
+                let checkpoint = match a.options.get("checkpoint") {
+                    Some(ckpt_path) => {
+                        let every: u64 = a
+                            .get_or("checkpoint-every-blocks", 64)
+                            .map_err(CliError::usage)?;
+                        if every == 0 {
+                            return Err(CliError::usage(
+                                "--checkpoint-every-blocks must be at least 1",
+                            ));
+                        }
+                        let meta = SnapshotMeta::for_run(
+                            a.str_or("matrix", "dna"),
+                            &scheme,
+                            &sa,
+                            &sb,
+                            every,
+                        );
+                        let mut sink = FileCheckpointSink::new(ckpt_path.as_str(), meta);
+                        if let Some(reg) = &registry {
+                            sink = sink.with_metrics(CheckpointMetrics::new(reg));
+                        }
+                        Some(CheckpointPolicy::new(every, Arc::new(sink)))
+                    }
+                    None => None,
+                };
+                let opts = AlignOptions {
+                    budget_bytes,
+                    cancel,
+                    checkpoint,
+                    kernel: kernel_choice,
+                    registry: registry.clone(),
+                    ..AlignOptions::default()
+                };
+                let r = fastlsa_core::align_opts(&sa, &sb, &scheme, cfg, &opts, &metrics)?;
+                // The job finished: the snapshot has served its purpose.
+                if let Some(ckpt_path) = a.options.get("checkpoint") {
+                    cleanup_checkpoint(ckpt_path);
+                }
+                (r.score, Some(r.path))
+            }
+            "nw" => {
+                // The reference FM algorithm defaults to the scalar kernel;
+                // an explicit --kernel switches the fill backend.
+                let r = match kernel_choice {
+                    Some(b) => {
+                        let kernel = Kernel::try_new(b).expect("pre-validated backend");
+                        flsa_fullmatrix::needleman_wunsch_kernel(
+                            &sa, &sb, &scheme, &kernel, &metrics,
+                        )
+                    }
+                    None => flsa_fullmatrix::needleman_wunsch(&sa, &sb, &scheme, &metrics),
+                };
+                (r.score, Some(r.path))
+            }
+            "nw-packed" => {
+                let r = flsa_fullmatrix::needleman_wunsch_packed(&sa, &sb, &scheme, &metrics);
+                (r.score, Some(r.path))
+            }
+            "hirschberg" => {
+                let kernel = match kernel_choice {
+                    Some(b) => Kernel::try_new(b).expect("pre-validated backend"),
+                    None => Kernel::auto(),
+                };
+                let r = flsa_hirschberg::hirschberg_kernel(
+                    &sa,
+                    &sb,
+                    &scheme,
+                    flsa_hirschberg::HirschbergConfig::default(),
+                    &kernel,
+                    &metrics,
+                );
+                (r.score, Some(r.path))
+            }
+            "banded" => {
+                let w: usize = a.get_or("band", 32).map_err(CliError::usage)?;
+                let r = flsa_fullmatrix::banded_needleman_wunsch(&sa, &sb, &scheme, w, &metrics);
+                (r.score, Some(r.path))
+            }
+            "gotoh" | "mm-affine" | "fastlsa-affine" => {
+                let open: i32 = a.get_or("gap-open", -10).map_err(CliError::usage)?;
+                let extend: i32 = a.get_or("gap-extend", -2).map_err(CliError::usage)?;
+                let affine =
+                    ScoringScheme::new(scheme.matrix().clone(), GapModel::affine(open, extend));
+                let r = match algo {
+                    "gotoh" => flsa_fullmatrix::gotoh(&sa, &sb, &affine, &metrics),
+                    "mm-affine" => {
+                        flsa_hirschberg::myers_miller_affine(&sa, &sb, &affine, &metrics)
+                    }
+                    _ => {
+                        let cfg = FastLsaConfig::new(
+                            a.get_or("k", 8).map_err(CliError::usage)?,
+                            a.get_or("base-cells", 1usize << 20)
+                                .map_err(CliError::usage)?,
+                        );
+                        fastlsa_core::align_affine(&sa, &sb, &affine, cfg, &metrics)?
+                    }
+                };
+                (r.score, Some(r.path))
+            }
+            "fit" => {
+                let r = flsa_fullmatrix::semiglobal(
+                    &sa,
+                    &sb,
+                    &scheme,
+                    flsa_fullmatrix::EndsFree::FIT_A_IN_B,
+                    &metrics,
+                );
+                (r.score, Some(r.path))
+            }
+            "overlap" => {
+                let r = flsa_fullmatrix::semiglobal(
+                    &sa,
+                    &sb,
+                    &scheme,
+                    flsa_fullmatrix::EndsFree::OVERLAP_A_THEN_B,
+                    &metrics,
+                );
+                (r.score, Some(r.path))
+            }
+            "sw" => {
+                let r = flsa_fullmatrix::smith_waterman(&sa, &sb, &scheme, &metrics);
+                println!(
+                    "local score {} over {}[{:?}] x {}[{:?}]",
+                    r.score,
+                    sa.id(),
+                    r.a_range(),
+                    sb.id(),
+                    r.b_range()
+                );
+                (r.score, None)
+            }
+            other => return Err(CliError::usage(format!("unknown algorithm {other:?}"))),
+        })
+    })();
     let elapsed = start.elapsed();
+    LiveObserver::finish_opt(live);
+    export_metrics(a, registry.as_ref(), outcome.is_err())?;
+    let (score, path) = outcome?;
     report_run(
         a,
         algo,
@@ -588,26 +770,57 @@ fn cmd_resume(a: &args::Args) -> Result<(), CliError> {
         )));
     }
     let recorder = a.options.get("trace").map(|_| Arc::new(Recorder::new()));
-    let metrics = match &recorder {
+    let registry = registry_for(a);
+    if let (Some(reg), Some(mpath)) = (&registry, a.options.get("metrics")) {
+        // Fold in whatever the killed run managed to export (counters
+        // add, gauges carry over) so the final export covers the whole
+        // logical alignment, not just the resumed half.
+        if let Ok(text) = std::fs::read_to_string(mpath) {
+            match MetricsSnapshot::parse(&text) {
+                Ok(prev) => reg.seed(&prev),
+                Err(e) => {
+                    eprintln!("flsa: warning: ignoring unparsable metrics file {mpath}: {e}")
+                }
+            }
+        }
+    }
+    let mut metrics = match &recorder {
         Some(r) => Metrics::with_recorder(Arc::clone(r)),
         None => Metrics::new(),
     };
+    if let Some(reg) = &registry {
+        metrics = metrics.with_registry(reg);
+    }
     let threads = snap.state.config.threads();
 
     // Keep checkpointing to the same file at the recorded cadence, with
     // the degrade history carried over, so a resumed run is just as
     // killable as the original.
-    let sink = FileCheckpointSink::new(ckpt_path.as_str(), snap.meta.clone());
+    let mut sink = FileCheckpointSink::new(ckpt_path.as_str(), snap.meta.clone());
+    if let Some(reg) = &registry {
+        sink = sink.with_metrics(CheckpointMetrics::new(reg));
+    }
     let opts = AlignOptions {
         checkpoint: Some(CheckpointPolicy::new(
             snap.meta.every_blocks,
             Arc::new(sink),
         )),
+        registry: registry.clone(),
         ..AlignOptions::default()
     };
+    let live = registry.as_ref().and_then(|reg| {
+        LiveObserver::spawn(
+            reg,
+            a.has_flag("progress"),
+            a.options.get("metrics").cloned(),
+        )
+    });
     let start = Instant::now();
-    let r = resume_from_snapshot(&snap, &scheme, &opts, &metrics)?;
+    let outcome = resume_from_snapshot(&snap, &scheme, &opts, &metrics).map_err(CliError::from);
     let elapsed = start.elapsed();
+    LiveObserver::finish_opt(live);
+    export_metrics(a, registry.as_ref(), outcome.is_err())?;
+    let r = outcome?;
     cleanup_checkpoint(ckpt_path);
     report_run(
         a,
@@ -656,7 +869,108 @@ fn cmd_report(a: &args::Args) -> Result<(), CliError> {
         flsa_trace::read_trace(&text).map_err(|e| CliError::input(format!("{path}: {e}")))?;
     let analysis = flsa_trace::analyze(&trace);
     print!("{}", flsa_trace::render_report(&analysis));
+    if let Some(mpath) = a.options.get("metrics") {
+        let mtext =
+            std::fs::read_to_string(mpath).map_err(|e| CliError::input(format!("{mpath}: {e}")))?;
+        let snap =
+            MetricsSnapshot::parse(&mtext).map_err(|e| CliError::input(format!("{mpath}: {e}")))?;
+        print!("{}", render_metrics_crosscheck(mpath, &snap, &analysis));
+    }
     Ok(())
+}
+
+fn fmt_dur_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The `flsa report --metrics` section: the same run seen through two
+/// independent instruments — the event trace and the metrics registry —
+/// must tell the same story. Per-backend cell counts are compared
+/// exactly (the DP layer keeps both attributions in lockstep by
+/// construction); the wavefront busy/idle totals, which only the
+/// registry has, are folded into a computed occupancy figure.
+fn render_metrics_crosscheck(
+    mpath: &str,
+    snap: &MetricsSnapshot,
+    a: &flsa_trace::Analysis,
+) -> String {
+    use flsa_metrics::names;
+    use std::fmt::Write as _;
+    let verdict = |ok: bool| if ok { "MATCH" } else { "MISMATCH" };
+    let mut out = String::new();
+    let _ = writeln!(out, "\nmetrics cross-check ({mpath}):");
+    let cells = snap.counter(names::CELLS_TOTAL).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  kernel cells    metrics {:>16}   trace {:>16}   {}",
+        cells,
+        a.kernel_cells,
+        verdict(cells == a.kernel_cells)
+    );
+    let calls = snap.counter(names::KERNEL_CALLS_TOTAL).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  kernel calls    metrics {:>16}   trace {:>16}   {}",
+        calls,
+        a.kernel_events,
+        verdict(calls == a.kernel_events as u64)
+    );
+    for b in names::BACKENDS {
+        let m = snap.counter(names::cells_for_backend(b)).unwrap_or(0);
+        let t = a
+            .kernel_backends
+            .iter()
+            .find(|s| s.backend == *b)
+            .map_or(0, |s| s.cells);
+        if m == 0 && t == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "    cells[{:<6}] metrics {:>16}   trace {:>16}   {}",
+            b,
+            m,
+            t,
+            verdict(m == t)
+        );
+    }
+    let busy = snap.counter(names::WORKER_BUSY_NS_TOTAL).unwrap_or(0);
+    let idle = snap.counter(names::WORKER_IDLE_NS_TOTAL).unwrap_or(0);
+    if busy + idle > 0 {
+        let occupancy = busy as f64 / (busy + idle) as f64 * 100.0;
+        let _ = writeln!(
+            out,
+            "  worker occupancy {occupancy:.1}%  (busy {} / idle {}; {} parks, {} tiles, inflight peak {})",
+            fmt_dur_ns(busy),
+            fmt_dur_ns(idle),
+            snap.counter(names::WORKER_PARKS_TOTAL).unwrap_or(0),
+            snap.counter(names::TILES_TOTAL).unwrap_or(0),
+            snap.gauge(names::TILES_INFLIGHT_PEAK).unwrap_or(0)
+        );
+    }
+    if let Some(saves) = snap
+        .counter(names::CHECKPOINT_SAVES_TOTAL)
+        .filter(|&s| s > 0)
+    {
+        let fsync = snap.histogram(names::CHECKPOINT_FSYNC_NS);
+        let _ = writeln!(
+            out,
+            "  checkpoints     {} saves, {} bytes, fsync p50 {} p99 {}",
+            saves,
+            snap.counter(names::CHECKPOINT_BYTES_TOTAL).unwrap_or(0),
+            fsync.map_or("-".to_string(), |h| fmt_dur_ns(h.quantile(0.5))),
+            fsync.map_or("-".to_string(), |h| fmt_dur_ns(h.quantile(0.99)))
+        );
+    }
+    out
 }
 
 fn cmd_msa(a: &args::Args) -> Result<(), CliError> {
@@ -706,13 +1020,15 @@ fn cmd_msa(a: &args::Args) -> Result<(), CliError> {
 /// JSON report, and optionally gates on the SIMD-vs-scalar speedup.
 fn cmd_bench(a: &args::Args) -> Result<(), CliError> {
     match a.positional.first().map(String::as_str) {
-        Some("kernels") => {}
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown bench suite {other:?}; try `flsa bench kernels`"
-            )))
-        }
+        Some("kernels") => cmd_bench_kernels(a),
+        Some("metrics") => cmd_bench_metrics(a),
+        other => Err(CliError::usage(format!(
+            "unknown bench suite {other:?}; try `flsa bench kernels` or `flsa bench metrics`"
+        ))),
     }
+}
+
+fn cmd_bench_kernels(a: &args::Args) -> Result<(), CliError> {
     let lens: Vec<usize> = match a.options.get("len") {
         None => vec![1024, 4096, 10_000],
         Some(csv) => csv
@@ -752,6 +1068,50 @@ fn cmd_bench(a: &args::Args) -> Result<(), CliError> {
             return Err(CliError::runtime(format!(
                 "kernel speedup regression: best vectorized backend reached only \
                  {speedup:.2}x scalar (gate {gate:.2}x)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// `flsa bench metrics`: measures what the metrics layer costs — the
+/// record-path nanobenches plus a metrics-on vs metrics-off end-to-end
+/// parallel align — writes the JSON report, and optionally gates on the
+/// end-to-end overhead percentage.
+fn cmd_bench_metrics(a: &args::Args) -> Result<(), CliError> {
+    let len: usize = a.get_or("len", 10_000).map_err(CliError::usage)?;
+    let reps: usize = a.get_or("reps", 3).map_err(CliError::usage)?;
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = a.get_or("threads", 4.min(host)).map_err(CliError::usage)?;
+    if len == 0 || reps == 0 || threads == 0 {
+        return Err(CliError::usage(
+            "--len, --reps, and --threads must be at least 1",
+        ));
+    }
+    let report = flsa_bench::metrics::run(len, reps, threads);
+    print!("{}", report.render());
+    println!(
+        "cpu features: {}   best backend: {}",
+        if report.cpu_features.is_empty() {
+            "none".to_string()
+        } else {
+            report.cpu_features.join(", ")
+        },
+        report.best_backend
+    );
+    let out = a.str_or("out", "BENCH_metrics.json");
+    std::fs::write(out, report.to_json()).map_err(|e| CliError::runtime(format!("{out}: {e}")))?;
+    println!("report          -> {out}");
+    if let Some(gate) = a.options.get("gate") {
+        let gate: f64 = gate
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --gate value {gate:?}")))?;
+        let overhead = report.overhead_pct();
+        println!("overhead gate   {overhead:+.2}% measured, {gate:.2}% allowed");
+        if overhead > gate {
+            return Err(CliError::runtime(format!(
+                "metrics overhead regression: metrics-on align cost {overhead:.2}% \
+                 over metrics-off (gate {gate:.2}%)"
             )));
         }
     }

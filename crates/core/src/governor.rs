@@ -13,6 +13,8 @@
 use std::cell::Cell;
 use std::sync::Arc;
 
+use flsa_metrics::{names, Counter, Gauge, Registry};
+
 use crate::cancel::CancelToken;
 use crate::checkpoint::CheckpointPolicy;
 use crate::config::FastLsaConfig;
@@ -64,6 +66,11 @@ pub struct AlignOptions {
     /// DP kernel backend to use (DESIGN.md §11); `None` = auto-detect
     /// the best available SIMD backend.
     pub kernel: Option<flsa_dp::KernelBackend>,
+    /// Metrics registry (DESIGN.md §12); `None` = no metrics are
+    /// recorded. The same registry should also be attached to the run's
+    /// [`flsa_dp::Metrics`] (via `with_registry`) so the DP-layer
+    /// counters land next to the engine's.
+    pub registry: Option<Arc<Registry>>,
 }
 
 /// Owns the run's byte budget and performs fallible allocation for the
@@ -72,6 +79,14 @@ pub struct MemoryGovernor {
     budget: Option<usize>,
     used: Cell<usize>,
     hooks: Option<Arc<dyn FaultHooks>>,
+    metrics: Option<GovernorMetrics>,
+}
+
+/// Cached registry handles mirroring the governor's budget accounting.
+struct GovernorMetrics {
+    reserved: Gauge,
+    peak: Gauge,
+    refused: Counter,
 }
 
 impl MemoryGovernor {
@@ -81,23 +96,51 @@ impl MemoryGovernor {
             budget: budget_bytes,
             used: Cell::new(0),
             hooks: None,
+            metrics: None,
         }
     }
 
     pub(crate) fn with_hooks(
         budget_bytes: Option<usize>,
         hooks: Option<Arc<dyn FaultHooks>>,
+        registry: Option<&Registry>,
     ) -> Self {
+        let metrics = registry.map(|reg| {
+            reg.gauge(names::MEM_BUDGET_BYTES)
+                .set(budget_bytes.map(|b| b as i64).unwrap_or(0));
+            GovernorMetrics {
+                reserved: reg.gauge(names::MEM_RESERVED_BYTES),
+                peak: reg.gauge(names::MEM_PEAK_BYTES),
+                refused: reg.counter(names::MEM_REFUSED_TOTAL),
+            }
+        });
         MemoryGovernor {
             budget: budget_bytes,
             used: Cell::new(0),
             hooks,
+            metrics,
         }
     }
 
     /// Bytes currently charged against the budget.
     pub fn used_bytes(&self) -> usize {
         self.used.get()
+    }
+
+    /// Mirrors the current usage (and its peak) into the registry.
+    fn note_usage(&self) {
+        if let Some(m) = &self.metrics {
+            let used = self.used.get() as i64;
+            m.reserved.set(used);
+            m.peak.fetch_max(used);
+        }
+    }
+
+    /// Counts one refused reservation in the registry.
+    fn note_refused(&self) {
+        if let Some(m) = &self.metrics {
+            m.refused.inc();
+        }
     }
 
     /// Charges `len * 4` bytes without allocating (for buffers owned by
@@ -107,15 +150,18 @@ impl MemoryGovernor {
         let bytes = len.saturating_mul(std::mem::size_of::<i32>());
         if let Some(h) = &self.hooks {
             if h.on_alloc(bytes) {
+                self.note_refused();
                 return Err(AlignError::AllocFailed { bytes, what });
             }
         }
         if let Some(budget) = self.budget {
             if self.used.get().saturating_add(bytes) > budget {
+                self.note_refused();
                 return Err(AlignError::AllocFailed { bytes, what });
             }
         }
         self.used.set(self.used.get() + bytes);
+        self.note_usage();
         Ok(())
     }
 
@@ -138,6 +184,7 @@ impl MemoryGovernor {
     pub fn release_i32(&self, len: usize) {
         let bytes = len.saturating_mul(std::mem::size_of::<i32>());
         self.used.set(self.used.get().saturating_sub(bytes));
+        self.note_usage();
     }
 
     /// Charges raw bytes against the budget *without* consulting the
@@ -150,16 +197,19 @@ impl MemoryGovernor {
     pub fn try_charge_bytes(&self, bytes: usize) -> bool {
         if let Some(budget) = self.budget {
             if self.used.get().saturating_add(bytes) > budget {
+                self.note_refused();
                 return false;
             }
         }
         self.used.set(self.used.get() + bytes);
+        self.note_usage();
         true
     }
 
     /// Returns bytes charged via [`MemoryGovernor::try_charge_bytes`].
     pub fn release_bytes(&self, bytes: usize) {
         self.used.set(self.used.get().saturating_sub(bytes));
+        self.note_usage();
     }
 }
 
@@ -212,7 +262,11 @@ pub(crate) struct RunCtx {
 impl RunCtx {
     pub fn from_options(opts: &AlignOptions) -> Self {
         RunCtx {
-            governor: MemoryGovernor::with_hooks(opts.budget_bytes, opts.hooks.clone()),
+            governor: MemoryGovernor::with_hooks(
+                opts.budget_bytes,
+                opts.hooks.clone(),
+                opts.registry.as_deref(),
+            ),
             cancel: opts.cancel.clone(),
             hooks: opts.hooks.clone(),
             steps: Cell::new(0),
@@ -277,7 +331,7 @@ mod tests {
                 true
             }
         }
-        let g = MemoryGovernor::with_hooks(Some(1024), Some(Arc::new(AlwaysFail)));
+        let g = MemoryGovernor::with_hooks(Some(1024), Some(Arc::new(AlwaysFail)), None);
         // Hooks refuse every governed allocation…
         assert!(g.try_alloc_i32(8, "hooked").is_err());
         // …but raw charges bypass them and only the budget applies.
@@ -300,6 +354,7 @@ mod tests {
         let g = MemoryGovernor::with_hooks(
             None,
             Some(Arc::new(FailSecond(std::sync::atomic::AtomicUsize::new(0)))),
+            None,
         );
         g.try_alloc_i32(8, "first").unwrap();
         assert!(g.try_alloc_i32(8, "second").is_err());
@@ -332,6 +387,26 @@ mod tests {
         assert!(next_rung(&bottom).is_none());
         // The ladder is bounded: log2 steps in each dimension.
         assert!(ladder.len() < 64);
+    }
+
+    #[test]
+    fn governor_mirrors_usage_into_the_registry() {
+        let reg = Registry::new();
+        let g = MemoryGovernor::with_hooks(Some(1024), None, Some(&reg));
+        let v = g.try_alloc_i32(128, "small").unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge(names::MEM_BUDGET_BYTES), Some(1024));
+        assert_eq!(snap.gauge(names::MEM_RESERVED_BYTES), Some(512));
+        assert_eq!(snap.gauge(names::MEM_PEAK_BYTES), Some(512));
+        assert_eq!(snap.counter(names::MEM_REFUSED_TOTAL), Some(0));
+
+        assert!(g.try_alloc_i32(256, "too big").is_err());
+        drop(v);
+        g.release_i32(128);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge(names::MEM_RESERVED_BYTES), Some(0));
+        assert_eq!(snap.gauge(names::MEM_PEAK_BYTES), Some(512), "peak sticks");
+        assert_eq!(snap.counter(names::MEM_REFUSED_TOTAL), Some(1));
     }
 
     #[test]

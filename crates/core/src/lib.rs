@@ -52,6 +52,7 @@ pub mod costlog;
 pub mod error;
 pub mod governor;
 pub mod grid;
+mod metrics;
 pub mod model;
 mod parallel;
 mod solver;
@@ -143,6 +144,9 @@ pub fn align_opts(
             return Err(err);
         };
         rung += 1;
+        if let Some(reg) = &opts.registry {
+            reg.counter(flsa_metrics::names::DEGRADE_STEPS_TOTAL).inc();
+        }
         if let Some(r) = metrics.recorder() {
             let now = r.now_ns();
             r.record(
@@ -208,6 +212,9 @@ pub fn align_resume(
             return Err(err);
         };
         rung += 1;
+        if let Some(reg) = &opts.registry {
+            reg.counter(flsa_metrics::names::DEGRADE_STEPS_TOTAL).inc();
+        }
         if let Some(r) = metrics.recorder() {
             let now = r.now_ns();
             r.record(
@@ -596,6 +603,72 @@ mod tests {
                 "mutation {i}: got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn registry_attached_run_exports_engine_counters() {
+        use flsa_metrics::{names, Registry};
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 300, 0.8, 17).unwrap();
+        let reg = std::sync::Arc::new(Registry::new());
+        let metrics = Metrics::new().with_registry(&reg);
+        let opts = AlignOptions {
+            registry: Some(reg.clone()),
+            ..AlignOptions::default()
+        };
+        let cfg = FastLsaConfig::new(4, 256).with_threads(3);
+        align_opts(&a, &b, &scheme, cfg, &opts, &metrics).unwrap();
+
+        let snap = reg.snapshot();
+        // DP-layer counters mirror the in-process metrics exactly.
+        let dp = metrics.snapshot();
+        assert_eq!(snap.counter(names::CELLS_TOTAL), Some(dp.cells_computed));
+        assert_eq!(
+            snap.counter(names::CELLS_BASE_CASE_TOTAL),
+            Some(dp.cells_base_case)
+        );
+        assert_eq!(
+            snap.counter(names::TRACEBACK_STEPS_TOTAL),
+            Some(dp.traceback_steps)
+        );
+        // Engine-level state: blocks, depth, steps, phase back to idle.
+        assert!(snap.counter(names::BLOCKS_FILLED_TOTAL).unwrap() > 0);
+        assert!(snap.counter(names::SOLVER_STEPS_TOTAL).unwrap() > 0);
+        assert!(snap.gauge(names::RECURSION_DEPTH_PEAK).unwrap() >= 1);
+        assert_eq!(snap.gauge(names::PHASE), Some(names::PHASE_IDLE));
+        assert_eq!(
+            snap.gauge(names::RUN_CELLS_EXPECTED),
+            Some((a.len() * b.len()) as i64)
+        );
+        // Governor peak tracked; wavefront occupancy recorded.
+        assert!(snap.gauge(names::MEM_PEAK_BYTES).unwrap() > 0);
+        assert!(snap.counter(names::TILES_TOTAL).unwrap() > 0);
+        assert_eq!(snap.gauge(names::TILES_INFLIGHT), Some(0));
+        // Registered lazily on the first degrade, so absent on a clean run.
+        assert_eq!(snap.counter(names::DEGRADE_STEPS_TOTAL), None);
+    }
+
+    #[test]
+    fn degradation_ladder_steps_are_counted() {
+        use flsa_metrics::{names, Registry};
+        let scheme = ScoringScheme::dna_default();
+        let (a, b) = homologous_pair("t", &Alphabet::dna(), 200, 0.8, 23).unwrap();
+        let reg = std::sync::Arc::new(Registry::new());
+        // A budget too small for the initial base buffer but workable
+        // further down the ladder forces at least one degrade step.
+        let opts = AlignOptions {
+            budget_bytes: Some(64 << 10),
+            registry: Some(reg.clone()),
+            ..AlignOptions::default()
+        };
+        let cfg = FastLsaConfig::new(4, 1 << 20);
+        let reference =
+            align_with(&a, &b, &scheme, FastLsaConfig::new(4, 256), &Metrics::new()).unwrap();
+        let r = align_opts(&a, &b, &scheme, cfg, &opts, &Metrics::new()).unwrap();
+        assert_eq!(r.score, reference.score);
+        let snap = reg.snapshot();
+        assert!(snap.counter(names::DEGRADE_STEPS_TOTAL).unwrap() >= 1);
+        assert!(snap.counter(names::MEM_REFUSED_TOTAL).unwrap() >= 1);
     }
 
     #[test]

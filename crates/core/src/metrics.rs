@@ -1,0 +1,43 @@
+//! Engine-level metrics handles (DESIGN.md §12).
+//!
+//! [`CoreMetrics`] caches the registry handles the solver touches on its
+//! drive loop. Everything here is updated at the loop's consistent
+//! points (the same places checkpoints are taken), so a snapshot taken
+//! at any moment describes a coherent recursion state. The DP-layer
+//! counters (cells, per-backend attribution) live in
+//! [`flsa_dp::Metrics`]; the wavefront occupancy handles live in
+//! [`flsa_wavefront::PoolMetrics`]; this struct covers what only the
+//! recursion itself knows: blocks, depth, phase, and the kernel arena's
+//! reuse behaviour.
+
+use flsa_metrics::{names, Counter, Gauge, Registry};
+
+/// Cached registry handles for the solver's drive loop.
+pub(crate) struct CoreMetrics {
+    pub blocks: Counter,
+    pub solver_steps: Counter,
+    pub depth: Gauge,
+    pub depth_peak: Gauge,
+    pub phase: Gauge,
+    pub run_expected: Gauge,
+    pub arena_held: Gauge,
+    pub arena_fresh: Gauge,
+    pub arena_reuses: Gauge,
+}
+
+impl CoreMetrics {
+    /// Binds the engine handles in `reg`.
+    pub fn new(reg: &Registry) -> Self {
+        CoreMetrics {
+            blocks: reg.counter(names::BLOCKS_FILLED_TOTAL),
+            solver_steps: reg.counter(names::SOLVER_STEPS_TOTAL),
+            depth: reg.gauge(names::RECURSION_DEPTH),
+            depth_peak: reg.gauge(names::RECURSION_DEPTH_PEAK),
+            phase: reg.gauge(names::PHASE),
+            run_expected: reg.gauge(names::RUN_CELLS_EXPECTED),
+            arena_held: reg.gauge(names::ARENA_HELD_BYTES),
+            arena_fresh: reg.gauge(names::ARENA_FRESH_ALLOCS),
+            arena_reuses: reg.gauge(names::ARENA_REUSES),
+        }
+    }
+}

@@ -28,6 +28,7 @@ use crate::costlog::{CostEvent, CostLog};
 use crate::error::AlignError;
 use crate::governor::{AlignOptions, RunCtx};
 use crate::grid::{segment_of, Grid};
+use crate::metrics::CoreMetrics;
 use crate::parallel;
 
 /// One suspended rectangle of the FastLSA recursion. Coordinates `r0`/
@@ -90,6 +91,9 @@ pub(crate) struct Solver<'s> {
     /// Arena bytes currently charged against the governor's budget;
     /// settled at the drive loop's consistent points.
     arena_charged: usize,
+    /// Engine-level registry handles (blocks, depth, phase, arena);
+    /// `None` when no registry is attached (DESIGN.md §12).
+    obs: Option<CoreMetrics>,
 }
 
 impl<'s> Solver<'s> {
@@ -101,8 +105,13 @@ impl<'s> Solver<'s> {
         metrics: &'s Metrics,
         opts: &AlignOptions,
     ) -> Self {
-        let pool =
-            (config.threads() > 1).then(|| flsa_wavefront::WorkerPool::new(config.threads()));
+        let pool = (config.threads() > 1).then(|| {
+            let pool = flsa_wavefront::WorkerPool::new(config.threads());
+            if let Some(reg) = opts.registry.as_deref() {
+                pool.set_metrics(flsa_wavefront::PoolMetrics::new(reg));
+            }
+            pool
+        });
         // `align_opts` validates availability up front, so an explicit
         // request can only fail here on a resumed snapshot from another
         // machine — fall back to auto-detection rather than erroring.
@@ -113,6 +122,10 @@ impl<'s> Solver<'s> {
         if let Some(r) = metrics.recorder() {
             r.set_kernel_backend(kernel.backend().name());
         }
+        // Keep the metrics sink's backend attribution in lockstep with
+        // the recorder's so exported per-backend cell counts match the
+        // trace-derived ones exactly.
+        metrics.set_kernel_backend(kernel.backend().name());
         Solver {
             scheme,
             config,
@@ -131,6 +144,15 @@ impl<'s> Solver<'s> {
             ctx: RunCtx::from_options(opts),
             kernel,
             arena_charged: 0,
+            obs: opts.registry.as_deref().map(CoreMetrics::new),
+        }
+    }
+
+    /// Sets the run-phase gauge (see [`flsa_metrics::names::PHASE`]).
+    #[inline]
+    fn set_phase(&self, phase: i64) {
+        if let Some(obs) = &self.obs {
+            obs.phase.set(phase);
         }
     }
 
@@ -189,6 +211,12 @@ impl<'s> Solver<'s> {
         self.check_alphabets(a, b)?;
         let (m, n) = (a.len(), b.len());
         let gap = self.scheme.gap().linear_penalty();
+        if let Some(obs) = &self.obs {
+            // `m·n` is a lower bound on total cells (grid-cache refills
+            // push the real total above it); the progress line caps its
+            // percentage accordingly.
+            obs.run_expected.set((m as i64).saturating_mul(n as i64));
+        }
 
         // Reserve the Base Case buffer up front, as the paper does —
         // fallibly, through the governor, so an over-budget `BM` surfaces
@@ -218,6 +246,7 @@ impl<'s> Solver<'s> {
         let mut builder = PathBuilder::new();
         let exit = self.drive(a.codes(), b.codes(), &mut builder)?;
         drop(base_guard);
+        self.set_phase(flsa_metrics::names::PHASE_IDLE);
         Ok(self.finish_path(a, b, builder, exit))
     }
 
@@ -236,6 +265,10 @@ impl<'s> Solver<'s> {
         state
             .validate(a.len(), b.len())
             .map_err(|detail| AlignError::CorruptCheckpoint { detail })?;
+        if let Some(obs) = &self.obs {
+            obs.run_expected
+                .set((a.len() as i64).saturating_mul(b.len() as i64));
+        }
 
         self.base_storage = self
             .ctx
@@ -294,6 +327,7 @@ impl<'s> Solver<'s> {
         let mut builder = PathBuilder::from_rev_moves(state.rev_moves);
         let exit = self.drive(a.codes(), b.codes(), &mut builder)?;
         drop(base_guard);
+        self.set_phase(flsa_metrics::names::PHASE_IDLE);
         Ok(self.finish_path(a, b, builder, exit))
     }
 
@@ -337,6 +371,12 @@ impl<'s> Solver<'s> {
             // and the kernel arena (no buffers checked out here) settles
             // its growth against the budget.
             self.charge_arena();
+            if let Some(obs) = &self.obs {
+                obs.solver_steps.inc();
+                let depth = self.frames.len() as i64;
+                obs.depth.set(depth);
+                obs.depth_peak.fetch_max(depth);
+            }
             self.maybe_checkpoint(out, false)?;
             if let Err(e) = self.ctx.step() {
                 return Err(self.fail_with_snapshot(out, e));
@@ -412,6 +452,9 @@ impl<'s> Solver<'s> {
                 match self.base_case(fa, fb, &frame.top, &frame.left, frame.head, out) {
                     Ok(local_exit) => {
                         self.blocks_done += 1;
+                        if let Some(obs) = &self.obs {
+                            obs.blocks.inc();
+                        }
                         let exit = (frame.r0 + local_exit.0, frame.c0 + local_exit.1);
                         match self.frames.last_mut() {
                             Some(p) => p.head = (exit.0 - p.r0, exit.1 - p.c0),
@@ -460,12 +503,23 @@ impl<'s> Solver<'s> {
                 if let Some(r) = self.recorder() {
                     r.set_kernel_backend(self.kernel.backend().name());
                 }
+                self.metrics
+                    .set_kernel_backend(self.kernel.backend().name());
                 self.ctx.governor.release_bytes(self.arena_charged);
                 self.arena_charged = 0;
             }
         } else if held < self.arena_charged {
             self.ctx.governor.release_bytes(self.arena_charged - held);
             self.arena_charged = held;
+        }
+        // The arena stats are observed here — the drive loop's consistent
+        // point — rather than instrumented inside the arena's hot
+        // take/put path.
+        if let Some(obs) = &self.obs {
+            let arena = self.kernel.arena();
+            obs.arena_held.set(arena.held_bytes() as i64);
+            obs.arena_fresh.set(arena.fresh_allocs() as i64);
+            obs.arena_reuses.set(arena.reuses() as i64);
         }
     }
 
@@ -497,6 +551,7 @@ impl<'s> Solver<'s> {
         });
 
         // fillGridCache (Figure 2 line 5 / Figure 3d).
+        self.set_phase(flsa_metrics::names::PHASE_GRID_FILL);
         let fill_start = self.recorder().map(Recorder::now_ns);
         let filled = if self.config.threads() > 1 {
             parallel::fill_grid_parallel(self, fa, fb, &frame.top, &frame.left, &mut grid)
@@ -514,6 +569,9 @@ impl<'s> Solver<'s> {
         self.record_span(fill_start, SpanKind::FillCache, rows, cols, k_r, k_c);
         // All blocks except the bottom-right one are now complete.
         self.blocks_done += (k_r * k_c - 1) as u64;
+        if let Some(obs) = &self.obs {
+            obs.blocks.add((k_r * k_c - 1) as u64);
+        }
         frame.grid = Some(grid);
         frame.grid_guard = Some(grid_guard);
         self.frames.push(frame);
@@ -629,6 +687,7 @@ impl<'s> Solver<'s> {
             self.metrics
                 .track_alloc((rows + 1) * (cols + 1) * std::mem::size_of::<i32>())
         });
+        self.set_phase(flsa_metrics::names::PHASE_BASE_CASE);
         let fill_start = self.recorder().map(Recorder::now_ns);
         let dpm = if use_parallel {
             match parallel::fill_base_parallel(self, a, b, top, left) {
@@ -649,6 +708,7 @@ impl<'s> Solver<'s> {
         self.metrics.add_base_case_cells(rows as u64 * cols as u64);
 
         let before = out.len();
+        self.set_phase(flsa_metrics::names::PHASE_TRACEBACK);
         let trace_start = self.recorder().map(Recorder::now_ns);
         let exit = trace_from(&dpm, a, b, self.scheme, head, out, self.metrics);
         self.record_span(trace_start, SpanKind::Traceback, rows, cols, 0, 0);

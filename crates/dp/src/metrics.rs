@@ -10,10 +10,54 @@
 //! (with the whole rectangle's cell count), not per cell, so the overhead
 //! is unmeasurable and the type stays `Sync` for the parallel fills.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use flsa_metrics::{names, Counter, Gauge, Registry};
 use flsa_trace::Recorder;
+
+/// Cached `flsa-metrics` handles mirroring the counters below, plus the
+/// per-backend cell attribution. Resolved once at construction so the
+/// hot path is a few relaxed atomic ops and never touches the registry.
+#[derive(Debug)]
+struct Sink {
+    cells: Counter,
+    base_cells: Counter,
+    kernel_calls: Counter,
+    traceback: Counter,
+    tracked: Gauge,
+    tracked_peak: Gauge,
+    backend_gauge: Gauge,
+    /// Per-backend cell counters, index-aligned with [`names::BACKENDS`].
+    by_backend: Vec<Counter>,
+    /// Cells recorded while an unrecognized backend is current.
+    other_backend: Counter,
+    /// Index into `by_backend` of the backend currently in effect
+    /// (`usize::MAX` = unknown). Mirrors the trace recorder's interned
+    /// backend so metrics and trace attribute cells identically.
+    backend_idx: AtomicUsize,
+}
+
+impl Sink {
+    fn new(registry: &Registry) -> Self {
+        Sink {
+            cells: registry.counter(names::CELLS_TOTAL),
+            base_cells: registry.counter(names::CELLS_BASE_CASE_TOTAL),
+            kernel_calls: registry.counter(names::KERNEL_CALLS_TOTAL),
+            traceback: registry.counter(names::TRACEBACK_STEPS_TOTAL),
+            tracked: registry.gauge(names::TRACKED_BYTES),
+            tracked_peak: registry.gauge(names::TRACKED_PEAK_BYTES),
+            backend_gauge: registry.gauge(names::KERNEL_BACKEND),
+            by_backend: names::BACKENDS
+                .iter()
+                .map(|b| registry.counter(names::cells_for_backend(b)))
+                .collect(),
+            other_backend: registry.counter(names::CELLS_BACKEND_OTHER_TOTAL),
+            // Matches the trace recorder's "scalar" default.
+            backend_idx: AtomicUsize::new(0),
+        }
+    }
+}
 
 /// Shared accounting for one alignment run.
 #[derive(Debug, Default)]
@@ -22,6 +66,9 @@ pub struct Metrics {
     /// logged as a trace event (so traced cells always equal
     /// `cells_computed` by construction).
     recorder: Option<Arc<Recorder>>,
+    /// Optional always-on metrics handles; when present, every counter
+    /// bump below is mirrored into the run's registry.
+    sink: Option<Sink>,
     /// DPM entries computed by FindScore-phase kernels (fills of any kind).
     cells_computed: AtomicU64,
     /// Subset of `cells_computed` spent inside base-case (full-matrix)
@@ -66,6 +113,30 @@ impl Metrics {
         }
     }
 
+    /// Mirrors every count into `registry` as well (chainable:
+    /// `Metrics::new().with_registry(&reg)`), including the per-backend
+    /// cell counters keyed by [`Metrics::set_kernel_backend`].
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.sink = Some(Sink::new(registry));
+        self
+    }
+
+    /// Sets the kernel backend subsequent cells are attributed to.
+    /// Callers keep this in lockstep with
+    /// [`Recorder::set_kernel_backend`] so the registry's per-backend
+    /// totals always equal the trace-derived ones.
+    pub fn set_kernel_backend(&self, backend: &str) {
+        if let Some(s) = &self.sink {
+            let idx = names::backend_index(backend);
+            let coded = idx.unwrap_or(usize::MAX);
+            // Relaxed: last-writer-wins mode switch; cells recorded
+            // around the switch may land on either side, exactly like
+            // the recorder's interned-name mutex.
+            s.backend_idx.store(coded, Ordering::Relaxed);
+            s.backend_gauge.set(idx.map(|i| i as i64).unwrap_or(-1));
+        }
+    }
+
     /// The attached event recorder, if tracing is on. Layers above pass
     /// this down so the disabled path stays a `None` check.
     #[inline]
@@ -80,6 +151,14 @@ impl Metrics {
         // `snapshot`, which tolerates any interleaving.
         self.cells_computed.fetch_add(n, Ordering::Relaxed);
         self.kernel_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = &self.sink {
+            s.cells.add(n);
+            s.kernel_calls.inc();
+            // Relaxed: reading the current-backend mode; attribution
+            // around a switch may land on either side, like the trace.
+            let idx = s.backend_idx.load(Ordering::Relaxed);
+            s.by_backend.get(idx).unwrap_or(&s.other_backend).add(n);
+        }
         if let Some(r) = &self.recorder {
             r.record_kernel(n);
         }
@@ -91,12 +170,18 @@ impl Metrics {
     #[inline]
     pub fn add_base_case_cells(&self, n: u64) {
         self.cells_base_case.fetch_add(n, Ordering::Relaxed); // Relaxed: monotonic counter
+        if let Some(s) = &self.sink {
+            s.base_cells.add(n);
+        }
     }
 
     /// Records `n` traceback steps.
     #[inline]
     pub fn add_traceback_steps(&self, n: u64) {
         self.traceback_steps.fetch_add(n, Ordering::Relaxed); // Relaxed: monotonic counter
+        if let Some(s) = &self.sink {
+            s.traceback.add(n);
+        }
     }
 
     /// Tracks an auxiliary allocation of `bytes`, returning a guard that
@@ -110,6 +195,10 @@ impl Metrics {
         // nothing and tolerates races between concurrent allocators.
         let cur = self.cur_bytes.fetch_add(b, Ordering::Relaxed) + b;
         self.peak_bytes.fetch_max(cur, Ordering::Relaxed);
+        if let Some(s) = &self.sink {
+            s.tracked.add(b);
+            s.tracked_peak.fetch_max(cur);
+        }
         MemGuard {
             metrics: self,
             bytes: b,
@@ -143,6 +232,9 @@ impl Drop for MemGuard<'_> {
             .cur_bytes
             // Relaxed: counter bookkeeping only, nothing is published.
             .fetch_sub(self.bytes, Ordering::Relaxed);
+        if let Some(s) = &self.metrics.sink {
+            s.tracked.sub(self.bytes);
+        }
     }
 }
 
@@ -200,6 +292,39 @@ mod tests {
     fn metrics_are_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<Metrics>();
+    }
+
+    #[test]
+    fn registry_sink_mirrors_counters_and_attributes_backends() {
+        let reg = Registry::new();
+        let m = Metrics::new().with_registry(&reg);
+        m.add_cells(64); // "scalar" until a backend is set
+        m.set_kernel_backend("avx2");
+        m.add_cells(100);
+        m.set_kernel_backend("quantum");
+        m.add_cells(5);
+        m.add_base_case_cells(64);
+        m.add_traceback_steps(9);
+        {
+            let _g = m.track_alloc(1000);
+            assert_eq!(reg.snapshot().gauge(names::TRACKED_BYTES), Some(1000));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(names::CELLS_TOTAL), Some(169));
+        assert_eq!(snap.counter(names::cells_for_backend("scalar")), Some(64));
+        assert_eq!(snap.counter(names::cells_for_backend("avx2")), Some(100));
+        assert_eq!(snap.counter(names::CELLS_BACKEND_OTHER_TOTAL), Some(5));
+        assert_eq!(snap.counter(names::KERNEL_CALLS_TOTAL), Some(3));
+        assert_eq!(snap.counter(names::CELLS_BASE_CASE_TOTAL), Some(64));
+        assert_eq!(snap.counter(names::TRACEBACK_STEPS_TOTAL), Some(9));
+        assert_eq!(snap.gauge(names::TRACKED_BYTES), Some(0));
+        assert_eq!(snap.gauge(names::TRACKED_PEAK_BYTES), Some(1000));
+        assert_eq!(snap.gauge(names::KERNEL_BACKEND), Some(-1));
+        // The plain counters and the mirrored ones agree.
+        assert_eq!(
+            snap.counter(names::CELLS_TOTAL),
+            Some(m.snapshot().cells_computed)
+        );
     }
 
     #[test]

@@ -159,6 +159,7 @@ impl FaultInjector {
             hooks: Some(Arc::clone(self) as Arc<dyn FaultHooks>),
             checkpoint: None,
             kernel: None,
+            registry: None,
         }
     }
 }

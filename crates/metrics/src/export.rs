@@ -1,0 +1,338 @@
+//! Prometheus text-format and JSON exporters, and their inverses.
+//!
+//! Both formats carry exact integer values, so `parse(export(s)) == s`
+//! for any registry-produced snapshot — the round-trip is a test
+//! invariant, and the parsers double as readers for `flsa report
+//! --metrics` and for folding a killed run's snapshot into a resume.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{escape, Json};
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Renders `s` in Prometheus text exposition format: counters and
+/// gauges as single samples, histograms as cumulative `_bucket{le=…}`
+/// series plus `_sum`/`_count`, each preceded by a `# TYPE` line.
+pub fn to_prometheus(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &s.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &s.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for h in &s.histograms {
+        let _ = writeln!(out, "# TYPE {} histogram", h.name);
+        let mut cum = 0u64;
+        for &(ub, c) in &h.buckets {
+            cum += c;
+            let _ = writeln!(out, "{}_bucket{{le=\"{ub}\"}} {cum}", h.name);
+        }
+        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+        let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+        let _ = writeln!(out, "{}_count {}", h.name, h.count);
+    }
+    out
+}
+
+/// Renders `s` as a JSON document with `counters`, `gauges` and
+/// `histograms` objects (keys in snapshot order, i.e. sorted).
+pub fn to_json(s: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {v}", escape(name));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {v}", escape(name));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, h) in s.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+            escape(&h.name),
+            h.count,
+            h.sum
+        );
+        for (j, (ub, c)) in h.buckets.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}[{ub}, {c}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// Parses the Prometheus text format produced by [`to_prometheus`].
+pub fn parse_prometheus(text: &str) -> Result<MetricsSnapshot, String> {
+    let mut kinds: BTreeMap<String, Kind> = BTreeMap::new();
+    let mut snap = MetricsSnapshot::default();
+    // name -> (cumulative buckets, sum, count)
+    type PartialHist = (Vec<(u64, u64)>, u64, u64);
+    let mut hists: BTreeMap<String, PartialHist> = BTreeMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| err("missing metric name"))?;
+            let kind = match it.next() {
+                Some("counter") => Kind::Counter,
+                Some("gauge") => Kind::Gauge,
+                Some("histogram") => Kind::Histogram,
+                _ => return Err(err("unknown metric kind")),
+            };
+            kinds.insert(name.to_string(), kind);
+            if kind == Kind::Histogram {
+                hists.entry(name.to_string()).or_default();
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("missing sample value"))?;
+        if let Some((base, labels)) = name_part.split_once('{') {
+            // Histogram bucket sample: <name>_bucket{le="…"} <cum>
+            let hist = base
+                .strip_suffix("_bucket")
+                .filter(|h| kinds.get(*h) == Some(&Kind::Histogram))
+                .ok_or_else(|| err("labelled sample for a non-histogram"))?;
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix("\"}"))
+                .ok_or_else(|| err("malformed le label"))?;
+            let cum: u64 = value_part.parse().map_err(|_| err("bad bucket count"))?;
+            let entry = hists.entry(hist.to_string()).or_default();
+            if le == "+Inf" {
+                entry.2 = cum;
+            } else {
+                let ub: u64 = le.parse().map_err(|_| err("bad le bound"))?;
+                entry.0.push((ub, cum));
+            }
+            continue;
+        }
+        if let Some(hist) = name_part
+            .strip_suffix("_sum")
+            .filter(|h| kinds.get(*h) == Some(&Kind::Histogram))
+        {
+            let sum: u64 = value_part.parse().map_err(|_| err("bad histogram sum"))?;
+            hists.entry(hist.to_string()).or_default().1 = sum;
+            continue;
+        }
+        if let Some(hist) = name_part
+            .strip_suffix("_count")
+            .filter(|h| kinds.get(*h) == Some(&Kind::Histogram))
+        {
+            let count: u64 = value_part.parse().map_err(|_| err("bad histogram count"))?;
+            hists.entry(hist.to_string()).or_default().2 = count;
+            continue;
+        }
+        match kinds.get(name_part) {
+            Some(Kind::Counter) => {
+                let v: u64 = value_part.parse().map_err(|_| err("bad counter value"))?;
+                snap.counters.push((name_part.to_string(), v));
+            }
+            Some(Kind::Gauge) => {
+                let v: i64 = value_part.parse().map_err(|_| err("bad gauge value"))?;
+                snap.gauges.push((name_part.to_string(), v));
+            }
+            _ => return Err(err("sample without a preceding # TYPE")),
+        }
+    }
+
+    for (name, (mut cum_buckets, sum, count)) in hists {
+        cum_buckets.sort_by_key(|&(ub, _)| ub);
+        let mut buckets = Vec::with_capacity(cum_buckets.len());
+        let mut prev = 0u64;
+        for (ub, cum) in cum_buckets {
+            let c = cum
+                .checked_sub(prev)
+                .ok_or_else(|| format!("histogram {name}: non-cumulative buckets"))?;
+            if c > 0 {
+                buckets.push((ub, c));
+            }
+            prev = cum;
+        }
+        snap.histograms.push(HistogramSnapshot {
+            name,
+            count,
+            sum,
+            buckets,
+        });
+    }
+    snap.normalize();
+    Ok(snap)
+}
+
+/// Parses the JSON document produced by [`to_json`].
+pub fn parse_json(text: &str) -> Result<MetricsSnapshot, String> {
+    let doc = Json::parse(text)?;
+    let mut snap = MetricsSnapshot::default();
+    if let Some(members) = doc.get("counters").and_then(Json::entries) {
+        for (name, v) in members {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("counter {name}: not a u64"))?;
+            snap.counters.push((name.clone(), v));
+        }
+    }
+    if let Some(members) = doc.get("gauges").and_then(Json::entries) {
+        for (name, v) in members {
+            let v = v
+                .as_i64()
+                .ok_or_else(|| format!("gauge {name}: not an i64"))?;
+            snap.gauges.push((name.clone(), v));
+        }
+    }
+    if let Some(members) = doc.get("histograms").and_then(Json::entries) {
+        for (name, h) in members {
+            let count = h
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram {name}: missing count"))?;
+            let sum = h
+                .get("sum")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram {name}: missing sum"))?;
+            let mut buckets = Vec::new();
+            for pair in h
+                .get("buckets")
+                .and_then(Json::items)
+                .ok_or_else(|| format!("histogram {name}: missing buckets"))?
+            {
+                let pair = pair.items().ok_or("bucket entries are [ub, count] pairs")?;
+                let (ub, c) = match pair {
+                    [ub, c] => (ub.as_u64(), c.as_u64()),
+                    _ => (None, None),
+                };
+                match (ub, c) {
+                    (Some(ub), Some(c)) => buckets.push((ub, c)),
+                    _ => return Err(format!("histogram {name}: malformed bucket")),
+                }
+            }
+            snap.histograms.push(HistogramSnapshot {
+                name: name.clone(),
+                count,
+                sum,
+                buckets,
+            });
+        }
+    }
+    snap.normalize();
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{names, Registry};
+
+    fn populated() -> MetricsSnapshot {
+        let reg = Registry::new();
+        reg.counter(names::CELLS_TOTAL).add(123_456_789_012);
+        reg.counter(names::TILES_TOTAL).add(7);
+        reg.gauge(names::MEM_RESERVED_BYTES).set(-42);
+        reg.gauge(names::MEM_PEAK_BYTES).set(1 << 40);
+        let h = reg.histogram(names::TILE_NS);
+        for v in [3u64, 9, 9, 1000, 123_456, 77_000_000] {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_round_trips_exactly() {
+        let snap = populated();
+        let text = snap.to_prometheus();
+        let back = MetricsSnapshot::parse_prometheus(&text).unwrap();
+        assert_eq!(back, snap, "prometheus text:\n{text}");
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = populated();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::parse_json(&text).unwrap();
+        assert_eq!(back, snap, "json:\n{text}");
+    }
+
+    #[test]
+    fn parse_autodetects_format() {
+        let snap = populated();
+        assert_eq!(MetricsSnapshot::parse(&snap.to_json()).unwrap(), snap);
+        assert_eq!(MetricsSnapshot::parse(&snap.to_prometheus()).unwrap(), snap);
+    }
+
+    #[test]
+    fn prometheus_emits_cumulative_buckets_with_inf() {
+        let snap = populated();
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE flsa_tile_ns histogram"));
+        assert!(text.contains("flsa_tile_ns_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("flsa_tile_ns_count 6"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let empty = MetricsSnapshot::default();
+        assert_eq!(
+            MetricsSnapshot::parse_prometheus(&empty.to_prometheus()).unwrap(),
+            empty
+        );
+        assert_eq!(
+            MetricsSnapshot::parse_json(&empty.to_json()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(MetricsSnapshot::parse_prometheus("flsa_x 1").is_err());
+        assert!(MetricsSnapshot::parse_prometheus("# TYPE flsa_x counter\nflsa_x").is_err());
+        assert!(MetricsSnapshot::parse_prometheus("# TYPE flsa_x widget\nflsa_x 1").is_err());
+        assert!(MetricsSnapshot::parse_json("{\"counters\": {\"a\": -1}}").is_err());
+        assert!(MetricsSnapshot::parse_json("nope").is_err());
+    }
+
+    #[test]
+    fn histogram_with_zero_samples_round_trips() {
+        let reg = Registry::new();
+        let _ = reg.histogram(names::CHECKPOINT_FSYNC_NS);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].count, 0);
+        assert_eq!(
+            MetricsSnapshot::parse_prometheus(&snap.to_prometheus()).unwrap(),
+            snap
+        );
+        assert_eq!(MetricsSnapshot::parse_json(&snap.to_json()).unwrap(), snap);
+    }
+}

@@ -1,0 +1,303 @@
+//! The log-bucketed, thread-sharded latency/size histogram.
+//!
+//! Layout (HDR-style): values below 2^[`SUB_BITS`] get one exact bucket
+//! each; every higher octave `[2^m, 2^{m+1})` is split into
+//! 2^[`SUB_BITS`] linear sub-buckets, so the relative quantization error
+//! is bounded by `2^-SUB_BITS` (12.5% with the default of 3) across the
+//! whole `u64` range with a *fixed* table of [`N_BUCKETS`] slots.
+//!
+//! The record path is allocation-free and lock-free: compute the bucket
+//! index (a couple of shifts off `leading_zeros`), then three relaxed
+//! `fetch_add`s on the calling thread's shard. Shards exist only to
+//! spread cache-line contention — threads are assigned round-robin on
+//! first record — and are summed on snapshot, so the merged result is
+//! independent of which thread recorded what (shard-merge determinism:
+//! addition commutes).
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Sub-bucket resolution: 2^SUB_BITS linear sub-buckets per octave.
+pub(crate) const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+pub(crate) const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+/// Contention-spreading shard count (merged on snapshot).
+const N_SHARDS: usize = 8;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard slot, assigned round-robin on first record.
+    /// Shared by all histograms: the slot only spreads contention, it
+    /// carries no identity.
+    static SHARD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn shard_slot() -> usize {
+    SHARD_SLOT.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        // Relaxed: round-robin ticket draw; the ticket itself is the data.
+        let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+        s.set(v);
+        v
+    })
+}
+
+/// Bucket index for `v` (always `< N_BUCKETS`).
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    (octave << SUB_BITS) + sub
+}
+
+/// Smallest value landing in bucket `i`.
+pub(crate) fn bucket_lower_bound(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let octave = (i >> SUB_BITS) as u32;
+    let sub = (i & (SUB - 1)) as u64;
+    let msb = octave + SUB_BITS - 1;
+    (1u64 << msb) + (sub << (msb - SUB_BITS))
+}
+
+/// Largest value landing in bucket `i` (the inclusive `le` bound used in
+/// exports).
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 < N_BUCKETS {
+        bucket_lower_bound(i + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+struct Shard {
+    counts: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counts: Box::new([const { AtomicU64::new(0) }; N_BUCKETS]),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-size, mergeable distribution of `u64` samples (latencies in
+/// nanoseconds, sizes in bytes or cells).
+///
+/// Clones share the same underlying shards; see the module docs for the
+/// bucket layout and concurrency story.
+#[derive(Clone)]
+pub struct Histogram {
+    shards: Arc<[Shard; N_SHARDS]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            shards: Arc::new(std::array::from_fn(|_| Shard::new())),
+        }
+    }
+
+    /// Records one sample. Allocation-free and lock-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[shard_slot()];
+        // Relaxed: per-bucket event tallies merged additively on
+        // snapshot; no ordering between buckets or shards is needed.
+        shard.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            // Relaxed: best-effort readout of monotonic tallies.
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Merges all shards into a deterministic snapshot: non-empty
+    /// buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for s in self.shards.iter() {
+            // Relaxed: additive merge of independent tallies.
+            count += s.count.load(Ordering::Relaxed);
+            sum += s.sum.load(Ordering::Relaxed);
+        }
+        for i in 0..N_BUCKETS {
+            let c: u64 = self
+                .shards
+                .iter()
+                // Relaxed: additive merge of independent tallies.
+                .map(|s| s.counts[i].load(Ordering::Relaxed))
+                .sum();
+            if c > 0 {
+                buckets.push((bucket_upper_bound(i), c));
+            }
+        }
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum,
+            buckets,
+        }
+    }
+
+    /// Folds a snapshot's contents back in (see [`crate::Registry::seed`]).
+    /// Bucket counts land in the bucket owning the recorded upper bound,
+    /// which by construction is the bucket they came from.
+    pub fn seed(&self, snap: &HistogramSnapshot) {
+        let shard = &self.shards[0];
+        for &(ub, c) in &snap.buckets {
+            // Relaxed: additive merge of independent tallies.
+            shard.counts[bucket_index(ub)].fetch_add(c, Ordering::Relaxed);
+        }
+        shard.count.fetch_add(snap.count, Ordering::Relaxed); // Relaxed: additive merge
+        shard.sum.fetch_add(snap.sum, Ordering::Relaxed); // Relaxed: additive merge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_in_range() {
+        let mut vs: Vec<u64> = vec![0, 1, 2, 3];
+        for shift in 2..64 {
+            for delta in [0u64, 1, 3] {
+                vs.push((1u64 << shift).saturating_add(delta << (shift - 2)));
+            }
+        }
+        vs.sort_unstable();
+        let mut last = 0usize;
+        for v in vs {
+            let i = bucket_index(v);
+            assert!(i < N_BUCKETS, "v={v} i={i}");
+            assert!(i >= last, "v={v}: index went backwards");
+            last = i;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in [0u64, 1, 7, 8, 9, 100, 1000, 123_456_789, u64::MAX / 3] {
+            let i = bucket_index(v);
+            assert!(bucket_lower_bound(i) <= v, "v={v}");
+            assert!(v <= bucket_upper_bound(i), "v={v}");
+        }
+        // Bucket ranges tile the u64 line without gaps.
+        for i in 0..N_BUCKETS - 1 {
+            assert_eq!(bucket_upper_bound(i) + 1, bucket_lower_bound(i + 1));
+        }
+        assert_eq!(bucket_upper_bound(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_sub_bucket_resolution() {
+        for v in [100u64, 999, 5_000, 1 << 20, (1 << 40) + 12345] {
+            let i = bucket_index(v);
+            let width = bucket_upper_bound(i) - bucket_lower_bound(i);
+            assert!(
+                (width as f64) <= (v as f64) / (SUB as f64) + 1.0,
+                "v={v} width={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_sum_and_quantiles_track_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        let p50 = s.quantile(0.5);
+        assert!((400..=600).contains(&p50), "p50={p50}");
+        let p99 = s.quantile(0.99);
+        assert!((950..=1100).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn shard_merge_is_deterministic_across_interleavings() {
+        // The same multiset of samples, recorded under two different
+        // thread partitions, must merge to the identical snapshot.
+        let samples: Vec<u64> = (0..4000u64).map(|i| (i * 2654435761) % 100_000).collect();
+        let run = |chunks: usize| {
+            let h = Histogram::new();
+            std::thread::scope(|scope| {
+                for chunk in samples.chunks(samples.len() / chunks) {
+                    let h = h.clone();
+                    scope.spawn(move || {
+                        for &v in chunk {
+                            h.record(v);
+                        }
+                    });
+                }
+            });
+            let mut s = h.snapshot("t");
+            s.name = "t".to_string();
+            s
+        };
+        let a = run(1);
+        let b = run(4);
+        let c = run(8);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn seed_recovers_an_exported_distribution() {
+        let h = Histogram::new();
+        for v in [5u64, 90, 90, 4096, 70_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot("x");
+        let h2 = Histogram::new();
+        h2.seed(&snap);
+        assert_eq!(h2.snapshot("x"), snap);
+    }
+}

@@ -1,0 +1,340 @@
+//! **flsa-metrics** — low-overhead, always-on metrics for the FastLSA
+//! engine.
+//!
+//! Where `flsa-trace` records *every event* for post-hoc analysis of a
+//! single run, this crate keeps *aggregates* cheap enough to leave on for
+//! millions of runs: lock-free [`Counter`]s and [`Gauge`]s (one relaxed
+//! atomic op per record) and a log-bucketed, thread-sharded [`Histogram`]
+//! whose record path is a fixed-size array increment — no allocation, no
+//! locks, no syscalls. A long-running service scrapes the same numbers a
+//! one-shot CLI run writes on exit.
+//!
+//! Design rules:
+//!
+//! * **Global-free.** There is no process-wide default registry; every
+//!   run owns its [`Registry`] (usually behind an `Arc`) and threads it
+//!   through [`AlignOptions`-style plumbing]. Two concurrent alignments
+//!   never share counters by accident.
+//! * **Handle-based.** [`Registry::counter`] & friends are idempotent
+//!   get-or-create calls returning cheap `Arc`-backed handles. Layers
+//!   resolve their handles once at setup and record through the cached
+//!   handle, so the hot path never touches the registry lock.
+//! * **Named centrally.** Every metric name is a constant in
+//!   [`names`] — lint rule R7 (`flsa-check`) rejects inline name
+//!   literals at record sites, keeping the Prometheus namespace
+//!   collision-free by construction.
+//! * **Deterministic snapshots.** [`Registry::snapshot`] produces a
+//!   [`MetricsSnapshot`] sorted by metric name, with exporters to
+//!   Prometheus text format and JSON and parsers for both, so exports
+//!   round-trip and resumed runs can fold a previous run's snapshot back
+//!   in ([`Registry::seed`]).
+//!
+//! [`AlignOptions`-style plumbing]: Registry
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod names;
+pub mod progress;
+
+mod export;
+mod histogram;
+mod snapshot;
+
+pub use histogram::Histogram;
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A monotonically increasing event count.
+///
+/// Handles are cheap clones of one shared atomic; recording is a single
+/// relaxed `fetch_add`. A default-constructed (detached) counter works
+/// but is not visible in any snapshot — instrument structs use this so
+/// the metrics-off path costs one branch, not an `Option` per field.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (records are kept but
+    /// never exported; useful as a no-op default).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // Relaxed: independent monotonic counter; snapshots are
+        // best-effort cuts and nothing is published through this value.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed) // Relaxed: best-effort readout
+    }
+}
+
+/// A point-in-time level that can move both ways (bytes in use, current
+/// recursion depth, an enum-coded mode).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        // Relaxed: last-writer-wins level; readers tolerate any
+        // interleaving and no other memory is published through it.
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `d`.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed); // Relaxed: independent level change
+    }
+
+    /// Moves the level by `d` and returns the new level — one atomic op
+    /// where hot paths would otherwise pay an `add` plus a `get`.
+    #[inline]
+    pub fn add_get(&self, d: i64) -> i64 {
+        // Relaxed: independent level change; the returned level is this
+        // thread's own view, racing readers tolerate any interleaving.
+        self.0.fetch_add(d, Ordering::Relaxed) + d
+    }
+
+    /// Moves the level by `-d`.
+    #[inline]
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Ordering::Relaxed); // Relaxed: independent level change
+    }
+
+    /// Raises the level to at least `v` (high-water mark).
+    #[inline]
+    pub fn fetch_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed); // Relaxed: advisory high-water mark
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed) // Relaxed: best-effort readout
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A run-scoped collection of named metrics.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes the registry lock
+/// once and returns a shared handle; repeated registration of the same
+/// name returns a handle to the *same* underlying metric, so any layer
+/// holding the registry can build its instrument bundle independently.
+/// The record paths on the returned handles never touch this lock.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    ///
+    /// `name` is `&'static str` on purpose: names come from the
+    /// [`names`] module (lint rule R7), not from computed strings.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counter_raw(name)
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_raw(name)
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.histogram_raw(name)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn counter_raw(&self, name: &str) -> Counter {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => {
+                debug_assert!(false, "metric {name} registered with another kind");
+                Counter::detached()
+            }
+        }
+    }
+
+    fn gauge_raw(&self, name: &str) -> Gauge {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => {
+                debug_assert!(false, "metric {name} registered with another kind");
+                Gauge::detached()
+            }
+        }
+    }
+
+    fn histogram_raw(&self, name: &str) -> Histogram {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => {
+                debug_assert!(false, "metric {name} registered with another kind");
+                Histogram::new()
+            }
+        }
+    }
+
+    /// A deterministic point-in-time copy of every registered metric,
+    /// sorted by name within each kind.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push(h.snapshot(name)),
+            }
+        }
+        snap
+    }
+
+    /// Folds a previously exported snapshot back in: counters and
+    /// histogram contents are *added*, gauges are *set*. A resumed run
+    /// seeds its fresh registry from the snapshot the killed run wrote,
+    /// so the final export covers the whole logical alignment.
+    pub fn seed(&self, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            self.counter_raw(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge_raw(name).set(*v);
+        }
+        for h in &snap.histograms {
+            self.histogram_raw(&h.name).seed(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_idempotent_and_shared() {
+        let reg = Registry::new();
+        let a = reg.counter(names::CELLS_TOTAL);
+        let b = reg.counter(names::CELLS_TOTAL);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(names::CELLS_TOTAL), Some(4));
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_track_peaks() {
+        let reg = Registry::new();
+        let g = reg.gauge(names::MEM_RESERVED_BYTES);
+        g.add(100);
+        g.sub(40);
+        assert_eq!(g.get(), 60);
+        g.fetch_max(50);
+        assert_eq!(g.get(), 60, "fetch_max never lowers");
+        g.fetch_max(90);
+        assert_eq!(g.get(), 90);
+        g.set(-5);
+        assert_eq!(reg.snapshot().gauge(names::MEM_RESERVED_BYTES), Some(-5));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter(names::TILES_TOTAL).inc();
+        reg.counter(names::CELLS_TOTAL).inc();
+        reg.counter(names::BLOCKS_FILLED_TOTAL).inc();
+        let snap = reg.snapshot();
+        let ns: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = ns.clone();
+        sorted.sort_unstable();
+        assert_eq!(ns, sorted);
+    }
+
+    #[test]
+    fn detached_handles_record_but_do_not_export() {
+        let c = Counter::detached();
+        c.add(7);
+        assert_eq!(c.get(), 7);
+        let reg = Registry::new();
+        assert!(reg.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn seed_adds_counters_and_sets_gauges() {
+        let a = Registry::new();
+        a.counter(names::CELLS_TOTAL).add(100);
+        a.gauge(names::MEM_PEAK_BYTES).set(42);
+        a.histogram(names::TILE_NS).record(1000);
+        let snap = a.snapshot();
+
+        let b = Registry::new();
+        b.counter(names::CELLS_TOTAL).add(10);
+        b.seed(&snap);
+        b.counter(names::CELLS_TOTAL).add(1);
+        let merged = b.snapshot();
+        assert_eq!(merged.counter(names::CELLS_TOTAL), Some(111));
+        assert_eq!(merged.gauge(names::MEM_PEAK_BYTES), Some(42));
+        let h = merged.histogram(names::TILE_NS).unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 1000);
+    }
+
+    #[test]
+    fn registry_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Registry>();
+        assert_sync::<Counter>();
+        assert_sync::<Gauge>();
+        assert_sync::<Histogram>();
+    }
+}

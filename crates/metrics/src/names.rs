@@ -1,0 +1,231 @@
+//! The single authoritative namespace for metric names.
+//!
+//! Every metric the engine registers lives here as a constant, and lint
+//! rule R7 (`flsa-check`) rejects inline string literals at
+//! `counter("…")`/`gauge("…")`/`histogram("…")` call sites anywhere else
+//! in the workspace. That keeps the Prometheus namespace collision-free
+//! and greppable: this file *is* the catalogue of what the engine
+//! exports.
+//!
+//! Conventions: `flsa_` prefix, `_total` suffix for counters, `_bytes` /
+//! `_ns` unit suffixes, no dots or dashes (Prometheus name charset).
+
+// --- DP layer (flsa-dp) -------------------------------------------------
+
+/// DPM cells computed by fill kernels (counter).
+pub const CELLS_TOTAL: &str = "flsa_cells_total";
+/// Subset of cells computed inside base-case full-matrix solves (counter).
+pub const CELLS_BASE_CASE_TOTAL: &str = "flsa_cells_base_case_total";
+/// Fill-kernel invocations (counter).
+pub const KERNEL_CALLS_TOTAL: &str = "flsa_kernel_calls_total";
+/// FindPath traceback steps (counter).
+pub const TRACEBACK_STEPS_TOTAL: &str = "flsa_traceback_steps_total";
+/// Currently tracked auxiliary bytes (gauge, mirrors `Metrics::track_alloc`).
+pub const TRACKED_BYTES: &str = "flsa_tracked_bytes";
+/// High-water mark of tracked auxiliary bytes (gauge).
+pub const TRACKED_PEAK_BYTES: &str = "flsa_tracked_peak_bytes";
+
+/// Kernel backend currently in effect, as an index into [`BACKENDS`]
+/// (gauge; `-1` = unknown).
+pub const KERNEL_BACKEND: &str = "flsa_kernel_backend";
+
+/// Known kernel backend names, index-aligned with
+/// [`CELLS_BACKEND_TOTAL`] and with the [`KERNEL_BACKEND`] gauge value.
+pub const BACKENDS: &[&str] = &["scalar", "lanes", "sse4.1", "avx2"];
+/// Per-backend cell counters, index-aligned with [`BACKENDS`].
+pub const CELLS_BACKEND_TOTAL: &[&str] = &[
+    "flsa_cells_backend_scalar_total",
+    "flsa_cells_backend_lanes_total",
+    "flsa_cells_backend_sse41_total",
+    "flsa_cells_backend_avx2_total",
+];
+/// Cells attributed to a backend this crate does not know by name.
+pub const CELLS_BACKEND_OTHER_TOTAL: &str = "flsa_cells_backend_other_total";
+
+/// Index of a backend name in [`BACKENDS`].
+pub fn backend_index(name: &str) -> Option<usize> {
+    BACKENDS.iter().position(|b| *b == name)
+}
+
+/// The per-backend cell counter for a backend name.
+pub fn cells_for_backend(name: &str) -> &'static str {
+    backend_index(name)
+        .map(|i| CELLS_BACKEND_TOTAL[i])
+        .unwrap_or(CELLS_BACKEND_OTHER_TOTAL)
+}
+
+/// Display name for a [`KERNEL_BACKEND`] gauge value.
+pub fn backend_name(v: i64) -> &'static str {
+    usize::try_from(v)
+        .ok()
+        .and_then(|i| BACKENDS.get(i).copied())
+        .unwrap_or("?")
+}
+
+// --- Core engine (fastlsa-core) -----------------------------------------
+
+/// Grid-cache blocks filled (counter; base cases count one block).
+pub const BLOCKS_FILLED_TOTAL: &str = "flsa_blocks_filled_total";
+/// Degradation-ladder rungs taken across the run (counter).
+pub const DEGRADE_STEPS_TOTAL: &str = "flsa_degrade_steps_total";
+/// Current FindPath recursion depth (frame-stack height, gauge).
+pub const RECURSION_DEPTH: &str = "flsa_recursion_depth";
+/// Peak FindPath recursion depth (gauge).
+pub const RECURSION_DEPTH_PEAK: &str = "flsa_recursion_depth_peak";
+/// Solver drive-loop iterations (counter).
+pub const SOLVER_STEPS_TOTAL: &str = "flsa_solver_steps_total";
+/// Current engine phase, one of the `PHASE_*` values (gauge).
+pub const PHASE: &str = "flsa_phase";
+/// Expected total DPM cells for the run (gauge; `m*n` lower bound set by
+/// the caller, used for progress/ETA).
+pub const RUN_CELLS_EXPECTED: &str = "flsa_run_cells_expected";
+
+/// [`PHASE`] gauge values.
+pub const PHASE_IDLE: i64 = 0;
+pub const PHASE_GRID_FILL: i64 = 1;
+pub const PHASE_BASE_CASE: i64 = 2;
+pub const PHASE_TRACEBACK: i64 = 3;
+
+/// Display name for a [`PHASE`] gauge value.
+pub fn phase_name(v: i64) -> &'static str {
+    match v {
+        PHASE_GRID_FILL => "grid-fill",
+        PHASE_BASE_CASE => "base-case",
+        PHASE_TRACEBACK => "traceback",
+        _ => "idle",
+    }
+}
+
+// --- Memory governor ----------------------------------------------------
+
+/// Configured byte budget (gauge; 0 = unbounded).
+pub const MEM_BUDGET_BYTES: &str = "flsa_mem_budget_bytes";
+/// Bytes currently reserved against the budget (gauge).
+pub const MEM_RESERVED_BYTES: &str = "flsa_mem_reserved_bytes";
+/// High-water mark of reserved bytes (gauge).
+pub const MEM_PEAK_BYTES: &str = "flsa_mem_peak_bytes";
+/// Reservations refused by the governor (counter).
+pub const MEM_REFUSED_TOTAL: &str = "flsa_mem_refused_total";
+
+// --- Kernel arena (flsa-dp, observed from the solver) -------------------
+
+/// Bytes currently held by the kernel buffer arena (gauge).
+pub const ARENA_HELD_BYTES: &str = "flsa_arena_held_bytes";
+/// Buffers the arena had to allocate fresh (gauge, monotone per run).
+pub const ARENA_FRESH_ALLOCS: &str = "flsa_arena_fresh_allocs";
+/// Buffers served from the arena pool (gauge, monotone per run).
+pub const ARENA_REUSES: &str = "flsa_arena_reuses";
+
+// --- Wavefront pool (flsa-wavefront) ------------------------------------
+
+/// Nanoseconds workers spent inside tile work closures (counter).
+pub const WORKER_BUSY_NS_TOTAL: &str = "flsa_worker_busy_ns_total";
+/// Nanoseconds workers spent parked waiting for a fill (counter).
+pub const WORKER_IDLE_NS_TOTAL: &str = "flsa_worker_idle_ns_total";
+/// Times a worker parked on the dispatch channel (counter).
+pub const WORKER_PARKS_TOTAL: &str = "flsa_worker_parks_total";
+/// Wavefront tiles executed (counter).
+pub const TILES_TOTAL: &str = "flsa_tiles_total";
+/// Tiles currently executing (gauge).
+pub const TILES_INFLIGHT: &str = "flsa_tiles_inflight";
+/// Peak tiles executing at once — the observable proxy for ready-queue
+/// pressure (gauge).
+pub const TILES_INFLIGHT_PEAK: &str = "flsa_tiles_inflight_peak";
+/// Per-tile wall time in nanoseconds (histogram).
+pub const TILE_NS: &str = "flsa_tile_ns";
+
+// --- Checkpointing (flsa-checkpoint) ------------------------------------
+
+/// Snapshots durably saved (counter).
+pub const CHECKPOINT_SAVES_TOTAL: &str = "flsa_checkpoint_saves_total";
+/// Encoded snapshot bytes written (counter).
+pub const CHECKPOINT_BYTES_TOTAL: &str = "flsa_checkpoint_bytes_total";
+/// Wall time of the durability portion of a save — fsync + rename + dir
+/// fsync — in nanoseconds (histogram).
+pub const CHECKPOINT_FSYNC_NS: &str = "flsa_checkpoint_fsync_ns";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_names() -> Vec<&'static str> {
+        let mut v = vec![
+            CELLS_TOTAL,
+            CELLS_BASE_CASE_TOTAL,
+            KERNEL_CALLS_TOTAL,
+            TRACEBACK_STEPS_TOTAL,
+            TRACKED_BYTES,
+            TRACKED_PEAK_BYTES,
+            KERNEL_BACKEND,
+            CELLS_BACKEND_OTHER_TOTAL,
+            BLOCKS_FILLED_TOTAL,
+            DEGRADE_STEPS_TOTAL,
+            RECURSION_DEPTH,
+            RECURSION_DEPTH_PEAK,
+            SOLVER_STEPS_TOTAL,
+            PHASE,
+            RUN_CELLS_EXPECTED,
+            MEM_BUDGET_BYTES,
+            MEM_RESERVED_BYTES,
+            MEM_PEAK_BYTES,
+            MEM_REFUSED_TOTAL,
+            ARENA_HELD_BYTES,
+            ARENA_FRESH_ALLOCS,
+            ARENA_REUSES,
+            WORKER_BUSY_NS_TOTAL,
+            WORKER_IDLE_NS_TOTAL,
+            WORKER_PARKS_TOTAL,
+            TILES_TOTAL,
+            TILES_INFLIGHT,
+            TILES_INFLIGHT_PEAK,
+            TILE_NS,
+            CHECKPOINT_SAVES_TOTAL,
+            CHECKPOINT_BYTES_TOTAL,
+            CHECKPOINT_FSYNC_NS,
+        ];
+        v.extend_from_slice(CELLS_BACKEND_TOTAL);
+        v
+    }
+
+    #[test]
+    fn names_are_unique_and_prometheus_safe() {
+        let names = all_names();
+        let mut seen = std::collections::BTreeSet::new();
+        for n in &names {
+            assert!(seen.insert(n), "duplicate metric name {n}");
+            assert!(n.starts_with("flsa_"), "{n}: missing flsa_ prefix");
+            assert!(
+                n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{n}: invalid character for a Prometheus metric name"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_mapping_is_total_and_index_aligned() {
+        assert_eq!(BACKENDS.len(), CELLS_BACKEND_TOTAL.len());
+        assert_eq!(cells_for_backend("avx2"), "flsa_cells_backend_avx2_total");
+        assert_eq!(
+            cells_for_backend("sse4.1"),
+            "flsa_cells_backend_sse41_total"
+        );
+        assert_eq!(cells_for_backend("riscv-vector"), CELLS_BACKEND_OTHER_TOTAL);
+        assert_eq!(backend_name(0), "scalar");
+        assert_eq!(backend_name(-1), "?");
+        assert_eq!(backend_name(99), "?");
+        for (i, b) in BACKENDS.iter().enumerate() {
+            assert_eq!(backend_index(b), Some(i));
+            assert_eq!(backend_name(i as i64), *b);
+        }
+    }
+
+    #[test]
+    fn phase_names_cover_all_values() {
+        assert_eq!(phase_name(PHASE_IDLE), "idle");
+        assert_eq!(phase_name(PHASE_GRID_FILL), "grid-fill");
+        assert_eq!(phase_name(PHASE_BASE_CASE), "base-case");
+        assert_eq!(phase_name(PHASE_TRACEBACK), "traceback");
+        assert_eq!(phase_name(42), "idle");
+    }
+}

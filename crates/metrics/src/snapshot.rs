@@ -1,0 +1,173 @@
+//! Deterministic point-in-time snapshots and their query helpers.
+
+/// A deterministic copy of every metric in a [`crate::Registry`]:
+/// each kind's entries sorted by name, values exact (`u64`/`i64`, no
+/// floats), so two snapshots of identical state compare equal and both
+/// export formats round-trip losslessly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Every histogram, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// One histogram's merged contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (exact, not bucketized).
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending
+    /// by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A histogram's contents, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        crate::export::to_prometheus(self)
+    }
+
+    /// Renders the snapshot as JSON.
+    pub fn to_json(&self) -> String {
+        crate::export::to_json(self)
+    }
+
+    /// Parses a snapshot previously rendered by [`Self::to_prometheus`].
+    pub fn parse_prometheus(text: &str) -> Result<Self, String> {
+        crate::export::parse_prometheus(text)
+    }
+
+    /// Parses a snapshot previously rendered by [`Self::to_json`].
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        crate::export::parse_json(text)
+    }
+
+    /// Parses either export format (JSON when the text starts with `{`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text.trim_start().starts_with('{') {
+            Self::parse_json(text)
+        } else {
+            Self::parse_prometheus(text)
+        }
+    }
+
+    /// Sorts each kind's entries by name; parsers call this so parsed
+    /// snapshots compare equal to registry-produced ones.
+    pub(crate) fn normalize(&mut self) {
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (exact: `sum/count`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the inclusive upper bound
+    /// of the bucket the rank lands in (so the true value is ≤ the
+    /// returned bound, within one sub-bucket of resolution).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(ub, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return ub;
+            }
+        }
+        self.buckets.last().map(|&(ub, _)| ub).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("flsa_a_total".into(), 3), ("flsa_b_total".into(), 9)],
+            gauges: vec![("flsa_level".into(), -4)],
+            histograms: vec![HistogramSnapshot {
+                name: "flsa_lat_ns".into(),
+                count: 3,
+                sum: 60,
+                buckets: vec![(15, 2), (31, 1)],
+            }],
+        }
+    }
+
+    #[test]
+    fn lookup_helpers_find_entries() {
+        let s = sample();
+        assert_eq!(s.counter("flsa_b_total"), Some(9));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("flsa_level"), Some(-4));
+        assert_eq!(s.histogram("flsa_lat_ns").unwrap().count, 3);
+        assert!(!s.is_empty());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let h = sample().histograms[0].clone();
+        assert_eq!(h.quantile(0.0), 15);
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(1.0), 31);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile(0.99), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn normalize_sorts_every_kind() {
+        let mut s = sample();
+        s.counters.reverse();
+        s.normalize();
+        assert_eq!(s, sample());
+    }
+}

@@ -476,7 +476,17 @@ pub fn render_report(a: &Analysis) -> String {
         a.kernel_cells
     );
 
-    if !a.kernel_backends.is_empty() {
+    if a.kernel_backends.is_empty() {
+        // Say so explicitly: a silently missing section reads as "the
+        // report forgot", when the real story is that the trace holds no
+        // Kernel events (kernel-level recording off, or a run that never
+        // reached a fill).
+        let _ = writeln!(
+            out,
+            "\nkernel backends:\n  no kernel activity recorded — the trace contains zero Kernel \
+             events\n  (was the run traced end-to-end, and did it reach a fill?)"
+        );
+    } else {
         let _ = writeln!(out, "\nkernel backends:");
         for b in &a.kernel_backends {
             let rate = match b.cells_per_sec() {
@@ -804,6 +814,37 @@ mod tests {
         assert!(report.contains("kernel cells 42"));
         assert!(report.contains("kernel backends:"));
         assert!(report.contains("avx2"));
+    }
+
+    /// Regression: a trace with zero Kernel events used to omit the
+    /// backends section entirely, which read as a report bug. It must
+    /// say explicitly that no kernel activity was recorded.
+    #[test]
+    fn kernel_free_trace_reports_no_kernel_activity_explicitly() {
+        let trace = Trace {
+            meta: TraceMeta::default(),
+            events: vec![tile(0, 0, 0, 0, 0, 50)],
+        }
+        .sorted();
+        let a = analyze(&trace);
+        assert!(a.kernel_backends.is_empty());
+        let report = render_report(&a);
+        assert!(report.contains("kernel backends:"), "{report}");
+        assert!(report.contains("no kernel activity recorded"), "{report}");
+        // And a trace *with* kernel events must not carry the notice.
+        let with_kernels = analyze(&Trace {
+            meta: TraceMeta::default(),
+            events: vec![Event {
+                tid: 0,
+                start_ns: 0,
+                end_ns: 0,
+                kind: EventKind::Kernel {
+                    cells: 10,
+                    backend: "scalar",
+                },
+            }],
+        });
+        assert!(!render_report(&with_kernels).contains("no kernel activity"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod sync;
 
 pub use executor::{run_wavefront, run_wavefront_traced, WavefrontSpec};
 pub use phases::{alpha_factor, PhaseBreakdown};
-pub use pool::WorkerPool;
+pub use pool::{PoolMetrics, WorkerPool};
 pub use protocol::{sequential_wavefront, JobCore, JobError};
 pub use shared::DisjointBuf;
 pub use sim::{simulate_schedule, ScheduleResult};

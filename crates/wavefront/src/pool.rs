@@ -34,9 +34,11 @@
 //! cancellation ([`WorkerPool::run_with_cancel`]) drains the same way and
 //! surfaces as [`JobError::Cancelled`].
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
+use flsa_metrics::{names, Counter, Gauge, Histogram, Registry};
 
 pub use crate::protocol::JobError;
 use crate::protocol::{sequential_wavefront, JobCore};
@@ -90,6 +92,70 @@ impl JobState {
     }
 }
 
+/// Cached registry handles for pool occupancy accounting.
+///
+/// Everything is recorded *around* the protocol, never inside
+/// [`JobCore`] (which is model-checked and must stay metric-free): tile
+/// work is timed where the pool wraps the user closure, and idle time is
+/// measured around the dispatch-channel `recv` in the worker loop. The
+/// ready queue itself lives inside the protocol monitor, so queue
+/// pressure is exposed as the in-flight tile census
+/// ([`names::TILES_INFLIGHT`] / [`names::TILES_INFLIGHT_PEAK`]) rather
+/// than a queue-length gauge.
+#[derive(Clone, Debug)]
+pub struct PoolMetrics {
+    busy_ns: Counter,
+    idle_ns: Counter,
+    parks: Counter,
+    tiles: Counter,
+    inflight: Gauge,
+    inflight_peak: Gauge,
+    tile_ns: Histogram,
+}
+
+impl PoolMetrics {
+    /// Binds the wavefront occupancy handles in `reg`.
+    pub fn new(reg: &Registry) -> Self {
+        PoolMetrics {
+            busy_ns: reg.counter(names::WORKER_BUSY_NS_TOTAL),
+            idle_ns: reg.counter(names::WORKER_IDLE_NS_TOTAL),
+            parks: reg.counter(names::WORKER_PARKS_TOTAL),
+            tiles: reg.counter(names::TILES_TOTAL),
+            inflight: reg.gauge(names::TILES_INFLIGHT),
+            inflight_peak: reg.gauge(names::TILES_INFLIGHT_PEAK),
+            tile_ns: reg.histogram(names::TILE_NS),
+        }
+    }
+
+    /// Times one tile's work, attributing it to busy time, the tile
+    /// latency histogram, and the in-flight census.
+    fn tile(&self, r: usize, c: usize, work: &(dyn Fn(usize, usize) + Sync)) {
+        // Decrement on unwind too: a panicking tile poisons its job but
+        // must not wedge the census gauge for the rest of the process.
+        struct InflightGuard<'a>(&'a Gauge);
+        impl Drop for InflightGuard<'_> {
+            fn drop(&mut self) {
+                self.0.sub(1);
+            }
+        }
+        let now = self.inflight.add_get(1);
+        let _guard = InflightGuard(&self.inflight);
+        // Advisory peak: the cheap load-and-compare keeps the common
+        // steady-state case (census at or below the known peak) off the
+        // contended RMW; racing threads under-count transient spikes by
+        // at most the number of racers, fine for an occupancy indicator.
+        if now > self.inflight_peak.get() {
+            self.inflight_peak.fetch_max(now);
+        }
+        let start = Instant::now();
+        work(r, c);
+        let ns = start.elapsed().as_nanos() as u64;
+        self.busy_ns.add(ns);
+        self.tile_ns.record(ns);
+        self.tiles.inc();
+    }
+}
+
 /// A pool of `threads − 1` persistent workers plus the submitting thread.
 ///
 /// # Examples
@@ -110,6 +176,9 @@ pub struct WorkerPool {
     threads: usize,
     sender: Option<Sender<Arc<JobState>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// Occupancy handles, shared with the worker threads (which are
+    /// spawned before metrics can be attached, hence the `OnceLock`).
+    metrics: Arc<OnceLock<PoolMetrics>>,
 }
 
 impl WorkerPool {
@@ -122,11 +191,22 @@ impl WorkerPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "at least one thread required");
         let (sender, receiver) = unbounded::<Arc<JobState>>();
+        let metrics: Arc<OnceLock<PoolMetrics>> = Arc::new(OnceLock::new());
         let mut handles = Vec::with_capacity(threads - 1);
         for _ in 1..threads {
             let rx = receiver.clone();
+            let slot = Arc::clone(&metrics);
             handles.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
+                loop {
+                    // The blocking `recv` is the pool's only idle point:
+                    // time it so busy/idle occupancy can be computed, and
+                    // count each successful wake-up as one park cycle.
+                    let wait = Instant::now();
+                    let Ok(job) = rx.recv() else { break };
+                    if let Some(m) = slot.get() {
+                        m.idle_ns.add(wait.elapsed().as_nanos() as u64);
+                        m.parks.inc();
+                    }
                     // A panicking tile poisons the job (the submitting
                     // thread re-raises it); swallow the unwind here so
                     // this worker survives for the next job.
@@ -140,12 +220,21 @@ impl WorkerPool {
             threads,
             sender: Some(sender),
             handles,
+            metrics,
         }
     }
 
     /// Total threads (including the submitting one).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attaches occupancy metrics to this pool. All subsequent jobs (on
+    /// every thread) record busy/idle time, park counts, and per-tile
+    /// latency through the handles. A second call is a no-op: the worker
+    /// threads hold a `OnceLock` view of the handles.
+    pub fn set_metrics(&self, metrics: PoolMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// Runs one wavefront job, blocking until every live tile finished.
@@ -187,6 +276,20 @@ impl WorkerPool {
             return Ok(());
         }
         let skip_mask: Vec<bool> = (0..rows * cols).map(|i| skip(i / cols, i % cols)).collect();
+
+        // With metrics attached, wrap the tile closure in the timing
+        // shim. The wrapper lives in this frame, which `run_with_cancel`
+        // only leaves after the job is quiescent, so the lifetime-erasure
+        // protocol below is unchanged.
+        let pool_metrics = self.metrics.get().cloned();
+        let metered;
+        let work: &(dyn Fn(usize, usize) + Sync) = match &pool_metrics {
+            Some(m) => {
+                metered = move |r: usize, c: usize| m.tile(r, c, work);
+                &metered
+            }
+            None => work,
+        };
 
         if self.threads == 1 {
             let cancelled = std::cell::Cell::new(false);
@@ -513,6 +616,59 @@ mod tests {
         pool.run_traced(2, 2, |_, _| false, &|_, _| {}, None, None)
             .unwrap();
         assert_eq!(recorder.snapshot().events.len(), before);
+    }
+
+    #[test]
+    fn pool_metrics_account_tiles_and_occupancy() {
+        let reg = Registry::new();
+        let mut pool = WorkerPool::new(4);
+        pool.set_metrics(PoolMetrics::new(&reg));
+        pool.run(6, 6, |_, _| false, &|_, _| {
+            std::hint::black_box(0u64);
+        })
+        .unwrap();
+        pool.run(2, 2, |r, c| r == 1 && c == 1, &|_, _| {}).unwrap();
+        // Join the workers so every park/idle sample has landed.
+        drop(pool);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(names::TILES_TOTAL), Some(36 + 3));
+        let h = snap.histogram(names::TILE_NS).unwrap();
+        assert_eq!(h.count, 36 + 3);
+        assert!(snap.counter(names::WORKER_BUSY_NS_TOTAL).unwrap() > 0);
+        // Each of the 3 workers received each of the 2 jobs once.
+        assert_eq!(snap.counter(names::WORKER_PARKS_TOTAL), Some(6));
+        assert_eq!(snap.gauge(names::TILES_INFLIGHT), Some(0));
+        let peak = snap.gauge(names::TILES_INFLIGHT_PEAK).unwrap();
+        assert!((1..=4).contains(&peak), "peak={peak}");
+    }
+
+    #[test]
+    fn sequential_pool_records_tiles_without_idle_time() {
+        let reg = Registry::new();
+        let mut pool = WorkerPool::new(1);
+        pool.set_metrics(PoolMetrics::new(&reg));
+        pool.run(3, 4, |_, _| false, &|_, _| {}).unwrap();
+        drop(pool);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(names::TILES_TOTAL), Some(12));
+        assert_eq!(snap.counter(names::WORKER_PARKS_TOTAL), Some(0));
+        assert_eq!(snap.counter(names::WORKER_IDLE_NS_TOTAL), Some(0));
+        assert_eq!(snap.gauge(names::TILES_INFLIGHT), Some(0));
+    }
+
+    #[test]
+    fn metrics_inflight_census_recovers_from_tile_panics() {
+        let reg = Registry::new();
+        let mut pool = WorkerPool::new(2);
+        pool.set_metrics(PoolMetrics::new(&reg));
+        let result = pool.run(3, 3, |_, _| false, &|r, c| {
+            if (r, c) == (1, 1) {
+                panic!("tile failure");
+            }
+        });
+        assert_eq!(result, Err(JobError::TilePanicked));
+        drop(pool);
+        assert_eq!(reg.snapshot().gauge(names::TILES_INFLIGHT), Some(0));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`wavefront`] — the wavefront scheduling substrate;
 //! * [`cachesim`] — the cache-hierarchy simulator behind experiment E10;
 //! * [`trace`] — the execution-trace recorder, analysis and exporters
-//!   behind `flsa align --trace` / `flsa report`.
+//!   behind `flsa align --trace` / `flsa report`;
+//! * [`metrics`] — the low-overhead counters/gauges/histograms behind
+//!   `flsa align --metrics` / `--progress` (DESIGN.md §12).
 //!
 //! # Example
 //!
@@ -57,6 +59,7 @@ pub use flsa_cachesim as cachesim;
 pub use flsa_dp as dp;
 pub use flsa_fullmatrix as fullmatrix;
 pub use flsa_hirschberg as hirschberg;
+pub use flsa_metrics as metrics;
 pub use flsa_msa as msa;
 pub use flsa_scoring as scoring;
 pub use flsa_seq as seq;

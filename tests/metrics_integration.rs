@@ -1,0 +1,122 @@
+//! Metrics ↔ trace agreement on a real parallel FastLSA run.
+//!
+//! The trace recorder and the metrics registry observe the same kernel
+//! call sites through mirrored sinks (DESIGN.md §12), so their numbers
+//! must agree *exactly* — total cells, kernel calls, and the per-backend
+//! split — not merely approximately. The same snapshot must also survive
+//! both export formats round-trip, because `flsa resume --metrics` seeds
+//! a fresh registry from whichever file the killed run left behind.
+
+use std::sync::Arc;
+
+use fastlsa::metrics::{names, MetricsSnapshot, Registry};
+use fastlsa::prelude::*;
+use fastlsa::trace::{analyze, Recorder};
+
+fn metered_traced_run(threads: usize) -> (Registry, fastlsa::trace::Trace) {
+    let scheme = ScoringScheme::dna_default();
+    let (a, b) = generate::homologous_pair("m", &Alphabet::dna(), 2000, 0.85, 23).unwrap();
+    let recorder = Arc::new(Recorder::new());
+    let registry = Registry::new();
+    let metrics = Metrics::with_recorder(Arc::clone(&recorder)).with_registry(&registry);
+    // Same shape rationale as tests/trace_integration.rs: base = 2^17
+    // keeps the k=8 sub-blocks large enough for the parallel tiled fill.
+    let cfg = FastLsaConfig::new(8, 1 << 17).with_threads(threads);
+    let opts = AlignOptions {
+        registry: Some(Arc::new(Registry::new())),
+        ..AlignOptions::default()
+    };
+    // The engine-level registry (opts.registry) and the kernel-level one
+    // (metrics.with_registry) are deliberately distinct here: this test
+    // pins the kernel-side mirror against the trace.
+    let result = fastlsa::align_opts(&a, &b, &scheme, cfg, &opts, &metrics).unwrap();
+    assert_eq!(result.path.score(&a, &b, &scheme), result.score);
+    (registry, recorder.snapshot())
+}
+
+#[test]
+fn per_backend_cell_counts_match_the_trace_exactly() {
+    for threads in [1, 4] {
+        let (registry, trace) = metered_traced_run(threads);
+        let snap = registry.snapshot();
+        let analysis = analyze(&trace);
+
+        assert_eq!(
+            snap.counter(names::CELLS_TOTAL),
+            Some(analysis.kernel_cells),
+            "threads={threads}: total cells"
+        );
+        assert_eq!(
+            snap.counter(names::KERNEL_CALLS_TOTAL),
+            Some(analysis.kernel_events as u64),
+            "threads={threads}: kernel calls"
+        );
+
+        // The per-backend split: every backend the trace saw must have a
+        // matching counter, and the named-backend counters must sum to
+        // the total (nothing leaked into the "other" bucket).
+        assert!(!analysis.kernel_backends.is_empty());
+        let mut split_sum = 0u64;
+        for b in &analysis.kernel_backends {
+            let metric = names::cells_for_backend(b.backend);
+            assert_eq!(
+                snap.counter(metric),
+                Some(b.cells),
+                "threads={threads}: cells[{}]",
+                b.backend
+            );
+            split_sum += b.cells;
+        }
+        assert_eq!(split_sum, analysis.kernel_cells, "threads={threads}");
+        assert_eq!(
+            snap.counter(names::CELLS_BACKEND_OTHER_TOTAL).unwrap_or(0),
+            0,
+            "threads={threads}: no cells may land in the unnamed-backend bucket"
+        );
+    }
+}
+
+#[test]
+fn snapshot_survives_both_export_formats() {
+    let (registry, _) = metered_traced_run(2);
+    let snap = registry.snapshot();
+
+    let from_prom = MetricsSnapshot::parse(&snap.to_prometheus()).unwrap();
+    let from_json = MetricsSnapshot::parse(&snap.to_json()).unwrap();
+    for back in [&from_prom, &from_json] {
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms.len(), snap.histograms.len());
+        for (h0, h1) in snap.histograms.iter().zip(&back.histograms) {
+            assert_eq!(h0.name, h1.name);
+            assert_eq!(h0.count, h1.count);
+            assert_eq!(h0.sum, h1.sum);
+            assert_eq!(h0.buckets, h1.buckets);
+        }
+    }
+}
+
+#[test]
+fn seeding_a_registry_composes_counters_across_restarts() {
+    // A resumed run folds the killed run's export into a fresh registry;
+    // counters must add and gauges must carry, and the composed snapshot
+    // must again survive an export round-trip.
+    let (first, _) = metered_traced_run(1);
+    let exported = first.snapshot();
+
+    let resumed = Registry::new();
+    resumed.seed(&exported);
+    resumed.counter(names::CELLS_TOTAL).add(100);
+
+    let snap = resumed.snapshot();
+    assert_eq!(
+        snap.counter(names::CELLS_TOTAL),
+        exported.counter(names::CELLS_TOTAL).map(|c| c + 100)
+    );
+    assert_eq!(
+        snap.gauge(names::KERNEL_BACKEND),
+        exported.gauge(names::KERNEL_BACKEND)
+    );
+    let back = MetricsSnapshot::parse(&snap.to_prometheus()).unwrap();
+    assert_eq!(back.counters, snap.counters);
+}
