@@ -1,0 +1,84 @@
+//! Semantic audit driver: `cargo run -p flsa-check --bin audit [ROOT] [--json FILE]`.
+//!
+//! Parses the production sources under ROOT (default: this workspace)
+//! into an item-level model and runs the interprocedural passes in
+//! [`flsa_check::audit`]: R8 panic-reachability over the DP/kernel call
+//! graph, R9 feature-detection dominance for `#[target_feature]` call
+//! sites, and R10 overflow certification of the DP recurrence. With
+//! `--json FILE` the derived overflow certificate (plus the finding
+//! count) is written as machine-readable JSON for the CI artifact.
+//!
+//! Exit codes mirror the lint: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => {
+                eprintln!("usage: audit [WORKSPACE_ROOT] [--json FILE]");
+                eprintln!("semantic workspace analysis: R8 panic-reachability,");
+                eprintln!("R9 feature-detection dominance, R10 overflow certification.");
+                eprintln!("--json FILE  write the overflow certificate as JSON");
+                return ExitCode::SUCCESS;
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("audit: --json requires a file path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("audit: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path if root.is_none() => root = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("audit: unexpected argument `{extra}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let root = root.unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let report = match flsa_check::audit::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: cannot read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if let Some(path) = json {
+        let doc = report.certificate.to_json(report.findings.len());
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("audit: cannot write certificate {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("audit: certificate written to {}", path.display());
+    }
+    let cert = &report.certificate;
+    println!(
+        "audit: certified i32-safe span m+n <= {} (S={}, G={}, C+G={})",
+        cert.max_span, cert.sub_abs_max, cert.gap_abs_max, cert.unit_cost
+    );
+    if report.findings.is_empty() {
+        println!("audit: workspace clean (R8 panic-reachability, R9 detection-dominance, R10 overflow-cert)");
+        ExitCode::SUCCESS
+    } else {
+        println!("audit: {} finding(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -15,10 +15,19 @@
 //!   unsafe-hygiene rules: `// SAFETY:` comments on `unsafe`, panic-free
 //!   DP hot kernels, justified `Ordering::Relaxed`, and
 //!   `#![forbid(unsafe_code)]` on crates with no unsafe code.
+//! * **Semantic audit** — an item-level Rust parser ([`parse`]) feeding
+//!   three interprocedural passes ([`audit`], exposed as
+//!   `cargo run -p flsa-check --bin audit`): R8 panic-reachability over
+//!   the DP/kernel call graph, R9 feature-detection dominance for
+//!   `#[target_feature]` call sites, and R10 overflow certification of
+//!   the DP recurrence with a machine-readable certificate
+//!   (DESIGN.md §13).
 
+pub mod audit;
 pub mod clock;
 pub mod exec;
 pub mod explore;
 pub mod lint;
 pub mod model;
+pub mod parse;
 pub mod vsync;

@@ -82,20 +82,20 @@ impl std::fmt::Display for Finding {
 }
 
 /// Files whose inner loops are DP hot kernels (rule R2).
-const HOT_FILES: &[&str] = &[
+pub(crate) const HOT_FILES: &[&str] = &[
     "crates/dp/src/kernel.rs",
     "crates/dp/src/affine.rs",
     "crates/dp/src/antidiagonal.rs",
 ];
 
 /// Directory prefixes that are hot wholesale (rule R2).
-const HOT_PREFIXES: &[&str] = &["crates/fullmatrix/src/", "crates/dp/src/simd/"];
+pub(crate) const HOT_PREFIXES: &[&str] = &["crates/fullmatrix/src/", "crates/dp/src/simd/"];
 
 /// The only directory allowed to hold `#[target_feature]` fns (rule R6).
 const SIMD_DIR: &str = "crates/dp/src/simd/";
 
 /// Panic-family tokens banned in hot kernels.
-const PANIC_TOKENS: &[&str] = &[
+pub(crate) const PANIC_TOKENS: &[&str] = &[
     ".unwrap()",
     ".expect(",
     "panic!",
@@ -109,7 +109,8 @@ const UNWRAP_TOKENS: &[&str] = &[".unwrap()", ".expect("];
 
 /// Crates exempt from R5: binaries and dev tooling whose top level *is*
 /// the process, so panicking on a broken invariant is acceptable there.
-const UNWRAP_EXEMPT_PREFIXES: &[&str] = &["crates/cli/", "crates/bench/", "crates/check/"];
+pub(crate) const UNWRAP_EXEMPT_PREFIXES: &[&str] =
+    &["crates/cli/", "crates/bench/", "crates/check/"];
 
 /// Registration calls that must take a `flsa_metrics::names` constant,
 /// not an inline literal (rule R7). The lexer blanks string contents but
@@ -121,21 +122,21 @@ const METRIC_TOKENS: &[&str] = &[".counter(\"", ".gauge(\"", ".histogram(\""];
 /// crate itself, which defines both the API and the names module.
 const METRICS_CRATE_PREFIX: &str = "crates/metrics/src/";
 
-const ALLOW_PANIC: &str = "flsa-check: allow(panic)";
+pub(crate) const ALLOW_PANIC: &str = "flsa-check: allow(panic)";
 const ALLOW_RELAXED: &str = "flsa-check: allow(relaxed)";
-const ALLOW_UNWRAP: &str = "flsa-check: allow(unwrap)";
+pub(crate) const ALLOW_UNWRAP: &str = "flsa-check: allow(unwrap)";
 const ALLOW_METRIC_NAME: &str = "flsa-check: allow(metric-name)";
 
-fn is_hot(rel: &str) -> bool {
+pub(crate) fn is_hot(rel: &str) -> bool {
     HOT_FILES.contains(&rel) || HOT_PREFIXES.iter().any(|p| rel.starts_with(p))
 }
 
 /// One source line after lexing: executable text with strings blanked,
 /// and the concatenated comment text.
 #[derive(Clone, Debug, Default)]
-struct Line {
-    code: String,
-    comment: String,
+pub(crate) struct Line {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 /// Lexer state carried across lines: block-comment depth, an open raw
@@ -279,7 +280,7 @@ fn raw_string_start(b: &[char], i: usize) -> Option<RawStart> {
     }
 }
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
@@ -289,7 +290,7 @@ fn prev_is_ident(code: &str) -> bool {
 
 /// True when `code` contains `tok` as a standalone identifier (not as a
 /// substring of a longer identifier, e.g. `unsafe` inside `unsafe_code`).
-fn has_token(code: &str, tok: &str) -> bool {
+pub(crate) fn has_token(code: &str, tok: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = code[start..].find(tok) {
         let p = start + pos;
@@ -304,7 +305,7 @@ fn has_token(code: &str, tok: &str) -> bool {
     false
 }
 
-fn lex(text: &str) -> Vec<Line> {
+pub(crate) fn lex(text: &str) -> Vec<Line> {
     let mut lexer = Lexer::default();
     text.lines().map(|l| lexer.feed(l)).collect()
 }
@@ -312,7 +313,7 @@ fn lex(text: &str) -> Vec<Line> {
 /// Index of the first `#[cfg(test)]` line, i.e. where the trailing test
 /// module starts (the workspace convention); lines from there on are
 /// exempt from R2/R3.
-fn test_region_start(lines: &[Line]) -> usize {
+pub(crate) fn test_region_start(lines: &[Line]) -> usize {
     lines
         .iter()
         .position(|l| l.code.contains("#[cfg(test)]"))
@@ -343,7 +344,7 @@ fn r1_satisfied(lines: &[Line], idx: usize) -> bool {
 }
 
 /// R2/R3 escape hatch: the marker on the same or the previous line.
-fn has_marker(lines: &[Line], idx: usize, marker: &str) -> bool {
+pub(crate) fn has_marker(lines: &[Line], idx: usize, marker: &str) -> bool {
     lines[idx].comment.contains(marker) || (idx > 0 && lines[idx - 1].comment.contains(marker))
 }
 
@@ -459,7 +460,7 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) -> bool {
 }
 
 /// The first `"…"` literal in `s`, if any.
-fn first_quoted(s: &str) -> Option<&str> {
+pub(crate) fn first_quoted(s: &str) -> Option<&str> {
     let open = s.find('"')?;
     let rest = &s[open + 1..];
     let close = rest.find('"')?;

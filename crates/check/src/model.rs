@@ -19,7 +19,11 @@
 //!   (inv. 6);
 //! * a cancellation observed at a tile (`abort_cancelled`, mirroring
 //!   the pool's cancel-callback path) marks the job cancelled, skips
-//!   the tile's work, and still drains every participant (inv. 7).
+//!   the tile's work, and still drains every participant (inv. 7);
+//! * the tile set captured after quiescence — what the real solver
+//!   persists as a [`fastlsa_core::CheckpointState`] — is a *consistent
+//!   cut* of the dependency order, even when the run was cancelled or
+//!   poisoned mid-wavefront (inv. 8; [`check_checkpoint_schedule`]).
 
 use std::sync::{Arc, Mutex};
 
@@ -272,6 +276,123 @@ pub fn check_schedule(policy: SchedPolicy, spec: &ModelSpec) -> Result<ScheduleO
     Ok(outcome)
 }
 
+/// Runs one schedule of the pool scenario and captures the tile cut the
+/// submitter would persist as a checkpoint, checking invariant 8: the
+/// captured set is a *consistent cut* of the wavefront dependency order
+/// (down-closed: a done tile's live parents are done), so a resume can
+/// rebuild the frontier from it without re-running finished work or
+/// starting a tile whose inputs are missing.
+///
+/// The spec may cancel or panic mid-wavefront (that is the interesting
+/// case — the cut is partial, and *which* tiles made it in depends on
+/// the preemption point). After `wait_quiescent` the submitter
+/// plain-reads every tile cell, exactly like the real checkpoint sink
+/// reading solver state after the workers drained; the [`RaceCell`]s
+/// turn any missing happens-before edge on that capture into a failed
+/// schedule. Returns the outcome and the cut (`cut[r * cols + c]`).
+pub fn check_checkpoint_schedule(
+    policy: SchedPolicy,
+    spec: &ModelSpec,
+) -> Result<(ScheduleOutcome, Vec<bool>), String> {
+    let n = spec.rows * spec.cols;
+    let runs: Mutex<Vec<u32>> = Mutex::new(vec![0; n]);
+    let captured: Mutex<Option<Vec<bool>>> = Mutex::new(None);
+
+    let outcome = run_schedule(policy, |scope| {
+        let shared = Arc::new(Shared {
+            core: JobCore::new(spec.rows, spec.cols, spec.skip.clone()),
+            cells: (0..n).map(|_| RaceCell::new(0)).collect(),
+            alive: RaceCell::new(true),
+        });
+        for _ in 1..spec.threads {
+            let shared = Arc::clone(&shared);
+            let runs = &runs;
+            scope.spawn(move || {
+                shared
+                    .core
+                    .participate(|r, c| tile_work(&shared, spec, runs, r, c));
+            });
+        }
+        let participation = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared
+                .core
+                .participate(|r, c| tile_work(&shared, spec, &runs, r, c));
+        }));
+        shared.core.wait_quiescent();
+        // The checkpoint capture: a plain read of every tile's cell.
+        // Safe only because quiescence established a happens-before
+        // edge from every worker — which the race detector verifies.
+        let cut: Vec<bool> = shared.cells.iter().map(|c| c.get() == 1).collect();
+        *captured
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cut);
+        shared.alive.set(false);
+        if let Err(payload) = participation {
+            std::panic::resume_unwind(payload);
+        }
+    });
+
+    if let Some(dl) = &outcome.deadlock {
+        return Err(format!("schedule {:#x}: {dl}", outcome.schedule_hash));
+    }
+    let panics = outcome.real_panics();
+    if !panics.is_empty() {
+        return Err(format!(
+            "schedule {:#x}: {}",
+            outcome.schedule_hash,
+            panics.join("; ")
+        ));
+    }
+
+    let cut = captured
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .ok_or_else(|| "submitter never captured the checkpoint cut".to_string())?;
+    let runs = runs
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for (idx, &done) in cut.iter().enumerate() {
+        let (r, c) = (idx / spec.cols, idx % spec.cols);
+        if spec.skip[idx] && done {
+            return Err(format!("checkpoint cut contains skipped tile ({r},{c})"));
+        }
+        // The capture must agree with the host-side mirror: a tile is in
+        // the cut iff its work ran (no lost or phantom publication).
+        if done != (runs[idx] == 1) {
+            return Err(format!(
+                "cut disagrees with run counts at ({r},{c}): done={done}, runs={}",
+                runs[idx]
+            ));
+        }
+        if !done {
+            continue;
+        }
+        // Invariant 8: down-closure under the wavefront dependency order.
+        if r > 0 && !spec.skip[(r - 1) * spec.cols + c] && !cut[(r - 1) * spec.cols + c] {
+            return Err(format!(
+                "inconsistent cut: ({r},{c}) done but up-parent ({},{c}) missing",
+                r - 1
+            ));
+        }
+        if c > 0 && !spec.skip[r * spec.cols + c - 1] && !cut[r * spec.cols + c - 1] {
+            return Err(format!(
+                "inconsistent cut: ({r},{c}) done but left-parent ({r},{}) missing",
+                c - 1
+            ));
+        }
+    }
+    if spec.panic_at.is_none() && spec.cancel_at.is_none() {
+        let done = cut.iter().filter(|&&d| d).count();
+        if done != spec.live() {
+            return Err(format!(
+                "clean run captured a partial cut: {done} of {} live tiles",
+                spec.live()
+            ));
+        }
+    }
+    Ok((outcome, cut))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +432,28 @@ mod tests {
         for seed in 0..30 {
             check_schedule(SchedPolicy::random(seed, 40, 10), &spec)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn checkpoint_cut_is_complete_on_clean_runs() {
+        let spec = ModelSpec::dense(2, 2, 2);
+        for seed in 0..20 {
+            let (_, cut) = check_checkpoint_schedule(SchedPolicy::random(seed, 40, 10), &spec)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(cut.iter().all(|&d| d), "seed {seed}: partial cut {cut:?}");
+        }
+    }
+
+    #[test]
+    fn cancelled_checkpoint_cut_is_consistent_and_partial() {
+        let spec = ModelSpec::dense(2, 2, 2).with_cancel_at(1, 0);
+        for seed in 0..30 {
+            // check_checkpoint_schedule itself asserts down-closure; the
+            // cancelled tile must additionally never be in the cut.
+            let (_, cut) = check_checkpoint_schedule(SchedPolicy::random(seed, 40, 10), &spec)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!cut[2], "seed {seed}: cancelled tile captured as done");
         }
     }
 

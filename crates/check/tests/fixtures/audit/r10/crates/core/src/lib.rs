@@ -1,0 +1,15 @@
+//! R10 fixture: an alignment entry point that validates structure but
+//! never reaches the i32-overflow guard (`max_safe_span` /
+//! `validate_run`), so a pathological span would wrap cell scores.
+
+pub fn align_opts(m: usize, n: usize) -> Result<usize, String> {
+    validate(m, n)?;
+    Ok(m + n)
+}
+
+fn validate(m: usize, n: usize) -> Result<(), String> {
+    if m == 0 || n == 0 {
+        return Err("empty problem".to_string());
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! R8 fixture: a solver entry point reaches a panic through two hops —
+//! the regex lint cannot see this, the call-graph closure must.
+
+pub fn run(input: &[i32]) -> i32 {
+    helper(input)
+}
+
+fn helper(input: &[i32]) -> i32 {
+    deepest(input)
+}
+
+fn deepest(input: &[i32]) -> i32 {
+    *input.first().unwrap()
+}

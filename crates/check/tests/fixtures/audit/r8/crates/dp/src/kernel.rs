@@ -1,0 +1,9 @@
+//! R8 fixture: a public hot-kernel fn indexes its slices with no
+//! release-mode bounds guard (only a debug_assert, which compiles out).
+
+pub fn fill_row(prev: &[i32], cur: &mut [i32], gap: i32) {
+    debug_assert!(prev.len() == cur.len());
+    for j in 1..cur.len() {
+        cur[j] = prev[j - 1].max(cur[j - 1]) + gap;
+    }
+}

@@ -1,0 +1,12 @@
+//! R9 fixture: a `#[target_feature]` fn called with no dominating
+//! feature proof — no caller attribute, no `is_x86_feature_detected!`,
+//! no force-gate consultation, no guarded constructor.
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn row_update_avx2(cur: &mut [i32]) {
+    let _ = cur;
+}
+
+pub fn dispatch(cur: &mut [i32]) {
+    unsafe { row_update_avx2(cur) }
+}

@@ -172,3 +172,123 @@ fn replaying_a_dfs_trace_reproduces_the_schedule() {
         }
     }
 }
+
+// ---- invariant 8: checkpoint capture is a consistent, resumable cut ----
+
+use fastlsa_core::{CheckpointState, FastLsaConfig, FrameState, GridState};
+use flsa_check::model::check_checkpoint_schedule;
+
+/// Exhaustively explores `spec` under `bound` preemptions through the
+/// checkpoint-capture scenario; returns the distinct captured cuts.
+fn explore_checkpoint_exhaustive(spec: &ModelSpec, bound: u32, cap: u64) -> HashSet<Vec<bool>> {
+    let mut dfs = DfsExplorer::new(bound);
+    let mut cuts = HashSet::new();
+    let mut n = 0u64;
+    while let Some(policy) = dfs.next_policy() {
+        let (out, cut) = check_checkpoint_schedule(policy, spec)
+            .unwrap_or_else(|e| panic!("schedule {n} (bound {bound}): {e}"));
+        cuts.insert(cut);
+        dfs.advance(out.policy.trace());
+        n += 1;
+        assert!(n <= cap, "DFS exceeded the expected schedule budget");
+    }
+    assert!(dfs.exhausted());
+    cuts
+}
+
+/// Maps a captured tile cut onto the `CheckpointState` the solver would
+/// persist at that point: a root frame over the DP rectangle the tile
+/// grid covers, gridded along the tile boundaries, with the head at the
+/// frontier's staircase corner. `check_checkpoint_schedule` has already
+/// proven the cut down-closed, which is exactly what makes this frame
+/// geometry well-formed.
+fn state_from_cut(rows: usize, cols: usize, cut: &[bool]) -> CheckpointState {
+    const TILE: usize = 4; // DP cells per tile edge
+    let (m, n) = (rows * TILE, cols * TILE);
+    let full_rows = (0..rows)
+        .take_while(|&r| (0..cols).all(|c| cut[r * cols + c]))
+        .count();
+    let next_row_done = if full_rows < rows {
+        (0..cols).take_while(|&c| cut[full_rows * cols + c]).count()
+    } else {
+        0
+    };
+    CheckpointState {
+        config: FastLsaConfig::new(rows.max(cols).max(2), 64),
+        blocks_done: cut.iter().filter(|&&d| d).count() as u64,
+        generation: 0,
+        rev_moves: Vec::new(),
+        frames: vec![FrameState {
+            r0: 0,
+            c0: 0,
+            rows: m,
+            cols: n,
+            head: (full_rows * TILE, next_row_done * TILE),
+            top: vec![0; n + 1],
+            left: vec![0; m + 1],
+            grid: Some(GridState {
+                row_bounds: (0..=rows).map(|r| r * TILE).collect(),
+                col_bounds: (0..=cols).map(|c| c * TILE).collect(),
+                rows_cache: vec![vec![0; n + 1]; rows - 1],
+                cols_cache: vec![vec![0; m + 1]; cols - 1],
+            }),
+        }],
+    }
+}
+
+#[test]
+fn checkpoint_cut_exhaustive_cancel_preemption_yields_resumable_snapshots() {
+    // Invariant 8, the interesting case: a 2-worker wavefront cancelled
+    // mid-flight at tile (1,0). Exhaustively preempting around the
+    // capture varies *which* tiles are in the snapshot; every captured
+    // cut must be down-closed (checked inside check_checkpoint_schedule)
+    // and must decode to a CheckpointState that validates against the
+    // problem dimensions — i.e. a resume could rebuild the frontier.
+    let spec = ModelSpec::dense(2, 2, 2).with_cancel_at(1, 0);
+    let cuts = explore_checkpoint_exhaustive(&spec, 2, 10_000);
+    assert!(
+        cuts.len() >= 2,
+        "preemption should vary the captured cut, got {cuts:?}"
+    );
+    for cut in &cuts {
+        // Tile (1,0) in the 2-wide grid is index 2.
+        assert!(!cut[2], "cancelled tile captured as done: {cut:?}");
+        let state = state_from_cut(2, 2, cut);
+        state
+            .validate(2 * 4, 2 * 4)
+            .unwrap_or_else(|e| panic!("cut {cut:?} produced an unresumable state: {e}"));
+    }
+}
+
+#[test]
+fn checkpoint_cut_exhaustive_panic_preemption_yields_resumable_snapshots() {
+    // Same bar with a poisoned (crashed) run: whatever the interleaving
+    // around the panic at (0,1), the post-drain snapshot stays a
+    // consistent cut and decodes to a resumable state.
+    let spec = ModelSpec::dense(2, 2, 2).with_panic_at(0, 1);
+    let cuts = explore_checkpoint_exhaustive(&spec, 1, 2_000);
+    for cut in &cuts {
+        let state = state_from_cut(2, 2, cut);
+        state
+            .validate(2 * 4, 2 * 4)
+            .unwrap_or_else(|e| panic!("cut {cut:?} produced an unresumable state: {e}"));
+    }
+}
+
+#[test]
+fn checkpoint_cut_clean_runs_capture_the_full_grid() {
+    // Without a fault the capture must be the complete grid on every
+    // interleaving — a partial "checkpoint" of a finished job would
+    // make the resume re-run work.
+    let spec = ModelSpec::dense(2, 2, 2);
+    let cuts = explore_checkpoint_exhaustive(&spec, 1, 2_000);
+    assert_eq!(
+        cuts.len(),
+        1,
+        "clean runs must all capture the same (full) cut"
+    );
+    assert!(cuts.iter().next().unwrap().iter().all(|&d| d));
+    let full = state_from_cut(2, 2, cuts.iter().next().unwrap());
+    assert!(full.validate(8, 8).is_ok());
+    assert_eq!(full.blocks_done, 4);
+}

@@ -23,6 +23,16 @@ pub enum ConfigError {
     /// [`crate::align_affine`] requires [`flsa_scoring::GapModel::Affine`]
     /// (use the linear entry points for linear gaps).
     GapModelNotAffine,
+    /// The combined sequence span `m + n` is large enough that the DP
+    /// recurrence could overflow `i32` cell scores under this scoring
+    /// scheme (see [`crate::max_safe_span`] and the audit's R10
+    /// overflow certificate).
+    ScoreOverflow {
+        /// The rejected span `m + n`.
+        span: usize,
+        /// The largest span the scheme admits.
+        max_span: usize,
+    },
     /// The requested DP kernel backend is not available on this CPU
     /// (e.g. `avx2` on a machine without AVX2).
     KernelUnavailable {
@@ -40,6 +50,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::GapModelNotAffine => {
                 write!(f, "align_affine requires GapModel::Affine")
             }
+            ConfigError::ScoreOverflow { span, max_span } => write!(
+                f,
+                "sequence span m + n = {span} exceeds the i32-safe limit {max_span} \
+                 for this scoring scheme"
+            ),
             ConfigError::KernelUnavailable { backend } => {
                 write!(f, "kernel backend {backend} is not available on this CPU")
             }

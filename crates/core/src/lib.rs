@@ -60,7 +60,7 @@ mod solver;
 pub use affine::align_affine;
 pub use cancel::CancelToken;
 pub use checkpoint::{CheckpointPolicy, CheckpointSink, CheckpointState, FrameState, GridState};
-pub use config::{FastLsaConfig, ParallelConfig};
+pub use config::{max_safe_span, FastLsaConfig, ParallelConfig};
 pub use costlog::{CostEvent, CostLog};
 pub use error::{AlignError, ConfigError};
 pub use governor::{
@@ -118,7 +118,7 @@ pub fn align_opts(
     opts: &AlignOptions,
     metrics: &Metrics,
 ) -> Result<AlignResult, AlignError> {
-    config.validate()?;
+    config.validate_run(scheme, a.len(), b.len())?;
     validate_kernel(opts)?;
     let mut cfg = config;
     let mut rung: u32 = 0;
@@ -187,7 +187,7 @@ pub fn align_resume(
     opts: &AlignOptions,
     metrics: &Metrics,
 ) -> Result<AlignResult, AlignError> {
-    state.config.validate()?;
+    state.config.validate_run(scheme, a.len(), b.len())?;
     validate_kernel(opts)?;
     let mut cfg = state.config;
     let mut rung: u32 = 0;
@@ -254,7 +254,7 @@ pub fn align_traced(
     config: FastLsaConfig,
     metrics: &Metrics,
 ) -> Result<(AlignResult, CostLog), AlignError> {
-    config.validate()?;
+    config.validate_run(scheme, a.len(), b.len())?;
     let mut solver = solver::Solver::new(scheme, config, metrics, &AlignOptions::default());
     let result = solver.run(a, b)?;
     Ok((result, solver.log))

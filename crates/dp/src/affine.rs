@@ -54,7 +54,7 @@ pub struct AffineBoundary<'a> {
 }
 
 impl AffineBoundary<'_> {
-    fn check(&self, rows: usize, cols: usize) {
+    fn check_boundary(&self, rows: usize, cols: usize) {
         assert_eq!(self.top_h.len(), cols + 1, "top_h length");
         assert_eq!(self.top_v.len(), cols + 1, "top_v length");
         assert_eq!(self.left_h.len(), rows + 1, "left_h length");
@@ -183,7 +183,7 @@ fn fill_affine_edges_into(
     metrics: &Metrics,
 ) {
     let (rows, cols) = (a.len(), b.len());
-    bnd.check(rows, cols);
+    bnd.check_boundary(rows, cols);
     let (open, extend) = affine_params(scheme);
     let matrix = scheme.matrix();
 
@@ -238,7 +238,7 @@ pub fn fill_affine_full(
     metrics: &Metrics,
 ) -> AffineMatrices {
     let (rows, cols) = (a.len(), b.len());
-    bnd.check(rows, cols);
+    bnd.check_boundary(rows, cols);
     let (open, extend) = affine_params(scheme);
     let matrix = scheme.matrix();
 
@@ -303,6 +303,7 @@ pub fn trace_affine(
     let (open, extend) = affine_params(scheme);
     let matrix = scheme.matrix();
     let (mut i, mut j) = start;
+    assert!(i <= a.len() && j <= b.len(), "traceback start out of range");
     let mut state = state;
     let mut steps = 0u64;
     loop {

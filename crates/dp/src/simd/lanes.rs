@@ -21,8 +21,11 @@ pub(crate) const LANES: usize = 8;
 /// for every `j >= 1` — exactly the scalar kernel's row.
 pub(crate) fn row_update(prev: &[i32], cur: &mut [i32], profile: &[i32], gap: i32) {
     let cols = profile.len();
-    debug_assert_eq!(prev.len(), cols + 1, "prev row length");
-    debug_assert_eq!(cur.len(), cols + 1, "cur row length");
+    // Release-mode guards: dispatch hands arbitrary caller slices to this
+    // fn, and the block loop indexes `prev[j + l]` up to `cols`; keep the
+    // length contract checked in optimized builds too.
+    assert_eq!(prev.len(), cols + 1, "prev row length");
+    assert_eq!(cur.len(), cols + 1, "cur row length");
     // Running maximum over the ramp-free domain u[j] = H(i,j) - j*gap;
     // u[0] is the left boundary itself.
     let mut carry = cur[0];

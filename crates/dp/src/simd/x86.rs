@@ -67,8 +67,11 @@ unsafe fn shl4_avx2(x: __m256i, fill: __m256i) -> __m256i {
 #[target_feature(enable = "avx2")]
 pub(crate) unsafe fn row_update_avx2(prev: &[i32], cur: &mut [i32], profile: &[i32], gap: i32) {
     let cols = profile.len();
-    debug_assert_eq!(prev.len(), cols + 1, "prev row length");
-    debug_assert_eq!(cur.len(), cols + 1, "cur row length");
+    // Release-mode guards: the vector loop below reads and writes through
+    // raw pointers (`.add(j)`), so an out-of-bounds row is UB, not a
+    // panic — the checks must survive into optimized builds.
+    assert_eq!(prev.len(), cols + 1, "prev row length");
+    assert_eq!(cur.len(), cols + 1, "cur row length");
     let mut carry = cur[0];
     let mut j = 1usize;
     if j + 8 <= cols + 1 {
@@ -129,8 +132,11 @@ pub(crate) unsafe fn row_update_avx2(prev: &[i32], cur: &mut [i32], profile: &[i
 #[target_feature(enable = "sse4.1")]
 pub(crate) unsafe fn row_update_sse41(prev: &[i32], cur: &mut [i32], profile: &[i32], gap: i32) {
     let cols = profile.len();
-    debug_assert_eq!(prev.len(), cols + 1, "prev row length");
-    debug_assert_eq!(cur.len(), cols + 1, "cur row length");
+    // Release-mode guards: the vector loop below reads and writes through
+    // raw pointers (`.add(j)`), so an out-of-bounds row is UB, not a
+    // panic — the checks must survive into optimized builds.
+    assert_eq!(prev.len(), cols + 1, "prev row length");
+    assert_eq!(cur.len(), cols + 1, "cur row length");
     let mut carry = cur[0];
     let mut j = 1usize;
     if j + 4 <= cols + 1 {

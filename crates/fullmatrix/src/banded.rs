@@ -63,7 +63,10 @@ pub fn banded_needleman_wunsch(
     let _mem = metrics.track_alloc(band.len() * std::mem::size_of::<i32>());
     let idx = |i: usize, j: usize| -> usize {
         let d = j as i64 - i as i64 - lo;
-        debug_assert!((0..width as i64).contains(&d));
+        // Release-mode bounds guard: every band[] access in the fill and
+        // the traceback funnels through here, and an out-of-band `d`
+        // would silently read a neighboring row's diagonal.
+        assert!((0..width as i64).contains(&d), "cell ({i},{j}) out of band");
         i * width + d as usize
     };
     let in_band = |i: usize, j: i64| -> bool {

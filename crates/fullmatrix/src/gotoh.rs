@@ -29,6 +29,10 @@ pub fn gotoh(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics: &Metri
         GapModel::Linear { .. } => panic!("gotoh requires an affine gap model"),
     };
     let (m, n) = (a.len(), b.len());
+    // Release guard for the `codes()[i - 1]` indexing below: the DP
+    // loops trust `len() == codes().len()`.
+    assert_eq!(a.codes().len(), m, "a codes length");
+    assert_eq!(b.codes().len(), n, "b codes length");
     let matrix = scheme.matrix();
 
     let mut h = ScoreMatrix::new(m, n);
@@ -155,6 +159,13 @@ pub fn score_path_affine(
         GapModel::Linear { penalty } => (0, penalty as i64),
     };
     let (mut i, mut j) = path.start();
+    let (ei, ej) = path.end();
+    assert!(
+        ei <= a.len() && ej <= b.len(),
+        "path ({ei},{ej}) exceeds sequence bounds ({}, {})",
+        a.len(),
+        b.len()
+    );
     let mut total = 0i64;
     let mut prev: Option<Move> = None;
     for &mv in path.moves() {

@@ -113,6 +113,9 @@ pub fn needleman_wunsch_packed(
         scheme,
         metrics,
     );
+    // Release guard for `last_row[n]` below: ties the kernel's output
+    // row length to this fn's (m, n).
+    assert_eq!(last_row.len(), n + 1, "last row length");
     let _mem = metrics.track_alloc(dirs.bytes() + (n + 1) * std::mem::size_of::<i32>());
     metrics.add_base_case_cells(m as u64 * n as u64);
 
@@ -132,6 +135,9 @@ pub fn nw_score_only(a: &Sequence, b: &Sequence, scheme: &ScoringScheme, metrics
     scheme.check_sequences(a, b);
     // Roll along the shorter dimension.
     let (v, h) = if a.len() <= b.len() { (b, a) } else { (a, b) };
+    // Release guard: `bottom[h.len()]` below is the rolled row's last
+    // entry; the swap above must have put the shorter sequence in `h`.
+    assert!(h.len() <= v.len(), "roll dimension swap");
     let gap = scheme.gap().linear_penalty();
     let bound = Boundary::global(v.len(), h.len(), gap);
     let mut bottom = vec![0i32; h.len() + 1];

@@ -62,6 +62,10 @@ pub fn semiglobal(
 ) -> AlignResult {
     scheme.check_sequences(a, b);
     let (m, n) = (a.len(), b.len());
+    // Release guard for the `codes()[i - 1]` indexing below: the DP
+    // loops trust `len() == codes().len()`.
+    assert_eq!(a.codes().len(), m, "a codes length");
+    assert_eq!(b.codes().len(), n, "b codes length");
     let gap = scheme.gap().linear_penalty();
     let matrix = scheme.matrix();
 

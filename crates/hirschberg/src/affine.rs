@@ -195,6 +195,9 @@ pub fn myers_miller_affine(
     let (open, extend) = match *scheme.gap() {
         GapModel::Affine { open, extend } => (open as i64, extend as i64),
         GapModel::Linear { .. } => {
+            // flsa-check: allow(panic) — documented `# Panics` contract;
+            // the solver routes gap models before reaching this fn
+            // (ConfigError::GapModelNotAffine guards the fallible path).
             panic!("myers_miller_affine requires an affine gap model; use hirschberg() for linear gaps")
         }
     };

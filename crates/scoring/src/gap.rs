@@ -59,8 +59,26 @@ impl GapModel {
         match *self {
             GapModel::Linear { penalty } => penalty,
             GapModel::Affine { .. } => {
+                // flsa-check: allow(panic) — documented `# Panics`
+                // contract: the solver validates the gap model up front
+                // (ConfigError::GapModelNotAffine), so the DP kernels
+                // only call this after admission.
                 panic!("this aligner supports linear gap penalties only (paper's model)")
             }
+        }
+    }
+
+    /// Worst-case score magnitude a single gap symbol can contribute.
+    ///
+    /// For the linear model this is `|penalty|`; for the affine model it
+    /// conservatively charges the one-time open on every symbol,
+    /// `|open| + |extend|`. Used by the i32-overflow guard
+    /// (`fastlsa::max_safe_span`) and mirrored by the static audit's
+    /// R10 certificate — both must stay at least this pessimistic.
+    pub fn max_penalty_abs(&self) -> i64 {
+        match *self {
+            GapModel::Linear { penalty } => (penalty as i64).abs(),
+            GapModel::Affine { open, extend } => (open as i64).abs() + (extend as i64).abs(),
         }
     }
 
