@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 pub mod experiments;
 pub mod kernels;
 pub mod metrics;
+pub mod serve;
 
 /// Times one closure invocation.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {

@@ -46,6 +46,18 @@ const VALUED: &[&str] = &[
     "gate",
     "reps",
     "metrics",
+    "addr",
+    "workers",
+    "queue-cap",
+    "spool",
+    "spool-min-cells",
+    "retries",
+    "fault-seed",
+    "mix",
+    "mode",
+    "ops",
+    "clients",
+    "rate",
 ];
 
 /// The known bare switches; anything else starting with `--` is an error

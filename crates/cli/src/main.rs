@@ -34,9 +34,11 @@ USAGE:
     flsa align [options] A.fasta [B.fasta]
     flsa resume [options] CKPT              continue an interrupted checkpointed run
     flsa msa   [options] FAMILY.fasta       center-star multiple alignment
-    flsa report TRACE [--metrics FILE]      analyze a recorded execution trace
+    flsa serve [options]                    alignment daemon (TCP, crash-safe)
+    flsa report [TRACE] [--metrics FILE]    analyze a trace and/or metrics export
     flsa bench kernels [options]            DP kernel backend throughput sweep
     flsa bench metrics [options]            metrics-layer overhead bench + gate
+    flsa bench serve [options]              seeded load harness for the daemon
     flsa gen   [options]
     flsa info
     flsa help
@@ -101,12 +103,50 @@ RESUME OPTIONS (plus --stats/--json/--quiet/--trace/--metrics/
                        run) is folded in so the final export covers the
                        whole logical alignment.
 
+SERVE OPTIONS:
+    --addr A:P         listen address (default 127.0.0.1:7878; port 0
+                       picks a free port, printed as `listening on ...`)
+    --workers N        worker threads executing jobs (default 2)
+    --queue-cap N      bounded admission queue; a full queue answers
+                       Overloaded with a retry-after hint (default 64)
+    --memory BYTES     server-wide admission budget: jobs that can never
+                       fit get a typed TooLarge, jobs that do not fit
+                       right now wait their turn (default unbudgeted)
+    --retries N        retry attempts after a contained worker panic
+                       (default 2)
+    --deadline-ms N    default deadline for requests that carry none
+                       (default 0 = none)
+    --spool DIR        crash-safe spool: large jobs are journaled and
+                       checkpointed under DIR, so a SIGKILL'd daemon
+                       finishes them byte-identically after restart
+    --spool-min-cells N
+                       jobs with m*n cells at or above N are spooled
+                       (default 250000)
+    --checkpoint-every-blocks N
+                       checkpoint cadence for spooled jobs (default 4)
+    --metrics FILE     export the serve registry (requests, retries,
+                       panics, queue depth, latency histograms) to FILE
+                       when the daemon drains
+    --fault-seed N     inject the seeded ServeFaultPlan N (chaos/CI
+                       only): panics, stalls, or tight deadlines on a
+                       deterministic target job
+
+    The daemon runs until SIGTERM/SIGINT (graceful drain: stop
+    accepting, finish or checkpoint in-flight work, answer queued jobs
+    with Draining) or a client Shutdown frame. Exit codes: 0 clean
+    drain, 2 bind/config error, 3 unrecoverable spool corruption.
+
 REPORT OPTIONS:
-    --metrics FILE     also load a metrics export written by
-                       `flsa align --metrics` and cross-check it against
-                       the trace: per-backend cell counts must match the
-                       trace-derived totals exactly, and the worker
-                       busy/idle split is folded into an occupancy figure.
+    flsa report accepts a trace file, or --metrics alone, or both.
+    --metrics FILE     load a metrics export written by `flsa align
+                       --metrics` or `flsa serve --metrics`. With a
+                       trace, cross-check it: per-backend cell counts
+                       must match the trace-derived totals exactly, and
+                       the worker busy/idle split is folded into an
+                       occupancy figure. Serve exports additionally get
+                       a service section (outcome counts, retries and
+                       contained panics, queue depth peak, request and
+                       admission-wait latency quantiles).
 
 BENCH OPTIONS (flsa bench metrics):
     --len N            square problem side for the end-to-end overhead
@@ -118,6 +158,21 @@ BENCH OPTIONS (flsa bench metrics):
     --gate F           fail (exit 1) if metrics-on overhead exceeds F
                        percent end-to-end
     -o, --out FILE     JSON report path (default BENCH_metrics.json)
+
+BENCH OPTIONS (flsa bench serve):
+    --mix M            read-heavy | rapid-grow (default: both)
+    --mode M           closed | open (default: both)
+    --clients N        concurrent client connections (default 4)
+    --ops N            requests per client (default 32)
+    --rate F           open-loop submission rate per client, req/s
+                       (default 100)
+    --seed N           workload seed (default 42; same seed, same jobs)
+    --threads P        daemon worker threads (default 4, capped at the
+                       host's parallelism)
+    --memory BYTES     daemon admission budget (default unbudgeted)
+    --gate F           fail (exit 1) unless every request was answered
+                       and the slowest closed-loop cell sustains F req/s
+    -o, --out FILE     JSON report path (default BENCH_serve.json)
 
 BENCH OPTIONS (flsa bench kernels):
     --len CSV          comma-separated square problem sides
@@ -212,6 +267,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "align" => cmd_align(&parsed),
         "resume" => cmd_resume(&parsed),
         "msa" => cmd_msa(&parsed),
+        "serve" => cmd_serve(&parsed),
         "report" => cmd_report(&parsed),
         "bench" => cmd_bench(&parsed),
         "gen" => cmd_gen(&parsed),
@@ -855,28 +911,122 @@ fn write_trace(path: &str, format: &str, recorder: &Recorder) -> Result<usize, S
     Ok(events)
 }
 
-/// `flsa report TRACE`: reads a trace (either export format) and prints
-/// the utilization / pipeline-phase / recursion analysis.
+/// `flsa report [TRACE] [--metrics FILE]`: reads a trace (either export
+/// format) and prints the utilization / pipeline-phase / recursion
+/// analysis; a metrics export is cross-checked against the trace, or
+/// summarized on its own when no trace is given (the `flsa serve
+/// --metrics` workflow has no trace to pair with).
 fn cmd_report(a: &args::Args) -> Result<(), CliError> {
-    let [path] = &a.positional[..] else {
-        return Err(CliError::usage(
-            "report needs exactly one trace file (from `flsa align --trace`)",
-        ));
+    let metrics = match a.options.get("metrics") {
+        Some(mpath) => {
+            let mtext = std::fs::read_to_string(mpath)
+                .map_err(|e| CliError::input(format!("{mpath}: {e}")))?;
+            let snap = MetricsSnapshot::parse(&mtext)
+                .map_err(|e| CliError::input(format!("{mpath}: {e}")))?;
+            Some((mpath.as_str(), snap))
+        }
+        None => None,
     };
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
-    let trace =
-        flsa_trace::read_trace(&text).map_err(|e| CliError::input(format!("{path}: {e}")))?;
-    let analysis = flsa_trace::analyze(&trace);
-    print!("{}", flsa_trace::render_report(&analysis));
-    if let Some(mpath) = a.options.get("metrics") {
-        let mtext =
-            std::fs::read_to_string(mpath).map_err(|e| CliError::input(format!("{mpath}: {e}")))?;
-        let snap =
-            MetricsSnapshot::parse(&mtext).map_err(|e| CliError::input(format!("{mpath}: {e}")))?;
-        print!("{}", render_metrics_crosscheck(mpath, &snap, &analysis));
+    match (&a.positional[..], &metrics) {
+        ([path], _) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::input(format!("{path}: {e}")))?;
+            let trace = flsa_trace::read_trace(&text)
+                .map_err(|e| CliError::input(format!("{path}: {e}")))?;
+            let analysis = flsa_trace::analyze(&trace);
+            print!("{}", flsa_trace::render_report(&analysis));
+            if let Some((mpath, snap)) = &metrics {
+                print!("{}", render_metrics_crosscheck(mpath, snap, &analysis));
+                print!("{}", render_serve_metrics(snap));
+            }
+            Ok(())
+        }
+        ([], Some((mpath, snap))) => {
+            println!("metrics report ({mpath}):");
+            let serve = render_serve_metrics(snap);
+            if serve.is_empty() {
+                // Not a serve export: show the engine-side totals that
+                // make sense without a trace to cross-check against.
+                use flsa_metrics::names;
+                println!(
+                    "  kernel cells    {}",
+                    snap.counter(names::CELLS_TOTAL).unwrap_or(0)
+                );
+                println!(
+                    "  kernel calls    {}",
+                    snap.counter(names::KERNEL_CALLS_TOTAL).unwrap_or(0)
+                );
+            } else {
+                print!("{serve}");
+            }
+            Ok(())
+        }
+        _ => Err(CliError::usage(
+            "report needs a trace file (from `flsa align --trace`), \
+             a --metrics export, or both",
+        )),
     }
-    Ok(())
+}
+
+/// The service section of `flsa report --metrics`: rendered only when
+/// the export came from a daemon (any `flsa_serve_*` series present).
+fn render_serve_metrics(snap: &MetricsSnapshot) -> String {
+    use flsa_metrics::names;
+    use std::fmt::Write as _;
+    let c = |name| snap.counter(name).unwrap_or(0);
+    if c(names::SERVE_REQUESTS_TOTAL) == 0 && c(names::SERVE_CONNECTIONS_TOTAL) == 0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\nserve:");
+    let _ = writeln!(
+        out,
+        "  requests        {} over {} connections",
+        c(names::SERVE_REQUESTS_TOTAL),
+        c(names::SERVE_CONNECTIONS_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  outcomes        {} ok, {} failed, {} overloaded ({} deadline-expired)",
+        c(names::SERVE_COMPLETED_TOTAL),
+        c(names::SERVE_FAILED_TOTAL),
+        c(names::SERVE_REJECTED_TOTAL),
+        c(names::SERVE_DEADLINE_EXPIRED_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  faults          {} contained panics, {} retries, {} protocol errors",
+        c(names::SERVE_PANICS_TOTAL),
+        c(names::SERVE_RETRIES_TOTAL),
+        c(names::SERVE_PROTOCOL_ERRORS_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  crash safety    {} spooled, {} recovered after restart",
+        c(names::SERVE_SPOOLED_TOTAL),
+        c(names::SERVE_RECOVERED_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  queue           depth peak {}, inflight now {}",
+        snap.gauge(names::SERVE_QUEUE_DEPTH_PEAK).unwrap_or(0),
+        snap.gauge(names::SERVE_INFLIGHT).unwrap_or(0)
+    );
+    for (label, name) in [
+        ("request latency", names::SERVE_REQUEST_NS),
+        ("admission wait", names::SERVE_ADMIT_WAIT_NS),
+    ] {
+        if let Some(h) = snap.histogram(name).filter(|h| h.count > 0) {
+            let _ = writeln!(
+                out,
+                "  {label:<15} p50 {} p99 {} over {} samples",
+                fmt_dur_ns(h.quantile(0.5)),
+                fmt_dur_ns(h.quantile(0.99)),
+                h.count
+            );
+        }
+    }
+    out
 }
 
 fn fmt_dur_ns(ns: u64) -> String {
@@ -1015,6 +1165,198 @@ fn cmd_msa(a: &args::Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Adapts a seeded [`flsa_fault::serve::ServeFaultPlan`] to the daemon's
+/// [`flsa_serve::JobHooks`], so CI's chaos job can fault-inject a *real*
+/// daemon process the same way the in-process chaos harness does. The
+/// target job is addressed by server sequence number: a fresh daemon
+/// numbers jobs from 1 in submission order, so submitted job `i` is
+/// seq `i + 1`.
+struct FaultSeedHooks {
+    plan: flsa_fault::serve::ServeFaultPlan,
+    target_seq: u64,
+}
+
+impl flsa_serve::JobHooks for FaultSeedHooks {
+    fn on_attempt(&self, seq: u64, attempt: u32) {
+        use flsa_fault::serve::ServeFaultKind;
+        match self.plan.kind {
+            ServeFaultKind::WorkerPanic => {
+                if seq == self.target_seq && attempt <= self.plan.panic_attempts {
+                    panic!(
+                        "fault-seed {}: injected worker panic (attempt {attempt})",
+                        self.plan.seed
+                    );
+                }
+            }
+            ServeFaultKind::SlowJob => {
+                if seq == self.target_seq {
+                    std::thread::sleep(Duration::from_millis(self.plan.slow_ms));
+                }
+            }
+            ServeFaultKind::DeadlineExpiry => {
+                std::thread::sleep(Duration::from_millis(self.plan.slow_ms));
+            }
+            ServeFaultKind::BudgetSqueeze => {}
+        }
+    }
+}
+
+/// `flsa serve`: run the alignment daemon until SIGTERM/SIGINT or a
+/// client `Shutdown` frame, then drain gracefully and exit 0.
+fn cmd_serve(a: &args::Args) -> Result<(), CliError> {
+    if !a.positional.is_empty() {
+        return Err(CliError::usage("serve takes no positional arguments"));
+    }
+    let registry = registry_for(a);
+    let mut cfg = flsa_serve::ServeConfig::new(a.str_or("addr", "127.0.0.1:7878"));
+    cfg.workers = a.get_or("workers", cfg.workers).map_err(CliError::usage)?;
+    cfg.queue_cap = a
+        .get_or("queue-cap", cfg.queue_cap)
+        .map_err(CliError::usage)?;
+    cfg.max_retries = a
+        .get_or("retries", cfg.max_retries)
+        .map_err(CliError::usage)?;
+    cfg.default_deadline_ms = a
+        .get_or("deadline-ms", cfg.default_deadline_ms)
+        .map_err(CliError::usage)?;
+    cfg.spool_min_cells = a
+        .get_or("spool-min-cells", cfg.spool_min_cells)
+        .map_err(CliError::usage)?;
+    cfg.checkpoint_every_blocks = a
+        .get_or("checkpoint-every-blocks", cfg.checkpoint_every_blocks)
+        .map_err(CliError::usage)?;
+    if let Some(mem) = a.options.get("memory") {
+        let bytes: usize = mem
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --memory value {mem:?}")))?;
+        cfg.budget_bytes = Some(bytes);
+    }
+    if let Some(dir) = a.options.get("spool") {
+        cfg.spool_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(seed) = a.options.get("fault-seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --fault-seed value {seed:?}")))?;
+        let plan = flsa_fault::serve::ServeFaultPlan::from_seed(seed);
+        // BudgetSqueeze plans carry the squeeze; an explicit --memory
+        // still wins so operators can reproduce with their own budget.
+        if cfg.budget_bytes.is_none() {
+            cfg.budget_bytes = plan.budget_bytes;
+        }
+        eprintln!(
+            "flsa: fault injection active: seed {seed}, class {}, target job {}",
+            plan.kind.name(),
+            plan.target_job
+        );
+        cfg.hooks = Some(Arc::new(FaultSeedHooks {
+            target_seq: plan.target_job + 1,
+            plan,
+        }));
+    }
+    cfg.registry = registry.clone();
+
+    flsa_serve::signal::install();
+    let server = flsa_serve::Server::start(cfg).map_err(|e| match &e {
+        flsa_serve::ServeError::Bind { .. } | flsa_serve::ServeError::Config { .. } => {
+            CliError::usage(e.to_string())
+        }
+        flsa_serve::ServeError::SpoolCorrupt { .. } => CliError::input(e.to_string()),
+        flsa_serve::ServeError::SpoolIo { .. } => CliError::runtime(e.to_string()),
+    })?;
+    // Scripts (and the integration tests) read this line to learn the
+    // bound port; stdout is line-buffered, so it is visible immediately.
+    println!("listening on {}", server.local_addr());
+
+    while !(flsa_serve::signal::drain_requested() || server.drain_requested()) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.drain();
+    let summary = server.join();
+    println!(
+        "drained: {} completed, {} failed, {} overloaded, {} drained, {} spooled pending",
+        summary.completed,
+        summary.failed,
+        summary.rejected,
+        summary.drained,
+        summary.spooled_pending
+    );
+    export_metrics(a, registry.as_ref(), false)
+}
+
+/// `flsa bench serve`: the seeded load harness — an in-process daemon
+/// driven by multi-threaded clients over both workload mixes and both
+/// pacing disciplines, with latency percentiles and a throughput gate.
+fn cmd_bench_serve(a: &args::Args) -> Result<(), CliError> {
+    use flsa_bench::serve::{LoadConfig, Mix, Mode};
+    let mut cfg = LoadConfig::default();
+    if let Some(m) = a.options.get("mix") {
+        cfg.mixes = vec![Mix::parse(m).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown mix {m:?} (expected read-heavy or rapid-grow)"
+            ))
+        })?];
+    }
+    if let Some(m) = a.options.get("mode") {
+        cfg.modes = vec![Mode::parse(m).ok_or_else(|| {
+            CliError::usage(format!("unknown mode {m:?} (expected closed or open)"))
+        })?];
+    }
+    cfg.clients = a.get_or("clients", cfg.clients).map_err(CliError::usage)?;
+    cfg.ops = a.get_or("ops", cfg.ops).map_err(CliError::usage)?;
+    cfg.rate = a.get_or("rate", cfg.rate).map_err(CliError::usage)?;
+    cfg.seed = a.get_or("seed", cfg.seed).map_err(CliError::usage)?;
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cfg.workers = a
+        .get_or("threads", cfg.workers.min(host))
+        .map_err(CliError::usage)?;
+    if let Some(mem) = a.options.get("memory") {
+        let bytes: usize = mem
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --memory value {mem:?}")))?;
+        cfg.budget_bytes = Some(bytes);
+    }
+    if cfg.clients == 0 || cfg.ops == 0 || cfg.workers == 0 {
+        return Err(CliError::usage(
+            "--clients, --ops, and --threads must be at least 1",
+        ));
+    }
+    if !cfg.rate.is_finite() || cfg.rate <= 0.0 {
+        return Err(CliError::usage("--rate must be positive"));
+    }
+
+    let report = flsa_bench::serve::run(&cfg);
+    print!("{}", report.render());
+    let out = a.str_or("out", "BENCH_serve.json");
+    std::fs::write(out, report.to_json()).map_err(|e| CliError::runtime(format!("{out}: {e}")))?;
+    println!("report          -> {out}");
+    if let Some(gate) = a.options.get("gate") {
+        let gate: f64 = gate
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --gate value {gate:?}")))?;
+        if !report.all_answered() {
+            return Err(CliError::runtime(
+                "load harness lost responses: submitted != completed + failed + rejected",
+            ));
+        }
+        let throughput = report.gate_throughput();
+        if throughput.is_infinite() {
+            return Err(CliError::usage(
+                "--gate needs at least one closed-loop cell (open-loop throughput \
+                 is capped by the submission schedule, not the server)",
+            ));
+        }
+        println!("throughput gate {throughput:.1} req/s measured, {gate:.1} required");
+        if throughput < gate {
+            return Err(CliError::runtime(format!(
+                "serve throughput regression: slowest closed-loop cell sustained \
+                 only {throughput:.1} req/s (gate {gate:.1})"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// `flsa bench kernels`: sweeps every available DP kernel backend over a
 /// set of square problem sizes, prints a throughput table, writes the
 /// JSON report, and optionally gates on the SIMD-vs-scalar speedup.
@@ -1022,8 +1364,10 @@ fn cmd_bench(a: &args::Args) -> Result<(), CliError> {
     match a.positional.first().map(String::as_str) {
         Some("kernels") => cmd_bench_kernels(a),
         Some("metrics") => cmd_bench_metrics(a),
+        Some("serve") => cmd_bench_serve(a),
         other => Err(CliError::usage(format!(
-            "unknown bench suite {other:?}; try `flsa bench kernels` or `flsa bench metrics`"
+            "unknown bench suite {other:?}; try `flsa bench kernels`, \
+             `flsa bench metrics`, or `flsa bench serve`"
         ))),
     }
 }

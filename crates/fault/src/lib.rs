@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod crash;
+pub mod serve;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

@@ -1,0 +1,189 @@
+//! Seeded fault plans for the alignment service (`flsa-serve`).
+//!
+//! Same philosophy as [`crate::FaultPlan`], one layer up: a 64-bit seed
+//! deterministically describes a *server-level* fault scenario — which
+//! job's worker panics and how often, which job stalls and for how
+//! long, which deadlines are too tight to meet, how hard the admission
+//! budget is squeezed. The plan is pure data: `flsa-serve` (whose test
+//! suite depends on this crate, not the other way around) adapts it to
+//! its `JobHooks` trait, and the chaos harness asserts that every
+//! scenario terminates with either a result byte-identical to the
+//! sequential reference or a typed error matching the fault class —
+//! never a hang, a wrong answer, or a leaked admission charge.
+//!
+//! Seeds rotate through the classes (`seed % 4`), so any 4 consecutive
+//! seeds cover panic/slow/deadline/budget; the mid-batch SIGKILL class
+//! lives in [`crate::crash`] and is exercised by the CLI's
+//! `serve_integration` tests, which kill and restart a real daemon.
+
+use crate::SplitMix64;
+
+/// Which server-level failure a plan injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// The target job's first `panic_attempts` run attempts panic; the
+    /// server's bounded retry either outlasts the fault (result must be
+    /// byte-identical to the reference) or surfaces `WorkerPanic`.
+    WorkerPanic,
+    /// The target job stalls `slow_ms` at the start of every attempt —
+    /// long enough to matter, with a deadline tight enough that either
+    /// outcome (completion or `DeadlineExpired`) must be typed.
+    SlowJob,
+    /// Every job carries a deadline too tight for the work: each must
+    /// end in `DeadlineExpired` (or finish legitimately under it).
+    DeadlineExpiry,
+    /// The admission budget is squeezed so jobs serialize through the
+    /// governor; everything must still complete correctly and the
+    /// governor must return to baseline.
+    BudgetSqueeze,
+}
+
+impl ServeFaultKind {
+    /// Stable name for test labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeFaultKind::WorkerPanic => "worker-panic",
+            ServeFaultKind::SlowJob => "slow-job",
+            ServeFaultKind::DeadlineExpiry => "deadline-expiry",
+            ServeFaultKind::BudgetSqueeze => "budget-squeeze",
+        }
+    }
+}
+
+/// One deterministic server-chaos scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    /// The seed the plan came from (diagnostics).
+    pub seed: u64,
+    /// Fault class (`seed % 4`).
+    pub kind: ServeFaultKind,
+    /// Jobs the scenario submits.
+    pub jobs: u64,
+    /// Which submitted job (0-based) the fault targets.
+    pub target_job: u64,
+    /// `WorkerPanic`: how many leading attempts panic. Below the
+    /// server's retry bound the job must still succeed; above it the
+    /// typed `WorkerPanic` failure must surface.
+    pub panic_attempts: u32,
+    /// `SlowJob`: stall per attempt, milliseconds.
+    pub slow_ms: u64,
+    /// Deadline to put on affected requests, milliseconds (0 = none).
+    pub deadline_ms: u32,
+    /// `BudgetSqueeze`: admission budget, bytes (None = unbudgeted).
+    pub budget_bytes: Option<usize>,
+}
+
+impl ServeFaultPlan {
+    /// Derives a scenario from `seed`; consecutive seeds rotate through
+    /// every fault class.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x5e7e_5e7e_5e7e_5e7e);
+        let jobs = 4 + rng.below(5);
+        let target_job = rng.below(jobs);
+        let kind = match seed % 4 {
+            0 => ServeFaultKind::WorkerPanic,
+            1 => ServeFaultKind::SlowJob,
+            2 => ServeFaultKind::DeadlineExpiry,
+            _ => ServeFaultKind::BudgetSqueeze,
+        };
+        let mut plan = ServeFaultPlan {
+            seed,
+            kind,
+            jobs,
+            target_job,
+            panic_attempts: 0,
+            slow_ms: 0,
+            deadline_ms: 0,
+            budget_bytes: None,
+        };
+        match kind {
+            ServeFaultKind::WorkerPanic => {
+                // 1..=4: straddles the default retry bound of 2 so both
+                // recovered-by-retry and typed-failure paths are hit.
+                plan.panic_attempts = 1 + rng.below(4) as u32;
+            }
+            ServeFaultKind::SlowJob => {
+                plan.slow_ms = 40 + rng.below(120);
+                // Sometimes generous, sometimes hopeless.
+                plan.deadline_ms = 20 + rng.below(400) as u32;
+            }
+            ServeFaultKind::DeadlineExpiry => {
+                // Far below any realistic run time for the chaos inputs.
+                plan.deadline_ms = 1 + rng.below(4) as u32;
+                plan.slow_ms = 20 + rng.below(40);
+            }
+            ServeFaultKind::BudgetSqueeze => {
+                // Roughly one mid-sized job's footprint: forces
+                // serialization through admission without starving the
+                // smallest rung.
+                plan.budget_bytes = Some((256 << 10) + rng.below(512 << 10) as usize);
+            }
+        }
+        plan
+    }
+
+    /// True when the plan's target job may legitimately fail with a
+    /// typed error (rather than having to produce the reference
+    /// result).
+    pub fn may_fail(&self) -> bool {
+        matches!(
+            self.kind,
+            ServeFaultKind::WorkerPanic | ServeFaultKind::SlowJob | ServeFaultKind::DeadlineExpiry
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_reproducible() {
+        for seed in 0..64 {
+            assert_eq!(
+                ServeFaultPlan::from_seed(seed),
+                ServeFaultPlan::from_seed(seed)
+            );
+        }
+    }
+
+    #[test]
+    fn four_consecutive_seeds_cover_every_class() {
+        for base in [0u64, 8, 100] {
+            let kinds: Vec<ServeFaultKind> = (base..base + 4)
+                .map(|s| ServeFaultPlan::from_seed(s).kind)
+                .collect();
+            for want in [
+                ServeFaultKind::WorkerPanic,
+                ServeFaultKind::SlowJob,
+                ServeFaultKind::DeadlineExpiry,
+                ServeFaultKind::BudgetSqueeze,
+            ] {
+                assert!(kinds.contains(&want), "base {base}: missing {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_parameters_are_in_range() {
+        for seed in 0..32 {
+            let p = ServeFaultPlan::from_seed(seed);
+            assert!(p.jobs >= 4 && p.jobs < 9);
+            assert!(p.target_job < p.jobs);
+            match p.kind {
+                ServeFaultKind::WorkerPanic => {
+                    assert!((1..=4).contains(&p.panic_attempts))
+                }
+                ServeFaultKind::SlowJob => {
+                    assert!(p.slow_ms >= 40 && p.deadline_ms >= 20)
+                }
+                ServeFaultKind::DeadlineExpiry => {
+                    assert!((1..=4).contains(&p.deadline_ms))
+                }
+                ServeFaultKind::BudgetSqueeze => {
+                    assert!(p.budget_bytes.is_some())
+                }
+            }
+        }
+    }
+}

@@ -144,6 +144,42 @@ pub const CHECKPOINT_BYTES_TOTAL: &str = "flsa_checkpoint_bytes_total";
 /// fsync — in nanoseconds (histogram).
 pub const CHECKPOINT_FSYNC_NS: &str = "flsa_checkpoint_fsync_ns";
 
+// --- Alignment service (flsa-serve) -------------------------------------
+
+/// Alignment requests accepted off the wire (counter).
+pub const SERVE_REQUESTS_TOTAL: &str = "flsa_serve_requests_total";
+/// Requests refused at admission — queue full or job estimate over the
+/// byte budget (counter).
+pub const SERVE_REJECTED_TOTAL: &str = "flsa_serve_rejected_total";
+/// Jobs currently parked in the admission queue (gauge).
+pub const SERVE_QUEUE_DEPTH: &str = "flsa_serve_queue_depth";
+/// High-water mark of the admission queue (gauge).
+pub const SERVE_QUEUE_DEPTH_PEAK: &str = "flsa_serve_queue_depth_peak";
+/// Jobs currently executing on the worker pool (gauge).
+pub const SERVE_INFLIGHT: &str = "flsa_serve_inflight_jobs";
+/// Jobs that completed with a result (counter).
+pub const SERVE_COMPLETED_TOTAL: &str = "flsa_serve_completed_total";
+/// Jobs that terminated with a typed error (counter).
+pub const SERVE_FAILED_TOTAL: &str = "flsa_serve_failed_total";
+/// Execution retries after a contained worker panic (counter).
+pub const SERVE_RETRIES_TOTAL: &str = "flsa_serve_retries_total";
+/// Worker panics contained by the job harness (counter).
+pub const SERVE_PANICS_TOTAL: &str = "flsa_serve_worker_panics_total";
+/// Jobs whose deadline expired before completion (counter).
+pub const SERVE_DEADLINE_EXPIRED_TOTAL: &str = "flsa_serve_deadline_expired_total";
+/// Malformed frames answered with a typed protocol error (counter).
+pub const SERVE_PROTOCOL_ERRORS_TOTAL: &str = "flsa_serve_protocol_errors_total";
+/// Connections accepted over the daemon's lifetime (counter).
+pub const SERVE_CONNECTIONS_TOTAL: &str = "flsa_serve_connections_total";
+/// Jobs spooled durably for crash recovery (counter).
+pub const SERVE_SPOOLED_TOTAL: &str = "flsa_serve_spooled_jobs_total";
+/// Spooled jobs recovered (fresh or from a snapshot) at startup (counter).
+pub const SERVE_RECOVERED_TOTAL: &str = "flsa_serve_recovered_jobs_total";
+/// End-to-end request latency, arrival to response, in ns (histogram).
+pub const SERVE_REQUEST_NS: &str = "flsa_serve_request_ns";
+/// Time jobs spent parked waiting for admission bytes, in ns (histogram).
+pub const SERVE_ADMIT_WAIT_NS: &str = "flsa_serve_admit_wait_ns";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +218,22 @@ mod tests {
             CHECKPOINT_SAVES_TOTAL,
             CHECKPOINT_BYTES_TOTAL,
             CHECKPOINT_FSYNC_NS,
+            SERVE_REQUESTS_TOTAL,
+            SERVE_REJECTED_TOTAL,
+            SERVE_QUEUE_DEPTH,
+            SERVE_QUEUE_DEPTH_PEAK,
+            SERVE_INFLIGHT,
+            SERVE_COMPLETED_TOTAL,
+            SERVE_FAILED_TOTAL,
+            SERVE_RETRIES_TOTAL,
+            SERVE_PANICS_TOTAL,
+            SERVE_DEADLINE_EXPIRED_TOTAL,
+            SERVE_PROTOCOL_ERRORS_TOTAL,
+            SERVE_CONNECTIONS_TOTAL,
+            SERVE_SPOOLED_TOTAL,
+            SERVE_RECOVERED_TOTAL,
+            SERVE_REQUEST_NS,
+            SERVE_ADMIT_WAIT_NS,
         ];
         v.extend_from_slice(CELLS_BACKEND_TOTAL);
         v

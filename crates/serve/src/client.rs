@@ -1,0 +1,121 @@
+//! A small blocking client for the `FLSASRV1` protocol.
+//!
+//! Used by the CLI (`flsa bench serve`), the load generator, and the
+//! integration tests. One TCP connection, synchronous send/receive;
+//! responses may arrive out of submission order when multiple requests
+//! are outstanding (the server answers as workers finish), so callers
+//! pipelining requests must match responses by correlation id.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{self, AlignRequest, Frame, ProtocolError, PREAMBLE};
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and sends the protocol preamble.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ProtocolError::Io {
+            detail: e.to_string(),
+        })?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client { stream };
+        client.write_all(PREAMBLE)?;
+        Ok(client)
+    }
+
+    /// A second handle over the same connection (a shared socket): one
+    /// handle can keep sending while the other blocks on receives —
+    /// how the open-loop load generator splits its sender from its
+    /// response reader without desyncing the frame stream.
+    pub fn try_clone(&self) -> Result<Client, ProtocolError> {
+        let stream = self.stream.try_clone().map_err(|e| ProtocolError::Io {
+            detail: e.to_string(),
+        })?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long a [`Client::recv`] may block (`None` = forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ProtocolError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ProtocolError::Io {
+                detail: e.to_string(),
+            })
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), ProtocolError> {
+        use std::io::Write;
+        self.stream.write_all(bytes).map_err(|e| ProtocolError::Io {
+            detail: e.to_string(),
+        })
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ProtocolError> {
+        wire::write_frame(&mut self.stream, frame)
+    }
+
+    /// Sends raw bytes as-is — the corruption tests use this to put
+    /// deliberately damaged frames on the wire.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ProtocolError> {
+        self.write_all(bytes)
+    }
+
+    /// Receives one frame.
+    pub fn recv(&mut self) -> Result<Frame, ProtocolError> {
+        wire::read_frame(&mut self.stream)
+    }
+
+    /// Submits one request and waits for its response (single
+    /// outstanding request; skips unrelated frames such as `Pong`s).
+    pub fn align(&mut self, request: AlignRequest) -> Result<Frame, ProtocolError> {
+        let id = request.id;
+        self.send(&Frame::Align(request))?;
+        loop {
+            let frame = self.recv()?;
+            let matches = match &frame {
+                Frame::Ok(r) => r.id == id,
+                Frame::Fail(r) => r.id == id,
+                Frame::Overloaded { id: rid, .. } => *rid == id,
+                Frame::ProtocolError { .. } => true,
+                _ => false,
+            };
+            if matches {
+                return Ok(frame);
+            }
+        }
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self, token: u64) -> Result<(), ProtocolError> {
+        self.send(&Frame::Ping(token))?;
+        match self.recv()? {
+            Frame::Pong(t) if t == token => Ok(()),
+            other => Err(ProtocolError::Malformed {
+                detail: format!("expected Pong({token}), got {other:?}"),
+            }),
+        }
+    }
+
+    /// Requests a graceful drain and waits for the acknowledgement.
+    pub fn shutdown(&mut self) -> Result<(), ProtocolError> {
+        self.send(&Frame::Shutdown)?;
+        loop {
+            match self.recv()? {
+                Frame::ShutdownAck => return Ok(()),
+                // Responses for still-draining jobs may interleave.
+                Frame::Ok(_) | Frame::Fail(_) | Frame::Overloaded { .. } => continue,
+                other => {
+                    return Err(ProtocolError::Malformed {
+                        detail: format!("expected ShutdownAck, got {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Minimal SIGTERM/SIGINT latching for graceful drain.
+//!
+//! The daemon must react to SIGTERM by draining, not dying, and the
+//! workspace deliberately carries no `libc` dependency — so this module
+//! declares the two symbols it needs (`signal(2)` semantics via libc,
+//! which `std` already links on every supported platform) and keeps the
+//! handler to the only thing that is async-signal-safe here: storing a
+//! relaxed atomic flag. Nothing in the daemon relies on `EINTR`; the
+//! accept loop and connection readers poll [`drain_requested`] on their
+//! own timeouts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Latched by the handler; polled by the accept loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERM;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)` from libc (linked by std). `usize` stands in for
+        // the handler pointer in both positions; we never inspect the
+        // previous handler.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The handler: only an atomic store, which is async-signal-safe.
+    extern "C" fn on_signal(_signum: i32) {
+        // Relaxed: a lone boolean latch; no other memory is published
+        // from the handler, so no ordering is needed.
+        TERM.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the C library's signal(2); passing a
+        // non-capturing `extern "C" fn(i32)` as the handler address is
+        // exactly its contract, and the handler body performs only an
+        // atomic store (async-signal-safe). Replacing the disposition
+        // for SIGTERM/SIGINT is process-global but idempotent.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-unix hosts run without signal-driven drain; the `Shutdown`
+    /// frame path still works.
+    pub(super) fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT latch (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+/// True once SIGTERM or SIGINT arrived.
+pub fn drain_requested() -> bool {
+    // Relaxed: the latch is the only shared state; a stale read just
+    // delays drain by one poll interval.
+    TERM.load(Ordering::Relaxed)
+}
+
+/// Clears the latch (tests only — a real daemon exits after one drain).
+pub fn reset() {
+    // Relaxed: test-only latch clear, same lone-flag argument.
+    TERM.store(false, Ordering::Relaxed);
+}

@@ -1,0 +1,210 @@
+//! The chaos harness: replay seeded [`ServeFaultPlan`]s against a live
+//! daemon and assert the failure matrix holds — every job terminates
+//! with either a result byte-identical to the sequential reference or
+//! a typed error matching the injected fault class; no hangs, no wrong
+//! answers, and no leaked admission charges (the governor gauge returns
+//! to baseline after every drain).
+//!
+//! 32 seeds (8 per fault class via `seed % 4`); the mid-batch SIGKILL
+//! class is process-level and lives in the CLI's `serve_integration`
+//! tests, which kill and restart a real daemon.
+
+mod util;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use flsa_fault::serve::{ServeFaultKind, ServeFaultPlan};
+use flsa_serve::wire::{AlignRequest, ErrorCode, Frame};
+use flsa_serve::{JobHooks, ServeConfig};
+use util::{connect, dna, reference, req};
+
+/// Retry bound the harness runs under; [`ServeFaultPlan::panic_attempts`]
+/// (1..=4) straddles it so both retry-recovers and retry-exhausts paths
+/// are exercised.
+const MAX_RETRIES: u32 = 2;
+
+/// Adapts a [`ServeFaultPlan`] to the server's [`JobHooks`]: panics the
+/// target job's leading attempts, stalls the target (or, for
+/// deadline-expiry plans, every job) at the start of each attempt.
+struct ChaosHooks {
+    plan: ServeFaultPlan,
+    target_seq: u64,
+}
+
+impl JobHooks for ChaosHooks {
+    fn on_attempt(&self, seq: u64, attempt: u32) {
+        match self.plan.kind {
+            ServeFaultKind::WorkerPanic => {
+                if seq == self.target_seq && attempt <= self.plan.panic_attempts {
+                    panic!(
+                        "chaos: injected panic, seed {} attempt {attempt}",
+                        self.plan.seed
+                    );
+                }
+            }
+            ServeFaultKind::SlowJob => {
+                if seq == self.target_seq {
+                    std::thread::sleep(Duration::from_millis(self.plan.slow_ms));
+                }
+            }
+            ServeFaultKind::DeadlineExpiry => {
+                std::thread::sleep(Duration::from_millis(self.plan.slow_ms));
+            }
+            ServeFaultKind::BudgetSqueeze => {}
+        }
+    }
+}
+
+/// Builds the scenario's request list. Sizes are big enough to recurse
+/// (`m·n` well past `base_cells`) yet small enough that a whole class
+/// sweep stays fast.
+fn requests_for(plan: &ServeFaultPlan) -> Vec<AlignRequest> {
+    (0..plan.jobs)
+        .map(|i| {
+            let len_a = 240 + ((plan.seed * 31 + i * 17) % 80) as usize;
+            let len_b = 220 + ((plan.seed * 13 + i * 23) % 90) as usize;
+            let a = dna(plan.seed * 1000 + i * 2, len_a);
+            let b = dna(plan.seed * 1000 + i * 2 + 1, len_b);
+            let mut r = req(1000 + i, &a, &b);
+            r.base_cells = 4096;
+            let deadline_applies = match plan.kind {
+                ServeFaultKind::SlowJob => i == plan.target_job,
+                ServeFaultKind::DeadlineExpiry => true,
+                _ => false,
+            };
+            if deadline_applies {
+                r.deadline_ms = plan.deadline_ms;
+            }
+            r
+        })
+        .collect()
+}
+
+/// Runs one plan end to end and asserts the failure matrix.
+fn run_plan(seed: u64) {
+    let plan = ServeFaultPlan::from_seed(seed);
+    // One connection submits in order, so server sequence numbers are
+    // deterministic: job i gets seq i+1.
+    let target_seq = plan.target_job + 1;
+
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.workers = 2;
+    cfg.max_retries = MAX_RETRIES;
+    cfg.retry_backoff = Duration::from_millis(5);
+    cfg.budget_bytes = plan.budget_bytes;
+    cfg.hooks = Some(Arc::new(ChaosHooks { plan, target_seq }));
+    let server = util::start(cfg);
+    let mut client = connect(&server);
+
+    let requests = requests_for(&plan);
+    let mut expected: HashMap<u64, (i64, String, bool)> = HashMap::new();
+    for (i, r) in requests.iter().enumerate() {
+        let a = String::from_utf8(r.seq_a.clone()).expect("ascii");
+        let b = String::from_utf8(r.seq_b.clone()).expect("ascii");
+        let (score, cigar) = reference(&a, &b);
+        expected.insert(r.id, (score, cigar, i as u64 == plan.target_job));
+        client.send(&Frame::Align(r.clone())).expect("send");
+    }
+
+    // Exactly one typed response per job, matched by correlation id.
+    let mut answered: HashMap<u64, Frame> = HashMap::new();
+    while answered.len() < requests.len() {
+        let frame = client
+            .recv()
+            .unwrap_or_else(|e| panic!("seed {seed} ({}): {e}", plan.kind.name()));
+        let id = match &frame {
+            Frame::Ok(r) => r.id,
+            Frame::Fail(r) => r.id,
+            other => panic!("seed {seed}: unexpected frame {other:?}"),
+        };
+        assert!(
+            answered.insert(id, frame).is_none(),
+            "seed {seed}: job {id} answered twice"
+        );
+    }
+
+    for (id, frame) in &answered {
+        let (score, cigar, is_target) = &expected[id];
+        match frame {
+            // Any Ok, faulted or not, must be byte-identical to the
+            // sequential reference — wrong answers are never acceptable.
+            Frame::Ok(ok) => {
+                assert_eq!(ok.score, *score, "seed {seed} job {id}: wrong score");
+                assert_eq!(ok.cigar, *cigar, "seed {seed} job {id}: wrong path");
+            }
+            Frame::Fail(f) => {
+                let allowed: &[ErrorCode] = match plan.kind {
+                    ServeFaultKind::WorkerPanic if *is_target => &[ErrorCode::WorkerPanic],
+                    ServeFaultKind::SlowJob if *is_target => &[ErrorCode::DeadlineExpired],
+                    ServeFaultKind::DeadlineExpiry => &[ErrorCode::DeadlineExpired],
+                    // Non-target jobs (and all budget-squeeze jobs) have
+                    // no injected fault: they must simply succeed.
+                    _ => &[],
+                };
+                assert!(
+                    allowed.contains(&f.code),
+                    "seed {seed} ({}) job {id}: unexpected failure {:?}: {}",
+                    plan.kind.name(),
+                    f.code,
+                    f.detail
+                );
+            }
+            other => panic!("seed {seed}: unexpected frame {other:?}"),
+        }
+    }
+
+    // A panic count past the retry bound MUST have failed; within it,
+    // MUST have succeeded.
+    if plan.kind == ServeFaultKind::WorkerPanic {
+        let target_id = 1000 + plan.target_job;
+        let got_ok = matches!(answered[&target_id], Frame::Ok(_));
+        assert_eq!(
+            got_ok,
+            plan.panic_attempts <= MAX_RETRIES,
+            "seed {seed}: {} panics vs retry bound {MAX_RETRIES} resolved wrong",
+            plan.panic_attempts
+        );
+    }
+
+    server.drain();
+    assert_eq!(
+        server.admission_used_bytes(),
+        0,
+        "seed {seed}: leaked admission charge"
+    );
+    let summary = server.join();
+    assert_eq!(
+        summary.completed + summary.failed,
+        plan.jobs,
+        "seed {seed}: job accounting off: {summary:?}"
+    );
+}
+
+/// Seeds with `seed % 4 == class` — 8 plans per fault class.
+fn sweep(class: u64) {
+    for i in 0..8u64 {
+        run_plan(class + i * 4);
+    }
+}
+
+#[test]
+fn chaos_worker_panic_plans_hold_the_failure_matrix() {
+    sweep(0);
+}
+
+#[test]
+fn chaos_slow_job_plans_hold_the_failure_matrix() {
+    sweep(1);
+}
+
+#[test]
+fn chaos_deadline_expiry_plans_hold_the_failure_matrix() {
+    sweep(2);
+}
+
+#[test]
+fn chaos_budget_squeeze_plans_hold_the_failure_matrix() {
+    sweep(3);
+}

@@ -16,7 +16,10 @@
 //! * [`trace`] — the execution-trace recorder, analysis and exporters
 //!   behind `flsa align --trace` / `flsa report`;
 //! * [`metrics`] — the low-overhead counters/gauges/histograms behind
-//!   `flsa align --metrics` / `--progress` (DESIGN.md §12).
+//!   `flsa align --metrics` / `--progress` (DESIGN.md §12);
+//! * [`serve`] — the fault-tolerant alignment daemon behind `flsa serve`
+//!   (admission control, deadlines, bounded retry, crash-safe spool;
+//!   DESIGN.md §14).
 //!
 //! # Example
 //!
@@ -63,6 +66,7 @@ pub use flsa_metrics as metrics;
 pub use flsa_msa as msa;
 pub use flsa_scoring as scoring;
 pub use flsa_seq as seq;
+pub use flsa_serve as serve;
 pub use flsa_trace as trace;
 pub use flsa_wavefront as wavefront;
 
