@@ -9,6 +9,7 @@ pub mod experiments;
 pub mod kernels;
 pub mod metrics;
 pub mod serve;
+pub mod shard;
 
 /// Times one closure invocation.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {

@@ -22,7 +22,7 @@
 
 mod format;
 mod sink;
-mod wire;
+pub mod wire;
 
 pub use format::{
     decode, encode, scheme_digest, sequence_digest, DegradeNote, Snapshot, SnapshotMeta,

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use fastlsa_core::{align_opts, AlignOptions, CheckpointPolicy, FastLsaConfig};
-use flsa_checkpoint::{decode, MemorySink, SnapshotMeta};
+use flsa_checkpoint::{decode, CheckpointError, MemorySink, SnapshotMeta};
 use flsa_dp::Metrics;
 use flsa_scoring::ScoringScheme;
 use flsa_seq::generate::homologous_pair;
@@ -95,4 +95,85 @@ fn trailing_garbage_is_rejected() {
     // it by duplicating the final END section marker mid-stream.
     bytes.truncate(bytes.len() - 13); // strip END section (tag+len+crc)
     assert!(decode(&bytes).is_err(), "missing end section accepted");
+}
+
+const TAG_FRAME: u8 = 4;
+
+/// Splits an encoded snapshot into its 12-byte preamble
+/// (magic + version) and the intact CRC-framed sections, so tests can
+/// shuffle whole sections without invalidating any CRC — the attacks
+/// below must be caught structurally, not by checksums.
+fn split_sections(bytes: &[u8]) -> (Vec<u8>, Vec<(u8, Vec<u8>)>) {
+    let preamble = bytes[..12].to_vec();
+    let mut sections = Vec::new();
+    let mut i = 12;
+    while i < bytes.len() {
+        let tag = bytes[i];
+        let len = u64::from_le_bytes(bytes[i + 1..i + 9].try_into().unwrap()) as usize;
+        let end = i + 9 + len + 4; // tag + len + payload + crc
+        sections.push((tag, bytes[i..end].to_vec()));
+        i = end;
+    }
+    (preamble, sections)
+}
+
+fn rejoin(preamble: &[u8], sections: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = preamble.to_vec();
+    for (_, s) in sections {
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+#[test]
+fn duplicated_frame_section_is_rejected() {
+    let bytes = sample_snapshot();
+    let (preamble, sections) = split_sections(&bytes);
+    // The splitter itself must be faithful.
+    assert_eq!(rejoin(&preamble, &sections), bytes);
+    let frame_at = sections
+        .iter()
+        .position(|(t, _)| *t == TAG_FRAME)
+        .expect("snapshot has a frame section");
+    let mut dup = sections.clone();
+    dup.insert(frame_at, sections[frame_at].clone());
+    // Every CRC still passes; the header's frame count is the only
+    // witness — it must reject the replay as corruption.
+    match decode(&rejoin(&preamble, &dup)) {
+        Err(CheckpointError::Corrupt(d)) => {
+            assert!(d.contains("frames"), "unexpected detail: {d}")
+        }
+        other => panic!("duplicated frame accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn reordered_frame_sections_are_rejected() {
+    let bytes = sample_snapshot();
+    let (preamble, sections) = split_sections(&bytes);
+    let frame_idxs: Vec<usize> = sections
+        .iter()
+        .enumerate()
+        .filter(|(_, (t, _))| *t == TAG_FRAME)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        frame_idxs.len() >= 2,
+        "need a recursion stack at least two frames deep to reorder"
+    );
+    // Swap every adjacent pair of frame sections: the count matches the
+    // header's promise and every CRC passes, so only the structural
+    // nesting check (each frame inside its parent, interior frames
+    // carrying grid caches) can — and must — catch the reorder.
+    for w in frame_idxs.windows(2) {
+        let mut swapped = sections.clone();
+        swapped.swap(w[0], w[1]);
+        match decode(&rejoin(&preamble, &swapped)) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            other => panic!(
+                "swapping frame sections {} and {} accepted: {other:?}",
+                w[0], w[1]
+            ),
+        }
+    }
 }

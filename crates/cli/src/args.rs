@@ -51,6 +51,7 @@ const VALUED: &[&str] = &[
     "queue-cap",
     "spool",
     "spool-min-cells",
+    "spool-retain",
     "retries",
     "fault-seed",
     "mix",
@@ -58,6 +59,10 @@ const VALUED: &[&str] = &[
     "ops",
     "clients",
     "rate",
+    "shards",
+    "shard-fault",
+    "heartbeat-ms",
+    "fault",
 ];
 
 /// The known bare switches; anything else starting with `--` is an error

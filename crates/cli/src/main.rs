@@ -39,6 +39,7 @@ USAGE:
     flsa bench kernels [options]            DP kernel backend throughput sweep
     flsa bench metrics [options]            metrics-layer overhead bench + gate
     flsa bench serve [options]              seeded load harness for the daemon
+    flsa bench shard [options]              sharded-execution bench + chaos gate
     flsa gen   [options]
     flsa info
     flsa help
@@ -61,6 +62,18 @@ ALIGN OPTIONS:
     --deadline-ms N    cancel the alignment after N milliseconds
     --threads P        parallel FastLSA with P threads (default 1)
     --tiles F          tiles per grid block per dimension (default auto)
+    --shards N         (fastlsa only) multi-process execution: a
+                       coordinator farms grid-block tasks out to N
+                       `flsa shard-worker` processes over CRC-framed
+                       pipes, with per-task deadlines, heartbeats,
+                       reassignment, and worker quarantine; the output
+                       is byte-identical to the sequential run under
+                       any worker failure mix. Exclusive with
+                       --threads, --checkpoint, --matrix-file,
+                       --memory, --deadline-ms, and --kernel.
+    --shard-fault S    per-slot worker fault specs for chaos runs,
+                       semicolon-separated (`kill:N`, `hang:N`,
+                       `corrupt:N`, `slow:MS`; empty slot = clean)
     --kernel K         DP kernel backend: auto (default) | scalar | lanes
                        | sse4.1 | avx2. Every backend is bit-identical;
                        unavailable backends are rejected. Applies to
@@ -122,6 +135,11 @@ SERVE OPTIONS:
     --spool-min-cells N
                        jobs with m*n cells at or above N are spooled
                        (default 250000)
+    --spool-retain N   keep only the newest N completed results in the
+                       spool; older job files are garbage-collected in
+                       a crash-safe order (.done before .req), so a
+                       restart mid-GC never orphans an accepted job
+                       (default 256)
     --checkpoint-every-blocks N
                        checkpoint cadence for spooled jobs (default 4)
     --metrics FILE     export the serve registry (requests, retries,
@@ -173,6 +191,20 @@ BENCH OPTIONS (flsa bench serve):
     --gate F           fail (exit 1) unless every request was answered
                        and the slowest closed-loop cell sustains F req/s
     -o, --out FILE     JSON report path (default BENCH_serve.json)
+
+BENCH OPTIONS (flsa bench shard):
+    --len N            square problem side (default 600)
+    --reps N           timed repetitions, best kept (default 3)
+    --shards N         worker processes for the clean sharded run
+                       (default 4)
+    --ops N            chaos plans from the seeded matrix to run
+                       (default 8)
+    --seed N           base seed for the chaos plans (default 0)
+    --gate MS          fail (exit 1) unless every run (clean and chaos)
+                       is byte-identical to the sequential engine and
+                       the slowest chaos run recovers end to end within
+                       MS milliseconds
+    -o, --out FILE     JSON report path (default BENCH_shard.json)
 
 BENCH OPTIONS (flsa bench kernels):
     --len CSV          comma-separated square problem sides
@@ -246,6 +278,17 @@ impl From<AlignError> for CliError {
     }
 }
 
+impl From<flsa_shard::ShardError> for CliError {
+    fn from(e: flsa_shard::ShardError) -> Self {
+        match e {
+            flsa_shard::ShardError::Config { .. } => Self::usage(e.to_string()),
+            flsa_shard::ShardError::Align(inner) => Self::from(inner),
+            // NoWorkers / TaskFailed: the fleet failed at run time.
+            _ => Self::runtime(e.to_string()),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
@@ -268,6 +311,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "resume" => cmd_resume(&parsed),
         "msa" => cmd_msa(&parsed),
         "serve" => cmd_serve(&parsed),
+        "shard-worker" => cmd_shard_worker(&parsed),
         "report" => cmd_report(&parsed),
         "bench" => cmd_bench(&parsed),
         "gen" => cmd_gen(&parsed),
@@ -283,15 +327,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
 }
 
 fn scheme_for(name: &str, gap: i32) -> Result<ScoringScheme, String> {
-    let matrix = match name {
-        "dna" => tables::dna_default(),
-        "blosum62" => tables::blosum62(),
-        "pam250" => tables::pam250(),
-        "identity" => tables::identity(Alphabet::dna()),
-        "paper" => tables::mdm_fragment(),
-        other => return Err(format!("unknown matrix {other:?}")),
-    };
-    Ok(ScoringScheme::new(matrix, GapModel::linear(gap)))
+    tables::scheme_by_name(name, gap).ok_or_else(|| format!("unknown matrix {name:?}"))
 }
 
 fn load_pair(paths: &[String], alphabet: &Alphabet) -> Result<(Sequence, Sequence), CliError> {
@@ -495,6 +531,11 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
             ));
         }
     }
+    if a.options.contains_key("shards") && algo != "fastlsa" {
+        return Err(CliError::usage(
+            "--shards is only supported for --algo fastlsa",
+        ));
+    }
     let threads: usize = a.get_or("threads", 1).map_err(CliError::usage)?;
     let kernel_choice = parse_kernel(a)?;
     let trace_format = a.str_or("trace-format", "chrome");
@@ -527,6 +568,20 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
     let outcome = (|| -> Result<(i64, Option<flsa_dp::Path>), CliError> {
         Ok(match algo {
             "fastlsa" => {
+                let shards: usize = a.get_or("shards", 0).map_err(CliError::usage)?;
+                if shards > 0 {
+                    return run_sharded(
+                        a,
+                        shards,
+                        &sa,
+                        &sb,
+                        gap,
+                        threads,
+                        kernel_choice.is_some(),
+                        &registry,
+                        &metrics,
+                    );
+                }
                 let mut budget_bytes = None;
                 let mut cfg = if let Some(mem) = a.options.get("memory") {
                     let bytes: usize = mem
@@ -713,6 +768,85 @@ fn cmd_align(a: &args::Args) -> Result<(), CliError> {
         threads,
         trace_format,
     )
+}
+
+/// The `--shards` path of `flsa align --algo fastlsa`: a coordinator in
+/// this process farms grid-block tasks out to worker processes — this
+/// very binary re-invoked as `flsa shard-worker` — and the result flows
+/// into the same reporting path as the sequential engine, because it is
+/// byte-identical to it.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    a: &args::Args,
+    shards: usize,
+    sa: &Sequence,
+    sb: &Sequence,
+    gap: i32,
+    threads: usize,
+    explicit_kernel: bool,
+    registry: &Option<Arc<Registry>>,
+    metrics: &Metrics,
+) -> Result<(i64, Option<flsa_dp::Path>), CliError> {
+    for bad in ["checkpoint", "matrix-file", "memory", "deadline-ms"] {
+        if a.options.contains_key(bad) {
+            return Err(CliError::usage(format!(
+                "--{bad} is not supported with --shards"
+            )));
+        }
+    }
+    if threads > 1 {
+        return Err(CliError::usage(
+            "--threads and --shards are exclusive: threads parallelize one \
+             process, shards spread the run over worker processes",
+        ));
+    }
+    if explicit_kernel {
+        return Err(CliError::usage(
+            "--kernel applies in-process; shard workers auto-select their backend",
+        ));
+    }
+    let cfg = FastLsaConfig::new(
+        a.get_or("k", 8).map_err(CliError::usage)?,
+        a.get_or("base-cells", 1usize << 20)
+            .map_err(CliError::usage)?,
+    );
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::runtime(format!("cannot locate own binary: {e}")))?;
+    let mut opts = flsa_shard::ShardOptions::new(
+        shards,
+        vec![
+            exe.to_string_lossy().into_owned(),
+            "shard-worker".to_string(),
+        ],
+    );
+    if let Some(spec) = a.options.get("shard-fault") {
+        opts.worker_faults = spec.split(';').map(str::to_string).collect();
+    }
+    opts.registry = registry.clone();
+    let r = flsa_shard::align_sharded(sa, sb, a.str_or("matrix", "dna"), gap, cfg, &opts, metrics)?;
+    Ok((r.score, Some(r.path)))
+}
+
+/// `flsa shard-worker`: the worker-process end of `--shards`, spoken to
+/// over stdin/stdout with the `FLSASHD1` protocol. Never invoked by
+/// hand; the coordinator spawns it and owns both pipes (stdout carries
+/// protocol frames, so nothing may print there).
+fn cmd_shard_worker(a: &args::Args) -> Result<(), CliError> {
+    if !a.positional.is_empty() {
+        return Err(CliError::usage(
+            "shard-worker takes no positional arguments",
+        ));
+    }
+    let mut opts = flsa_shard::WorkerOptions::default();
+    opts.heartbeat_ms = a
+        .get_or("heartbeat-ms", opts.heartbeat_ms)
+        .map_err(CliError::usage)?;
+    if let Some(spec) = a.options.get("fault") {
+        opts.fault = flsa_shard::WorkerFault::parse(spec).map_err(CliError::usage)?;
+    }
+    // The worker's exit code is the protocol's, not the CLI taxonomy's:
+    // exit straight from the loop so a Shutdown frame maps to 0.
+    std::process::exit(flsa_shard::worker::run(&opts))
 }
 
 /// Prints a finished run in whichever form the flags ask for. Shared by
@@ -1222,6 +1356,9 @@ fn cmd_serve(a: &args::Args) -> Result<(), CliError> {
     cfg.spool_min_cells = a
         .get_or("spool-min-cells", cfg.spool_min_cells)
         .map_err(CliError::usage)?;
+    cfg.spool_retain_done = a
+        .get_or("spool-retain", cfg.spool_retain_done)
+        .map_err(CliError::usage)?;
     cfg.checkpoint_every_blocks = a
         .get_or("checkpoint-every-blocks", cfg.checkpoint_every_blocks)
         .map_err(CliError::usage)?;
@@ -1365,11 +1502,60 @@ fn cmd_bench(a: &args::Args) -> Result<(), CliError> {
         Some("kernels") => cmd_bench_kernels(a),
         Some("metrics") => cmd_bench_metrics(a),
         Some("serve") => cmd_bench_serve(a),
+        Some("shard") => cmd_bench_shard(a),
         other => Err(CliError::usage(format!(
             "unknown bench suite {other:?}; try `flsa bench kernels`, \
-             `flsa bench metrics`, or `flsa bench serve`"
+             `flsa bench metrics`, `flsa bench serve`, or `flsa bench shard`"
         ))),
     }
+}
+
+/// `flsa bench shard`: times the multi-process coordinator against the
+/// sequential engine — a clean sharded run plus a slice of the seeded
+/// chaos matrix — verifying byte-identity throughout, and optionally
+/// gates on the worst-case chaos recovery overhead.
+fn cmd_bench_shard(a: &args::Args) -> Result<(), CliError> {
+    let mut cfg = flsa_bench::shard::ShardBenchConfig::default();
+    cfg.len = a.get_or("len", cfg.len).map_err(CliError::usage)?;
+    cfg.reps = a.get_or("reps", cfg.reps).map_err(CliError::usage)?;
+    cfg.shards = a.get_or("shards", cfg.shards).map_err(CliError::usage)?;
+    cfg.chaos_plans = a.get_or("ops", cfg.chaos_plans).map_err(CliError::usage)?;
+    cfg.seed = a.get_or("seed", cfg.seed).map_err(CliError::usage)?;
+    if cfg.len == 0 || cfg.reps == 0 || cfg.shards == 0 {
+        return Err(CliError::usage(
+            "--len, --reps, and --shards must be at least 1",
+        ));
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::runtime(format!("cannot locate own binary: {e}")))?;
+    cfg.worker_cmd = vec![
+        exe.to_string_lossy().into_owned(),
+        "shard-worker".to_string(),
+    ];
+    let report = flsa_bench::shard::run(&cfg).map_err(CliError::runtime)?;
+    print!("{}", report.render());
+    let out = a.str_or("out", "BENCH_shard.json");
+    std::fs::write(out, report.to_json()).map_err(|e| CliError::runtime(format!("{out}: {e}")))?;
+    println!("report          -> {out}");
+    if let Some(gate) = a.options.get("gate") {
+        let gate: f64 = gate
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid --gate value {gate:?}")))?;
+        if !report.all_identical() {
+            return Err(CliError::runtime(
+                "shard bench correctness failure: a run diverged from the sequential engine",
+            ));
+        }
+        let worst = report.worst_chaos_ms();
+        println!("chaos gate      {worst:.0} ms worst recovery, {gate:.0} ms allowed");
+        if worst > gate {
+            return Err(CliError::runtime(format!(
+                "shard recovery regression: slowest chaos run took {worst:.0} ms \
+                 end to end (gate {gate:.0} ms)"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_bench_kernels(a: &args::Args) -> Result<(), CliError> {

@@ -1,0 +1,161 @@
+//! End-to-end tests of `flsa align --shards`: real coordinator, real
+//! `flsa shard-worker` child processes, real SIGKILLs — asserting the
+//! CLI contract (byte-identical stdout to the sequential run, the exit
+//! code taxonomy) rather than library internals.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn flsa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flsa"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("flsa-shard-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Generates a pair and returns (path, sequential stdout) — the oracle
+/// every sharded invocation must reproduce byte for byte.
+fn pair_and_oracle(name: &str, len: &str, seed: &str) -> (PathBuf, String) {
+    let fa = tmp(name);
+    let gen = flsa(&[
+        "gen",
+        "--len",
+        len,
+        "--seed",
+        seed,
+        "-o",
+        fa.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success(), "{gen:?}");
+    let seq = flsa(&["align", fa.to_str().unwrap()]);
+    assert!(seq.status.success(), "{seq:?}");
+    (fa, stdout(&seq))
+}
+
+#[test]
+fn sharded_stdout_is_byte_identical_to_sequential() {
+    let (fa, oracle) = pair_and_oracle("clean.fa", "300", "17");
+    for shards in ["1", "2", "4"] {
+        let out = flsa(&["align", "--shards", shards, fa.to_str().unwrap()]);
+        assert!(out.status.success(), "shards={shards}: {out:?}");
+        assert_eq!(stdout(&out), oracle, "shards={shards}: stdout diverged");
+    }
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn sigkilled_workers_still_produce_identical_output() {
+    let (fa, oracle) = pair_and_oracle("kill.fa", "260", "23");
+    // Every slot SIGKILLs itself on its first task: the fleet dies for
+    // real (no in-process shortcut — respawns are clean and finish the
+    // job), and the answer must not change.
+    let out = flsa(&[
+        "align",
+        "--shards",
+        "2",
+        "--shard-fault",
+        "kill:0;kill:0",
+        fa.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(
+        stdout(&out),
+        oracle,
+        "stdout diverged after worker SIGKILLs"
+    );
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn mixed_fault_fleet_is_identical_too() {
+    let (fa, oracle) = pair_and_oracle("mix.fa", "220", "31");
+    // Slot 0 corrupts a result frame (CRC burn), slot 1 runs clean.
+    let out = flsa(&[
+        "align",
+        "--shards",
+        "2",
+        "--shard-fault",
+        "corrupt:1;",
+        fa.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(stdout(&out), oracle);
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn incompatible_combinations_are_usage_errors() {
+    let (fa, _) = pair_and_oracle("combo.fa", "80", "3");
+    let fa_s = fa.to_str().unwrap();
+    let ck = tmp("combo.ck");
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["align", "--shards", "2", "--threads", "4", fa_s],
+        vec![
+            "align",
+            "--shards",
+            "2",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            fa_s,
+        ],
+        vec!["align", "--shards", "2", "--memory", "1000000", fa_s],
+        vec!["align", "--shards", "2", "--deadline-ms", "100", fa_s],
+        vec!["align", "--shards", "2", "--kernel", "scalar", fa_s],
+        // Sharding is a fastlsa execution mode, not a generic wrapper.
+        vec!["align", "--shards", "2", "--algo", "nw", fa_s],
+    ];
+    for case in cases {
+        let out = flsa(&case);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{case:?}: expected usage exit, got {out:?}"
+        );
+    }
+    std::fs::remove_file(fa).ok();
+}
+
+#[test]
+fn shard_worker_rejects_bad_arguments() {
+    let out = flsa(&["shard-worker", "--fault", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = flsa(&["shard-worker", "stray-positional"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn bench_shard_gates_and_writes_the_report() {
+    let report = tmp("bench.json");
+    let out = flsa(&[
+        "bench",
+        "shard",
+        "--len",
+        "150",
+        "--reps",
+        "1",
+        "--shards",
+        "2",
+        "--ops",
+        "2",
+        "--gate",
+        "60000",
+        "-o",
+        report.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let body = std::fs::read_to_string(&report).expect("report written");
+    assert!(body.contains("\"bench\": \"shard\""), "{body}");
+    assert!(body.contains("\"identical\": true"), "{body}");
+    assert!(!body.contains("\"identical\": false"), "{body}");
+    std::fs::remove_file(report).ok();
+}

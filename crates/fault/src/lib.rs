@@ -24,6 +24,7 @@
 
 pub mod crash;
 pub mod serve;
+pub mod shard;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

@@ -1,0 +1,252 @@
+//! Seeded fault plans for sharded multi-process execution
+//! (`flsa-shard`).
+//!
+//! Same philosophy as [`crate::serve`], one more layer out: a 64-bit
+//! seed deterministically describes a *fleet-level* fault scenario —
+//! how many worker processes, which of them are faulty, what each
+//! faulty worker does (real SIGKILL, hang with the write lock held,
+//! CRC-corrupt a result, stall mid-frame), and at which wavefront
+//! phase the fault fires. The plan is pure data: `flsa-shard`'s chaos
+//! harness (which dev-depends on this crate) renders it into per-slot
+//! `--fault` specs for [`ShardFaultPlan::worker_faults`] and asserts
+//! that every scenario ends with a result **byte-identical** to the
+//! sequential reference or a typed `ShardError` — never a hang, a
+//! wrong answer, or a liveness gauge that fails to return to baseline.
+//!
+//! Seeds rotate through the classes (`seed % 4`), so any 4 consecutive
+//! seeds cover kill/hang/corrupt/slow-pipe, and the in-range seeds also
+//! sweep the wavefront phase (`Early`/`Mid`/`Late`) and the all-workers-
+//! faulty + cursed-respawn combinations that drive quarantine and the
+//! in-process fallback rung.
+
+use crate::SplitMix64;
+
+/// Which process-level failure a faulty worker injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// The worker SIGKILLs itself when the target task arrives — a real
+    /// uncatchable kill, detected as pipe EOF.
+    WorkerKill,
+    /// The worker seizes its write lock and sleeps forever — heartbeats
+    /// stop; only staleness detection can reclaim the task.
+    WorkerHang,
+    /// The worker flips a bit inside the target result's frame body —
+    /// framing stays intact, the CRC fails, trust is burned.
+    CorruptResult,
+    /// The worker stalls mid-frame on every result write — a half
+    /// -written frame parks the coordinator's reader; short stalls must
+    /// be absorbed, long ones must trip the task deadline.
+    SlowPipe,
+}
+
+impl ShardFaultKind {
+    /// Stable name for test labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardFaultKind::WorkerKill => "worker-kill",
+            ShardFaultKind::WorkerHang => "worker-hang",
+            ShardFaultKind::CorruptResult => "corrupt-result",
+            ShardFaultKind::SlowPipe => "slow-pipe",
+        }
+    }
+}
+
+/// When in a worker's task stream the fault fires (per-worker task
+/// ordinal, which tracks the wavefront: a worker's first task is early
+/// in the frontier, later ordinals land mid- and late-wavefront or in
+/// the trace chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPhase {
+    /// Ordinal 0: the worker's very first task.
+    Early,
+    /// Ordinals 1–3: mid-wavefront.
+    Mid,
+    /// Ordinals 4–7: late wavefront / trace chain.
+    Late,
+}
+
+impl FaultPhase {
+    /// Stable name for test labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPhase::Early => "early",
+            FaultPhase::Mid => "mid",
+            FaultPhase::Late => "late",
+        }
+    }
+}
+
+/// One deterministic fleet-chaos scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFaultPlan {
+    /// The seed the plan came from (diagnostics).
+    pub seed: u64,
+    /// Fault class (`seed % 4`).
+    pub kind: ShardFaultKind,
+    /// Wavefront phase the fault targets.
+    pub phase: FaultPhase,
+    /// Worker slots the scenario runs with.
+    pub shards: usize,
+    /// How many leading slots are faulty (`1..=shards`; all-faulty
+    /// scenarios exercise quarantine and the in-process fallback).
+    pub faulty: usize,
+    /// Per-worker task ordinal the fault fires at.
+    pub at_task: u64,
+    /// `SlowPipe`: mid-frame stall per result, milliseconds.
+    pub slow_ms: u64,
+    /// Respawned workers inherit the slot's fault spec — a cursed host,
+    /// the ladder's path to quarantine and the fallback rung.
+    pub refault_respawns: bool,
+}
+
+impl ShardFaultPlan {
+    /// Derives a scenario from `seed`; consecutive seeds rotate through
+    /// every fault class.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x51a2_d51a_2d51_a2d5);
+        let kind = match seed % 4 {
+            0 => ShardFaultKind::WorkerKill,
+            1 => ShardFaultKind::WorkerHang,
+            2 => ShardFaultKind::CorruptResult,
+            _ => ShardFaultKind::SlowPipe,
+        };
+        let phase = match rng.below(3) {
+            0 => FaultPhase::Early,
+            1 => FaultPhase::Mid,
+            _ => FaultPhase::Late,
+        };
+        let at_task = match phase {
+            FaultPhase::Early => 0,
+            FaultPhase::Mid => 1 + rng.below(3),
+            FaultPhase::Late => 4 + rng.below(4),
+        };
+        let shards = 2 + rng.below(3) as usize;
+        // Mostly one bad apple; sometimes the whole fleet, which (with
+        // cursed respawns) is the only road to total quarantine.
+        let faulty = if rng.below(4) == 0 {
+            shards
+        } else {
+            1 + rng.below(shards as u64) as usize
+        };
+        let slow_ms = if rng.below(3) == 0 {
+            // Past any sane task deadline: must trip it, not hang.
+            600 + rng.below(200)
+        } else {
+            15 + rng.below(60)
+        };
+        let refault_respawns = rng.below(3) == 0;
+        ShardFaultPlan {
+            seed,
+            kind,
+            phase,
+            shards,
+            faulty,
+            at_task,
+            slow_ms,
+            refault_respawns,
+        }
+    }
+
+    /// Renders the per-slot `--fault` specs (the grammar of
+    /// `flsa_shard::WorkerFault::parse`): the leading `faulty` slots get
+    /// the fault, the rest run clean.
+    pub fn worker_faults(&self) -> Vec<String> {
+        let spec = match self.kind {
+            ShardFaultKind::WorkerKill => format!("kill:{}", self.at_task),
+            ShardFaultKind::WorkerHang => format!("hang:{}", self.at_task),
+            ShardFaultKind::CorruptResult => format!("corrupt:{}", self.at_task),
+            ShardFaultKind::SlowPipe => format!("slow:{}", self.slow_ms),
+        };
+        (0..self.shards)
+            .map(|i| {
+                if i < self.faulty {
+                    spec.clone()
+                } else {
+                    String::new()
+                }
+            })
+            .collect()
+    }
+
+    /// Stable label for diagnostics.
+    pub fn label(&self) -> String {
+        format!(
+            "seed={} {}@{} shards={} faulty={}{}",
+            self.seed,
+            self.kind.name(),
+            self.phase.name(),
+            self.shards,
+            self.faulty,
+            if self.refault_respawns { " cursed" } else { "" }
+        )
+    }
+}
+
+/// The chaos matrix: ≥ 24 seeded plans covering every fault class at
+/// every wavefront phase, single-slot and whole-fleet faults, clean and
+/// cursed respawns.
+pub fn chaos_matrix() -> Vec<ShardFaultPlan> {
+    (0..28).map(ShardFaultPlan::from_seed).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_reproducible() {
+        for seed in 0..64 {
+            assert_eq!(
+                ShardFaultPlan::from_seed(seed),
+                ShardFaultPlan::from_seed(seed)
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_is_big_and_covers_every_class_and_phase() {
+        let plans = chaos_matrix();
+        assert!(plans.len() >= 24, "only {} plans", plans.len());
+        for kind in [
+            ShardFaultKind::WorkerKill,
+            ShardFaultKind::WorkerHang,
+            ShardFaultKind::CorruptResult,
+            ShardFaultKind::SlowPipe,
+        ] {
+            assert!(
+                plans.iter().any(|p| p.kind == kind),
+                "matrix missing {kind:?}"
+            );
+        }
+        for phase in [FaultPhase::Early, FaultPhase::Mid, FaultPhase::Late] {
+            assert!(
+                plans.iter().any(|p| p.phase == phase),
+                "matrix missing {phase:?}"
+            );
+        }
+        assert!(
+            plans.iter().any(|p| p.faulty == p.shards),
+            "matrix has no whole-fleet fault"
+        );
+        assert!(
+            plans.iter().any(|p| p.refault_respawns),
+            "matrix has no cursed respawn"
+        );
+    }
+
+    #[test]
+    fn rendered_specs_are_in_grammar() {
+        for plan in chaos_matrix() {
+            let specs = plan.worker_faults();
+            assert_eq!(specs.len(), plan.shards);
+            assert!(specs[0].contains(':'), "slot 0 must be faulty");
+            for spec in &specs {
+                for part in spec.split(',').filter(|p| !p.is_empty()) {
+                    let (name, value) = part.split_once(':').expect("name:value");
+                    assert!(["kill", "hang", "corrupt", "slow"].contains(&name));
+                    value.parse::<u64>().expect("numeric value");
+                }
+            }
+        }
+    }
+}

@@ -180,6 +180,37 @@ pub const SERVE_REQUEST_NS: &str = "flsa_serve_request_ns";
 /// Time jobs spent parked waiting for admission bytes, in ns (histogram).
 pub const SERVE_ADMIT_WAIT_NS: &str = "flsa_serve_admit_wait_ns";
 
+// --- Sharded execution (flsa-shard) --------------------------------------
+
+/// Block tasks handed to a worker process (counter; re-dispatches of the
+/// same task count again).
+pub const SHARD_TASKS_DISPATCHED_TOTAL: &str = "flsa_shard_tasks_dispatched_total";
+/// Block tasks whose result was accepted (counter).
+pub const SHARD_TASKS_COMPLETED_TOTAL: &str = "flsa_shard_tasks_completed_total";
+/// Tasks put back on the ready queue after a worker failure (counter).
+pub const SHARD_TASKS_REASSIGNED_TOTAL: &str = "flsa_shard_tasks_reassigned_total";
+/// Tasks executed in-process after exhausting their remote retry budget
+/// or because no healthy worker remained (counter).
+pub const SHARD_TASKS_INPROCESS_TOTAL: &str = "flsa_shard_tasks_inprocess_total";
+/// Result frames rejected by CRC or decode validation (counter).
+pub const SHARD_RESULTS_CORRUPT_TOTAL: &str = "flsa_shard_results_corrupt_total";
+/// Worker processes spawned, including respawns (counter).
+pub const SHARD_WORKERS_SPAWNED_TOTAL: &str = "flsa_shard_workers_spawned_total";
+/// Workers killed by the coordinator — missed deadline, stale heartbeat,
+/// or protocol desync (counter).
+pub const SHARD_WORKERS_KILLED_TOTAL: &str = "flsa_shard_workers_killed_total";
+/// Worker slots currently quarantined after repeated failures (gauge).
+pub const SHARD_WORKERS_QUARANTINED: &str = "flsa_shard_workers_quarantined";
+/// Worker processes currently alive (gauge; back to 0 after every run).
+pub const SHARD_WORKERS_LIVE: &str = "flsa_shard_workers_live";
+/// Tasks currently executing on a worker (gauge; 0 between runs).
+pub const SHARD_TASKS_INFLIGHT: &str = "flsa_shard_tasks_inflight";
+/// Heartbeat frames received from workers (counter).
+pub const SHARD_HEARTBEATS_TOTAL: &str = "flsa_shard_heartbeats_total";
+/// Wall time of one remote task, dispatch to accepted result, in ns
+/// (histogram).
+pub const SHARD_TASK_NS: &str = "flsa_shard_task_ns";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +265,18 @@ mod tests {
             SERVE_RECOVERED_TOTAL,
             SERVE_REQUEST_NS,
             SERVE_ADMIT_WAIT_NS,
+            SHARD_TASKS_DISPATCHED_TOTAL,
+            SHARD_TASKS_COMPLETED_TOTAL,
+            SHARD_TASKS_REASSIGNED_TOTAL,
+            SHARD_TASKS_INPROCESS_TOTAL,
+            SHARD_RESULTS_CORRUPT_TOTAL,
+            SHARD_WORKERS_SPAWNED_TOTAL,
+            SHARD_WORKERS_KILLED_TOTAL,
+            SHARD_WORKERS_QUARANTINED,
+            SHARD_WORKERS_LIVE,
+            SHARD_TASKS_INFLIGHT,
+            SHARD_HEARTBEATS_TOTAL,
+            SHARD_TASK_NS,
         ];
         v.extend_from_slice(CELLS_BACKEND_TOTAL);
         v

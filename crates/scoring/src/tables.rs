@@ -11,7 +11,7 @@
 
 use flsa_seq::Alphabet;
 
-use crate::SubstitutionMatrix;
+use crate::{GapModel, ScoringScheme, SubstitutionMatrix};
 
 /// Alphabet of the paper's Table 1 fragment, in the table's own order.
 pub fn mdm_fragment_alphabet() -> Alphabet {
@@ -143,6 +143,22 @@ pub fn dna_default() -> SubstitutionMatrix {
 /// cross-check (Hirschberg's original problem).
 pub fn identity(alphabet: Alphabet) -> SubstitutionMatrix {
     SubstitutionMatrix::match_mismatch("identity", alphabet, 1, 0)
+}
+
+/// Resolves a named scheme with a linear gap penalty — the single matrix
+/// registry shared by the CLI, the serve daemon, and the shard protocol,
+/// so every surface accepts exactly the same names. `None` for unknown
+/// names.
+pub fn scheme_by_name(name: &str, gap: i32) -> Option<ScoringScheme> {
+    let matrix = match name {
+        "dna" => dna_default(),
+        "blosum62" => blosum62(),
+        "pam250" => pam250(),
+        "identity" => identity(Alphabet::dna()),
+        "paper" => mdm_fragment(),
+        _ => return None,
+    };
+    Some(ScoringScheme::new(matrix, GapModel::linear(gap)))
 }
 
 #[cfg(test)]

@@ -10,8 +10,8 @@
 
 use fastlsa_core::{model, AlignError, FastLsaConfig};
 use flsa_dp::{Move, Path};
-use flsa_scoring::{tables, GapModel, ScoringScheme};
-use flsa_seq::{Alphabet, Sequence};
+use flsa_scoring::{tables, ScoringScheme};
+use flsa_seq::Sequence;
 
 use crate::wire::{AlignRequest, ErrorCode};
 
@@ -64,15 +64,7 @@ pub struct JobSpec {
 /// the CLI uses: this is the server-side source of truth for which
 /// matrices exist.
 pub fn scheme_for(name: &str, gap: i32) -> Result<ScoringScheme, String> {
-    let matrix = match name {
-        "dna" => tables::dna_default(),
-        "blosum62" => tables::blosum62(),
-        "pam250" => tables::pam250(),
-        "identity" => tables::identity(Alphabet::dna()),
-        "paper" => tables::mdm_fragment(),
-        other => return Err(format!("unknown matrix {other:?}")),
-    };
-    Ok(ScoringScheme::new(matrix, GapModel::linear(gap)))
+    tables::scheme_by_name(name, gap).ok_or_else(|| format!("unknown matrix {name:?}"))
 }
 
 /// Validates a request into a [`JobSpec`], or a typed rejection.

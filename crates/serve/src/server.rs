@@ -81,6 +81,12 @@ pub struct ServeConfig {
     pub spool_dir: Option<PathBuf>,
     /// Jobs with `m · n` at or above this are spooled + checkpointed.
     pub spool_min_cells: u64,
+    /// Retention cap on completed spool results: only the newest this
+    /// many `.done` files are kept; older ones are garbage-collected
+    /// after each completion (and once at startup), in the crash-safe
+    /// `.done`-before-`.req` order — a restart mid-GC never orphans an
+    /// accepted job.
+    pub spool_retain_done: usize,
     /// Checkpoint cadence (blocks) for spooled jobs.
     pub checkpoint_every_blocks: u64,
     /// Metrics registry (`None` = detached handles).
@@ -102,6 +108,7 @@ impl ServeConfig {
             default_deadline_ms: 0,
             spool_dir: None,
             spool_min_cells: 250_000,
+            spool_retain_done: 256,
             checkpoint_every_blocks: 4,
             registry: None,
             hooks: None,
@@ -214,6 +221,7 @@ struct Shared {
     workers: usize,
     default_deadline_ms: u32,
     spool_min_cells: u64,
+    spool_retain_done: usize,
 }
 
 /// A running daemon. Lifecycle: [`Server::start`] → (serve traffic) →
@@ -272,7 +280,13 @@ impl Server {
             workers: cfg.workers,
             default_deadline_ms: cfg.default_deadline_ms,
             spool_min_cells: cfg.spool_min_cells,
+            spool_retain_done: cfg.spool_retain_done,
         });
+
+        // Cap whatever result backlog the previous process left behind.
+        if let Some(s) = &shared.spool {
+            s.gc(shared.spool_retain_done);
+        }
 
         // Re-queue crash-recovered jobs before any new traffic arrives.
         for rec in recovered {
@@ -746,6 +760,7 @@ fn deliver(shared: &Arc<Shared>, job: &QueuedJob, frame: &Frame, terminal: bool)
         if let Some(s) = &shared.spool {
             let _ = s.write_done(job.seq, frame);
             s.mark_complete(job.seq);
+            s.gc(shared.spool_retain_done);
         }
     }
     respond_conn(&job.responder, frame);

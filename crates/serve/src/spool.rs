@@ -184,6 +184,55 @@ impl Spool {
         Ok((pending, max_seq + 1))
     }
 
+    /// The ordered deletion plan for [`Spool::gc`]: keep the newest
+    /// `keep_done` completed results, collect everything older. Within
+    /// one job the order is `.done` before `.req` before `.ckpt`, so at
+    /// every prefix of the plan an accepted job is either durably
+    /// answered (`.done` still present) or re-runnable at recovery
+    /// (`.req` still present) — a crash mid-GC can cost duplicate work,
+    /// never lose a job. Jobs without a `.done` are never planned: GC
+    /// only ever touches completed work.
+    pub fn gc_plan(&self, keep_done: usize) -> Vec<PathBuf> {
+        let mut done_seqs: Vec<u64> = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((seq, "done")) = parse_name(name) {
+                done_seqs.push(seq);
+            }
+        }
+        done_seqs.sort_unstable();
+        let excess = done_seqs.len().saturating_sub(keep_done);
+        let mut plan = Vec::new();
+        for seq in done_seqs.into_iter().take(excess) {
+            plan.push(self.done_path(seq));
+            for ext in ["req", "ckpt"] {
+                let p = self.path_for(seq, ext);
+                if p.exists() {
+                    plan.push(p);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Applies the retention cap: removes completed jobs beyond the
+    /// newest `keep_done`, in the crash-safe order of [`Spool::gc_plan`].
+    /// Best-effort (a file that will not delete is retried by the next
+    /// pass); returns how many files were removed.
+    pub fn gc(&self, keep_done: usize) -> usize {
+        let mut removed = 0;
+        for path in self.gc_plan(keep_done) {
+            if std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Every `(seq, response)` recorded in the spool, ordered by seq —
     /// the kill–restore test's comparison set.
     pub fn done_results(&self) -> Vec<(u64, Vec<u8>)> {
@@ -294,6 +343,116 @@ mod tests {
             spool.recover().unwrap_err(),
             SpoolError::Corrupt(_)
         ));
+    }
+
+    fn done_frame(id: u64) -> Frame {
+        Frame::Ok(AlignOk {
+            id,
+            score: 1,
+            cigar: "3M".to_string(),
+        })
+    }
+
+    /// Builds the GC fixture: seqs 1–4 completed (`.done` only), seq 5
+    /// completed but interrupted before `mark_complete` (`.req` +
+    /// `.ckpt` + `.done` — the crash-window shape), seqs 6–7 pending
+    /// (`.req` only).
+    fn gc_fixture(name: &str) -> Spool {
+        let spool = Spool::open(tmpdir(name)).unwrap();
+        for seq in 1..=4 {
+            spool.write_done(seq, &done_frame(seq)).unwrap();
+        }
+        spool.write_request(5, &request(50)).unwrap();
+        std::fs::write(spool.ckpt_path(5), b"not a real snapshot").unwrap();
+        spool.write_done(5, &done_frame(50)).unwrap();
+        for seq in 6..=7 {
+            spool.write_request(seq, &request(seq * 10)).unwrap();
+        }
+        spool
+    }
+
+    #[test]
+    fn gc_caps_results_and_never_touches_pending_jobs() {
+        let spool = gc_fixture("gc-cap");
+        let removed = spool.gc(2);
+        // Seqs 1–3 collected (one file each); 4 and 5 are the newest 2.
+        assert_eq!(removed, 3);
+        assert!(spool.read_done(3).is_none());
+        assert!(spool.read_done(4).is_some());
+        assert!(spool.read_done(5).is_some());
+        let (jobs, _) = spool.recover().unwrap();
+        let pending: Vec<u64> = jobs.iter().map(|j| j.seq).collect();
+        assert_eq!(pending, vec![6, 7], "pending jobs must survive GC");
+        // Under the cap: a second pass is a no-op.
+        assert_eq!(spool.gc(2), 0);
+    }
+
+    #[test]
+    fn gc_plan_deletes_done_before_req_within_a_job() {
+        let spool = gc_fixture("gc-order");
+        let plan = spool.gc_plan(0);
+        let exts_for = |seq: u64| -> Vec<String> {
+            plan.iter()
+                .filter_map(|p| parse_name(p.file_name()?.to_str()?))
+                .filter(|(s, _)| *s == seq)
+                .map(|(_, ext)| ext.to_string())
+                .collect()
+        };
+        // The crash-window job has all three files planned, `.done`
+        // first so no prefix of the plan leaves it neither answerable
+        // nor re-runnable.
+        assert_eq!(exts_for(5), vec!["done", "req", "ckpt"]);
+        for seq in 1..=4 {
+            assert_eq!(exts_for(seq), vec!["done"]);
+        }
+        // Pending jobs are not in the plan at all.
+        assert!(exts_for(6).is_empty());
+        assert!(exts_for(7).is_empty());
+    }
+
+    #[test]
+    fn restart_mid_gc_never_orphans_an_accepted_job() {
+        // Replay a crash at every point of the GC: for each prefix of
+        // the deletion plan, apply exactly that prefix to a fresh spool
+        // and restart (recover). Accepted-but-unanswered jobs must
+        // always come back, and the crash-window job must always be
+        // either durably answered or re-runnable.
+        let plan_len = gc_fixture("gc-plan-probe").gc_plan(0).len();
+        assert!(plan_len >= 7, "fixture should plan 4 + 3 deletions");
+        for crash_after in 0..=plan_len {
+            let spool = gc_fixture("gc-crash");
+            let plan = spool.gc_plan(0);
+            assert_eq!(plan.len(), plan_len, "plan must be deterministic");
+            for path in &plan[..crash_after] {
+                std::fs::remove_file(path).unwrap();
+            }
+            // Restart: recovery must decode cleanly...
+            let (jobs, _) = spool
+                .recover()
+                .unwrap_or_else(|e| panic!("crash after {crash_after}: {e}"));
+            let recovered: Vec<u64> = jobs.iter().map(|j| j.seq).collect();
+            // ...pending jobs are never lost...
+            for seq in [6, 7] {
+                assert!(
+                    recovered.contains(&seq),
+                    "crash after {crash_after}: pending job {seq} orphaned"
+                );
+            }
+            // ...and the crash-window job is answered, re-runnable, or
+            // intentionally collected. Because `.done` is planned
+            // before `.req`, "collected" is exactly "the `.req`
+            // deletion has executed" — there is no prefix where the
+            // job is half-deleted into an orphan.
+            let req5 = plan
+                .iter()
+                .position(|p| p == &spool.done_path(5).with_extension("req"))
+                .expect("crash-window .req is planned");
+            let collected = crash_after > req5;
+            assert!(
+                collected || spool.read_done(5).is_some() || recovered.contains(&5),
+                "crash after {crash_after}: job 5 orphaned"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,601 @@
+//! The `FLSASHD1` coordinator↔worker wire protocol (DESIGN.md §15).
+//!
+//! Both directions of a worker pipe open with the 8-byte preamble
+//! `FLSASHD1`; after that the stream is length-prefixed frames:
+//!
+//! ```text
+//! +-------------+---------+------------------+---------------------+
+//! | len: u32 LE | tag: u8 | body (tag-based) | crc32(tag+body) u32 |
+//! +-------------+---------+------------------+---------------------+
+//! ```
+//!
+//! `len` counts everything after the prefix (tag + body + crc) and must
+//! be `5..=MAX_FRAME`. The body is encoded with the checkpoint crate's
+//! [`flsa_checkpoint::wire`] primitives — the same CRC32 framing and
+//! allocation-bomb-safe cursor the `FLSACKP1` snapshot format uses, so
+//! a corrupted inner length rejects *before* any allocation and a
+//! bit-flipped result frame fails its checksum instead of producing a
+//! wrong alignment.
+//!
+//! Failure taxonomy mirrors `FLSASRV1`:
+//!
+//! * [`WireError::Frame`] — the length prefix is damaged or the stream
+//!   died mid-frame; framing is lost and the peer is untrustworthy.
+//! * [`WireError::Malformed`] — a well-framed payload that fails its
+//!   CRC or does not parse. The coordinator treats this exactly like a
+//!   dead worker: the result is discarded and the task reassigned,
+//!   because a peer that ships one corrupt frame cannot be trusted to
+//!   frame the next one correctly.
+
+use std::io::{Read, Write};
+
+use flsa_checkpoint::wire::{crc32, Cur, Enc};
+use flsa_checkpoint::CheckpointError;
+
+/// Pipe preamble: protocol name + version, written by both sides
+/// immediately after the pipe opens.
+pub const PREAMBLE: &[u8; 8] = b"FLSASHD1";
+
+/// Hard cap on a frame (tag + body + crc). Large enough for a grid
+/// block's sequence slices and boundaries at any realistic split, small
+/// enough that a hostile length prefix cannot OOM the coordinator.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Typed decode/transport failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Framing damage: length prefix invalid or stream died mid-frame.
+    Frame {
+        /// What was wrong with the framing.
+        detail: String,
+    },
+    /// A complete frame that failed its CRC or did not parse.
+    Malformed {
+        /// What failed to verify or parse.
+        detail: String,
+    },
+    /// Transport I/O error.
+    Io {
+        /// The underlying error.
+        detail: String,
+    },
+    /// Clean end-of-stream between frames.
+    Closed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Frame { detail } => write!(f, "framing error: {detail}"),
+            WireError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            WireError::Io { detail } => write!(f, "i/o error: {detail}"),
+            WireError::Closed => write!(f, "pipe closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn malformed(e: CheckpointError) -> WireError {
+    WireError::Malformed {
+        detail: e.to_string(),
+    }
+}
+
+/// What a task asks the worker to compute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Fill-Cache: compute the block's last row and/or last column.
+    Fill {
+        /// Return the bottom boundary row (`cols + 1` values).
+        want_bottom: bool,
+        /// Return the right boundary column (`rows + 1` values).
+        want_right: bool,
+    },
+    /// Base-Case: fill the block's full matrix and trace back from
+    /// `head` (block-local coordinates) to the block's top/left edge.
+    Trace {
+        /// Traceback entry point, block-local, `1 ≤ head ≤ (rows, cols)`.
+        head: (u64, u64),
+    },
+}
+
+/// One self-contained block task. Everything the worker needs is in the
+/// spec — sequences as alphabet codes, exact input boundaries, and the
+/// named scheme — so a reassigned task can go to a freshly spawned
+/// worker with no session state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Coordinator-chosen id, echoed on the result.
+    pub task_id: u64,
+    /// Named substitution matrix (`dna`, `blosum62`, `pam250`,
+    /// `identity`, `paper`) — the registry in
+    /// [`flsa_scoring::tables::scheme_by_name`].
+    pub matrix: String,
+    /// Linear gap penalty.
+    pub gap: i32,
+    /// Block slice of sequence A, as alphabet codes (`rows` residues).
+    pub a: Vec<u8>,
+    /// Block slice of sequence B, as alphabet codes (`cols` residues).
+    pub b: Vec<u8>,
+    /// Input top boundary, length `cols + 1`.
+    pub top: Vec<i32>,
+    /// Input left boundary, length `rows + 1`.
+    pub left: Vec<i32>,
+    /// What to compute.
+    pub kind: TaskKind,
+}
+
+/// A completed task's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutput {
+    /// Fill-Cache result. Boundaries not requested come back empty.
+    Fill {
+        /// Bottom boundary row (`cols + 1` values, or empty).
+        bottom: Vec<i32>,
+        /// Right boundary column (`rows + 1` values, or empty).
+        right: Vec<i32>,
+    },
+    /// Base-Case result: the traceback segment and where it left the
+    /// block.
+    Trace {
+        /// Path moves in traceback order (end → start), as
+        /// [`flsa_dp::Move`] codes.
+        rev_moves: Vec<u8>,
+        /// Block-local exit point on the top row or left column.
+        exit: (u64, u64),
+    },
+}
+
+/// Every frame the protocol speaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → coordinator: alive and ready, sent once after the
+    /// preamble.
+    Hello {
+        /// Worker process id (for diagnostics and hard kills).
+        pid: u32,
+    },
+    /// Coordinator → worker: execute a task.
+    Task(TaskSpec),
+    /// Worker → coordinator: task finished.
+    Result {
+        /// Echoed task id.
+        task_id: u64,
+        /// The computed payload.
+        output: TaskOutput,
+    },
+    /// Worker → coordinator: periodic liveness beacon.
+    Heartbeat {
+        /// Monotonic per-worker sequence number.
+        seq: u64,
+    },
+    /// Coordinator → worker: finish up and exit cleanly.
+    Shutdown,
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_TASK: u8 = 0x02;
+const TAG_RESULT: u8 = 0x03;
+const TAG_HEARTBEAT: u8 = 0x04;
+const TAG_SHUTDOWN: u8 = 0x05;
+
+const KIND_FILL: u8 = 0x01;
+const KIND_TRACE: u8 = 0x02;
+
+const OUT_FILL: u8 = 0x01;
+const OUT_TRACE: u8 = 0x02;
+
+// --- encoding ------------------------------------------------------------
+
+/// Encodes `frame` as tag + body, without length prefix or CRC.
+fn encode_body(frame: &Frame) -> Vec<u8> {
+    let mut e = Enc::default();
+    match frame {
+        Frame::Hello { pid } => {
+            e.u8(TAG_HELLO);
+            e.u32(*pid);
+        }
+        Frame::Task(t) => {
+            e.u8(TAG_TASK);
+            e.u64(t.task_id);
+            e.str(&t.matrix);
+            e.i32(t.gap);
+            e.bytes(&t.a);
+            e.bytes(&t.b);
+            e.i32s(&t.top);
+            e.i32s(&t.left);
+            match &t.kind {
+                TaskKind::Fill {
+                    want_bottom,
+                    want_right,
+                } => {
+                    e.u8(KIND_FILL);
+                    e.u8(*want_bottom as u8);
+                    e.u8(*want_right as u8);
+                }
+                TaskKind::Trace { head } => {
+                    e.u8(KIND_TRACE);
+                    e.u64(head.0);
+                    e.u64(head.1);
+                }
+            }
+        }
+        Frame::Result { task_id, output } => {
+            e.u8(TAG_RESULT);
+            e.u64(*task_id);
+            match output {
+                TaskOutput::Fill { bottom, right } => {
+                    e.u8(OUT_FILL);
+                    e.i32s(bottom);
+                    e.i32s(right);
+                }
+                TaskOutput::Trace { rev_moves, exit } => {
+                    e.u8(OUT_TRACE);
+                    e.bytes(rev_moves);
+                    e.u64(exit.0);
+                    e.u64(exit.1);
+                }
+            }
+        }
+        Frame::Heartbeat { seq } => {
+            e.u8(TAG_HEARTBEAT);
+            e.u64(*seq);
+        }
+        Frame::Shutdown => e.u8(TAG_SHUTDOWN),
+    }
+    e.buf
+}
+
+/// Encodes `frame` with length prefix and CRC — the exact pipe bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let body = encode_body(frame);
+    let crc = crc32(&body);
+    let mut out = Vec::with_capacity(4 + body.len() + 4);
+    out.extend_from_slice(&((body.len() + 4) as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Writes one frame (single `write_all`, so writers holding the same
+/// lock interleave at frame granularity).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes).map_err(|e| WireError::Io {
+        detail: e.to_string(),
+    })?;
+    w.flush().map_err(|e| WireError::Io {
+        detail: e.to_string(),
+    })
+}
+
+// --- decoding ------------------------------------------------------------
+
+/// Decodes one CRC-verified payload (tag + body) into a [`Frame`].
+pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cur::new(body);
+    let tag = c.u8().map_err(malformed)?;
+    let frame = match tag {
+        TAG_HELLO => Frame::Hello {
+            pid: c.u32().map_err(malformed)?,
+        },
+        TAG_TASK => {
+            let task_id = c.u64().map_err(malformed)?;
+            let matrix = c.str().map_err(malformed)?;
+            if matrix.len() > 64 {
+                return Err(WireError::Malformed {
+                    detail: format!("matrix name of {} bytes", matrix.len()),
+                });
+            }
+            let gap = c.i32().map_err(malformed)?;
+            let a = c.bytes().map_err(malformed)?;
+            let b = c.bytes().map_err(malformed)?;
+            let top = c.i32s().map_err(malformed)?;
+            let left = c.i32s().map_err(malformed)?;
+            let kind = match c.u8().map_err(malformed)? {
+                KIND_FILL => TaskKind::Fill {
+                    want_bottom: c.u8().map_err(malformed)? != 0,
+                    want_right: c.u8().map_err(malformed)? != 0,
+                },
+                KIND_TRACE => TaskKind::Trace {
+                    head: (c.u64().map_err(malformed)?, c.u64().map_err(malformed)?),
+                },
+                other => {
+                    return Err(WireError::Malformed {
+                        detail: format!("unknown task kind 0x{other:02x}"),
+                    })
+                }
+            };
+            Frame::Task(TaskSpec {
+                task_id,
+                matrix,
+                gap,
+                a,
+                b,
+                top,
+                left,
+                kind,
+            })
+        }
+        TAG_RESULT => {
+            let task_id = c.u64().map_err(malformed)?;
+            let output = match c.u8().map_err(malformed)? {
+                OUT_FILL => TaskOutput::Fill {
+                    bottom: c.i32s().map_err(malformed)?,
+                    right: c.i32s().map_err(malformed)?,
+                },
+                OUT_TRACE => TaskOutput::Trace {
+                    rev_moves: c.bytes().map_err(malformed)?,
+                    exit: (c.u64().map_err(malformed)?, c.u64().map_err(malformed)?),
+                },
+                other => {
+                    return Err(WireError::Malformed {
+                        detail: format!("unknown output kind 0x{other:02x}"),
+                    })
+                }
+            };
+            Frame::Result { task_id, output }
+        }
+        TAG_HEARTBEAT => Frame::Heartbeat {
+            seq: c.u64().map_err(malformed)?,
+        },
+        TAG_SHUTDOWN => Frame::Shutdown,
+        other => {
+            return Err(WireError::Malformed {
+                detail: format!("unknown frame tag 0x{other:02x}"),
+            })
+        }
+    };
+    if !c.done() {
+        return Err(WireError::Malformed {
+            detail: format!("{} trailing bytes after last field", c.remaining()),
+        });
+    }
+    Ok(frame)
+}
+
+/// Validates a frame length prefix before any buffer is reserved.
+pub fn check_frame_len(len: u32) -> Result<usize, WireError> {
+    let len = len as usize;
+    if len < 5 {
+        return Err(WireError::Frame {
+            detail: format!("frame length {len} below the 5-byte minimum"),
+        });
+    }
+    if len > MAX_FRAME {
+        return Err(WireError::Frame {
+            detail: format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        });
+    }
+    Ok(len)
+}
+
+/// Reads one frame from a blocking reader, verifying its CRC. A clean
+/// EOF *between* frames is [`WireError::Closed`]; an EOF mid-frame is
+/// framing damage.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Err(WireError::Closed),
+            Ok(0) => {
+                return Err(WireError::Frame {
+                    detail: "eof inside frame length".to_string(),
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(WireError::Io {
+                    detail: e.to_string(),
+                })
+            }
+        }
+    }
+    let len = check_frame_len(u32::from_le_bytes(len_buf))?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Frame {
+                detail: "eof inside frame payload".to_string(),
+            }
+        } else {
+            WireError::Io {
+                detail: e.to_string(),
+            }
+        }
+    })?;
+    let (body, crc_bytes) = payload.split_at(len - 4);
+    let want = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let got = crc32(body);
+    if want != got {
+        return Err(WireError::Malformed {
+            detail: format!("crc mismatch: frame says {want:#010x}, bytes hash to {got:#010x}"),
+        });
+    }
+    decode_body(body)
+}
+
+/// Writes the preamble.
+pub fn write_preamble(w: &mut impl Write) -> Result<(), WireError> {
+    w.write_all(PREAMBLE).map_err(|e| WireError::Io {
+        detail: e.to_string(),
+    })?;
+    w.flush().map_err(|e| WireError::Io {
+        detail: e.to_string(),
+    })
+}
+
+/// Reads and validates the peer's preamble.
+pub fn read_preamble(r: &mut impl Read) -> Result<(), WireError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Closed
+        } else {
+            WireError::Io {
+                detail: e.to_string(),
+            }
+        }
+    })?;
+    if &buf != PREAMBLE {
+        return Err(WireError::Frame {
+            detail: format!("bad preamble {buf:02x?}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_task() -> TaskSpec {
+        TaskSpec {
+            task_id: 42,
+            matrix: "dna".to_string(),
+            gap: -4,
+            a: vec![0, 1, 2, 3],
+            b: vec![3, 2, 1],
+            top: vec![0, -4, -8, -12],
+            left: vec![0, -4, -8, -12, -16],
+            kind: TaskKind::Fill {
+                want_bottom: true,
+                want_right: false,
+            },
+        }
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { pid: 1234 },
+            Frame::Task(sample_task()),
+            Frame::Task(TaskSpec {
+                kind: TaskKind::Trace { head: (4, 3) },
+                ..sample_task()
+            }),
+            Frame::Result {
+                task_id: 42,
+                output: TaskOutput::Fill {
+                    bottom: vec![1, 2, 3, 4],
+                    right: vec![],
+                },
+            },
+            Frame::Result {
+                task_id: 43,
+                output: TaskOutput::Trace {
+                    rev_moves: vec![0, 1, 2, 0],
+                    exit: (0, 2),
+                },
+            },
+            Frame::Heartbeat { seq: 7 },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in sample_frames() {
+            let wire = encode_frame(&f);
+            let mut cursor = std::io::Cursor::new(wire);
+            assert_eq!(read_frame(&mut cursor).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        // The CRC (plus the length/tag checks) must catch any one-byte
+        // corruption anywhere in the frame — this is what lets the
+        // coordinator treat a CorruptResult fault as a typed failure
+        // instead of a wrong alignment.
+        let wire = encode_frame(&Frame::Result {
+            task_id: 9,
+            output: TaskOutput::Fill {
+                bottom: vec![5, -6, 7],
+                right: vec![8],
+            },
+        });
+        for i in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bad = wire.clone();
+                bad[i] ^= 1 << bit;
+                let mut cursor = std::io::Cursor::new(bad);
+                match read_frame(&mut cursor) {
+                    Ok(f) => panic!("flip at byte {i} bit {bit} decoded as {f:?}"),
+                    Err(
+                        WireError::Frame { .. }
+                        | WireError::Malformed { .. }
+                        | WireError::Io { .. },
+                    ) => {}
+                    Err(WireError::Closed) => panic!("flip at byte {i} bit {bit} read as Closed"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_framing_damage() {
+        let wire = encode_frame(&Frame::Heartbeat { seq: 3 });
+        for cut in 1..wire.len() {
+            let mut cursor = std::io::Cursor::new(wire[..cut].to_vec());
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert!(matches!(err, WireError::Frame { .. }), "cut={cut}: {err:?}");
+        }
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_frame(&mut empty).unwrap_err(), WireError::Closed);
+    }
+
+    #[test]
+    fn allocation_bomb_lengths_reject_before_allocation() {
+        // A Task frame whose inner sequence length claims 2^60 elements:
+        // the checkpoint cursor validates against remaining bytes first.
+        let mut e = Enc::default();
+        e.u8(TAG_TASK);
+        e.u64(1); // task id
+        e.str("dna");
+        e.i32(-4);
+        e.u64(1 << 60); // hostile length prefix for `a`
+        let crc = crc32(&e.buf);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((e.buf.len() + 4) as u32).to_le_bytes());
+        wire.extend_from_slice(&e.buf);
+        wire.extend_from_slice(&crc.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            WireError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_junk_is_malformed() {
+        let mut body = encode_body(&Frame::Shutdown);
+        body.push(0);
+        let crc = crc32(&body);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((body.len() + 4) as u32).to_le_bytes());
+        wire.extend_from_slice(&body);
+        wire.extend_from_slice(&crc.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            WireError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn preamble_round_trips_and_rejects_garbage() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf).unwrap();
+        assert_eq!(&buf, PREAMBLE);
+        let mut cursor = std::io::Cursor::new(buf);
+        read_preamble(&mut cursor).unwrap();
+        let mut bad = std::io::Cursor::new(b"FLSASRV1".to_vec());
+        assert!(matches!(
+            read_preamble(&mut bad).unwrap_err(),
+            WireError::Frame { .. }
+        ));
+    }
+}

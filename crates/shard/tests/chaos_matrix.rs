@@ -1,0 +1,191 @@
+//! The coordinator chaos matrix (ISSUE 9 acceptance).
+//!
+//! ≥ 24 seeded [`ShardFaultPlan`]s — real worker SIGKILLs, hangs with
+//! the write lock held, CRC-corrupted results, and mid-frame pipe
+//! stalls, at early/mid/late wavefront phases, against single slots and
+//! whole fleets, with clean and cursed respawns — each run against the
+//! sequential engine as oracle. With the in-process fallback enabled
+//! (the default), **every** plan must end byte-identical to the
+//! unsharded baseline: the reassignment ladder guarantees completion,
+//! whatever the fleet does. With the fallback disabled, a fleet-killing
+//! plan must surface as a typed [`ShardError::NoWorkers`] — never a
+//! hang (each plan runs under a watchdog) or a wrong answer. After
+//! every plan, the worker-liveness gauges must be back at baseline.
+
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use fastlsa_core::{align_with, FastLsaConfig};
+use flsa_dp::{AlignResult, Metrics};
+use flsa_fault::shard::{chaos_matrix, ShardFaultKind, ShardFaultPlan};
+use flsa_metrics::{names, Registry};
+use flsa_scoring::tables;
+use flsa_seq::generate::homologous_pair;
+use flsa_seq::Sequence;
+use flsa_shard::{align_sharded, ShardError, ShardOptions, ShardPolicy};
+
+/// Far beyond any healthy plan; hitting it means the coordinator lost
+/// track of a task or deadlocked on a dead fleet.
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Detection windows tuned for the chaos inputs: hangs and stalls are
+/// reclaimed in a quarter second, so the whole matrix stays fast.
+fn chaos_policy() -> ShardPolicy {
+    ShardPolicy {
+        task_timeout: Duration::from_millis(500),
+        heartbeat_ms: 5,
+        heartbeat_timeout: Duration::from_millis(250),
+        max_task_attempts: 3,
+        quarantine_after: 2,
+        max_spawns: 0,
+        backoff: Duration::from_millis(2),
+        fallback_inprocess: true,
+    }
+}
+
+fn chaos_opts(plan: &ShardFaultPlan, registry: &Arc<Registry>) -> ShardOptions {
+    let mut opts = ShardOptions::new(
+        plan.shards,
+        vec![env!("CARGO_BIN_EXE_flsa-shard-worker").to_string()],
+    );
+    opts.worker_faults = plan.worker_faults();
+    opts.refault_respawns = plan.refault_respawns;
+    opts.policy = chaos_policy();
+    opts.registry = Some(Arc::clone(registry));
+    opts
+}
+
+/// Runs one plan under the watchdog; panics on timeout or an escaped
+/// panic.
+fn run_plan(
+    label: &str,
+    a: &Sequence,
+    b: &Sequence,
+    cfg: FastLsaConfig,
+    opts: ShardOptions,
+) -> Result<AlignResult, ShardError> {
+    let (tx, rx) = mpsc::channel();
+    let (a, b) = (a.clone(), b.clone());
+    thread::spawn(move || {
+        let out = align_sharded(&a, &b, "dna", -3, cfg, &opts, &Metrics::new());
+        tx.send(out).ok();
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(out) => out,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: no result within {WATCHDOG:?} — coordinator deadlocked")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("{label}: panic escaped align_sharded")
+        }
+    }
+}
+
+#[test]
+fn every_chaos_plan_ends_byte_identical_with_gauges_at_baseline() {
+    let scheme = tables::scheme_by_name("dna", -3).expect("dna scheme");
+    let (a, b) = homologous_pair("chaos", scheme.alphabet(), 110, 0.8, 0xC4A0).expect("pair");
+    let cfg = FastLsaConfig::new(4, 1 << 10);
+    let oracle = align_with(&a, &b, &scheme, cfg, &Metrics::new()).expect("oracle");
+
+    let plans = chaos_matrix();
+    assert!(plans.len() >= 24, "matrix shrank to {} plans", plans.len());
+
+    // Fault-machinery coverage accumulated across the matrix; asserted
+    // at the end so a silently-never-firing fault class can't pass.
+    let (mut killed, mut reassigned, mut corrupt, mut inprocess) = (0u64, 0u64, 0u64, 0u64);
+
+    for plan in &plans {
+        let label = plan.label();
+        let registry = Arc::new(Registry::new());
+        let opts = chaos_opts(plan, &registry);
+        let got = run_plan(&label, &a, &b, cfg, opts)
+            .unwrap_or_else(|e| panic!("{label}: fallback-enabled plan failed: {e}"));
+        assert_eq!(got.score, oracle.score, "{label}: score differs");
+        assert_eq!(got.path, oracle.path, "{label}: path differs");
+
+        for gauge in [
+            names::SHARD_WORKERS_LIVE,
+            names::SHARD_WORKERS_QUARANTINED,
+            names::SHARD_TASKS_INFLIGHT,
+        ] {
+            assert_eq!(
+                registry.gauge(gauge).get(),
+                0,
+                "{label}: {gauge} not back at baseline"
+            );
+        }
+        killed += registry.counter(names::SHARD_WORKERS_KILLED_TOTAL).get();
+        reassigned += registry.counter(names::SHARD_TASKS_REASSIGNED_TOTAL).get();
+        corrupt += registry.counter(names::SHARD_RESULTS_CORRUPT_TOTAL).get();
+        inprocess += registry.counter(names::SHARD_TASKS_INPROCESS_TOTAL).get();
+    }
+
+    assert!(killed > 0, "no worker was ever killed — faults never fired");
+    assert!(reassigned > 0, "no task was ever reassigned");
+    assert!(corrupt > 0, "no corrupt result was ever detected");
+    // The cursed whole-fleet plans must have pushed at least one task
+    // down to the coordinator's in-process rung.
+    assert!(inprocess > 0, "the in-process rung was never exercised");
+}
+
+#[test]
+fn fleet_killing_plan_without_fallback_is_a_typed_error() {
+    let scheme = tables::scheme_by_name("dna", -3).expect("dna scheme");
+    let (a, b) = homologous_pair("nofb", scheme.alphabet(), 90, 0.8, 0xF00).expect("pair");
+    let cfg = FastLsaConfig::new(4, 1 << 10);
+    let oracle = align_with(&a, &b, &scheme, cfg, &Metrics::new()).expect("oracle");
+
+    // Find whole-fleet kill plans (with cursed respawns they must drive
+    // every slot into quarantine).
+    let mut checked = 0;
+    for plan in chaos_matrix() {
+        if !(plan.kind == ShardFaultKind::WorkerKill
+            && plan.faulty == plan.shards
+            && plan.refault_respawns)
+        {
+            continue;
+        }
+        checked += 1;
+        let registry = Arc::new(Registry::new());
+        let mut opts = chaos_opts(&plan, &registry);
+        opts.policy.fallback_inprocess = false;
+        // With the fallback off, per-task in-process execution is the
+        // only escape; force the error path by exhausting slots first.
+        opts.policy.max_task_attempts = u32::MAX;
+        match run_plan(&plan.label(), &a, &b, cfg, opts) {
+            Err(ShardError::NoWorkers { .. }) => {}
+            Ok(got) => {
+                // Legitimate only if the fault ordinal never fired.
+                assert_eq!(got.path, oracle.path, "{}: wrong answer", plan.label());
+            }
+            Err(other) => panic!("{}: expected NoWorkers, got {other}", plan.label()),
+        }
+        for gauge in [names::SHARD_WORKERS_LIVE, names::SHARD_TASKS_INFLIGHT] {
+            assert_eq!(registry.gauge(gauge).get(), 0, "{gauge} leaked");
+        }
+    }
+    // A synthetic guaranteed-fleet-killer in case the seeded matrix
+    // rotates away from the combination.
+    if checked == 0 {
+        let plan = ShardFaultPlan {
+            seed: u64::MAX,
+            kind: ShardFaultKind::WorkerKill,
+            phase: flsa_fault::shard::FaultPhase::Early,
+            shards: 2,
+            faulty: 2,
+            at_task: 0,
+            slow_ms: 0,
+            refault_respawns: true,
+        };
+        let registry = Arc::new(Registry::new());
+        let mut opts = chaos_opts(&plan, &registry);
+        opts.policy.fallback_inprocess = false;
+        opts.policy.max_task_attempts = u32::MAX;
+        match run_plan("synthetic fleet-kill", &a, &b, cfg, opts) {
+            Err(ShardError::NoWorkers { .. }) => {}
+            other => panic!("synthetic fleet-kill: expected NoWorkers, got {other:?}"),
+        }
+    }
+}

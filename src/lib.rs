@@ -67,6 +67,7 @@ pub use flsa_msa as msa;
 pub use flsa_scoring as scoring;
 pub use flsa_seq as seq;
 pub use flsa_serve as serve;
+pub use flsa_shard as shard;
 pub use flsa_trace as trace;
 pub use flsa_wavefront as wavefront;
 
