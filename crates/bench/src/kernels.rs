@@ -3,18 +3,29 @@
 //! Times [`Kernel::fill_last_row`] — the row-rolling fill at the heart of
 //! both FastLSA's grid fill and Hirschberg's passes — on square global
 //! problems, for every backend the CPU supports, and reports cells/sec
-//! and ns/cell. The JSON report (`BENCH_kernels.json`) records the
-//! detected CPU features so numbers are comparable across machines, and
-//! `--gate F` turns the sweep into a regression gate: it fails unless the
-//! best vectorized backend reaches `F`× the scalar throughput on the
-//! largest problem.
+//! and ns/cell. The sweep also measures the inter-sequence
+//! [`BatchKernel`]: batches of small independent pairs aligned
+//! one-per-lane versus the same pairs aligned one at a time, reported as
+//! pairs/sec. The JSON report (`BENCH_kernels.json`) records the detected
+//! CPU features so numbers are comparable across machines, and `--gate F`
+//! turns the sweep into a regression gate: it fails unless the best
+//! vectorized backend reaches `F`× the scalar throughput on the largest
+//! problem, the widest backend is not slower than the next one down, and
+//! the batch kernel beats the single-pair path on small pairs.
 
 use std::time::Instant;
 
-use flsa_dp::{detected_cpu_features, Boundary, Kernel, KernelBackend, Metrics};
+use flsa_dp::{detected_cpu_features, BatchJob, BatchKernel, Boundary, Kernel, KernelBackend, Metrics};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::generate::homologous_pair;
 use flsa_seq::Alphabet;
+
+/// Square pair sizes the batch section measures (small jobs — the
+/// regime the inter-sequence layout exists for).
+pub const BATCH_LENS: [usize; 3] = [64, 256, 1024];
+
+/// Independent pairs per batch measurement (≥ 2 full vector chunks).
+pub const BATCH_PAIRS: usize = 32;
 
 /// One (backend, problem size) measurement.
 #[derive(Debug, Clone)]
@@ -45,11 +56,49 @@ impl KernelBenchCase {
     }
 }
 
+/// One batch-vs-single measurement: `pairs` independent `len × len`
+/// alignments, full result (score + traceback) both ways.
+#[derive(Debug, Clone)]
+pub struct BatchBenchCase {
+    /// Square pair side.
+    pub len: usize,
+    /// Pairs per measurement.
+    pub pairs: usize,
+    /// Best wall-clock for one `align_batch` over all pairs.
+    pub batched_ns: u64,
+    /// Best wall-clock for aligning the same pairs one at a time.
+    pub single_ns: u64,
+}
+
+impl BatchBenchCase {
+    /// Pairs aligned per second on the batched path.
+    pub fn pairs_per_sec(&self) -> f64 {
+        if self.batched_ns == 0 {
+            0.0
+        } else {
+            self.pairs as f64 * 1e9 / self.batched_ns as f64
+        }
+    }
+
+    /// Batched throughput over single-pair throughput.
+    pub fn speedup(&self) -> f64 {
+        if self.batched_ns == 0 {
+            0.0
+        } else {
+            self.single_ns as f64 / self.batched_ns as f64
+        }
+    }
+}
+
 /// A full sweep: every available backend × every requested length.
 #[derive(Debug, Clone)]
 pub struct KernelBenchReport {
     /// All measurements, grouped by length then backend.
     pub cases: Vec<KernelBenchCase>,
+    /// Batch-kernel measurements (one per [`BATCH_LENS`] entry).
+    pub batch: Vec<BatchBenchCase>,
+    /// The striped backend the batch measurements ran on.
+    pub batch_backend: &'static str,
     /// SIMD features the CPU reports (from `is_x86_feature_detected!`).
     pub cpu_features: Vec<&'static str>,
     /// The backend [`KernelBackend::detect_best`] would pick.
@@ -77,6 +126,34 @@ impl KernelBenchReport {
         (scalar > 0.0).then(|| best / scalar)
     }
 
+    /// Throughput of the widest vector backend over the next-widest at
+    /// the largest length — the dispatch-order sanity ratio
+    /// ([`KernelBackend::detect_best`] must not pick a slower backend).
+    /// `None` when fewer than two vector backends ran.
+    pub fn widest_vs_next(&self) -> Option<f64> {
+        let largest = self.cases.iter().map(|c| c.len).max()?;
+        // `run` pushes backends in `KernelBackend::available()` order,
+        // which is narrowest → widest.
+        let vec_cases: Vec<&KernelBenchCase> = self
+            .cases
+            .iter()
+            .filter(|c| c.len == largest && c.backend != KernelBackend::Scalar)
+            .collect();
+        let [.., next, widest] = vec_cases.as_slice() else {
+            return None;
+        };
+        let next = next.cells_per_sec();
+        (next > 0.0).then(|| widest.cells_per_sec() / next)
+    }
+
+    /// Best batched-vs-single speedup across the batch measurements.
+    pub fn batch_best_speedup(&self) -> Option<f64> {
+        self.batch
+            .iter()
+            .map(BatchBenchCase::speedup)
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))
+    }
+
     /// The JSON body of `BENCH_kernels.json`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"bench\": \"kernels\",\n  \"cpu_features\": [");
@@ -93,7 +170,27 @@ impl KernelBenchReport {
         if let Some(s) = self.best_speedup() {
             out.push_str(&format!("  \"best_speedup_vs_scalar\": {s:.3},\n"));
         }
-        out.push_str("  \"results\": [\n");
+        if let Some(r) = self.widest_vs_next() {
+            out.push_str(&format!("  \"widest_vs_next_vector\": {r:.3},\n"));
+        }
+        out.push_str(&format!(
+            "  \"batch_backend\": \"{}\",\n  \"batch\": [\n",
+            self.batch_backend
+        ));
+        for (i, c) in self.batch.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"len\": {}, \"pairs\": {}, \"batched_ns\": {}, \"single_ns\": {}, \
+                 \"pairs_per_sec\": {:.1}, \"speedup_vs_single\": {:.3}}}{}\n",
+                c.len,
+                c.pairs,
+                c.batched_ns,
+                c.single_ns,
+                c.pairs_per_sec(),
+                c.speedup(),
+                if i + 1 < self.batch.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n  \"results\": [\n");
         for (i, c) in self.cases.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"backend\": \"{}\", \"len\": {}, \"cells\": {}, \
@@ -144,13 +241,47 @@ impl KernelBenchReport {
                 ]);
             }
         }
-        t.render()
+        let mut out = t.render();
+        if !self.batch.is_empty() {
+            let mut bt = crate::Table::new(&[
+                "batch len",
+                "pairs",
+                "batched ms",
+                "single ms",
+                "pairs/s",
+                "vs single",
+            ]);
+            for c in &self.batch {
+                bt.row(&[
+                    format!("{}", c.len),
+                    format!("{}", c.pairs),
+                    format!("{:.1}", c.batched_ns as f64 / 1e6),
+                    format!("{:.1}", c.single_ns as f64 / 1e6),
+                    format!("{:.0}", c.pairs_per_sec()),
+                    format!("{:.2}x", c.speedup()),
+                ]);
+            }
+            out.push_str(&format!("batch kernel ({}):\n", self.batch_backend));
+            out.push_str(&bt.render());
+        }
+        out
     }
 }
 
-/// Runs the sweep: every CPU-supported backend on square `lens`×`lens`
-/// DNA problems, one warmup fill then the best of `reps` timed fills.
+/// Runs the standard sweep: every CPU-supported backend on square
+/// `lens`×`lens` DNA problems plus the batch section at [`BATCH_LENS`],
+/// one warmup fill then the best of `reps` timed fills.
 pub fn run(lens: &[usize], reps: usize) -> KernelBenchReport {
+    run_with(lens, &BATCH_LENS, BATCH_PAIRS, reps)
+}
+
+/// [`run`] with explicit batch-section sizes (tests use small ones).
+pub fn run_with(
+    lens: &[usize],
+    batch_lens: &[usize],
+    batch_pairs: usize,
+    reps: usize,
+) -> KernelBenchReport {
     let scheme = ScoringScheme::dna_default();
     let gap = scheme.gap().linear_penalty();
     let metrics = Metrics::new();
@@ -188,10 +319,73 @@ pub fn run(lens: &[usize], reps: usize) -> KernelBenchReport {
             });
         }
     }
+    let batch_kernel = BatchKernel::new(Kernel::auto());
+    let batch = batch_lens
+        .iter()
+        .map(|&len| bench_batch(&batch_kernel, &scheme, len, batch_pairs, reps))
+        .collect();
     KernelBenchReport {
         cases,
+        batch,
+        batch_backend: batch_kernel.backend_name(),
         cpu_features: detected_cpu_features(),
         best_backend: KernelBackend::detect_best(),
+    }
+}
+
+/// One batch-vs-single measurement: `pairs` homologous `len × len` DNA
+/// pairs, full alignment (score + path) through [`BatchKernel`] both as
+/// one batch and as single-job batches (the exact i32 single-pair path).
+fn bench_batch(
+    batch_kernel: &BatchKernel,
+    scheme: &ScoringScheme,
+    len: usize,
+    pairs: usize,
+    reps: usize,
+) -> BatchBenchCase {
+    let metrics = Metrics::new();
+    let seqs: Vec<_> = (0..pairs)
+        .map(|k| {
+            homologous_pair("bench", &Alphabet::dna(), len, 0.8, 0xba7c + k as u64)
+                .expect("bench sequence generation")
+        })
+        .collect();
+    let jobs: Vec<BatchJob<'_>> = seqs
+        .iter()
+        .map(|(sa, sb)| BatchJob {
+            a: sa.codes(),
+            b: sb.codes(),
+            scheme,
+        })
+        .collect();
+    let mut batched_ns = u64::MAX;
+    let mut single_ns = u64::MAX;
+    // Rep 0 is the untimed warmup (caches + arena pool), as above.
+    for rep in 0..=reps.max(1) {
+        let start = Instant::now();
+        let results = batch_kernel.align_batch(&jobs, &metrics);
+        let ns = start.elapsed().as_nanos() as u64;
+        assert_eq!(results.len(), pairs);
+        if rep > 0 {
+            batched_ns = batched_ns.min(ns);
+        }
+
+        let start = Instant::now();
+        // One-job batches always take the single-pair fill + traceback.
+        for job in &jobs {
+            let r = batch_kernel.align_batch(std::slice::from_ref(job), &metrics);
+            assert_eq!(r.len(), 1);
+        }
+        let ns = start.elapsed().as_nanos() as u64;
+        if rep > 0 {
+            single_ns = single_ns.min(ns);
+        }
+    }
+    BatchBenchCase {
+        len,
+        pairs,
+        batched_ns,
+        single_ns,
     }
 }
 
@@ -201,7 +395,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_every_available_backend() {
-        let report = run(&[64], 1);
+        let report = run_with(&[64], &[16], 8, 1);
         let backends: Vec<_> = report.cases.iter().map(|c| c.backend).collect();
         assert_eq!(backends, KernelBackend::available());
         // Mutation introduces indels, so cells is near (not exactly) 64².
@@ -211,7 +405,7 @@ mod tests {
 
     #[test]
     fn json_names_every_backend_and_parses_shape() {
-        let report = run(&[64], 1);
+        let report = run_with(&[64], &[16], 8, 1);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("\"scalar\""));
@@ -227,25 +421,41 @@ mod tests {
 
     #[test]
     fn speedup_compares_best_nonscalar_to_scalar() {
+        let case = |backend, best_ns| KernelBenchCase {
+            backend,
+            len: 100,
+            cells: 10_000,
+            best_ns,
+        };
         let report = KernelBenchReport {
             cases: vec![
-                KernelBenchCase {
-                    backend: KernelBackend::Scalar,
-                    len: 100,
-                    cells: 10_000,
-                    best_ns: 40_000,
-                },
-                KernelBenchCase {
-                    backend: KernelBackend::Lanes,
-                    len: 100,
-                    cells: 10_000,
-                    best_ns: 10_000,
-                },
+                case(KernelBackend::Scalar, 40_000),
+                case(KernelBackend::Avx2, 10_000),
+                case(KernelBackend::Avx512, 8_000),
             ],
+            batch: vec![],
+            batch_backend: "batch-portable",
             cpu_features: vec![],
-            best_backend: KernelBackend::Lanes,
+            best_backend: KernelBackend::Avx512,
         };
         let s = report.best_speedup().unwrap();
-        assert!((s - 4.0).abs() < 1e-9, "{s}");
+        assert!((s - 5.0).abs() < 1e-9, "{s}");
+        let r = report.widest_vs_next().unwrap();
+        assert!((r - 1.25).abs() < 1e-9, "{r}");
+        assert!(report.batch_best_speedup().is_none());
+    }
+
+    #[test]
+    fn batch_section_measures_and_serializes() {
+        let report = run_with(&[64], &[16, 40], 8, 1);
+        assert_eq!(report.batch.len(), 2);
+        for c in &report.batch {
+            assert_eq!(c.pairs, 8);
+            assert!(c.batched_ns > 0 && c.single_ns > 0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"batch_backend\""));
+        assert!(json.contains("\"speedup_vs_single\""));
+        assert!(report.render().contains("batch kernel"));
     }
 }

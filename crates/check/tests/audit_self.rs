@@ -64,8 +64,18 @@ fn r9_fixture_trips_detection_dominance() {
         report
             .findings
             .iter()
-            .any(|f| f.rule == "R9-detection-dominance" && f.message.contains("row_update_avx2")),
+            .any(|f| f.rule == "R9-detection-dominance" && f.message.contains("`row_update_avx2`")),
         "no dominance finding: {:?}",
+        report.findings
+    );
+    // The 512-bit twin: an avx512f kernel called without any dominating
+    // `is_x86_feature_detected!("avx512f")` proof must also surface.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "R9-detection-dominance" && f.message.contains("row_update_avx512")),
+        "no avx512 dominance finding: {:?}",
         report.findings
     );
 }

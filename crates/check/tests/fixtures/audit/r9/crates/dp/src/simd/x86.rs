@@ -10,3 +10,15 @@ pub unsafe fn row_update_avx2(cur: &mut [i32]) {
 pub fn dispatch(cur: &mut [i32]) {
     unsafe { row_update_avx2(cur) }
 }
+
+// Same shape at 512-bit width: an avx512f kernel invoked from a plain
+// safe fn with no dominating detection — the call site the v2 kernel
+// layer's dispatcher must never emit.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn row_update_avx512(cur: &mut [i32]) {
+    let _ = cur;
+}
+
+pub fn dispatch_avx512(cur: &mut [i32]) {
+    unsafe { row_update_avx512(cur) }
+}

@@ -1,0 +1,8 @@
+// Seeded R6 violation, AVX-512 edition: an avx512f kernel outside
+// crates/dp/src/simd/, on a safe fn, with no runtime feature-detection
+// call site for avx512f anywhere in the fixture — the unguarded shape
+// the v2 kernel layer must never regress to.
+#[target_feature(enable = "avx512f")]
+pub fn turbo_sum_avx512(xs: &[i32]) -> i32 {
+    xs.iter().sum()
+}

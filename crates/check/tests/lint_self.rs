@@ -45,6 +45,14 @@ fn seeded_fixture_trips_every_rule() {
             "fixture did not trip {rule}; findings: {findings:?}"
         );
     }
+    // The AVX-512 seed specifically: an avx512f kernel with no
+    // `is_x86_feature_detected!("avx512f")` call site must fail R6.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "R6-target-feature" && f.message.contains("avx512f")),
+        "fixture did not trip R6 on the unguarded avx512f kernel; findings: {findings:?}"
+    );
 }
 
 #[test]

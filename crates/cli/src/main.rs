@@ -32,6 +32,8 @@ flsa - FastLSA sequence alignment (Driga et al., ICPP 2003)
 
 USAGE:
     flsa align [options] A.fasta [B.fasta]
+    flsa batch [options] PAIRS.fasta [B.fasta]  align many pairs at once on the
+                                            inter-sequence batch kernel
     flsa resume [options] CKPT              continue an interrupted checkpointed run
     flsa msa   [options] FAMILY.fasta       center-star multiple alignment
     flsa serve [options]                    alignment daemon (TCP, crash-safe)
@@ -74,10 +76,10 @@ ALIGN OPTIONS:
     --shard-fault S    per-slot worker fault specs for chaos runs,
                        semicolon-separated (`kill:N`, `hang:N`,
                        `corrupt:N`, `slow:MS`; empty slot = clean)
-    --kernel K         DP kernel backend: auto (default) | scalar | lanes
-                       | sse4.1 | avx2. Every backend is bit-identical;
-                       unavailable backends are rejected. Applies to
-                       fastlsa, nw, and hirschberg.
+    --kernel K         DP kernel backend: auto (default) | scalar
+                       | sse4.1 | avx2 | avx512. Every backend is
+                       bit-identical; unavailable backends are rejected.
+                       Applies to fastlsa, nw, and hirschberg.
     --stats            print cells/memory/time metrics
     --json             print score and metrics as one JSON object instead
     --trace FILE       record an execution trace (spans, wavefront tiles,
@@ -104,6 +106,21 @@ ALIGN OPTIONS:
                        refreshed at a bounded ~5 Hz
     --quiet            suppress the alignment rendering
     --width N          alignment rendering width (default 60)
+
+BATCH OPTIONS:
+    flsa batch aligns many independent pairs in one call: small pairs
+    ride the striped inter-sequence batch kernel (8 or 16 pairs per
+    SIMD dispatch, one pair per i16 lane), with a bit-identical exact
+    fallback for lanes that could saturate. One FASTA pairs
+    consecutive records (1&2, 3&4, ...); two FASTA files pair record
+    i of the first with record i of the second. Output is one
+    tab-separated `id_a id_b score cigar` line per pair.
+    --matrix NAME      dna (default) | blosum62 | pam250 | identity | paper
+    --gap N            linear gap penalty (default -10)
+    --kernel K         as for align: auto (default) | scalar | sse4.1
+                       | avx2 | avx512
+    --json             print one JSON array instead of the table
+    --stats            print pair count, backend, cells, memory, time
 
 RESUME OPTIONS (plus --stats/--json/--quiet/--trace/--metrics/
                 --progress as for align):
@@ -308,6 +325,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     }
     match parsed.command.as_str() {
         "align" => cmd_align(&parsed),
+        "batch" => cmd_batch(&parsed),
         "resume" => cmd_resume(&parsed),
         "msa" => cmd_msa(&parsed),
         "serve" => cmd_serve(&parsed),
@@ -371,7 +389,8 @@ fn parse_kernel(a: &args::Args) -> Result<Option<KernelBackend>, CliError> {
         name => {
             let b = KernelBackend::parse(name).ok_or_else(|| {
                 CliError::usage(format!(
-                    "unknown kernel backend {name:?} (expected auto, scalar, lanes, sse4.1, avx2)"
+                    "unknown kernel backend {name:?} \
+                     (expected auto, scalar, sse4.1, avx2, avx512)"
                 ))
             })?;
             if !b.is_available() {
@@ -1257,6 +1276,106 @@ fn render_metrics_crosscheck(
     out
 }
 
+/// `flsa batch`: aligns many pairs in one call through
+/// [`fastlsa_core::align_batch`], which runs them on the striped
+/// inter-sequence batch kernel (8/16 pairs per SIMD dispatch) with a
+/// bit-identical single-pair fallback. One FASTA pairs consecutive
+/// records (1&2, 3&4, ...); two FASTA files pair record `i` of the
+/// first with record `i` of the second.
+fn cmd_batch(a: &args::Args) -> Result<(), CliError> {
+    let gap: i32 = a.get_or("gap", -10).map_err(CliError::usage)?;
+    let scheme = scheme_for(a.str_or("matrix", "dna"), gap).map_err(CliError::usage)?;
+    let kernel = parse_kernel(a)?;
+
+    let seqs: Vec<Sequence> = match &a.positional[..] {
+        [one] => {
+            let recs = fasta::read_file(one, scheme.alphabet())
+                .map_err(|e| CliError::input(e.to_string()))?;
+            if recs.len() < 2 || recs.len() % 2 != 0 {
+                return Err(CliError::input(format!(
+                    "{one} holds {} record(s); batch needs an even number (consecutive \
+                     records are paired)",
+                    recs.len()
+                )));
+            }
+            recs
+        }
+        [qa, qb] => {
+            let ra = fasta::read_file(qa, scheme.alphabet())
+                .map_err(|e| CliError::input(e.to_string()))?;
+            let rb = fasta::read_file(qb, scheme.alphabet())
+                .map_err(|e| CliError::input(e.to_string()))?;
+            if ra.len() != rb.len() || ra.is_empty() {
+                return Err(CliError::input(format!(
+                    "{qa} holds {} record(s) but {qb} holds {}; batch pairs them one-to-one",
+                    ra.len(),
+                    rb.len()
+                )));
+            }
+            // Interleave so the "consecutive records" pairing below
+            // covers both input shapes with one code path.
+            ra.into_iter()
+                .zip(rb)
+                .flat_map(|(x, y)| [x, y])
+                .collect()
+        }
+        _ => {
+            return Err(CliError::usage(
+                "batch needs one FASTA with an even number of records, or two FASTA \
+                 files with matching record counts",
+            ))
+        }
+    };
+    let pairs: Vec<(&Sequence, &Sequence)> = seqs.chunks_exact(2).map(|c| (&c[0], &c[1])).collect();
+
+    let opts = AlignOptions {
+        kernel,
+        ..AlignOptions::default()
+    };
+    let metrics = Metrics::new();
+    let start = Instant::now();
+    let results = fastlsa_core::align_batch(&pairs, &scheme, &opts, &metrics)?;
+    let elapsed = start.elapsed();
+
+    if a.has_flag("json") {
+        let mut out = String::from("[");
+        for (i, ((sa, sb), r)) in pairs.iter().zip(&results).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"a\":\"{}\",\"b\":\"{}\",\"score\":{},\"cigar\":\"{}\"}}",
+                sa.id(),
+                sb.id(),
+                r.score,
+                flsa_serve::job::cigar(&r.path)
+            ));
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        for ((sa, sb), r) in pairs.iter().zip(&results) {
+            println!(
+                "{}\t{}\t{}\t{}",
+                sa.id(),
+                sb.id(),
+                r.score,
+                flsa_serve::job::cigar(&r.path)
+            );
+        }
+    }
+    if a.has_flag("stats") {
+        let s = metrics.snapshot();
+        let backend = kernel.unwrap_or_else(KernelBackend::detect_best);
+        println!("pairs           {}", pairs.len());
+        println!("kernel backend  {}", backend.name());
+        println!("time            {elapsed:?}");
+        println!("cells computed  {}", s.cells_computed);
+        println!("peak aux memory {} bytes", s.peak_bytes);
+    }
+    Ok(())
+}
+
 fn cmd_msa(a: &args::Args) -> Result<(), CliError> {
     let gap: i32 = a.get_or("gap", -10).map_err(CliError::usage)?;
     let scheme = scheme_for(a.str_or("matrix", "dna"), gap).map_err(CliError::usage)?;
@@ -1598,6 +1717,27 @@ fn cmd_bench_kernels(a: &args::Args) -> Result<(), CliError> {
             return Err(CliError::runtime(format!(
                 "kernel speedup regression: best vectorized backend reached only \
                  {speedup:.2}x scalar (gate {gate:.2}x)"
+            )));
+        }
+        // Dispatch-order sanity: detect_best prefers the widest vector
+        // backend, so the widest must not be slower than the next-widest.
+        if let Some(ratio) = report.widest_vs_next() {
+            println!("dispatch gate   widest vector backend {ratio:.2}x next-widest, 1.00x required");
+            if ratio < 1.0 {
+                return Err(CliError::runtime(format!(
+                    "kernel dispatch regression: widest vector backend runs at only \
+                     {ratio:.2}x the next-widest, so auto-dispatch picks a slower kernel"
+                )));
+            }
+        }
+        // The inter-sequence batch kernel must earn its keep: >= 3x the
+        // single-pair path on its best measured size.
+        let batch = report.batch_best_speedup().unwrap_or(0.0);
+        println!("batch gate      {batch:.2}x measured, 3.00x required");
+        if batch < 3.0 {
+            return Err(CliError::runtime(format!(
+                "batch kernel regression: batched alignment reached only \
+                 {batch:.2}x the single-pair path (gate 3.00x)"
             )));
         }
     }

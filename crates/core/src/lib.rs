@@ -70,9 +70,9 @@ pub use model::{replay, replay_with_comm, ReplayReport};
 
 // Kernel dispatch re-exports so callers can populate
 // [`AlignOptions::kernel`] without depending on `flsa-dp` directly.
-pub use flsa_dp::{KernelArena, KernelBackend};
+pub use flsa_dp::{BatchKernel, KernelArena, KernelBackend};
 
-use flsa_dp::{AlignResult, Metrics};
+use flsa_dp::{AlignResult, BatchJob, Kernel, Metrics};
 use flsa_scoring::ScoringScheme;
 use flsa_seq::Sequence;
 use flsa_trace::{DegradeReason, EventKind};
@@ -234,6 +234,63 @@ pub fn align_resume(
         }
         cfg = next;
     }
+}
+
+/// Aligns many **independent** pairs at once on the inter-sequence
+/// [`BatchKernel`] (one pair per SIMD lane), under a shared linear-gap
+/// scoring scheme.
+///
+/// Results come back in input order and are **bit-identical** to aligning
+/// each pair alone with [`align`]: the batch kernel runs `i16` lanes with
+/// saturation detection and transparently recomputes any lane whose
+/// scores leave the exact range on the single-pair `i32` path. Pairs too
+/// long or too wide-scoring for `i16` simply take the single-pair path —
+/// batching is a throughput optimization, never a semantics change.
+///
+/// Unlike the FastLSA entry points this holds each pair's full direction
+/// matrix (`m·n` bytes per lane), so it is meant for the many-small-pairs
+/// regime (database search, service request coalescing), not for two
+/// megabase genomes. `opts` contributes the kernel-backend override
+/// ([`AlignOptions::kernel`]); budget/cancel/checkpoint options do not
+/// apply to batch jobs.
+pub fn align_batch(
+    pairs: &[(&Sequence, &Sequence)],
+    scheme: &ScoringScheme,
+    opts: &AlignOptions,
+    metrics: &Metrics,
+) -> Result<Vec<AlignResult>, AlignError> {
+    validate_kernel(opts)?;
+    let max_span = max_safe_span(scheme);
+    for (a, b) in pairs {
+        for s in [a, b] {
+            if s.alphabet() != scheme.alphabet() {
+                return Err(AlignError::AlphabetMismatch {
+                    expected: scheme.alphabet().name().to_string(),
+                    found: s.alphabet().name().to_string(),
+                });
+            }
+        }
+        let span = a.len().saturating_add(b.len());
+        if span > max_span {
+            return Err(ConfigError::ScoreOverflow { span, max_span }.into());
+        }
+    }
+    let kernel = match opts.kernel {
+        // validate_kernel above already rejected unavailable backends.
+        Some(b) => Kernel::try_new(b)
+            .map_err(|e| ConfigError::KernelUnavailable { backend: e.backend.name() })?,
+        None => Kernel::auto(),
+    };
+    let batch = BatchKernel::new(kernel);
+    let jobs: Vec<BatchJob<'_>> = pairs
+        .iter()
+        .map(|(a, b)| BatchJob {
+            a: a.codes(),
+            b: b.codes(),
+            scheme,
+        })
+        .collect();
+    Ok(batch.align_batch(&jobs, metrics))
 }
 
 /// Rejects an explicitly requested kernel backend that this CPU cannot
@@ -669,6 +726,37 @@ mod tests {
         let snap = reg.snapshot();
         assert!(snap.counter(names::DEGRADE_STEPS_TOTAL).unwrap() >= 1);
         assert!(snap.counter(names::MEM_REFUSED_TOTAL).unwrap() >= 1);
+    }
+
+    #[test]
+    fn batch_api_matches_single_pair_alignment() {
+        let scheme = ScoringScheme::dna_default();
+        let pairs: Vec<(Sequence, Sequence)> = (0..11)
+            .map(|seed| homologous_pair("t", &Alphabet::dna(), 80 + seed * 7, 0.8, seed as u64).unwrap())
+            .collect();
+        let refs: Vec<(&Sequence, &Sequence)> = pairs.iter().map(|(a, b)| (a, b)).collect();
+        let got = align_batch(&refs, &scheme, &AlignOptions::default(), &Metrics::new()).unwrap();
+        assert_eq!(got.len(), pairs.len());
+        for ((a, b), r) in pairs.iter().zip(&got) {
+            let want = align(a, b, &scheme, &Metrics::new()).unwrap();
+            assert_eq!(r.score, want.score);
+            assert_eq!(r.path, want.path);
+        }
+    }
+
+    #[test]
+    fn batch_api_rejects_bad_alphabet_and_unavailable_kernel() {
+        let scheme = ScoringScheme::dna_default();
+        let p = Sequence::from_str("p", &Alphabet::protein(), "ACD").unwrap();
+        let d = Sequence::from_str("d", scheme.alphabet(), "ACGT").unwrap();
+        let err = align_batch(
+            &[(&d, &p)],
+            &scheme,
+            &AlignOptions::default(),
+            &Metrics::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AlignError::AlphabetMismatch { .. }));
     }
 
     #[test]

@@ -31,20 +31,26 @@
 //!
 //! Backends:
 //!
-//! * [`KernelBackend::Scalar`] — the reference kernels, always available;
-//! * [`KernelBackend::Lanes`] — portable `[i32; 8]` blocks the
-//!   autovectorizer lowers to native SIMD, always available, no `unsafe`;
-//! * [`KernelBackend::Sse41`] / [`KernelBackend::Avx2`] — explicit
-//!   `core::arch` kernels, admitted only after `is_x86_feature_detected!`
-//!   (rule R6 pins their `#[target_feature]` functions to this module).
+//! * [`KernelBackend::Scalar`] — the reference kernels, always available
+//!   and the fallback on every non-x86-64 target;
+//! * [`KernelBackend::Sse41`] / [`KernelBackend::Avx2`] /
+//!   [`KernelBackend::Avx512`] — explicit `core::arch` kernels, admitted
+//!   only after `is_x86_feature_detected!` (rule R6 pins their
+//!   `#[target_feature]` functions to this module).
+//!
+//! (An earlier "portable lanes" backend — `[i32; 8]` blocks left to the
+//! autovectorizer — measured at 0.2–0.3× *scalar* on x86-64 and was
+//! removed; see BENCH_kernels.json history.)
 //!
 //! Scoring goes through a [`QueryProfile`] (contiguous per-residue score
 //! rows) and scratch comes from a shared [`KernelArena`], so steady-state
-//! block fills perform no allocation at all.
+//! block fills perform no allocation at all. The intra-sequence kernels
+//! here speed up one pair; for many small independent pairs see the
+//! inter-sequence [`crate::batch::BatchKernel`], whose striped
+//! `#[target_feature]` kernels also live in this module's `x86` file.
 
-mod lanes;
 #[cfg(target_arch = "x86_64")]
-mod x86;
+pub(crate) mod x86;
 
 use std::sync::Arc;
 
@@ -66,30 +72,30 @@ const MIN_VEC_COLS: usize = 16;
 pub enum KernelBackend {
     /// The reference scalar kernels in [`crate::kernel`].
     Scalar,
-    /// Portable fixed-width lane blocks (safe, autovectorized).
-    Lanes,
     /// Explicit SSE4.1 intrinsics (x86-64, runtime-detected).
     Sse41,
     /// Explicit AVX2 intrinsics (x86-64, runtime-detected).
     Avx2,
+    /// Explicit AVX-512F intrinsics (x86-64, runtime-detected).
+    Avx512,
 }
 
 impl KernelBackend {
     /// Every backend, in increasing vector width.
     pub const ALL: [KernelBackend; 4] = [
         KernelBackend::Scalar,
-        KernelBackend::Lanes,
         KernelBackend::Sse41,
         KernelBackend::Avx2,
+        KernelBackend::Avx512,
     ];
 
     /// Stable lowercase name (CLI values, trace events, bench reports).
     pub fn name(self) -> &'static str {
         match self {
             KernelBackend::Scalar => "scalar",
-            KernelBackend::Lanes => "lanes",
             KernelBackend::Sse41 => "sse4.1",
             KernelBackend::Avx2 => "avx2",
+            KernelBackend::Avx512 => "avx512",
         }
     }
 
@@ -97,9 +103,9 @@ impl KernelBackend {
     pub fn parse(s: &str) -> Option<KernelBackend> {
         match s.trim().to_ascii_lowercase().as_str() {
             "scalar" => Some(KernelBackend::Scalar),
-            "lanes" => Some(KernelBackend::Lanes),
             "sse4.1" | "sse41" => Some(KernelBackend::Sse41),
             "avx2" => Some(KernelBackend::Avx2),
+            "avx512" | "avx512f" => Some(KernelBackend::Avx512),
             _ => None,
         }
     }
@@ -107,29 +113,29 @@ impl KernelBackend {
     /// True when this backend can run on the current CPU.
     pub fn is_available(self) -> bool {
         match self {
-            KernelBackend::Scalar | KernelBackend::Lanes => true,
+            KernelBackend::Scalar => true,
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Sse41 => is_x86_feature_detected!("sse4.1"),
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx512 => is_x86_feature_detected!("avx512f"),
             #[cfg(not(target_arch = "x86_64"))]
             _ => false,
         }
     }
 
-    /// The widest backend available on this CPU.
+    /// The widest backend available on this CPU:
+    /// AVX-512 ≻ AVX2 ≻ SSE4.1 ≻ scalar.
     pub fn detect_best() -> KernelBackend {
-        if KernelBackend::Avx2.is_available() {
+        if KernelBackend::Avx512.is_available() {
+            KernelBackend::Avx512
+        } else if KernelBackend::Avx2.is_available() {
             KernelBackend::Avx2
         } else if KernelBackend::Sse41.is_available() {
             KernelBackend::Sse41
-        } else if cfg!(target_arch = "x86_64") {
-            // Without SSE4.1 the portable lane structs lose to scalar on
-            // x86: `i32` lane-max lowers to cmpgt+blend emulation there
-            // (see BENCH_kernels.json), so plain scalar is the best bet.
-            KernelBackend::Scalar
         } else {
-            KernelBackend::Lanes
+            KernelBackend::Scalar
         }
     }
 
@@ -161,12 +167,35 @@ pub fn detected_cpu_features() -> Vec<&'static str> {
         ("avx", is_x86_feature_detected!("avx")),
         ("avx2", is_x86_feature_detected!("avx2")),
         ("avx512f", is_x86_feature_detected!("avx512f")),
+        ("avx512bw", is_x86_feature_detected!("avx512bw")),
     ] {
         if present {
             out.push(name);
         }
     }
     out
+}
+
+/// Portable one-row update in the u-domain formulation: pass A and the
+/// prefix max fused into one scalar sweep. Identical results to
+/// [`crate::kernel`]'s cell-at-a-time recurrence (the reformulation is
+/// exact over the integers) and to every vector kernel in [`x86`].
+///
+/// Contract: `prev.len() == cur.len() == profile.len() + 1`, and
+/// `cur[0]` holds the row's left-boundary value on entry.
+fn row_update_portable(prev: &[i32], cur: &mut [i32], profile: &[i32], gap: i32) {
+    let cols = profile.len();
+    assert_eq!(prev.len(), cols + 1, "prev row length");
+    assert_eq!(cur.len(), cols + 1, "cur row length");
+    let mut carry = cur[0];
+    for j in 1..=cols {
+        let diag = prev[j - 1] + profile[j - 1];
+        let up = prev[j] + gap;
+        let t = if diag > up { diag } else { up };
+        let u = t - j as i32 * gap;
+        carry = if u > carry { u } else { carry };
+        cur[j] = carry + j as i32 * gap;
+    }
 }
 
 /// A requested backend the current CPU cannot run.
@@ -260,9 +289,7 @@ impl Kernel {
     #[inline]
     fn row_update(&self, prev: &[i32], cur: &mut [i32], profile: &[i32], gap: i32) {
         match self.backend {
-            KernelBackend::Scalar | KernelBackend::Lanes => {
-                lanes::row_update(prev, cur, profile, gap)
-            }
+            KernelBackend::Scalar => row_update_portable(prev, cur, profile, gap),
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Sse41 => {
                 // SAFETY: `try_new` admits Sse41 only after
@@ -275,9 +302,17 @@ impl Kernel {
                 // `is_x86_feature_detected!("avx2")` returned true.
                 unsafe { x86::row_update_avx2(prev, cur, profile, gap) }
             }
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx512 => {
+                // SAFETY: `try_new` admits Avx512 only after
+                // `is_x86_feature_detected!("avx512f")` returned true.
+                unsafe { x86::row_update_avx512(prev, cur, profile, gap) }
+            }
             #[cfg(not(target_arch = "x86_64"))]
-            KernelBackend::Sse41 | KernelBackend::Avx2 => {
-                lanes::row_update(prev, cur, profile, gap)
+            KernelBackend::Sse41 | KernelBackend::Avx2 | KernelBackend::Avx512 => {
+                // `try_new` rejects these off x86-64, so this arm never
+                // runs; the portable kernel keeps it correct regardless.
+                row_update_portable(prev, cur, profile, gap)
             }
         }
     }
@@ -658,11 +693,16 @@ mod tests {
     }
 
     #[test]
-    fn scalar_and_lanes_are_always_available() {
+    fn scalar_is_always_available_and_detect_best_is_admitted() {
         assert!(KernelBackend::Scalar.is_available());
-        assert!(KernelBackend::Lanes.is_available());
         assert!(KernelBackend::available().contains(&KernelBackend::detect_best()));
-        Kernel::try_new(KernelBackend::Lanes).expect("lanes is always available");
+        Kernel::try_new(KernelBackend::Scalar).expect("scalar is always available");
+        // Backend order is widest-first: anything detect_best skips over
+        // an available backend must itself be available.
+        #[cfg(target_arch = "x86_64")]
+        if KernelBackend::Avx512.is_available() {
+            assert_eq!(KernelBackend::detect_best(), KernelBackend::Avx512);
+        }
     }
 
     #[test]

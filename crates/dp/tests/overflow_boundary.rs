@@ -5,8 +5,8 @@
 //! `G` (per-symbol gap), every i32 kernel intermediate stays in range
 //! while `|H| + span·(max(S,G)+G) + G ≤ i32::MAX` — that is what makes
 //! `fastlsa_core::max_safe_span` a sound admission cap. These tests
-//! drive the real kernels (scalar and the vectorized lanes backend)
-//! right up against that envelope: small rectangles whose boundary
+//! drive the real kernels (scalar plus every vector backend this CPU
+//! offers) right up against that envelope: small rectangles whose boundary
 //! values simulate sitting at the far corner of a certified-maximal
 //! problem, so cell values come within a hair of `i32::MAX` /
 //! `i32::MIN`. An `i64` reference computed in-test proves nothing
@@ -85,19 +85,18 @@ fn assert_kernels_match_reference(a: &[u8], b: &[u8], s: i32, g: i32, offset: i6
     let top = ramp(offset, b.len(), g);
     let left = ramp(offset, a.len(), g);
     let want = reference_bottom(a, b, s, g, &top, &left);
-    let scalar = kernel_bottom(&Kernel::scalar(), a, b, &scheme, &top, &left);
-    let lanes_kernel = Kernel::try_new(KernelBackend::Lanes).expect("lanes always available");
-    let lanes = kernel_bottom(&lanes_kernel, a, b, &scheme, &top, &left);
-    for (j, &w) in want.iter().enumerate() {
-        let w32 = i32::try_from(w).expect("certified envelope keeps cells in i32");
-        assert_eq!(
-            scalar[j], w32,
-            "scalar wrapped at column {j} (offset {offset})"
-        );
-        assert_eq!(
-            lanes[j], w32,
-            "lanes wrapped at column {j} (offset {offset})"
-        );
+    for backend in KernelBackend::available() {
+        let kernel = Kernel::try_new(backend).expect("available backend constructs");
+        let bottom = kernel_bottom(&kernel, a, b, &scheme, &top, &left);
+        for (j, &w) in want.iter().enumerate() {
+            let w32 = i32::try_from(w).expect("certified envelope keeps cells in i32");
+            assert_eq!(
+                bottom[j],
+                w32,
+                "{} wrapped at column {j} (offset {offset})",
+                backend.name()
+            );
+        }
     }
 }
 

@@ -31,13 +31,13 @@ pub const KERNEL_BACKEND: &str = "flsa_kernel_backend";
 
 /// Known kernel backend names, index-aligned with
 /// [`CELLS_BACKEND_TOTAL`] and with the [`KERNEL_BACKEND`] gauge value.
-pub const BACKENDS: &[&str] = &["scalar", "lanes", "sse4.1", "avx2"];
+pub const BACKENDS: &[&str] = &["scalar", "sse4.1", "avx2", "avx512"];
 /// Per-backend cell counters, index-aligned with [`BACKENDS`].
 pub const CELLS_BACKEND_TOTAL: &[&str] = &[
     "flsa_cells_backend_scalar_total",
-    "flsa_cells_backend_lanes_total",
     "flsa_cells_backend_sse41_total",
     "flsa_cells_backend_avx2_total",
+    "flsa_cells_backend_avx512_total",
 ];
 /// Cells attributed to a backend this crate does not know by name.
 pub const CELLS_BACKEND_OTHER_TOTAL: &str = "flsa_cells_backend_other_total";
@@ -179,6 +179,10 @@ pub const SERVE_RECOVERED_TOTAL: &str = "flsa_serve_recovered_jobs_total";
 pub const SERVE_REQUEST_NS: &str = "flsa_serve_request_ns";
 /// Time jobs spent parked waiting for admission bytes, in ns (histogram).
 pub const SERVE_ADMIT_WAIT_NS: &str = "flsa_serve_admit_wait_ns";
+/// Batched dispatches executed on the inter-sequence kernel (counter).
+pub const SERVE_BATCHES_TOTAL: &str = "flsa_serve_batches_total";
+/// Jobs that ran inside a batched dispatch (counter).
+pub const SERVE_BATCHED_JOBS_TOTAL: &str = "flsa_serve_batched_jobs_total";
 
 // --- Sharded execution (flsa-shard) --------------------------------------
 
@@ -265,6 +269,8 @@ mod tests {
             SERVE_RECOVERED_TOTAL,
             SERVE_REQUEST_NS,
             SERVE_ADMIT_WAIT_NS,
+            SERVE_BATCHES_TOTAL,
+            SERVE_BATCHED_JOBS_TOTAL,
             SHARD_TASKS_DISPATCHED_TOTAL,
             SHARD_TASKS_COMPLETED_TOTAL,
             SHARD_TASKS_REASSIGNED_TOTAL,
@@ -305,7 +311,12 @@ mod tests {
             cells_for_backend("sse4.1"),
             "flsa_cells_backend_sse41_total"
         );
+        assert_eq!(
+            cells_for_backend("avx512"),
+            "flsa_cells_backend_avx512_total"
+        );
         assert_eq!(cells_for_backend("riscv-vector"), CELLS_BACKEND_OTHER_TOTAL);
+        assert_eq!(cells_for_backend("lanes"), CELLS_BACKEND_OTHER_TOTAL);
         assert_eq!(backend_name(0), "scalar");
         assert_eq!(backend_name(-1), "?");
         assert_eq!(backend_name(99), "?");

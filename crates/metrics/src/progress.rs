@@ -107,7 +107,7 @@ mod tests {
         assert!(line.contains("eta"), "{line}");
         assert!(line.contains("2s"), "{line}");
         assert!(line.contains("phase=grid-fill"), "{line}");
-        assert!(line.contains("backend=avx2"), "{line}");
+        assert!(line.contains("backend=avx512"), "{line}");
     }
 
     #[test]
@@ -145,6 +145,6 @@ mod tests {
         let line = p.line(1.0);
         assert!(line.contains("10.0%"), "{line}");
         assert!(line.contains("phase=base-case"), "{line}");
-        assert!(line.contains("backend=lanes"), "{line}");
+        assert!(line.contains("backend=sse4.1"), "{line}");
     }
 }

@@ -341,6 +341,62 @@ fn queued_jobs_are_answered_draining_at_shutdown() {
 }
 
 #[test]
+fn queued_small_jobs_are_batched_and_still_match_the_reference() {
+    // One worker, one long job to build a backlog, then a burst of small
+    // jobs: the worker's next dispatch coalesces the parked smalls onto
+    // the inter-sequence batch kernel. Results must be byte-identical to
+    // the sequential reference either way.
+    let reg = Arc::new(Registry::new());
+    let mut cfg = ServeConfig::new("");
+    cfg.workers = 1;
+    cfg.registry = Some(reg.clone());
+    let server = start(cfg);
+
+    let big = {
+        let mut c = connect(&server);
+        let (a, b) = (dna(900, 1200), dna(901, 1200));
+        std::thread::spawn(move || {
+            let frame = c.align(req(0, &a, &b)).expect("big job response");
+            assert!(matches!(frame, Frame::Ok(_)), "{frame:?}");
+        })
+    };
+    // Let the big job reach the worker before the burst arrives.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let senders: Vec<_> = (1..=12u64)
+        .map(|id| {
+            let mut c = connect(&server);
+            std::thread::spawn(move || {
+                let a = dna(id, 60 + (id as usize % 5) * 17);
+                let b = dna(id + 500, 50 + (id as usize % 7) * 13);
+                let (score, cigar) = reference(&a, &b);
+                match c.align(req(id, &a, &b)).expect("response") {
+                    Frame::Ok(ok) => {
+                        assert_eq!(ok.id, id);
+                        assert_eq!(ok.score, score, "job {id}");
+                        assert_eq!(ok.cigar, cigar, "job {id}");
+                    }
+                    other => panic!("job {id}: expected Ok, got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for s in senders {
+        s.join().expect("sender");
+    }
+    big.join().expect("big job");
+
+    let snap = reg.snapshot();
+    assert!(
+        snap.counter(names::SERVE_BATCHES_TOTAL).unwrap_or(0) >= 1,
+        "expected at least one batched dispatch: {:?}",
+        snap.counter(names::SERVE_BATCHES_TOTAL)
+    );
+    assert!(snap.counter(names::SERVE_BATCHED_JOBS_TOTAL).unwrap_or(0) >= 2);
+    drain_and_check(server);
+}
+
+#[test]
 fn zero_workers_is_a_config_error() {
     let mut cfg = ServeConfig::new("127.0.0.1:0");
     cfg.workers = 0;

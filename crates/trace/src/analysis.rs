@@ -113,7 +113,7 @@ pub struct SpanDepthStats {
 /// Kernel-event aggregate for one DP kernel backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelBackendStats {
-    /// Interned backend name ("scalar", "lanes", "sse4.1", "avx2").
+    /// Interned backend name ("scalar", "sse4.1", "avx2", "avx512").
     pub backend: &'static str,
     /// Kernel invocations recorded under this backend.
     pub calls: usize,
@@ -855,7 +855,7 @@ mod tests {
             end_ns: start,
             kind: EventKind::Kernel {
                 cells,
-                backend: "lanes",
+                backend: "avx512",
             },
         };
         let a = analyze(&Trace {
@@ -863,7 +863,7 @@ mod tests {
             events: vec![kernel(0, 500), kernel(1_000_000_000, 500)],
         });
         let b = &a.kernel_backends[0];
-        assert_eq!(b.backend, "lanes");
+        assert_eq!(b.backend, "avx512");
         assert_eq!(b.calls, 2);
         assert_eq!(b.cells, 1000);
         assert_eq!(b.span_ns, 1_000_000_000);

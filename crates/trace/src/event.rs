@@ -95,7 +95,7 @@ pub enum EventKind {
     /// (instant event: `start_ns == end_ns`). Summing `cells` over a
     /// trace reproduces `Metrics::cells_computed`. `backend` is the
     /// interned name of the DP kernel backend that ran ("scalar",
-    /// "lanes", "sse4.1", "avx2") so reports can break throughput down
+    /// "sse4.1", "avx2", "avx512") so reports can break throughput down
     /// per backend.
     Kernel { cells: u64, backend: &'static str },
     /// The engine degraded its configuration (instant event): attempt
@@ -150,7 +150,7 @@ impl Event {
 
 /// The kernel backend names [`EventKind::Kernel`] may carry. Interning
 /// keeps `EventKind` `Copy` while exports stay human-readable.
-pub const KERNEL_BACKENDS: [&str; 4] = ["scalar", "lanes", "sse4.1", "avx2"];
+pub const KERNEL_BACKENDS: [&str; 4] = ["scalar", "sse4.1", "avx2", "avx512"];
 
 /// Maps a backend name read from an external trace file back to its
 /// interned `'static` form. Unknown names (future backends, foreign

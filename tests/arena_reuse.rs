@@ -15,7 +15,12 @@ use flsa_seq::Alphabet;
 fn repeated_runs_make_zero_net_allocations() {
     let scheme = ScoringScheme::dna_default();
     let (a, b) = homologous_pair("t", &Alphabet::dna(), 600, 0.8, 11).unwrap();
-    let kernel = Kernel::try_new(KernelBackend::Lanes).unwrap();
+    let best = KernelBackend::detect_best();
+    if best == KernelBackend::Scalar {
+        // Scalar fills use caller-owned buffers only; nothing to pool.
+        return;
+    }
+    let kernel = Kernel::try_new(best).unwrap();
     let cfg = HirschbergConfig { base_cells: 256 };
 
     // Warm-up run: populates the pool (allocations expected).
@@ -59,7 +64,7 @@ fn tight_budget_degrades_kernel_instead_of_failing() {
         let metrics = Metrics::new();
         let opts = AlignOptions {
             budget_bytes: Some(budget),
-            kernel: Some(KernelBackend::Lanes),
+            kernel: Some(KernelBackend::detect_best()),
             ..AlignOptions::default()
         };
         match align_opts(&a, &b, &scheme, cfg, &opts, &metrics) {
@@ -90,7 +95,7 @@ fn generous_budget_keeps_vectorized_kernel_and_charges_arena() {
     let metrics = Metrics::new();
     let opts = AlignOptions {
         budget_bytes: Some(64 << 20),
-        kernel: Some(KernelBackend::Lanes),
+        kernel: Some(KernelBackend::detect_best()),
         ..AlignOptions::default()
     };
     let r = align_opts(&a, &b, &scheme, cfg, &opts, &metrics).unwrap();
